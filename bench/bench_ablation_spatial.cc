@@ -1,0 +1,71 @@
+// R-Abl-2: the spatial-constraint optimization of §III-A ("Function
+// Symbols and Spatial Constraints"): when the join predicate includes a
+// spatial constraint — tuples only join if generated within distance R —
+// each tuple need only be stored over a neighborhood instead of its whole
+// row, and the join evaluates locally.
+//
+// Expected shape: spatial placement cuts both storage and join traffic by
+// a large factor that grows with the grid, at identical results.
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+// Each node reports events carrying its own coordinates; two events
+// correlate if within Euclidean distance 2.
+constexpr char kRowProgram[] = R"(
+  .decl ev(x, y, kind, n) input.
+  pair(N1, N2, K) :- ev(X1, Y1, K, N1), ev(X2, Y2, K, N2),
+                     dist(X1, Y1, X2, Y2) <= 2.0, N1 < N2.
+)";
+constexpr char kSpatialProgram[] = R"(
+  .decl ev(x, y, kind, n) input storage spatial 2.
+  pair(N1, N2, K) :- ev(X1, Y1, K, N1), ev(X2, Y2, K, N2),
+                     dist(X1, Y1, X2, Y2) <= 2.0, N1 < N2.
+)";
+
+std::vector<WorkItem> SpatialWorkload(const Topology& topo, int per_node,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkItem> out;
+  SimTime t = 10'000;
+  for (int i = 0; i < topo.node_count() * per_node; ++i, t += 30'000) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(0, topo.node_count() - 1));
+    const Location& loc = topo.location(node);
+    out.push_back(
+        {t, node, StreamOp::kInsert,
+         Fact(Intern("ev"),
+              {Term::Real(loc.x), Term::Real(loc.y),
+               Term::Int(rng.Uniform(0, 2)), Term::Int(node)})});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# R-Abl-2: spatially-constrained join — row storage (full PA)\n"
+              "# vs spatial:2 storage with local evaluation (§III-A)\n\n");
+  TablePrinter table({"grid", "placement", "messages", "bytes", "results",
+                      "repl/node"});
+  LinkModel link;
+  for (int m : {8, 12, 16}) {
+    Topology topo = Topology::Grid(m);
+    std::vector<WorkItem> work = SpatialWorkload(topo, 2, 100 + static_cast<uint64_t>(m));
+    for (bool spatial : {false, true}) {
+      Program program = MustParse(spatial ? kSpatialProgram : kRowProgram);
+      RunMetrics r = RunDistributed(topo, program, EngineOptions{}, link,
+                                    work, "pair");
+      table.Row({std::to_string(m) + "x" + std::to_string(m),
+                 spatial ? "spatial:2" : "row(PA)", U64(r.total_messages),
+                 U64(r.total_bytes), U64(r.result_count),
+                 Dbl(static_cast<double>(r.total_replicas) /
+                     topo.node_count())});
+    }
+  }
+  std::printf("\n# both placements must report identical 'results'.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// R-Fig-1: communication cost of an in-network two-stream join as the
+// network grows, comparing the Perpendicular Approach against its GPA
+// degenerate cases (Naive Broadcast, Local Storage), the Centroid
+// rendezvous, and the external/centralized server baseline (§III-A).
+//
+// Expected shape (the paper's claim): PA grows ~n^1.5 total (sqrt(n) per
+// tuple) and stays within a small constant of the best; Broadcast grows
+// ~n^2; Local Storage pays the full network per *update*; Centralized
+// concentrates cost near the sink and grows with distance-to-sink.
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+constexpr char kProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+}  // namespace
+
+int main() {
+  std::printf("# R-Fig-1: two-stream join, total messages vs network size\n");
+  std::printf("# workload: 2 tuples per node, key range = nodes/2, no "
+              "deletions\n\n");
+
+  struct Approach {
+    const char* name;
+    std::optional<StoragePolicy> storage;  // nullopt = centralized baseline
+  };
+  const Approach approaches[] = {
+      {"PA", StoragePolicy::kRow},
+      {"Broadcast", StoragePolicy::kBroadcast},
+      {"LocalStore", StoragePolicy::kLocal},
+      {"Centroid", StoragePolicy::kCentroid},
+      {"Central", std::nullopt},
+  };
+
+  TablePrinter table({"grid", "nodes", "approach", "messages", "bytes",
+                      "msg/tuple", "results", "errors"});
+  Program program = MustParse(kProgram);
+  LinkModel link;
+
+  for (int m : {6, 8, 10, 12, 14}) {
+    Topology topo = Topology::Grid(m);
+    int nodes = topo.node_count();
+    std::vector<WorkItem> work =
+        UniformJoinWorkload(nodes, 2, std::max(2, nodes / 2), 1000 + m);
+    for (const Approach& a : approaches) {
+      RunMetrics metrics;
+      if (a.storage.has_value()) {
+        EngineOptions options;
+        options.planner.default_storage = *a.storage;
+        metrics = RunDistributed(topo, program, options, link, work, "t");
+      } else {
+        metrics = RunCentralized(topo, program, link, work, "t");
+      }
+      table.Row({std::to_string(m) + "x" + std::to_string(m),
+                 U64(static_cast<uint64_t>(nodes)), a.name,
+                 U64(metrics.total_messages), U64(metrics.total_bytes),
+                 Dbl(static_cast<double>(metrics.total_messages) /
+                     static_cast<double>(work.size())),
+                 U64(metrics.result_count), U64(metrics.errors)});
+    }
+  }
+  return 0;
+}

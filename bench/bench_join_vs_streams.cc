@@ -1,0 +1,75 @@
+// R-Fig-3: multi-way joins — cost vs number of operand streams, single-pass
+// vs the multiple-pass scheme (§III-A "PA for Multiple Streams", footnote 2).
+//
+// Expected shape: cost grows with the number of streams (longer partial
+// result pipelines); single-pass wins on messages (one column traversal)
+// while multiple-pass trades extra traversals for simpler per-node state.
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+std::string ProgramFor(int n_streams) {
+  std::string out;
+  std::string head = "t(K";
+  std::string body;
+  for (int i = 0; i < n_streams; ++i) {
+    std::string name(1, static_cast<char>('a' + i));
+    out += "  .decl " + name + "/3 input.\n";
+    head += ", N" + std::to_string(i);
+    body += (i ? ", " : "") + name + "(K, N" + std::to_string(i) + ", I" +
+            std::to_string(i) + ")";
+  }
+  out += "  " + head + ") :- " + body + ".\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# R-Fig-3: n-way join on an 8x8 grid, single-pass vs multiple-pass\n");
+  std::printf("# workload: 2 tuples per node spread across the n streams\n\n");
+
+  TablePrinter table({"streams", "scheme", "messages", "bytes",
+                      "max_partials", "results", "errors"});
+  Topology topo = Topology::Grid(8);
+  LinkModel link;
+
+  for (int n = 2; n <= 4; ++n) {
+    std::vector<std::string> streams;
+    for (int i = 0; i < n; ++i) {
+      streams.emplace_back(1, static_cast<char>('a' + i));
+    }
+    std::vector<WorkItem> work = UniformJoinWorkload(
+        topo.node_count(), 2, 6, 500 + static_cast<uint64_t>(n), 0.0, 40'000,
+        streams);
+    Program program = MustParse(ProgramFor(n));
+    for (bool multipass : {false, true}) {
+      EngineOptions options;
+      options.planner.multipass = multipass;
+      Network net(topo, link, 1);
+      auto engine = DistributedEngine::Create(&net, program, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+        return 1;
+      }
+      for (const WorkItem& item : work) {
+        net.sim().RunUntil(item.time);
+        (void)(*engine)->Inject(item.node, item.op, item.fact);
+      }
+      net.sim().Run();
+      table.Row({U64(static_cast<uint64_t>(n)),
+                 multipass ? "multi" : "single",
+                 U64(net.stats().TotalMessages()),
+                 U64(net.stats().TotalBytes()),
+                 U64((*engine)->stats().max_partials_in_message),
+                 U64((*engine)->ResultFacts(Intern("t")).size()),
+                 U64((*engine)->stats().errors.size())});
+    }
+  }
+  return 0;
+}

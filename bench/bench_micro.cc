@@ -1,0 +1,134 @@
+// R-Micro: engineering microbenchmarks (google-benchmark) for the hot
+// paths: parsing, term matching/unification, the wire codec, semi-naive
+// fixpoints and incremental maintenance throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "deduce/datalog/parser.h"
+#include "deduce/eval/incremental.h"
+#include "deduce/eval/seminaive.h"
+#include "deduce/net/codec.h"
+
+namespace deduce {
+namespace {
+
+void BM_ParseRule(benchmark::State& state) {
+  const char* text =
+      "cov(L1, T) :- veh(\"enemy\", L1, T), veh(\"friendly\", L2, T), "
+      "dist(L1, L2) <= 5.";
+  for (auto _ : state) {
+    auto rule = ParseRule(text);
+    benchmark::DoNotOptimize(rule);
+  }
+}
+BENCHMARK(BM_ParseRule);
+
+void BM_MatchTerm(benchmark::State& state) {
+  Term pattern = ParseTerm("f(X, g(Y, 3), [A | B])").value();
+  Term ground = ParseTerm("f(1, g(2, 3), [4, 5, 6])").value();
+  for (auto _ : state) {
+    Subst subst;
+    bool ok = MatchTerm(pattern, ground, &subst);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_MatchTerm);
+
+void BM_Unify(benchmark::State& state) {
+  Term a = ParseTerm("f(X, g(X, Z), h(W))").value();
+  Term b = ParseTerm("f(g(1, 2), Y, h(3))").value();
+  for (auto _ : state) {
+    Subst subst;
+    bool ok = Unify(a, b, &subst);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Unify);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  Fact fact(Intern("veh"),
+            {Term::Sym("enemy"),
+             Term::Function("loc", {Term::Int(12), Term::Int(34)}),
+             Term::Int(1000)});
+  for (auto _ : state) {
+    PayloadWriter w;
+    w.WriteFact(fact);
+    PayloadReader r(w.bytes());
+    auto f = r.ReadFact();
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string text =
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).\n";
+  Program program = ParseProgram(text).value();
+  std::vector<Fact> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.emplace_back(Intern("edge"), std::vector<Term>{Term::Int(i),
+                                                         Term::Int(i + 1)});
+  }
+  for (auto _ : state) {
+    auto db = EvaluateProgram(program, edges);
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n) * (n - 1) / 2);
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_IncrementalApply(benchmark::State& state) {
+  Program program = ParseProgram(R"(
+    .decl r/2 input.
+    .decl s/2 input.
+    t(X, Z) :- r(X, Y), s(Y, Z).
+  )").value();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = IncrementalEngine::Create(program, IncrementalOptions{});
+    state.ResumeTiming();
+    Timestamp t = 1;
+    uint32_t seq = 0;
+    for (int i = 0; i < 100; ++i, ++t) {
+      StreamEvent ev;
+      ev.op = StreamOp::kInsert;
+      ev.fact = Fact(Intern(i % 2 ? "r" : "s"),
+                     {Term::Int(i % 10), Term::Int((i + 3) % 10)});
+      ev.id = TupleId{0, t, seq++};
+      ev.time = t;
+      (void)(*engine)->Apply(ev, nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_IncrementalApply);
+
+void BM_XYStagedLogicH(benchmark::State& state) {
+  const char* text = R"(
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    h1(Y, D + 1) :- h(_, Y, D2), (D + 1) > D2, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), NOT h1(Y, D + 1).
+  )";
+  Program program = ParseProgram(text).value();
+  int n = static_cast<int>(state.range(0));
+  std::vector<Fact> edges;
+  for (int i = 0; i < n; ++i) {  // ring
+    int j = (i + 1) % n;
+    edges.emplace_back(Intern("g"), std::vector<Term>{Term::Int(i), Term::Int(j)});
+    edges.emplace_back(Intern("g"), std::vector<Term>{Term::Int(j), Term::Int(i)});
+  }
+  for (auto _ : state) {
+    auto db = EvaluateProgram(program, edges);
+    benchmark::DoNotOptimize(db);
+  }
+}
+BENCHMARK(BM_XYStagedLogicH)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace deduce
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// R-Tab-1: per-node memory footprint (§V "Memory Requirements"): replicas
+// and derivation records stored per node for each example program. The
+// paper's claim for the SPT program: each node stores only tuples of the
+// form j(Y, _) / h(_, Y, _) / h1(Y, _) for itself plus its neighbors'
+// edges — 2-3 tuples per degree, a single j tuple per node in steady state.
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+constexpr char kJoin[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+constexpr char kUncov[] = R"(
+  .decl enemy/3 input.
+  .decl friendly/3 input.
+  cov(L1, T) :- enemy(L1, T, N1), friendly(L2, T, N2), dist(L1, L2) <= 5.0.
+  uncov(L, T) :- enemy(L, T, N), NOT cov(L, T).
+)";
+
+constexpr char kLogicJ[] = R"(
+  .decl g/2 input storage spatial 1.
+  .decl j(y, d) home y stage d storage local.
+  .decl j1(y, d) home y stage d storage local.
+  j(0, 0).
+  j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+  j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).
+)";
+
+void Report(TablePrinter* table, const char* name, const Topology& topo,
+            DistributedEngine* engine) {
+  double n = topo.node_count();
+  table->Row({name,
+              U64(engine->TotalReplicas()),
+              Dbl(engine->TotalReplicas() / n),
+              U64(engine->MaxNodeReplicas()),
+              U64(engine->TotalDerivations()),
+              Dbl(engine->TotalDerivations() / n)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# R-Tab-1: per-node storage at quiescence, 8x8 grid\n\n");
+  TablePrinter table({"program", "replicas", "repl/node", "max_node",
+                      "derivs", "derivs/node"});
+  Topology topo = Topology::Grid(8);
+  LinkModel link;
+
+  {
+    Program program = MustParse(kJoin);
+    Network net(topo, link, 1);
+    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    std::vector<WorkItem> work =
+        UniformJoinWorkload(topo.node_count(), 2, 16, 61);
+    for (const WorkItem& item : work) {
+      net.sim().RunUntil(item.time);
+      (void)(*engine)->Inject(item.node, item.op, item.fact);
+    }
+    net.sim().Run();
+    Report(&table, "join(PA)", topo, engine->get());
+  }
+  {
+    Program program = MustParse(kUncov);
+    Network net(topo, link, 2);
+    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    Rng rng(5);
+    SimTime t = 10'000;
+    for (int i = 0; i < 96; ++i, t += 50'000) {
+      NodeId node = static_cast<NodeId>(rng.Uniform(0, topo.node_count() - 1));
+      const char* stream = rng.Bernoulli(0.5) ? "enemy" : "friendly";
+      net.sim().RunUntil(t);
+      (void)(*engine)->Inject(
+          node, StreamOp::kInsert,
+          Fact(Intern(stream),
+               {Term::Function("loc", {Term::Int(rng.Uniform(0, 7)),
+                                       Term::Int(rng.Uniform(0, 7))}),
+                Term::Int(1), Term::Int(node)}));
+    }
+    net.sim().Run();
+    Report(&table, "uncovered", topo, engine->get());
+  }
+  {
+    Program program = MustParse(kLogicJ);
+    Network net(topo, link, 3);
+    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    SimTime t = 50'000;
+    for (int v = 0; v < topo.node_count(); ++v) {
+      for (NodeId u : topo.neighbors(v)) {
+        net.sim().RunUntil(t);
+        (void)(*engine)->Inject(
+            v, StreamOp::kInsert,
+            Fact(Intern("g"), {Term::Int(v), Term::Int(u)}));
+        t += 5'000;
+      }
+    }
+    net.sim().Run();
+    Report(&table, "logicJ(SPT)", topo, engine->get());
+    std::printf(
+        "\n# logicJ footprint check (§V): replicas/node ~= 2 x degree (the\n"
+        "# g edges, both directions within 1 hop) + j/j1 home tuples.\n");
+  }
+  return 0;
+}

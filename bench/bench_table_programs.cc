@@ -1,0 +1,71 @@
+// R-Tab-2: program compactness — §II-B: "The given logic program is ...
+// more compact than the 20 lines of procedural code written in Kairos".
+// We count rules, body literals and source lines of the deductive programs
+// and set them against procedural equivalents (the paper's Kairos figure
+// for the SPT; this repo's hand-written protocol for the same task).
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+struct Entry {
+  const char* name;
+  const char* text;
+  const char* procedural_note;
+  int procedural_loc;
+};
+
+int CountLines(const char* text) {
+  int lines = 0;
+  for (const char* p = text; *p; ++p) {
+    if (*p == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# R-Tab-2: deductive program compactness\n\n");
+
+  const Entry entries[] = {
+      {"uncovered-vehicle", R"(cov(L1, T) :- enemy(L1, T, N1), friendly(L2, T, N2), dist(L1, L2) <= 5.0.
+uncov(L, T) :- enemy(L, T, N), NOT cov(L, T).)",
+       "hand-rolled spatial join + alert tracking", 120},
+      {"trajectories", R"(notstartreport(R2) :- report(R1), report(R2), close(R1, R2).
+notlastreport(R1) :- report(R1), report(R2), close(R1, R2).
+traj([R2, R1]) :- report(R1), report(R2), close(R1, R2), NOT notstartreport(R1).
+traj([R2, X | R]) :- traj([X | R]), report(R2), close(X, R2).
+completetraj([X | R]) :- traj([X | R]), NOT notlastreport(X).)",
+       "distributed path stitching (est.)", 200},
+      {"spt-logicJ", R"(j(0, 0).
+j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).)",
+       "Kairos SPT (paper: ~20 lines) / this repo: 70", 20},
+  };
+
+  TablePrinter table({"program", "rules", "literals", "src_lines",
+                      "proc_loc", "ratio"});
+  for (const Entry& e : entries) {
+    Program p = MustParse(e.text);
+    int literals = 0;
+    for (const Rule& r : p.rules()) {
+      literals += static_cast<int>(r.body.size());
+    }
+    int lines = CountLines(e.text) + 1;
+    table.Row({e.name, U64(static_cast<uint64_t>(p.rules().size())),
+               U64(static_cast<uint64_t>(literals)),
+               U64(static_cast<uint64_t>(lines)),
+               U64(static_cast<uint64_t>(e.procedural_loc)),
+               Dbl(static_cast<double>(e.procedural_loc) / lines)});
+  }
+  std::printf("\n# procedural figures: the SPT number is the paper's Kairos\n"
+              "# count; this repo's own procedural SPT protocol is 70 lines\n"
+              "# of C++ (src/deduce/baselines/procedural_spt.cc) before any\n"
+              "# reliability or maintenance handling the engine provides\n"
+              "# for free (deletions, windows, retractions).\n");
+  return 0;
+}

@@ -1,0 +1,207 @@
+#ifndef DEDUCE_BENCH_BENCH_UTIL_H_
+#define DEDUCE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+
+namespace deduce::bench {
+
+/// One injected stream update.
+struct WorkItem {
+  SimTime time;
+  NodeId node;
+  StreamOp op;
+  Fact fact;
+};
+
+/// Metrics collected from one run.
+struct RunMetrics {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t max_node_messages = 0;   ///< Hottest node (sent + received).
+  double p95_node_messages = 0;
+  double avg_node_messages = 0;
+  double energy_uj = 0;
+  SimTime quiesce_time = 0;         ///< Sim time when the network went idle.
+  size_t result_count = 0;
+  size_t total_replicas = 0;
+  size_t max_node_replicas = 0;
+  size_t total_derivations = 0;
+  size_t errors = 0;
+};
+
+inline Program MustParse(const std::string& text) {
+  auto p = ParseProgram(text);
+  if (!p.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", p.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(p).value();
+}
+
+inline void FillNodeLoad(const Network& net, RunMetrics* m) {
+  std::vector<uint64_t> loads;
+  for (const auto& p : net.stats().per_node) {
+    loads.push_back(p.sent_messages + p.received_messages);
+  }
+  std::sort(loads.begin(), loads.end());
+  if (loads.empty()) return;
+  m->max_node_messages = loads.back();
+  m->p95_node_messages =
+      static_cast<double>(loads[loads.size() * 95 / 100]);
+  double sum = 0;
+  for (uint64_t l : loads) sum += static_cast<double>(l);
+  m->avg_node_messages = sum / static_cast<double>(loads.size());
+}
+
+/// Runs `work` through a DistributedEngine and collects metrics.
+/// `result_pred` counts final derived facts (empty = skip).
+inline RunMetrics RunDistributed(const Topology& topology,
+                                 const Program& program,
+                                 const EngineOptions& options,
+                                 const LinkModel& link,
+                                 const std::vector<WorkItem>& work,
+                                 const std::string& result_pred,
+                                 uint64_t seed = 1) {
+  Network net(topology, link, seed);
+  auto engine = DistributedEngine::Create(&net, program, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::abort();
+  }
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    Status st = (*engine)->Inject(item.node, item.op, item.fact);
+    if (!st.ok()) {
+      std::fprintf(stderr, "inject: %s\n", st.ToString().c_str());
+    }
+  }
+  net.sim().Run();
+
+  RunMetrics m;
+  m.total_messages = net.stats().TotalMessages();
+  m.total_bytes = net.stats().TotalBytes();
+  m.energy_uj = net.stats().TotalEnergyMicroJ();
+  m.quiesce_time = net.sim().now();
+  FillNodeLoad(net, &m);
+  if (!result_pred.empty()) {
+    m.result_count = (*engine)->ResultFacts(Intern(result_pred)).size();
+  }
+  m.total_replicas = (*engine)->TotalReplicas();
+  m.max_node_replicas = (*engine)->MaxNodeReplicas();
+  m.total_derivations = (*engine)->TotalDerivations();
+  m.errors = (*engine)->stats().errors.size();
+  return m;
+}
+
+/// Runs `work` through the centralized (external server) baseline.
+inline RunMetrics RunCentralized(const Topology& topology,
+                                 const Program& program,
+                                 const LinkModel& link,
+                                 const std::vector<WorkItem>& work,
+                                 const std::string& result_pred,
+                                 uint64_t seed = 1) {
+  Network net(topology, link, seed);
+  auto engine =
+      CentralizedEngine::Create(&net, program, /*sink=*/0, IncrementalOptions{});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "central: %s\n", engine.status().ToString().c_str());
+    std::abort();
+  }
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    (void)(*engine)->Inject(item.node, item.op, item.fact);
+  }
+  net.sim().Run();
+
+  RunMetrics m;
+  m.total_messages = net.stats().TotalMessages();
+  m.total_bytes = net.stats().TotalBytes();
+  m.energy_uj = net.stats().TotalEnergyMicroJ();
+  m.quiesce_time = net.sim().now();
+  FillNodeLoad(net, &m);
+  if (!result_pred.empty()) {
+    m.result_count = (*engine)->ResultFacts(Intern(result_pred)).size();
+  }
+  m.errors = (*engine)->errors().size();
+  return m;
+}
+
+/// Uniform two-stream join workload: every node generates `per_node`
+/// tuples, alternating streams, with values drawn so each tuple joins with
+/// ~`selectivity` fraction of the other stream ("uniform generation rates"
+/// of §III-A). Facts embed their source so they are source-unique.
+inline std::vector<WorkItem> UniformJoinWorkload(
+    int nodes, int per_node, int key_range, uint64_t seed,
+    double delete_fraction = 0.0, SimTime gap = 40'000,
+    const std::vector<std::string>& streams = {"r", "s"}) {
+  Rng rng(seed);
+  std::vector<WorkItem> out;
+  std::vector<std::pair<NodeId, Fact>> alive;
+  SimTime t = 10'000;
+  int total = nodes * per_node;
+  for (int i = 0; i < total; ++i, t += gap) {
+    if (!alive.empty() && rng.Bernoulli(delete_fraction)) {
+      size_t k = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(alive.size()) - 1));
+      out.push_back({t, alive[k].first, StreamOp::kDelete, alive[k].second});
+      alive.erase(alive.begin() + static_cast<long>(k));
+      continue;
+    }
+    NodeId node = static_cast<NodeId>(rng.Uniform(0, nodes - 1));
+    const std::string& stream =
+        streams[static_cast<size_t>(rng.Uniform(
+            0, static_cast<int64_t>(streams.size()) - 1))];
+    Fact f(Intern(stream),
+           {Term::Int(rng.Uniform(0, key_range - 1)), Term::Int(node),
+            Term::Int(i)});
+    out.push_back({t, node, StreamOp::kInsert, f});
+    alive.emplace_back(node, f);
+  }
+  return out;
+}
+
+/// Markdown-ish table printer: prints a header once, then rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, "---");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  static constexpr int kWidth = 12;
+  std::vector<std::string> columns_;
+};
+
+inline std::string U64(uint64_t v) { return std::to_string(v); }
+inline std::string Dbl(double v, int precision = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace deduce::bench
+
+#endif  // DEDUCE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,96 @@
+// Example 1 from the paper (§II-B): battlefield vehicle tracking with
+// negation. A sensor field detects enemy and friendly vehicles; an alert
+// fires for every *uncovered* enemy vehicle — an enemy with no friendly
+// vehicle within distance 5. As friendlies move, coverage changes and the
+// alerts are retracted / re-derived incrementally (§IV: deletions and
+// negated subgoals).
+//
+// Build & run:  ./examples/vehicle_tracking
+
+#include <cstdio>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+
+using namespace deduce;
+
+namespace {
+
+Fact Detection(const char* stream, double x, double y, int t, NodeId node) {
+  return Fact(Intern(stream),
+              {Term::Function("loc", {Term::Real(x), Term::Real(y)}),
+               Term::Int(t), Term::Int(node)});
+}
+
+void PrintAlerts(DistributedEngine* engine, const char* when) {
+  std::printf("%s\n", when);
+  std::vector<Fact> alerts = engine->ResultFacts(Intern("uncov"));
+  if (alerts.empty()) std::printf("  (no uncovered enemies)\n");
+  for (const Fact& f : alerts) std::printf("  ALERT %s\n", f.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  // The program is the paper's Example 1 verbatim (modulo syntax): cov
+  // derives covered enemy locations via a spatial join; uncov subtracts
+  // them from the enemy detections with NOT.
+  const char* program_text = R"(
+    .decl veh_enemy(l, t, n) input.
+    .decl veh_friendly(l, t, n) input.
+    cov(L1, T) :- veh_enemy(L1, T, N1), veh_friendly(L2, T, N2),
+                  dist(L1, L2) <= 5.0.
+    uncov(L, T) :- veh_enemy(L, T, N), NOT cov(L, T).
+  )";
+
+  StatusOr<Program> program = ParseProgram(program_text);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+
+  Network network(Topology::Grid(8), LinkModel{}, /*seed=*/42);
+  auto engine = DistributedEngine::Create(&network, *program, EngineOptions{});
+  if (!engine.ok()) {
+    std::fprintf(stderr, "compile: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // t=1: two enemies detected; one friendly near the first enemy.
+  network.sim().RunUntil(100'000);
+  Fact enemy_a = Detection("veh_enemy", 1, 1, 1, 9);
+  Fact enemy_b = Detection("veh_enemy", 6, 6, 1, 54);
+  Fact friendly = Detection("veh_friendly", 2, 2, 1, 18);
+  (void)(*engine)->Inject(9, StreamOp::kInsert, enemy_a);
+  network.sim().RunUntil(200'000);
+  (void)(*engine)->Inject(54, StreamOp::kInsert, enemy_b);
+  network.sim().RunUntil(300'000);
+  (void)(*engine)->Inject(18, StreamOp::kInsert, friendly);
+  network.sim().Run();
+  PrintAlerts(engine->get(),
+              "after detections (friendly at (2,2) covers enemy at (1,1)):");
+
+  // The friendly withdraws: its detection is deleted; the first enemy
+  // becomes uncovered. NOT-subgoal deletion re-derives the alert (§IV-B).
+  network.sim().RunUntil(network.sim().now() + 100'000);
+  (void)(*engine)->Inject(18, StreamOp::kDelete, friendly);
+  network.sim().Run();
+  PrintAlerts(engine->get(), "after the friendly withdraws:");
+
+  // A new friendly arrives near the second enemy.
+  network.sim().RunUntil(network.sim().now() + 100'000);
+  (void)(*engine)->Inject(45, StreamOp::kInsert,
+                          Detection("veh_friendly", 5, 5, 1, 45));
+  network.sim().Run();
+  PrintAlerts(engine->get(), "after a friendly reaches (5,5):");
+
+  std::printf(
+      "\nnetwork cost so far: %llu messages, %llu bytes\n"
+      "derivations added=%llu removed=%llu\n",
+      static_cast<unsigned long long>(network.stats().TotalMessages()),
+      static_cast<unsigned long long>(network.stats().TotalBytes()),
+      static_cast<unsigned long long>((*engine)->stats().derivations_added),
+      static_cast<unsigned long long>((*engine)->stats().derivations_removed));
+  return 0;
+}

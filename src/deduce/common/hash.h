@@ -1,0 +1,38 @@
+#ifndef DEDUCE_COMMON_HASH_H_
+#define DEDUCE_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace deduce {
+
+/// Mixes `v` into the running hash `seed` (boost::hash_combine recipe with a
+/// 64-bit constant). Deterministic across platforms and runs; geographic
+/// hashing (routing/geo_hash.h) depends on that stability.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// FNV-1a over bytes; deterministic (unlike std::hash<std::string> which may
+/// be salted on some standard libraries).
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// SplitMix64 finalizer: turns a 64-bit value into a well-distributed hash.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_HASH_H_

@@ -1,0 +1,61 @@
+#ifndef DEDUCE_COMMON_LOGGING_H_
+#define DEDUCE_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deduce {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Default: kWarning
+/// so tests/benches stay quiet; examples raise it to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts. Used by DEDUCE_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DEDUCE_LOG(level)                                               \
+  if (::deduce::LogLevel::level >= ::deduce::GetLogLevel())             \
+  ::deduce::internal::LogMessage(::deduce::LogLevel::level, __FILE__,   \
+                                 __LINE__)                              \
+      .stream()
+
+/// Unconditional invariant check; aborts with a message on failure. Used for
+/// library-internal invariants that must hold in release builds too (the
+/// simulator's correctness arguments rely on them).
+#define DEDUCE_CHECK(cond)                                          \
+  if (!(cond))                                                      \
+  ::deduce::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_LOGGING_H_

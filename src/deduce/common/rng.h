@@ -1,0 +1,63 @@
+#ifndef DEDUCE_COMMON_RNG_H_
+#define DEDUCE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace deduce {
+
+/// Deterministic random number generator used everywhere randomness is
+/// needed (simulator delays, losses, workload generators, property tests).
+///
+/// All experiments are reproducible from a single seed: the simulator,
+/// topology builders and workload generators each derive child RNGs via
+/// Fork() so that adding randomness in one component does not perturb the
+/// stream seen by another.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed double with the given mean.
+  double Exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Raw 64 random bits.
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Derives an independent child generator; deterministic given this
+  /// generator's current state.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// The underlying engine, for use with <random> distributions/shuffles.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_RNG_H_

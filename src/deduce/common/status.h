@@ -1,0 +1,93 @@
+#ifndef DEDUCE_COMMON_STATUS_H_
+#define DEDUCE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace deduce {
+
+/// Error categories used across the library. Modeled on the RocksDB/Arrow
+/// convention: no exceptions cross API boundaries; fallible operations return
+/// a Status (or StatusOr<T>, see statusor.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (e.g. parse error, bad option).
+  kNotFound,          ///< Entity (predicate, node, tuple) does not exist.
+  kAlreadyExists,     ///< Duplicate registration.
+  kFailedPrecondition,///< Operation invalid in the current state.
+  kUnimplemented,     ///< Feature outside the supported program classes.
+  kOutOfRange,        ///< Index/coordinate outside its domain.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+///
+/// An OK status carries no message and allocates nothing. Errors carry a
+/// code and a message. Statuses must be checked by the caller; the library
+/// never throws.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates an error Status from a subexpression; requires the enclosing
+/// function to return Status.
+#define DEDUCE_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::deduce::Status _status = (expr);                 \
+    if (!_status.ok()) return _status;                 \
+  } while (0)
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_STATUS_H_

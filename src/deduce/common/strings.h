@@ -1,0 +1,34 @@
+#ifndef DEDUCE_COMMON_STRINGS_H_
+#define DEDUCE_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deduce {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// True if `s` starts with / ends with `prefix`/`suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_STRINGS_H_

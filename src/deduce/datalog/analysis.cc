@@ -1,0 +1,527 @@
+#include "deduce/datalog/analysis.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+StageExpr CanonStageExpr(const Term& t) {
+  StageExpr out;
+  if (t.is_constant() && t.value().is_int()) {
+    out.valid = true;
+    out.is_const = true;
+    out.konst = t.value().as_int();
+    return out;
+  }
+  if (t.is_variable()) {
+    out.valid = true;
+    out.var = t.var();
+    out.offset = 0;
+    return out;
+  }
+  if (t.is_function() && t.args().size() == 2) {
+    const std::string& f = SymbolName(t.functor());
+    const Term& a = t.args()[0];
+    const Term& b = t.args()[1];
+    auto is_int = [](const Term& x) {
+      return x.is_constant() && x.value().is_int();
+    };
+    if (f == "+") {
+      if (a.is_variable() && is_int(b)) {
+        out.valid = true;
+        out.var = a.var();
+        out.offset = b.value().as_int();
+        return out;
+      }
+      if (is_int(a) && b.is_variable()) {
+        out.valid = true;
+        out.var = b.var();
+        out.offset = a.value().as_int();
+        return out;
+      }
+    } else if (f == "-") {
+      if (a.is_variable() && is_int(b)) {
+        out.valid = true;
+        out.var = a.var();
+        out.offset = -b.value().as_int();
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+Status ResolveBuiltins(Program* program, const BuiltinRegistry& registry) {
+  // Predicates that are rule heads or declared are relational.
+  std::unordered_set<SymbolId> relational;
+  for (const Rule& r : program->rules()) relational.insert(r.head.predicate);
+  for (const Fact& f : program->facts()) relational.insert(f.predicate());
+  for (const auto& [name, decl] : program->decls()) relational.insert(name);
+
+  for (Rule& rule : program->mutable_rules()) {
+    for (Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kPositive &&
+          lit.kind != Literal::Kind::kNegated) {
+        continue;
+      }
+      if (relational.count(lit.atom.predicate)) continue;
+      if (registry.HasPredicate(lit.atom.predicate, lit.atom.arity())) {
+        lit.builtin_negated = (lit.kind == Literal::Kind::kNegated);
+        lit.kind = Literal::Kind::kBuiltin;
+      }
+    }
+  }
+  // Re-check safety: builtins do not bind variables, so a rule that was safe
+  // when the literal was (mis)classified as relational may now be unsafe.
+  for (const Rule& rule : program->rules()) {
+    DEDUCE_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+struct Edge {
+  SymbolId from;  // head
+  SymbolId to;    // body predicate
+  bool negated;
+};
+
+/// Tarjan SCC over predicate ids. Emits SCCs dependencies-first (an SCC is
+/// emitted only after every distinct SCC it can reach).
+class SccFinder {
+ public:
+  SccFinder(const std::vector<SymbolId>& nodes,
+            const std::unordered_map<SymbolId, std::vector<SymbolId>>& adj)
+      : nodes_(nodes), adj_(adj) {}
+
+  std::vector<std::vector<SymbolId>> Run() {
+    for (SymbolId n : nodes_) {
+      if (!index_.count(n)) Visit(n);
+    }
+    return components_;
+  }
+
+ private:
+  void Visit(SymbolId v) {
+    index_[v] = lowlink_[v] = counter_++;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+    auto it = adj_.find(v);
+    if (it != adj_.end()) {
+      for (SymbolId w : it->second) {
+        if (!index_.count(w)) {
+          Visit(w);
+          lowlink_[v] = std::min(lowlink_[v], lowlink_[w]);
+        } else if (on_stack_.count(w)) {
+          lowlink_[v] = std::min(lowlink_[v], index_[w]);
+        }
+      }
+    }
+    if (lowlink_[v] == index_[v]) {
+      std::vector<SymbolId> comp;
+      while (true) {
+        SymbolId w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        comp.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(comp.begin(), comp.end(), [](SymbolId a, SymbolId b) {
+        return SymbolName(a) < SymbolName(b);
+      });
+      components_.push_back(std::move(comp));
+    }
+  }
+
+  const std::vector<SymbolId>& nodes_;
+  const std::unordered_map<SymbolId, std::vector<SymbolId>>& adj_;
+  int counter_ = 0;
+  std::unordered_map<SymbolId, int> index_;
+  std::unordered_map<SymbolId, int> lowlink_;
+  std::vector<SymbolId> stack_;
+  std::unordered_set<SymbolId> on_stack_;
+  std::vector<std::vector<SymbolId>> components_;
+};
+
+/// Upper bound U such that (v_b - v_h) <= U can be proven from the rule's
+/// comparisons; nullopt if none.
+std::optional<int64_t> BoundVarDiff(
+    SymbolId v_b, SymbolId v_h,
+    const std::vector<std::tuple<StageExpr, StageExpr, CmpOp>>& cmps) {
+  std::optional<int64_t> best;
+  auto consider = [&best](int64_t u) {
+    if (!best.has_value() || u < *best) best = u;
+  };
+  for (const auto& [lhs, rhs, op] : cmps) {
+    if (lhs.is_const || rhs.is_const) continue;
+    // Normalize to x + a OP y + b.
+    SymbolId x = lhs.var;
+    int64_t a = lhs.offset;
+    SymbolId y = rhs.var;
+    int64_t b = rhs.offset;
+    // Derive constraints of the form v_b - v_h <= U.
+    auto apply = [&](SymbolId p, int64_t pa, SymbolId q, int64_t qb,
+                     bool strict) {
+      // p + pa <= q + qb (- 1 if strict)  =>  p - q <= qb - pa (- 1).
+      if (p == v_b && q == v_h) consider(qb - pa - (strict ? 1 : 0));
+    };
+    switch (op) {
+      case CmpOp::kLt:
+        apply(x, a, y, b, true);
+        break;
+      case CmpOp::kLe:
+        apply(x, a, y, b, false);
+        break;
+      case CmpOp::kGt:
+        apply(y, b, x, a, true);
+        break;
+      case CmpOp::kGe:
+        apply(y, b, x, a, false);
+        break;
+      case CmpOp::kEq:
+        apply(x, a, y, b, false);
+        apply(y, b, x, a, false);
+        break;
+      case CmpOp::kNe:
+        break;
+    }
+  }
+  return best;
+}
+
+/// Minimum provable value of stage(head) - stage(body); nullopt = unbounded
+/// below.
+std::optional<int64_t> MinDelta(
+    const StageExpr& e_h, const StageExpr& e_b,
+    const std::vector<std::tuple<StageExpr, StageExpr, CmpOp>>& cmps) {
+  if (e_h.is_const && e_b.is_const) return e_h.konst - e_b.konst;
+  if (!e_h.is_const && !e_b.is_const) {
+    if (e_h.var == e_b.var) return e_h.offset - e_b.offset;
+    std::optional<int64_t> u = BoundVarDiff(e_b.var, e_h.var, cmps);
+    if (!u.has_value()) return std::nullopt;
+    return e_h.offset - e_b.offset - *u;
+  }
+  return std::nullopt;  // mixed const/var: cannot bound in general
+}
+
+}  // namespace
+
+int ProgramAnalysis::RuleScc(const Rule& rule) const {
+  auto it = scc_of.find(rule.head.predicate);
+  return it == scc_of.end() ? -1 : it->second;
+}
+
+bool ProgramAnalysis::IsRecursivePred(SymbolId pred) const {
+  auto it = scc_of.find(pred);
+  if (it == scc_of.end()) return false;
+  return sccs[static_cast<size_t>(it->second)].recursive;
+}
+
+std::string ProgramAnalysis::ToString() const {
+  std::string out;
+  out += StrFormat("predicates=%zu idb=%zu edb=%zu sccs=%zu\n",
+                   predicates.size(), idb.size(), edb.size(), sccs.size());
+  out += StrFormat(
+      "has_negation=%d is_recursive=%d is_stratified=%d is_xy_stratified=%d\n",
+      has_negation, is_recursive, is_stratified, is_xy_stratified);
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    const SccInfo& s = sccs[i];
+    out += StrFormat("scc %zu:", i);
+    for (SymbolId m : s.members) out += " " + SymbolName(m);
+    if (s.recursive) out += " [recursive]";
+    if (s.has_internal_negation) out += " [neg]";
+    if (s.xy_stratified) out += " [xy]";
+    if (!s.xy_diagnostic.empty()) out += " (" + s.xy_diagnostic + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Tries to establish XY-stratification for one SCC; fills stage args and
+/// local strata on success.
+void CheckXYStratified(const Program& program, const std::vector<int>& scc_of_rule,
+                       int scc_index, SccInfo* scc) {
+  // Candidate stage positions per member.
+  std::vector<SymbolId> members = scc->members;
+  std::vector<std::vector<size_t>> candidates(members.size());
+  std::unordered_map<SymbolId, size_t> arity;
+  for (const Rule& r : program.rules()) {
+    arity[r.head.predicate] = r.head.arity();
+    for (const Literal& l : r.body) {
+      if (l.is_relational()) arity[l.atom.predicate] = l.atom.arity();
+    }
+  }
+  size_t combos = 1;
+  for (size_t i = 0; i < members.size(); ++i) {
+    const PredicateDecl* decl = program.FindDecl(members[i]);
+    if (decl != nullptr && decl->stage_arg.has_value()) {
+      candidates[i] = {*decl->stage_arg};
+    } else {
+      size_t n = arity.count(members[i]) ? arity[members[i]] : 0;
+      for (size_t p = 0; p < n; ++p) candidates[i].push_back(p);
+    }
+    if (candidates[i].empty()) {
+      scc->xy_diagnostic = "predicate " + SymbolName(members[i]) +
+                           " has no candidate stage argument";
+      return;
+    }
+    combos *= candidates[i].size();
+    if (combos > 4096) {
+      scc->xy_diagnostic =
+          "too many stage-argument combinations; add .decl ... stage N";
+      return;
+    }
+  }
+
+  std::unordered_map<SymbolId, size_t> member_index;
+  for (size_t i = 0; i < members.size(); ++i) member_index[members[i]] = i;
+
+  // Enumerate assignments (odometer).
+  std::vector<size_t> pick(members.size(), 0);
+  std::string last_failure;
+  while (true) {
+    std::unordered_map<SymbolId, size_t> assign;
+    for (size_t i = 0; i < members.size(); ++i) {
+      assign[members[i]] = candidates[i][pick[i]];
+    }
+
+    bool ok = true;
+    std::string failure;
+    // Same-stage dependency edges (to_pred depends on from_pred at the same
+    // stage): pair<from, to> with negation flag.
+    std::vector<std::tuple<SymbolId, SymbolId, bool>> same_stage;
+    int64_t max_delta = 0;
+
+    for (size_t ri = 0; ri < program.rules().size() && ok; ++ri) {
+      const Rule& rule = program.rules()[ri];
+      if (scc_of_rule[ri] != scc_index) continue;
+      SymbolId head_pred = rule.head.predicate;
+      StageExpr e_h = CanonStageExpr(rule.head.args[assign[head_pred]]);
+      if (!e_h.valid) {
+        ok = false;
+        failure = "head stage of rule " + rule.ToString() +
+                  " is not var+const/int";
+        break;
+      }
+      // Canonicalized comparisons available in the rule.
+      std::vector<std::tuple<StageExpr, StageExpr, CmpOp>> cmps;
+      for (const Literal& l : rule.body) {
+        if (l.kind != Literal::Kind::kComparison) continue;
+        StageExpr a = CanonStageExpr(l.lhs);
+        StageExpr b = CanonStageExpr(l.rhs);
+        if (a.valid && b.valid) cmps.emplace_back(a, b, l.cmp);
+      }
+      for (const Literal& l : rule.body) {
+        if (!l.is_relational()) continue;
+        if (!member_index.count(l.atom.predicate)) continue;
+        StageExpr e_b = CanonStageExpr(l.atom.args[assign[l.atom.predicate]]);
+        if (!e_b.valid) {
+          ok = false;
+          failure = "body stage of " + l.ToString() + " is not canonical";
+          break;
+        }
+        std::optional<int64_t> dmin = MinDelta(e_h, e_b, cmps);
+        if (!dmin.has_value()) {
+          ok = false;
+          failure = "cannot bound stage delta for " + l.ToString() +
+                    " in rule " + rule.ToString();
+          break;
+        }
+        if (*dmin < 0) {
+          ok = false;
+          failure = "stage may decrease from " + l.ToString() + " to head in " +
+                    rule.ToString();
+          break;
+        }
+        max_delta = std::max(max_delta, *dmin);
+        if (*dmin == 0) {
+          same_stage.emplace_back(l.atom.predicate, head_pred,
+                                  l.kind == Literal::Kind::kNegated);
+        }
+      }
+    }
+
+    if (ok) {
+      // Local strata: SCCs of the same-stage graph must not contain a
+      // negative edge.
+      std::unordered_map<SymbolId, std::vector<SymbolId>> adj;
+      for (const auto& [from, to, neg] : same_stage) {
+        adj[to].push_back(from);  // "to" depends on "from"
+      }
+      SccFinder finder(members, adj);
+      std::vector<std::vector<SymbolId>> locals = finder.Run();
+      std::unordered_map<SymbolId, int> local_of;
+      for (size_t i = 0; i < locals.size(); ++i) {
+        for (SymbolId m : locals[i]) local_of[m] = static_cast<int>(i);
+      }
+      bool neg_cycle = false;
+      for (const auto& [from, to, neg] : same_stage) {
+        if (neg && local_of[from] == local_of[to]) {
+          neg_cycle = true;
+          failure = "same-stage negative cycle through " + SymbolName(from) +
+                    " and " + SymbolName(to);
+          break;
+        }
+      }
+      if (!neg_cycle) {
+        scc->xy_stratified = true;
+        scc->stage_arg = assign;
+        scc->local_stratum = local_of;
+        scc->max_stage_delta = max_delta;
+        scc->xy_diagnostic.clear();
+        return;
+      }
+    }
+    last_failure = failure;
+
+    // Next assignment.
+    size_t i = 0;
+    while (i < pick.size()) {
+      if (++pick[i] < candidates[i].size()) break;
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == pick.size()) break;
+  }
+  scc->xy_diagnostic = last_failure.empty()
+                           ? "no stage assignment found"
+                           : last_failure;
+}
+
+}  // namespace
+
+StatusOr<ProgramAnalysis> AnalyzeProgram(const Program& program) {
+  ProgramAnalysis out;
+
+  // Collect predicates in deterministic order and check arity consistency.
+  std::unordered_map<SymbolId, size_t> arity;
+  auto note = [&](SymbolId pred, size_t a) -> Status {
+    auto [it, inserted] = arity.emplace(pred, a);
+    if (!inserted && it->second != a) {
+      return Status::InvalidArgument(
+          StrFormat("predicate %s used with arities %zu and %zu",
+                    SymbolName(pred).c_str(), it->second, a));
+    }
+    if (inserted) out.predicates.push_back(pred);
+    return Status::OK();
+  };
+  for (const Rule& r : program.rules()) {
+    DEDUCE_RETURN_IF_ERROR(note(r.head.predicate, r.head.arity()));
+    out.idb.insert(r.head.predicate);
+    for (const Literal& l : r.body) {
+      if (l.is_relational()) {
+        DEDUCE_RETURN_IF_ERROR(note(l.atom.predicate, l.atom.arity()));
+        if (l.kind == Literal::Kind::kNegated) out.has_negation = true;
+      }
+    }
+  }
+  for (const Fact& f : program.facts()) {
+    DEDUCE_RETURN_IF_ERROR(note(f.predicate(), f.arity()));
+  }
+  {
+    // Declarations, sorted by name for determinism.
+    std::vector<const PredicateDecl*> decls;
+    for (const auto& [name, d] : program.decls()) decls.push_back(&d);
+    std::sort(decls.begin(), decls.end(),
+              [](const PredicateDecl* a, const PredicateDecl* b) {
+                return SymbolName(a->name) < SymbolName(b->name);
+              });
+    for (const PredicateDecl* d : decls) {
+      DEDUCE_RETURN_IF_ERROR(note(d->name, d->arity));
+      if (d->extensional && out.idb.count(d->name)) {
+        return Status::InvalidArgument(
+            "predicate " + SymbolName(d->name) +
+            " is declared input but derived by rules");
+      }
+    }
+  }
+  for (SymbolId p : out.predicates) {
+    if (!out.idb.count(p)) out.edb.insert(p);
+  }
+
+  // Dependency graph: head -> body predicate.
+  std::unordered_map<SymbolId, std::vector<SymbolId>> adj;
+  std::vector<Edge> edges;
+  for (const Rule& r : program.rules()) {
+    for (const Literal& l : r.body) {
+      if (!l.is_relational()) continue;
+      adj[r.head.predicate].push_back(l.atom.predicate);
+      edges.push_back(
+          {r.head.predicate, l.atom.predicate,
+           l.kind == Literal::Kind::kNegated});
+    }
+  }
+
+  SccFinder finder(out.predicates, adj);
+  std::vector<std::vector<SymbolId>> comps = finder.Run();
+  for (size_t i = 0; i < comps.size(); ++i) {
+    SccInfo info;
+    info.members = comps[i];
+    for (SymbolId m : info.members) out.scc_of[m] = static_cast<int>(i);
+    out.sccs.push_back(std::move(info));
+  }
+  // Recursive flags and internal negation.
+  for (const Edge& e : edges) {
+    if (out.scc_of[e.from] == out.scc_of[e.to]) {
+      SccInfo& s = out.sccs[static_cast<size_t>(out.scc_of[e.from])];
+      s.recursive = true;
+      if (e.negated) s.has_internal_negation = true;
+    }
+  }
+  for (SccInfo& s : out.sccs) {
+    if (s.members.size() > 1) s.recursive = true;
+    if (s.recursive) out.is_recursive = true;
+  }
+  out.is_stratified = true;
+  for (const SccInfo& s : out.sccs) {
+    if (s.has_internal_negation) out.is_stratified = false;
+  }
+
+  // Classic strata (stratified programs only).
+  if (out.is_stratified) {
+    for (SymbolId p : out.predicates) out.stratum_of[p] = 0;
+    // SCCs are in topological (dependencies-first) order; propagate.
+    for (const SccInfo& s : out.sccs) {
+      int stratum = 0;
+      for (const Rule& r : program.rules()) {
+        if (out.scc_of[r.head.predicate] != out.scc_of[s.members[0]]) continue;
+        for (const Literal& l : r.body) {
+          if (!l.is_relational()) continue;
+          int dep = out.stratum_of[l.atom.predicate];
+          if (l.kind == Literal::Kind::kNegated) dep += 1;
+          stratum = std::max(stratum, dep);
+        }
+      }
+      for (SymbolId m : s.members) out.stratum_of[m] = stratum;
+    }
+  } else {
+    for (SymbolId p : out.predicates) out.stratum_of[p] = -1;
+  }
+
+  // XY-stratification for SCCs with internal negation (and for recursive
+  // SCCs in general, so the staged evaluator can be used when available).
+  std::vector<int> scc_of_rule;
+  scc_of_rule.reserve(program.rules().size());
+  for (const Rule& r : program.rules()) {
+    scc_of_rule.push_back(out.scc_of[r.head.predicate]);
+  }
+  out.is_xy_stratified = true;
+  for (size_t i = 0; i < out.sccs.size(); ++i) {
+    SccInfo& s = out.sccs[i];
+    if (!s.recursive) continue;
+    CheckXYStratified(program, scc_of_rule, static_cast<int>(i), &s);
+    if (s.has_internal_negation && !s.xy_stratified) {
+      out.is_xy_stratified = false;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,100 @@
+#ifndef DEDUCE_DATALOG_ANALYSIS_H_
+#define DEDUCE_DATALOG_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/builtins.h"
+#include "deduce/datalog/program.h"
+
+namespace deduce {
+
+/// Canonical form of a "stage" expression used by the XY-stratification
+/// check (§IV-C): an integer constant, or var + offset.
+struct StageExpr {
+  bool valid = false;
+  bool is_const = false;
+  int64_t konst = 0;     // when is_const
+  SymbolId var = 0;      // when !is_const
+  int64_t offset = 0;    // when !is_const: var + offset
+};
+
+/// Parses `t` as a stage expression: integer constant, variable, var + c,
+/// var - c, or c + var. Anything else yields .valid == false.
+StageExpr CanonStageExpr(const Term& t);
+
+/// Analysis results for one strongly connected component of the predicate
+/// dependency graph.
+struct SccInfo {
+  std::vector<SymbolId> members;  ///< Deterministic order.
+  bool recursive = false;         ///< Multi-member or self-loop.
+  bool has_internal_negation = false;
+  /// Valid XY-stratification found (only meaningful when
+  /// has_internal_negation or when staged evaluation is requested).
+  bool xy_stratified = false;
+  /// Stage argument index per member (when xy_stratified).
+  std::unordered_map<SymbolId, size_t> stage_arg;
+  /// Same-stage evaluation order per member (when xy_stratified):
+  /// lower strata evaluate first within each stage.
+  std::unordered_map<SymbolId, int> local_stratum;
+  /// Max head-stage offset over the SCC's recursive rules.
+  int64_t max_stage_delta = 0;
+  /// Why the XY check failed (when it did).
+  std::string xy_diagnostic;
+};
+
+/// Whole-program analysis: dependency structure, recursion, negation,
+/// stratification and XY-stratification. Mirrors the program-class taxonomy
+/// of §III/§IV.
+struct ProgramAnalysis {
+  /// All relational predicates (EDB + IDB), deterministic order.
+  std::vector<SymbolId> predicates;
+  std::unordered_set<SymbolId> idb;  ///< Heads of rules.
+  std::unordered_set<SymbolId> edb;  ///< Everything else relational.
+
+  /// SCCs of the predicate dependency graph in topological order
+  /// (dependencies first). Evaluating SCCs in this order makes every
+  /// negated subgoal refer to a completed relation, except for negation
+  /// internal to an SCC (which requires XY-stratification).
+  std::vector<SccInfo> sccs;
+  std::unordered_map<SymbolId, int> scc_of;
+
+  /// Classic negation-stratum per predicate: max over paths of the number
+  /// of negative edges. Defined for stratified programs; -1 otherwise.
+  std::unordered_map<SymbolId, int> stratum_of;
+
+  bool has_negation = false;
+  bool is_recursive = false;
+  /// No negative edge inside any SCC (classic stratified negation).
+  bool is_stratified = false;
+  /// Every SCC with internal negation passed the XY-stratification check.
+  bool is_xy_stratified = false;
+
+  /// Index of the SCC a rule belongs to (by head predicate).
+  int RuleScc(const Rule& rule) const;
+
+  bool IsEdb(SymbolId pred) const { return edb.count(pred) > 0; }
+  bool IsRecursivePred(SymbolId pred) const;
+
+  std::string ToString() const;
+};
+
+/// Rewrites body literals whose predicate is (a) never a rule head, (b) not
+/// declared, and (c) registered in `registry`, into built-in literals
+/// (kBuiltin). Negated occurrences set builtin_negated. Must run before
+/// AnalyzeProgram.
+Status ResolveBuiltins(Program* program, const BuiltinRegistry& registry);
+
+/// Analyzes `program` (after ResolveBuiltins). Fails on structural errors
+/// (e.g. a predicate that is both declared input and derived by rules, or
+/// arity mismatches). Stratification failures are reported in flags, not as
+/// errors: callers decide which classes they support.
+StatusOr<ProgramAnalysis> AnalyzeProgram(const Program& program);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_ANALYSIS_H_

@@ -1,0 +1,269 @@
+#include "deduce/datalog/builtins.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+namespace {
+
+Status TypeError(const char* what, const std::vector<Term>& args) {
+  std::string s = what;
+  s += " applied to (";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += args[i].ToString();
+  }
+  s += ")";
+  return Status::InvalidArgument(s);
+}
+
+StatusOr<Term> NumericBinary(const char* name, const std::vector<Term>& args,
+                             int64_t (*fi)(int64_t, int64_t),
+                             double (*fd)(double, double)) {
+  const Term& a = args[0];
+  const Term& b = args[1];
+  if (!a.is_constant() || !b.is_constant() || !a.value().is_number() ||
+      !b.value().is_number()) {
+    return TypeError(name, args);
+  }
+  if (a.value().is_int() && b.value().is_int()) {
+    return Term::Int(fi(a.value().as_int(), b.value().as_int()));
+  }
+  return Term::Real(fd(a.value().AsNumber(), b.value().AsNumber()));
+}
+
+StatusOr<double> GetNumber(const char* name, const Term& t,
+                           const std::vector<Term>& args) {
+  if (!t.is_constant() || !t.value().is_number()) {
+    return StatusOr<double>(TypeError(name, args));
+  }
+  return t.value().AsNumber();
+}
+
+// Extracts an (x, y) pair from either loc(X, Y) or a 2-element list.
+StatusOr<std::pair<double, double>> GetPoint(const Term& t) {
+  static const SymbolId kLoc = Intern("loc");
+  std::vector<Term> coords;
+  if (t.is_function() && t.functor() == kLoc && t.args().size() == 2) {
+    coords = t.args();
+  } else if (auto list = t.AsListElements();
+             list.has_value() && list->size() == 2) {
+    coords = *list;
+  } else {
+    return StatusOr<std::pair<double, double>>(Status::InvalidArgument(
+        "dist expects loc(X, Y) or [X, Y] points, got " + t.ToString()));
+  }
+  for (const Term& c : coords) {
+    if (!c.is_constant() || !c.value().is_number()) {
+      return StatusOr<std::pair<double, double>>(Status::InvalidArgument(
+          "non-numeric point coordinate in " + t.ToString()));
+    }
+  }
+  return std::make_pair(coords[0].value().AsNumber(),
+                        coords[1].value().AsNumber());
+}
+
+}  // namespace
+
+void BuiltinRegistry::RegisterPredicate(std::string_view name, size_t arity,
+                                        BuiltinPredicateFn fn) {
+  predicates_[Key{Intern(name), arity}] = std::move(fn);
+}
+
+void BuiltinRegistry::RegisterFunction(std::string_view name, size_t arity,
+                                       BuiltinFunctionFn fn) {
+  functions_[Key{Intern(name), arity}] = std::move(fn);
+}
+
+const BuiltinPredicateFn* BuiltinRegistry::FindPredicate(SymbolId name,
+                                                         size_t arity) const {
+  auto it = predicates_.find(Key{name, arity});
+  return it == predicates_.end() ? nullptr : &it->second;
+}
+
+const BuiltinFunctionFn* BuiltinRegistry::FindFunction(SymbolId name,
+                                                       size_t arity) const {
+  auto it = functions_.find(Key{name, arity});
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+BuiltinRegistry BuiltinRegistry::Default() {
+  BuiltinRegistry r;
+
+  r.RegisterFunction("+", 2, [](const std::vector<Term>& a) {
+    return NumericBinary(
+        "+", a, [](int64_t x, int64_t y) { return x + y; },
+        [](double x, double y) { return x + y; });
+  });
+  r.RegisterFunction("-", 2, [](const std::vector<Term>& a) {
+    return NumericBinary(
+        "-", a, [](int64_t x, int64_t y) { return x - y; },
+        [](double x, double y) { return x - y; });
+  });
+  r.RegisterFunction("*", 2, [](const std::vector<Term>& a) {
+    return NumericBinary(
+        "*", a, [](int64_t x, int64_t y) { return x * y; },
+        [](double x, double y) { return x * y; });
+  });
+  r.RegisterFunction("/", 2, [](const std::vector<Term>& a) -> StatusOr<Term> {
+    DEDUCE_ASSIGN_OR_RETURN(double x, GetNumber("/", a[0], a));
+    DEDUCE_ASSIGN_OR_RETURN(double y, GetNumber("/", a[1], a));
+    if (y == 0.0) return Status::InvalidArgument("division by zero");
+    if (a[0].value().is_int() && a[1].value().is_int()) {
+      return Term::Int(a[0].value().as_int() / a[1].value().as_int());
+    }
+    return Term::Real(x / y);
+  });
+  r.RegisterFunction("mod", 2, [](const std::vector<Term>& a)
+                                   -> StatusOr<Term> {
+    if (!a[0].is_constant() || !a[1].is_constant() ||
+        !a[0].value().is_int() || !a[1].value().is_int()) {
+      return TypeError("mod", a);
+    }
+    int64_t y = a[1].value().as_int();
+    if (y == 0) return Status::InvalidArgument("mod by zero");
+    return Term::Int(a[0].value().as_int() % y);
+  });
+  r.RegisterFunction("abs", 1, [](const std::vector<Term>& a)
+                                   -> StatusOr<Term> {
+    DEDUCE_ASSIGN_OR_RETURN(double x, GetNumber("abs", a[0], a));
+    if (a[0].value().is_int()) return Term::Int(std::abs(a[0].value().as_int()));
+    return Term::Real(std::fabs(x));
+  });
+  r.RegisterFunction("min", 2, [](const std::vector<Term>& a) {
+    return NumericBinary(
+        "min", a, [](int64_t x, int64_t y) { return std::min(x, y); },
+        [](double x, double y) { return std::min(x, y); });
+  });
+  r.RegisterFunction("max", 2, [](const std::vector<Term>& a) {
+    return NumericBinary(
+        "max", a, [](int64_t x, int64_t y) { return std::max(x, y); },
+        [](double x, double y) { return std::max(x, y); });
+  });
+
+  auto dist2 = [](const std::vector<Term>& a) -> StatusOr<Term> {
+    DEDUCE_ASSIGN_OR_RETURN(auto p, GetPoint(a[0]));
+    DEDUCE_ASSIGN_OR_RETURN(auto q, GetPoint(a[1]));
+    double dx = p.first - q.first;
+    double dy = p.second - q.second;
+    return Term::Real(std::sqrt(dx * dx + dy * dy));
+  };
+  r.RegisterFunction("dist", 2, dist2);
+  r.RegisterFunction("dist", 4, [](const std::vector<Term>& a)
+                                    -> StatusOr<Term> {
+    double c[4];
+    for (int i = 0; i < 4; ++i) {
+      DEDUCE_ASSIGN_OR_RETURN(c[i], GetNumber("dist", a[i], a));
+    }
+    double dx = c[0] - c[2];
+    double dy = c[1] - c[3];
+    return Term::Real(std::sqrt(dx * dx + dy * dy));
+  });
+
+  // --- list functions ---
+  r.RegisterFunction("length", 1, [](const std::vector<Term>& a)
+                                      -> StatusOr<Term> {
+    auto list = a[0].AsListElements();
+    if (!list) return TypeError("length", a);
+    return Term::Int(static_cast<int64_t>(list->size()));
+  });
+  r.RegisterFunction("append", 2, [](const std::vector<Term>& a)
+                                      -> StatusOr<Term> {
+    auto l1 = a[0].AsListElements();
+    auto l2 = a[1].AsListElements();
+    if (!l1 || !l2) return TypeError("append", a);
+    std::vector<Term> all = *l1;
+    all.insert(all.end(), l2->begin(), l2->end());
+    return Term::MakeList(all);
+  });
+  r.RegisterFunction("head", 1, [](const std::vector<Term>& a)
+                                    -> StatusOr<Term> {
+    if (!a[0].is_cons()) return TypeError("head", a);
+    return a[0].args()[0];
+  });
+  r.RegisterFunction("tail", 1, [](const std::vector<Term>& a)
+                                    -> StatusOr<Term> {
+    if (!a[0].is_cons()) return TypeError("tail", a);
+    return a[0].args()[1];
+  });
+  r.RegisterFunction("last", 1, [](const std::vector<Term>& a)
+                                    -> StatusOr<Term> {
+    auto list = a[0].AsListElements();
+    if (!list || list->empty()) return TypeError("last", a);
+    return list->back();
+  });
+  r.RegisterFunction("reverse", 1, [](const std::vector<Term>& a)
+                                       -> StatusOr<Term> {
+    auto list = a[0].AsListElements();
+    if (!list) return TypeError("reverse", a);
+    std::reverse(list->begin(), list->end());
+    return Term::MakeList(*list);
+  });
+  r.RegisterFunction("nth", 2, [](const std::vector<Term>& a)
+                                   -> StatusOr<Term> {
+    auto list = a[0].AsListElements();
+    if (!list || !a[1].is_constant() || !a[1].value().is_int()) {
+      return TypeError("nth", a);
+    }
+    int64_t i = a[1].value().as_int();
+    if (i < 0 || static_cast<size_t>(i) >= list->size()) {
+      return Status::OutOfRange(StrFormat("nth index %lld out of range",
+                                          static_cast<long long>(i)));
+    }
+    return (*list)[static_cast<size_t>(i)];
+  });
+
+  // --- list predicates ---
+  r.RegisterPredicate("member", 2, [](const std::vector<Term>& a)
+                                       -> StatusOr<bool> {
+    auto list = a[1].AsListElements();
+    if (!list) return TypeError("member", a);
+    for (const Term& e : *list) {
+      if (e == a[0]) return true;
+    }
+    return false;
+  });
+  r.RegisterPredicate("prefix", 2, [](const std::vector<Term>& a)
+                                       -> StatusOr<bool> {
+    auto p = a[0].AsListElements();
+    auto l = a[1].AsListElements();
+    if (!p || !l) return TypeError("prefix", a);
+    if (p->size() > l->size()) return false;
+    for (size_t i = 0; i < p->size(); ++i) {
+      if (!((*p)[i] == (*l)[i])) return false;
+    }
+    return true;
+  });
+
+  return r;
+}
+
+StatusOr<Term> EvalTerm(const Term& term, const BuiltinRegistry& registry) {
+  switch (term.kind()) {
+    case Term::Kind::kConstant:
+    case Term::Kind::kVariable:
+      return term;
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(term.args().size());
+      bool all_ground = true;
+      for (const Term& a : term.args()) {
+        DEDUCE_ASSIGN_OR_RETURN(Term e, EvalTerm(a, registry));
+        all_ground = all_ground && e.is_ground();
+        args.push_back(std::move(e));
+      }
+      const BuiltinFunctionFn* fn =
+          registry.FindFunction(term.functor(), args.size());
+      if (fn != nullptr && all_ground) {
+        return (*fn)(args);
+      }
+      return Term::Function(term.functor(), std::move(args));
+    }
+  }
+  return term;
+}
+
+}  // namespace deduce

@@ -1,0 +1,84 @@
+#ifndef DEDUCE_DATALOG_BUILTINS_H_
+#define DEDUCE_DATALOG_BUILTINS_H_
+
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/term.h"
+
+namespace deduce {
+
+/// A built-in boolean predicate. Receives ground argument terms; returns
+/// whether the predicate holds. Used for locally-evaluated conditions such
+/// as close(R1, R2) or isParallel(L1, L2) from the paper's Example 2.
+using BuiltinPredicateFn =
+    std::function<StatusOr<bool>(const std::vector<Term>&)>;
+
+/// A built-in evaluable function. Receives ground argument terms; returns
+/// the resulting term (e.g. arithmetic, dist(...)).
+using BuiltinFunctionFn =
+    std::function<StatusOr<Term>(const std::vector<Term>&)>;
+
+/// Registry of built-in predicates and evaluable functions (§II-B:
+/// "Embedding Arithmetic Computations in Built-in Predicates").
+///
+/// Function symbols not present in the registry are *constructors*: they are
+/// never evaluated and act as uninterpreted terms (lists, records). A
+/// registered function name shadows the constructor interpretation at that
+/// arity.
+class BuiltinRegistry {
+ public:
+  BuiltinRegistry() = default;
+
+  /// A registry pre-populated with:
+  ///  - arithmetic functions: + - * / mod abs min max (numeric promotion);
+  ///  - dist(loc(X1,Y1), loc(X2,Y2)) and dist(X1,Y1,X2,Y2): Euclidean;
+  ///  - list functions: length, append, head, tail, last, reverse, nth;
+  ///  - list predicates: member(X, L), prefix(P, L).
+  static BuiltinRegistry Default();
+
+  /// Registers a boolean predicate; replaces any previous registration with
+  /// the same name/arity.
+  void RegisterPredicate(std::string_view name, size_t arity,
+                         BuiltinPredicateFn fn);
+  /// Registers an evaluable function.
+  void RegisterFunction(std::string_view name, size_t arity,
+                        BuiltinFunctionFn fn);
+
+  const BuiltinPredicateFn* FindPredicate(SymbolId name, size_t arity) const;
+  const BuiltinFunctionFn* FindFunction(SymbolId name, size_t arity) const;
+
+  bool HasPredicate(SymbolId name, size_t arity) const {
+    return FindPredicate(name, arity) != nullptr;
+  }
+
+ private:
+  struct Key {
+    SymbolId name;
+    size_t arity;
+    bool operator==(const Key& o) const {
+      return name == o.name && arity == o.arity;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.name) * 1315423911u + k.arity;
+    }
+  };
+
+  std::unordered_map<Key, BuiltinPredicateFn, KeyHash> predicates_;
+  std::unordered_map<Key, BuiltinFunctionFn, KeyHash> functions_;
+};
+
+/// Normalizes a ground term by evaluating every function application whose
+/// functor is registered as a function in `registry`, innermost-first.
+/// Unregistered functors are left as constructors. Returns an error if a
+/// registered function fails (e.g. type error, division by zero).
+StatusOr<Term> EvalTerm(const Term& term, const BuiltinRegistry& registry);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_BUILTINS_H_

@@ -1,0 +1,56 @@
+#include "deduce/datalog/fact.h"
+
+#include <ostream>
+
+#include "deduce/common/hash.h"
+#include "deduce/common/logging.h"
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+size_t TupleId::Hash() const {
+  size_t h = Mix64(static_cast<uint64_t>(source));
+  h = HashCombine(h, Mix64(static_cast<uint64_t>(timestamp)));
+  return HashCombine(h, Mix64(seq));
+}
+
+std::string TupleId::ToString() const {
+  return StrFormat("(%d@%lld#%u)", source, static_cast<long long>(timestamp),
+                   seq);
+}
+
+Fact::Fact(SymbolId predicate, std::vector<Term> args)
+    : predicate_(predicate), args_(std::move(args)) {
+  for (const Term& t : args_) {
+    DEDUCE_CHECK(t.is_ground()) << "Fact argument must be ground: "
+                                << t.ToString();
+  }
+  hash_ = HashCombine(Mix64(static_cast<uint64_t>(predicate_)),
+                      HashTerms(args_));
+}
+
+std::string Fact::ToString() const {
+  std::string out = SymbolName(predicate_);
+  out += "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string StreamEvent::ToString() const {
+  std::string out = op == StreamOp::kInsert ? "+" : "-";
+  out += fact.ToString();
+  out += " id=";
+  out += id.ToString();
+  out += StrFormat(" t=%lld", static_cast<long long>(time));
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Fact& f) {
+  return os << f.ToString();
+}
+
+}  // namespace deduce

@@ -1,0 +1,98 @@
+#ifndef DEDUCE_DATALOG_FACT_H_
+#define DEDUCE_DATALOG_FACT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deduce/datalog/term.h"
+
+namespace deduce {
+
+/// Logical time in microseconds. The simulator's SimTime and node-local
+/// clocks use the same unit.
+using Timestamp = int64_t;
+
+/// Identifier of a node in the network (also used for "source node" in
+/// tuple ids); -1 means "no node" (e.g. facts created centrally).
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// Uniquely identifies a tuple in the system (§IV, Definition 2): the source
+/// node where the tuple was generated (a derived tuple is generated at its
+/// hashed home node), the node-local generation timestamp, and a per-node
+/// sequence number to disambiguate same-instant generations.
+struct TupleId {
+  NodeId source = kNoNode;
+  Timestamp timestamp = 0;
+  uint32_t seq = 0;
+
+  bool operator==(const TupleId& o) const {
+    return source == o.source && timestamp == o.timestamp && seq == o.seq;
+  }
+  bool operator!=(const TupleId& o) const { return !(*this == o); }
+  bool operator<(const TupleId& o) const {
+    if (source != o.source) return source < o.source;
+    if (timestamp != o.timestamp) return timestamp < o.timestamp;
+    return seq < o.seq;
+  }
+  size_t Hash() const;
+  std::string ToString() const;
+};
+
+/// A ground atom: predicate applied to ground terms. Value type with a
+/// cached hash; equality is structural on (predicate, args).
+class Fact {
+ public:
+  Fact() : predicate_(0), hash_(0) {}
+  Fact(SymbolId predicate, std::vector<Term> args);
+
+  SymbolId predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+  size_t Hash() const { return hash_; }
+
+  bool operator==(const Fact& o) const {
+    if (hash_ != o.hash_ || predicate_ != o.predicate_ ||
+        args_.size() != o.args_.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < args_.size(); ++i) {
+      if (!(args_[i] == o.args_[i])) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+
+  /// "pred(a, b, c)".
+  std::string ToString() const;
+
+ private:
+  SymbolId predicate_;
+  std::vector<Term> args_;
+  size_t hash_;
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const { return f.Hash(); }
+};
+
+/// Stream update kinds (§IV-A): insertion of a new tuple or deletion of an
+/// existing one (deletions carry the id of the tuple being deleted).
+enum class StreamOp : uint8_t { kInsert = 0, kDelete = 1 };
+
+/// One update to a base or derived data stream.
+struct StreamEvent {
+  StreamOp op = StreamOp::kInsert;
+  Fact fact;
+  TupleId id;           ///< Id of the tuple inserted / being deleted.
+  Timestamp time = 0;   ///< Update timestamp (local time at the source).
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fact& f);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_FACT_H_

@@ -1,0 +1,43 @@
+#ifndef DEDUCE_DATALOG_PARSER_H_
+#define DEDUCE_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/program.h"
+
+namespace deduce {
+
+/// Parses a deductive program in the `.dlog` syntax:
+///
+/// \code
+///   % Declarations (all properties optional):
+///   .decl veh(type, x, y, t) input window 30 storage row join column.
+///   .decl h(src, dst, d) home dst stage d storage local.
+///
+///   % Facts:
+///   edge(1, 2).
+///
+///   % Rules — NOT for negation, infix comparisons, arithmetic in terms,
+///   % lists with [H | T] notation, function symbols, head aggregates:
+///   cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T),
+///                 dist(L1, L2) <= 5.
+///   uncov(L, T) :- veh("enemy", L, T), NOT cov(L, T).
+///   traj([R1, R2]) :- report(R1), report(R2), close(R1, R2).
+///   mind(Y, min(D)) :- h(X, Y, D).
+/// \endcode
+///
+/// Variables start with an uppercase letter or '_'; '_' alone is an
+/// anonymous variable (fresh per occurrence). Symbols are lowercase
+/// identifiers or quoted strings. Comments: %, //, /* */.
+StatusOr<Program> ParseProgram(std::string_view text);
+
+/// Parses a single term (for tests and tools).
+StatusOr<Term> ParseTerm(std::string_view text);
+
+/// Parses a single rule or fact (must end with '.').
+StatusOr<Rule> ParseRule(std::string_view text);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_PARSER_H_

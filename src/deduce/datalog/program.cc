@@ -1,0 +1,77 @@
+#include "deduce/datalog/program.h"
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+std::string PredicateDecl::ToString() const {
+  std::string out = ".decl " + SymbolName(name) + "/" +
+                    StrFormat("%zu", arity);
+  if (extensional) out += " input";
+  if (window) out += StrFormat(" window %lld", static_cast<long long>(*window));
+  if (home_arg) out += StrFormat(" home %zu", *home_arg);
+  if (stage_arg) out += StrFormat(" stage %zu", *stage_arg);
+  if (!storage_policy.empty()) out += " storage " + storage_policy;
+  if (!join_policy.empty()) out += " join " + join_policy;
+  out += ".";
+  return out;
+}
+
+Status Program::AddRule(Rule rule) {
+  DEDUCE_RETURN_IF_ERROR(ExtractAggregates(&rule));
+  if (rule.body.empty()) {
+    // Ground fact.
+    for (const Term& t : rule.head.args) {
+      if (!t.is_ground()) {
+        return Status::InvalidArgument("fact must be ground: " +
+                                       rule.head.ToString());
+      }
+    }
+    if (!rule.aggregates.empty()) {
+      return Status::InvalidArgument("fact cannot contain aggregates: " +
+                                     rule.head.ToString());
+    }
+    facts_.emplace_back(rule.head.predicate, rule.head.args);
+    return Status::OK();
+  }
+  DEDUCE_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  rule.id = static_cast<int>(rules_.size());
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status Program::AddDecl(PredicateDecl decl) {
+  auto it = decls_.find(decl.name);
+  if (it != decls_.end() && it->second.arity != decl.arity) {
+    return Status::InvalidArgument(
+        StrFormat("conflicting arity for %s: %zu vs %zu",
+                  SymbolName(decl.name).c_str(), it->second.arity,
+                  decl.arity));
+  }
+  decls_[decl.name] = std::move(decl);
+  return Status::OK();
+}
+
+const PredicateDecl* Program::FindDecl(SymbolId pred) const {
+  auto it = decls_.find(pred);
+  return it == decls_.end() ? nullptr : &it->second;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& [name, decl] : decls_) {
+    out += decl.ToString();
+    out += "\n";
+  }
+  for (const Fact& f : facts_) {
+    out += f.ToString();
+    out += ".\n";
+  }
+  for (const Rule& r : rules_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,256 @@
+#include "deduce/datalog/rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+std::string Atom::ToString() const {
+  std::string out = SymbolName(predicate);
+  if (args.empty()) return out;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(CmpOp op, const Term& lhs, const Term& rhs) {
+  int c;
+  if (lhs.is_constant() && rhs.is_constant()) {
+    c = lhs.value().Compare(rhs.value());
+    // Equality between an int and the numerically equal double holds under
+    // Compare but not under operator==; comparisons use numeric semantics.
+  } else {
+    c = lhs.Compare(rhs);
+  }
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+void Literal::CollectVariables(std::vector<SymbolId>* out) const {
+  if (kind == Kind::kComparison) {
+    lhs.CollectVariables(out);
+    rhs.CollectVariables(out);
+  } else {
+    atom.CollectVariables(out);
+  }
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kPositive:
+      return atom.ToString();
+    case Kind::kBuiltin:
+      return builtin_negated ? "NOT " + atom.ToString() : atom.ToString();
+    case Kind::kNegated:
+      return "NOT " + atom.ToString();
+    case Kind::kComparison:
+      return lhs.ToString() + " " + CmpOpToString(cmp) + " " + rhs.ToString();
+  }
+  return "?";
+}
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  // Re-wrap aggregate arguments for printing.
+  Atom printed = head;
+  for (const AggregateSpec& agg : aggregates) {
+    Term inner = agg.kind == AggKind::kCount && agg.input.is_constant()
+                     ? agg.input
+                     : agg.input;
+    printed.args[agg.head_position] =
+        Term::Function(AggKindToString(agg.kind), {inner});
+  }
+  out += printed.ToString();
+  if (body.empty()) {
+    out += ".";
+    return out;
+  }
+  out += " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::vector<SymbolId> Rule::Variables() const {
+  std::vector<SymbolId> all;
+  head.CollectVariables(&all);
+  for (const Literal& l : body) l.CollectVariables(&all);
+  std::vector<SymbolId> out;
+  std::unordered_set<SymbolId> seen;
+  for (SymbolId v : all) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+std::optional<AggKind> AggKindFromName(const std::string& name) {
+  if (name == "count") return AggKind::kCount;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  if (name == "avg") return AggKind::kAvg;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status ExtractAggregates(Rule* rule) {
+  rule->aggregates.clear();
+  for (size_t i = 0; i < rule->head.args.size(); ++i) {
+    const Term& arg = rule->head.args[i];
+    if (!arg.is_function()) continue;
+    std::optional<AggKind> kind = AggKindFromName(SymbolName(arg.functor()));
+    if (!kind.has_value()) continue;
+    if (arg.args().size() != 1) {
+      return Status::InvalidArgument(
+          StrFormat("aggregate %s in head of rule must take exactly one "
+                    "argument: %s",
+                    SymbolName(arg.functor()).c_str(),
+                    rule->head.ToString().c_str()));
+    }
+    AggregateSpec spec;
+    spec.kind = *kind;
+    spec.head_position = i;
+    spec.input = arg.args()[0];
+    // Replace the head argument by the input term so variable accounting
+    // (safety, planners) sees the aggregated variable.
+    rule->head.args[i] = spec.input;
+    rule->aggregates.push_back(spec);
+  }
+  if (rule->aggregates.size() > 1) {
+    return Status::Unimplemented(
+        "at most one aggregate per rule head is supported: " +
+        rule->ToString());
+  }
+  return Status::OK();
+}
+
+Status CheckRuleSafety(const Rule& rule) {
+  std::unordered_set<SymbolId> bound;
+  // Positive relational subgoals bind their variables.
+  for (const Literal& l : rule.body) {
+    if (l.kind == Literal::Kind::kPositive) {
+      std::vector<SymbolId> vars;
+      l.atom.CollectVariables(&vars);
+      bound.insert(vars.begin(), vars.end());
+    }
+  }
+  // '=' comparisons can bind one side from the other; iterate to fixpoint.
+  auto all_bound = [&bound](const Term& t) {
+    std::vector<SymbolId> vars;
+    t.CollectVariables(&vars);
+    return std::all_of(vars.begin(), vars.end(), [&bound](SymbolId v) {
+      return bound.count(v) > 0;
+    });
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : rule.body) {
+      if (l.kind != Literal::Kind::kComparison || l.cmp != CmpOp::kEq) {
+        continue;
+      }
+      // '=' binds every variable of one side once the other side is fully
+      // bound (pattern matching, e.g. P = [Y | _] destructures P).
+      auto bind_side = [&](const Term& pattern, const Term& source) {
+        if (!all_bound(source)) return;
+        std::vector<SymbolId> vars;
+        pattern.CollectVariables(&vars);
+        for (SymbolId v : vars) {
+          if (bound.insert(v).second) changed = true;
+        }
+      };
+      bind_side(l.lhs, l.rhs);
+      bind_side(l.rhs, l.lhs);
+    }
+  }
+  auto check_vars = [&bound](const std::vector<SymbolId>& vars,
+                             const std::string& where) -> Status {
+    for (SymbolId v : vars) {
+      if (!bound.count(v)) {
+        return Status::InvalidArgument("unsafe rule: variable " +
+                                       SymbolName(v) + " in " + where +
+                                       " is not bound by a positive subgoal");
+      }
+    }
+    return Status::OK();
+  };
+
+  {
+    std::vector<SymbolId> vars;
+    rule.head.CollectVariables(&vars);
+    DEDUCE_RETURN_IF_ERROR(check_vars(vars, "head " + rule.head.ToString()));
+  }
+  for (const Literal& l : rule.body) {
+    if (l.kind == Literal::Kind::kPositive) continue;
+    std::vector<SymbolId> vars;
+    l.CollectVariables(&vars);
+    // For '=' both sides may be binding; skip the variable being defined.
+    if (l.kind == Literal::Kind::kComparison && l.cmp == CmpOp::kEq) {
+      // Safety for '=' is implied by the fixpoint above: either it bound a
+      // variable or all variables were already bound; re-check.
+    }
+    DEDUCE_RETURN_IF_ERROR(check_vars(vars, l.ToString()));
+  }
+  return Status::OK();
+}
+
+}  // namespace deduce

@@ -1,0 +1,134 @@
+#ifndef DEDUCE_DATALOG_RULE_H_
+#define DEDUCE_DATALOG_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "deduce/common/status.h"
+#include "deduce/datalog/term.h"
+
+namespace deduce {
+
+/// A (possibly non-ground) atom: predicate applied to terms.
+struct Atom {
+  SymbolId predicate = 0;
+  std::vector<Term> args;
+
+  Atom() = default;
+  Atom(SymbolId predicate, std::vector<Term> args)
+      : predicate(predicate), args(std::move(args)) {}
+  Atom(std::string_view predicate, std::vector<Term> args)
+      : predicate(Intern(predicate)), args(std::move(args)) {}
+
+  size_t arity() const { return args.size(); }
+  void CollectVariables(std::vector<SymbolId>* out) const {
+    for (const Term& t : args) t.CollectVariables(out);
+  }
+  std::string ToString() const;
+  bool operator==(const Atom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+};
+
+/// Comparison operators usable between terms in rule bodies.
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+/// Evaluates `lhs op rhs` over the total term order (numeric for numbers).
+bool EvalCmp(CmpOp op, const Term& lhs, const Term& rhs);
+
+/// One body element of a rule.
+struct Literal {
+  enum class Kind : uint8_t {
+    kPositive,    ///< Relational subgoal p(t...).
+    kNegated,     ///< NOT p(t...).
+    kBuiltin,     ///< Built-in boolean predicate, evaluated locally.
+    kComparison,  ///< t1 op t2 (op may be '=' which can bind a variable).
+  };
+
+  Kind kind = Kind::kPositive;
+  Atom atom;      // kPositive / kNegated / kBuiltin
+  CmpOp cmp = CmpOp::kEq;  // kComparison
+  Term lhs, rhs;           // kComparison
+  /// For kBuiltin: the predicate appeared under NOT (evaluate and negate).
+  bool builtin_negated = false;
+
+  static Literal Positive(Atom a) {
+    Literal l;
+    l.kind = Kind::kPositive;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Negated(Atom a) {
+    Literal l;
+    l.kind = Kind::kNegated;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Builtin(Atom a) {
+    Literal l;
+    l.kind = Kind::kBuiltin;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Comparison(CmpOp op, Term lhs, Term rhs) {
+    Literal l;
+    l.kind = Kind::kComparison;
+    l.cmp = op;
+    l.lhs = std::move(lhs);
+    l.rhs = std::move(rhs);
+    return l;
+  }
+
+  bool is_relational() const {
+    return kind == Kind::kPositive || kind == Kind::kNegated;
+  }
+  void CollectVariables(std::vector<SymbolId>* out) const;
+  std::string ToString() const;
+};
+
+/// Aggregate functions allowed in rule heads, e.g.
+///   minhop(Y, min(D)) :- h(X, Y, D).
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggKindToString(AggKind kind);
+
+/// Describes one aggregate argument of a rule head. All other head
+/// arguments form the group-by key.
+struct AggregateSpec {
+  AggKind kind = AggKind::kCount;
+  size_t head_position = 0;  ///< Index of the aggregate argument in the head.
+  Term input;                ///< The aggregated expression (ignored by count).
+};
+
+/// A deductive rule `head :- body.` A rule with an empty body is a fact rule.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+  std::vector<AggregateSpec> aggregates;  ///< Filled by ExtractAggregates.
+  int id = -1;  ///< Index of the rule within its program.
+
+  std::string ToString() const;
+
+  /// Variables occurring anywhere in the rule, deduplicated, in first-
+  /// occurrence order.
+  std::vector<SymbolId> Variables() const;
+};
+
+/// Recognizes aggregate terms (min/max/sum/count/avg applied to one
+/// argument) in the head of `rule`, fills rule->aggregates, and replaces the
+/// aggregate position args with their input terms for variable accounting.
+/// Returns InvalidArgument for nested or malformed aggregates.
+Status ExtractAggregates(Rule* rule);
+
+/// Checks range restriction (§IV footnote 3, extended with '='-binding):
+/// every variable of the head, of negated subgoals, of built-ins and of
+/// comparisons must be bound by a positive relational subgoal or by an
+/// equality with an expression over bound variables. Returns
+/// InvalidArgument naming the offending variable otherwise.
+Status CheckRuleSafety(const Rule& rule);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_RULE_H_

@@ -1,0 +1,34 @@
+#include "deduce/datalog/symbol.h"
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.push_back(std::make_unique<std::string>(name));
+  index_.emplace(*names_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DEDUCE_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size())
+      << "invalid SymbolId " << id;
+  return *names_[static_cast<size_t>(id)];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace deduce

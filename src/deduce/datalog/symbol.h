@@ -1,0 +1,60 @@
+#ifndef DEDUCE_DATALOG_SYMBOL_H_
+#define DEDUCE_DATALOG_SYMBOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace deduce {
+
+/// Interned identifier for predicate names, function symbols, variable
+/// names and symbolic constants. Equal strings always intern to the same id,
+/// so symbol comparison is integer comparison.
+using SymbolId = int32_t;
+
+/// Process-wide string interner.
+///
+/// Thread-safe. Ids are assigned in interning order, which is deterministic
+/// for a deterministic program (the whole library is single-threaded in
+/// practice; the lock only guards against concurrent test runners).
+class SymbolTable {
+ public:
+  /// The single global table.
+  static SymbolTable& Global();
+
+  /// Returns the id of `name`, interning it if necessary.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the string for an id. The reference is stable for the process
+  /// lifetime. Aborts on an invalid id.
+  const std::string& Name(SymbolId id) const;
+
+  /// Number of interned symbols.
+  size_t size() const;
+
+ private:
+  SymbolTable() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, SymbolId> index_;
+  // Deque-like stable storage: pointers into strings held by unique_ptr.
+  std::vector<std::unique_ptr<std::string>> names_;
+};
+
+/// Shorthand: interns `name` in the global table.
+inline SymbolId Intern(std::string_view name) {
+  return SymbolTable::Global().Intern(name);
+}
+
+/// Shorthand: resolves `id` in the global table.
+inline const std::string& SymbolName(SymbolId id) {
+  return SymbolTable::Global().Name(id);
+}
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_SYMBOL_H_

@@ -1,0 +1,243 @@
+#include "deduce/datalog/term.h"
+
+#include <ostream>
+
+#include "deduce/common/hash.h"
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+namespace {
+
+constexpr const char kConsName[] = "[|]";
+constexpr const char kNilName[] = "[]";
+
+}  // namespace
+
+SymbolId Term::ConsFunctor() {
+  static const SymbolId id = Intern(kConsName);
+  return id;
+}
+
+SymbolId Term::NilSymbol() {
+  static const SymbolId id = Intern(kNilName);
+  return id;
+}
+
+Term Term::FromValue(Value v) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kConstant;
+  rep->value = v;
+  rep->ground = true;
+  rep->hash = HashCombine(1, v.Hash());
+  return Term(std::move(rep));
+}
+
+Term Term::Var(std::string_view name) { return VarFromId(Intern(name)); }
+
+Term Term::VarFromId(SymbolId id) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kVariable;
+  rep->sym = id;
+  rep->ground = false;
+  rep->hash = HashCombine(2, Mix64(static_cast<uint64_t>(id)));
+  return Term(std::move(rep));
+}
+
+Term Term::Function(SymbolId functor, std::vector<Term> args) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kFunction;
+  rep->sym = functor;
+  rep->ground = true;
+  size_t h = HashCombine(3, Mix64(static_cast<uint64_t>(functor)));
+  for (const Term& a : args) {
+    rep->ground = rep->ground && a.is_ground();
+    h = HashCombine(h, a.Hash());
+  }
+  rep->hash = h;
+  rep->args = std::move(args);
+  return Term(std::move(rep));
+}
+
+Term Term::Function(std::string_view functor, std::vector<Term> args) {
+  return Function(Intern(functor), std::move(args));
+}
+
+Term Term::Nil() { return FromValue(Value::SymbolFromId(NilSymbol())); }
+
+Term Term::Cons(Term head, Term tail) {
+  return Function(ConsFunctor(), {std::move(head), std::move(tail)});
+}
+
+Term Term::MakeList(const std::vector<Term>& elements,
+                    std::optional<Term> tail) {
+  Term out = tail.has_value() ? *tail : Nil();
+  for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+    out = Cons(*it, out);
+  }
+  return out;
+}
+
+bool Term::is_nil() const {
+  return is_constant() && value().is_symbol() && value().symbol() == NilSymbol();
+}
+
+bool Term::is_cons() const {
+  return is_function() && functor() == ConsFunctor() && args().size() == 2;
+}
+
+std::optional<std::vector<Term>> Term::AsListElements() const {
+  std::vector<Term> out;
+  Term cur = *this;
+  while (true) {
+    if (cur.is_nil()) return out;
+    if (!cur.is_cons()) return std::nullopt;
+    out.push_back(cur.args()[0]);
+    cur = cur.args()[1];
+  }
+}
+
+bool Term::operator==(const Term& other) const {
+  if (rep_ == other.rep_) return true;
+  if (rep_->hash != other.rep_->hash) return false;
+  if (rep_->kind != other.rep_->kind) return false;
+  switch (rep_->kind) {
+    case Kind::kConstant:
+      return rep_->value == other.rep_->value;
+    case Kind::kVariable:
+      return rep_->sym == other.rep_->sym;
+    case Kind::kFunction: {
+      if (rep_->sym != other.rep_->sym) return false;
+      if (rep_->args.size() != other.rep_->args.size()) return false;
+      for (size_t i = 0; i < rep_->args.size(); ++i) {
+        if (!(rep_->args[i] == other.rep_->args[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+int Term::Compare(const Term& other) const {
+  int ka = static_cast<int>(kind());
+  int kb = static_cast<int>(other.kind());
+  if (ka != kb) return ka < kb ? -1 : 1;
+  switch (kind()) {
+    case Kind::kConstant:
+      return value().Compare(other.value());
+    case Kind::kVariable: {
+      const std::string& a = SymbolName(var());
+      const std::string& b = SymbolName(other.var());
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Kind::kFunction: {
+      if (args().size() != other.args().size()) {
+        return args().size() < other.args().size() ? -1 : 1;
+      }
+      const std::string& a = SymbolName(functor());
+      const std::string& b = SymbolName(other.functor());
+      if (a != b) return a < b ? -1 : 1;
+      for (size_t i = 0; i < args().size(); ++i) {
+        int c = args()[i].Compare(other.args()[i]);
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+void Term::CollectVariables(std::vector<SymbolId>* out) const {
+  switch (kind()) {
+    case Kind::kConstant:
+      return;
+    case Kind::kVariable:
+      out->push_back(var());
+      return;
+    case Kind::kFunction:
+      if (is_ground()) return;
+      for (const Term& a : args()) a.CollectVariables(out);
+      return;
+  }
+}
+
+bool Term::ContainsVariable(SymbolId v) const {
+  switch (kind()) {
+    case Kind::kConstant:
+      return false;
+    case Kind::kVariable:
+      return var() == v;
+    case Kind::kFunction:
+      if (is_ground()) return false;
+      for (const Term& a : args()) {
+        if (a.ContainsVariable(v)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+size_t Term::Size() const {
+  switch (kind()) {
+    case Kind::kConstant:
+    case Kind::kVariable:
+      return 1;
+    case Kind::kFunction: {
+      size_t n = 1;
+      for (const Term& a : args()) n += a.Size();
+      return n;
+    }
+  }
+  return 1;
+}
+
+std::string Term::ToString() const {
+  switch (kind()) {
+    case Kind::kConstant:
+      if (is_nil()) return "[]";
+      return value().ToString();
+    case Kind::kVariable:
+      return SymbolName(var());
+    case Kind::kFunction: {
+      // Print cons chains in list syntax.
+      if (is_cons()) {
+        std::string out = "[";
+        Term cur = *this;
+        bool first = true;
+        while (cur.is_cons()) {
+          if (!first) out += ", ";
+          out += cur.args()[0].ToString();
+          first = false;
+          cur = cur.args()[1];
+        }
+        if (!cur.is_nil()) {
+          out += " | ";
+          out += cur.ToString();
+        }
+        out += "]";
+        return out;
+      }
+      std::string out = SymbolName(functor());
+      out += "(";
+      for (size_t i = 0; i < args().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args()[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t HashTerms(const std::vector<Term>& terms) {
+  size_t h = 17;
+  for (const Term& t : terms) h = HashCombine(h, t.Hash());
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+}  // namespace deduce

@@ -1,0 +1,123 @@
+#ifndef DEDUCE_DATALOG_TERM_H_
+#define DEDUCE_DATALOG_TERM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "deduce/datalog/value.h"
+
+namespace deduce {
+
+/// A first-order term: constant, variable, or function application
+/// f(t1, ..., tn). Lists are sugar over the cons functor '[|]' and the nil
+/// constant '[]' (see MakeList / AsListElements).
+///
+/// Terms are immutable and cheap to copy (shared representation). Hash and
+/// groundness are computed once at construction.
+class Term {
+ public:
+  enum class Kind : uint8_t { kConstant = 0, kVariable = 1, kFunction = 2 };
+
+  /// Default-constructed term is the integer constant 0.
+  Term() : Term(FromValue(Value::Int(0))) {}
+
+  static Term FromValue(Value v);
+  static Term Int(int64_t v) { return FromValue(Value::Int(v)); }
+  static Term Real(double v) { return FromValue(Value::Double(v)); }
+  static Term Sym(std::string_view name) {
+    return FromValue(Value::Symbol(name));
+  }
+  static Term Var(std::string_view name);
+  static Term VarFromId(SymbolId id);
+  static Term Function(SymbolId functor, std::vector<Term> args);
+  static Term Function(std::string_view functor, std::vector<Term> args);
+
+  /// The empty list '[]'.
+  static Term Nil();
+  /// Cons cell '[|]'(head, tail).
+  static Term Cons(Term head, Term tail);
+  /// [e0, e1, ... | tail]; tail defaults to Nil.
+  static Term MakeList(const std::vector<Term>& elements,
+                       std::optional<Term> tail = std::nullopt);
+
+  Kind kind() const { return rep_->kind; }
+  bool is_constant() const { return kind() == Kind::kConstant; }
+  bool is_variable() const { return kind() == Kind::kVariable; }
+  bool is_function() const { return kind() == Kind::kFunction; }
+
+  /// Valid for constants.
+  const Value& value() const { return rep_->value; }
+  /// Valid for variables: the interned variable name.
+  SymbolId var() const { return rep_->sym; }
+  /// Valid for functions: the interned functor name.
+  SymbolId functor() const { return rep_->sym; }
+  /// Valid for functions.
+  const std::vector<Term>& args() const { return rep_->args; }
+
+  bool is_nil() const;
+  bool is_cons() const;
+  /// If this term is a proper list (cons chain ending in nil), returns its
+  /// elements; nullopt otherwise.
+  std::optional<std::vector<Term>> AsListElements() const;
+
+  /// True if the term contains no variables.
+  bool is_ground() const { return rep_->ground; }
+
+  /// Structural equality.
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  /// Total order over ground and non-ground terms alike (constants <
+  /// variables < functions; recursively). Used for deterministic printing.
+  int Compare(const Term& other) const;
+
+  size_t Hash() const { return rep_->hash; }
+
+  /// Appends the ids of all variables occurring in the term (with
+  /// duplicates, in left-to-right order).
+  void CollectVariables(std::vector<SymbolId>* out) const;
+
+  /// True if variable `v` occurs in this term.
+  bool ContainsVariable(SymbolId v) const;
+
+  /// Number of nodes in the term tree (constants/variables count 1).
+  size_t Size() const;
+
+  /// Prolog-ish syntax; lists print as [a, b | T].
+  std::string ToString() const;
+
+  /// The interned functor used for cons cells.
+  static SymbolId ConsFunctor();
+  /// The interned symbol used for nil.
+  static SymbolId NilSymbol();
+
+ private:
+  struct Rep {
+    Kind kind;
+    Value value;      // kConstant
+    SymbolId sym = 0; // kVariable: name; kFunction: functor
+    std::vector<Term> args;
+    size_t hash = 0;
+    bool ground = false;
+  };
+
+  explicit Term(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+/// Hash of a sequence of terms (used by tuples and join keys).
+size_t HashTerms(const std::vector<Term>& terms);
+
+std::ostream& operator<<(std::ostream& os, const Term& t);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_TERM_H_

@@ -1,0 +1,99 @@
+#include "deduce/datalog/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace deduce {
+
+namespace {
+
+bool IsIdentifierLike(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::islower(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    // Exact comparison when both are ints, numeric otherwise.
+    if (is_int() && other.is_int()) {
+      if (int_ < other.int_) return -1;
+      if (int_ > other.int_) return 1;
+      return 0;
+    }
+    double a = AsNumber();
+    double b = other.AsNumber();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_number() != other.is_number()) {
+    return is_number() ? -1 : 1;  // numbers sort before symbols
+  }
+  // Both symbols: lexical order on names (not ids) for determinism.
+  const std::string& a = SymbolName(sym_);
+  const std::string& b = SymbolName(other.sym_);
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return Mix64(static_cast<uint64_t>(int_) * 3 + 1);
+    case Kind::kDouble: {
+      // Hash doubles that are exactly integral like the equivalent... no:
+      // kInt and kDouble are distinct values (1 != 1.0 under operator==),
+      // so they may hash differently.
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(double_));
+      __builtin_memcpy(&bits, &double_, sizeof(bits));
+      return Mix64(bits * 3 + 2);
+    }
+    case Kind::kSymbol:
+      return Mix64(static_cast<uint64_t>(sym_) * 3);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      return buf;
+    }
+    case Kind::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      // Ensure it reads back as a double (has '.', 'e' or similar).
+      std::string s(buf);
+      if (s.find_first_of(".eE") == std::string::npos &&
+          s.find_first_of("nN") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Kind::kSymbol: {
+      const std::string& name = SymbolName(sym_);
+      if (IsIdentifierLike(name)) return name;
+      std::string out = "\"";
+      for (char c : name) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace deduce

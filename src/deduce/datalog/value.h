@@ -1,0 +1,97 @@
+#ifndef DEDUCE_DATALOG_VALUE_H_
+#define DEDUCE_DATALOG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "deduce/common/hash.h"
+#include "deduce/datalog/symbol.h"
+
+namespace deduce {
+
+/// An atomic constant: 64-bit integer, double, or interned symbol (string).
+///
+/// Ordering: numbers (int and double) compare numerically against each other;
+/// symbols compare lexically; numbers sort before symbols. This total order
+/// backs the comparison built-ins (<, <=, ...) and deterministic result
+/// printing.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kDouble = 1, kSymbol = 2 };
+
+  Value() : kind_(Kind::kInt), int_(0) {}
+
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.kind_ = Kind::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  /// Interns `name` as a symbolic constant.
+  static Value Symbol(std::string_view name) {
+    return SymbolFromId(Intern(name));
+  }
+  static Value SymbolFromId(SymbolId id) {
+    Value out;
+    out.kind_ = Kind::kSymbol;
+    out.sym_ = id;
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  bool is_number() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return int_; }
+  double as_double() const { return double_; }
+  SymbolId symbol() const { return sym_; }
+
+  /// Numeric value as double (valid for numbers only).
+  double AsNumber() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kInt:
+        return int_ == other.int_;
+      case Kind::kDouble:
+        return double_ == other.double_;
+      case Kind::kSymbol:
+        return sym_ == other.sym_;
+    }
+    return false;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison per the total order documented above.
+  int Compare(const Value& other) const;
+
+  size_t Hash() const;
+
+  /// Symbols print bare if identifier-like, quoted otherwise; doubles print
+  /// with enough digits to round-trip.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  union {
+    int64_t int_;
+    double double_;
+    SymbolId sym_;
+  };
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_VALUE_H_

@@ -1,0 +1,52 @@
+#ifndef DEDUCE_ENGINE_AGGREGATION_H_
+#define DEDUCE_ENGINE_AGGREGATION_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "deduce/datalog/rule.h"  // AggKind
+#include "deduce/net/network.h"
+#include "deduce/routing/routing.h"
+
+namespace deduce {
+
+/// In-network aggregation over a sink tree, in the style of TAG
+/// [Madden et al., OSDI'02] — the specialized distributed implementation
+/// the paper delegates aggregates to (§IV-C: "We can use specialized
+/// distributed techniques such as TAG [32] ... for evaluation of
+/// incremental aggregates").
+///
+/// Nodes are scheduled by tree depth: an epoch of length `epoch` is divided
+/// into slots; leaves report first, every interior node merges its
+/// children's partial state records with its own reading and forwards one
+/// message up — O(n) messages per epoch regardless of group sizes.
+class TagAggregation {
+ public:
+  struct Options {
+    AggKind kind = AggKind::kSum;
+    SimTime epoch = 1'000'000;   ///< Epoch length (1 s).
+    int epochs = 1;              ///< Number of rounds to run.
+    NodeId root = 0;
+  };
+
+  /// Per-epoch aggregate value at the root.
+  struct EpochResult {
+    int epoch = 0;
+    double value = 0;
+    int64_t count = 0;  ///< Contributing readings.
+  };
+
+  /// `reader(node, epoch)` supplies the node's reading for an epoch
+  /// (nullopt = no reading). Installs apps on `network` (which must not
+  /// have apps yet), runs all epochs to quiescence, and returns the root's
+  /// per-epoch results.
+  static std::vector<EpochResult> Run(
+      Network* network, const Options& options,
+      const std::function<std::optional<double>(NodeId, int)>& reader);
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_AGGREGATION_H_

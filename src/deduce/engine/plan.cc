@@ -1,0 +1,355 @@
+#include "deduce/engine/plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+const char* StoragePolicyToString(StoragePolicy p) {
+  switch (p) {
+    case StoragePolicy::kRow:
+      return "row";
+    case StoragePolicy::kBroadcast:
+      return "broadcast";
+    case StoragePolicy::kLocal:
+      return "local";
+    case StoragePolicy::kSpatial:
+      return "spatial";
+    case StoragePolicy::kCentroid:
+      return "centroid";
+  }
+  return "?";
+}
+
+const char* JoinStrategyToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kLocalOnly:
+      return "local-only";
+    case JoinStrategy::kColumnSweep:
+      return "column-sweep";
+    case JoinStrategy::kSerpentine:
+      return "serpentine";
+    case JoinStrategy::kCentroid:
+      return "centroid";
+    case JoinStrategy::kLocalRoute:
+      return "local-route";
+  }
+  return "?";
+}
+
+std::string DeltaPlan::ToString(const Program& program) const {
+  const Rule& rule = program.rules()[rule_index];
+  std::string out = StrFormat("rule %zu on %s: %s", rule_index,
+                              rule.body[pinned_literal].ToString().c_str(),
+                              JoinStrategyToString(strategy));
+  if (multipass) out += " multipass";
+  for (const RouteStep& s : steps) {
+    out += StrFormat(" ->%s@%s", rule.body[s.literal].ToString().c_str(),
+                     s.where == RouteStep::Where::kHere
+                         ? "here"
+                         : StrFormat("arg%zu", s.arg).c_str());
+  }
+  return out;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  std::vector<SymbolId> names;
+  for (const auto& [pred, p] : preds) names.push_back(pred);
+  std::sort(names.begin(), names.end(), [](SymbolId a, SymbolId b) {
+    return SymbolName(a) < SymbolName(b);
+  });
+  for (SymbolId pred : names) {
+    const PredicatePlan& p = preds.at(pred);
+    out += StrFormat("%s: %s storage=%s", SymbolName(pred).c_str(),
+                     p.derived ? "derived" : "input",
+                     StoragePolicyToString(p.storage));
+    if (p.storage == StoragePolicy::kSpatial) {
+      out += StrFormat(":%d", p.spatial_radius);
+    }
+    if (p.home_arg) out += StrFormat(" home=arg%zu", *p.home_arg);
+    if (p.window != INT64_MAX) {
+      out += StrFormat(" window=%lld", static_cast<long long>(p.window));
+    }
+    out += "\n";
+  }
+  for (const DeltaPlan& d : deltas) {
+    out += d.ToString(program) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+StatusOr<StoragePolicy> ParseStoragePolicy(const std::string& text,
+                                           int* radius) {
+  if (text == "row" || text == "column") return StoragePolicy::kRow;
+  if (text == "broadcast") return StoragePolicy::kBroadcast;
+  if (text == "local") return StoragePolicy::kLocal;
+  if (text == "centroid") return StoragePolicy::kCentroid;
+  if (StartsWith(text, "spatial:")) {
+    *radius = std::atoi(text.c_str() + 8);
+    if (*radius <= 0) {
+      return StatusOr<StoragePolicy>(
+          Status::InvalidArgument("bad spatial radius in '" + text + "'"));
+    }
+    return StoragePolicy::kSpatial;
+  }
+  return StatusOr<StoragePolicy>(
+      Status::InvalidArgument("unknown storage policy '" + text + "'"));
+}
+
+/// True if a sweep over vertical paths sees all tuples of this storage kind.
+bool SweepCovers(StoragePolicy p) {
+  return p == StoragePolicy::kRow || p == StoragePolicy::kBroadcast;
+}
+
+}  // namespace
+
+StatusOr<QueryPlan> CompilePlan(const Program& program,
+                                const BuiltinRegistry& registry,
+                                const PlannerOptions& options) {
+  QueryPlan plan;
+  plan.program = program;
+  DEDUCE_RETURN_IF_ERROR(ResolveBuiltins(&plan.program, registry));
+  DEDUCE_ASSIGN_OR_RETURN(plan.analysis, AnalyzeProgram(plan.program));
+
+  for (const Rule& r : plan.program.rules()) {
+    if (r.body.size() > 32) {
+      return Status::Unimplemented("rule with more than 32 body literals: " +
+                                   r.ToString());
+    }
+  }
+  for (const SccInfo& scc : plan.analysis.sccs) {
+    if (scc.recursive && scc.has_internal_negation && !scc.xy_stratified) {
+      return Status::Unimplemented(
+          "recursion through negation is not XY-stratified (" +
+          scc.xy_diagnostic + ")");
+    }
+  }
+
+  // Predicates read by some rule body; derived predicates nobody reads are
+  // "sinks": their tuples stay at their home node (no storage replication).
+  std::unordered_set<SymbolId> read_preds;
+  for (const Rule& r : plan.program.rules()) {
+    for (const Literal& l : r.body) {
+      if (l.is_relational()) read_preds.insert(l.atom.predicate);
+    }
+  }
+
+  // Per-predicate placements.
+  for (SymbolId pred : plan.analysis.predicates) {
+    PredicatePlan p;
+    p.pred = pred;
+    p.derived = plan.analysis.idb.count(pred) > 0;
+    p.storage = p.derived && !read_preds.count(pred)
+                    ? StoragePolicy::kLocal
+                    : options.default_storage;
+    p.window = options.default_window;
+    const PredicateDecl* decl = plan.program.FindDecl(pred);
+    if (decl != nullptr) {
+      if (!decl->storage_policy.empty()) {
+        int radius = 0;
+        DEDUCE_ASSIGN_OR_RETURN(p.storage,
+                                ParseStoragePolicy(decl->storage_policy,
+                                                   &radius));
+        p.spatial_radius = radius;
+      }
+      if (decl->window) p.window = *decl->window;
+      if (decl->home_arg) p.home_arg = decl->home_arg;
+    }
+    plan.preds.emplace(pred, p);
+  }
+
+  // Aggregate rules compile to per-group incremental aggregation instead
+  // of join plans.
+  for (size_t ri = 0; ri < plan.program.rules().size(); ++ri) {
+    const Rule& rule = plan.program.rules()[ri];
+    if (rule.aggregates.empty()) continue;
+    size_t positives = 0;
+    size_t source = 0;
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      const Literal& lit = rule.body[li];
+      if (lit.kind == Literal::Kind::kNegated) {
+        return Status::Unimplemented(
+            "aggregate rules with negation are not supported: " +
+            rule.ToString());
+      }
+      if (lit.kind == Literal::Kind::kPositive) {
+        ++positives;
+        source = li;
+      }
+    }
+    if (positives != 1) {
+      return Status::Unimplemented(
+          "aggregate rules must have exactly one positive relational "
+          "subgoal (join first into a derived stream, then aggregate): " +
+          rule.ToString());
+    }
+    if (plan.analysis.IsRecursivePred(rule.head.predicate)) {
+      return Status::Unimplemented("recursive aggregate: " + rule.ToString());
+    }
+    AggregatePlan agg;
+    agg.rule_index = ri;
+    agg.source_literal = source;
+    agg.kind = rule.aggregates[0].kind;
+    agg.agg_position = rule.aggregates[0].head_position;
+    agg.input = rule.aggregates[0].input;
+    size_t index = plan.aggregates.size();
+    plan.aggregates.push_back(std::move(agg));
+    plan.aggregates_by_pred[rule.body[source].atom.predicate].push_back(
+        index);
+  }
+
+  // Delta plans: one per relational body occurrence.
+  for (size_t ri = 0; ri < plan.program.rules().size(); ++ri) {
+    const Rule& rule = plan.program.rules()[ri];
+    if (!rule.aggregates.empty()) continue;  // handled above
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      if (!rule.body[li].is_relational()) continue;
+      DeltaPlan delta;
+      delta.rule_index = ri;
+      delta.pinned_literal = li;
+
+      // Read set: the other relational literals.
+      std::vector<size_t> readset;
+      bool all_broadcast = true;
+      bool sweep_ok = true;
+      bool centroid_ok = true;
+      for (size_t lj = 0; lj < rule.body.size(); ++lj) {
+        if (lj == li || !rule.body[lj].is_relational()) continue;
+        readset.push_back(lj);
+        StoragePolicy sp = plan.preds.at(rule.body[lj].atom.predicate).storage;
+        if (sp != StoragePolicy::kBroadcast) all_broadcast = false;
+        if (!SweepCovers(sp)) sweep_ok = false;
+        if (sp != StoragePolicy::kCentroid &&
+            sp != StoragePolicy::kBroadcast) {
+          centroid_ok = false;
+        }
+      }
+
+      if (readset.empty() || all_broadcast) {
+        delta.strategy = JoinStrategy::kLocalOnly;
+      } else if (sweep_ok) {
+        delta.strategy = JoinStrategy::kColumnSweep;
+        delta.multipass = options.multipass;
+      } else if (centroid_ok) {
+        delta.strategy = JoinStrategy::kCentroid;
+      } else {
+        // Try local-route: order literals so each is locatable when reached.
+        std::unordered_set<SymbolId> bound;
+        {
+          std::vector<SymbolId> vars;
+          rule.body[li].CollectVariables(&vars);
+          bound.insert(vars.begin(), vars.end());
+        }
+        auto site_of = [&](size_t lj) -> std::optional<RouteStep> {
+          const Literal& lit = rule.body[lj];
+          const PredicatePlan& pp = plan.preds.at(lit.atom.predicate);
+          if (pp.storage == StoragePolicy::kBroadcast ||
+              pp.storage == StoragePolicy::kSpatial) {
+            return RouteStep{lj, RouteStep::Where::kHere, 0};
+          }
+          if (pp.storage == StoragePolicy::kLocal && pp.home_arg) {
+            const Term& arg = lit.atom.args[*pp.home_arg];
+            bool arg_bound =
+                (arg.is_constant() && arg.value().is_int()) ||
+                (arg.is_variable() && bound.count(arg.var()) > 0);
+            if (arg_bound) {
+              return RouteStep{lj, RouteStep::Where::kAtArgNode,
+                               *pp.home_arg};
+            }
+          }
+          return std::nullopt;
+        };
+
+        std::vector<size_t> positives, negatives;
+        for (size_t lj : readset) {
+          (rule.body[lj].kind == Literal::Kind::kPositive ? positives
+                                                          : negatives)
+              .push_back(lj);
+        }
+        bool ok = true;
+        std::vector<RouteStep> steps;
+        std::vector<bool> placed(rule.body.size(), false);
+        // Greedy: place any locatable positive (kHere first), rebinding.
+        while (steps.size() < positives.size()) {
+          std::optional<RouteStep> next;
+          for (bool prefer_here : {true, false}) {
+            for (size_t lj : positives) {
+              if (placed[lj]) continue;
+              std::optional<RouteStep> s = site_of(lj);
+              if (!s) continue;
+              if (prefer_here != (s->where == RouteStep::Where::kHere)) {
+                continue;
+              }
+              next = s;
+              break;
+            }
+            if (next) break;
+          }
+          if (!next) {
+            ok = false;
+            break;
+          }
+          placed[next->literal] = true;
+          std::vector<SymbolId> vars;
+          rule.body[next->literal].CollectVariables(&vars);
+          bound.insert(vars.begin(), vars.end());
+          steps.push_back(*next);
+        }
+        if (ok) {
+          for (size_t lj : negatives) {
+            std::optional<RouteStep> s = site_of(lj);
+            if (!s) {
+              ok = false;
+              break;
+            }
+            steps.push_back(*s);
+          }
+        }
+        if (ok) {
+          delta.strategy = JoinStrategy::kLocalRoute;
+          delta.steps = std::move(steps);
+        } else {
+          // Last resort: local storage everywhere -> serpentine sweep.
+          bool serp_ok = true;
+          for (size_t lj : readset) {
+            StoragePolicy sp =
+                plan.preds.at(rule.body[lj].atom.predicate).storage;
+            if (sp != StoragePolicy::kLocal &&
+                sp != StoragePolicy::kBroadcast) {
+              serp_ok = false;
+            }
+          }
+          if (!serp_ok) {
+            return Status::Unimplemented(
+                "no join strategy covers rule '" + rule.ToString() +
+                "' for update " + rule.body[li].ToString() +
+                ": mixed storage placements are not supported");
+          }
+          delta.strategy = JoinStrategy::kSerpentine;
+          delta.multipass = options.multipass;
+        }
+      }
+
+      if (delta.multipass) {
+        for (size_t lj : readset) {
+          if (rule.body[lj].kind == Literal::Kind::kPositive) {
+            delta.pass_literals.push_back(lj);
+          }
+        }
+        if (delta.pass_literals.empty()) delta.multipass = false;
+      }
+
+      size_t index = plan.deltas.size();
+      plan.deltas.push_back(std::move(delta));
+      plan.deltas_by_pred[rule.body[li].atom.predicate].push_back(index);
+    }
+  }
+  return plan;
+}
+
+}  // namespace deduce

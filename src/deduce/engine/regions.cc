@@ -1,0 +1,93 @@
+#include "deduce/engine/regions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+RegionMapper::RegionMapper(const Topology* topology) : topology_(topology) {
+  int n = topology_->node_count();
+  int band_count;
+  if (topology_->grid_side().has_value()) {
+    band_count = *topology_->grid_side();
+  } else {
+    band_count = std::max(1, static_cast<int>(std::lround(
+                                 std::sqrt(static_cast<double>(n)))));
+  }
+
+  // Sort nodes by y, slice into equal-size bands, order each band by x.
+  std::vector<NodeId> by_y(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) by_y[static_cast<size_t>(i)] = i;
+  std::stable_sort(by_y.begin(), by_y.end(), [&](NodeId a, NodeId b) {
+    double ya = topology_->location(a).y;
+    double yb = topology_->location(b).y;
+    if (ya != yb) return ya < yb;
+    return a < b;
+  });
+  bands_.resize(static_cast<size_t>(band_count));
+  band_of_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    int band = std::min(band_count - 1, i * band_count / n);
+    bands_[static_cast<size_t>(band)].push_back(by_y[static_cast<size_t>(i)]);
+  }
+  for (size_t b = 0; b < bands_.size(); ++b) {
+    auto& band = bands_[b];
+    std::stable_sort(band.begin(), band.end(), [&](NodeId x, NodeId y) {
+      double xa = topology_->location(x).x;
+      double xb = topology_->location(y).x;
+      if (xa != xb) return xa < xb;
+      return x < y;
+    });
+    for (NodeId node : band) band_of_[static_cast<size_t>(node)] = static_cast<int>(b);
+  }
+
+  // Centroid.
+  double cx = 0, cy = 0;
+  for (int i = 0; i < n; ++i) {
+    cx += topology_->location(i).x;
+    cy += topology_->location(i).y;
+  }
+  centroid_ = topology_->ClosestNode(cx / n, cy / n);
+}
+
+const std::vector<NodeId>& RegionMapper::HorizontalPath(NodeId n) const {
+  return bands_[static_cast<size_t>(BandOf(n))];
+}
+
+std::vector<NodeId> RegionMapper::VerticalPath(NodeId n) const {
+  double x = topology_->location(n).x;
+  std::vector<NodeId> out;
+  out.reserve(bands_.size());
+  for (const auto& band : bands_) {
+    if (band.empty()) continue;
+    NodeId best = band[0];
+    double best_d = std::fabs(topology_->location(best).x - x);
+    for (NodeId v : band) {
+      double d = std::fabs(topology_->location(v).x - x);
+      if (d < best_d - 1e-12) {
+        best_d = d;
+        best = v;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<NodeId> RegionMapper::SerpentinePath() const {
+  std::vector<NodeId> out;
+  for (size_t b = 0; b < bands_.size(); ++b) {
+    if (b % 2 == 0) {
+      out.insert(out.end(), bands_[b].begin(), bands_[b].end());
+    } else {
+      out.insert(out.end(), bands_[b].rbegin(), bands_[b].rend());
+    }
+  }
+  return out;
+}
+
+NodeId RegionMapper::CentroidNode() const { return centroid_; }
+
+}  // namespace deduce

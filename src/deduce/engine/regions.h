@@ -1,0 +1,56 @@
+#ifndef DEDUCE_ENGINE_REGIONS_H_
+#define DEDUCE_ENGINE_REGIONS_H_
+
+#include <vector>
+
+#include "deduce/net/topology.h"
+
+namespace deduce {
+
+/// Storage / join-computation regions for the Generalized Perpendicular
+/// Approach (§III-A).
+///
+/// On a grid, a node's *horizontal path* is its row and its *vertical path*
+/// is its column — the original PA. On arbitrary topologies we use the band
+/// decomposition of [44]: nodes are sorted into ~sqrt(n) horizontal bands by
+/// y-coordinate; a horizontal path is the band ordered by x, and a vertical
+/// path picks, in every band, the node nearest the source's x — so every
+/// vertical path intersects every horizontal path, which is the GPA
+/// correctness requirement ("every storage region intersects every
+/// join-computation region").
+///
+/// Consecutive nodes on a path need not be radio neighbors off-grid; the
+/// engine routes between them (the extra hops are honestly accounted).
+class RegionMapper {
+ public:
+  /// `topology` must outlive the mapper.
+  explicit RegionMapper(const Topology* topology);
+
+  /// The storage path of `n`: its full band (row), in x order. Contains n.
+  const std::vector<NodeId>& HorizontalPath(NodeId n) const;
+
+  /// The join-computation path of `n`: one node per band, nearest to n's
+  /// x-coordinate, in band (y) order. Contains a node of n's own band.
+  std::vector<NodeId> VerticalPath(NodeId n) const;
+
+  /// A path visiting every node once (row serpentine): the join region of
+  /// the degenerate Local Storage approach.
+  std::vector<NodeId> SerpentinePath() const;
+
+  /// The node nearest the network centroid (Centroid Approach rendezvous).
+  NodeId CentroidNode() const;
+
+  /// Band index of a node.
+  int BandOf(NodeId n) const { return band_of_[static_cast<size_t>(n)]; }
+  int band_count() const { return static_cast<int>(bands_.size()); }
+
+ private:
+  const Topology* topology_;
+  std::vector<std::vector<NodeId>> bands_;  ///< Each sorted by x, then id.
+  std::vector<int> band_of_;
+  NodeId centroid_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_REGIONS_H_

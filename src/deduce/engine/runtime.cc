@@ -1,0 +1,1217 @@
+#include "deduce/engine/runtime.h"
+
+#include <algorithm>
+
+#include "deduce/common/logging.h"
+#include "deduce/common/strings.h"
+#include "deduce/eval/rule_eval.h"
+
+namespace deduce {
+
+namespace {
+
+constexpr Timestamp kNoWindow = INT64_MAX;
+
+bool IsFilter(const Literal& lit) {
+  return lit.kind == Literal::Kind::kComparison ||
+         lit.kind == Literal::Kind::kBuiltin;
+}
+
+}  // namespace
+
+NodeRuntime::NodeRuntime(EngineShared* shared, NodeId id)
+    : shared_(shared), id_(id) {}
+
+void NodeRuntime::Start(NodeContext* ctx) {
+  // Program facts are seeded at their home node. Derived-predicate facts
+  // (e.g. the SPT root j(0, 0)) become permanent axioms of the home store;
+  // input-predicate facts are injected as ordinary generations.
+  for (const Fact& f : shared_->plan.program.facts()) {
+    const PredicatePlan& pp = shared_->plan.pred_plan(f.predicate());
+    if (HomeOf(pp, f) != id_) continue;
+    if (!pp.derived) {
+      Status st = Inject(ctx, StreamOp::kInsert, f);
+      if (!st.ok()) Fault("seeding " + f.ToString() + ": " + st.message());
+      continue;
+    }
+    HomeRel& rel = home_[f.predicate()];
+    auto [it, inserted] = rel.map.emplace(f, HomeEntry{});
+    if (inserted) rel.order.push_back(f);
+    HomeEntry& e = it->second;
+    if (e.alive) continue;
+    Timestamp now = ctx->LocalTime();
+    e.alive = true;
+    e.id = TupleId{id_, now, seq_++};
+    e.gen_ts = now;
+    e.derivs.insert(Derivation{-1, {}});  // permanent axiom
+    ++shared_->stats.derived_generations;
+    GenerateDerivedUpdate(ctx, f.predicate(), f, e.id, StreamOp::kInsert, now);
+  }
+}
+
+int NodeRuntime::NewTimer(NodeContext* ctx, SimTime delay,
+                          std::function<void()> fn) {
+  int id = next_timer_++;
+  timers_[id] = std::move(fn);
+  ctx->SetTimer(delay, id);
+  return id;
+}
+
+void NodeRuntime::OnTimer(NodeContext* ctx, int timer_id) {
+  (void)ctx;
+  auto it = timers_.find(timer_id);
+  if (it == timers_.end()) return;
+  auto fn = std::move(it->second);
+  timers_.erase(it);
+  fn();
+}
+
+void NodeRuntime::Fault(const std::string& what) {
+  shared_->stats.errors.push_back(
+      StrFormat("node %d: %s", id_, what.c_str()));
+}
+
+void NodeRuntime::SendEngineMessage(NodeContext* ctx, NodeId final_target,
+                                    Message msg) {
+  if (final_target == id_) {
+    Fault("SendEngineMessage to self");
+    return;
+  }
+  NodeId next = shared_->routing->GeoNextHop(id_, final_target);
+  if (next == kNoNode) {
+    Fault(StrFormat("no route to %d", final_target));
+    return;
+  }
+  ctx->Send(next, std::move(msg));
+}
+
+void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
+  // Forward unicast engine messages not addressed to us (routing layer).
+  StatusOr<NodeId> target = PeekFinalTarget(msg);
+  if (!target.ok()) {
+    Fault("undecodable message: " + target.status().message());
+    return;
+  }
+  if (*target != kNoNode && *target != id_) {
+    NodeId next = shared_->routing->GeoNextHop(id_, *target);
+    if (next == kNoNode) {
+      Fault(StrFormat("cannot forward to %d", *target));
+      return;
+    }
+    ctx->Send(next, msg);
+    return;
+  }
+  switch (msg.type) {
+    case kStoreMsg: {
+      StatusOr<StoreWire> store = StoreWire::Decode(msg);
+      if (!store.ok()) {
+        Fault("bad store message: " + store.status().message());
+        return;
+      }
+      HandleStore(ctx, std::move(store).value());
+      return;
+    }
+    case kJoinPassMsg: {
+      StatusOr<JoinPassWire> jp = JoinPassWire::Decode(msg);
+      if (!jp.ok()) {
+        Fault("bad join pass: " + jp.status().message());
+        return;
+      }
+      HandleJoinPass(ctx, std::move(jp).value());
+      return;
+    }
+    case kResultMsg: {
+      StatusOr<ResultWire> rw = ResultWire::Decode(msg);
+      if (!rw.ok()) {
+        Fault("bad result: " + rw.status().message());
+        return;
+      }
+      HandleResult(ctx, std::move(rw).value());
+      return;
+    }
+    case kAggMsg: {
+      StatusOr<AggWire> aw = AggWire::Decode(msg);
+      if (!aw.ok()) {
+        Fault("bad aggregate message: " + aw.status().message());
+        return;
+      }
+      HandleAgg(ctx, std::move(aw).value());
+      return;
+    }
+    default:
+      Fault(StrFormat("unknown message type %u", msg.type));
+  }
+}
+
+// --- injection & storage phase -------------------------------------------
+
+Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
+  auto it = shared_->plan.preds.find(fact.predicate());
+  if (it == shared_->plan.preds.end()) {
+    return Status::NotFound("predicate not in program: " +
+                            SymbolName(fact.predicate()));
+  }
+  if (it->second.derived) {
+    return Status::InvalidArgument("cannot inject derived stream " +
+                                   SymbolName(fact.predicate()));
+  }
+  ++shared_->stats.tuples_injected;
+  Timestamp now = ctx->LocalTime();
+  if (op == StreamOp::kInsert) {
+    TupleId id{id_, now, seq_++};
+    StartStoragePhase(ctx, fact.predicate(), fact, id, now, /*deletion=*/false,
+                      0);
+    NewTimer(ctx, shared_->timing.JoinDelay(),
+             [this, ctx, fact, id, now]() {
+               LaunchJoinPasses(ctx, fact.predicate(), fact, id,
+                                StreamOp::kInsert, now);
+             });
+    return Status::OK();
+  }
+  // Deletion: find the live tuple this node generated.
+  auto rit = replicas_.find(fact.predicate());
+  if (rit != replicas_.end()) {
+    for (auto& [id, rep] : rit->second) {
+      if (id.source != id_ || !rep.have_insert || rep.del_ts.has_value()) {
+        continue;
+      }
+      if (rep.fact != fact) continue;
+      TupleId tid = id;
+      StartStoragePhase(ctx, fact.predicate(), fact, tid, rep.gen_ts,
+                        /*deletion=*/true, now);
+      Fact f = fact;
+      NewTimer(ctx, shared_->timing.JoinDelay(), [this, ctx, f, tid, now]() {
+        LaunchJoinPasses(ctx, f.predicate(), f, tid, StreamOp::kDelete, now);
+      });
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no live tuple " + fact.ToString() +
+                          " generated at this node");
+}
+
+void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
+                                    const Fact& fact, const TupleId& id,
+                                    Timestamp gen_ts, bool deletion,
+                                    Timestamp del_ts) {
+  StoreWire store;
+  store.pred = pred;
+  store.fact = fact;
+  store.id = id;
+  store.gen_ts = gen_ts;
+  store.deletion = deletion;
+  store.del_ts = del_ts;
+  RecordReplica(ctx, store);
+
+  const PredicatePlan& pp = shared_->plan.pred_plan(pred);
+  switch (pp.storage) {
+    case StoragePolicy::kLocal:
+      return;
+    case StoragePolicy::kRow: {
+      const std::vector<NodeId>& path = shared_->regions->HorizontalPath(id_);
+      size_t mine = 0;
+      while (mine < path.size() && path[mine] != id_) ++mine;
+      DEDUCE_CHECK(mine < path.size());
+      // Right half.
+      if (mine + 1 < path.size()) {
+        StoreWire right = store;
+        right.final_target = path[mine + 1];
+        right.path_remaining.assign(path.begin() + static_cast<long>(mine) + 2,
+                                    path.end());
+        SendEngineMessage(ctx, right.final_target, right.Encode());
+      }
+      // Left half (walk outward in reverse order).
+      if (mine > 0) {
+        StoreWire left = store;
+        left.final_target = path[mine - 1];
+        for (size_t i = mine - 1; i-- > 0;) {
+          left.path_remaining.push_back(path[i]);
+        }
+        SendEngineMessage(ctx, left.final_target, left.Encode());
+      }
+      return;
+    }
+    case StoragePolicy::kBroadcast:
+    case StoragePolicy::kSpatial: {
+      int ttl = pp.storage == StoragePolicy::kBroadcast
+                    ? shared_->topology->node_count()
+                    : pp.spatial_radius;
+      flood_seen_.insert({id, deletion});
+      StoreWire flood = store;
+      flood.final_target = kNoNode;
+      flood.flood_ttl = ttl - 1;
+      if (ttl <= 0) return;
+      Message m = flood.Encode();
+      for (NodeId v : ctx->neighbors()) ctx->Send(v, m);
+      return;
+    }
+    case StoragePolicy::kCentroid: {
+      NodeId centroid = shared_->regions->CentroidNode();
+      if (centroid == id_) return;  // already recorded locally
+      StoreWire c = store;
+      c.final_target = centroid;
+      SendEngineMessage(ctx, centroid, c.Encode());
+      return;
+    }
+  }
+}
+
+void NodeRuntime::RecordReplica(NodeContext* ctx, const StoreWire& store) {
+  Replica& rep = replicas_[store.pred][store.id];
+  if (store.deletion) {
+    rep.del_ts = store.del_ts;
+    if (!rep.have_insert) rep.fact = store.fact;  // mark overtook insert
+  } else {
+    rep.fact = store.fact;
+    rep.gen_ts = store.gen_ts;
+    if (!rep.have_insert) {
+      rep.have_insert = true;
+      ++shared_->stats.replicas_stored;
+      // Garbage-collect after (τs+τc)+τj+(w+τc) (§IV-B tuple expiry).
+      Timestamp window = shared_->plan.pred_plan(store.pred).window;
+      if (window != kNoWindow) {
+        Timestamp expire_local =
+            store.gen_ts + window + shared_->timing.ExpirySlack();
+        SimTime delay = std::max<SimTime>(0, expire_local - ctx->LocalTime());
+        SymbolId pred = store.pred;
+        TupleId id = store.id;
+        NewTimer(ctx, delay, [this, pred, id]() {
+          auto it = replicas_.find(pred);
+          if (it != replicas_.end()) it->second.erase(id);
+        });
+      }
+    }
+  }
+}
+
+void NodeRuntime::HandleStore(NodeContext* ctx, StoreWire store) {
+  if (store.flood_ttl >= 0) {
+    // Flood mode.
+    auto key = std::make_pair(store.id, store.deletion);
+    if (flood_seen_.count(key)) return;
+    flood_seen_.insert(key);
+    RecordReplica(ctx, store);
+    if (store.flood_ttl > 0) {
+      StoreWire next = store;
+      next.flood_ttl = store.flood_ttl - 1;
+      Message m = next.Encode();
+      NodeId from = kNoNode;  // rebroadcast to all but nobody in particular
+      (void)from;
+      for (NodeId v : ctx->neighbors()) ctx->Send(v, m);
+    }
+    return;
+  }
+  // Path walk / point-to-point.
+  RecordReplica(ctx, store);
+  if (!store.path_remaining.empty()) {
+    StoreWire next = store;
+    next.final_target = store.path_remaining[0];
+    next.path_remaining.assign(store.path_remaining.begin() + 1,
+                               store.path_remaining.end());
+    SendEngineMessage(ctx, next.final_target, next.Encode());
+  }
+}
+
+// --- join phase ------------------------------------------------------------
+
+bool NodeRuntime::Visible(const Replica& r, Timestamp update_ts,
+                          Timestamp window, bool for_removal) const {
+  if (!r.have_insert) return false;
+  if (r.gen_ts > update_ts) return false;
+  if (window != kNoWindow && r.gen_ts <= update_ts - window) return false;
+  // Removal passes ignore deletion marks: when two supports of a derivation
+  // die, each deletion's removal join must still see the other (already
+  // marked) support, or the derivation is orphaned. Removals are
+  // idempotent, so the superset is safe.
+  if (!for_removal && r.del_ts.has_value() && *r.del_ts < update_ts) {
+    return false;
+  }
+  return true;
+}
+
+bool NodeRuntime::NegMatchLocally(SymbolId pred,
+                                  const std::vector<Term>& args,
+                                  Timestamp update_ts,
+                                  const std::optional<TupleId>& exclude) const {
+  // Negation checks use *current-state* semantics: a tuple blocks iff its
+  // replica is present and not deletion-marked (plus the window lower
+  // bound). Timestamp-filtered negation (gen <= τ like positive matches)
+  // would let a spuriously-derived wave of an XY-stratified program outrun
+  // its own retraction wave forever on cyclic graphs: a pass would not see
+  // the blocker tuple generated "just after" its update timestamp even
+  // though the blocker is already stored. Current-state checks mirror the
+  // centralized incremental engine; transiently wrong outcomes are repaired
+  // by the blocker's own insertion/deletion pass (§IV-B), so the quiescent
+  // state is identical. A deletion-marked tuple never blocks — which also
+  // implements the §IV-B rule that a tuple being deleted is excluded from
+  // the join that computes the effects of its own deletion.
+  auto it = replicas_.find(pred);
+  if (it == replicas_.end()) return false;
+  Timestamp window = shared_->plan.pred_plan(pred).window;
+  Fact ground(pred, args);
+  for (const auto& [id, rep] : it->second) {
+    if (exclude.has_value() && id == *exclude) continue;
+    if (!rep.have_insert) continue;
+    if (rep.del_ts.has_value()) continue;
+    if (window != INT64_MAX && rep.gen_ts <= update_ts - window) continue;
+    if (rep.fact == ground) return true;
+  }
+  return false;
+}
+
+NodeRuntime::Partial NodeRuntime::FromWire(const PartialWire& w) {
+  Partial p;
+  p.mask = w.matched_mask;
+  for (const auto& [var, term] : w.bindings) p.subst.Bind(var, term);
+  p.support = w.support;
+  return p;
+}
+
+PartialWire NodeRuntime::ToWire(const Partial& p) {
+  PartialWire w;
+  w.matched_mask = p.mask;
+  std::vector<std::pair<SymbolId, Term>> bindings(p.subst.map().begin(),
+                                                  p.subst.map().end());
+  std::sort(bindings.begin(), bindings.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.bindings = std::move(bindings);
+  w.support = p.support;
+  return w;
+}
+
+bool NodeRuntime::EvalFilters(const DeltaPlan& delta, Partial* p) {
+  const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (p->mask & (1u << i)) continue;
+      const Literal& lit = rule.body[i];
+      if (!IsFilter(lit)) continue;
+      auto side_bound = [&](const Term& t) {
+        std::vector<SymbolId> vars;
+        t.CollectVariables(&vars);
+        return std::all_of(vars.begin(), vars.end(), [&](SymbolId v) {
+          return p->subst.IsBound(v);
+        });
+      };
+      if (lit.kind == Literal::Kind::kComparison) {
+        bool lb = side_bound(lit.lhs);
+        bool rb = side_bound(lit.rhs);
+        if (lb && rb) {
+          StatusOr<Term> lhs = EvalTerm(p->subst.Apply(lit.lhs),
+                                        shared_->registry);
+          StatusOr<Term> rhs = EvalTerm(p->subst.Apply(lit.rhs),
+                                        shared_->registry);
+          if (!lhs.ok() || !rhs.ok()) return false;
+          if (!EvalCmp(lit.cmp, *lhs, *rhs)) return false;
+          p->mask |= (1u << i);
+          changed = true;
+        } else if (lit.cmp == CmpOp::kEq && (lb != rb)) {
+          StatusOr<Term> src = EvalTerm(
+              p->subst.Apply(lb ? lit.lhs : lit.rhs), shared_->registry);
+          if (!src.ok() || !src->is_ground()) continue;
+          const Term& pattern = lb ? lit.rhs : lit.lhs;
+          if (!SolveMatchTerm(pattern, *src, &p->subst, shared_->registry)) {
+            return false;
+          }
+          p->mask |= (1u << i);
+          changed = true;
+        }
+      } else {  // builtin
+        std::vector<SymbolId> vars;
+        lit.atom.CollectVariables(&vars);
+        bool bound = std::all_of(vars.begin(), vars.end(), [&](SymbolId v) {
+          return p->subst.IsBound(v);
+        });
+        if (!bound) continue;
+        const BuiltinPredicateFn* fn = shared_->registry.FindPredicate(
+            lit.atom.predicate, lit.atom.arity());
+        if (fn == nullptr) return false;
+        std::vector<Term> args;
+        bool args_ok = true;
+        for (const Term& a : lit.atom.args) {
+          StatusOr<Term> n = EvalTerm(p->subst.Apply(a), shared_->registry);
+          if (!n.ok()) {
+            args_ok = false;
+            break;
+          }
+          args.push_back(std::move(n).value());
+        }
+        if (!args_ok) return false;
+        StatusOr<bool> holds = (*fn)(args);
+        if (!holds.ok()) return false;
+        if ((*holds == lit.builtin_negated)) return false;
+        p->mask |= (1u << i);
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool NodeRuntime::IsPositiveComplete(const DeltaPlan& delta,
+                                     const Partial& p) const {
+  const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (rule.body[i].kind != Literal::Kind::kPositive) continue;
+    if (!(p.mask & (1u << i))) return false;
+  }
+  return true;
+}
+
+void NodeRuntime::ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
+                                      bool removal, Timestamp update_ts,
+                                      const TupleId& update_id,
+                                      int extend_literal, bool at_launch,
+                                      std::vector<Partial>* partials) {
+  (void)ctx;
+  const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+  const auto& launch_ok = shared_->launch_evaluable[static_cast<size_t>(
+      &delta - shared_->plan.deltas.data())];
+  const Literal& pinned = rule.body[delta.pinned_literal];
+  // §IV-B: when a tuple is *deleted from a negated stream*, the revived
+  // derivations must still fail against any other tuple matching the same
+  // ground subgoal — the deleted tuple itself is excluded.
+  bool check_pinned_neg =
+      pinned.kind == Literal::Kind::kNegated && !removal;
+
+  // extend_literal: -2 = everything is local (centroid / local-only final),
+  // -1 = per-mode default, >= 0 = only that literal (multipass).
+  auto extendable = [&](size_t i) {
+    if (i == delta.pinned_literal) return false;
+    if (rule.body[i].kind != Literal::Kind::kPositive) return false;
+    if (extend_literal == -2) return true;
+    if (extend_literal >= 0) return i == static_cast<size_t>(extend_literal);
+    if (at_launch) return launch_ok[i] != 0;
+    // Sweep node: literals not resolvable at launch.
+    return launch_ok[i] == 0;
+  };
+  bool all_local = extend_literal == -2;
+
+  std::vector<Partial> out;
+  std::vector<Partial> work = std::move(*partials);
+  partials->clear();
+  while (!work.empty()) {
+    Partial p = std::move(work.back());
+    work.pop_back();
+    if (!EvalFilters(delta, &p)) continue;
+
+    // Negation checks. Removal passes skip them entirely: removing a
+    // derivation is idempotent (a never-added derivation is a no-op), and
+    // filtering removals through negations can orphan derivations whose
+    // blocker arrived after they were added.
+    bool dead = false;
+    for (size_t i = 0; !removal && i < rule.body.size() && !dead; ++i) {
+      const Literal& lit = rule.body[i];
+      bool is_pinned = (i == delta.pinned_literal);
+      if (lit.kind != Literal::Kind::kNegated) continue;
+      if (is_pinned && !check_pinned_neg) continue;
+      if (!is_pinned && (p.mask & (1u << i))) continue;  // already verified
+      // Only check once ground.
+      std::vector<SymbolId> vars;
+      lit.atom.CollectVariables(&vars);
+      bool bound = std::all_of(vars.begin(), vars.end(), [&](SymbolId v) {
+        return p.subst.IsBound(v);
+      });
+      if (!bound) continue;
+      std::vector<Term> args;
+      bool ok = true;
+      for (const Term& a : lit.atom.args) {
+        StatusOr<Term> n = EvalTerm(p.subst.Apply(a), shared_->registry);
+        if (!n.ok() || !n->is_ground()) {
+          ok = false;
+          break;
+        }
+        args.push_back(std::move(n).value());
+      }
+      if (!ok) continue;
+      std::optional<TupleId> exclude;
+      if (is_pinned) exclude = update_id;
+      if (NegMatchLocally(lit.atom.predicate, args, update_ts, exclude)) {
+        dead = true;
+        break;
+      }
+      // Maskable negations (data fully visible here) are done for good.
+      if (!is_pinned &&
+          (all_local || (at_launch && launch_ok[i] != 0))) {
+        p.mask |= (1u << i);
+      }
+    }
+    if (dead) continue;
+
+    // Extensions.
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (p.mask & (1u << i)) continue;
+      if (!extendable(i)) continue;
+      const Literal& lit = rule.body[i];
+      auto rit = replicas_.find(lit.atom.predicate);
+      if (rit == replicas_.end()) continue;
+      Timestamp window = shared_->plan.pred_plan(lit.atom.predicate).window;
+      for (const auto& [rid, rep] : rit->second) {
+        if (!Visible(rep, update_ts, window, removal)) continue;
+        Partial p2 = p;
+        if (!SolveMatchTerms(lit.atom.args, rep.fact.args(), &p2.subst,
+                             shared_->registry)) {
+          continue;
+        }
+        p2.mask |= (1u << i);
+        p2.support.emplace_back(static_cast<uint32_t>(i), rid);
+        work.push_back(std::move(p2));
+      }
+    }
+    out.push_back(std::move(p));
+  }
+  *partials = std::move(out);
+}
+
+std::vector<NodeId> NodeRuntime::SweepPath(const DeltaPlan& delta,
+                                           NodeId source,
+                                           uint32_t pass_index) const {
+  std::vector<NodeId> path =
+      delta.strategy == JoinStrategy::kSerpentine
+          ? shared_->regions->SerpentinePath()
+          : shared_->regions->VerticalPath(source);
+  if (pass_index % 2 == 1) std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
+                                   const Fact& fact, const TupleId& id,
+                                   StreamOp op, Timestamp update_ts) {
+  LaunchAggregates(ctx, pred, fact, id, op, update_ts);
+  auto dit = shared_->plan.deltas_by_pred.find(pred);
+  if (dit == shared_->plan.deltas_by_pred.end()) return;
+  for (size_t delta_index : dit->second) {
+    const DeltaPlan& delta = shared_->plan.deltas[delta_index];
+    const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+    const Literal& pinned = rule.body[delta.pinned_literal];
+    Partial p0;
+    if (!SolveMatchTerms(pinned.atom.args, fact.args(), &p0.subst,
+                         shared_->registry)) {
+      continue;  // constants in the pinned literal do not match this tuple
+    }
+    p0.mask = 1u << delta.pinned_literal;
+    if (pinned.kind == Literal::Kind::kPositive) {
+      p0.support.emplace_back(static_cast<uint32_t>(delta.pinned_literal),
+                              id);
+    }
+    bool removal =
+        (pinned.kind == Literal::Kind::kPositive) == (op == StreamOp::kDelete);
+    // §IV-B: deleting a tuple of a negated stream only revives derivations
+    // if no *other* tuple matches the same ground subgoal. The duplicates
+    // live on this node (local/home storage) or are re-checked along the
+    // sweep; either way a local hit blocks everything early.
+    if (pinned.kind == Literal::Kind::kNegated && op == StreamOp::kDelete &&
+        NegMatchLocally(pred, fact.args(), update_ts, id)) {
+      continue;
+    }
+    ++shared_->stats.join_passes;
+
+    std::vector<Partial> partials = {std::move(p0)};
+    if (delta.strategy != JoinStrategy::kLocalRoute &&
+        delta.strategy != JoinStrategy::kCentroid) {
+      // Resolve launch-evaluable literals here.
+      ProcessPartialsHere(ctx, delta, removal, update_ts, id,
+                          /*extend_literal=*/-1, /*at_launch=*/true,
+                          &partials);
+    }
+    if (partials.empty()) continue;
+
+    JoinPassWire jp;
+    jp.delta_index = static_cast<uint32_t>(delta_index);
+    jp.removal = removal;
+    jp.update_ts = update_ts;
+    jp.update_id = id;
+    jp.pass_index = 0;
+    for (const Partial& p : partials) jp.partials.push_back(ToWire(p));
+
+    switch (delta.strategy) {
+      case JoinStrategy::kLocalOnly:
+        EmitComplete(ctx, delta, removal, update_ts, std::move(partials));
+        break;
+      case JoinStrategy::kCentroid: {
+        NodeId centroid = shared_->regions->CentroidNode();
+        jp.final_target = centroid;
+        if (centroid == id_) {
+          HandleJoinPass(ctx, std::move(jp));
+        } else {
+          ++shared_->stats.pass_messages;
+          SendEngineMessage(ctx, centroid, jp.Encode());
+        }
+        break;
+      }
+      case JoinStrategy::kColumnSweep:
+      case JoinStrategy::kSerpentine: {
+        std::vector<NodeId> path = SweepPath(delta, id.source, 0);
+        jp.final_target = path[0];
+        jp.path_remaining.assign(path.begin() + 1, path.end());
+        if (path[0] == id_) {
+          HandleJoinPass(ctx, std::move(jp));
+        } else {
+          ++shared_->stats.pass_messages;
+          SendEngineMessage(ctx, jp.final_target, jp.Encode());
+        }
+        break;
+      }
+      case JoinStrategy::kLocalRoute: {
+        jp.final_target = id_;
+        HandleJoinPass(ctx, std::move(jp));
+        break;
+      }
+    }
+  }
+}
+
+void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
+  if (jp.delta_index >= shared_->plan.deltas.size()) {
+    Fault("bad delta index");
+    return;
+  }
+  const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  shared_->stats.max_partials_in_message = std::max(
+      shared_->stats.max_partials_in_message,
+      static_cast<uint64_t>(jp.partials.size()));
+  if (delta.strategy == JoinStrategy::kLocalRoute) {
+    RunRouteStep(ctx, std::move(jp));
+    return;
+  }
+  RunPassHere(ctx, std::move(jp));
+}
+
+void NodeRuntime::RunPassHere(NodeContext* ctx, JoinPassWire jp) {
+  const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  std::vector<Partial> partials;
+  partials.reserve(jp.partials.size());
+  for (const PartialWire& w : jp.partials) partials.push_back(FromWire(w));
+
+  if (delta.strategy == JoinStrategy::kCentroid ||
+      delta.strategy == JoinStrategy::kLocalOnly) {
+    // All data is local: extend everything, then emit.
+    ProcessPartialsHere(ctx, delta, jp.removal, jp.update_ts, jp.update_id,
+                        /*extend_literal=*/-2, /*at_launch=*/false,
+                        &partials);
+    EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+    return;
+  }
+
+  // Sweep node.
+  uint32_t total_passes = shared_->total_passes[jp.delta_index];
+  int extend_literal = -1;
+  if (delta.multipass) {
+    extend_literal = jp.pass_index < delta.pass_literals.size()
+                         ? static_cast<int>(delta.pass_literals[jp.pass_index])
+                         : INT32_MAX;  // trailing negation pass: no extension
+  } else if (jp.pass_index >= 1) {
+    extend_literal = INT32_MAX;  // single-pass negation sweep
+  }
+  ProcessPartialsHere(ctx, delta, jp.removal, jp.update_ts, jp.update_id,
+                      extend_literal, /*at_launch=*/false, &partials);
+
+  if (partials.empty()) return;  // nothing left to carry
+
+  if (!jp.path_remaining.empty()) {
+    JoinPassWire next = jp;
+    next.partials.clear();
+    for (const Partial& p : partials) next.partials.push_back(ToWire(p));
+    next.final_target = jp.path_remaining[0];
+    next.path_remaining.assign(jp.path_remaining.begin() + 1,
+                               jp.path_remaining.end());
+    ++shared_->stats.pass_messages;
+    SendEngineMessage(ctx, next.final_target, next.Encode());
+    return;
+  }
+
+  // End of this pass.
+  if (jp.pass_index + 1 < total_passes) {
+    JoinPassWire next = jp;
+    next.pass_index = jp.pass_index + 1;
+    std::vector<NodeId> path =
+        SweepPath(delta, jp.update_id.source, next.pass_index);
+    // The reversed path starts where we are; skip ourselves: this node has
+    // just processed under the *previous* pass semantics, but the new pass
+    // must also process here (different extension literal), so keep it.
+    next.partials.clear();
+    for (const Partial& p : partials) next.partials.push_back(ToWire(p));
+    next.final_target = path[0];
+    next.path_remaining.assign(path.begin() + 1, path.end());
+    if (path[0] == id_) {
+      HandleJoinPass(ctx, std::move(next));
+    } else {
+      ++shared_->stats.pass_messages;
+      SendEngineMessage(ctx, next.final_target, next.Encode());
+    }
+    return;
+  }
+
+  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+}
+
+void NodeRuntime::RunRouteStep(NodeContext* ctx, JoinPassWire jp) {
+  const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+  std::vector<Partial> partials;
+  partials.reserve(jp.partials.size());
+  for (const PartialWire& w : jp.partials) partials.push_back(FromWire(w));
+
+  size_t step_idx = jp.pass_index;
+  while (step_idx < delta.steps.size() && !partials.empty()) {
+    const RouteStep& step = delta.steps[step_idx];
+    const Literal& lit = rule.body[step.literal];
+
+    if (step.where == RouteStep::Where::kAtArgNode) {
+      // Partition by target node; keep ours, forward the rest.
+      std::map<NodeId, std::vector<Partial>> groups;
+      std::vector<Partial> mine;
+      for (Partial& p : partials) {
+        Term t = p.subst.Apply(lit.atom.args[step.arg]);
+        StatusOr<Term> n = EvalTerm(t, shared_->registry);
+        if (n.ok()) t = std::move(n).value();
+        if (!t.is_constant() || !t.value().is_int()) {
+          Fault("route argument is not a node id in " + lit.ToString());
+          continue;
+        }
+        NodeId target = static_cast<NodeId>(t.value().as_int());
+        if (target < 0 || target >= shared_->topology->node_count()) {
+          Fault(StrFormat("route target %d out of range", target));
+          continue;
+        }
+        if (target == id_) {
+          mine.push_back(std::move(p));
+        } else {
+          groups[target].push_back(std::move(p));
+        }
+      }
+      for (auto& [target, group] : groups) {
+        JoinPassWire next = jp;
+        next.pass_index = static_cast<uint32_t>(step_idx);
+        next.final_target = target;
+        next.partials.clear();
+        for (const Partial& p : group) next.partials.push_back(ToWire(p));
+        ++shared_->stats.pass_messages;
+        SendEngineMessage(ctx, target, next.Encode());
+      }
+      partials = std::move(mine);
+      if (partials.empty()) return;
+    }
+
+    // Evaluate the step's literal locally.
+    std::vector<Partial> out;
+    Timestamp window = shared_->plan.pred_plan(lit.atom.predicate).window;
+    for (Partial& p : partials) {
+      if (!EvalFilters(delta, &p)) continue;
+      if (lit.kind == Literal::Kind::kPositive) {
+        auto rit = replicas_.find(lit.atom.predicate);
+        if (rit == replicas_.end()) continue;
+        for (const auto& [rid, rep] : rit->second) {
+          if (!Visible(rep, jp.update_ts, window, jp.removal)) continue;
+          Partial p2 = p;
+          if (!SolveMatchTerms(lit.atom.args, rep.fact.args(), &p2.subst,
+                               shared_->registry)) {
+            continue;
+          }
+          p2.mask |= (1u << step.literal);
+          p2.support.emplace_back(static_cast<uint32_t>(step.literal), rid);
+          if (EvalFilters(delta, &p2)) out.push_back(std::move(p2));
+        }
+      } else {  // negated step
+        if (jp.removal) {
+          // Removal passes skip negation filters (see ProcessPartialsHere).
+          p.mask |= (1u << step.literal);
+          out.push_back(std::move(p));
+          continue;
+        }
+        std::vector<Term> args;
+        bool ok = true;
+        for (const Term& a : lit.atom.args) {
+          StatusOr<Term> n = EvalTerm(p.subst.Apply(a), shared_->registry);
+          if (!n.ok() || !n->is_ground()) {
+            ok = false;
+            break;
+          }
+          args.push_back(std::move(n).value());
+        }
+        if (!ok) {
+          Fault("negated route step not ground: " + lit.ToString());
+          continue;
+        }
+        if (NegMatchLocally(lit.atom.predicate, args, jp.update_ts,
+                            std::nullopt)) {
+          continue;  // blocked
+        }
+        p.mask |= (1u << step.literal);
+        out.push_back(std::move(p));
+      }
+    }
+    partials = std::move(out);
+    ++step_idx;
+  }
+  if (partials.empty()) return;
+
+  // Pinned-negated deletion check (§IV-B): done at launch node for
+  // local-route (the duplicates live at the update's own home). jp may have
+  // travelled, so re-checking here would be incomplete; the launch node did
+  // it via LaunchJoinPasses -> ... -> RunRouteStep step 0 at the source.
+  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+}
+
+void NodeRuntime::EmitComplete(NodeContext* ctx, const DeltaPlan& delta,
+                               bool removal, Timestamp update_ts,
+                               std::vector<Partial> partials) {
+  const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
+  const auto& sweep_neg =
+      shared_->sweep_checked_negation[&delta - shared_->plan.deltas.data()];
+  for (Partial& p : partials) {
+    if (!EvalFilters(delta, &p)) continue;
+    if (!IsPositiveComplete(delta, p)) continue;
+    bool ok = true;
+    for (size_t i = 0; i < rule.body.size() && ok; ++i) {
+      if (p.mask & (1u << i)) continue;
+      if (i == delta.pinned_literal) continue;
+      const Literal& lit = rule.body[i];
+      if (lit.kind == Literal::Kind::kNegated) {
+        // Sweep-checked negations were verified along the pass; removal
+        // passes skip negation filters altogether; anything else unmasked
+        // means the plan failed to place it.
+        if (!sweep_neg[i] && !removal) ok = false;
+      } else {
+        ok = false;  // unresolved filter: should not happen for safe rules
+      }
+    }
+    if (!ok) {
+      Fault("incomplete partial at emission for rule " + rule.ToString());
+      continue;
+    }
+    // Build the head.
+    std::vector<Term> args;
+    bool ground = true;
+    for (const Term& a : rule.head.args) {
+      StatusOr<Term> n = EvalTerm(p.subst.Apply(a), shared_->registry);
+      if (!n.ok() || !n->is_ground()) {
+        ground = false;
+        break;
+      }
+      args.push_back(std::move(n).value());
+    }
+    if (!ground) {
+      Fault("non-ground head at emission for rule " + rule.ToString());
+      continue;
+    }
+    Fact head(rule.head.predicate, std::move(args));
+
+    ResultWire rw;
+    rw.pred = head.predicate();
+    rw.fact = head;
+    rw.removal = removal;
+    rw.rule_id = rule.id;
+    std::sort(p.support.begin(), p.support.end());
+    for (const auto& [lit, tid] : p.support) rw.support.push_back(tid);
+    rw.update_ts = update_ts;
+    ShipResult(ctx, std::move(rw));
+  }
+}
+
+void NodeRuntime::ShipResult(NodeContext* ctx, ResultWire rw) {
+  NodeId home = HomeOf(shared_->plan.pred_plan(rw.pred), rw.fact);
+  rw.final_target = home;
+  ++shared_->stats.results_emitted;
+  if (home == id_) {
+    ApplyResult(ctx, rw);
+  } else {
+    SendEngineMessage(ctx, home, rw.Encode());
+  }
+}
+
+void NodeRuntime::LaunchAggregates(NodeContext* ctx, SymbolId pred,
+                                   const Fact& fact, const TupleId& id,
+                                   StreamOp op, Timestamp update_ts) {
+  auto ait = shared_->plan.aggregates_by_pred.find(pred);
+  if (ait == shared_->plan.aggregates_by_pred.end()) return;
+  for (size_t plan_index : ait->second) {
+    const AggregatePlan& plan = shared_->plan.aggregates[plan_index];
+    const Rule& rule = shared_->plan.program.rules()[plan.rule_index];
+    const Literal& source = rule.body[plan.source_literal];
+    Partial p;
+    if (!SolveMatchTerms(source.atom.args, fact.args(), &p.subst,
+                         shared_->registry)) {
+      continue;
+    }
+    p.mask = 1u << plan.source_literal;
+    DeltaPlan filter_plan;  // EvalFilters only consults the rule index
+    filter_plan.rule_index = plan.rule_index;
+    filter_plan.pinned_literal = plan.source_literal;
+    if (!EvalFilters(filter_plan, &p)) continue;
+    // Group key: the head arguments except the aggregate position.
+    AggWire aw;
+    aw.plan_index = static_cast<uint32_t>(plan_index);
+    aw.removal = op == StreamOp::kDelete;
+    bool ok = true;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (i == plan.agg_position) continue;
+      StatusOr<Term> n =
+          EvalTerm(p.subst.Apply(rule.head.args[i]), shared_->registry);
+      if (!n.ok() || !n->is_ground()) {
+        ok = false;
+        break;
+      }
+      aw.group.push_back(std::move(n).value());
+    }
+    StatusOr<Term> value =
+        EvalTerm(p.subst.Apply(plan.input), shared_->registry);
+    if (!ok || !value.ok() || !value->is_ground()) {
+      Fault("aggregate group/value not ground for rule " + rule.ToString());
+      continue;
+    }
+    aw.value = std::move(value).value();
+    aw.contributor = id;
+    aw.update_ts = update_ts;
+    // Group home: stable hash of (rule, group key).
+    std::string key = StrFormat("agg%zu", plan_index);
+    for (const Term& t : aw.group) key += "\x1f" + t.ToString();
+    NodeId home = shared_->geohash->HomeForKey(Fnv1a(key));
+    aw.final_target = home;
+    if (home == id_) {
+      HandleAgg(ctx, std::move(aw));
+    } else {
+      SendEngineMessage(ctx, home, aw.Encode());
+    }
+  }
+}
+
+void NodeRuntime::HandleAgg(NodeContext* ctx, AggWire aw) {
+  if (aw.plan_index >= shared_->plan.aggregates.size()) {
+    Fault("bad aggregate plan index");
+    return;
+  }
+  const AggregatePlan& plan = shared_->plan.aggregates[aw.plan_index];
+  const Rule& rule = shared_->plan.program.rules()[plan.rule_index];
+
+  std::string key;
+  for (const Term& t : aw.group) key += t.ToString() + "\x1f";
+  AggGroup& group = agg_state_[aw.plan_index][key];
+
+  if (aw.removal) {
+    group.contributions.erase(aw.contributor);
+  } else {
+    group.contributions.emplace(aw.contributor, aw.value);
+    // Windowed source streams: the contribution retires with its tuple.
+    Timestamp window =
+        shared_->plan.pred_plan(rule.body[plan.source_literal].atom.predicate)
+            .window;
+    if (window != kNoWindow) {
+      AggWire expiry = aw;
+      expiry.removal = true;
+      SimTime delay =
+          std::max<SimTime>(0, aw.update_ts + window - ctx->LocalTime());
+      NewTimer(ctx, delay, [this, ctx, expiry]() {
+        HandleAgg(ctx, expiry);
+      });
+    }
+  }
+
+  // Recompute the aggregate for this group.
+  std::optional<Fact> next;
+  if (!group.contributions.empty()) {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_int = true;
+    int64_t isum = 0;
+    std::optional<Term> best;
+    for (const auto& [cid, v] : group.contributions) {
+      ++count;
+      if (v.is_constant() && v.value().is_number()) {
+        sum += v.value().AsNumber();
+        if (v.value().is_int()) {
+          isum += v.value().as_int();
+        } else {
+          sum_int = false;
+        }
+      }
+      if (!best.has_value() ||
+          (plan.kind == AggKind::kMin && v.Compare(*best) < 0) ||
+          (plan.kind == AggKind::kMax && v.Compare(*best) > 0)) {
+        best = v;
+      }
+    }
+    Term result;
+    switch (plan.kind) {
+      case AggKind::kCount:
+        result = Term::Int(count);
+        break;
+      case AggKind::kSum:
+        result = sum_int ? Term::Int(isum) : Term::Real(sum);
+        break;
+      case AggKind::kAvg:
+        result = Term::Real(sum / static_cast<double>(count));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        result = *best;
+        break;
+    }
+    std::vector<Term> args;
+    size_t gi = 0;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      args.push_back(i == plan.agg_position ? result : aw.group[gi++]);
+    }
+    next = Fact(rule.head.predicate, std::move(args));
+  }
+
+  if (group.emitted == next) return;  // value unchanged
+  Timestamp now = ctx->LocalTime();
+  Derivation d;
+  d.rule_id = rule.id;
+  if (group.emitted.has_value()) {
+    ResultWire rw;
+    rw.pred = group.emitted->predicate();
+    rw.fact = *group.emitted;
+    rw.removal = true;
+    rw.rule_id = rule.id;
+    rw.update_ts = now;
+    ShipResult(ctx, std::move(rw));
+  }
+  if (next.has_value()) {
+    ResultWire rw;
+    rw.pred = next->predicate();
+    rw.fact = *next;
+    rw.removal = false;
+    rw.rule_id = rule.id;
+    rw.update_ts = now;
+    ShipResult(ctx, std::move(rw));
+  }
+  group.emitted = next;
+}
+
+NodeId NodeRuntime::HomeOf(const PredicatePlan& plan, const Fact& fact) const {
+  if (plan.home_arg.has_value()) {
+    const Term& t = fact.args()[*plan.home_arg];
+    if (t.is_constant() && t.value().is_int()) {
+      NodeId n = static_cast<NodeId>(t.value().as_int());
+      if (n >= 0 && n < shared_->topology->node_count()) return n;
+    }
+    // Fall through to hashing on malformed home args.
+  }
+  return shared_->geohash->HomeNode(fact);
+}
+
+void NodeRuntime::HandleResult(NodeContext* ctx, ResultWire rw) {
+  ApplyResult(ctx, rw);
+}
+
+void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
+  HomeRel& rel = home_[rw.pred];
+  auto [it, inserted] = rel.map.emplace(rw.fact, HomeEntry{});
+  if (inserted) rel.order.push_back(rw.fact);
+  HomeEntry& e = it->second;
+
+  Derivation d;
+  d.rule_id = rw.rule_id;
+  d.support = rw.support;
+
+  if (!rw.removal) {
+    if (!e.derivs.insert(d).second) return;  // duplicate derivation
+    ++shared_->stats.derivations_added;
+    if (e.alive || e.pending) return;
+    // First derivation: the derived tuple will be generated here (§III-B),
+    // after the finalization wait of §IV-C — a retraction arriving within
+    // the wait silently cancels the generation.
+    e.pending = true;
+    uint64_t epoch = ++e.epoch;
+    SymbolId pred = rw.pred;
+    Fact fact = rw.fact;
+    NewTimer(ctx, shared_->timing.finalize_delay,
+             [this, ctx, pred, fact, epoch]() {
+               FinalizeGeneration(ctx, pred, fact, epoch);
+             });
+  } else {
+    if (e.derivs.erase(d) == 0) return;
+    ++shared_->stats.derivations_removed;
+    if (!e.derivs.empty()) return;
+    if (e.pending) {
+      // Retracted before generation: absorbed, no traffic.
+      e.pending = false;
+      ++e.epoch;
+      return;
+    }
+    if (!e.alive) return;
+    e.alive = false;
+    Timestamp now = ctx->LocalTime();
+    ++shared_->stats.derived_deletions;
+    GenerateDerivedUpdate(ctx, rw.pred, rw.fact, e.id, StreamOp::kDelete, now);
+  }
+}
+
+void NodeRuntime::FinalizeGeneration(NodeContext* ctx, SymbolId pred,
+                                     const Fact& fact, uint64_t epoch) {
+  auto hit = home_.find(pred);
+  if (hit == home_.end()) return;
+  auto fit = hit->second.map.find(fact);
+  if (fit == hit->second.map.end()) return;
+  HomeEntry& e = fit->second;
+  if (!e.pending || e.epoch != epoch) return;
+  e.pending = false;
+  if (e.derivs.empty()) return;
+  Timestamp now = ctx->LocalTime();
+  e.alive = true;
+  e.id = TupleId{id_, now, seq_++};
+  e.gen_ts = now;
+  ++shared_->stats.derived_generations;
+  GenerateDerivedUpdate(ctx, pred, fact, e.id, StreamOp::kInsert, now);
+  // Windowed derived streams expire (generating a deletion update).
+  Timestamp window = shared_->plan.pred_plan(pred).window;
+  if (window != kNoWindow) {
+    TupleId gen_id = e.id;
+    NewTimer(ctx, window, [this, ctx, pred, fact, gen_id]() {
+      auto hit2 = home_.find(pred);
+      if (hit2 == home_.end()) return;
+      auto fit2 = hit2->second.map.find(fact);
+      if (fit2 == hit2->second.map.end()) return;
+      HomeEntry& entry = fit2->second;
+      if (!entry.alive || entry.id != gen_id) return;
+      entry.alive = false;
+      entry.derivs.clear();
+      Timestamp now2 = ctx->LocalTime();
+      ++shared_->stats.derived_deletions;
+      GenerateDerivedUpdate(ctx, pred, fact, gen_id, StreamOp::kDelete, now2);
+    });
+  }
+}
+
+void NodeRuntime::GenerateDerivedUpdate(NodeContext* ctx, SymbolId pred,
+                                        const Fact& fact, const TupleId& id,
+                                        StreamOp op, Timestamp ts) {
+  StartStoragePhase(ctx, pred, fact, id, op == StreamOp::kInsert ? ts : 0,
+                    /*deletion=*/op == StreamOp::kDelete, ts);
+  Fact f = fact;
+  TupleId tid = id;
+  NewTimer(ctx, shared_->timing.JoinDelay(), [this, ctx, pred, f, tid, op,
+                                              ts]() {
+    LaunchJoinPasses(ctx, pred, f, tid, op, ts);
+  });
+}
+
+std::vector<Fact> NodeRuntime::HomeFacts(SymbolId pred) const {
+  std::vector<Fact> out;
+  auto it = home_.find(pred);
+  if (it == home_.end()) return out;
+  for (const Fact& f : it->second.order) {
+    if (it->second.map.at(f).alive) out.push_back(f);
+  }
+  return out;
+}
+
+size_t NodeRuntime::ReplicaCount() const {
+  size_t n = 0;
+  for (const auto& [pred, reps] : replicas_) n += reps.size();
+  return n;
+}
+
+size_t NodeRuntime::DerivationCount() const {
+  size_t n = 0;
+  for (const auto& [pred, rel] : home_) {
+    for (const auto& [fact, e] : rel.map) n += e.derivs.size();
+  }
+  return n;
+}
+
+}  // namespace deduce

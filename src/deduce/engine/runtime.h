@@ -1,0 +1,228 @@
+#ifndef DEDUCE_ENGINE_RUNTIME_H_
+#define DEDUCE_ENGINE_RUNTIME_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "deduce/datalog/unify.h"
+#include "deduce/engine/plan.h"
+#include "deduce/engine/regions.h"
+#include "deduce/engine/wire.h"
+#include "deduce/eval/incremental.h"  // Derivation
+#include "deduce/routing/geo_hash.h"
+#include "deduce/routing/routing.h"
+
+namespace deduce {
+
+/// Engine-level counters, shared by all node runtimes (single-process
+/// simulation; the distributed system would aggregate these offline).
+struct EngineStats {
+  uint64_t tuples_injected = 0;
+  uint64_t join_passes = 0;
+  uint64_t pass_messages = 0;
+  uint64_t results_emitted = 0;
+  uint64_t derivations_added = 0;
+  uint64_t derivations_removed = 0;
+  uint64_t derived_generations = 0;
+  uint64_t derived_deletions = 0;
+  uint64_t replicas_stored = 0;
+  uint64_t max_partials_in_message = 0;
+  /// Runtime faults (decode failures, unroutable homes, ...). Non-empty
+  /// means a bug or an injected fault; equivalence tests assert empty.
+  std::vector<std::string> errors;
+};
+
+/// Timing discipline parameters (§IV-B / Theorem 3), computed from the
+/// topology and link model at engine creation.
+struct EngineTiming {
+  SimTime tau_s = 0;  ///< Upper bound on a storage phase.
+  SimTime tau_j = 0;  ///< Upper bound on a join-computation phase.
+  SimTime tau_c = 0;  ///< Max clock skew between any two nodes.
+
+  /// Delay between storage-phase start and join-computation start.
+  SimTime JoinDelay() const { return tau_s + tau_c; }
+  /// §IV-C: "we need to wait for an appropriate time before actually
+  /// finalizing a derived fact (since it may be retracted/deleted later)".
+  /// A home entry whose derivation set becomes non-empty waits this long
+  /// before generating the derived-stream update; retractions within the
+  /// window are absorbed with zero network traffic.
+  SimTime finalize_delay = 0;
+  /// Extra lifetime of a replica beyond its window: (τs+τc)+τj+τc.
+  SimTime ExpirySlack() const { return tau_s + tau_c + tau_j + tau_c; }
+};
+
+/// State shared (read-mostly) by all node runtimes of one engine.
+struct EngineShared {
+  QueryPlan plan;
+  BuiltinRegistry registry;
+  const Topology* topology = nullptr;
+  std::unique_ptr<RegionMapper> regions;
+  std::unique_ptr<RoutingTable> routing;
+  std::unique_ptr<GeoHash> geohash;
+  EngineTiming timing;
+  EngineStats stats;
+
+  /// Literals a join pass can resolve at its launch node (data replicated
+  /// everywhere / within the rule's spatial scope), per delta plan.
+  std::vector<std::vector<char>> launch_evaluable;  // [delta][literal]
+  /// Negated literals that must be verified along the whole sweep, per
+  /// delta plan.
+  std::vector<std::vector<char>> sweep_checked_negation;
+  /// Total sweep passes per delta (multipass + trailing negation pass).
+  std::vector<uint32_t> total_passes;
+};
+
+/// The per-node engine runtime (§V Fig. 3: join component + hashing
+/// component + routing component + local tables).
+class NodeRuntime : public NodeApp {
+ public:
+  NodeRuntime(EngineShared* shared, NodeId id);
+
+  void Start(NodeContext* ctx) override;
+  void OnMessage(NodeContext* ctx, const Message& msg) override;
+  void OnTimer(NodeContext* ctx, int timer_id) override;
+
+  /// Injects a base-stream update at this node (the sensing API).
+  /// Insertions assign a fresh TupleId; deletions must name a fact this
+  /// node previously generated and not yet deleted.
+  Status Inject(NodeContext* ctx, StreamOp op, const Fact& fact);
+
+  /// Alive facts of this node's home store for `pred` (derived stream
+  /// tuples whose home is this node).
+  std::vector<Fact> HomeFacts(SymbolId pred) const;
+
+  /// Number of replica entries currently held (memory accounting, §V).
+  size_t ReplicaCount() const;
+  size_t DerivationCount() const;
+
+ private:
+  /// One replica of a tuple, placed here by a storage phase.
+  struct Replica {
+    Fact fact;
+    Timestamp gen_ts = 0;
+    bool have_insert = false;          ///< False: deletion mark arrived first.
+    std::optional<Timestamp> del_ts;   ///< Deletion mark (§IV-A: not removed).
+  };
+
+  /// Home-store entry for a derived tuple hashed to this node.
+  struct HomeEntry {
+    TupleId id;
+    Timestamp gen_ts = 0;
+    bool alive = false;
+    /// Generation scheduled but not yet fired (finalization delay).
+    bool pending = false;
+    /// Invalidates stale finalization timers.
+    uint64_t epoch = 0;
+    std::set<Derivation> derivs;
+  };
+
+  /// In-memory partial result (wire form: PartialWire).
+  struct Partial {
+    uint32_t mask = 0;
+    Subst subst;
+    std::vector<std::pair<uint32_t, TupleId>> support;
+  };
+
+  // --- message handlers ---
+  void HandleStore(NodeContext* ctx, StoreWire store);
+  void HandleJoinPass(NodeContext* ctx, JoinPassWire jp);
+  void HandleResult(NodeContext* ctx, ResultWire rw);
+
+  // --- storage phase ---
+  void StartStoragePhase(NodeContext* ctx, SymbolId pred, const Fact& fact,
+                         const TupleId& id, Timestamp gen_ts, bool deletion,
+                         Timestamp del_ts);
+  void RecordReplica(NodeContext* ctx, const StoreWire& store);
+
+  // --- join phase ---
+  void LaunchJoinPasses(NodeContext* ctx, SymbolId pred, const Fact& fact,
+                        const TupleId& id, StreamOp op, Timestamp update_ts);
+  /// Processes a pass at this node; forwards / starts next pass / emits.
+  void RunPassHere(NodeContext* ctx, JoinPassWire jp);
+  void RunRouteStep(NodeContext* ctx, JoinPassWire jp);
+
+  /// Extends/filters `partials` in place against local replicas.
+  /// `extend_literal`: -1 = extend by every sweep literal, otherwise only
+  /// that literal. Drops killed partials.
+  void ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
+                           bool removal, Timestamp update_ts,
+                           const TupleId& update_id, int extend_literal,
+                           bool at_launch, std::vector<Partial>* partials);
+
+  /// Evaluates ready comparisons/builtins; returns false if the partial
+  /// dies. Marks evaluated literals in the mask.
+  bool EvalFilters(const DeltaPlan& delta, Partial* p);
+
+  /// True if some visible replica of `pred` matches `ground_atom_args`
+  /// (the NOT check). `exclude` skips the tuple being deleted (§IV-B).
+  bool NegMatchLocally(SymbolId pred, const std::vector<Term>& args,
+                       Timestamp update_ts,
+                       const std::optional<TupleId>& exclude) const;
+
+  bool IsPositiveComplete(const DeltaPlan& delta, const Partial& p) const;
+  void EmitComplete(NodeContext* ctx, const DeltaPlan& delta, bool removal,
+                    Timestamp update_ts, std::vector<Partial> partials);
+
+  // --- incremental aggregates (AggregatePlan) ---
+  void LaunchAggregates(NodeContext* ctx, SymbolId pred, const Fact& fact,
+                        const TupleId& id, StreamOp op, Timestamp update_ts);
+  void HandleAgg(NodeContext* ctx, AggWire aw);
+  /// Ships a complete result toward the head fact's home node.
+  void ShipResult(NodeContext* ctx, ResultWire rw);
+
+  // --- home store / derived streams ---
+  void ApplyResult(NodeContext* ctx, const ResultWire& rw);
+  void FinalizeGeneration(NodeContext* ctx, SymbolId pred, const Fact& fact,
+                          uint64_t epoch);
+  void GenerateDerivedUpdate(NodeContext* ctx, SymbolId pred, const Fact& fact,
+                             const TupleId& id, StreamOp op, Timestamp ts);
+
+  // --- helpers ---
+  NodeId HomeOf(const PredicatePlan& plan, const Fact& fact) const;
+  void SendEngineMessage(NodeContext* ctx, NodeId final_target, Message msg);
+  void Fault(const std::string& what);
+  std::vector<NodeId> SweepPath(const DeltaPlan& delta, NodeId source,
+                                uint32_t pass_index) const;
+  int NewTimer(NodeContext* ctx, SimTime delay, std::function<void()> fn);
+  /// Visibility of a replica for a join at update time τ (§IV-B window
+  /// predicate): generated in (τ - w, τ], not deleted before τ.
+  bool Visible(const Replica& r, Timestamp update_ts, Timestamp window,
+               bool for_removal = false) const;
+
+  static Partial FromWire(const PartialWire& w);
+  static PartialWire ToWire(const Partial& p);
+
+  EngineShared* shared_;
+  NodeId id_;
+
+  std::unordered_map<SymbolId, std::map<TupleId, Replica>> replicas_;
+  struct HomeRel {
+    std::unordered_map<Fact, HomeEntry, FactHash> map;
+    std::vector<Fact> order;
+  };
+  std::unordered_map<SymbolId, HomeRel> home_;
+
+  /// Flood dedup: (tuple id, deletion flag) pairs already seen.
+  std::set<std::pair<TupleId, bool>> flood_seen_;
+
+  /// Aggregate state at group homes: plan index -> group key -> live
+  /// contributions (keyed by source tuple id) + the currently-emitted fact.
+  struct AggGroup {
+    std::map<TupleId, Term> contributions;
+    std::optional<Fact> emitted;
+  };
+  std::map<uint32_t, std::map<std::string, AggGroup>> agg_state_;
+
+  std::unordered_map<int, std::function<void()>> timers_;
+  int next_timer_ = 0;
+  uint32_t seq_ = 0;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_RUNTIME_H_

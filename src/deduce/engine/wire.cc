@@ -1,0 +1,213 @@
+#include "deduce/engine/wire.h"
+
+#include "deduce/net/codec.h"
+
+namespace deduce {
+
+namespace {
+
+void WriteNodeList(PayloadWriter* w, const std::vector<NodeId>& nodes) {
+  w->WriteUint(nodes.size());
+  for (NodeId n : nodes) w->WriteInt(n);
+}
+
+StatusOr<std::vector<NodeId>> ReadNodeList(PayloadReader* r) {
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r->ReadUint());
+  if (n > r->remaining() + 1) {
+    return StatusOr<std::vector<NodeId>>(
+        Status::InvalidArgument("node list length exceeds payload"));
+  }
+  std::vector<NodeId> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DEDUCE_ASSIGN_OR_RETURN(int64_t v, r->ReadInt());
+    out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Message StoreWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteSymbol(pred);
+  w.WriteFact(fact);
+  w.WriteTupleId(id);
+  w.WriteInt(gen_ts);
+  w.WriteUint(deletion ? 1 : 0);
+  w.WriteInt(del_ts);
+  WriteNodeList(&w, path_remaining);
+  w.WriteInt(flood_ttl);
+  Message m;
+  m.type = kStoreMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<StoreWire> StoreWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  StoreWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(out.pred, r.ReadSymbol());
+  DEDUCE_ASSIGN_OR_RETURN(out.fact, r.ReadFact());
+  DEDUCE_ASSIGN_OR_RETURN(out.id, r.ReadTupleId());
+  DEDUCE_ASSIGN_OR_RETURN(out.gen_ts, r.ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t del, r.ReadUint());
+  out.deletion = del != 0;
+  DEDUCE_ASSIGN_OR_RETURN(out.del_ts, r.ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(out.path_remaining, ReadNodeList(&r));
+  DEDUCE_ASSIGN_OR_RETURN(int64_t ttl, r.ReadInt());
+  out.flood_ttl = static_cast<int32_t>(ttl);
+  return out;
+}
+
+Message JoinPassWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteUint(delta_index);
+  w.WriteUint(removal ? 1 : 0);
+  w.WriteInt(update_ts);
+  w.WriteTupleId(update_id);
+  w.WriteUint(pass_index);
+  WriteNodeList(&w, path_remaining);
+  w.WriteUint(partials.size());
+  for (const PartialWire& p : partials) {
+    w.WriteUint(p.matched_mask);
+    w.WriteUint(p.bindings.size());
+    for (const auto& [var, term] : p.bindings) {
+      w.WriteSymbol(var);
+      w.WriteTerm(term);
+    }
+    w.WriteUint(p.support.size());
+    for (const auto& [lit, id] : p.support) {
+      w.WriteUint(lit);
+      w.WriteTupleId(id);
+    }
+  }
+  Message m;
+  m.type = kJoinPassMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<JoinPassWire> JoinPassWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  JoinPassWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t delta, r.ReadUint());
+  out.delta_index = static_cast<uint32_t>(delta);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t removal, r.ReadUint());
+  out.removal = removal != 0;
+  DEDUCE_ASSIGN_OR_RETURN(out.update_ts, r.ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(out.update_id, r.ReadTupleId());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t pass, r.ReadUint());
+  out.pass_index = static_cast<uint32_t>(pass);
+  DEDUCE_ASSIGN_OR_RETURN(out.path_remaining, ReadNodeList(&r));
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r.ReadUint());
+  for (uint64_t i = 0; i < n; ++i) {
+    PartialWire p;
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t mask, r.ReadUint());
+    p.matched_mask = static_cast<uint32_t>(mask);
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t nb, r.ReadUint());
+    for (uint64_t b = 0; b < nb; ++b) {
+      DEDUCE_ASSIGN_OR_RETURN(SymbolId var, r.ReadSymbol());
+      DEDUCE_ASSIGN_OR_RETURN(Term term, r.ReadTerm());
+      p.bindings.emplace_back(var, std::move(term));
+    }
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t ns, r.ReadUint());
+    for (uint64_t s = 0; s < ns; ++s) {
+      DEDUCE_ASSIGN_OR_RETURN(uint64_t lit, r.ReadUint());
+      DEDUCE_ASSIGN_OR_RETURN(TupleId id, r.ReadTupleId());
+      p.support.emplace_back(static_cast<uint32_t>(lit), id);
+    }
+    out.partials.push_back(std::move(p));
+  }
+  return out;
+}
+
+Message ResultWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteSymbol(pred);
+  w.WriteFact(fact);
+  w.WriteUint(removal ? 1 : 0);
+  w.WriteInt(rule_id);
+  w.WriteUint(support.size());
+  for (const TupleId& id : support) w.WriteTupleId(id);
+  w.WriteInt(update_ts);
+  Message m;
+  m.type = kResultMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<ResultWire> ResultWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  ResultWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(out.pred, r.ReadSymbol());
+  DEDUCE_ASSIGN_OR_RETURN(out.fact, r.ReadFact());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t removal, r.ReadUint());
+  out.removal = removal != 0;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t rule, r.ReadInt());
+  out.rule_id = static_cast<int32_t>(rule);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r.ReadUint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DEDUCE_ASSIGN_OR_RETURN(TupleId id, r.ReadTupleId());
+    out.support.push_back(id);
+  }
+  DEDUCE_ASSIGN_OR_RETURN(out.update_ts, r.ReadInt());
+  return out;
+}
+
+Message AggWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteUint(plan_index);
+  w.WriteUint(removal ? 1 : 0);
+  w.WriteUint(group.size());
+  for (const Term& t : group) w.WriteTerm(t);
+  w.WriteTerm(value);
+  w.WriteTupleId(contributor);
+  w.WriteInt(update_ts);
+  Message m;
+  m.type = kAggMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<AggWire> AggWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  AggWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t plan, r.ReadUint());
+  out.plan_index = static_cast<uint32_t>(plan);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t removal, r.ReadUint());
+  out.removal = removal != 0;
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r.ReadUint());
+  if (n > r.remaining() + 1) {
+    return StatusOr<AggWire>(
+        Status::InvalidArgument("group size exceeds payload"));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    DEDUCE_ASSIGN_OR_RETURN(Term t, r.ReadTerm());
+    out.group.push_back(std::move(t));
+  }
+  DEDUCE_ASSIGN_OR_RETURN(out.value, r.ReadTerm());
+  DEDUCE_ASSIGN_OR_RETURN(out.contributor, r.ReadTupleId());
+  DEDUCE_ASSIGN_OR_RETURN(out.update_ts, r.ReadInt());
+  return out;
+}
+
+StatusOr<NodeId> PeekFinalTarget(const Message& msg) {
+  PayloadReader r(msg.payload);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  return static_cast<NodeId>(target);
+}
+
+}  // namespace deduce

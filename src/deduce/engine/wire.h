@@ -1,0 +1,100 @@
+#ifndef DEDUCE_ENGINE_WIRE_H_
+#define DEDUCE_ENGINE_WIRE_H_
+
+#include <vector>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/fact.h"
+#include "deduce/net/network.h"
+
+namespace deduce {
+
+/// Engine message types (Message::type values).
+enum EngineMsgType : uint16_t {
+  kStoreMsg = 1,     ///< Storage-phase replication / deletion marking.
+  kJoinPassMsg = 2,  ///< Join-computation pass carrying partial results.
+  kResultMsg = 3,    ///< Complete result shipped to its home node.
+  kAggMsg = 4,       ///< Aggregate contribution heading to its group home.
+};
+
+/// Storage-phase message (§III-A storage phase; §IV-A deletion marking).
+struct StoreWire {
+  NodeId final_target = kNoNode;  ///< Next node that must process this.
+  SymbolId pred = 0;
+  Fact fact;
+  TupleId id;
+  Timestamp gen_ts = 0;
+  bool deletion = false;          ///< Deletion mark, not removal (§IV-A).
+  Timestamp del_ts = 0;
+  /// Path-walk mode: nodes to visit after final_target. Empty for flood
+  /// or point-to-point modes.
+  std::vector<NodeId> path_remaining;
+  /// Flood mode: remaining hop budget; <0 = not flooding.
+  int32_t flood_ttl = -1;
+
+  Message Encode() const;
+  static StatusOr<StoreWire> Decode(const Message& msg);
+};
+
+/// One partial result traveling with a join pass (§III-A, Fig. 1).
+struct PartialWire {
+  uint32_t matched_mask = 0;  ///< Body literals already matched/evaluated.
+  std::vector<std::pair<SymbolId, Term>> bindings;
+  /// Positive supports gathered so far: (body literal index, tuple id).
+  std::vector<std::pair<uint32_t, TupleId>> support;
+};
+
+/// Join-computation pass (§III-A join-computation phase; §IV-B extension
+/// with negated subgoals and deletions).
+struct JoinPassWire {
+  NodeId final_target = kNoNode;
+  uint32_t delta_index = 0;  ///< Index into QueryPlan::deltas.
+  bool removal = false;      ///< Results remove derivations (vs add).
+  Timestamp update_ts = 0;   ///< Update timestamp τ (source-local).
+  TupleId update_id;
+  uint32_t pass_index = 0;   ///< Multipass pass / local-route step index.
+  std::vector<NodeId> path_remaining;
+  std::vector<PartialWire> partials;
+
+  Message Encode() const;
+  static StatusOr<JoinPassWire> Decode(const Message& msg);
+};
+
+/// A complete result heading to its home node (§III-B hashing of derived
+/// tuples; §IV-A set-of-derivations maintenance).
+struct ResultWire {
+  NodeId final_target = kNoNode;
+  SymbolId pred = 0;
+  Fact fact;
+  bool removal = false;
+  int32_t rule_id = -1;
+  std::vector<TupleId> support;
+  Timestamp update_ts = 0;
+
+  Message Encode() const;
+  static StatusOr<ResultWire> Decode(const Message& msg);
+};
+
+/// One contribution to an incrementally-maintained aggregate group
+/// (AggregatePlan): the group key, the contributed value, and the source
+/// tuple id (the dedup/removal key).
+struct AggWire {
+  NodeId final_target = kNoNode;
+  uint32_t plan_index = 0;
+  bool removal = false;
+  std::vector<Term> group;  ///< Ground group-key terms (head minus agg arg).
+  Term value;               ///< Ground contributed value.
+  TupleId contributor;
+  Timestamp update_ts = 0;
+
+  Message Encode() const;
+  static StatusOr<AggWire> Decode(const Message& msg);
+};
+
+/// Reads only the final_target field (first field of every engine message)
+/// so intermediate nodes can forward without full decoding.
+StatusOr<NodeId> PeekFinalTarget(const Message& msg);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_WIRE_H_

@@ -1,0 +1,140 @@
+#include "deduce/eval/database.h"
+
+#include <algorithm>
+
+namespace deduce {
+
+bool Database::Insert(const Fact& fact) {
+  Rel& rel = relations_[fact.predicate()];
+  if (!rel.set.insert(fact).second) return false;
+  rel.ordered.push_back(fact);
+  IndexInsert(&rel, fact, rel.ordered.size() - 1);
+  ++size_;
+  return true;
+}
+
+bool Database::Erase(const Fact& fact) {
+  auto it = relations_.find(fact.predicate());
+  if (it == relations_.end()) return false;
+  Rel& rel = it->second;
+  if (rel.set.erase(fact) == 0) return false;
+  auto pos = std::find(rel.ordered.begin(), rel.ordered.end(), fact);
+  rel.ordered.erase(pos);
+  // Ordinals after the erased fact shift; rebuilding lazily is simpler and
+  // erase is rare on the hot paths (semi-naive only inserts).
+  rel.indexes.clear();
+  --size_;
+  return true;
+}
+
+void Database::IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const {
+  for (auto& [position, buckets] : rel->indexes) {
+    if (position < fact.args().size()) {
+      buckets[fact.args()[position].Hash()].push_back(ordinal);
+    }
+  }
+}
+
+void Database::ScanBound(
+    SymbolId pred, size_t position, const Term& value,
+    const std::function<void(const Fact&, const TupleId&)>& fn) const {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return;
+  const Rel& rel = it->second;
+  auto iit = rel.indexes.find(position);
+  if (iit == rel.indexes.end()) {
+    // Build the index for this position on first use.
+    auto& buckets = rel.indexes[position];
+    for (size_t i = 0; i < rel.ordered.size(); ++i) {
+      const Fact& f = rel.ordered[i];
+      if (position < f.args().size()) {
+        buckets[f.args()[position].Hash()].push_back(i);
+      }
+    }
+    iit = rel.indexes.find(position);
+  }
+  auto bit = iit->second.find(value.Hash());
+  if (bit == iit->second.end()) return;
+  TupleId none;
+  // Same re-entrancy discipline as Scan: `fn` may insert into this
+  // relation, growing both `ordered` and this very bucket.
+  size_t n = bit->second.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t ordinal = bit->second[i];
+    Fact f = rel.ordered[ordinal];
+    // Hash collisions: confirm equality.
+    if (position < f.args().size() && f.args()[position] == value) {
+      fn(f, none);
+    }
+  }
+}
+
+bool Database::Contains(const Fact& fact) const {
+  auto it = relations_.find(fact.predicate());
+  return it != relations_.end() && it->second.set.count(fact) > 0;
+}
+
+void Database::Scan(
+    SymbolId pred,
+    const std::function<void(const Fact&, const TupleId&)>& fn) const {
+  auto it = relations_.find(pred);
+  if (it == relations_.end()) return;
+  TupleId none;
+  // Index-based with a snapshotted bound and a copied fact: `fn` may insert
+  // into this very relation (semi-naive evaluation of recursive rules), and
+  // a vector reallocation would invalidate references into `ordered`.
+  const Rel& rel = it->second;
+  size_t n = rel.ordered.size();
+  for (size_t i = 0; i < n; ++i) {
+    Fact f = rel.ordered[i];
+    fn(f, none);
+  }
+}
+
+const std::vector<Fact>& Database::Relation(SymbolId pred) const {
+  static const std::vector<Fact>* empty = new std::vector<Fact>();
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? *empty : it->second.ordered;
+}
+
+size_t Database::RelationSize(SymbolId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? 0 : it->second.ordered.size();
+}
+
+std::vector<SymbolId> Database::Predicates() const {
+  std::vector<SymbolId> out;
+  for (const auto& [pred, rel] : relations_) {
+    if (!rel.ordered.empty()) out.push_back(pred);
+  }
+  std::sort(out.begin(), out.end(), [](SymbolId a, SymbolId b) {
+    return SymbolName(a) < SymbolName(b);
+  });
+  return out;
+}
+
+bool Database::SameFacts(const Database& other) const {
+  if (size_ != other.size_) return false;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Fact& f : rel.ordered) {
+      if (!other.Contains(f)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::ToString() const {
+  std::vector<std::string> lines;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Fact& f : rel.ordered) lines.push_back(f.ToString());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,103 @@
+#ifndef DEDUCE_EVAL_DATABASE_H_
+#define DEDUCE_EVAL_DATABASE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "deduce/datalog/fact.h"
+
+namespace deduce {
+
+/// Read interface over a set of relations, used by the rule evaluator. The
+/// same evaluator runs against a static Database (semi-naive evaluation),
+/// against the alive-and-in-window view of an incremental engine, and
+/// against a sensor node's local replica store in the distributed engine.
+class RelationReader {
+ public:
+  virtual ~RelationReader() = default;
+
+  /// Invokes `fn` for every visible fact of `pred` together with its tuple
+  /// id (implementations without ids pass a default TupleId).
+  virtual void Scan(SymbolId pred,
+                    const std::function<void(const Fact&, const TupleId&)>& fn)
+      const = 0;
+
+  /// True if `fact` is visible.
+  virtual bool Contains(const Fact& fact) const = 0;
+
+  /// Invokes `fn` for every visible fact of `pred` whose argument at
+  /// `position` equals `value`. The default implementation filters a full
+  /// Scan; indexed implementations (Database) answer from a hash index.
+  virtual void ScanBound(
+      SymbolId pred, size_t position, const Term& value,
+      const std::function<void(const Fact&, const TupleId&)>& fn) const {
+    Scan(pred, [&](const Fact& f, const TupleId& id) {
+      if (position < f.args().size() && f.args()[position] == value) {
+        fn(f, id);
+      }
+    });
+  }
+};
+
+/// A simple in-memory fact store: per-predicate sets with deterministic
+/// iteration order (insertion order).
+class Database : public RelationReader {
+ public:
+  Database() = default;
+
+  /// Inserts a fact; returns true if it was new.
+  bool Insert(const Fact& fact);
+
+  /// Removes a fact; returns true if it was present.
+  bool Erase(const Fact& fact);
+
+  bool Contains(const Fact& fact) const override;
+
+  void Scan(SymbolId pred,
+            const std::function<void(const Fact&, const TupleId&)>& fn)
+      const override;
+
+  /// All facts of `pred` in insertion order.
+  const std::vector<Fact>& Relation(SymbolId pred) const;
+
+  /// Total number of facts.
+  size_t size() const { return size_; }
+  size_t RelationSize(SymbolId pred) const;
+
+  /// Predicates with at least one fact ever inserted.
+  std::vector<SymbolId> Predicates() const;
+
+  /// True if both databases contain exactly the same facts.
+  bool SameFacts(const Database& other) const;
+
+  /// Indexed lookup: facts whose argument at `position` equals `value`.
+  /// Indexes are built lazily per (predicate, position) on first use and
+  /// maintained incrementally afterwards.
+  void ScanBound(SymbolId pred, size_t position, const Term& value,
+                 const std::function<void(const Fact&, const TupleId&)>& fn)
+      const override;
+
+  /// Deterministic multi-line listing (sorted), for tests and goldens.
+  std::string ToString() const;
+
+ private:
+  struct Rel {
+    std::vector<Fact> ordered;             // insertion order, no tombstones
+    std::unordered_set<Fact, FactHash> set;
+    /// Lazy hash indexes: argument position -> value hash -> fact indexes
+    /// into `ordered` (maintained through erase by rebuild).
+    mutable std::unordered_map<size_t,
+                               std::unordered_map<size_t, std::vector<size_t>>>
+        indexes;
+  };
+  void IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const;
+  std::unordered_map<SymbolId, Rel> relations_;
+  size_t size_ = 0;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_EVAL_DATABASE_H_

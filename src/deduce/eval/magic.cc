@@ -1,0 +1,198 @@
+#include "deduce/eval/magic.h"
+
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "deduce/common/strings.h"
+#include "deduce/datalog/analysis.h"
+#include "deduce/eval/seminaive.h"
+#include "deduce/eval/rule_eval.h"
+
+namespace deduce {
+
+namespace {
+
+/// Adornment of an atom given the set of bound variables: 'b' for an
+/// argument that is ground or all of whose variables are bound, else 'f'.
+std::string AdornmentFor(const Atom& atom,
+                         const std::unordered_set<SymbolId>& bound) {
+  std::string out;
+  for (const Term& arg : atom.args) {
+    std::vector<SymbolId> vars;
+    arg.CollectVariables(&vars);
+    bool all_bound = true;
+    for (SymbolId v : vars) {
+      if (!bound.count(v)) all_bound = false;
+    }
+    out += (arg.is_ground() || (all_bound && !vars.empty())) ? 'b' : 'f';
+  }
+  return out;
+}
+
+SymbolId AdornedName(SymbolId pred, const std::string& ad) {
+  return Intern(SymbolName(pred) + "_" + (ad.empty() ? "0" : ad));
+}
+
+SymbolId MagicName(SymbolId pred, const std::string& ad) {
+  return Intern("magic_" + SymbolName(pred) + "_" + (ad.empty() ? "0" : ad));
+}
+
+std::vector<Term> BoundArgs(const Atom& atom, const std::string& ad) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (ad[i] == 'b') out.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<MagicProgram> MagicTransform(const Program& program,
+                                      const Atom& query) {
+  for (const Rule& r : program.rules()) {
+    for (const Literal& l : r.body) {
+      if (l.kind == Literal::Kind::kNegated) {
+        return Status::Unimplemented(
+            "magic sets with negation can unstratify the program; "
+            "evaluate the untransformed program instead");
+      }
+    }
+    if (!r.aggregates.empty()) {
+      return Status::Unimplemented("magic sets with aggregates unsupported");
+    }
+  }
+
+  // Which predicates are derived?
+  std::unordered_set<SymbolId> idb;
+  for (const Rule& r : program.rules()) idb.insert(r.head.predicate);
+  if (!idb.count(query.predicate)) {
+    return Status::InvalidArgument("query predicate " +
+                                   SymbolName(query.predicate) +
+                                   " is not derived by any rule");
+  }
+
+  MagicProgram out;
+  // Keep declarations and EDB facts.
+  for (const auto& [name, decl] : program.decls()) {
+    DEDUCE_RETURN_IF_ERROR(out.program.AddDecl(decl));
+  }
+  for (const Fact& f : program.facts()) {
+    Rule fact_rule;
+    fact_rule.head = Atom(f.predicate(), f.args());
+    if (idb.count(f.predicate())) {
+      // Program facts of derived predicates stay as facts of every
+      // reachable adornment; handled below via the worklist.
+      continue;
+    }
+    DEDUCE_RETURN_IF_ERROR(out.program.AddRule(fact_rule));
+  }
+
+  // Goal adornment: bound where the query argument is ground.
+  std::string goal_ad;
+  for (const Term& arg : query.args) {
+    goal_ad += arg.is_ground() ? 'b' : 'f';
+  }
+  out.adornment = goal_ad;
+  out.answer_pred = AdornedName(query.predicate, goal_ad);
+
+  // Magic seed: magic_query_ad(ground goal args).
+  {
+    Rule seed;
+    seed.head = Atom(MagicName(query.predicate, goal_ad),
+                     BoundArgs(query, goal_ad));
+    DEDUCE_RETURN_IF_ERROR(out.program.AddRule(seed));
+  }
+
+  std::set<std::pair<SymbolId, std::string>> done;
+  std::deque<std::pair<SymbolId, std::string>> worklist;
+  worklist.emplace_back(query.predicate, goal_ad);
+
+  while (!worklist.empty()) {
+    auto [pred, ad] = worklist.front();
+    worklist.pop_front();
+    if (!done.insert({pred, ad}).second) continue;
+
+    // Derived-predicate program facts survive into every adornment,
+    // guarded by the magic predicate (as a rule so only requested facts
+    // materialize).
+    for (const Fact& f : program.facts()) {
+      if (f.predicate() != pred) continue;
+      Rule guarded;
+      guarded.head = Atom(AdornedName(pred, ad), f.args());
+      Atom magic(MagicName(pred, ad),
+                 BoundArgs(Atom(pred, f.args()), ad));
+      guarded.body.push_back(Literal::Positive(magic));
+      DEDUCE_RETURN_IF_ERROR(out.program.AddRule(guarded));
+    }
+
+    for (const Rule& rule : program.rules()) {
+      if (rule.head.predicate != pred) continue;
+      // Bound head variables under this adornment.
+      std::unordered_set<SymbolId> bound;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        if (ad[i] == 'b') {
+          std::vector<SymbolId> vars;
+          rule.head.args[i].CollectVariables(&vars);
+          bound.insert(vars.begin(), vars.end());
+        }
+      }
+
+      Rule adorned;
+      adorned.head = Atom(AdornedName(pred, ad), rule.head.args);
+      adorned.body.push_back(
+          Literal::Positive(Atom(MagicName(pred, ad),
+                                 BoundArgs(rule.head, ad))));
+
+      // Left-to-right SIPS: accumulate bindings, emit magic rules for
+      // derived body literals.
+      std::vector<Literal> prefix = adorned.body;
+      for (const Literal& lit : rule.body) {
+        if (lit.is_relational() && idb.count(lit.atom.predicate)) {
+          std::string body_ad = AdornmentFor(lit.atom, bound);
+          // Magic rule: magic_q_ad(bound args) :- prefix.
+          Rule magic_rule;
+          magic_rule.head = Atom(MagicName(lit.atom.predicate, body_ad),
+                                 BoundArgs(lit.atom, body_ad));
+          magic_rule.body = prefix;
+          DEDUCE_RETURN_IF_ERROR(out.program.AddRule(magic_rule));
+          worklist.emplace_back(lit.atom.predicate, body_ad);
+
+          Literal renamed = lit;
+          renamed.atom.predicate = AdornedName(lit.atom.predicate, body_ad);
+          adorned.body.push_back(renamed);
+          prefix.push_back(renamed);
+        } else {
+          adorned.body.push_back(lit);
+          prefix.push_back(lit);
+        }
+        // Bindings propagate through every literal.
+        std::vector<SymbolId> vars;
+        lit.CollectVariables(&vars);
+        bound.insert(vars.begin(), vars.end());
+      }
+      DEDUCE_RETURN_IF_ERROR(out.program.AddRule(adorned));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<Fact>> MagicEvaluate(const Program& program,
+                                          const Atom& query,
+                                          const std::vector<Fact>& input_facts) {
+  DEDUCE_ASSIGN_OR_RETURN(MagicProgram magic, MagicTransform(program, query));
+  DEDUCE_ASSIGN_OR_RETURN(Database db,
+                          EvaluateProgram(magic.program, input_facts));
+  std::vector<Fact> out;
+  static const BuiltinRegistry* registry =
+      new BuiltinRegistry(BuiltinRegistry::Default());
+  for (const Fact& f : db.Relation(magic.answer_pred)) {
+    Subst subst;
+    if (SolveMatchTerms(query.args, f.args(), &subst, *registry)) {
+      out.push_back(Fact(query.predicate, f.args()));
+    }
+  }
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,47 @@
+#ifndef DEDUCE_EVAL_MAGIC_H_
+#define DEDUCE_EVAL_MAGIC_H_
+
+#include <string>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/program.h"
+
+namespace deduce {
+
+/// Result of the magic-set transformation.
+struct MagicProgram {
+  Program program;
+  /// The adorned predicate holding the query's answers (e.g. anc_bf for
+  /// anc(tom, X)); query answers are its facts matching the original goal.
+  SymbolId answer_pred = 0;
+  /// Human-readable adornment of the goal, e.g. "bf".
+  std::string adornment;
+};
+
+/// The magic-set transformation (§V Fig. 2: "the user specified
+/// logic-program is first optimized using magic-set transformations, used
+/// to optimize the bottom-up evaluation strategy").
+///
+/// Given a query goal with some bound (ground) arguments, rewrites the
+/// program so that bottom-up evaluation only derives facts relevant to the
+/// goal: each derived predicate p is specialized per adornment (b = bound,
+/// f = free), guarded by a magic_p_<ad> predicate seeded from the goal's
+/// bindings and propagated through rule bodies left-to-right (the standard
+/// SIPS).
+///
+/// Supported: positive programs (recursive or not) with built-ins and
+/// comparisons. Programs with negation are rejected with kUnimplemented —
+/// magic sets can unstratify negation; the engine falls back to the
+/// untransformed program in that case.
+StatusOr<MagicProgram> MagicTransform(const Program& program,
+                                      const Atom& query);
+
+/// Convenience: transforms, evaluates bottom-up, and returns the facts of
+/// the answer predicate that match the goal.
+StatusOr<std::vector<Fact>> MagicEvaluate(const Program& program,
+                                          const Atom& query,
+                                          const std::vector<Fact>& input_facts);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_EVAL_MAGIC_H_

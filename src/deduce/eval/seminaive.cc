@@ -1,0 +1,417 @@
+#include "deduce/eval/seminaive.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "deduce/common/logging.h"
+#include "deduce/common/strings.h"
+#include "deduce/eval/rule_eval.h"
+
+namespace deduce {
+
+namespace {
+
+const BuiltinRegistry& DefaultRegistry() {
+  static const BuiltinRegistry* r =
+      new BuiltinRegistry(BuiltinRegistry::Default());
+  return *r;
+}
+
+/// Evaluates an aggregate rule: groups body derivations by the non-aggregate
+/// head arguments and folds the aggregate input.
+Status EvaluateAggregateRule(const Rule& rule, const BuiltinRegistry& registry,
+                             const Database& db, EvalStats* stats,
+                             std::vector<Fact>* out) {
+  DEDUCE_CHECK(rule.aggregates.size() == 1);
+  const AggregateSpec& agg = rule.aggregates[0];
+  RuleBodyEvaluator evaluator(&rule, &registry);
+
+  struct Accum {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_is_int = true;
+    int64_t isum = 0;
+    std::optional<Term> best;  // min/max
+  };
+  // Key: head args with the aggregate position blanked.
+  std::map<std::string, std::pair<std::vector<Term>, Accum>> groups;
+
+  RuleEvalStats rstats;
+  Status st = evaluator.Evaluate(
+      db, RuleEvalOptions{},
+      [&](const Subst& subst, const std::vector<MatchedFact>&) -> Status {
+        std::vector<Term> head_args;
+        head_args.reserve(rule.head.args.size());
+        for (const Term& a : rule.head.args) {
+          DEDUCE_ASSIGN_OR_RETURN(Term n, EvalTerm(subst.Apply(a), registry));
+          if (!n.is_ground()) {
+            return Status::Internal("aggregate head arg not ground");
+          }
+          head_args.push_back(std::move(n));
+        }
+        Term input = head_args[agg.head_position];
+        std::string key;
+        for (size_t i = 0; i < head_args.size(); ++i) {
+          if (i == agg.head_position) continue;
+          key += head_args[i].ToString();
+          key += "\x1f";
+        }
+        auto& [args, acc] = groups[key];
+        args = head_args;
+        ++acc.count;
+        if (input.is_constant() && input.value().is_number()) {
+          acc.sum += input.value().AsNumber();
+          if (input.value().is_int()) {
+            acc.isum += input.value().as_int();
+          } else {
+            acc.sum_is_int = false;
+          }
+        } else if (agg.kind == AggKind::kSum || agg.kind == AggKind::kAvg) {
+          return Status::InvalidArgument(
+              "sum/avg aggregate over non-numeric term " + input.ToString());
+        }
+        if (!acc.best.has_value() ||
+            (agg.kind == AggKind::kMin && input.Compare(*acc.best) < 0) ||
+            (agg.kind == AggKind::kMax && input.Compare(*acc.best) > 0)) {
+          acc.best = input;
+        }
+        return Status::OK();
+      },
+      &rstats);
+  if (stats != nullptr) {
+    stats->probes += rstats.probes;
+    stats->rule_firings += rstats.emitted;
+  }
+  DEDUCE_RETURN_IF_ERROR(st);
+
+  for (auto& [key, entry] : groups) {
+    auto& [args, acc] = entry;
+    Term result;
+    switch (agg.kind) {
+      case AggKind::kCount:
+        result = Term::Int(acc.count);
+        break;
+      case AggKind::kSum:
+        result = acc.sum_is_int ? Term::Int(acc.isum) : Term::Real(acc.sum);
+        break;
+      case AggKind::kAvg:
+        result = Term::Real(acc.sum / static_cast<double>(acc.count));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        result = *acc.best;
+        break;
+    }
+    std::vector<Term> final_args = args;
+    final_args[agg.head_position] = result;
+    out->emplace_back(rule.head.predicate, std::move(final_args));
+  }
+  return Status::OK();
+}
+
+class SccEvaluator {
+ public:
+  SccEvaluator(const Program& program, const ProgramAnalysis& analysis,
+               const BuiltinRegistry& registry, const EvalOptions& opts,
+               Database* db, EvalStats* stats)
+      : program_(program),
+        analysis_(analysis),
+        registry_(registry),
+        opts_(opts),
+        db_(db),
+        stats_(stats) {}
+
+  Status Run() {
+    for (size_t scc_index = 0; scc_index < analysis_.sccs.size();
+         ++scc_index) {
+      const SccInfo& scc = analysis_.sccs[scc_index];
+      std::vector<const Rule*> rules;
+      for (const Rule& r : program_.rules()) {
+        if (analysis_.scc_of.at(r.head.predicate) ==
+            static_cast<int>(scc_index)) {
+          rules.push_back(&r);
+        }
+      }
+      if (rules.empty()) continue;  // EDB
+
+      bool has_aggregates = std::any_of(
+          rules.begin(), rules.end(),
+          [](const Rule* r) { return !r->aggregates.empty(); });
+      if (has_aggregates && scc.recursive) {
+        return Status::Unimplemented(
+            "aggregates on recursive predicates are not supported (" +
+            SymbolName(scc.members[0]) + ")");
+      }
+
+      if (!scc.recursive) {
+        DEDUCE_RETURN_IF_ERROR(EvaluateNonRecursive(rules));
+      } else if (!scc.has_internal_negation) {
+        DEDUCE_RETURN_IF_ERROR(EvaluateSemiNaive(scc, rules));
+      } else if (scc.xy_stratified) {
+        DEDUCE_RETURN_IF_ERROR(EvaluateStaged(scc, rules));
+      } else {
+        return Status::Unimplemented(
+            "recursion through negation is not XY-stratified (" +
+            scc.xy_diagnostic + "); general stratified recursion is outside "
+            "the supported program classes (paper §IV-C)");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status CheckLimits() const {
+    if (db_->size() > opts_.max_facts) {
+      return Status::FailedPrecondition(
+          StrFormat("database exceeded max_facts=%llu (possible "
+                    "non-terminating recursion through function symbols)",
+                    static_cast<unsigned long long>(opts_.max_facts)));
+    }
+    return Status::OK();
+  }
+
+  /// Evaluates one rule (optionally with a pinned delta) and inserts heads;
+  /// appends newly inserted facts to `new_facts` if non-null.
+  Status FireRule(const Rule& rule, const RuleEvalOptions& reopts,
+                  std::vector<Fact>* new_facts) {
+    if (!rule.aggregates.empty()) {
+      std::vector<Fact> outs;
+      DEDUCE_RETURN_IF_ERROR(
+          EvaluateAggregateRule(rule, registry_, *db_, stats_, &outs));
+      for (Fact& f : outs) {
+        if (db_->Insert(f)) {
+          if (stats_ != nullptr) ++stats_->facts_derived;
+          if (new_facts != nullptr) new_facts->push_back(std::move(f));
+        }
+      }
+      return CheckLimits();
+    }
+    RuleBodyEvaluator evaluator(&rule, &registry_);
+    RuleEvalStats rstats;
+    Status st = evaluator.Evaluate(
+        *db_, reopts,
+        [&](const Subst& subst, const std::vector<MatchedFact>&) -> Status {
+          DEDUCE_ASSIGN_OR_RETURN(Fact head, evaluator.BuildHead(subst));
+          if (db_->Insert(head)) {
+            if (stats_ != nullptr) ++stats_->facts_derived;
+            if (new_facts != nullptr) new_facts->push_back(std::move(head));
+          }
+          return CheckLimits();
+        },
+        &rstats);
+    if (stats_ != nullptr) {
+      stats_->probes += rstats.probes;
+      stats_->rule_firings += rstats.emitted;
+    }
+    return st;
+  }
+
+  Status EvaluateNonRecursive(const std::vector<const Rule*>& rules) {
+    for (const Rule* rule : rules) {
+      DEDUCE_RETURN_IF_ERROR(FireRule(*rule, RuleEvalOptions{}, nullptr));
+    }
+    return Status::OK();
+  }
+
+  Status EvaluateSemiNaive(const SccInfo& scc,
+                           const std::vector<const Rule*>& rules) {
+    std::unordered_set<SymbolId> members(scc.members.begin(),
+                                         scc.members.end());
+    // Round 0: full evaluation.
+    std::vector<Fact> delta;
+    for (const Rule* rule : rules) {
+      DEDUCE_RETURN_IF_ERROR(FireRule(*rule, RuleEvalOptions{}, &delta));
+    }
+    uint64_t rounds = 0;
+    while (!delta.empty()) {
+      if (++rounds > opts_.max_iterations) {
+        return Status::FailedPrecondition("semi-naive exceeded max_iterations");
+      }
+      if (stats_ != nullptr) ++stats_->iterations;
+      // Pin each recursive body occurrence to the delta in turn.
+      std::vector<std::pair<Fact, TupleId>> pinned;
+      pinned.reserve(delta.size());
+      for (const Fact& f : delta) pinned.emplace_back(f, TupleId{});
+      std::vector<Fact> next;
+      for (const Rule* rule : rules) {
+        for (size_t i = 0; i < rule->body.size(); ++i) {
+          const Literal& lit = rule->body[i];
+          if (lit.kind != Literal::Kind::kPositive) continue;
+          if (!members.count(lit.atom.predicate)) continue;
+          RuleEvalOptions reopts;
+          reopts.pin_index = i;
+          reopts.pin_facts = &pinned;
+          DEDUCE_RETURN_IF_ERROR(FireRule(*rule, reopts, &next));
+        }
+      }
+      delta = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  Status EvaluateStaged(const SccInfo& scc,
+                        const std::vector<const Rule*>& rules) {
+    std::set<int64_t> pending;
+    std::set<int64_t> processed;
+
+    auto stage_of = [&](const Fact& f) -> StatusOr<int64_t> {
+      size_t pos = scc.stage_arg.at(f.predicate());
+      const Term& t = f.args()[pos];
+      if (!t.is_constant() || !t.value().is_int()) {
+        return StatusOr<int64_t>(Status::InvalidArgument(
+            "stage argument of " + f.ToString() + " is not an integer"));
+      }
+      return t.value().as_int();
+    };
+
+    // Seed: discover reachable stages by firing every rule against the
+    // current database *without inserting* (schedule only). Facts already
+    // present for SCC predicates (program facts) also seed stages, so that
+    // same-stage rules re-fire at those stages.
+    for (SymbolId m : scc.members) {
+      Status st = Status::OK();
+      db_->Scan(m, [&](const Fact& f, const TupleId&) {
+        if (!st.ok()) return;
+        StatusOr<int64_t> v = stage_of(f);
+        if (!v.ok()) {
+          st = v.status();
+          return;
+        }
+        pending.insert(*v);
+      });
+      DEDUCE_RETURN_IF_ERROR(st);
+    }
+    DEDUCE_RETURN_IF_ERROR(ScheduleStages(rules, &pending, stage_of));
+
+    // Local stratum order.
+    int max_local = 0;
+    for (const auto& [pred, l] : scc.local_stratum) {
+      max_local = std::max(max_local, l);
+    }
+
+    uint64_t stages_done = 0;
+    while (!pending.empty()) {
+      if (++stages_done > opts_.max_iterations) {
+        return Status::FailedPrecondition(
+            "staged evaluation exceeded max_iterations");
+      }
+      if (stats_ != nullptr) ++stats_->iterations;
+      int64_t s = *pending.begin();
+      pending.erase(pending.begin());
+      if (processed.count(s)) continue;
+      processed.insert(s);
+
+      for (int stratum = 0; stratum <= max_local; ++stratum) {
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (const Rule* rule : rules) {
+            if (scc.local_stratum.at(rule->head.predicate) != stratum) {
+              continue;
+            }
+            std::vector<Fact> inserted;
+            DEDUCE_RETURN_IF_ERROR(
+                FireStaged(*rule, s, stage_of, &pending, &inserted));
+            if (!inserted.empty()) changed = true;
+          }
+        }
+      }
+      // Discover stages enabled by the facts inserted at this stage (a rule
+      // of an early local stratum may fire at a later stage from facts a
+      // later stratum just produced; re-scheduling after every stage keeps
+      // the stage worklist complete).
+      DEDUCE_RETURN_IF_ERROR(ScheduleStages(rules, &pending, stage_of));
+      for (int64_t p : processed) pending.erase(p);
+    }
+    return Status::OK();
+  }
+
+  template <typename StageFn>
+  Status ScheduleStages(const std::vector<const Rule*>& rules,
+                        std::set<int64_t>* pending, const StageFn& stage_of) {
+    for (const Rule* rule : rules) {
+      RuleBodyEvaluator evaluator(rule, &registry_);
+      RuleEvalStats rstats;
+      Status st = evaluator.Evaluate(
+          *db_, RuleEvalOptions{},
+          [&](const Subst& subst, const std::vector<MatchedFact>&) -> Status {
+            DEDUCE_ASSIGN_OR_RETURN(Fact head, evaluator.BuildHead(subst));
+            DEDUCE_ASSIGN_OR_RETURN(int64_t v, stage_of(head));
+            pending->insert(v);
+            return Status::OK();
+          },
+          &rstats);
+      if (stats_ != nullptr) stats_->probes += rstats.probes;
+      DEDUCE_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+
+  template <typename StageFn>
+  Status FireStaged(const Rule& rule, int64_t stage, const StageFn& stage_of,
+                    std::set<int64_t>* pending, std::vector<Fact>* inserted) {
+    RuleBodyEvaluator evaluator(&rule, &registry_);
+    RuleEvalStats rstats;
+    Status st = evaluator.Evaluate(
+        *db_, RuleEvalOptions{},
+        [&](const Subst& subst, const std::vector<MatchedFact>&) -> Status {
+          DEDUCE_ASSIGN_OR_RETURN(Fact head, evaluator.BuildHead(subst));
+          DEDUCE_ASSIGN_OR_RETURN(int64_t v, stage_of(head));
+          if (v == stage) {
+            if (db_->Insert(head)) {
+              if (stats_ != nullptr) ++stats_->facts_derived;
+              inserted->push_back(std::move(head));
+            }
+          } else if (v > stage) {
+            pending->insert(v);
+          }
+          // v < stage: already derived when stage v was processed (stage
+          // deltas are non-negative, so its body facts existed then).
+          return CheckLimits();
+        },
+        &rstats);
+    if (stats_ != nullptr) {
+      stats_->probes += rstats.probes;
+      stats_->rule_firings += rstats.emitted;
+    }
+    return st;
+  }
+
+  const Program& program_;
+  const ProgramAnalysis& analysis_;
+  const BuiltinRegistry& registry_;
+  const EvalOptions& opts_;
+  Database* db_;
+  EvalStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<Database> EvaluateAnalyzedProgram(const Program& program,
+                                           const ProgramAnalysis& analysis,
+                                           const std::vector<Fact>& input_facts,
+                                           const EvalOptions& opts,
+                                           EvalStats* stats) {
+  const BuiltinRegistry& registry =
+      opts.registry != nullptr ? *opts.registry : DefaultRegistry();
+  Database db;
+  for (const Fact& f : program.facts()) db.Insert(f);
+  for (const Fact& f : input_facts) db.Insert(f);
+  SccEvaluator evaluator(program, analysis, registry, opts, &db, stats);
+  DEDUCE_RETURN_IF_ERROR(evaluator.Run());
+  return db;
+}
+
+StatusOr<Database> EvaluateProgram(const Program& program,
+                                   const std::vector<Fact>& input_facts,
+                                   const EvalOptions& opts, EvalStats* stats) {
+  const BuiltinRegistry& registry =
+      opts.registry != nullptr ? *opts.registry : DefaultRegistry();
+  Program copy = program;
+  DEDUCE_RETURN_IF_ERROR(ResolveBuiltins(&copy, registry));
+  DEDUCE_ASSIGN_OR_RETURN(ProgramAnalysis analysis, AnalyzeProgram(copy));
+  return EvaluateAnalyzedProgram(copy, analysis, input_facts, opts, stats);
+}
+
+}  // namespace deduce

@@ -1,0 +1,62 @@
+#ifndef DEDUCE_EVAL_SEMINAIVE_H_
+#define DEDUCE_EVAL_SEMINAIVE_H_
+
+#include <vector>
+
+#include "deduce/common/statusor.h"
+#include "deduce/datalog/analysis.h"
+#include "deduce/datalog/program.h"
+#include "deduce/eval/database.h"
+
+namespace deduce {
+
+/// Options for centralized evaluation.
+struct EvalOptions {
+  /// Built-in registry; nullptr uses BuiltinRegistry::Default().
+  const BuiltinRegistry* registry = nullptr;
+  /// Safety valve: abort if the database grows beyond this.
+  uint64_t max_facts = 5'000'000;
+  /// Safety valve on fixpoint iterations (guards non-terminating recursion
+  /// through function symbols, §IV-C).
+  uint64_t max_iterations = 1'000'000;
+};
+
+/// Counters from one evaluation.
+struct EvalStats {
+  uint64_t facts_derived = 0;
+  uint64_t rule_firings = 0;   ///< Derivations emitted (before dedup).
+  uint64_t probes = 0;         ///< Facts examined by join matching.
+  uint64_t iterations = 0;     ///< Semi-naive rounds + stages processed.
+};
+
+/// Computes the full bottom-up model of `program` over the given input
+/// facts. This is the *centralized reference evaluator*: the distributed
+/// engine's results are tested against it.
+///
+/// Supported classes (§III, §IV-C):
+///  - arbitrary non-recursive programs with negation (stratified by SCC),
+///  - recursive programs without internal negation (semi-naive),
+///  - XY-stratified recursion+negation (staged evaluation by stage value),
+///  - head aggregates on non-recursive predicates.
+/// Rejects general recursion through negation with kUnimplemented, matching
+/// the paper's scope.
+///
+/// The returned database contains EDB facts, program facts, and all derived
+/// facts.
+StatusOr<Database> EvaluateProgram(const Program& program,
+                                   const std::vector<Fact>& input_facts,
+                                   const EvalOptions& opts = {},
+                                   EvalStats* stats = nullptr);
+
+/// Like EvaluateProgram but with builtin resolution and analysis already
+/// done by the caller (the program must have been passed through
+/// ResolveBuiltins with the same registry).
+StatusOr<Database> EvaluateAnalyzedProgram(const Program& program,
+                                           const ProgramAnalysis& analysis,
+                                           const std::vector<Fact>& input_facts,
+                                           const EvalOptions& opts,
+                                           EvalStats* stats);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_EVAL_SEMINAIVE_H_

@@ -1,0 +1,226 @@
+#include "deduce/net/codec.h"
+
+#include <cstring>
+
+namespace deduce {
+
+namespace {
+
+constexpr uint8_t kTagInt = 0;
+constexpr uint8_t kTagDouble = 1;
+constexpr uint8_t kTagSymbol = 2;
+constexpr uint8_t kTagVariable = 3;
+constexpr uint8_t kTagFunction = 4;
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace
+
+void PayloadWriter::WriteUint(uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<uint8_t>(v));
+}
+
+void PayloadWriter::WriteInt(int64_t v) { WriteUint(ZigZag(v)); }
+
+void PayloadWriter::WriteDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+  }
+}
+
+void PayloadWriter::WriteBytes(std::string_view bytes) {
+  WriteUint(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void PayloadWriter::WriteSymbol(SymbolId id) { WriteBytes(SymbolName(id)); }
+
+void PayloadWriter::WriteTerm(const Term& term) {
+  switch (term.kind()) {
+    case Term::Kind::kConstant: {
+      const Value& v = term.value();
+      switch (v.kind()) {
+        case Value::Kind::kInt:
+          buffer_.push_back(kTagInt);
+          WriteInt(v.as_int());
+          return;
+        case Value::Kind::kDouble:
+          buffer_.push_back(kTagDouble);
+          WriteDouble(v.as_double());
+          return;
+        case Value::Kind::kSymbol:
+          buffer_.push_back(kTagSymbol);
+          WriteSymbol(v.symbol());
+          return;
+      }
+      return;
+    }
+    case Term::Kind::kVariable:
+      buffer_.push_back(kTagVariable);
+      WriteSymbol(term.var());
+      return;
+    case Term::Kind::kFunction:
+      buffer_.push_back(kTagFunction);
+      WriteSymbol(term.functor());
+      WriteUint(term.args().size());
+      for (const Term& a : term.args()) WriteTerm(a);
+      return;
+  }
+}
+
+void PayloadWriter::WriteFact(const Fact& fact) {
+  WriteSymbol(fact.predicate());
+  WriteUint(fact.args().size());
+  for (const Term& a : fact.args()) WriteTerm(a);
+}
+
+void PayloadWriter::WriteTupleId(const TupleId& id) {
+  WriteInt(id.source);
+  WriteInt(id.timestamp);
+  WriteUint(id.seq);
+}
+
+StatusOr<uint64_t> PayloadReader::ReadUint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) {
+      return StatusOr<uint64_t>(
+          Status::InvalidArgument("truncated varint in payload"));
+    }
+    uint8_t b = data_[pos_++];
+    if (shift >= 64) {
+      return StatusOr<uint64_t>(
+          Status::InvalidArgument("overlong varint in payload"));
+    }
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+StatusOr<int64_t> PayloadReader::ReadInt() {
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t v, ReadUint());
+  return UnZigZag(v);
+}
+
+StatusOr<double> PayloadReader::ReadDouble() {
+  if (pos_ + 8 > size_) {
+    return StatusOr<double>(
+        Status::InvalidArgument("truncated double in payload"));
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(data_[pos_ + static_cast<size_t>(i)])
+            << (8 * i);
+  }
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+StatusOr<std::string> PayloadReader::ReadBytes() {
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t len, ReadUint());
+  if (pos_ + len > size_) {
+    return StatusOr<std::string>(
+        Status::InvalidArgument("truncated string in payload"));
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+StatusOr<SymbolId> PayloadReader::ReadSymbol() {
+  DEDUCE_ASSIGN_OR_RETURN(std::string name, ReadBytes());
+  return Intern(name);
+}
+
+StatusOr<Term> PayloadReader::ReadTerm() {
+  if (pos_ >= size_) {
+    return StatusOr<Term>(Status::InvalidArgument("truncated term tag"));
+  }
+  uint8_t tag = data_[pos_++];
+  switch (tag) {
+    case kTagInt: {
+      DEDUCE_ASSIGN_OR_RETURN(int64_t v, ReadInt());
+      return Term::Int(v);
+    }
+    case kTagDouble: {
+      DEDUCE_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Term::Real(v);
+    }
+    case kTagSymbol: {
+      DEDUCE_ASSIGN_OR_RETURN(SymbolId s, ReadSymbol());
+      return Term::FromValue(Value::SymbolFromId(s));
+    }
+    case kTagVariable: {
+      DEDUCE_ASSIGN_OR_RETURN(SymbolId s, ReadSymbol());
+      return Term::VarFromId(s);
+    }
+    case kTagFunction: {
+      DEDUCE_ASSIGN_OR_RETURN(SymbolId f, ReadSymbol());
+      DEDUCE_ASSIGN_OR_RETURN(uint64_t n, ReadUint());
+      if (n > remaining()) {
+        return StatusOr<Term>(
+            Status::InvalidArgument("function arity exceeds payload"));
+      }
+      std::vector<Term> args;
+      args.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        DEDUCE_ASSIGN_OR_RETURN(Term a, ReadTerm());
+        args.push_back(std::move(a));
+      }
+      return Term::Function(f, std::move(args));
+    }
+    default:
+      return StatusOr<Term>(
+          Status::InvalidArgument("unknown term tag in payload"));
+  }
+}
+
+StatusOr<Fact> PayloadReader::ReadFact() {
+  DEDUCE_ASSIGN_OR_RETURN(SymbolId pred, ReadSymbol());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, ReadUint());
+  if (n > remaining()) {
+    return StatusOr<Fact>(
+        Status::InvalidArgument("fact arity exceeds payload"));
+  }
+  std::vector<Term> args;
+  args.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DEDUCE_ASSIGN_OR_RETURN(Term a, ReadTerm());
+    if (!a.is_ground()) {
+      return StatusOr<Fact>(
+          Status::InvalidArgument("non-ground term in serialized fact"));
+    }
+    args.push_back(std::move(a));
+  }
+  return Fact(pred, std::move(args));
+}
+
+StatusOr<TupleId> PayloadReader::ReadTupleId() {
+  TupleId id;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t src, ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(int64_t ts, ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t seq, ReadUint());
+  id.source = static_cast<NodeId>(src);
+  id.timestamp = ts;
+  id.seq = static_cast<uint32_t>(seq);
+  return id;
+}
+
+}  // namespace deduce

@@ -1,0 +1,165 @@
+#include "deduce/net/network.h"
+
+#include <algorithm>
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+uint64_t NetworkStats::TotalMessages() const {
+  uint64_t n = 0;
+  for (const PerNode& p : per_node) n += p.sent_messages;
+  return n;
+}
+
+uint64_t NetworkStats::TotalBytes() const {
+  uint64_t n = 0;
+  for (const PerNode& p : per_node) n += p.sent_bytes;
+  return n;
+}
+
+uint64_t NetworkStats::MaxNodeMessages() const {
+  uint64_t n = 0;
+  for (const PerNode& p : per_node) {
+    n = std::max(n, p.sent_messages + p.received_messages);
+  }
+  return n;
+}
+
+double NetworkStats::TotalEnergyMicroJ() const {
+  // CC2420-ish at 3V, 250kbps: tx ~0.6 uJ/byte, rx ~0.67 uJ/byte.
+  constexpr double kTxPerByte = 0.60;
+  constexpr double kRxPerByte = 0.67;
+  double e = 0;
+  for (const PerNode& p : per_node) {
+    e += kTxPerByte * static_cast<double>(p.sent_bytes) +
+         kRxPerByte * static_cast<double>(p.received_bytes);
+  }
+  return e;
+}
+
+const Location& NodeContext::location() const {
+  return network_->topology_.location(id_);
+}
+
+const std::vector<NodeId>& NodeContext::neighbors() const {
+  return network_->topology_.neighbors(id_);
+}
+
+const Topology& NodeContext::topology() const { return network_->topology_; }
+
+SimTime NodeContext::LocalTime() const {
+  return network_->sim_.now() + network_->skews_[static_cast<size_t>(id_)];
+}
+
+void NodeContext::Send(NodeId to, Message msg) {
+  network_->Deliver(id_, to, std::move(msg));
+}
+
+void NodeContext::SetTimer(SimTime delay, int timer_id) {
+  Network* net = network_;
+  NodeId id = id_;
+  net->sim_.ScheduleAfter(delay, [net, id, timer_id]() {
+    if (net->failed_[static_cast<size_t>(id)]) return;
+    net->apps_[static_cast<size_t>(id)]->OnTimer(
+        net->contexts_[static_cast<size_t>(id)].get(), timer_id);
+  });
+}
+
+Rng& NodeContext::rng() {
+  return *network_->node_rngs_[static_cast<size_t>(id_)];
+}
+
+Network::Network(Topology topology, LinkModel link, uint64_t seed)
+    : topology_(std::move(topology)), link_(link), rng_(seed) {
+  int n = topology_.node_count();
+  apps_.resize(static_cast<size_t>(n));
+  contexts_.reserve(static_cast<size_t>(n));
+  node_rngs_.reserve(static_cast<size_t>(n));
+  skews_.reserve(static_cast<size_t>(n));
+  failed_.assign(static_cast<size_t>(n), false);
+  stats_.per_node.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    contexts_.push_back(std::make_unique<NodeContext>(this, i));
+    node_rngs_.push_back(std::make_unique<Rng>(rng_.Fork()));
+    skews_.push_back(link_.max_clock_skew > 0
+                         ? rng_.Uniform(0, link_.max_clock_skew)
+                         : 0);
+  }
+}
+
+void Network::SetApp(NodeId id, std::unique_ptr<NodeApp> app) {
+  apps_[static_cast<size_t>(id)] = std::move(app);
+}
+
+void Network::Start() {
+  for (int i = 0; i < node_count(); ++i) {
+    DEDUCE_CHECK(apps_[static_cast<size_t>(i)] != nullptr)
+        << "node " << i << " has no app";
+    NodeId id = i;
+    sim_.ScheduleAt(sim_.now(), [this, id]() {
+      if (failed_[static_cast<size_t>(id)]) return;
+      apps_[static_cast<size_t>(id)]->Start(
+          contexts_[static_cast<size_t>(id)].get());
+    });
+  }
+}
+
+void Network::FailNode(NodeId id) { failed_[static_cast<size_t>(id)] = true; }
+
+void Network::Deliver(NodeId from, NodeId to, Message msg) {
+  DEDUCE_CHECK(topology_.AreNeighbors(from, to))
+      << "node " << from << " cannot reach non-neighbor " << to;
+  if (failed_[static_cast<size_t>(from)]) return;
+  msg.src = from;
+  msg.dst = to;
+  size_t bytes = msg.WireSize();
+
+  auto& sender = stats_.per_node[static_cast<size_t>(from)];
+  ++stats_.sent_by_type[msg.type];
+
+  // Simplified link-layer ARQ: up to 1 + retries attempts, each an
+  // independent loss trial and a real transmission (counted and paid for).
+  int attempts = 0;
+  bool delivered = false;
+  for (int a = 0; a <= link_.retries; ++a) {
+    ++attempts;
+    if (!(link_.loss_rate > 0 && rng_.Bernoulli(link_.loss_rate))) {
+      delivered = true;
+      break;
+    }
+  }
+  sender.sent_messages += static_cast<uint64_t>(attempts);
+  sender.sent_bytes += bytes * static_cast<uint64_t>(attempts);
+  if (trace_) {
+    TraceEvent ev;
+    ev.time = sim_.now();
+    ev.src = from;
+    ev.dst = to;
+    ev.type = msg.type;
+    ev.bytes = bytes;
+    ev.attempts = attempts;
+    ev.delivered = delivered;
+    trace_(ev);
+  }
+  if (!delivered) {
+    ++sender.dropped_messages;
+    return;
+  }
+  SimTime per_attempt =
+      link_.base_delay +
+      (link_.jitter > 0 ? rng_.Uniform(0, link_.jitter) : 0) +
+      link_.per_byte_delay * static_cast<SimTime>(bytes);
+  SimTime delay = per_attempt * static_cast<SimTime>(attempts);
+  auto shared = std::make_shared<Message>(std::move(msg));
+  sim_.ScheduleAfter(delay, [this, to, bytes, shared]() {
+    if (failed_[static_cast<size_t>(to)]) return;
+    auto& receiver = stats_.per_node[static_cast<size_t>(to)];
+    ++receiver.received_messages;
+    receiver.received_bytes += bytes;
+    apps_[static_cast<size_t>(to)]->OnMessage(
+        contexts_[static_cast<size_t>(to)].get(), *shared);
+  });
+}
+
+}  // namespace deduce

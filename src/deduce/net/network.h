@@ -1,0 +1,201 @@
+#ifndef DEDUCE_NET_NETWORK_H_
+#define DEDUCE_NET_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "deduce/common/rng.h"
+#include "deduce/net/simulator.h"
+#include "deduce/net/topology.h"
+
+namespace deduce {
+
+/// A single-hop radio message. `type` is application-defined; the payload
+/// is opaque bytes (see codec.h).
+struct Message {
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+
+  /// Bytes on the wire: payload + a fixed link header (src, dst, type,
+  /// length — 8 bytes, in the ballpark of an 802.15.4 compressed header).
+  static constexpr size_t kHeaderBytes = 8;
+  size_t WireSize() const { return payload.size() + kHeaderBytes; }
+};
+
+/// Link-layer model: per-hop delays, per-byte transmission time, loss.
+struct LinkModel {
+  SimTime base_delay = 2'000;       ///< Fixed per-hop latency (2 ms).
+  SimTime jitter = 1'000;           ///< Uniform extra delay in [0, jitter].
+  SimTime per_byte_delay = 32;      ///< ~250 kbps: 32 us per byte.
+  double loss_rate = 0.0;           ///< Probability a unicast hop is lost.
+  /// Link-layer retransmissions per hop (simplified ARQ): each attempt is
+  /// an independent loss trial and costs a message; delivery fails only if
+  /// all 1 + retries attempts are lost. Real mote MACs retry 3-5 times.
+  int retries = 0;
+  SimTime max_clock_skew = 0;       ///< τ_c: node clocks differ by <= this.
+
+  /// Upper bound on one hop's delay for a message of `bytes` bytes
+  /// (including worst-case retransmissions).
+  SimTime MaxHopDelay(size_t bytes) const {
+    return (base_delay + jitter +
+            per_byte_delay * static_cast<SimTime>(bytes)) *
+           static_cast<SimTime>(1 + retries);
+  }
+
+  /// A "testbed" profile (§VI substitution): lossy, jittery, skewed.
+  static LinkModel Testbed() {
+    LinkModel m;
+    m.base_delay = 3'000;
+    m.jitter = 4'000;
+    m.per_byte_delay = 40;
+    m.loss_rate = 0.05;
+    m.retries = 2;
+    m.max_clock_skew = 2'000;
+    return m;
+  }
+};
+
+/// Per-node and global traffic counters; the currency of every benchmark.
+struct NetworkStats {
+  struct PerNode {
+    uint64_t sent_messages = 0;
+    uint64_t sent_bytes = 0;
+    uint64_t received_messages = 0;
+    uint64_t received_bytes = 0;
+    uint64_t dropped_messages = 0;
+  };
+  std::vector<PerNode> per_node;
+  std::unordered_map<uint16_t, uint64_t> sent_by_type;
+
+  uint64_t TotalMessages() const;
+  uint64_t TotalBytes() const;
+  uint64_t MaxNodeMessages() const;
+  /// Simple radio energy proxy in microjoules: tx + rx cost per byte
+  /// (CC2420-like constants).
+  double TotalEnergyMicroJ() const;
+};
+
+class Network;
+
+/// One transmission record for offline analysis/visualization (see
+/// Network::SetTraceSink and `dlog simulate --trace`).
+struct TraceEvent {
+  SimTime time = 0;      ///< Global send time.
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  uint16_t type = 0;     ///< Message type (EngineMsgType or app-defined).
+  size_t bytes = 0;      ///< Wire size per attempt.
+  int attempts = 1;      ///< Link-layer transmissions used.
+  bool delivered = true;
+};
+
+/// The API surface a node application sees: identity, neighbors, local
+/// clock, messaging and timers. Handed to every NodeApp callback.
+class NodeContext {
+ public:
+  NodeContext(Network* network, NodeId id) : network_(network), id_(id) {}
+
+  NodeId id() const { return id_; }
+  const Location& location() const;
+  const std::vector<NodeId>& neighbors() const;
+  const Topology& topology() const;
+
+  /// Node-local clock (global time + this node's fixed skew).
+  SimTime LocalTime() const;
+
+  /// Sends to a direct neighbor; non-neighbors are a programming error.
+  void Send(NodeId to, Message msg);
+
+  /// Schedules OnTimer(timer_id) after `delay` (local == global duration).
+  void SetTimer(SimTime delay, int timer_id);
+
+  /// Node-private deterministic RNG.
+  Rng& rng();
+
+ private:
+  Network* network_;
+  NodeId id_;
+};
+
+/// A node application: the distributed engine's per-node runtime implements
+/// this (engine/runtime.h), as do the procedural baselines.
+class NodeApp {
+ public:
+  virtual ~NodeApp() = default;
+  /// Called once at simulation start.
+  virtual void Start(NodeContext* ctx) { (void)ctx; }
+  /// Called for each delivered message.
+  virtual void OnMessage(NodeContext* ctx, const Message& msg) = 0;
+  /// Called for timers set via NodeContext::SetTimer.
+  virtual void OnTimer(NodeContext* ctx, int timer_id) {
+    (void)ctx;
+    (void)timer_id;
+  }
+};
+
+/// The simulated sensor network: topology + link model + per-node apps,
+/// driven by a Simulator. This is the repo's TOSSIM substitute (see
+/// DESIGN.md §2): it exposes exactly the knobs the paper's correctness
+/// arguments use — bounded per-hop delay, bounded clock skew, loss — and
+/// measures what §VI reports (per-node message/byte counts).
+class Network {
+ public:
+  Network(Topology topology, LinkModel link, uint64_t seed);
+
+  /// Installs the app for a node (before Start()).
+  void SetApp(NodeId id, std::unique_ptr<NodeApp> app);
+
+  /// Calls Start() on every app (as a time-0 event per node).
+  void Start();
+
+  Simulator& sim() { return sim_; }
+  const Topology& topology() const { return topology_; }
+  const LinkModel& link() const { return link_; }
+  int node_count() const { return topology_.node_count(); }
+
+  NodeContext& context(NodeId id) {
+    return *contexts_[static_cast<size_t>(id)];
+  }
+  NodeApp* app(NodeId id) { return apps_[static_cast<size_t>(id)].get(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  SimTime clock_skew(NodeId id) const {
+    return skews_[static_cast<size_t>(id)];
+  }
+
+  /// Installs a trace sink invoked for every transmission (send time, hop
+  /// endpoints, type, size, ARQ attempts, delivery outcome). Pass nullptr
+  /// to disable.
+  void SetTraceSink(std::function<void(const TraceEvent&)> sink) {
+    trace_ = std::move(sink);
+  }
+
+  /// Kills a node: it stops receiving and sending (fault injection).
+  void FailNode(NodeId id);
+  bool IsFailed(NodeId id) const { return failed_[static_cast<size_t>(id)]; }
+
+ private:
+  friend class NodeContext;
+
+  void Deliver(NodeId from, NodeId to, Message msg);
+
+  Topology topology_;
+  LinkModel link_;
+  Simulator sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<NodeApp>> apps_;
+  std::vector<std::unique_ptr<NodeContext>> contexts_;
+  std::vector<std::unique_ptr<Rng>> node_rngs_;
+  std::vector<SimTime> skews_;
+  std::vector<bool> failed_;
+  NetworkStats stats_;
+  std::function<void(const TraceEvent&)> trace_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_NET_NETWORK_H_

@@ -1,0 +1,38 @@
+#include "deduce/net/simulator.h"
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  DEDUCE_CHECK(t >= now_) << "cannot schedule in the past: " << t << " < "
+                          << now_;
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && executed < max_events) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+uint64_t Simulator::RunUntil(SimTime deadline) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace deduce

@@ -1,0 +1,62 @@
+#ifndef DEDUCE_NET_SIMULATOR_H_
+#define DEDUCE_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "deduce/datalog/fact.h"  // Timestamp
+
+namespace deduce {
+
+/// Simulated time in microseconds (same unit as tuple Timestamps).
+using SimTime = Timestamp;
+
+/// A deterministic single-threaded discrete-event scheduler.
+///
+/// Events fire in (time, insertion order) order, so two events scheduled for
+/// the same instant run in the order they were scheduled — runs replay
+/// exactly given the same seed.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay (>= 0).
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  uint64_t Run(uint64_t max_events = UINT64_MAX);
+
+  /// Runs events with firing time <= deadline.
+  uint64_t RunUntil(SimTime deadline);
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_NET_SIMULATOR_H_

@@ -1,0 +1,145 @@
+#include "deduce/net/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+Topology Topology::Grid(int m) {
+  DEDUCE_CHECK(m >= 1);
+  Topology t;
+  t.range_ = 1.0;
+  t.grid_side_ = m;
+  t.locations_.reserve(static_cast<size_t>(m) * static_cast<size_t>(m));
+  for (int q = 0; q < m; ++q) {
+    for (int p = 0; p < m; ++p) {
+      t.locations_.push_back(
+          Location{static_cast<double>(p), static_cast<double>(q)});
+    }
+  }
+  t.BuildAdjacency();
+  return t;
+}
+
+Topology Topology::Line(int n) {
+  DEDUCE_CHECK(n >= 1);
+  Topology t;
+  t.range_ = 1.0;
+  for (int i = 0; i < n; ++i) {
+    t.locations_.push_back(Location{static_cast<double>(i), 0.0});
+  }
+  t.BuildAdjacency();
+  return t;
+}
+
+Topology Topology::RandomGeometric(int n, double width, double height,
+                                   double range, Rng* rng) {
+  DEDUCE_CHECK(n >= 1);
+  Topology t;
+  t.range_ = range;
+  for (int i = 0; i < n; ++i) {
+    t.locations_.push_back(Location{rng->UniformDouble(0, width),
+                                    rng->UniformDouble(0, height)});
+  }
+  t.BuildAdjacency();
+  return t;
+}
+
+void Topology::BuildAdjacency() {
+  const double eps = 1e-9;
+  size_t n = locations_.size();
+  adjacency_.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (locations_[i].DistanceTo(locations_[j]) <= range_ + eps) {
+        adjacency_[i].push_back(static_cast<NodeId>(j));
+        adjacency_[j].push_back(static_cast<NodeId>(i));
+      }
+    }
+  }
+  for (auto& adj : adjacency_) std::sort(adj.begin(), adj.end());
+}
+
+bool Topology::AreNeighbors(NodeId a, NodeId b) const {
+  const auto& adj = adjacency_[static_cast<size_t>(a)];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+bool Topology::IsConnected() const {
+  if (locations_.empty()) return true;
+  std::vector<bool> seen(locations_.size(), false);
+  std::queue<NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  size_t count = 1;
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : adjacency_[static_cast<size_t>(u)]) {
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == locations_.size();
+}
+
+NodeId Topology::GridNode(int p, int q) const {
+  DEDUCE_CHECK(grid_side_.has_value());
+  DEDUCE_CHECK(p >= 0 && p < *grid_side_ && q >= 0 && q < *grid_side_);
+  return q * *grid_side_ + p;
+}
+
+std::pair<int, int> Topology::GridCoord(NodeId id) const {
+  DEDUCE_CHECK(grid_side_.has_value());
+  int m = *grid_side_;
+  return {static_cast<int>(id) % m, static_cast<int>(id) / m};
+}
+
+NodeId Topology::ClosestNode(double x, double y) const {
+  Location target{x, y};
+  NodeId best = 0;
+  double best_d = locations_[0].DistanceTo(target);
+  for (size_t i = 1; i < locations_.size(); ++i) {
+    double d = locations_[i].DistanceTo(target);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<NodeId>(i);
+    }
+  }
+  return best;
+}
+
+int Topology::DiameterHops() const {
+  // Eccentricity from BFS over all sources would be O(n^2); for our network
+  // sizes that is fine and exact.
+  int n = node_count();
+  int diameter = 0;
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> dist(static_cast<size_t>(n), -1);
+    std::queue<NodeId> q;
+    dist[static_cast<size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (NodeId v : adjacency_[static_cast<size_t>(u)]) {
+        if (dist[static_cast<size_t>(v)] == -1) {
+          dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+          q.push(v);
+        }
+      }
+    }
+    for (int d : dist) {
+      if (d == -1) return -1;
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+}  // namespace deduce

@@ -1,0 +1,81 @@
+#ifndef DEDUCE_NET_TOPOLOGY_H_
+#define DEDUCE_NET_TOPOLOGY_H_
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/fact.h"  // NodeId
+
+namespace deduce {
+
+/// Position of a node in the plane (grid coordinates are unit-spaced).
+struct Location {
+  double x = 0;
+  double y = 0;
+
+  double DistanceTo(const Location& o) const {
+    double dx = x - o.x;
+    double dy = y - o.y;
+    return std::sqrt(dx * dx + dy * dy);
+  }
+};
+
+/// Node placement + unit-disk connectivity. The paper's grid model (§III-A):
+/// "a node of unit transmission radius at each location (p, q)"; two nodes
+/// communicate iff within the radio range.
+class Topology {
+ public:
+  /// m x m grid with unit spacing; radio range 1 (4-neighborhood). Node id
+  /// = q * m + p for column p, row q (0-based).
+  static Topology Grid(int m);
+
+  /// Horizontal line of n nodes with unit spacing.
+  static Topology Line(int n);
+
+  /// n nodes uniform in [0,width] x [0,height], unit-disk with the given
+  /// range. Deterministic from *rng.
+  static Topology RandomGeometric(int n, double width, double height,
+                                  double range, Rng* rng);
+
+  int node_count() const { return static_cast<int>(locations_.size()); }
+  const Location& location(NodeId id) const {
+    return locations_[static_cast<size_t>(id)];
+  }
+  const std::vector<NodeId>& neighbors(NodeId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+  double radio_range() const { return range_; }
+
+  bool AreNeighbors(NodeId a, NodeId b) const;
+
+  /// True if the unit-disk graph is connected.
+  bool IsConnected() const;
+
+  /// Grid side length when built by Grid(); nullopt otherwise.
+  std::optional<int> grid_side() const { return grid_side_; }
+
+  /// Grid helpers (valid for Grid topologies).
+  NodeId GridNode(int p, int q) const;
+  std::pair<int, int> GridCoord(NodeId id) const;
+
+  /// The node whose location is closest to (x, y) (Euclidean; ties broken
+  /// by lower id).
+  NodeId ClosestNode(double x, double y) const;
+
+  /// Network diameter in hops (BFS from node 0; -1 if disconnected).
+  int DiameterHops() const;
+
+ private:
+  void BuildAdjacency();
+
+  std::vector<Location> locations_;
+  std::vector<std::vector<NodeId>> adjacency_;
+  double range_ = 1.0;
+  std::optional<int> grid_side_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_NET_TOPOLOGY_H_

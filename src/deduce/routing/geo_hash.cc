@@ -1,0 +1,47 @@
+#include "deduce/routing/geo_hash.h"
+
+#include <algorithm>
+
+#include "deduce/common/hash.h"
+
+namespace deduce {
+
+GeoHash::GeoHash(const Topology* topology) : topology_(topology) {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  for (int i = 0; i < topology_->node_count(); ++i) {
+    const Location& l = topology_->location(i);
+    if (i == 0) {
+      min_x = max_x = l.x;
+      min_y = max_y = l.y;
+    } else {
+      min_x = std::min(min_x, l.x);
+      max_x = std::max(max_x, l.x);
+      min_y = std::min(min_y, l.y);
+      max_y = std::max(max_y, l.y);
+    }
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  width_ = std::max(max_x - min_x, 1e-9);
+  height_ = std::max(max_y - min_y, 1e-9);
+}
+
+uint64_t GeoHash::StableFactHash(const Fact& fact) {
+  return Fnv1a(fact.ToString());
+}
+
+NodeId GeoHash::HomeForKey(uint64_t key) const {
+  uint64_t kx = Mix64(key);
+  uint64_t ky = Mix64(key ^ 0x5851f42d4c957f2dULL);
+  double fx = static_cast<double>(kx >> 11) /
+              static_cast<double>(1ULL << 53);
+  double fy = static_cast<double>(ky >> 11) /
+              static_cast<double>(1ULL << 53);
+  return topology_->ClosestNode(min_x_ + fx * width_, min_y_ + fy * height_);
+}
+
+NodeId GeoHash::HomeNode(const Fact& fact) const {
+  return HomeForKey(StableFactHash(fact));
+}
+
+}  // namespace deduce

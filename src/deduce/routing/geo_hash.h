@@ -1,0 +1,38 @@
+#ifndef DEDUCE_ROUTING_GEO_HASH_H_
+#define DEDUCE_ROUTING_GEO_HASH_H_
+
+#include "deduce/datalog/fact.h"
+#include "deduce/net/topology.h"
+
+namespace deduce {
+
+/// Geographic hashing of tuples to home nodes (§III-B: "we can use
+/// well-known geographic hashing schemes").
+///
+/// A fact's content hash is mapped to a virtual coordinate inside the
+/// network's bounding box; the node closest to that coordinate is the
+/// tuple's home. Identical tuples hash to the same home everywhere, which
+/// is what makes derived tables into deduplicated derived streams.
+class GeoHash {
+ public:
+  /// `topology` must outlive the hasher.
+  explicit GeoHash(const Topology* topology);
+
+  /// Home node of a fact (content-addressed: same fact -> same home).
+  NodeId HomeNode(const Fact& fact) const;
+
+  /// Home node for a raw 64-bit key.
+  NodeId HomeForKey(uint64_t key) const;
+
+  /// Deterministic content hash of a fact (stable across processes: based
+  /// on the printed form, not on interning order).
+  static uint64_t StableFactHash(const Fact& fact);
+
+ private:
+  const Topology* topology_;
+  double min_x_, min_y_, width_, height_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ROUTING_GEO_HASH_H_

@@ -1,0 +1,126 @@
+#include "deduce/routing/routing.h"
+
+#include <queue>
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+RoutingTable::RoutingTable(const Topology* topology) : topology_(topology) {}
+
+const RoutingTable::DestInfo& RoutingTable::InfoFor(NodeId dest) const {
+  auto it = cache_.find(dest);
+  if (it != cache_.end()) return *it->second;
+
+  auto info = std::make_unique<DestInfo>();
+  size_t n = static_cast<size_t>(topology_->node_count());
+  info->next_hop.assign(n, kNoNode);
+  info->dist.assign(n, -1);
+  // BFS outward from dest; neighbors are sorted by id, so next hops are
+  // deterministic.
+  std::queue<NodeId> q;
+  info->dist[static_cast<size_t>(dest)] = 0;
+  info->next_hop[static_cast<size_t>(dest)] = dest;
+  q.push(dest);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : topology_->neighbors(u)) {
+      if (info->dist[static_cast<size_t>(v)] == -1) {
+        info->dist[static_cast<size_t>(v)] =
+            info->dist[static_cast<size_t>(u)] + 1;
+        info->next_hop[static_cast<size_t>(v)] = u;
+        q.push(v);
+      }
+    }
+  }
+  const DestInfo& ref = *info;
+  cache_.emplace(dest, std::move(info));
+  return ref;
+}
+
+NodeId RoutingTable::NextHop(NodeId from, NodeId dest) const {
+  if (from == dest) return kNoNode;
+  const DestInfo& info = InfoFor(dest);
+  return info.next_hop[static_cast<size_t>(from)];
+}
+
+NodeId RoutingTable::GeoNextHop(NodeId from, NodeId dest) const {
+  if (from == dest) return kNoNode;
+  // Among neighbors that make hop progress (so delivery is guaranteed —
+  // alternating pure greedy with a fallback can livelock around a void),
+  // prefer the one geographically closest to the destination. This is the
+  // GPSR stand-in documented in DESIGN.md §2.
+  const DestInfo& info = InfoFor(dest);
+  int here = info.dist[static_cast<size_t>(from)];
+  if (here <= 0) return kNoNode;
+  const Location& target = topology_->location(dest);
+  NodeId best = kNoNode;
+  double best_d = 0;
+  for (NodeId v : topology_->neighbors(from)) {
+    if (info.dist[static_cast<size_t>(v)] != here - 1) continue;
+    double d = topology_->location(v).DistanceTo(target);
+    if (best == kNoNode || d < best_d - 1e-12) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+int RoutingTable::HopDistance(NodeId from, NodeId dest) const {
+  if (from == dest) return 0;
+  return InfoFor(dest).dist[static_cast<size_t>(from)];
+}
+
+std::vector<NodeId> RoutingTable::Route(NodeId from, NodeId dest) const {
+  std::vector<NodeId> out;
+  if (from == dest) return out;
+  NodeId cur = from;
+  int guard = topology_->node_count() + 1;
+  while (cur != dest && guard-- > 0) {
+    NodeId next = NextHop(cur, dest);
+    if (next == kNoNode) return {};
+    out.push_back(next);
+    cur = next;
+  }
+  DEDUCE_CHECK(cur == dest) << "routing loop from " << from << " to " << dest;
+  return out;
+}
+
+SinkTree SinkTree::Build(const Topology& topology, NodeId root) {
+  SinkTree tree;
+  tree.root = root;
+  size_t n = static_cast<size_t>(topology.node_count());
+  tree.parent.assign(n, kNoNode);
+  tree.depth.assign(n, -1);
+  std::queue<NodeId> q;
+  tree.parent[static_cast<size_t>(root)] = root;
+  tree.depth[static_cast<size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : topology.neighbors(u)) {
+      if (tree.depth[static_cast<size_t>(v)] == -1) {
+        tree.depth[static_cast<size_t>(v)] =
+            tree.depth[static_cast<size_t>(u)] + 1;
+        tree.parent[static_cast<size_t>(v)] = u;
+        q.push(v);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<std::vector<NodeId>> SinkTree::Children() const {
+  std::vector<std::vector<NodeId>> children(parent.size());
+  for (size_t v = 0; v < parent.size(); ++v) {
+    NodeId p = parent[v];
+    if (p == kNoNode || static_cast<size_t>(p) == v) continue;
+    children[static_cast<size_t>(p)].push_back(static_cast<NodeId>(v));
+  }
+  return children;
+}
+
+}  // namespace deduce

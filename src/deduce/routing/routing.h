@@ -1,0 +1,69 @@
+#ifndef DEDUCE_ROUTING_ROUTING_H_
+#define DEDUCE_ROUTING_ROUTING_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "deduce/net/topology.h"
+
+namespace deduce {
+
+/// Hop-by-hop routing over a topology.
+///
+/// Primary strategy is greedy geographic forwarding (each hop moves strictly
+/// closer to the destination's location), which is what the paper's setting
+/// assumes for grid networks — on a grid it degenerates to dimension-order
+/// routing. When greedy forwarding hits a local minimum (possible on random
+/// topologies), it falls back to a precomputed shortest-path next-hop — the
+/// stand-in for a full GPSR perimeter mode (see DESIGN.md §2).
+///
+/// All computations are deterministic (ties broken by lower node id).
+class RoutingTable {
+ public:
+  /// `topology` must outlive the table.
+  explicit RoutingTable(const Topology* topology);
+
+  /// Next hop from `from` toward `dest`; kNoNode if unreachable or already
+  /// there.
+  NodeId NextHop(NodeId from, NodeId dest) const;
+
+  /// Greedy-geographic next hop with shortest-path fallback.
+  NodeId GeoNextHop(NodeId from, NodeId dest) const;
+
+  /// Hop distance (BFS); -1 if unreachable.
+  int HopDistance(NodeId from, NodeId dest) const;
+
+  /// The full hop sequence from -> ... -> dest (excluding `from`); empty if
+  /// unreachable or from == dest.
+  std::vector<NodeId> Route(NodeId from, NodeId dest) const;
+
+ private:
+  /// BFS tree toward `dest`: parent[v] = next hop from v toward dest.
+  struct DestInfo {
+    std::vector<NodeId> next_hop;
+    std::vector<int> dist;
+  };
+  const DestInfo& InfoFor(NodeId dest) const;
+
+  const Topology* topology_;
+  mutable std::unordered_map<NodeId, std::unique_ptr<DestInfo>> cache_;
+};
+
+/// BFS spanning tree rooted at a sink: parent pointers and depths. Used by
+/// the centralized (external-server) baseline, converge-cast aggregation
+/// (TAG-style), and the procedural SPT baseline's expected output.
+struct SinkTree {
+  NodeId root = 0;
+  std::vector<NodeId> parent;  ///< parent[root] == root.
+  std::vector<int> depth;      ///< depth[root] == 0; -1 if unreachable.
+
+  static SinkTree Build(const Topology& topology, NodeId root);
+
+  /// Children lists (derived from parents).
+  std::vector<std::vector<NodeId>> Children() const;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ROUTING_ROUTING_H_

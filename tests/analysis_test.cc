@@ -1,0 +1,286 @@
+#include "deduce/datalog/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "deduce/datalog/parser.h"
+
+namespace deduce {
+namespace {
+
+ProgramAnalysis Analyze(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  Program p = std::move(program).value();
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  Status st = ResolveBuiltins(&p, registry);
+  EXPECT_TRUE(st.ok()) << st;
+  auto analysis = AnalyzeProgram(p);
+  EXPECT_TRUE(analysis.ok()) << analysis.status();
+  return std::move(analysis).value();
+}
+
+TEST(StageExprTest, CanonicalForms) {
+  StageExpr c = CanonStageExpr(ParseTerm("5").value());
+  EXPECT_TRUE(c.valid);
+  EXPECT_TRUE(c.is_const);
+  EXPECT_EQ(c.konst, 5);
+
+  StageExpr v = CanonStageExpr(ParseTerm("D").value());
+  EXPECT_TRUE(v.valid);
+  EXPECT_FALSE(v.is_const);
+  EXPECT_EQ(v.var, Intern("D"));
+  EXPECT_EQ(v.offset, 0);
+
+  StageExpr p = CanonStageExpr(ParseTerm("D + 2").value());
+  EXPECT_TRUE(p.valid);
+  EXPECT_EQ(p.offset, 2);
+
+  StageExpr m = CanonStageExpr(ParseTerm("D - 1").value());
+  EXPECT_TRUE(m.valid);
+  EXPECT_EQ(m.offset, -1);
+
+  StageExpr r = CanonStageExpr(ParseTerm("3 + D").value());
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.offset, 3);
+
+  EXPECT_FALSE(CanonStageExpr(ParseTerm("D * 2").value()).valid);
+  EXPECT_FALSE(CanonStageExpr(ParseTerm("f(D)").value()).valid);
+  EXPECT_FALSE(CanonStageExpr(ParseTerm("D + E").value()).valid);
+}
+
+TEST(AnalysisTest, NonRecursiveProgram) {
+  ProgramAnalysis a = Analyze(R"(
+    cov(L, T) :- veh("enemy", L, T), veh("friendly", L2, T),
+                 dist(L, L2) <= 5.
+    uncov(L, T) :- veh("enemy", L, T), NOT cov(L, T).
+  )");
+  EXPECT_FALSE(a.is_recursive);
+  EXPECT_TRUE(a.is_stratified);
+  EXPECT_TRUE(a.has_negation);
+  EXPECT_TRUE(a.edb.count(Intern("veh")));
+  EXPECT_TRUE(a.idb.count(Intern("cov")));
+  EXPECT_TRUE(a.idb.count(Intern("uncov")));
+  // Strata: veh=0, cov=0, uncov=1 (negation on cov).
+  EXPECT_EQ(a.stratum_of.at(Intern("veh")), 0);
+  EXPECT_EQ(a.stratum_of.at(Intern("cov")), 0);
+  EXPECT_EQ(a.stratum_of.at(Intern("uncov")), 1);
+}
+
+TEST(AnalysisTest, BuiltinResolution) {
+  auto program = ParseProgram(R"(
+    near(X) :- p(X, L1), q(L2), dist(L1, L2) <= 2, member(X, [1, 2, 3]).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  Program p = std::move(program).value();
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  ASSERT_TRUE(ResolveBuiltins(&p, registry).ok());
+  // member(...) became a builtin literal; dist stayed inside a comparison.
+  const Rule& rule = p.rules()[0];
+  EXPECT_EQ(rule.body[3].kind, Literal::Kind::kBuiltin);
+}
+
+TEST(AnalysisTest, NegatedBuiltin) {
+  auto program = ParseProgram("a(X) :- b(X, L), NOT member(X, L).");
+  ASSERT_TRUE(program.ok());
+  Program p = std::move(program).value();
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  ASSERT_TRUE(ResolveBuiltins(&p, registry).ok());
+  EXPECT_EQ(p.rules()[0].body[1].kind, Literal::Kind::kBuiltin);
+  EXPECT_TRUE(p.rules()[0].body[1].builtin_negated);
+}
+
+TEST(AnalysisTest, TransitiveClosureIsRecursiveStratified) {
+  ProgramAnalysis a = Analyze(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  EXPECT_TRUE(a.is_recursive);
+  EXPECT_TRUE(a.is_stratified);
+  EXPECT_TRUE(a.IsRecursivePred(Intern("path")));
+  EXPECT_FALSE(a.IsRecursivePred(Intern("edge")));
+}
+
+TEST(AnalysisTest, MutualRecursionOneScc) {
+  ProgramAnalysis a = Analyze(R"(
+    even(X) :- zero(X).
+    even(X) :- odd(Y), succ(Y, X).
+    odd(X) :- even(Y), succ(Y, X).
+  )");
+  EXPECT_EQ(a.scc_of.at(Intern("even")), a.scc_of.at(Intern("odd")));
+  EXPECT_TRUE(a.is_recursive);
+}
+
+TEST(AnalysisTest, SccTopologicalOrder) {
+  ProgramAnalysis a = Analyze(R"(
+    b(X) :- a(X).
+    c(X) :- b(X).
+  )");
+  int sa = a.scc_of.at(Intern("a"));
+  int sb = a.scc_of.at(Intern("b"));
+  int sc = a.scc_of.at(Intern("c"));
+  EXPECT_LT(sa, sb);
+  EXPECT_LT(sb, sc);
+}
+
+TEST(AnalysisTest, LogicHIsXYStratified) {
+  ProgramAnalysis a = Analyze(R"(
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    h1(Y, D + 1) :- h(_, Y, D2), (D + 1) > D2, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), NOT h1(Y, D + 1).
+  )");
+  EXPECT_FALSE(a.is_stratified);
+  EXPECT_TRUE(a.is_xy_stratified) << a.ToString();
+  // Find the recursive SCC.
+  const SccInfo* scc = nullptr;
+  for (const SccInfo& s : a.sccs) {
+    if (s.recursive) scc = &s;
+  }
+  ASSERT_NE(scc, nullptr);
+  EXPECT_TRUE(scc->has_internal_negation);
+  EXPECT_TRUE(scc->xy_stratified) << scc->xy_diagnostic;
+  // Stage arguments: h's third, h1's second.
+  EXPECT_EQ(scc->stage_arg.at(Intern("h")), 2u);
+  EXPECT_EQ(scc->stage_arg.at(Intern("h1")), 1u);
+  // h1 must evaluate before h within a stage.
+  EXPECT_LT(scc->local_stratum.at(Intern("h1")),
+            scc->local_stratum.at(Intern("h")));
+}
+
+TEST(AnalysisTest, LogicJIsXYStratified) {
+  // The improved SPT program (§VI): j(Y, D) without the edge argument.
+  ProgramAnalysis a = Analyze(R"(
+    j(0, 0).
+    j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).
+  )");
+  EXPECT_TRUE(a.is_xy_stratified) << a.ToString();
+}
+
+TEST(AnalysisTest, UnstratifiedRecursionThroughNegationFailsXY) {
+  // win(X) :- move(X, Y), NOT win(Y): same-stage negative self-loop with no
+  // usable stage argument.
+  ProgramAnalysis a = Analyze(R"(
+    win(X) :- move(X, Y), NOT win(Y).
+  )");
+  EXPECT_FALSE(a.is_stratified);
+  EXPECT_FALSE(a.is_xy_stratified);
+}
+
+TEST(AnalysisTest, StageDeclOverridesInference) {
+  ProgramAnalysis a = Analyze(R"(
+    .decl h(x, y, d) stage d.
+    .decl h1(y, d) stage d.
+    h(0, X, 1) :- g(0, X).
+    h1(Y, D + 1) :- h(_, Y, D2), (D + 1) > D2, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), NOT h1(Y, D + 1).
+  )");
+  EXPECT_TRUE(a.is_xy_stratified) << a.ToString();
+}
+
+TEST(AnalysisTest, InputDeclaredPredicateCannotBeDerived) {
+  auto program = ParseProgram(R"(
+    .decl a(x) input.
+    a(X) :- b(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  Program p = std::move(program).value();
+  auto analysis = AnalyzeProgram(p);
+  EXPECT_FALSE(analysis.ok());
+}
+
+TEST(AnalysisTest, ArityMismatchDetected) {
+  auto program = ParseProgram(R"(
+    a(X) :- b(X).
+    c(X) :- b(X, X).
+  )");
+  ASSERT_TRUE(program.ok());
+  Program p = std::move(program).value();
+  auto analysis = AnalyzeProgram(p);
+  EXPECT_FALSE(analysis.ok());
+}
+
+TEST(AnalysisTest, TrajectoriesProgramIsStratified) {
+  // Example 2: recursion on traj is positive; negation is on lower strata.
+  ProgramAnalysis a = Analyze(R"(
+    notstartreport(R2) :- report(R1), report(R2), close(R1, R2).
+    notlastreport(R1) :- report(R1), report(R2), close(R1, R2).
+    traj([R1, R2]) :- report(R1), report(R2), close(R1, R2),
+                      NOT notstartreport(R1).
+    traj([R2, X | R1]) :- traj([X | R1]), report(R2), close(X, R2).
+    completetraj([X | R]) :- traj([X | R]), NOT notlastreport(X).
+  )");
+  EXPECT_TRUE(a.is_stratified);
+  EXPECT_TRUE(a.is_recursive);
+  EXPECT_TRUE(a.IsRecursivePred(Intern("traj")));
+}
+
+}  // namespace
+}  // namespace deduce
+
+namespace deduce {
+namespace {
+
+ProgramAnalysis Analyze2(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  Program p = std::move(program).value();
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  EXPECT_TRUE(ResolveBuiltins(&p, registry).ok());
+  auto analysis = AnalyzeProgram(p);
+  EXPECT_TRUE(analysis.ok()) << analysis.status();
+  return std::move(analysis).value();
+}
+
+TEST(AnalysisTest, WrongStageDeclBreaksXY) {
+  // Forcing the stage onto a non-stage argument must fail the XY check.
+  ProgramAnalysis a = Analyze2(R"(
+    .decl j(y, d) stage y.
+    .decl j1(y, d) stage y.
+    j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).
+  )");
+  EXPECT_FALSE(a.is_xy_stratified);
+}
+
+TEST(AnalysisTest, XYInferenceOnWiderPredicates) {
+  // Four-argument predicate: inference must find the stage among them.
+  ProgramAnalysis a = Analyze2(R"(
+    w(A, B, 0, C) :- seed(A, B, C).
+    w1(Y, D + 1) :- w(_, Y, D2, _), (D + 1) > D2, w(_, X, D, _), g(X, Y).
+    w(X, Y, D + 1, X) :- g(X, Y), w(_, X, D, _), NOT w1(Y, D + 1).
+  )");
+  EXPECT_TRUE(a.is_xy_stratified) << a.ToString();
+  const SccInfo* scc = nullptr;
+  for (const SccInfo& s : a.sccs) {
+    if (s.recursive) scc = &s;
+  }
+  ASSERT_NE(scc, nullptr);
+  EXPECT_EQ(scc->stage_arg.at(Intern("w")), 2u);
+}
+
+TEST(AnalysisTest, MutualRecursionThroughNegationFailsXYWithoutStages) {
+  ProgramAnalysis a = Analyze2(R"(
+    p(X) :- base(X), NOT q(X).
+    q(X) :- base(X), NOT p(X).
+  )");
+  EXPECT_FALSE(a.is_stratified);
+  EXPECT_FALSE(a.is_xy_stratified);
+}
+
+TEST(AnalysisTest, NegationBetweenStrataStaysStratified) {
+  ProgramAnalysis a = Analyze2(R"(
+    l1(X) :- base(X).
+    l2(X) :- l1(X), NOT skip(X).
+    l3(X) :- l2(X), NOT l1m(X).
+    l1m(X) :- l1(X), marked(X).
+  )");
+  EXPECT_TRUE(a.is_stratified);
+  // l2 and l3 both sit one negation above stratum-0 predicates.
+  EXPECT_EQ(a.stratum_of.at(Intern("l2")), 1);
+  EXPECT_EQ(a.stratum_of.at(Intern("l3")), 1);
+  EXPECT_EQ(a.stratum_of.at(Intern("l1m")), 0);
+}
+
+}  // namespace
+}  // namespace deduce

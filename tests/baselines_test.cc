@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "deduce/baselines/procedural_spt.h"
+#include "deduce/engine/aggregation.h"
+#include "deduce/routing/routing.h"
+
+namespace deduce {
+namespace {
+
+TEST(ProceduralSptTest, ComputesBfsDistancesOnGrid) {
+  Topology topo = Topology::Grid(5);
+  Network net(topo, LinkModel{}, 1);
+  ProceduralSptResult result = RunProceduralSpt(&net, /*root=*/0);
+  RoutingTable rt(&topo);
+  for (int v = 0; v < topo.node_count(); ++v) {
+    EXPECT_EQ(result.distance[static_cast<size_t>(v)], rt.HopDistance(v, 0))
+        << "node " << v;
+    if (v != 0) {
+      NodeId p = result.parent[static_cast<size_t>(v)];
+      EXPECT_TRUE(topo.AreNeighbors(v, p));
+      EXPECT_EQ(result.distance[static_cast<size_t>(p)],
+                result.distance[static_cast<size_t>(v)] - 1);
+    }
+  }
+  EXPECT_GT(result.total_messages, 0u);
+}
+
+TEST(ProceduralSptTest, WorksOnRandomTopology) {
+  Rng rng(5);
+  Topology topo = Topology::RandomGeometric(30, 8, 8, 2.5, &rng);
+  ASSERT_TRUE(topo.IsConnected());
+  Network net(topo, LinkModel{}, 2);
+  ProceduralSptResult result = RunProceduralSpt(&net, 0);
+  RoutingTable rt(&topo);
+  for (int v = 0; v < topo.node_count(); ++v) {
+    EXPECT_EQ(result.distance[static_cast<size_t>(v)], rt.HopDistance(v, 0));
+  }
+}
+
+TEST(ProceduralSptTest, MessageCostLinearInEdges) {
+  // Quiescent protocol cost is O(improvements * degree); on a grid with a
+  // corner root, each node improves O(1) times.
+  Topology topo = Topology::Grid(8);
+  Network net(topo, LinkModel{}, 3);
+  ProceduralSptResult result = RunProceduralSpt(&net, 0);
+  // 64 nodes, <= 4 neighbors: a few announcements each.
+  EXPECT_LT(result.total_messages, 64u * 4u * 4u);
+}
+
+TEST(TagAggregationTest, SumCountMinMaxAvg) {
+  // Reading of node i is i; epoch 0.
+  auto reader = [](NodeId id, int) -> std::optional<double> {
+    return static_cast<double>(id);
+  };
+  struct Case {
+    AggKind kind;
+    double expected;
+  };
+  // Grid(4): ids 0..15. sum=120, count=16, min=0, max=15, avg=7.5.
+  for (Case c : std::vector<Case>{{AggKind::kSum, 120},
+                                  {AggKind::kCount, 16},
+                                  {AggKind::kMin, 0},
+                                  {AggKind::kMax, 15},
+                                  {AggKind::kAvg, 7.5}}) {
+    Network net(Topology::Grid(4), LinkModel{}, 7);
+    TagAggregation::Options options;
+    options.kind = c.kind;
+    auto results = TagAggregation::Run(&net, options, reader);
+    ASSERT_EQ(results.size(), 1u) << AggKindToString(c.kind);
+    EXPECT_DOUBLE_EQ(results[0].value, c.expected)
+        << AggKindToString(c.kind);
+  }
+}
+
+TEST(TagAggregationTest, MultipleEpochs) {
+  auto reader = [](NodeId, int epoch) -> std::optional<double> {
+    return static_cast<double>(epoch + 1);
+  };
+  Network net(Topology::Grid(3), LinkModel{}, 8);
+  TagAggregation::Options options;
+  options.kind = AggKind::kSum;
+  options.epochs = 3;
+  auto results = TagAggregation::Run(&net, options, reader);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].value, 9.0);
+  EXPECT_DOUBLE_EQ(results[1].value, 18.0);
+  EXPECT_DOUBLE_EQ(results[2].value, 27.0);
+}
+
+TEST(TagAggregationTest, MissingReadingsSkipped) {
+  auto reader = [](NodeId id, int) -> std::optional<double> {
+    if (id % 2 == 0) return std::nullopt;
+    return 1.0;
+  };
+  Network net(Topology::Grid(4), LinkModel{}, 9);
+  TagAggregation::Options options;
+  options.kind = AggKind::kCount;
+  auto results = TagAggregation::Run(&net, options, reader);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].value, 8.0);  // 8 odd ids in 0..15
+}
+
+TEST(TagAggregationTest, MessageCostIsOnePerNodePerEpoch) {
+  auto reader = [](NodeId, int) -> std::optional<double> { return 1.0; };
+  Network net(Topology::Grid(5), LinkModel{}, 10);
+  TagAggregation::Options options;
+  options.kind = AggKind::kSum;
+  auto results = TagAggregation::Run(&net, options, reader);
+  ASSERT_EQ(results.size(), 1u);
+  // TAG sends exactly one partial per non-root node; messages = sum of
+  // tree-path single hops = 24 (every non-root node sends one message to
+  // its parent, a direct neighbor).
+  EXPECT_EQ(net.stats().TotalMessages(), 24u);
+}
+
+}  // namespace
+}  // namespace deduce

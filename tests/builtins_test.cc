@@ -1,0 +1,151 @@
+#include "deduce/datalog/builtins.h"
+
+#include <gtest/gtest.h>
+
+#include "deduce/datalog/parser.h"
+
+namespace deduce {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  BuiltinsTest() : registry_(BuiltinRegistry::Default()) {}
+
+  Term Eval(const std::string& text) {
+    auto term = ParseTerm(text);
+    EXPECT_TRUE(term.ok()) << term.status();
+    auto result = EvalTerm(*term, registry_);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return std::move(result).value();
+  }
+
+  Status EvalStatus(const std::string& text) {
+    auto term = ParseTerm(text);
+    EXPECT_TRUE(term.ok());
+    return EvalTerm(*term, registry_).status();
+  }
+
+  BuiltinRegistry registry_;
+};
+
+TEST_F(BuiltinsTest, IntegerArithmetic) {
+  EXPECT_EQ(Eval("1 + 2"), Term::Int(3));
+  EXPECT_EQ(Eval("7 - 10"), Term::Int(-3));
+  EXPECT_EQ(Eval("6 * 7"), Term::Int(42));
+  EXPECT_EQ(Eval("7 / 2"), Term::Int(3));  // integer division
+  EXPECT_EQ(Eval("mod(7, 3)"), Term::Int(1));
+  EXPECT_EQ(Eval("abs(-4)"), Term::Int(4));
+  EXPECT_EQ(Eval("min(3, 9)"), Term::Int(3));
+  EXPECT_EQ(Eval("max(3, 9)"), Term::Int(9));
+}
+
+TEST_F(BuiltinsTest, MixedPromotesToDouble) {
+  EXPECT_EQ(Eval("1 + 2.5"), Term::Real(3.5));
+  EXPECT_EQ(Eval("5.0 / 2"), Term::Real(2.5));
+}
+
+TEST_F(BuiltinsTest, NestedEvaluation) {
+  EXPECT_EQ(Eval("(1 + 2) * (10 - 6)"), Term::Int(12));
+}
+
+TEST_F(BuiltinsTest, DivisionByZero) {
+  EXPECT_EQ(EvalStatus("1 / 0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalStatus("mod(1, 0)").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuiltinsTest, TypeErrors) {
+  EXPECT_EQ(EvalStatus("1 + foo").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuiltinsTest, DistOverLocAndLists) {
+  EXPECT_EQ(Eval("dist(loc(0, 0), loc(3, 4))"), Term::Real(5.0));
+  EXPECT_EQ(Eval("dist([0, 0], [3, 4])"), Term::Real(5.0));
+  EXPECT_EQ(Eval("dist(0, 0, 3, 4)"), Term::Real(5.0));
+}
+
+TEST_F(BuiltinsTest, ListFunctions) {
+  EXPECT_EQ(Eval("length([4, 5, 6])"), Term::Int(3));
+  EXPECT_EQ(Eval("length([])"), Term::Int(0));
+  EXPECT_EQ(Eval("append([1], [2, 3])"), ParseTerm("[1, 2, 3]").value());
+  EXPECT_EQ(Eval("head([9, 8])"), Term::Int(9));
+  EXPECT_EQ(Eval("tail([9, 8])"), ParseTerm("[8]").value());
+  EXPECT_EQ(Eval("last([1, 2, 3])"), Term::Int(3));
+  EXPECT_EQ(Eval("reverse([1, 2, 3])"), ParseTerm("[3, 2, 1]").value());
+  EXPECT_EQ(Eval("nth([5, 6, 7], 1)"), Term::Int(6));
+}
+
+TEST_F(BuiltinsTest, ListFunctionErrors) {
+  EXPECT_FALSE(EvalStatus("head([])").ok());
+  EXPECT_EQ(EvalStatus("nth([1], 5)").code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(EvalStatus("length(42)").ok());
+}
+
+TEST_F(BuiltinsTest, MemberAndPrefix) {
+  auto member = registry_.FindPredicate(Intern("member"), 2);
+  ASSERT_NE(member, nullptr);
+  EXPECT_TRUE(*(*member)({Term::Int(2), ParseTerm("[1, 2, 3]").value()}));
+  EXPECT_FALSE(*(*member)({Term::Int(9), ParseTerm("[1, 2, 3]").value()}));
+  auto prefix = registry_.FindPredicate(Intern("prefix"), 2);
+  ASSERT_NE(prefix, nullptr);
+  EXPECT_TRUE(*(*prefix)({ParseTerm("[1, 2]").value(),
+                          ParseTerm("[1, 2, 3]").value()}));
+  EXPECT_FALSE(*(*prefix)({ParseTerm("[2]").value(),
+                           ParseTerm("[1, 2, 3]").value()}));
+}
+
+TEST_F(BuiltinsTest, UnregisteredFunctorsAreConstructors) {
+  // 'loc' is not an evaluable function: stays symbolic.
+  Term t = Eval("loc(1 + 1, 3)");
+  ASSERT_TRUE(t.is_function());
+  EXPECT_EQ(SymbolName(t.functor()), "loc");
+  EXPECT_EQ(t.args()[0], Term::Int(2));  // inner arithmetic still evaluates
+}
+
+TEST_F(BuiltinsTest, NonGroundLeftAlone) {
+  auto term = ParseTerm("X + 1");
+  auto result = EvalTerm(*term, registry_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->is_ground());
+  EXPECT_TRUE(result->is_function());
+}
+
+TEST_F(BuiltinsTest, UserRegistrationShadowsAndExtends) {
+  BuiltinRegistry reg = BuiltinRegistry::Default();
+  reg.RegisterFunction("twice", 1, [](const std::vector<Term>& args)
+                                       -> StatusOr<Term> {
+    return Term::Int(args[0].value().as_int() * 2);
+  });
+  reg.RegisterPredicate("isodd", 1, [](const std::vector<Term>& args)
+                                        -> StatusOr<bool> {
+    return args[0].value().as_int() % 2 != 0;
+  });
+  auto result = EvalTerm(ParseTerm("twice(21)").value(), reg);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Term::Int(42));
+  auto isodd = reg.FindPredicate(Intern("isodd"), 1);
+  ASSERT_NE(isodd, nullptr);
+  EXPECT_TRUE(*(*isodd)({Term::Int(7)}));
+}
+
+TEST_F(BuiltinsTest, ArityDistinguishesRegistrations) {
+  // dist/2 and dist/4 are distinct.
+  EXPECT_NE(registry_.FindFunction(Intern("dist"), 2), nullptr);
+  EXPECT_NE(registry_.FindFunction(Intern("dist"), 4), nullptr);
+  EXPECT_EQ(registry_.FindFunction(Intern("dist"), 3), nullptr);
+}
+
+TEST(CmpTest, NumericAndSymbolic) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, Term::Int(1), Term::Int(2)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, Term::Int(2), Term::Real(2.0)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, Term::Real(1.5), Term::Int(2)));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, Term::Sym("a"), Term::Sym("b")));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, Term::Sym("apple"), Term::Sym("banana")));
+  // Structural comparison of function terms.
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, ParseTerm("f(1, 2)").value(),
+                      ParseTerm("f(1, 2)").value()));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, ParseTerm("f(1)").value(),
+                      ParseTerm("f(2)").value()));
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "deduce/common/hash.h"
+#include "deduce/common/rng.h"
+#include "deduce/common/status.h"
+#include "deduce/common/statusor.h"
+#include "deduce/common/strings.h"
+
+namespace deduce {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad rule");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kOutOfRange,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Status Fails() { return Status::NotFound("nope"); }
+Status Propagates() {
+  DEDUCE_RETURN_IF_ERROR(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+StatusOr<int> Quarter(int x) {
+  DEDUCE_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> v = Half(8);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 4);
+  StatusOr<int> e = Half(3);
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, AssignOrReturnChains) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // second Half fails
+  EXPECT_FALSE(Quarter(5).ok());  // first Half fails
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, SplitJoinTrim) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrJoin({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(StrTrim("  x y\t\n"), "x y");
+  EXPECT_EQ(StrTrim("   "), "");
+}
+
+TEST(StringsTest, Predicates) {
+  EXPECT_TRUE(StartsWith("spatial:3", "spatial:"));
+  EXPECT_FALSE(StartsWith("sp", "spatial:"));
+  EXPECT_TRUE(EndsWith("file.dlog", ".dlog"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  // Parent stream continues deterministically after the fork.
+  EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,275 @@
+// Distributed-engine coverage for the paper's richer programs: function
+// symbols/lists (Example 2), the logicH variant of the SPT, and fault
+// injection (node failure).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+#include "deduce/routing/routing.h"
+
+namespace deduce {
+namespace {
+
+LinkModel ExactLink() {
+  LinkModel link;
+  link.base_delay = 1'000;
+  link.jitter = 500;
+  link.per_byte_delay = 4;
+  return link;
+}
+
+StatusOr<bool> CloseReports(const std::vector<Term>& args) {
+  const Term& a = args[0];
+  const Term& b = args[1];
+  if (!a.is_function() || !b.is_function()) return false;
+  double ax = a.args()[0].value().AsNumber();
+  double ay = a.args()[1].value().AsNumber();
+  int64_t at = a.args()[2].value().as_int();
+  double bx = b.args()[0].value().AsNumber();
+  double by = b.args()[1].value().AsNumber();
+  int64_t bt = b.args()[2].value().as_int();
+  return bt == at + 1 && std::hypot(ax - bx, ay - by) <= 1.6;
+}
+
+TEST(EngineProgramsTest, TrajectoriesWithListsDistributed) {
+  const char* program_text = R"(
+    .decl report/1 input.
+    notstartreport(R2) :- report(R1), report(R2), close(R1, R2).
+    notlastreport(R1) :- report(R1), report(R2), close(R1, R2).
+    traj([R2, R1]) :- report(R1), report(R2), close(R1, R2),
+                      NOT notstartreport(R1).
+    traj([R2, X | R]) :- traj([X | R]), report(R2), close(X, R2).
+    completetraj([X | R]) :- traj([X | R]), NOT notlastreport(X).
+  )";
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  registry.RegisterPredicate("close", 2, CloseReports);
+  auto program = ParseProgram(program_text);
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  Topology topo = Topology::Grid(5);
+  Network net(topo, ExactLink(), 21);
+  EngineOptions options;
+  options.registry = &registry;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // One target crossing the field; detections at the nearest sensor.
+  SimTime at = 100'000;
+  for (int i = 0; i < 4; ++i) {
+    net.sim().RunUntil(at);
+    NodeId sensor = topo.ClosestNode(i, i);
+    ASSERT_TRUE((*engine)
+                    ->Inject(sensor, StreamOp::kInsert,
+                             Fact(Intern("report"),
+                                  {Term::Function("r", {Term::Int(i),
+                                                        Term::Int(i),
+                                                        Term::Int(i)})}))
+                    .ok());
+    at += 200'000;
+  }
+  net.sim().Run();
+  ASSERT_TRUE((*engine)->stats().errors.empty())
+      << (*engine)->stats().errors[0];
+
+  std::vector<Fact> complete = (*engine)->ResultFacts(Intern("completetraj"));
+  ASSERT_EQ(complete.size(), 1u);
+  auto elems = complete[0].args()[0].AsListElements();
+  ASSERT_TRUE(elems.has_value());
+  EXPECT_EQ(elems->size(), 4u);  // full 4-report trajectory, newest first
+  EXPECT_EQ((*elems)[0].ToString(), "r(3, 3, 3)");
+  EXPECT_EQ((*elems)[3].ToString(), "r(0, 0, 0)");
+}
+
+constexpr char kLogicH[] = R"(
+  .decl g/2 input storage spatial 1.
+  .decl h(x, y, d) home y stage d storage local.
+  .decl h1(y, d) home y stage d storage local.
+  h(0, 0, 0).
+  h(0, X, 1) :- g(0, X).
+  h1(Y, D + 1) :- h(X2, Y, D2), (D + 1) > D2, h(X3, X, D), g(X, Y).
+  h(X, Y, D + 1) :- g(X, Y), h(X2, X, D), NOT h1(Y, D + 1).
+)";
+
+TEST(EngineProgramsTest, LogicHDistributedBfsTree) {
+  Topology topo = Topology::Grid(4);
+  Network net(topo, ExactLink(), 8);
+  auto program = ParseProgram(kLogicH);
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto engine = DistributedEngine::Create(&net, *program, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  SimTime t = 50'000;
+  for (int v = 0; v < topo.node_count(); ++v) {
+    for (NodeId u : topo.neighbors(v)) {
+      net.sim().RunUntil(t);
+      ASSERT_TRUE((*engine)
+                      ->Inject(v, StreamOp::kInsert,
+                               Fact(Intern("g"), {Term::Int(v), Term::Int(u)}))
+                      .ok());
+      t += 10'000;
+    }
+  }
+  net.sim().Run();
+  ASSERT_TRUE((*engine)->stats().errors.empty())
+      << (*engine)->stats().errors[0];
+
+  RoutingTable rt(&topo);
+  // Min depth per node over h(x, y, d) equals BFS depth; tree edges valid.
+  std::map<int, int> min_depth;
+  for (const Fact& f : (*engine)->ResultFacts(Intern("h"))) {
+    int x = static_cast<int>(f.args()[0].value().as_int());
+    int y = static_cast<int>(f.args()[1].value().as_int());
+    int d = static_cast<int>(f.args()[2].value().as_int());
+    auto [it, inserted] = min_depth.emplace(y, d);
+    if (!inserted) it->second = std::min(it->second, d);
+    if (d > 0) {
+      EXPECT_TRUE(topo.AreNeighbors(x, y) || (x == 0 && d == 1 && y != 0))
+          << f.ToString();
+    }
+  }
+  ASSERT_EQ(min_depth.size(), static_cast<size_t>(topo.node_count()));
+  for (int v = 0; v < topo.node_count(); ++v) {
+    EXPECT_EQ(min_depth[v], rt.HopDistance(v, 0)) << "node " << v;
+  }
+}
+
+TEST(EngineProgramsTest, FailedNodeDoesNotPoisonOthers) {
+  const char* program_text = R"(
+    .decl r/3 input.
+    .decl s/3 input.
+    t(K, N1, N2) :- r(K, N1, I1), s(K, N2, I2).
+  )";
+  auto program = ParseProgram(program_text);
+  ASSERT_TRUE(program.ok());
+  Topology topo = Topology::Grid(5);
+  Network net(topo, ExactLink(), 5);
+  auto engine = DistributedEngine::Create(&net, *program, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  // A pair that matches before the failure.
+  net.sim().RunUntil(10'000);
+  ASSERT_TRUE((*engine)
+                  ->Inject(2, StreamOp::kInsert,
+                           Fact(Intern("r"), {Term::Int(1), Term::Int(2),
+                                              Term::Int(0)}))
+                  .ok());
+  net.sim().RunUntil(200'000);
+  ASSERT_TRUE((*engine)
+                  ->Inject(22, StreamOp::kInsert,
+                           Fact(Intern("s"), {Term::Int(1), Term::Int(22),
+                                              Term::Int(1)}))
+                  .ok());
+  net.sim().Run();
+  size_t before = (*engine)->ResultFacts(Intern("t")).size();
+  EXPECT_EQ(before, 1u);
+
+  // Kill a mid-grid node. Work that needs it (as a region member, a result
+  // home, or a routing hop) is lost, but most pairs elsewhere still
+  // complete and nothing crashes or wedges.
+  net.FailNode(topo.GridNode(2, 2));
+  int seq = 10;
+  for (int k = 10; k < 15; ++k) {
+    net.sim().RunUntil(net.sim().now() + 100'000);
+    ASSERT_TRUE((*engine)
+                    ->Inject(0, StreamOp::kInsert,
+                             Fact(Intern("r"), {Term::Int(k), Term::Int(0),
+                                                Term::Int(seq++)}))
+                    .ok());
+    net.sim().RunUntil(net.sim().now() + 100'000);
+    ASSERT_TRUE((*engine)
+                    ->Inject(4, StreamOp::kInsert,
+                             Fact(Intern("s"), {Term::Int(k), Term::Int(4),
+                                                Term::Int(seq++)}))
+                    .ok());
+  }
+  net.sim().Run();
+  std::set<std::string> results;
+  for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
+    results.insert(f.ToString());
+  }
+  // The pre-failure result survives; a majority of post-failure pairs
+  // (storage row 0 + join column 0/4 avoid the failed node; only results
+  // homed at/through it can be lost) still derive.
+  EXPECT_TRUE(results.count("t(1, 2, 22)"));
+  int post = 0;
+  for (int k = 10; k < 15; ++k) {
+    post += results.count("t(" + std::to_string(k) + ", 0, 4)") ? 1 : 0;
+  }
+  EXPECT_GE(post, 3) << "too many pairs lost to a single failed node";
+}
+
+TEST(EngineProgramsTest, ZeroArityPredicatesDistributed) {
+  const char* program_text = R"(
+    .decl tick/1 input.
+    .decl quiet/1 input.
+    sawtick(N) :- tick(N).
+    alarm(N) :- tick(N), NOT quiet(N).
+  )";
+  auto program = ParseProgram(program_text);
+  ASSERT_TRUE(program.ok());
+  Network net(Topology::Grid(3), ExactLink(), 4);
+  auto engine = DistributedEngine::Create(&net, *program, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  net.sim().RunUntil(10'000);
+  ASSERT_TRUE(
+      (*engine)->Inject(4, StreamOp::kInsert, Fact(Intern("tick"), {Term::Int(4)}))
+          .ok());
+  net.sim().Run();
+  EXPECT_EQ((*engine)->ResultFacts(Intern("alarm")).size(), 1u);
+  net.sim().RunUntil(net.sim().now() + 50'000);
+  ASSERT_TRUE(
+      (*engine)
+          ->Inject(2, StreamOp::kInsert, Fact(Intern("quiet"), {Term::Int(4)}))
+          .ok());
+  net.sim().Run();
+  EXPECT_TRUE((*engine)->ResultFacts(Intern("alarm")).empty());
+}
+
+}  // namespace
+}  // namespace deduce
+
+namespace deduce {
+namespace {
+
+TEST(EngineProgramsTest, MixedPlacementsRowPlusBroadcast) {
+  // A small, slowly-changing table (calibration constants) broadcast to all
+  // nodes; a big stream kept on rows: sweeps consult broadcast replicas at
+  // launch, row replicas along the column.
+  const char* program_text = R"(
+    .decl calib(k, factor) input storage broadcast.
+    .decl reading/3 input.
+    adjusted(K, V2, N) :- reading(K, V, N), calib(K, F), V2 = V * F.
+  )";
+  auto program = ParseProgram(program_text);
+  ASSERT_TRUE(program.ok()) << program.status();
+  Network net(Topology::Grid(4), LinkModel{}, 13);
+  auto engine = DistributedEngine::Create(&net, *program, EngineOptions{});
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  net.sim().RunUntil(10'000);
+  ASSERT_TRUE((*engine)
+                  ->Inject(3, StreamOp::kInsert,
+                           Fact(Intern("calib"), {Term::Int(1), Term::Int(2)}))
+                  .ok());
+  net.sim().RunUntil(400'000);
+  ASSERT_TRUE((*engine)
+                  ->Inject(12, StreamOp::kInsert,
+                           Fact(Intern("reading"),
+                                {Term::Int(1), Term::Int(21), Term::Int(12)}))
+                  .ok());
+  net.sim().Run();
+  ASSERT_TRUE((*engine)->stats().errors.empty())
+      << (*engine)->stats().errors[0];
+  std::vector<Fact> out = (*engine)->ResultFacts(Intern("adjusted"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ToString(), "adjusted(1, 42, 12)");
+}
+
+}  // namespace
+}  // namespace deduce

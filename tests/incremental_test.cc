@@ -1,0 +1,565 @@
+#include "deduce/eval/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/eval/seminaive.h"
+
+namespace deduce {
+namespace {
+
+Fact F(const std::string& pred, std::vector<Term> args) {
+  return Fact(Intern(pred), std::move(args));
+}
+
+StreamEvent Insert(const Fact& f, NodeId node, Timestamp t, uint32_t seq) {
+  StreamEvent e;
+  e.op = StreamOp::kInsert;
+  e.fact = f;
+  e.id = TupleId{node, t, seq};
+  e.time = t;
+  return e;
+}
+
+StreamEvent Delete(const Fact& f, Timestamp t) {
+  StreamEvent e;
+  e.op = StreamOp::kDelete;
+  e.fact = f;
+  e.time = t;
+  return e;
+}
+
+std::unique_ptr<IncrementalEngine> Make(const std::string& text,
+                                        IncrementalOptions opts = {}) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  auto engine = IncrementalEngine::Create(*program, opts);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).value();
+}
+
+/// From-scratch recomputation over the currently-alive base facts: the
+/// ground truth every incremental strategy must match.
+Database Recompute(const std::string& text, const std::vector<Fact>& base) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  auto db = EvaluateProgram(*program, base);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+constexpr char kJoinProgram[] = R"(
+  .decl r/2 input.
+  .decl s/2 input.
+  t(X, Z) :- r(X, Y), s(Y, Z).
+)";
+
+TEST(IncrementalTest, InsertThenMatchAppears) {
+  auto engine = Make(kJoinProgram);
+  std::vector<StreamEvent> out;
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("r", {Term::Int(1), Term::Int(2)}), 0, 1, 0),
+                    &out)
+          .ok());
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 1, 2, 0),
+                    &out)
+          .ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, StreamOp::kInsert);
+  EXPECT_EQ(out[0].fact, F("t", {Term::Int(1), Term::Int(3)}));
+}
+
+TEST(IncrementalTest, DeleteRemovesDerived) {
+  auto engine = Make(kJoinProgram);
+  std::vector<StreamEvent> out;
+  Fact r = F("r", {Term::Int(1), Term::Int(2)});
+  Fact s = F("s", {Term::Int(2), Term::Int(3)});
+  ASSERT_TRUE(engine->Apply(Insert(r, 0, 1, 0), &out).ok());
+  ASSERT_TRUE(engine->Apply(Insert(s, 1, 2, 0), &out).ok());
+  out.clear();
+  ASSERT_TRUE(engine->Apply(Delete(r, 3), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, StreamOp::kDelete);
+  EXPECT_EQ(out[0].fact, F("t", {Term::Int(1), Term::Int(3)}));
+  EXPECT_TRUE(engine->AliveFacts(Intern("t")).empty());
+}
+
+TEST(IncrementalTest, MultipleDerivationsSurviveSingleDeletion) {
+  auto engine = Make(kJoinProgram);
+  std::vector<StreamEvent> out;
+  // Two ways to derive t(1, 3).
+  Fact r1 = F("r", {Term::Int(1), Term::Int(2)});
+  Fact r2 = F("r", {Term::Int(1), Term::Int(7)});
+  ASSERT_TRUE(engine->Apply(Insert(r1, 0, 1, 0), &out).ok());
+  ASSERT_TRUE(engine->Apply(Insert(r2, 0, 1, 1), &out).ok());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 1, 2, 0),
+                    &out)
+          .ok());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(7), Term::Int(3)}), 1, 2, 1),
+                    &out)
+          .ok());
+  out.clear();
+  ASSERT_TRUE(engine->Apply(Delete(r1, 3), &out).ok());
+  // t(1, 3) still has the derivation through r2.
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(engine->AliveFacts(Intern("t")).size(), 1u);
+  // Deleting the second support kills it.
+  ASSERT_TRUE(engine->Apply(Delete(r2, 4), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, StreamOp::kDelete);
+}
+
+TEST(IncrementalTest, DuplicateInsertIsNoOp) {
+  auto engine = Make(kJoinProgram);
+  std::vector<StreamEvent> out;
+  Fact r = F("r", {Term::Int(1), Term::Int(2)});
+  ASSERT_TRUE(engine->Apply(Insert(r, 0, 1, 0), &out).ok());
+  ASSERT_TRUE(engine->Apply(Insert(r, 5, 2, 0), &out).ok());  // dup, other id
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 1, 3, 0),
+                    &out)
+          .ok());
+  ASSERT_TRUE(engine->Apply(Delete(r, 4), &out).ok());
+  EXPECT_TRUE(engine->AliveFacts(Intern("t")).empty());
+}
+
+TEST(IncrementalTest, InsertIntoDerivedStreamRejected) {
+  auto engine = Make(kJoinProgram);
+  Status st =
+      engine->Apply(Insert(F("t", {Term::Int(1), Term::Int(2)}), 0, 1, 0),
+                    nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+constexpr char kNegProgram[] = R"(
+  .decl e/2 input.
+  .decl fr/2 input.
+  cov(L, T) :- e(L, T), fr(L2, T), dist(L, L2) <= 5.
+  uncov(L, T) :- e(L, T), NOT cov(L, T).
+)";
+
+TEST(IncrementalTest, NegationInsertRetractsDerived) {
+  auto engine = Make(kNegProgram);
+  std::vector<StreamEvent> out;
+  Fact enemy = F("e", {Term::Function("loc", {Term::Int(0), Term::Int(0)}),
+                       Term::Int(1)});
+  ASSERT_TRUE(engine->Apply(Insert(enemy, 0, 1, 0), &out).ok());
+  // No friendly vehicle: uncovered alert fires.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(SymbolName(out[0].fact.predicate()), "uncov");
+  out.clear();
+  // A friendly arrives within distance 5: cov appears, uncov retracts.
+  Fact friendly = F(
+      "fr", {Term::Function("loc", {Term::Int(3), Term::Int(4)}), Term::Int(1)});
+  ASSERT_TRUE(engine->Apply(Insert(friendly, 1, 2, 0), &out).ok());
+  std::set<std::string> names;
+  for (const StreamEvent& e : out) {
+    names.insert((e.op == StreamOp::kInsert ? "+" : "-") +
+                 SymbolName(e.fact.predicate()));
+  }
+  EXPECT_TRUE(names.count("+cov"));
+  EXPECT_TRUE(names.count("-uncov"));
+  EXPECT_TRUE(engine->AliveFacts(Intern("uncov")).empty());
+  out.clear();
+  // Friendly leaves: uncov comes back.
+  ASSERT_TRUE(engine->Apply(Delete(friendly, 3), &out).ok());
+  EXPECT_EQ(engine->AliveFacts(Intern("uncov")).size(), 1u);
+}
+
+TEST(IncrementalTest, WindowExpiryRetracts) {
+  IncrementalOptions opts;
+  auto engine = Make(R"(
+    .decl r(x, y) input window 10.
+    .decl s(y, z) input window 10.
+    t(X, Z) :- r(X, Y), s(Y, Z).
+  )",
+                     opts);
+  std::vector<StreamEvent> out;
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("r", {Term::Int(1), Term::Int(2)}), 0, 100, 0),
+                    &out)
+          .ok());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 1, 105, 0),
+                    &out)
+          .ok());
+  EXPECT_EQ(engine->AliveFacts(Intern("t")).size(), 1u);
+  out.clear();
+  // r expires at 110.
+  ASSERT_TRUE(engine->AdvanceTo(111, &out).ok());
+  EXPECT_TRUE(engine->AliveFacts(Intern("t")).empty());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].op, StreamOp::kDelete);
+}
+
+TEST(IncrementalTest, WindowJoinOnlyRecentTuplesMatch) {
+  auto engine = Make(R"(
+    .decl a(x) input window 10.
+    .decl b(x) input window 10.
+    both(X) :- a(X), b(X).
+  )");
+  std::vector<StreamEvent> out;
+  ASSERT_TRUE(engine->Apply(Insert(F("a", {Term::Int(1)}), 0, 0, 0), &out).ok());
+  // b(1) arrives after a(1) expired.
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("b", {Term::Int(1)}), 1, 50, 0), &out).ok());
+  EXPECT_TRUE(engine->AliveFacts(Intern("both")).empty());
+}
+
+// --- property tests: incremental == from-scratch at every step ---
+
+struct Workload {
+  std::string program;
+  std::vector<StreamEvent> events;       // in time order
+  std::vector<SymbolId> idb_predicates;  // to compare
+};
+
+Workload RandomJoinWorkload(uint64_t seed, bool with_negation) {
+  Rng rng(seed);
+  Workload w;
+  w.program = with_negation ? R"(
+    .decl r/2 input.
+    .decl s/2 input.
+    .decl blocked/1 input.
+    t(X, Z) :- r(X, Y), s(Y, Z).
+    ok(X, Z) :- t(X, Z), NOT blocked(X).
+  )"
+                            : kJoinProgram;
+  w.idb_predicates = {Intern("t")};
+  if (with_negation) w.idb_predicates.push_back(Intern("ok"));
+
+  std::vector<Fact> alive;
+  Timestamp t = 1;
+  uint32_t seq = 0;
+  for (int i = 0; i < 60; ++i, ++t) {
+    bool del = !alive.empty() && rng.Bernoulli(0.3);
+    if (del) {
+      size_t k = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(alive.size()) - 1));
+      w.events.push_back(Delete(alive[k], t));
+      alive.erase(alive.begin() + static_cast<long>(k));
+    } else {
+      int which = static_cast<int>(rng.Uniform(0, with_negation ? 2 : 1));
+      Fact f =
+          which == 0
+              ? F("r", {Term::Int(rng.Uniform(0, 4)), Term::Int(rng.Uniform(0, 4))})
+              : which == 1
+                    ? F("s", {Term::Int(rng.Uniform(0, 4)),
+                              Term::Int(rng.Uniform(0, 4))})
+                    : F("blocked", {Term::Int(rng.Uniform(0, 4))});
+      w.events.push_back(Insert(f, 0, t, seq++));
+      alive.push_back(f);
+    }
+  }
+  return w;
+}
+
+void RunEquivalence(const Workload& w, MaintenanceStrategy strategy) {
+  IncrementalOptions opts;
+  opts.strategy = strategy;
+  auto engine = Make(w.program, opts);
+  std::vector<Fact> alive_base;
+  for (size_t i = 0; i < w.events.size(); ++i) {
+    const StreamEvent& ev = w.events[i];
+    ASSERT_TRUE(engine->Apply(ev, nullptr).ok());
+    if (ev.op == StreamOp::kInsert) {
+      if (std::find(alive_base.begin(), alive_base.end(), ev.fact) ==
+          alive_base.end()) {
+        alive_base.push_back(ev.fact);
+      }
+    } else {
+      auto it = std::find(alive_base.begin(), alive_base.end(), ev.fact);
+      if (it != alive_base.end()) alive_base.erase(it);
+    }
+    Database expected = Recompute(w.program, alive_base);
+    for (SymbolId pred : w.idb_predicates) {
+      std::vector<Fact> got = engine->AliveFacts(pred);
+      ASSERT_EQ(got.size(), expected.RelationSize(pred))
+          << "step " << i << " pred " << SymbolName(pred) << " event "
+          << ev.ToString();
+      for (const Fact& f : got) {
+        ASSERT_TRUE(expected.Contains(f)) << f.ToString() << " step " << i;
+      }
+    }
+  }
+}
+
+TEST(IncrementalPropertyTest, DerivationsMatchRecomputePositive) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RunEquivalence(RandomJoinWorkload(seed, false),
+                   MaintenanceStrategy::kDerivations);
+  }
+}
+
+TEST(IncrementalPropertyTest, DerivationsMatchRecomputeWithNegation) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    RunEquivalence(RandomJoinWorkload(seed, true),
+                   MaintenanceStrategy::kDerivations);
+  }
+}
+
+TEST(IncrementalPropertyTest, CountingMatchesRecomputePositive) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    RunEquivalence(RandomJoinWorkload(seed, false),
+                   MaintenanceStrategy::kCounting);
+  }
+}
+
+TEST(IncrementalPropertyTest, CountingMatchesRecomputeWithNegation) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    RunEquivalence(RandomJoinWorkload(seed, true),
+                   MaintenanceStrategy::kCounting);
+  }
+}
+
+TEST(IncrementalPropertyTest, RederivationMatchesRecomputePositive) {
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    RunEquivalence(RandomJoinWorkload(seed, false),
+                   MaintenanceStrategy::kRederivation);
+  }
+}
+
+TEST(IncrementalPropertyTest, RederivationOnRecursiveProgram) {
+  // DRed handles recursion (that is its selling point): transitive closure
+  // over a changing edge set.
+  const char* program = R"(
+    .decl edge/2 input.
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )";
+  Rng rng(99);
+  IncrementalOptions opts;
+  opts.strategy = MaintenanceStrategy::kRederivation;
+  auto engine = Make(program, opts);
+  std::vector<Fact> alive;
+  Timestamp t = 1;
+  uint32_t seq = 0;
+  for (int i = 0; i < 40; ++i, ++t) {
+    if (!alive.empty() && rng.Bernoulli(0.35)) {
+      size_t k = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(alive.size()) - 1));
+      ASSERT_TRUE(engine->Apply(Delete(alive[k], t), nullptr).ok());
+      alive.erase(alive.begin() + static_cast<long>(k));
+    } else {
+      Fact f = F("edge", {Term::Int(rng.Uniform(0, 5)),
+                          Term::Int(rng.Uniform(0, 5))});
+      ASSERT_TRUE(engine->Apply(Insert(f, 0, t, seq++), nullptr).ok());
+      if (std::find(alive.begin(), alive.end(), f) == alive.end()) {
+        alive.push_back(f);
+      }
+    }
+    Database expected = Recompute(program, alive);
+    std::vector<Fact> got = engine->AliveFacts(Intern("path"));
+    ASSERT_EQ(got.size(), expected.RelationSize(Intern("path"))) << "step "
+                                                                 << i;
+    for (const Fact& f : got) ASSERT_TRUE(expected.Contains(f));
+  }
+}
+
+TEST(IncrementalTest, CountingRejectsRecursion) {
+  auto program = ParseProgram(R"(
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  IncrementalOptions opts;
+  opts.strategy = MaintenanceStrategy::kCounting;
+  auto engine = IncrementalEngine::Create(*program, opts);
+  EXPECT_EQ(engine.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(IncrementalTest, RederivationRejectsNegation) {
+  auto program = ParseProgram("a(X) :- b(X), NOT c(X).");
+  ASSERT_TRUE(program.ok());
+  IncrementalOptions opts;
+  opts.strategy = MaintenanceStrategy::kRederivation;
+  auto engine = IncrementalEngine::Create(*program, opts);
+  EXPECT_EQ(engine.status().code(), StatusCode::kUnimplemented);
+}
+
+// --- the §IV-C limitation, demonstrated ---
+
+TEST(IncrementalTest, CyclicDerivationsLeaveFactsWithoutProof) {
+  // Transitive closure where a cycle (1 <-> 2) is reached only through a
+  // seed edge 0 -> 2. Deleting the seed leaves path(0, 1) and path(0, 2)
+  // supporting each other in a cycle that the set-of-derivations approach
+  // cannot break: exactly the failure mode §IV-C describes for programs
+  // that are not locally non-recursive. FactsWithoutValidProof detects it.
+  auto engine = Make(R"(
+    .decl edge/2 input.
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  Fact e02 = F("edge", {Term::Int(0), Term::Int(2)});
+  Fact e12 = F("edge", {Term::Int(1), Term::Int(2)});
+  Fact e21 = F("edge", {Term::Int(2), Term::Int(1)});
+  ASSERT_TRUE(engine->Apply(Insert(e02, 0, 1, 0), nullptr).ok());
+  ASSERT_TRUE(engine->Apply(Insert(e12, 0, 2, 0), nullptr).ok());
+  ASSERT_TRUE(engine->Apply(Insert(e21, 0, 3, 0), nullptr).ok());
+  ASSERT_TRUE(engine->Apply(Delete(e02, 4), nullptr).ok());
+  // path(0, 2) keeps derivation through path(0, 1) and vice versa: zombies.
+  auto bad = engine->FactsWithoutValidProof();
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  ASSERT_FALSE(bad->empty());
+  std::set<std::string> bad_set;
+  for (const Fact& f : *bad) bad_set.insert(f.ToString());
+  EXPECT_TRUE(bad_set.count("path(0, 1)"));
+  EXPECT_TRUE(bad_set.count("path(0, 2)"));
+  // Facts on the intact cycle have genuine proofs.
+  auto good =
+      engine->HasValidProofTree(F("path", {Term::Int(1), Term::Int(2)}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(*good);
+}
+
+TEST(IncrementalTest, AcyclicDerivationsAlwaysHaveProofs) {
+  auto engine = Make(R"(
+    .decl edge/2 input.
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  // DAG edges only.
+  uint32_t seq = 0;
+  Timestamp t = 1;
+  for (auto [a, b] : std::vector<std::pair<int, int>>{
+           {1, 2}, {2, 3}, {1, 3}, {3, 4}}) {
+    ASSERT_TRUE(engine
+                    ->Apply(Insert(F("edge", {Term::Int(a), Term::Int(b)}), 0,
+                                   t++, seq++),
+                            nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(
+      engine->Apply(Delete(F("edge", {Term::Int(2), Term::Int(3)}), t), nullptr)
+          .ok());
+  auto bad = engine->FactsWithoutValidProof();
+  ASSERT_TRUE(bad.ok());
+  EXPECT_TRUE(bad->empty());
+}
+
+// --- XY-stratified incremental maintenance (logicJ) ---
+
+TEST(IncrementalTest, LogicJIncrementalTreeConstruction) {
+  const char* program = R"(
+    .decl g/2 input.
+    j(0, 0).
+    j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+    j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).
+  )";
+  auto engine = Make(program);
+  // Line graph 0-1-2 arriving edge by edge.
+  uint32_t seq = 0;
+  Timestamp t = 1;
+  std::vector<Fact> alive;
+  for (auto [a, b] : std::vector<std::pair<int, int>>{{0, 1}, {1, 2}}) {
+    Fact f1 = F("g", {Term::Int(a), Term::Int(b)});
+    Fact f2 = F("g", {Term::Int(b), Term::Int(a)});
+    ASSERT_TRUE(engine->Apply(Insert(f1, 0, t++, seq++), nullptr).ok());
+    ASSERT_TRUE(engine->Apply(Insert(f2, 0, t++, seq++), nullptr).ok());
+    alive.push_back(f1);
+    alive.push_back(f2);
+  }
+  std::vector<Fact> got = engine->AliveFacts(Intern("j"));
+  std::set<std::string> got_set;
+  for (const Fact& f : got) got_set.insert(f.ToString());
+  EXPECT_TRUE(got_set.count("j(0, 0)"));
+  EXPECT_TRUE(got_set.count("j(1, 1)"));
+  EXPECT_TRUE(got_set.count("j(2, 2)"));
+  EXPECT_EQ(got.size(), 3u) << [&] {
+    std::string s;
+    for (const Fact& f : got) s += f.ToString() + " ";
+    return s;
+  }();
+}
+
+TEST(IncrementalTest, StatsTrackDerivations) {
+  auto engine = Make(kJoinProgram);
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("r", {Term::Int(1), Term::Int(2)}), 0, 1, 0),
+                    nullptr)
+          .ok());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 1, 2, 0),
+                    nullptr)
+          .ok());
+  EXPECT_EQ(engine->stats().derivations_added, 1u);
+  EXPECT_EQ(engine->stats().peak_derivations, 1u);
+  EXPECT_EQ(engine->stats().events, 2u);
+}
+
+}  // namespace
+}  // namespace deduce
+
+namespace deduce {
+namespace {
+
+TEST(IncrementalTest, AdvanceToWithoutEventsExpiresInOrder) {
+  auto engine = Make(R"(
+    .decl a(x) input window 100.
+    keep(X) :- a(X).
+  )");
+  std::vector<StreamEvent> out;
+  ASSERT_TRUE(engine->Apply(Insert(F("a", {Term::Int(1)}), 0, 10, 0), &out).ok());
+  ASSERT_TRUE(engine->Apply(Insert(F("a", {Term::Int(2)}), 0, 50, 1), &out).ok());
+  out.clear();
+  // Advance far past both expirations at once: both retract, oldest first.
+  ASSERT_TRUE(engine->AdvanceTo(1'000, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].fact, F("keep", {Term::Int(1)}));
+  EXPECT_EQ(out[1].fact, F("keep", {Term::Int(2)}));
+  EXPECT_TRUE(engine->AliveFacts(Intern("keep")).empty());
+  // Idempotent.
+  out.clear();
+  ASSERT_TRUE(engine->AdvanceTo(2'000, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IncrementalTest, ReinsertAfterExpiryGetsFreshGeneration) {
+  auto engine = Make(R"(
+    .decl a(x) input window 100.
+    keep(X) :- a(X).
+  )");
+  Fact a1 = F("a", {Term::Int(1)});
+  ASSERT_TRUE(engine->Apply(Insert(a1, 0, 10, 0), nullptr).ok());
+  ASSERT_TRUE(engine->AdvanceTo(500, nullptr).ok());
+  EXPECT_TRUE(engine->AliveFacts(Intern("keep")).empty());
+  // Same fact, new generation.
+  ASSERT_TRUE(engine->Apply(Insert(a1, 0, 600, 1), nullptr).ok());
+  EXPECT_EQ(engine->AliveFacts(Intern("keep")).size(), 1u);
+  ASSERT_TRUE(engine->AdvanceTo(800, nullptr).ok());
+  EXPECT_TRUE(engine->AliveFacts(Intern("keep")).empty());
+}
+
+TEST(IncrementalTest, DeleteUnknownFactIsNoOp) {
+  auto engine = Make(kJoinProgram);
+  std::vector<StreamEvent> out;
+  ASSERT_TRUE(
+      engine->Apply(Delete(F("r", {Term::Int(9), Term::Int(9)}), 5), &out)
+          .ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(IncrementalTest, DirectDeleteOfDerivedFactRejected) {
+  auto engine = Make(kJoinProgram);
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("r", {Term::Int(1), Term::Int(2)}), 0, 1, 0),
+                    nullptr)
+          .ok());
+  ASSERT_TRUE(
+      engine->Apply(Insert(F("s", {Term::Int(2), Term::Int(3)}), 0, 2, 1),
+                    nullptr)
+          .ok());
+  Status st =
+      engine->Apply(Delete(F("t", {Term::Int(1), Term::Int(3)}), 3), nullptr);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deduce

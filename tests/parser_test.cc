@@ -1,0 +1,238 @@
+#include "deduce/datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace deduce {
+namespace {
+
+TEST(ParserTest, SimpleTerms) {
+  EXPECT_EQ(ParseTerm("42").value(), Term::Int(42));
+  EXPECT_EQ(ParseTerm("-7").value(), Term::Int(-7));
+  EXPECT_EQ(ParseTerm("2.5").value(), Term::Real(2.5));
+  EXPECT_EQ(ParseTerm("foo").value(), Term::Sym("foo"));
+  EXPECT_EQ(ParseTerm("\"hello world\"").value(), Term::Sym("hello world"));
+  EXPECT_EQ(ParseTerm("'quoted'").value(), Term::Sym("quoted"));
+  EXPECT_EQ(ParseTerm("X").value(), Term::Var("X"));
+}
+
+TEST(ParserTest, FunctionTerms) {
+  Term t = ParseTerm("f(1, X, g(Y))").value();
+  ASSERT_TRUE(t.is_function());
+  EXPECT_EQ(SymbolName(t.functor()), "f");
+  ASSERT_EQ(t.args().size(), 3u);
+  EXPECT_EQ(t.args()[0], Term::Int(1));
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as +(1, *(2, 3)).
+  Term t = ParseTerm("1 + 2 * 3").value();
+  ASSERT_TRUE(t.is_function());
+  EXPECT_EQ(SymbolName(t.functor()), "+");
+  EXPECT_EQ(SymbolName(t.args()[1].functor()), "*");
+  // Parenthesized.
+  Term u = ParseTerm("(1 + 2) * 3").value();
+  EXPECT_EQ(SymbolName(u.functor()), "*");
+}
+
+TEST(ParserTest, Lists) {
+  EXPECT_EQ(ParseTerm("[]").value(), Term::Nil());
+  EXPECT_EQ(ParseTerm("[1, 2]").value(),
+            Term::MakeList({Term::Int(1), Term::Int(2)}));
+  EXPECT_EQ(ParseTerm("[X | R]").value(),
+            Term::Cons(Term::Var("X"), Term::Var("R")));
+  EXPECT_EQ(ParseTerm("[1, 2 | T]").value(),
+            Term::MakeList({Term::Int(1), Term::Int(2)}, Term::Var("T")));
+}
+
+TEST(ParserTest, AnonymousVariablesAreFresh) {
+  Term t = ParseTerm("f(_, _)").value();
+  EXPECT_NE(t.args()[0], t.args()[1]);
+  EXPECT_TRUE(t.args()[0].is_variable());
+}
+
+TEST(ParserTest, FactRule) {
+  Rule r = ParseRule("edge(1, 2).").value();
+  EXPECT_TRUE(r.body.empty());
+  EXPECT_EQ(SymbolName(r.head.predicate), "edge");
+  ASSERT_EQ(r.head.args.size(), 2u);
+}
+
+TEST(ParserTest, SimpleRule) {
+  Rule r = ParseRule("path(X, Y) :- edge(X, Y).").value();
+  ASSERT_EQ(r.body.size(), 1u);
+  EXPECT_EQ(r.body[0].kind, Literal::Kind::kPositive);
+  EXPECT_EQ(r.ToString(), "path(X, Y) :- edge(X, Y).");
+}
+
+TEST(ParserTest, NegationForms) {
+  Rule r1 = ParseRule("a(X) :- b(X), NOT c(X).").value();
+  EXPECT_EQ(r1.body[1].kind, Literal::Kind::kNegated);
+  Rule r2 = ParseRule("a(X) :- b(X), not c(X).").value();
+  EXPECT_EQ(r2.body[1].kind, Literal::Kind::kNegated);
+  Rule r3 = ParseRule("a(X) :- b(X), !c(X).").value();
+  EXPECT_EQ(r3.body[1].kind, Literal::Kind::kNegated);
+}
+
+TEST(ParserTest, Comparisons) {
+  Rule r = ParseRule("a(X) :- b(X, Y), X < Y, Y <= 10, X != 3, X >= 0.")
+               .value();
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(r.body[1].cmp, CmpOp::kLt);
+  EXPECT_EQ(r.body[2].cmp, CmpOp::kLe);
+  EXPECT_EQ(r.body[3].cmp, CmpOp::kNe);
+  EXPECT_EQ(r.body[4].cmp, CmpOp::kGe);
+}
+
+TEST(ParserTest, ComparisonWithArithmetic) {
+  Rule r = ParseRule("a(D) :- b(D), (D + 1) > 5.").value();
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kComparison);
+  EXPECT_EQ(r.body[1].cmp, CmpOp::kGt);
+  EXPECT_TRUE(r.body[1].lhs.is_function());
+}
+
+TEST(ParserTest, PaperExample1UncoveredVehicle) {
+  auto program = ParseProgram(R"(
+    cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T),
+                  dist(L1, L2) <= 5.
+    uncov(L, T) :- veh("enemy", L, T), NOT cov(L, T).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 2u);
+}
+
+TEST(ParserTest, PaperExample2Trajectories) {
+  auto program = ParseProgram(R"(
+    notstartreport(R2) :- report(R1), report(R2), close(R1, R2).
+    notlastreport(R1) :- report(R1), report(R2), close(R1, R2).
+    traj([R1, R2]) :- report(R1), report(R2), close(R1, R2),
+                      NOT notstartreport(R1).
+    traj([R2, X | R1]) :- traj([X | R1]), report(R2), close(X, R2).
+    completetraj([X | R]) :- traj([X | R]), NOT notlastreport(X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 5u);
+}
+
+TEST(ParserTest, PaperExample3LogicH) {
+  auto program = ParseProgram(R"(
+    h(0, 0, 0).
+    h(0, X, 1) :- g(0, X).
+    h1(Y, D + 1) :- h(_, Y, D2), (D + 1) > D2, h(_, X, D), g(X, Y).
+    h(X, Y, D + 1) :- g(X, Y), h(_, X, D), NOT h1(Y, D + 1).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 3u);
+  EXPECT_EQ(program->facts().size(), 1u);
+}
+
+TEST(ParserTest, HeadAggregates) {
+  Rule r = ParseRule("mind(Y, min(D)) :- h(X, Y, D).").value();
+  ASSERT_EQ(r.aggregates.size(), 1u);
+  EXPECT_EQ(r.aggregates[0].kind, AggKind::kMin);
+  EXPECT_EQ(r.aggregates[0].head_position, 1u);
+  EXPECT_EQ(r.aggregates[0].input, Term::Var("D"));
+}
+
+TEST(ParserTest, Declarations) {
+  auto program = ParseProgram(R"(
+    .decl veh(type, x, y, t) input window 30 storage row join column.
+    .decl h(src, dst, d) home dst stage d storage local.
+    .decl q/2 input.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  const PredicateDecl* veh = program->FindDecl(Intern("veh"));
+  ASSERT_NE(veh, nullptr);
+  EXPECT_TRUE(veh->extensional);
+  EXPECT_EQ(veh->arity, 4u);
+  EXPECT_EQ(veh->window, 30);
+  EXPECT_EQ(veh->storage_policy, "row");
+  EXPECT_EQ(veh->join_policy, "column");
+  const PredicateDecl* h = program->FindDecl(Intern("h"));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->home_arg, 1u);
+  EXPECT_EQ(h->stage_arg, 2u);
+  EXPECT_EQ(h->storage_policy, "local");
+  const PredicateDecl* q = program->FindDecl(Intern("q"));
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->arity, 2u);
+}
+
+TEST(ParserTest, SpatialPolicy) {
+  auto program = ParseProgram(".decl r(x) input storage spatial 3.");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->FindDecl(Intern("r"))->storage_policy, "spatial:3");
+}
+
+TEST(ParserTest, Comments) {
+  auto program = ParseProgram(R"(
+    % line comment
+    // another line comment
+    /* block
+       comment */
+    a(1).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->facts().size(), 1u);
+}
+
+TEST(ParserTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(ParseProgram("a(\"oops).").ok());
+}
+
+TEST(ParserTest, ErrorMissingDot) {
+  auto st = ParseProgram("a(1) :- b(1)");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("'.'"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnsafeRule) {
+  // Y only in head.
+  auto st = ParseProgram("a(X, Y) :- b(X).");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("unsafe"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnsafeNegation) {
+  auto st = ParseProgram("a(X) :- b(X), NOT c(X, Y).");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ParserTest, SafeViaAssignment) {
+  auto st = ParseProgram("a(X, Y) :- b(X), Y = X + 1.");
+  EXPECT_TRUE(st.ok()) << st.status();
+}
+
+TEST(ParserTest, ErrorBadDeclProperty) {
+  EXPECT_FALSE(ParseProgram(".decl a(x) frobnicate.").ok());
+}
+
+TEST(ParserTest, ErrorHomeOutOfRange) {
+  EXPECT_FALSE(ParseProgram(".decl a(x) home 5.").ok());
+}
+
+TEST(ParserTest, ErrorConflictingArity) {
+  EXPECT_FALSE(ParseProgram(".decl a/2.\n.decl a/3.").ok());
+}
+
+TEST(ParserTest, NonGroundFactRejected) {
+  EXPECT_FALSE(ParseProgram("a(X).").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* text =
+      "uncov(L, T) :- veh(\"enemy\", L, T), NOT cov(L, T).";
+  Rule r = ParseRule(text).value();
+  Rule r2 = ParseRule(r.ToString()).value();
+  EXPECT_EQ(r.ToString(), r2.ToString());
+}
+
+TEST(ParserTest, ZeroArityAtoms) {
+  auto program = ParseProgram("alarm :- tick, NOT quiet.\ntick.");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules().size(), 1u);
+  EXPECT_EQ(program->facts().size(), 1u);
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,129 @@
+#include "deduce/engine/regions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deduce/common/rng.h"
+
+namespace deduce {
+namespace {
+
+/// Parameterized over topologies: the GPA correctness property (§III-A:
+/// "every storage region intersects with every join-computation region")
+/// must hold for each.
+struct TopoCase {
+  std::string name;
+  std::function<Topology()> build;
+};
+
+class RegionPropertyTest : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(RegionPropertyTest, EveryVerticalPathIntersectsEveryHorizontalPath) {
+  Topology topo = GetParam().build();
+  RegionMapper regions(&topo);
+  for (int u = 0; u < topo.node_count(); ++u) {
+    std::vector<NodeId> vertical = regions.VerticalPath(u);
+    std::set<NodeId> vset(vertical.begin(), vertical.end());
+    for (int v = 0; v < topo.node_count(); ++v) {
+      const std::vector<NodeId>& horizontal = regions.HorizontalPath(v);
+      bool intersects = false;
+      for (NodeId h : horizontal) {
+        if (vset.count(h)) {
+          intersects = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(intersects)
+          << "vertical path of node " << u
+          << " misses horizontal path of node " << v;
+    }
+  }
+}
+
+TEST_P(RegionPropertyTest, HorizontalPathsPartitionTheNetwork) {
+  Topology topo = GetParam().build();
+  RegionMapper regions(&topo);
+  std::set<NodeId> covered;
+  for (int v = 0; v < topo.node_count(); ++v) {
+    const std::vector<NodeId>& path = regions.HorizontalPath(v);
+    // A node's horizontal path contains the node itself.
+    EXPECT_NE(std::find(path.begin(), path.end(), v), path.end());
+    covered.insert(path.begin(), path.end());
+    // Same band => same path.
+    for (NodeId other : path) {
+      EXPECT_EQ(regions.BandOf(other), regions.BandOf(v));
+    }
+  }
+  EXPECT_EQ(covered.size(), static_cast<size_t>(topo.node_count()));
+}
+
+TEST_P(RegionPropertyTest, SerpentineVisitsEveryNodeOnce) {
+  Topology topo = GetParam().build();
+  RegionMapper regions(&topo);
+  std::vector<NodeId> path = regions.SerpentinePath();
+  EXPECT_EQ(path.size(), static_cast<size_t>(topo.node_count()));
+  std::set<NodeId> unique(path.begin(), path.end());
+  EXPECT_EQ(unique.size(), path.size());
+}
+
+TEST_P(RegionPropertyTest, CentroidIsAValidNode) {
+  Topology topo = GetParam().build();
+  RegionMapper regions(&topo);
+  NodeId c = regions.CentroidNode();
+  EXPECT_GE(c, 0);
+  EXPECT_LT(c, topo.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, RegionPropertyTest,
+    ::testing::Values(
+        TopoCase{"grid4", [] { return Topology::Grid(4); }},
+        TopoCase{"grid7", [] { return Topology::Grid(7); }},
+        TopoCase{"line9", [] { return Topology::Line(9); }},
+        TopoCase{"single", [] { return Topology::Grid(1); }},
+        TopoCase{"rgg30",
+                 [] {
+                   Rng rng(12);
+                   return Topology::RandomGeometric(30, 8, 8, 2.5, &rng);
+                 }},
+        TopoCase{"rgg77",
+                 [] {
+                   Rng rng(99);
+                   return Topology::RandomGeometric(77, 12, 12, 2.5, &rng);
+                 }}),
+    [](const ::testing::TestParamInfo<TopoCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RegionMapperTest, GridRowsAreBands) {
+  Topology topo = Topology::Grid(5);
+  RegionMapper regions(&topo);
+  EXPECT_EQ(regions.band_count(), 5);
+  // Row q holds nodes q*5..q*5+4 in x order.
+  const std::vector<NodeId>& row2 = regions.HorizontalPath(topo.GridNode(3, 2));
+  EXPECT_EQ(row2, (std::vector<NodeId>{10, 11, 12, 13, 14}));
+}
+
+TEST(RegionMapperTest, GridVerticalPathIsTheColumn) {
+  Topology topo = Topology::Grid(5);
+  RegionMapper regions(&topo);
+  std::vector<NodeId> col = regions.VerticalPath(topo.GridNode(3, 1));
+  EXPECT_EQ(col, (std::vector<NodeId>{3, 8, 13, 18, 23}));
+}
+
+TEST(RegionMapperTest, GridCentroidIsCentral) {
+  Topology topo = Topology::Grid(5);
+  RegionMapper regions(&topo);
+  EXPECT_EQ(regions.CentroidNode(), topo.GridNode(2, 2));
+}
+
+TEST(RegionMapperTest, GridSerpentineAlternates) {
+  Topology topo = Topology::Grid(3);
+  RegionMapper regions(&topo);
+  EXPECT_EQ(regions.SerpentinePath(),
+            (std::vector<NodeId>{0, 1, 2, 5, 4, 3, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "deduce/routing/geo_hash.h"
+#include "deduce/routing/routing.h"
+
+namespace deduce {
+namespace {
+
+TEST(RoutingTest, GridNextHopMakesProgress) {
+  Topology t = Topology::Grid(5);
+  RoutingTable rt(&t);
+  NodeId from = t.GridNode(0, 0);
+  NodeId dest = t.GridNode(4, 4);
+  EXPECT_EQ(rt.HopDistance(from, dest), 8);
+  NodeId cur = from;
+  int hops = 0;
+  while (cur != dest) {
+    NodeId next = rt.NextHop(cur, dest);
+    ASSERT_NE(next, kNoNode);
+    EXPECT_EQ(rt.HopDistance(next, dest), rt.HopDistance(cur, dest) - 1);
+    cur = next;
+    ++hops;
+  }
+  EXPECT_EQ(hops, 8);
+}
+
+TEST(RoutingTest, RouteReturnsFullPath) {
+  Topology t = Topology::Line(5);
+  RoutingTable rt(&t);
+  std::vector<NodeId> route = rt.Route(0, 4);
+  EXPECT_EQ(route, (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_TRUE(rt.Route(2, 2).empty());
+}
+
+TEST(RoutingTest, GeoNextHopGreedyOnGrid) {
+  Topology t = Topology::Grid(5);
+  RoutingTable rt(&t);
+  NodeId cur = t.GridNode(0, 0);
+  NodeId dest = t.GridNode(3, 2);
+  int guard = 30;
+  while (cur != dest && guard-- > 0) {
+    NodeId next = rt.GeoNextHop(cur, dest);
+    ASSERT_NE(next, kNoNode);
+    // Greedy: strictly closer each hop.
+    EXPECT_LT(t.location(next).DistanceTo(t.location(dest)),
+              t.location(cur).DistanceTo(t.location(dest)));
+    cur = next;
+  }
+  EXPECT_EQ(cur, dest);
+}
+
+TEST(RoutingTest, GeoRoutingDeliversOnRandomTopologies) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 5; ++trial) {
+    Topology t = Topology::RandomGeometric(40, 10, 10, 2.5, &rng);
+    if (!t.IsConnected()) continue;
+    RoutingTable rt(&t);
+    for (auto [a, b] : std::vector<std::pair<NodeId, NodeId>>{
+             {0, 39}, {5, 20}, {39, 1}}) {
+      NodeId cur = a;
+      int guard = 200;
+      while (cur != b && guard-- > 0) {
+        NodeId next = rt.GeoNextHop(cur, b);
+        ASSERT_NE(next, kNoNode);
+        cur = next;
+      }
+      EXPECT_EQ(cur, b) << "trial " << trial;
+    }
+  }
+}
+
+TEST(RoutingTest, SinkTreeDepthsMatchBfs) {
+  Topology t = Topology::Grid(4);
+  SinkTree tree = SinkTree::Build(t, 0);
+  RoutingTable rt(&t);
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_EQ(tree.depth[static_cast<size_t>(v)], rt.HopDistance(v, 0));
+    if (v != 0) {
+      // Parent is one closer to the root and a neighbor.
+      NodeId p = tree.parent[static_cast<size_t>(v)];
+      EXPECT_TRUE(t.AreNeighbors(v, p));
+      EXPECT_EQ(tree.depth[static_cast<size_t>(p)],
+                tree.depth[static_cast<size_t>(v)] - 1);
+    }
+  }
+  // Children lists are consistent.
+  auto children = tree.Children();
+  size_t total = 0;
+  for (const auto& c : children) total += c.size();
+  EXPECT_EQ(total, 15u);
+}
+
+TEST(GeoHashTest, SameFactSameHome) {
+  Topology t = Topology::Grid(6);
+  GeoHash gh(&t);
+  Fact f(Intern("cov"), {Term::Int(3), Term::Int(9)});
+  Fact g(Intern("cov"), {Term::Int(3), Term::Int(9)});
+  EXPECT_EQ(gh.HomeNode(f), gh.HomeNode(g));
+}
+
+TEST(GeoHashTest, SpreadsAcrossNetwork) {
+  Topology t = Topology::Grid(6);
+  GeoHash gh(&t);
+  std::set<NodeId> homes;
+  for (int i = 0; i < 200; ++i) {
+    homes.insert(gh.HomeNode(Fact(Intern("p"), {Term::Int(i)})));
+  }
+  // 200 distinct tuples should land on a good fraction of 36 nodes.
+  EXPECT_GT(homes.size(), 20u);
+}
+
+TEST(GeoHashTest, HomeIsValidNode) {
+  Rng rng(1);
+  Topology t = Topology::RandomGeometric(25, 8, 8, 2.5, &rng);
+  GeoHash gh(&t);
+  for (int i = 0; i < 50; ++i) {
+    NodeId h = gh.HomeNode(Fact(Intern("q"), {Term::Int(i)}));
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 25);
+  }
+}
+
+}  // namespace
+}  // namespace deduce

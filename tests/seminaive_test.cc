@@ -1,0 +1,452 @@
+#include "deduce/eval/seminaive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+
+#include "deduce/common/rng.h"
+#include "deduce/datalog/parser.h"
+
+namespace deduce {
+namespace {
+
+Database Eval(const std::string& text, const std::vector<Fact>& input = {},
+              const EvalOptions& opts = {}) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  auto db = EvaluateProgram(*program, input, opts);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+Fact F(SymbolId pred, std::vector<Term> args) {
+  return Fact(pred, std::move(args));
+}
+
+TEST(SemiNaiveTest, SingleRule) {
+  Database db = Eval(R"(
+    edge(1, 2). edge(2, 3).
+    out(Y) :- edge(X, Y).
+  )");
+  SymbolId out = Intern("out");
+  EXPECT_TRUE(db.Contains(F(out, {Term::Int(2)})));
+  EXPECT_TRUE(db.Contains(F(out, {Term::Int(3)})));
+  EXPECT_EQ(db.RelationSize(out), 2u);
+}
+
+TEST(SemiNaiveTest, JoinTwoRelations) {
+  Database db = Eval(R"(
+    r(1, 2). r(2, 3).
+    s(2, 10). s(3, 20). s(4, 30).
+    j(X, Z) :- r(X, Y), s(Y, Z).
+  )");
+  SymbolId j = Intern("j");
+  EXPECT_EQ(db.RelationSize(j), 2u);
+  EXPECT_TRUE(db.Contains(F(j, {Term::Int(1), Term::Int(10)})));
+  EXPECT_TRUE(db.Contains(F(j, {Term::Int(2), Term::Int(20)})));
+}
+
+TEST(SemiNaiveTest, TransitiveClosure) {
+  Database db = Eval(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 2).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  SymbolId path = Intern("path");
+  // From 1: reaches 2,3,4. From 2: 3,4,2. From 3: 4,2,3. From 4: 2,3,4.
+  EXPECT_EQ(db.RelationSize(path), 12u);
+  EXPECT_TRUE(db.Contains(F(path, {Term::Int(1), Term::Int(4)})));
+  EXPECT_TRUE(db.Contains(F(path, {Term::Int(4), Term::Int(4)})));
+  EXPECT_FALSE(db.Contains(F(path, {Term::Int(2), Term::Int(1)})));
+}
+
+TEST(SemiNaiveTest, SameGeneration) {
+  Database db = Eval(R"(
+    person(1). person(2). person(3). person(4). person(5). person(6).
+    person(7).
+    par(1, 3). par(2, 3). par(4, 5). par(6, 5). par(3, 7). par(5, 7).
+    sg(X, X) :- person(X).
+    sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+  )");
+  SymbolId sg = Intern("sg");
+  EXPECT_TRUE(db.Contains(F(sg, {Term::Int(1), Term::Int(2)})));
+  EXPECT_TRUE(db.Contains(F(sg, {Term::Int(1), Term::Int(4)})));
+  EXPECT_FALSE(db.Contains(F(sg, {Term::Int(1), Term::Int(3)})));
+}
+
+TEST(SemiNaiveTest, StratifiedNegation) {
+  Database db = Eval(R"(
+    node(1). node(2). node(3).
+    edge(1, 2).
+    connected(X) :- edge(X, _).
+    connected(Y) :- edge(_, Y).
+    isolated(X) :- node(X), NOT connected(X).
+  )");
+  SymbolId isolated = Intern("isolated");
+  EXPECT_EQ(db.RelationSize(isolated), 1u);
+  EXPECT_TRUE(db.Contains(F(isolated, {Term::Int(3)})));
+}
+
+TEST(SemiNaiveTest, PaperExample1UncoveredVehicles) {
+  Database db = Eval(R"(
+    veh("enemy", loc(0, 0), 1).
+    veh("enemy", loc(100, 100), 1).
+    veh("friendly", loc(3, 4), 1).
+    cov(L1, T) :- veh("enemy", L1, T), veh("friendly", L2, T),
+                  dist(L1, L2) <= 5.
+    uncov(L, T) :- veh("enemy", L, T), NOT cov(L, T).
+  )");
+  SymbolId uncov = Intern("uncov");
+  // Enemy at (0,0) is within 5 of friendly at (3,4); enemy at (100,100) is
+  // not.
+  EXPECT_EQ(db.RelationSize(uncov), 1u);
+  EXPECT_TRUE(db.Contains(
+      F(uncov, {Term::Function("loc", {Term::Int(100), Term::Int(100)}),
+                Term::Int(1)})));
+}
+
+TEST(SemiNaiveTest, ComparisonsAndArithmetic) {
+  Database db = Eval(R"(
+    n(1). n(2). n(3). n(4).
+    big(X) :- n(X), X * 2 > 5.
+    plus(X, Y) :- n(X), Y = X + 10.
+  )");
+  EXPECT_EQ(db.RelationSize(Intern("big")), 2u);
+  SymbolId plus = Intern("plus");
+  EXPECT_TRUE(db.Contains(F(plus, {Term::Int(4), Term::Int(14)})));
+  EXPECT_EQ(db.RelationSize(plus), 4u);
+}
+
+TEST(SemiNaiveTest, FunctionSymbolsBuildTerms) {
+  Database db = Eval(R"(
+    point(1, 2).
+    wrapped(p(X, Y)) :- point(X, Y).
+  )");
+  SymbolId wrapped = Intern("wrapped");
+  EXPECT_TRUE(db.Contains(
+      F(wrapped, {Term::Function("p", {Term::Int(1), Term::Int(2)})})));
+}
+
+TEST(SemiNaiveTest, ListAccumulation) {
+  // Build paths as lists over a 4-node line; close() replaced by edge.
+  Database db = Eval(R"(
+    edge(1, 2). edge(2, 3). edge(3, 4).
+    walk([Y, X]) :- edge(X, Y).
+    walk([Z | P]) :- walk(P), P = [Y | _], edge(Y, Z).
+  )");
+  SymbolId walk = Intern("walk");
+  EXPECT_TRUE(db.Contains(F(
+      walk, {Term::MakeList({Term::Int(4), Term::Int(3), Term::Int(2),
+                             Term::Int(1)})})));
+}
+
+TEST(SemiNaiveTest, PaperExample2Trajectories) {
+  // Reports on a line: (0,0,0) -> (1,0,1) -> (2,0,2); close() means
+  // spatially within 1.5 and exactly +1 in time.
+  Database db = Eval(R"(
+    report(r(0, 0, 0)). report(r(1, 0, 1)). report(r(2, 0, 2)).
+    close(r(X1, Y1, T1), r(X2, Y2, T2)) :-
+        report(r(X1, Y1, T1)), report(r(X2, Y2, T2)),
+        T2 = T1 + 1, dist(X1, Y1, X2, Y2) <= 1.5.
+    notstartreport(R2) :- close(R1, R2).
+    notlastreport(R1) :- close(R1, R2).
+    traj([R2, R1]) :- close(R1, R2), NOT notstartreport(R1).
+    traj([R2, X | R1]) :- traj([X | R1]), close(X, R2).
+    completetraj(L) :- traj(L), L = [X | _], NOT notlastreport(X).
+  )");
+  SymbolId complete = Intern("completetraj");
+  ASSERT_EQ(db.RelationSize(complete), 1u);
+  const Fact& f = db.Relation(complete)[0];
+  auto elems = f.args()[0].AsListElements();
+  ASSERT_TRUE(elems.has_value());
+  EXPECT_EQ(elems->size(), 3u);  // full 3-report trajectory
+}
+
+// --- XY-stratified: the shortest-path-tree programs of Example 3 / §VI ---
+
+constexpr char kLogicH[] = R"(
+  h(0, 0, 0).
+  h(0, X, 1) :- g(0, X).
+  h1(Y, D + 1) :- h(_, Y, D2), (D + 1) > D2, h(_, X, D), g(X, Y).
+  h(X, Y, D + 1) :- g(X, Y), h(_, X, D), NOT h1(Y, D + 1).
+)";
+
+constexpr char kLogicJ[] = R"(
+  j(0, 0).
+  j1(Y, D + 1) :- j(Y, D2), (D + 1) > D2, j(X, D), g(X, Y).
+  j(Y, D + 1) :- g(X, Y), j(X, D), NOT j1(Y, D + 1).
+)";
+
+std::vector<Fact> GraphFacts(const std::vector<std::pair<int, int>>& edges) {
+  std::vector<Fact> out;
+  SymbolId g = Intern("g");
+  for (auto [a, b] : edges) {
+    out.push_back(F(g, {Term::Int(a), Term::Int(b)}));
+    out.push_back(F(g, {Term::Int(b), Term::Int(a)}));
+  }
+  return out;
+}
+
+std::vector<int> BfsDepths(int n, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (auto [a, b] : edges) {
+    adj[static_cast<size_t>(a)].push_back(b);
+    adj[static_cast<size_t>(b)].push_back(a);
+  }
+  std::vector<int> depth(static_cast<size_t>(n), -1);
+  std::queue<int> q;
+  depth[0] = 0;
+  q.push(0);
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int v : adj[static_cast<size_t>(u)]) {
+      if (depth[static_cast<size_t>(v)] == -1) {
+        depth[static_cast<size_t>(v)] = depth[static_cast<size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return depth;
+}
+
+TEST(XYStagedTest, LogicHComputesBfsTreeOnCycle) {
+  // 0-1-2-3-4-0 cycle.
+  std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  Database db = Eval(kLogicH, GraphFacts(edges));
+  SymbolId h = Intern("h");
+  // Expected BFS depths: 1->1, 4->1, 2->2, 3->2.
+  EXPECT_TRUE(db.Contains(F(h, {Term::Int(0), Term::Int(1), Term::Int(1)})));
+  EXPECT_TRUE(db.Contains(F(h, {Term::Int(0), Term::Int(4), Term::Int(1)})));
+  EXPECT_TRUE(db.Contains(F(h, {Term::Int(1), Term::Int(2), Term::Int(2)})));
+  EXPECT_TRUE(db.Contains(F(h, {Term::Int(4), Term::Int(3), Term::Int(2)})));
+  // No deeper paths: the cycle would give depth-3 entries for node 2 via 3
+  // if negation failed.
+  EXPECT_FALSE(db.Contains(F(h, {Term::Int(3), Term::Int(2), Term::Int(3)})));
+  EXPECT_FALSE(db.Contains(F(h, {Term::Int(2), Term::Int(3), Term::Int(3)})));
+}
+
+TEST(XYStagedTest, LogicHMatchesBfsOnRandomGraphs) {
+  Rng rng(20090707);
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = 6 + static_cast<int>(rng.Uniform(0, 6));
+    std::vector<std::pair<int, int>> edges;
+    // Random connected-ish graph: spanning chain + extras.
+    for (int i = 1; i < n; ++i) {
+      edges.emplace_back(static_cast<int>(rng.Uniform(0, i - 1)), i);
+    }
+    for (int e = 0; e < n; ++e) {
+      int a = static_cast<int>(rng.Uniform(0, n - 1));
+      int b = static_cast<int>(rng.Uniform(0, n - 1));
+      if (a != b) edges.emplace_back(a, b);
+    }
+    Database db = Eval(kLogicH, GraphFacts(edges));
+    std::vector<int> depth = BfsDepths(n, edges);
+    SymbolId h = Intern("h");
+    // Each node's minimum h-depth equals its BFS depth, and no h fact has a
+    // smaller depth.
+    std::vector<int> got(static_cast<size_t>(n), -1);
+    for (const Fact& f : db.Relation(h)) {
+      int y = static_cast<int>(f.args()[1].value().as_int());
+      int d = static_cast<int>(f.args()[2].value().as_int());
+      int& cur = got[static_cast<size_t>(y)];
+      if (cur == -1 || d < cur) cur = d;
+    }
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(got[static_cast<size_t>(v)], depth[static_cast<size_t>(v)])
+          << "node " << v << " trial " << trial;
+    }
+  }
+}
+
+TEST(XYStagedTest, LogicJOneFactPerNode) {
+  std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}};
+  Database db = Eval(kLogicJ, GraphFacts(edges));
+  std::vector<int> depth = BfsDepths(5, edges);
+  SymbolId j = Intern("j");
+  // logicJ derives exactly one fact per node: its BFS depth.
+  EXPECT_EQ(db.RelationSize(j), 5u);
+  for (const Fact& f : db.Relation(j)) {
+    int y = static_cast<int>(f.args()[0].value().as_int());
+    int d = static_cast<int>(f.args()[1].value().as_int());
+    EXPECT_EQ(d, depth[static_cast<size_t>(y)]) << "node " << y;
+  }
+}
+
+TEST(XYStagedTest, GeneralUnstratifiedRejected) {
+  auto program = ParseProgram("win(X) :- move(X, Y), NOT win(Y).");
+  ASSERT_TRUE(program.ok());
+  auto db = EvaluateProgram(*program,
+                            {F(Intern("move"), {Term::Int(1), Term::Int(2)})});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SemiNaiveTest, Aggregates) {
+  Database db = Eval(R"(
+    score(a, 10). score(a, 20). score(b, 5).
+    total(G, sum(S)) :- score(G, S).
+    best(G, max(S)) :- score(G, S).
+    worst(G, min(S)) :- score(G, S).
+    howmany(G, count(S)) :- score(G, S).
+    mean(G, avg(S)) :- score(G, S).
+  )");
+  EXPECT_TRUE(db.Contains(F(Intern("total"), {Term::Sym("a"), Term::Int(30)})));
+  EXPECT_TRUE(db.Contains(F(Intern("best"), {Term::Sym("a"), Term::Int(20)})));
+  EXPECT_TRUE(db.Contains(F(Intern("worst"), {Term::Sym("b"), Term::Int(5)})));
+  EXPECT_TRUE(
+      db.Contains(F(Intern("howmany"), {Term::Sym("a"), Term::Int(2)})));
+  EXPECT_TRUE(
+      db.Contains(F(Intern("mean"), {Term::Sym("b"), Term::Real(5.0)})));
+}
+
+TEST(SemiNaiveTest, AggregateOverDerived) {
+  Database db = Eval(R"(
+    edge(1, 2). edge(1, 3). edge(2, 3).
+    deg(X, count(Y)) :- edge(X, Y).
+    maxdeg(max(D)) :- deg(X, D).
+  )");
+  EXPECT_TRUE(db.Contains(F(Intern("maxdeg"), {Term::Int(2)})));
+}
+
+TEST(SemiNaiveTest, RecursiveAggregateRejected) {
+  auto program = ParseProgram(R"(
+    p(X, min(D)) :- p(Y, D), edge(Y, X).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto db = EvaluateProgram(*program, {});
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(SemiNaiveTest, MaxFactsGuardTrips) {
+  // count-up recursion through function symbols never terminates; the guard
+  // must trip instead of hanging.
+  auto program = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X).
+  )");
+  ASSERT_TRUE(program.ok());
+  EvalOptions opts;
+  opts.max_facts = 1000;
+  auto db = EvaluateProgram(*program, {}, opts);
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SemiNaiveTest, MultipleRulesSameHeadUnion) {
+  Database db = Eval(R"(
+    a(1). b(2). c(2).
+    u(X) :- a(X).
+    u(X) :- b(X), c(X).
+  )");
+  EXPECT_EQ(db.RelationSize(Intern("u")), 2u);
+}
+
+TEST(SemiNaiveTest, NegationAgainstEmptyRelation) {
+  Database db = Eval(R"(
+    .decl friendof/2 input.
+    n(1). n(2).
+    haspal(X) :- n(X), friendof(X, Y).
+    lonely(X) :- n(X), NOT haspal(X).
+  )");
+  // friendof is empty: everyone is lonely.
+  EXPECT_EQ(db.RelationSize(Intern("lonely")), 2u);
+}
+
+TEST(SemiNaiveTest, BuiltinPredicatesInRules) {
+  Database db = Eval(R"(
+    l([1, 2, 3]).
+    has(X) :- l(L), n(X), member(X, L).
+    n(2). n(5).
+  )");
+  EXPECT_EQ(db.RelationSize(Intern("has")), 1u);
+  EXPECT_TRUE(db.Contains(F(Intern("has"), {Term::Int(2)})));
+}
+
+TEST(SemiNaiveTest, StatsAreReported) {
+  auto program = ParseProgram(R"(
+    edge(1, 2). edge(2, 3).
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  EvalStats stats;
+  auto db = EvaluateProgram(*program, {}, {}, &stats);
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT(stats.facts_derived, 0u);
+  EXPECT_GT(stats.rule_firings, 0u);
+  EXPECT_GT(stats.probes, 0u);
+}
+
+}  // namespace
+}  // namespace deduce
+
+namespace deduce {
+namespace {
+
+TEST(XYStagedTest, TemporalStateMachine) {
+  // §IV-C: "XY-stratification is particularly useful ... because of the
+  // ordering imposed sometimes by timestamp attribute". A light stays on
+  // from the tick after its on-command until the tick an off-command takes
+  // effect — recursion through negation staged by the timestamp.
+  const char* program = R"(
+    .decl tick/1 input.
+    .decl oncmd/2 input.
+    .decl offcmd/2 input.
+    on(S, T + 1) :- oncmd(S, T), tick(T + 1).
+    off1(S, T + 1) :- on(S, T), offcmd(S, T + 1).
+    on(S, T + 1) :- on(S, T), tick(T + 1), NOT off1(S, T + 1).
+  )";
+  std::vector<Fact> facts;
+  SymbolId tick = Intern("tick");
+  for (int t = 0; t <= 8; ++t) {
+    facts.emplace_back(tick, std::vector<Term>{Term::Int(t)});
+  }
+  facts.emplace_back(Intern("oncmd"),
+                     std::vector<Term>{Term::Sym("lamp"), Term::Int(1)});
+  facts.emplace_back(Intern("offcmd"),
+                     std::vector<Term>{Term::Sym("lamp"), Term::Int(5)});
+  facts.emplace_back(Intern("oncmd"),
+                     std::vector<Term>{Term::Sym("lamp"), Term::Int(6)});
+
+  Database db = Eval(program, facts);
+  SymbolId on = Intern("on");
+  // On from tick 2..4 (off at 5 takes effect), then back on 7..8.
+  std::set<int64_t> on_ticks;
+  for (const Fact& f : db.Relation(on)) {
+    on_ticks.insert(f.args()[1].value().as_int());
+  }
+  EXPECT_EQ(on_ticks, (std::set<int64_t>{2, 3, 4, 7, 8}));
+}
+
+TEST(SemiNaiveTest, DoubleComparisonsAndPromotion) {
+  Database db = Eval(R"(
+    m(1, 2.5). m(2, 2.0). m(3, 1.5).
+    above(X) :- m(X, V), V > 1.75.
+    exact(X) :- m(X, V), V = 2.0.
+  )");
+  EXPECT_EQ(db.RelationSize(Intern("above")), 2u);
+  EXPECT_EQ(db.RelationSize(Intern("exact")), 1u);
+}
+
+TEST(SemiNaiveTest, DeepStratificationChain) {
+  // Five alternating negation levels evaluate in order.
+  Database db = Eval(R"(
+    base(1). base(2). base(3). base(4).
+    odd1(X) :- base(X), X > 2.
+    even2(X) :- base(X), NOT odd1(X).
+    odd3(X) :- base(X), NOT even2(X).
+    even4(X) :- base(X), NOT odd3(X).
+  )");
+  // odd1 = {3,4}; even2 = {1,2}; odd3 = {3,4}; even4 = {1,2}.
+  EXPECT_EQ(db.RelationSize(Intern("odd3")), 2u);
+  EXPECT_TRUE(db.Contains(F(Intern("even4"), {Term::Int(1)})));
+  EXPECT_FALSE(db.Contains(F(Intern("even4"), {Term::Int(3)})));
+}
+
+}  // namespace
+}  // namespace deduce

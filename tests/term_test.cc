@@ -1,0 +1,171 @@
+#include "deduce/datalog/term.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "deduce/datalog/value.h"
+
+namespace deduce {
+namespace {
+
+TEST(ValueTest, IntBasics) {
+  Value v = Value::Int(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+  EXPECT_EQ(v, Value::Int(42));
+  EXPECT_NE(v, Value::Int(43));
+}
+
+TEST(ValueTest, DoubleBasics) {
+  Value v = Value::Double(2.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+  EXPECT_EQ(v, Value::Double(2.5));
+}
+
+TEST(ValueTest, IntAndDoubleAreDistinctValues) {
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  // ...but compare numerically equal.
+  EXPECT_EQ(Value::Int(1).Compare(Value::Double(1.0)), 0);
+}
+
+TEST(ValueTest, SymbolInterning) {
+  Value a = Value::Symbol("enemy");
+  Value b = Value::Symbol("enemy");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.symbol(), b.symbol());
+  EXPECT_NE(a, Value::Symbol("friendly"));
+}
+
+TEST(ValueTest, OrderNumbersBeforeSymbols) {
+  EXPECT_LT(Value::Int(1000).Compare(Value::Symbol("a")), 0);
+  EXPECT_GT(Value::Symbol("a").Compare(Value::Double(1e9)), 0);
+  EXPECT_LT(Value::Symbol("apple").Compare(Value::Symbol("banana")), 0);
+}
+
+TEST(ValueTest, SymbolPrinting) {
+  EXPECT_EQ(Value::Symbol("enemy").ToString(), "enemy");
+  EXPECT_EQ(Value::Symbol("Hello world").ToString(), "\"Hello world\"");
+  EXPECT_EQ(Value::Symbol("").ToString(), "\"\"");
+}
+
+TEST(ValueTest, DoublePrintingRoundTrips) {
+  EXPECT_EQ(Value::Double(1.0).ToString(), "1.0");
+  std::string s = Value::Double(0.1).ToString();
+  EXPECT_EQ(std::stod(s), 0.1);
+}
+
+TEST(TermTest, ConstantsAndVariables) {
+  Term i = Term::Int(7);
+  EXPECT_TRUE(i.is_constant());
+  EXPECT_TRUE(i.is_ground());
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_FALSE(v.is_ground());
+  EXPECT_EQ(v.ToString(), "X");
+  EXPECT_EQ(v, Term::Var("X"));
+  EXPECT_NE(v, Term::Var("Y"));
+}
+
+TEST(TermTest, FunctionGroundness) {
+  Term f = Term::Function("f", {Term::Int(1), Term::Var("X")});
+  EXPECT_TRUE(f.is_function());
+  EXPECT_FALSE(f.is_ground());
+  Term g = Term::Function("f", {Term::Int(1), Term::Int(2)});
+  EXPECT_TRUE(g.is_ground());
+  EXPECT_EQ(g.ToString(), "f(1, 2)");
+}
+
+TEST(TermTest, EqualityIsStructural) {
+  Term a = Term::Function("f", {Term::Int(1), Term::Sym("x")});
+  Term b = Term::Function("f", {Term::Int(1), Term::Sym("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, Term::Function("g", {Term::Int(1), Term::Sym("x")}));
+  EXPECT_NE(a, Term::Function("f", {Term::Int(1)}));
+}
+
+TEST(TermTest, ListConstruction) {
+  Term l = Term::MakeList({Term::Int(1), Term::Int(2), Term::Int(3)});
+  EXPECT_TRUE(l.is_cons());
+  auto elems = l.AsListElements();
+  ASSERT_TRUE(elems.has_value());
+  ASSERT_EQ(elems->size(), 3u);
+  EXPECT_EQ((*elems)[0], Term::Int(1));
+  EXPECT_EQ(l.ToString(), "[1, 2, 3]");
+}
+
+TEST(TermTest, EmptyList) {
+  Term nil = Term::Nil();
+  EXPECT_TRUE(nil.is_nil());
+  auto elems = nil.AsListElements();
+  ASSERT_TRUE(elems.has_value());
+  EXPECT_TRUE(elems->empty());
+  EXPECT_EQ(nil.ToString(), "[]");
+}
+
+TEST(TermTest, ImproperListPrints) {
+  Term l = Term::Cons(Term::Int(1), Term::Var("T"));
+  EXPECT_FALSE(l.AsListElements().has_value());
+  EXPECT_EQ(l.ToString(), "[1 | T]");
+}
+
+TEST(TermTest, ListWithTailVariable) {
+  Term l = Term::MakeList({Term::Int(1), Term::Int(2)}, Term::Var("T"));
+  EXPECT_EQ(l.ToString(), "[1, 2 | T]");
+  EXPECT_FALSE(l.is_ground());
+}
+
+TEST(TermTest, CollectVariables) {
+  Term t = Term::Function(
+      "f", {Term::Var("X"), Term::Function("g", {Term::Var("Y"),
+                                                 Term::Var("X")})});
+  std::vector<SymbolId> vars;
+  t.CollectVariables(&vars);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], Intern("X"));
+  EXPECT_EQ(vars[1], Intern("Y"));
+  EXPECT_EQ(vars[2], Intern("X"));
+}
+
+TEST(TermTest, ContainsVariable) {
+  Term t = Term::Function("f", {Term::Var("X"), Term::Int(1)});
+  EXPECT_TRUE(t.ContainsVariable(Intern("X")));
+  EXPECT_FALSE(t.ContainsVariable(Intern("Z")));
+}
+
+TEST(TermTest, SizeCountsNodes) {
+  EXPECT_EQ(Term::Int(1).Size(), 1u);
+  Term t = Term::Function("f", {Term::Int(1), Term::Function("g", {})});
+  EXPECT_EQ(t.Size(), 3u);
+}
+
+TEST(TermTest, CompareTotalOrder) {
+  // constants < variables < functions
+  EXPECT_LT(Term::Int(5).Compare(Term::Var("A")), 0);
+  EXPECT_LT(Term::Var("A").Compare(Term::Function("f", {})), 0);
+  EXPECT_LT(Term::Function("f", {Term::Int(1)})
+                .Compare(Term::Function("f", {Term::Int(2)})),
+            0);
+}
+
+TEST(TermTest, HashDistribution) {
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(Term::Int(i).Hash());
+  }
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(TermTest, UsableInHashSet) {
+  std::unordered_set<Term, TermHash> set;
+  set.insert(Term::Int(1));
+  set.insert(Term::Int(1));
+  set.insert(Term::Sym("a"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,128 @@
+#include "deduce/datalog/unify.h"
+
+#include <gtest/gtest.h>
+
+#include "deduce/datalog/parser.h"
+
+namespace deduce {
+namespace {
+
+Term T(const std::string& text) {
+  auto t = ParseTerm(text);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return t.value();
+}
+
+TEST(SubstTest, BindAndLookup) {
+  Subst s;
+  EXPECT_TRUE(s.Bind(Intern("X"), Term::Int(1)));
+  EXPECT_TRUE(s.Bind(Intern("X"), Term::Int(1)));   // idempotent
+  EXPECT_FALSE(s.Bind(Intern("X"), Term::Int(2)));  // conflict
+  ASSERT_NE(s.Lookup(Intern("X")), nullptr);
+  EXPECT_EQ(*s.Lookup(Intern("X")), Term::Int(1));
+  EXPECT_EQ(s.Lookup(Intern("Y")), nullptr);
+}
+
+TEST(SubstTest, ApplyRecurses) {
+  Subst s;
+  s.Bind(Intern("X"), Term::Int(3));
+  Term t = T("f(X, g(X), Y)");
+  EXPECT_EQ(s.Apply(t), T("f(3, g(3), Y)"));
+}
+
+TEST(SubstTest, ApplyChasesVariableChains) {
+  Subst s;
+  s.Bind(Intern("X"), Term::Var("Y"));
+  s.Bind(Intern("Y"), Term::Int(9));
+  EXPECT_EQ(s.Apply(Term::Var("X")), Term::Int(9));
+}
+
+TEST(SubstTest, ToStringIsSorted) {
+  Subst s;
+  s.Bind(Intern("B"), Term::Int(2));
+  s.Bind(Intern("A"), Term::Int(1));
+  EXPECT_EQ(s.ToString(), "{A=1, B=2}");
+}
+
+TEST(MatchTest, ConstantMatchesItself) {
+  Subst s;
+  EXPECT_TRUE(MatchTerm(Term::Int(5), Term::Int(5), &s));
+  EXPECT_FALSE(MatchTerm(Term::Int(5), Term::Int(6), &s));
+}
+
+TEST(MatchTest, VariableBinds) {
+  Subst s;
+  EXPECT_TRUE(MatchTerm(Term::Var("X"), T("f(1, 2)"), &s));
+  EXPECT_EQ(*s.Lookup(Intern("X")), T("f(1, 2)"));
+}
+
+TEST(MatchTest, RepeatedVariableMustAgree) {
+  Subst s;
+  EXPECT_TRUE(MatchTerms({Term::Var("X"), Term::Var("X")},
+                         {Term::Int(1), Term::Int(1)}, &s));
+  Subst s2;
+  EXPECT_FALSE(MatchTerms({Term::Var("X"), Term::Var("X")},
+                          {Term::Int(1), Term::Int(2)}, &s2));
+}
+
+TEST(MatchTest, FunctionStructure) {
+  Subst s;
+  EXPECT_TRUE(MatchTerm(T("f(X, g(Y))"), T("f(1, g(2))"), &s));
+  EXPECT_EQ(*s.Lookup(Intern("X")), Term::Int(1));
+  EXPECT_EQ(*s.Lookup(Intern("Y")), Term::Int(2));
+  Subst s2;
+  EXPECT_FALSE(MatchTerm(T("f(X, g(Y))"), T("f(1, h(2))"), &s2));
+}
+
+TEST(MatchTest, ListPatternHeadTail) {
+  // [X | R] against [1, 2, 3] gives X=1, R=[2, 3].
+  Subst s;
+  Term pattern = T("[X | R]");
+  Term ground = T("[1, 2, 3]");
+  ASSERT_TRUE(MatchTerm(pattern, ground, &s));
+  EXPECT_EQ(*s.Lookup(Intern("X")), Term::Int(1));
+  EXPECT_EQ(*s.Lookup(Intern("R")), T("[2, 3]"));
+}
+
+TEST(UnifyTest, SymmetricBinding) {
+  Subst s;
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Int(1), &s));
+  Subst s2;
+  EXPECT_TRUE(Unify(Term::Int(1), Term::Var("X"), &s2));
+  EXPECT_EQ(*s2.Lookup(Intern("X")), Term::Int(1));
+}
+
+TEST(UnifyTest, VariableToVariable) {
+  Subst s;
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Var("Y"), &s));
+  EXPECT_TRUE(Unify(Term::Var("X"), Term::Int(1), &s));
+  EXPECT_EQ(s.Apply(Term::Var("Y")), Term::Int(1));
+}
+
+TEST(UnifyTest, OccursCheck) {
+  Subst s;
+  EXPECT_FALSE(Unify(Term::Var("X"), T("f(X)"), &s));
+}
+
+TEST(UnifyTest, DeepUnification) {
+  Subst s;
+  EXPECT_TRUE(Unify(T("f(X, g(X, 2))"), T("f(1, g(Y, Z))"), &s));
+  EXPECT_EQ(s.Apply(Term::Var("Y")), Term::Int(1));
+  EXPECT_EQ(s.Apply(Term::Var("Z")), Term::Int(2));
+}
+
+TEST(UnifyTest, FunctorMismatch) {
+  Subst s;
+  EXPECT_FALSE(Unify(T("f(1)"), T("g(1)"), &s));
+  Subst s2;
+  EXPECT_FALSE(Unify(T("f(1)"), T("f(1, 2)"), &s2));
+}
+
+TEST(RenameVariablesTest, AppendsSuffix) {
+  Term t = T("f(X, g(Y), 3)");
+  Term renamed = RenameVariables(t, "_1");
+  EXPECT_EQ(renamed, T("f(X_1, g(Y_1), 3)"));
+}
+
+}  // namespace
+}  // namespace deduce

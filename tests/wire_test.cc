@@ -1,0 +1,186 @@
+#include "deduce/engine/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "deduce/common/rng.h"
+#include "deduce/net/codec.h"
+
+namespace deduce {
+namespace {
+
+/// Random ground term generator for round-trip property tests.
+Term RandomGroundTerm(Rng* rng, int depth = 0) {
+  int kind = static_cast<int>(rng->Uniform(0, depth >= 3 ? 2 : 4));
+  switch (kind) {
+    case 0:
+      return Term::Int(rng->Uniform(-1000000, 1000000));
+    case 1:
+      return Term::Real(rng->UniformDouble(-1e6, 1e6));
+    case 2: {
+      static const char* kSyms[] = {"enemy", "friendly", "a", "b",
+                                    "long symbol with spaces"};
+      return Term::Sym(kSyms[rng->Uniform(0, 4)]);
+    }
+    case 3: {
+      std::vector<Term> args;
+      int n = static_cast<int>(rng->Uniform(0, 3));
+      for (int i = 0; i < n; ++i) args.push_back(RandomGroundTerm(rng, depth + 1));
+      static const char* kFns[] = {"loc", "r", "f"};
+      return Term::Function(kFns[rng->Uniform(0, 2)], std::move(args));
+    }
+    default: {
+      std::vector<Term> elems;
+      int n = static_cast<int>(rng->Uniform(0, 3));
+      for (int i = 0; i < n; ++i) elems.push_back(RandomGroundTerm(rng, depth + 1));
+      return Term::MakeList(elems);
+    }
+  }
+}
+
+Fact RandomFact(Rng* rng) {
+  static const char* kPreds[] = {"veh", "report", "t", "j"};
+  std::vector<Term> args;
+  int n = static_cast<int>(rng->Uniform(0, 4));
+  for (int i = 0; i < n; ++i) args.push_back(RandomGroundTerm(rng));
+  return Fact(Intern(kPreds[rng->Uniform(0, 3)]), std::move(args));
+}
+
+TEST(WireTest, StoreRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    StoreWire w;
+    w.final_target = static_cast<NodeId>(rng.Uniform(-1, 100));
+    w.pred = Intern("veh");
+    w.fact = RandomFact(&rng);
+    w.id = TupleId{static_cast<NodeId>(rng.Uniform(0, 99)),
+                   rng.Uniform(0, 1000000), static_cast<uint32_t>(i)};
+    w.gen_ts = rng.Uniform(0, 1000000);
+    w.deletion = rng.Bernoulli(0.5);
+    w.del_ts = rng.Uniform(0, 1000000);
+    for (int k = 0; k < rng.Uniform(0, 5); ++k) {
+      w.path_remaining.push_back(static_cast<NodeId>(rng.Uniform(0, 99)));
+    }
+    w.flood_ttl = static_cast<int32_t>(rng.Uniform(-1, 20));
+
+    Message m = w.Encode();
+    auto back = StoreWire::Decode(m);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->final_target, w.final_target);
+    EXPECT_EQ(back->fact, w.fact);
+    EXPECT_EQ(back->id, w.id);
+    EXPECT_EQ(back->gen_ts, w.gen_ts);
+    EXPECT_EQ(back->deletion, w.deletion);
+    EXPECT_EQ(back->path_remaining, w.path_remaining);
+    EXPECT_EQ(back->flood_ttl, w.flood_ttl);
+    auto target = PeekFinalTarget(m);
+    ASSERT_TRUE(target.ok());
+    EXPECT_EQ(*target, w.final_target);
+  }
+}
+
+TEST(WireTest, JoinPassRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    JoinPassWire w;
+    w.final_target = static_cast<NodeId>(rng.Uniform(0, 99));
+    w.delta_index = static_cast<uint32_t>(rng.Uniform(0, 30));
+    w.removal = rng.Bernoulli(0.5);
+    w.update_ts = rng.Uniform(0, 1 << 30);
+    w.update_id = TupleId{3, 12345, 6};
+    w.pass_index = static_cast<uint32_t>(rng.Uniform(0, 4));
+    for (int k = 0; k < rng.Uniform(0, 4); ++k) {
+      w.path_remaining.push_back(static_cast<NodeId>(rng.Uniform(0, 99)));
+    }
+    for (int p = 0; p < rng.Uniform(0, 4); ++p) {
+      PartialWire partial;
+      partial.matched_mask = static_cast<uint32_t>(rng.NextUint64());
+      for (int b = 0; b < rng.Uniform(0, 3); ++b) {
+        partial.bindings.emplace_back(Intern("X" + std::to_string(b)),
+                                      RandomGroundTerm(&rng));
+      }
+      for (int s = 0; s < rng.Uniform(0, 3); ++s) {
+        partial.support.emplace_back(
+            static_cast<uint32_t>(s),
+            TupleId{static_cast<NodeId>(s), rng.Uniform(0, 99999), 0});
+      }
+      w.partials.push_back(std::move(partial));
+    }
+
+    Message m = w.Encode();
+    auto back = JoinPassWire::Decode(m);
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->delta_index, w.delta_index);
+    EXPECT_EQ(back->removal, w.removal);
+    EXPECT_EQ(back->update_ts, w.update_ts);
+    EXPECT_EQ(back->pass_index, w.pass_index);
+    ASSERT_EQ(back->partials.size(), w.partials.size());
+    for (size_t p = 0; p < w.partials.size(); ++p) {
+      EXPECT_EQ(back->partials[p].matched_mask, w.partials[p].matched_mask);
+      EXPECT_EQ(back->partials[p].bindings, w.partials[p].bindings);
+      EXPECT_EQ(back->partials[p].support, w.partials[p].support);
+    }
+  }
+}
+
+TEST(WireTest, ResultRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    ResultWire w;
+    w.final_target = static_cast<NodeId>(rng.Uniform(0, 99));
+    w.pred = Intern("t");
+    w.fact = RandomFact(&rng);
+    w.removal = rng.Bernoulli(0.5);
+    w.rule_id = static_cast<int32_t>(rng.Uniform(-1, 20));
+    for (int s = 0; s < rng.Uniform(0, 5); ++s) {
+      w.support.push_back(TupleId{static_cast<NodeId>(s), 77, 1});
+    }
+    w.update_ts = rng.Uniform(0, 1 << 30);
+    auto back = ResultWire::Decode(w.Encode());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->fact, w.fact);
+    EXPECT_EQ(back->removal, w.removal);
+    EXPECT_EQ(back->rule_id, w.rule_id);
+    EXPECT_EQ(back->support, w.support);
+  }
+}
+
+/// Fuzz: random bytes must never crash a decoder — only produce errors or
+/// (rarely) a valid message.
+TEST(WireTest, FuzzDecodersNeverCrash) {
+  Rng rng(4);
+  for (int i = 0; i < 3000; ++i) {
+    Message m;
+    m.type = static_cast<uint16_t>(rng.Uniform(1, 3));
+    size_t len = static_cast<size_t>(rng.Uniform(0, 64));
+    for (size_t b = 0; b < len; ++b) {
+      m.payload.push_back(static_cast<uint8_t>(rng.Uniform(0, 255)));
+    }
+    (void)StoreWire::Decode(m);
+    (void)JoinPassWire::Decode(m);
+    (void)ResultWire::Decode(m);
+    (void)PeekFinalTarget(m);
+  }
+  SUCCEED();
+}
+
+/// Truncation fuzz: valid messages cut at every prefix length decode to an
+/// error, never crash, never read out of bounds.
+TEST(WireTest, TruncationsAreErrors) {
+  Rng rng(5);
+  StoreWire w;
+  w.final_target = 3;
+  w.pred = Intern("veh");
+  w.fact = RandomFact(&rng);
+  w.id = TupleId{1, 2, 3};
+  w.path_remaining = {4, 5, 6};
+  Message full = w.Encode();
+  for (size_t cut = 0; cut + 1 < full.payload.size(); ++cut) {
+    Message m = full;
+    m.payload.resize(cut);
+    auto r = StoreWire::Decode(m);
+    EXPECT_FALSE(r.ok()) << "cut at " << cut << " decoded successfully";
+  }
+}
+
+}  // namespace
+}  // namespace deduce

@@ -1,0 +1,323 @@
+// dlog — command-line front end for the deduce library.
+//
+//   dlog check <program.dlog>
+//       Parse, analyze and compile the program; print the predicate
+//       dependency analysis and the distributed query plan.
+//
+//   dlog eval <program.dlog> [--query 'goal(...)'] [--magic]
+//       Centralized bottom-up evaluation; prints every derived relation,
+//       or the answers to --query (optionally via the magic-set transform).
+//
+//   dlog simulate <program.dlog> --events <events file> [--grid N]
+//       [--storage row|broadcast|local|centroid] [--loss P] [--seed S]
+//       [--trace trace.csv]
+//       Compile onto an N x N simulated sensor grid, inject the event
+//       trace, run to quiescence, print derived results and network cost.
+//
+// Events file: one event per line,
+//     <time_us> <node> + <fact>.
+//     <time_us> <node> - <fact>.
+// '#' starts a comment.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "deduce/common/strings.h"
+#include "deduce/datalog/analysis.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+#include "deduce/eval/magic.h"
+#include "deduce/eval/seminaive.h"
+
+using namespace deduce;
+
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return StatusOr<std::string>(
+        Status::NotFound("cannot open file: " + path));
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "dlog: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintRelations(const Database& db) {
+  for (SymbolId pred : db.Predicates()) {
+    std::printf("%% %s: %zu facts\n", SymbolName(pred).c_str(),
+                db.RelationSize(pred));
+    for (const Fact& f : db.Relation(pred)) {
+      std::printf("%s.\n", f.ToString().c_str());
+    }
+  }
+}
+
+int CmdCheck(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return Fail(program.status());
+  Program p = std::move(program).value();
+  BuiltinRegistry registry = BuiltinRegistry::Default();
+  Status st = ResolveBuiltins(&p, registry);
+  if (!st.ok()) return Fail(st);
+  auto analysis = AnalyzeProgram(p);
+  if (!analysis.ok()) return Fail(analysis.status());
+  std::printf("== analysis ==\n%s\n", analysis->ToString().c_str());
+  auto plan = CompilePlan(p, registry, PlannerOptions{});
+  if (!plan.ok()) {
+    std::printf("== distributed plan ==\nnot compilable: %s\n",
+                plan.status().ToString().c_str());
+    return 0;
+  }
+  std::printf("== distributed plan ==\n%s", plan->ToString().c_str());
+  return 0;
+}
+
+int CmdEval(const std::string& path, const std::string& query_text,
+            bool use_magic) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return Fail(program.status());
+
+  if (!query_text.empty()) {
+    auto goal_term = ParseTerm(query_text);
+    if (!goal_term.ok()) return Fail(goal_term.status());
+    if (!goal_term->is_function()) {
+      return Fail(Status::InvalidArgument("query must be an atom"));
+    }
+    Atom goal(goal_term->functor(), goal_term->args());
+    if (use_magic) {
+      auto answers = MagicEvaluate(*program, goal, {});
+      if (!answers.ok()) return Fail(answers.status());
+      for (const Fact& f : *answers) std::printf("%s.\n", f.ToString().c_str());
+      return 0;
+    }
+    auto db = EvaluateProgram(*program, {});
+    if (!db.ok()) return Fail(db.status());
+    BuiltinRegistry registry = BuiltinRegistry::Default();
+    for (const Fact& f : db->Relation(goal.predicate)) {
+      Subst subst;
+      if (SolveMatchTerms(goal.args, f.args(), &subst, registry)) {
+        std::printf("%s.\n", f.ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+  EvalStats stats;
+  auto db = EvaluateProgram(*program, {}, {}, &stats);
+  if (!db.ok()) return Fail(db.status());
+  PrintRelations(*db);
+  std::fprintf(stderr,
+               "%% derived=%llu firings=%llu probes=%llu iterations=%llu\n",
+               static_cast<unsigned long long>(stats.facts_derived),
+               static_cast<unsigned long long>(stats.rule_firings),
+               static_cast<unsigned long long>(stats.probes),
+               static_cast<unsigned long long>(stats.iterations));
+  return 0;
+}
+
+struct Event {
+  SimTime time;
+  NodeId node;
+  StreamOp op;
+  Fact fact;
+};
+
+StatusOr<std::vector<Event>> ParseEvents(const std::string& text) {
+  std::vector<Event> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string trimmed(StrTrim(line));
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::istringstream ls(trimmed);
+    long long time;
+    int node;
+    std::string op;
+    if (!(ls >> time >> node >> op) || (op != "+" && op != "-")) {
+      return StatusOr<std::vector<Event>>(Status::InvalidArgument(
+          StrFormat("events line %d: expected '<time> <node> +|- <fact>.'",
+                    lineno)));
+    }
+    std::string fact_text;
+    std::getline(ls, fact_text);
+    auto rule = ParseRule(std::string(StrTrim(fact_text)));
+    if (!rule.ok() || !rule->body.empty()) {
+      return StatusOr<std::vector<Event>>(Status::InvalidArgument(
+          StrFormat("events line %d: bad fact: %s", lineno,
+                    rule.ok() ? "rules not allowed"
+                              : rule.status().message().c_str())));
+    }
+    Event ev;
+    ev.time = time;
+    ev.node = node;
+    ev.op = op == "+" ? StreamOp::kInsert : StreamOp::kDelete;
+    ev.fact = Fact(rule->head.predicate, rule->head.args);
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+int CmdSimulate(const std::string& path, const std::string& events_path,
+                int grid, const std::string& storage, double loss,
+                uint64_t seed, const std::string& trace_path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return Fail(program.status());
+  auto events_text = ReadFile(events_path);
+  if (!events_text.ok()) return Fail(events_text.status());
+  auto events = ParseEvents(*events_text);
+  if (!events.ok()) return Fail(events.status());
+
+  EngineOptions options;
+  if (storage == "row" || storage.empty()) {
+    options.planner.default_storage = StoragePolicy::kRow;
+  } else if (storage == "broadcast") {
+    options.planner.default_storage = StoragePolicy::kBroadcast;
+  } else if (storage == "local") {
+    options.planner.default_storage = StoragePolicy::kLocal;
+  } else if (storage == "centroid") {
+    options.planner.default_storage = StoragePolicy::kCentroid;
+  } else {
+    return Fail(Status::InvalidArgument("unknown --storage " + storage));
+  }
+
+  LinkModel link;
+  link.loss_rate = loss;
+  if (loss > 0) link.retries = 2;
+  Network net(Topology::Grid(grid), link, seed);
+  std::ofstream trace_out;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
+    if (!trace_out) {
+      return Fail(Status::NotFound("cannot write trace file " + trace_path));
+    }
+    trace_out << "time_us,src,dst,type,bytes,attempts,delivered\n";
+    net.SetTraceSink([&trace_out](const TraceEvent& ev) {
+      trace_out << ev.time << ',' << ev.src << ',' << ev.dst << ','
+                << ev.type << ',' << ev.bytes << ',' << ev.attempts << ','
+                << (ev.delivered ? 1 : 0) << '\n';
+    });
+  }
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  for (const Event& ev : *events) {
+    if (ev.node < 0 || ev.node >= net.node_count()) {
+      return Fail(Status::OutOfRange(
+          StrFormat("event names node %d; grid has %d nodes", ev.node,
+                    net.node_count())));
+    }
+    net.sim().RunUntil(ev.time);
+    Status st = (*engine)->Inject(ev.node, ev.op, ev.fact);
+    if (!st.ok()) {
+      std::fprintf(stderr, "dlog: inject %s: %s\n", ev.fact.ToString().c_str(),
+                   st.ToString().c_str());
+    }
+  }
+  net.sim().Run();
+
+  Database results = (*engine)->ResultDatabase();
+  PrintRelations(results);
+  std::fprintf(
+      stderr,
+      "%% network: %llu messages, %llu bytes, %.1f uJ; engine: %llu join "
+      "passes, %llu derivations; errors: %zu\n",
+      static_cast<unsigned long long>(net.stats().TotalMessages()),
+      static_cast<unsigned long long>(net.stats().TotalBytes()),
+      net.stats().TotalEnergyMicroJ(),
+      static_cast<unsigned long long>((*engine)->stats().join_passes),
+      static_cast<unsigned long long>((*engine)->stats().derivations_added),
+      (*engine)->stats().errors.size());
+  for (const std::string& e : (*engine)->stats().errors) {
+    std::fprintf(stderr, "%% error: %s\n", e.c_str());
+  }
+  return (*engine)->stats().errors.empty() ? 0 : 2;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dlog check <program.dlog>\n"
+               "  dlog eval <program.dlog> [--query 'goal(...)'] [--magic]\n"
+               "  dlog simulate <program.dlog> --events <file> [--grid N]\n"
+               "       [--storage row|broadcast|local|centroid] [--loss P]\n"
+               "       [--seed S] [--trace trace.csv]\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+  std::string path = argv[2];
+
+  std::string query, events, storage, trace;
+  bool magic = false;
+  int grid = 8;
+  double loss = 0;
+  uint64_t seed = 1;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--query") {
+      const char* v = next();
+      if (!v) return Usage();
+      query = v;
+    } else if (arg == "--magic") {
+      magic = true;
+    } else if (arg == "--events") {
+      const char* v = next();
+      if (!v) return Usage();
+      events = v;
+    } else if (arg == "--grid") {
+      const char* v = next();
+      if (!v) return Usage();
+      grid = std::atoi(v);
+    } else if (arg == "--storage") {
+      const char* v = next();
+      if (!v) return Usage();
+      storage = v;
+    } else if (arg == "--loss") {
+      const char* v = next();
+      if (!v) return Usage();
+      loss = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage();
+      seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (cmd == "check") return CmdCheck(path);
+  if (cmd == "eval") return CmdEval(path, query, magic);
+  if (cmd == "simulate") {
+    if (events.empty()) return Usage();
+    return CmdSimulate(path, events, grid, storage, loss, seed, trace);
+  }
+  return Usage();
+}
