@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_finalize"
+  "../bench/bench_ablation_finalize.pdb"
+  "CMakeFiles/bench_ablation_finalize.dir/bench_ablation_finalize.cc.o"
+  "CMakeFiles/bench_ablation_finalize.dir/bench_ablation_finalize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_finalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

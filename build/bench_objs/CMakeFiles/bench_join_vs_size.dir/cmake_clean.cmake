@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_vs_size"
+  "../bench/bench_join_vs_size.pdb"
+  "CMakeFiles/bench_join_vs_size.dir/bench_join_vs_size.cc.o"
+  "CMakeFiles/bench_join_vs_size.dir/bench_join_vs_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

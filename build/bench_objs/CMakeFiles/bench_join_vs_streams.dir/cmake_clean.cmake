@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_vs_streams"
+  "../bench/bench_join_vs_streams.pdb"
+  "CMakeFiles/bench_join_vs_streams.dir/bench_join_vs_streams.cc.o"
+  "CMakeFiles/bench_join_vs_streams.dir/bench_join_vs_streams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_vs_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

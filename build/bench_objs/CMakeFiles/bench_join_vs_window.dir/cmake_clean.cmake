@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_vs_window"
+  "../bench/bench_join_vs_window.pdb"
+  "CMakeFiles/bench_join_vs_window.dir/bench_join_vs_window.cc.o"
+  "CMakeFiles/bench_join_vs_window.dir/bench_join_vs_window.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_latency.cc" "bench_objs/CMakeFiles/bench_latency.dir/bench_latency.cc.o" "gcc" "bench_objs/CMakeFiles/bench_latency.dir/bench_latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deduce/engine/CMakeFiles/deduce_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/baselines/CMakeFiles/deduce_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/eval/CMakeFiles/deduce_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/routing/CMakeFiles/deduce_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/net/CMakeFiles/deduce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/datalog/CMakeFiles/deduce_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/common/CMakeFiles/deduce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spt"
+  "../bench/bench_spt.pdb"
+  "CMakeFiles/bench_spt.dir/bench_spt.cc.o"
+  "CMakeFiles/bench_spt.dir/bench_spt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

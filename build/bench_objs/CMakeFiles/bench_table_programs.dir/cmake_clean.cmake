@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table_programs"
+  "../bench/bench_table_programs.pdb"
+  "CMakeFiles/bench_table_programs.dir/bench_table_programs.cc.o"
+  "CMakeFiles/bench_table_programs.dir/bench_table_programs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_monitoring.dir/field_monitoring.cc.o"
+  "CMakeFiles/field_monitoring.dir/field_monitoring.cc.o.d"
+  "field_monitoring"
+  "field_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

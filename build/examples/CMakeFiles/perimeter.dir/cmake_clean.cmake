@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perimeter.dir/perimeter.cc.o"
+  "CMakeFiles/perimeter.dir/perimeter.cc.o.d"
+  "perimeter"
+  "perimeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perimeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

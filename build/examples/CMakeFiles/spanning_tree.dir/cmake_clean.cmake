@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_tree.dir/spanning_tree.cc.o"
+  "CMakeFiles/spanning_tree.dir/spanning_tree.cc.o.d"
+  "spanning_tree"
+  "spanning_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectories.dir/trajectories.cc.o"
+  "CMakeFiles/trajectories.dir/trajectories.cc.o.d"
+  "trajectories"
+  "trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

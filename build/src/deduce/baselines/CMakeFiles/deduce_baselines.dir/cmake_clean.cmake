@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_baselines.dir/procedural_spt.cc.o"
+  "CMakeFiles/deduce_baselines.dir/procedural_spt.cc.o.d"
+  "libdeduce_baselines.a"
+  "libdeduce_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_common.dir/logging.cc.o"
+  "CMakeFiles/deduce_common.dir/logging.cc.o.d"
+  "CMakeFiles/deduce_common.dir/status.cc.o"
+  "CMakeFiles/deduce_common.dir/status.cc.o.d"
+  "CMakeFiles/deduce_common.dir/strings.cc.o"
+  "CMakeFiles/deduce_common.dir/strings.cc.o.d"
+  "libdeduce_common.a"
+  "libdeduce_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

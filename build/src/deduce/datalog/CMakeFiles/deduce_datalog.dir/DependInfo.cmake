@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deduce/datalog/analysis.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/analysis.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/analysis.cc.o.d"
+  "/root/repo/src/deduce/datalog/builtins.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/builtins.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/builtins.cc.o.d"
+  "/root/repo/src/deduce/datalog/fact.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/fact.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/fact.cc.o.d"
+  "/root/repo/src/deduce/datalog/parser.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/parser.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/deduce/datalog/program.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/program.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/program.cc.o.d"
+  "/root/repo/src/deduce/datalog/rule.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/rule.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/rule.cc.o.d"
+  "/root/repo/src/deduce/datalog/symbol.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/symbol.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/symbol.cc.o.d"
+  "/root/repo/src/deduce/datalog/term.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/term.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/term.cc.o.d"
+  "/root/repo/src/deduce/datalog/unify.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/unify.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/unify.cc.o.d"
+  "/root/repo/src/deduce/datalog/value.cc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/value.cc.o" "gcc" "src/deduce/datalog/CMakeFiles/deduce_datalog.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deduce/common/CMakeFiles/deduce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

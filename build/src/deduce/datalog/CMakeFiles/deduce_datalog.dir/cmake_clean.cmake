@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_datalog.dir/analysis.cc.o"
+  "CMakeFiles/deduce_datalog.dir/analysis.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/builtins.cc.o"
+  "CMakeFiles/deduce_datalog.dir/builtins.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/fact.cc.o"
+  "CMakeFiles/deduce_datalog.dir/fact.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/parser.cc.o"
+  "CMakeFiles/deduce_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/program.cc.o"
+  "CMakeFiles/deduce_datalog.dir/program.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/rule.cc.o"
+  "CMakeFiles/deduce_datalog.dir/rule.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/symbol.cc.o"
+  "CMakeFiles/deduce_datalog.dir/symbol.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/term.cc.o"
+  "CMakeFiles/deduce_datalog.dir/term.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/unify.cc.o"
+  "CMakeFiles/deduce_datalog.dir/unify.cc.o.d"
+  "CMakeFiles/deduce_datalog.dir/value.cc.o"
+  "CMakeFiles/deduce_datalog.dir/value.cc.o.d"
+  "libdeduce_datalog.a"
+  "libdeduce_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

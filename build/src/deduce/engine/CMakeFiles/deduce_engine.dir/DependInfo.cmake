@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deduce/engine/aggregation.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/aggregation.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/aggregation.cc.o.d"
+  "/root/repo/src/deduce/engine/engine.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/engine.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/engine.cc.o.d"
+  "/root/repo/src/deduce/engine/plan.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/plan.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/plan.cc.o.d"
+  "/root/repo/src/deduce/engine/regions.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/regions.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/regions.cc.o.d"
+  "/root/repo/src/deduce/engine/runtime.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/runtime.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/runtime.cc.o.d"
+  "/root/repo/src/deduce/engine/wire.cc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/wire.cc.o" "gcc" "src/deduce/engine/CMakeFiles/deduce_engine.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deduce/eval/CMakeFiles/deduce_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/routing/CMakeFiles/deduce_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/net/CMakeFiles/deduce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/datalog/CMakeFiles/deduce_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/common/CMakeFiles/deduce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

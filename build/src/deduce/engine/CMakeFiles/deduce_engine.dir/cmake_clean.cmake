@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_engine.dir/aggregation.cc.o"
+  "CMakeFiles/deduce_engine.dir/aggregation.cc.o.d"
+  "CMakeFiles/deduce_engine.dir/engine.cc.o"
+  "CMakeFiles/deduce_engine.dir/engine.cc.o.d"
+  "CMakeFiles/deduce_engine.dir/plan.cc.o"
+  "CMakeFiles/deduce_engine.dir/plan.cc.o.d"
+  "CMakeFiles/deduce_engine.dir/regions.cc.o"
+  "CMakeFiles/deduce_engine.dir/regions.cc.o.d"
+  "CMakeFiles/deduce_engine.dir/runtime.cc.o"
+  "CMakeFiles/deduce_engine.dir/runtime.cc.o.d"
+  "CMakeFiles/deduce_engine.dir/wire.cc.o"
+  "CMakeFiles/deduce_engine.dir/wire.cc.o.d"
+  "libdeduce_engine.a"
+  "libdeduce_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deduce/eval/database.cc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/database.cc.o" "gcc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/database.cc.o.d"
+  "/root/repo/src/deduce/eval/incremental.cc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/incremental.cc.o" "gcc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/incremental.cc.o.d"
+  "/root/repo/src/deduce/eval/magic.cc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/magic.cc.o" "gcc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/magic.cc.o.d"
+  "/root/repo/src/deduce/eval/rule_eval.cc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/rule_eval.cc.o" "gcc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/rule_eval.cc.o.d"
+  "/root/repo/src/deduce/eval/seminaive.cc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/seminaive.cc.o" "gcc" "src/deduce/eval/CMakeFiles/deduce_eval.dir/seminaive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deduce/datalog/CMakeFiles/deduce_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/common/CMakeFiles/deduce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

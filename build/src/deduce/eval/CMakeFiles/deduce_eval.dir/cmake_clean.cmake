@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_eval.dir/database.cc.o"
+  "CMakeFiles/deduce_eval.dir/database.cc.o.d"
+  "CMakeFiles/deduce_eval.dir/incremental.cc.o"
+  "CMakeFiles/deduce_eval.dir/incremental.cc.o.d"
+  "CMakeFiles/deduce_eval.dir/magic.cc.o"
+  "CMakeFiles/deduce_eval.dir/magic.cc.o.d"
+  "CMakeFiles/deduce_eval.dir/rule_eval.cc.o"
+  "CMakeFiles/deduce_eval.dir/rule_eval.cc.o.d"
+  "CMakeFiles/deduce_eval.dir/seminaive.cc.o"
+  "CMakeFiles/deduce_eval.dir/seminaive.cc.o.d"
+  "libdeduce_eval.a"
+  "libdeduce_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deduce/net/codec.cc" "src/deduce/net/CMakeFiles/deduce_net.dir/codec.cc.o" "gcc" "src/deduce/net/CMakeFiles/deduce_net.dir/codec.cc.o.d"
+  "/root/repo/src/deduce/net/network.cc" "src/deduce/net/CMakeFiles/deduce_net.dir/network.cc.o" "gcc" "src/deduce/net/CMakeFiles/deduce_net.dir/network.cc.o.d"
+  "/root/repo/src/deduce/net/simulator.cc" "src/deduce/net/CMakeFiles/deduce_net.dir/simulator.cc.o" "gcc" "src/deduce/net/CMakeFiles/deduce_net.dir/simulator.cc.o.d"
+  "/root/repo/src/deduce/net/topology.cc" "src/deduce/net/CMakeFiles/deduce_net.dir/topology.cc.o" "gcc" "src/deduce/net/CMakeFiles/deduce_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deduce/datalog/CMakeFiles/deduce_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/deduce/common/CMakeFiles/deduce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

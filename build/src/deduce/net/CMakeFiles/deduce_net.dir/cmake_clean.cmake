@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_net.dir/codec.cc.o"
+  "CMakeFiles/deduce_net.dir/codec.cc.o.d"
+  "CMakeFiles/deduce_net.dir/network.cc.o"
+  "CMakeFiles/deduce_net.dir/network.cc.o.d"
+  "CMakeFiles/deduce_net.dir/simulator.cc.o"
+  "CMakeFiles/deduce_net.dir/simulator.cc.o.d"
+  "CMakeFiles/deduce_net.dir/topology.cc.o"
+  "CMakeFiles/deduce_net.dir/topology.cc.o.d"
+  "libdeduce_net.a"
+  "libdeduce_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

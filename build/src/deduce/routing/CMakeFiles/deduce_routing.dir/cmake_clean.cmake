@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deduce_routing.dir/geo_hash.cc.o"
+  "CMakeFiles/deduce_routing.dir/geo_hash.cc.o.d"
+  "CMakeFiles/deduce_routing.dir/routing.cc.o"
+  "CMakeFiles/deduce_routing.dir/routing.cc.o.d"
+  "libdeduce_routing.a"
+  "libdeduce_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deduce_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

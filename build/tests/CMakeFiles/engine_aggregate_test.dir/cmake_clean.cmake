@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_aggregate_test.dir/engine_aggregate_test.cc.o"
+  "CMakeFiles/engine_aggregate_test.dir/engine_aggregate_test.cc.o.d"
+  "engine_aggregate_test"
+  "engine_aggregate_test.pdb"
+  "engine_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_programs_test.dir/engine_programs_test.cc.o"
+  "CMakeFiles/engine_programs_test.dir/engine_programs_test.cc.o.d"
+  "engine_programs_test"
+  "engine_programs_test.pdb"
+  "engine_programs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlog.dir/dlog.cc.o"
+  "CMakeFiles/dlog.dir/dlog.cc.o.d"
+  "dlog"
+  "dlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(dlog_check "/root/repo/build/tools/dlog" "check" "/root/repo/examples/programs/spt.dlog")
+set_tests_properties(dlog_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dlog_eval "/root/repo/build/tools/dlog" "eval" "/root/repo/examples/programs/ancestor.dlog")
+set_tests_properties(dlog_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(dlog_simulate "/root/repo/build/tools/dlog" "simulate" "/root/repo/examples/programs/uncovered.dlog" "--events" "/root/repo/examples/programs/uncovered.events" "--grid" "8")
+set_tests_properties(dlog_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
