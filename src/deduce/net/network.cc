@@ -52,15 +52,17 @@ SimTime NodeContext::LocalTime() const {
   return network_->sim_.now() + network_->skews_[static_cast<size_t>(id_)];
 }
 
-void NodeContext::Send(NodeId to, Message msg) {
-  network_->Deliver(id_, to, std::move(msg));
+bool NodeContext::Send(NodeId to, Message msg) {
+  return network_->Deliver(id_, to, std::move(msg));
 }
 
 void NodeContext::SetTimer(SimTime delay, int timer_id) {
   Network* net = network_;
   NodeId id = id_;
-  net->sim_.ScheduleAfter(delay, [net, id, timer_id]() {
+  uint64_t inc = net->incarnations_[static_cast<size_t>(id)];
+  net->sim_.ScheduleAfter(delay, [net, id, inc, timer_id]() {
     if (net->failed_[static_cast<size_t>(id)]) return;
+    if (net->incarnations_[static_cast<size_t>(id)] != inc) return;
     net->apps_[static_cast<size_t>(id)]->OnTimer(
         net->contexts_[static_cast<size_t>(id)].get(), timer_id);
   });
@@ -78,6 +80,7 @@ Network::Network(Topology topology, LinkModel link, uint64_t seed)
   node_rngs_.reserve(static_cast<size_t>(n));
   skews_.reserve(static_cast<size_t>(n));
   failed_.assign(static_cast<size_t>(n), false);
+  incarnations_.assign(static_cast<size_t>(n), 0);
   stats_.per_node.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     contexts_.push_back(std::make_unique<NodeContext>(this, i));
@@ -105,12 +108,50 @@ void Network::Start() {
   }
 }
 
-void Network::FailNode(NodeId id) { failed_[static_cast<size_t>(id)] = true; }
+void Network::FailNode(NodeId id) {
+  if (failed_[static_cast<size_t>(id)]) return;
+  failed_[static_cast<size_t>(id)] = true;
+  ++incarnations_[static_cast<size_t>(id)];
+  ++stats_.nodes_failed;
+}
 
-void Network::Deliver(NodeId from, NodeId to, Message msg) {
+void Network::RecoverNode(NodeId id) {
+  if (!failed_[static_cast<size_t>(id)]) return;
+  failed_[static_cast<size_t>(id)] = false;
+  ++stats_.nodes_recovered;
+  apps_[static_cast<size_t>(id)]->OnRestart(
+      contexts_[static_cast<size_t>(id)].get());
+}
+
+void Network::ApplyFaultPlan(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events) {
+    sim_.ScheduleAt(ev.time, [this, ev]() {
+      if (ev.kind == FaultEvent::Kind::kFail) {
+        FailNode(ev.node);
+      } else {
+        RecoverNode(ev.node);
+      }
+    });
+  }
+}
+
+FaultPlan FaultPlan::Churn(const std::vector<NodeId>& nodes,
+                           SimTime first_fail, SimTime downtime,
+                           SimTime stagger) {
+  FaultPlan plan;
+  SimTime t = first_fail;
+  for (NodeId n : nodes) {
+    plan.Fail(t, n);
+    if (downtime >= 0) plan.Recover(t + downtime, n);
+    t += stagger;
+  }
+  return plan;
+}
+
+bool Network::Deliver(NodeId from, NodeId to, Message msg) {
   DEDUCE_CHECK(topology_.AreNeighbors(from, to))
       << "node " << from << " cannot reach non-neighbor " << to;
-  if (failed_[static_cast<size_t>(from)]) return;
+  if (failed_[static_cast<size_t>(from)]) return false;
   msg.src = from;
   msg.dst = to;
   size_t bytes = msg.WireSize();
@@ -120,11 +161,14 @@ void Network::Deliver(NodeId from, NodeId to, Message msg) {
 
   // Simplified link-layer ARQ: up to 1 + retries attempts, each an
   // independent loss trial and a real transmission (counted and paid for).
+  // A dead receiver never acks, so the sender burns every attempt.
+  bool receiver_up = !failed_[static_cast<size_t>(to)];
   int attempts = 0;
   bool delivered = false;
   for (int a = 0; a <= link_.retries; ++a) {
     ++attempts;
-    if (!(link_.loss_rate > 0 && rng_.Bernoulli(link_.loss_rate))) {
+    if (!(link_.loss_rate > 0 && rng_.Bernoulli(link_.loss_rate)) &&
+        receiver_up) {
       delivered = true;
       break;
     }
@@ -144,7 +188,8 @@ void Network::Deliver(NodeId from, NodeId to, Message msg) {
   }
   if (!delivered) {
     ++sender.dropped_messages;
-    return;
+    ++stats_.mac_ack_failures;
+    return false;
   }
   SimTime per_attempt =
       link_.base_delay +
@@ -160,6 +205,7 @@ void Network::Deliver(NodeId from, NodeId to, Message msg) {
     apps_[static_cast<size_t>(to)]->OnMessage(
         contexts_[static_cast<size_t>(to)].get(), *shared);
   });
+  return true;
 }
 
 }  // namespace deduce

@@ -71,6 +71,14 @@ struct NetworkStats {
   std::vector<PerNode> per_node;
   std::unordered_map<uint16_t, uint64_t> sent_by_type;
 
+  /// Unicasts whose every link-layer attempt was lost (or whose receiver
+  /// was dead): the sender saw no MAC ack. Zero in a loss-free,
+  /// failure-free run.
+  uint64_t mac_ack_failures = 0;
+  /// Fault-injection events applied (FailNode / RecoverNode).
+  uint64_t nodes_failed = 0;
+  uint64_t nodes_recovered = 0;
+
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
   uint64_t MaxNodeMessages() const;
@@ -108,7 +116,10 @@ class NodeContext {
   SimTime LocalTime() const;
 
   /// Sends to a direct neighbor; non-neighbors are a programming error.
-  void Send(NodeId to, Message msg);
+  /// Returns the link-layer (MAC) acknowledgement: true iff some attempt
+  /// reached a live receiver. Real mote MACs (802.15.4) expose exactly
+  /// this bit; callers that predate it may ignore the result.
+  bool Send(NodeId to, Message msg);
 
   /// Schedules OnTimer(timer_id) after `delay` (local == global duration).
   void SetTimer(SimTime delay, int timer_id);
@@ -135,6 +146,39 @@ class NodeApp {
     (void)ctx;
     (void)timer_id;
   }
+  /// Called when the node reboots after a crash (Network::RecoverNode).
+  /// Volatile state must be treated as lost; pending timers from the
+  /// previous incarnation never fire.
+  virtual void OnRestart(NodeContext* ctx) { (void)ctx; }
+};
+
+/// One scheduled fault-injection event.
+struct FaultEvent {
+  enum class Kind { kFail, kRecover };
+  SimTime time = 0;
+  NodeId node = kNoNode;
+  Kind kind = Kind::kFail;
+};
+
+/// A deterministic schedule of fail/recover events driven by the
+/// simulator (crash-reboot churn). Apply with Network::ApplyFaultPlan
+/// before (or while) running.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  FaultPlan& Fail(SimTime time, NodeId node) {
+    events.push_back({time, node, FaultEvent::Kind::kFail});
+    return *this;
+  }
+  FaultPlan& Recover(SimTime time, NodeId node) {
+    events.push_back({time, node, FaultEvent::Kind::kRecover});
+    return *this;
+  }
+  /// Crash-reboot churn: node i of `nodes` fails at
+  /// `first_fail + i * stagger` and reboots `downtime` later
+  /// (downtime < 0: never).
+  static FaultPlan Churn(const std::vector<NodeId>& nodes, SimTime first_fail,
+                         SimTime downtime, SimTime stagger);
 };
 
 /// The simulated sensor network: topology + link model + per-node apps,
@@ -175,13 +219,25 @@ class Network {
   }
 
   /// Kills a node: it stops receiving and sending (fault injection).
+  /// Timers scheduled before the crash never fire, even after recovery
+  /// (volatile state is lost with the incarnation).
   void FailNode(NodeId id);
+  /// Reboots a failed node: it resumes receiving and sending with a fresh
+  /// incarnation. The app's OnRestart runs so it can drop volatile state.
+  void RecoverNode(NodeId id);
   bool IsFailed(NodeId id) const { return failed_[static_cast<size_t>(id)]; }
+  /// Incremented on every FailNode; stale timers check it.
+  uint64_t incarnation(NodeId id) const {
+    return incarnations_[static_cast<size_t>(id)];
+  }
+
+  /// Schedules every event of `plan` on the simulator.
+  void ApplyFaultPlan(const FaultPlan& plan);
 
  private:
   friend class NodeContext;
 
-  void Deliver(NodeId from, NodeId to, Message msg);
+  bool Deliver(NodeId from, NodeId to, Message msg);
 
   Topology topology_;
   LinkModel link_;
@@ -192,6 +248,7 @@ class Network {
   std::vector<std::unique_ptr<Rng>> node_rngs_;
   std::vector<SimTime> skews_;
   std::vector<bool> failed_;
+  std::vector<uint64_t> incarnations_;
   NetworkStats stats_;
   std::function<void(const TraceEvent&)> trace_;
 };

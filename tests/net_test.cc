@@ -335,5 +335,109 @@ TEST(NetworkTest, RetriesRecoverLossAndAreCounted) {
             static_cast<uint64_t>(attempts_total));
 }
 
+// --- fault injection: recovery, churn, incarnations ---
+
+/// Echoes every received message back to its sender; records MAC acks of
+/// sends triggered via Poke().
+class EchoApp : public NodeApp {
+ public:
+  explicit EchoApp(std::vector<int>* log) : log_(log) {}
+  void OnMessage(NodeContext* ctx, const Message& msg) override {
+    log_->push_back(ctx->id());
+    if (msg.type == 1) {
+      Message m;
+      m.type = 2;
+      ctx->Send(msg.src, m);
+    }
+  }
+  void OnRestart(NodeContext*) override { ++restarts; }
+
+  static void Poke(NodeContext* ctx, NodeId to,
+                   std::vector<bool>* acks) {
+    Message m;
+    m.type = 1;
+    acks->push_back(ctx->Send(to, m));
+  }
+
+  int restarts = 0;
+
+ private:
+  std::vector<int>* log_;
+};
+
+TEST(NetworkTest, RecoveredNodeResumesReceiving) {
+  std::vector<int> log;
+  std::vector<bool> acks;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<EchoApp>(&log));
+  net.SetApp(1, std::make_unique<EchoApp>(&log));
+  net.Start();
+
+  net.FailNode(1);
+  net.sim().ScheduleAt(1'000, [&] { EchoApp::Poke(&net.context(0), 1, &acks); });
+  net.sim().ScheduleAt(50'000, [&] { net.RecoverNode(1); });
+  net.sim().ScheduleAt(60'000, [&] { EchoApp::Poke(&net.context(0), 1, &acks); });
+  net.sim().Run();
+
+  // First poke hit a dead node: no MAC ack, no delivery. Second one works.
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_FALSE(acks[0]);
+  EXPECT_TRUE(acks[1]);
+  EXPECT_EQ(log, (std::vector<int>{1, 0}));
+  EXPECT_EQ(net.stats().nodes_failed, 1u);
+  EXPECT_EQ(net.stats().nodes_recovered, 1u);
+  EXPECT_EQ(net.stats().mac_ack_failures, 1u);
+  EXPECT_EQ(static_cast<EchoApp*>(net.app(1))->restarts, 1);
+}
+
+TEST(NetworkTest, CrashClearsPendingTimersAcrossIncarnations) {
+  std::vector<std::pair<int, SimTime>> log;
+  Network net(Topology::Line(1), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<TimerApp>(&log));  // timers at 50 and 100
+  net.Start();
+  EXPECT_EQ(net.incarnation(0), 0u);
+  net.sim().ScheduleAt(60, [&] { net.FailNode(0); });
+  net.sim().ScheduleAt(70, [&] { net.RecoverNode(0); });
+  net.sim().Run();
+  // The 50-timer fired; the 100-timer belonged to the dead incarnation.
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].first, 3);
+  EXPECT_EQ(net.incarnation(0), 1u);
+}
+
+TEST(NetworkTest, FaultPlanChurnSchedule) {
+  FaultPlan plan = FaultPlan::Churn({4, 7}, /*first_fail=*/100,
+                                    /*downtime=*/50, /*stagger=*/200);
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].node, 4);
+  EXPECT_EQ(plan.events[0].time, 100);
+  EXPECT_EQ(plan.events[1].node, 4);
+  EXPECT_EQ(plan.events[1].time, 150);
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::kRecover);
+  EXPECT_EQ(plan.events[2].node, 7);
+  EXPECT_EQ(plan.events[2].time, 300);
+
+  // downtime < 0: fail forever, no recover events.
+  FaultPlan forever = FaultPlan::Churn({4, 7}, 100, -1, 200);
+  EXPECT_EQ(forever.events.size(), 2u);
+}
+
+TEST(NetworkTest, AppliedFaultPlanDrivesFailures) {
+  std::vector<int> log;
+  std::vector<bool> acks;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<EchoApp>(&log));
+  net.SetApp(1, std::make_unique<EchoApp>(&log));
+  FaultPlan plan;
+  plan.Fail(10'000, 1).Recover(30'000, 1);
+  net.ApplyFaultPlan(plan);
+  net.Start();
+  net.sim().ScheduleAt(15'000, [&] { EXPECT_TRUE(net.IsFailed(1)); });
+  net.sim().ScheduleAt(40'000, [&] { EXPECT_FALSE(net.IsFailed(1)); });
+  net.sim().Run();
+  EXPECT_EQ(net.stats().nodes_failed, 1u);
+  EXPECT_EQ(net.stats().nodes_recovered, 1u);
+}
+
 }  // namespace
 }  // namespace deduce
