@@ -1,14 +1,19 @@
-// R-Fig-6: robustness under message loss — the §VI testbed ran over real
-// lossy radios; our "testbed profile" injects per-hop loss and clock skew.
-// We measure completeness (fraction of the loss-free result derived) and
-// soundness (fraction of derived results that are correct) of a two-stream
-// join as the loss rate grows.
+// R-Fig-6: robustness under message loss and node failure — the §VI
+// testbed ran over real lossy radios; our "testbed profile" injects
+// per-hop loss and clock skew, and the fault plan injects crashes and
+// crash-reboot churn. We measure completeness (fraction of the loss-free
+// result derived) and soundness (fraction of derived results that are
+// correct) of a two-stream join, with the end-to-end reliable transport
+// off (best-effort, the paper's implicit model) and on.
 //
-// Expected shape: completeness degrades gracefully (each tuple is
-// replicated along a whole row, so a single lost hop rarely erases a
-// result); soundness stays near 1 for positive programs.
+// Expected shape: best-effort completeness degrades gracefully with loss
+// (row replication absorbs single lost hops) but falls off a cliff when
+// sweep-column nodes die; the reliable transport holds completeness near
+// 1 in both regimes at the price of acks and retransmissions.
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "deduce/eval/incremental.h"
@@ -24,22 +29,12 @@ constexpr char kProgram[] = R"(
   t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
 )";
 
-}  // namespace
-
-int main() {
-  std::printf("# R-Fig-6: join completeness vs per-hop loss rate, 10x10 grid\n");
-  std::printf("# testbed profile: jittered delays, 2 ms clock skew\n\n");
-
-  TablePrinter table({"loss", "derived", "expected", "completeness",
-                      "soundness", "messages"});
-  Topology topo = Topology::Grid(10);
-  Program program = MustParse(kProgram);
-  std::vector<WorkItem> work =
-      UniformJoinWorkload(topo.node_count(), 2, 20, 31337);
-
-  // Loss-free reference.
+/// The loss-free, failure-free reference: run `work` through the
+/// centralized incremental engine.
+std::set<std::string> Reference(const Program& program,
+                                const std::vector<WorkItem>& work) {
   auto reference = IncrementalEngine::Create(program, IncrementalOptions{});
-  if (!reference.ok()) return 1;
+  if (!reference.ok()) std::abort();
   for (const WorkItem& item : work) {
     StreamEvent ev;
     ev.op = item.op;
@@ -52,37 +47,137 @@ int main() {
   for (const Fact& f : (*reference)->AliveFacts(Intern("t"))) {
     expected.insert(f.ToString());
   }
+  return expected;
+}
 
+struct Outcome {
+  std::set<std::string> got;
+  uint64_t messages = 0;
+  uint64_t retransmissions = 0;
+  uint64_t gave_up = 0;
+  uint64_t repaired = 0;
+};
+
+Outcome Run(const Topology& topo, const Program& program,
+            const LinkModel& link, bool reliable,
+            const std::vector<WorkItem>& work, const FaultPlan* faults) {
+  Network net(topo, link, 11);
+  if (faults != nullptr) net.ApplyFaultPlan(*faults);
+  EngineOptions options;
+  options.transport.reliable = reliable;
+  auto engine = DistributedEngine::Create(&net, program, options);
+  if (!engine.ok()) std::abort();
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    (void)(*engine)->Inject(item.node, item.op, item.fact);
+  }
+  net.sim().Run();
+  Outcome out;
+  for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
+    out.got.insert(f.ToString());
+  }
+  out.messages = net.stats().TotalMessages();
+  out.retransmissions = (*engine)->stats().retransmissions;
+  out.gave_up = (*engine)->stats().gave_up_messages;
+  out.repaired = (*engine)->stats().repaired_messages;
+  return out;
+}
+
+void PrintRow(TablePrinter& table, const std::string& scenario, bool reliable,
+              const Outcome& out, const std::set<std::string>& expected) {
+  size_t sound = 0;
+  for (const std::string& f : out.got) {
+    if (expected.count(f)) ++sound;
+  }
+  table.Row({scenario, reliable ? "on" : "off", U64(out.got.size()),
+             U64(expected.size()),
+             Dbl(expected.empty() ? 1.0
+                                  : static_cast<double>(sound) /
+                                        static_cast<double>(expected.size()),
+                 3),
+             Dbl(out.got.empty() ? 1.0
+                                 : static_cast<double>(sound) /
+                                       static_cast<double>(out.got.size()),
+                 3),
+             U64(out.messages), U64(out.retransmissions),
+             U64(out.gave_up + out.repaired)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# R-Fig-6: join completeness vs per-hop loss, node failure, and\n"
+      "# churn, 10x10 grid, testbed profile (jittered delays, 2 ms skew,\n"
+      "# MAC retries=2). transport = end-to-end ACK/retransmit engine\n"
+      "# transport (off = best-effort, the paper's implicit model).\n\n");
+
+  Topology topo = Topology::Grid(10);
+  Program program = MustParse(kProgram);
+  std::vector<WorkItem> work =
+      UniformJoinWorkload(topo.node_count(), 2, 20, 31337);
+
+  TablePrinter table({"scenario", "transport", "derived", "expected",
+                      "completeness", "soundness", "messages", "retx",
+                      "giveup+rep"});
+
+  // --- per-hop loss sweep, no failures ---
+  std::set<std::string> expected = Reference(program, work);
   for (double loss : {0.0, 0.02, 0.05, 0.1, 0.2, 0.3}) {
     LinkModel link = LinkModel::Testbed();
     link.loss_rate = loss;
-    Network net(topo, link, 11);
-    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
-    if (!engine.ok()) return 1;
+    for (bool reliable : {false, true}) {
+      Outcome out = Run(topo, program, link, reliable, work, nullptr);
+      PrintRow(table, "loss=" + Dbl(loss, 2), reliable, out, expected);
+    }
+  }
+
+  // --- dead-node sweep: n interior nodes crashed from t=0, no loss ---
+  // Dead sensors generate nothing: the reference excludes their items.
+  std::vector<NodeId> victims = {
+      topo.GridNode(5, 3), topo.GridNode(5, 5), topo.GridNode(5, 7),
+      topo.GridNode(3, 4), topo.GridNode(7, 6)};
+  for (size_t n : {size_t{1}, size_t{3}, size_t{5}}) {
+    FaultPlan faults;
+    std::set<NodeId> dead;
+    for (size_t i = 0; i < n; ++i) {
+      faults.Fail(0, victims[i]);
+      dead.insert(victims[i]);
+    }
+    std::vector<WorkItem> alive_work;
     for (const WorkItem& item : work) {
-      net.sim().RunUntil(item.time);
-      (void)(*engine)->Inject(item.node, item.op, item.fact);
+      if (!dead.count(item.node)) alive_work.push_back(item);
     }
-    net.sim().Run();
-    std::set<std::string> got;
-    for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
-      got.insert(f.ToString());
+    std::set<std::string> achievable = Reference(program, alive_work);
+    for (bool reliable : {false, true}) {
+      Outcome out = Run(topo, program, LinkModel::Testbed(), reliable,
+                        alive_work, &faults);
+      PrintRow(table, "dead=" + U64(n), reliable, out, achievable);
     }
-    size_t sound = 0;
-    for (const std::string& f : got) {
-      if (expected.count(f)) ++sound;
+  }
+
+  // --- crash-reboot churn: 5 interior nodes cycle down for 1 s each,
+  // staggered across the run; reboot clears volatile state ---
+  FaultPlan churn = FaultPlan::Churn(victims, /*first_fail=*/500'000,
+                                     /*downtime=*/1'000'000,
+                                     /*stagger=*/1'500'000);
+  auto down_at = [&](NodeId node, SimTime t) {
+    SimTime fail = 500'000;
+    for (NodeId v : victims) {
+      if (v == node && t >= fail && t < fail + 1'000'000) return true;
+      fail += 1'500'000;
     }
-    table.Row({Dbl(loss, 2), U64(got.size()), U64(expected.size()),
-               Dbl(expected.empty()
-                       ? 1.0
-                       : static_cast<double>(sound) /
-                             static_cast<double>(expected.size()),
-                   3),
-               Dbl(got.empty() ? 1.0
-                               : static_cast<double>(sound) /
-                                     static_cast<double>(got.size()),
-                   3),
-               U64(net.stats().TotalMessages())});
+    return false;
+  };
+  std::vector<WorkItem> churn_work;
+  for (const WorkItem& item : work) {
+    if (!down_at(item.node, item.time)) churn_work.push_back(item);
+  }
+  std::set<std::string> achievable = Reference(program, churn_work);
+  for (bool reliable : {false, true}) {
+    Outcome out = Run(topo, program, LinkModel::Testbed(), reliable,
+                      churn_work, &churn);
+    PrintRow(table, "churn", reliable, out, achievable);
   }
   return 0;
 }

@@ -38,6 +38,10 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   shared.regions = std::make_unique<RegionMapper>(shared.topology);
   shared.routing = std::make_unique<RoutingTable>(shared.topology);
   shared.geohash = std::make_unique<GeoHash>(shared.topology);
+  shared.transport = options.transport;
+  shared.liveness.down.assign(
+      static_cast<size_t>(network->node_count()), 0);
+  shared.link = &network->link();
 
   // --- per-delta evaluability tables ---
   size_t n_deltas = shared.plan.deltas.size();

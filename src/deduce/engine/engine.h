@@ -21,6 +21,9 @@ struct EngineOptions {
   size_t max_message_bytes = 2048;
   /// Finalization wait for derived tuples (§IV-C); -1 = auto (τs + τc).
   SimTime finalize_delay = -1;
+  /// End-to-end reliable transport for engine messages (off by default:
+  /// best-effort unicasts, exactly the pre-transport behavior).
+  TransportOptions transport;
 };
 
 /// The distributed deductive query engine (the paper's contribution):

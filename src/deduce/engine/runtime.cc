@@ -77,15 +77,38 @@ void NodeRuntime::SendEngineMessage(NodeContext* ctx, NodeId final_target,
     Fault("SendEngineMessage to self");
     return;
   }
-  NodeId next = shared_->routing->GeoNextHop(id_, final_target);
-  if (next == kNoNode) {
-    Fault(StrFormat("no route to %d", final_target));
+  if (transport_on() && msg.type != kAckMsg && msg.type != kReliableMsg) {
+    SendReliable(ctx, final_target, msg);
     return;
   }
-  ctx->Send(next, std::move(msg));
+  ForwardEngineMessage(ctx, final_target, std::move(msg));
+}
+
+bool NodeRuntime::ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
+                                       Message msg) {
+  NodeId plain = shared_->routing->GeoNextHop(id_, final_target);
+  NodeId next = plain;
+  if (transport_on()) {
+    NodeId detour = shared_->routing->NextHopAvoiding(
+        id_, final_target, shared_->liveness.down, shared_->liveness.version);
+    if (detour != kNoNode) next = detour;
+  }
+  if (next == kNoNode) {
+    Fault(StrFormat("no route to %d", final_target));
+    return false;
+  }
+  if (next != plain) ++shared_->stats.rerouted_hops;
+  bool acked = ctx->Send(next, std::move(msg));
+  // No MAC ack: every link-layer attempt toward `next` was lost, or `next`
+  // is dead. Suspect it; a pure-loss false suspicion is cleared as soon as
+  // anyone hears from it, and in the meantime routing detours around it.
+  if (!acked && transport_on()) MarkDown(next);
+  return acked;
 }
 
 void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
+  // Hearing anything from a node proves it is up.
+  if (transport_on()) MarkUp(msg.src);
   // Forward unicast engine messages not addressed to us (routing layer).
   StatusOr<NodeId> target = PeekFinalTarget(msg);
   if (!target.ok()) {
@@ -93,15 +116,33 @@ void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
     return;
   }
   if (*target != kNoNode && *target != id_) {
-    NodeId next = shared_->routing->GeoNextHop(id_, *target);
-    if (next == kNoNode) {
-      Fault(StrFormat("cannot forward to %d", *target));
-      return;
-    }
-    ctx->Send(next, msg);
+    ForwardEngineMessage(ctx, *target, msg);
     return;
   }
+  DispatchEngineMessage(ctx, msg);
+}
+
+void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
+                                        const Message& msg) {
   switch (msg.type) {
+    case kAckMsg: {
+      StatusOr<AckWire> ack = AckWire::Decode(msg);
+      if (!ack.ok()) {
+        Fault("bad ack: " + ack.status().message());
+        return;
+      }
+      HandleAck(*ack);
+      return;
+    }
+    case kReliableMsg: {
+      StatusOr<ReliableWire> rw = ReliableWire::Decode(msg);
+      if (!rw.ok()) {
+        Fault("bad reliable envelope: " + rw.status().message());
+        return;
+      }
+      HandleReliable(ctx, *rw);
+      return;
+    }
     case kStoreMsg: {
       StatusOr<StoreWire> store = StoreWire::Decode(msg);
       if (!store.ok()) {
@@ -141,6 +182,175 @@ void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
     default:
       Fault(StrFormat("unknown message type %u", msg.type));
   }
+}
+
+// --- reliable transport ----------------------------------------------------
+
+SimTime NodeRuntime::RtoFor(NodeId dest, size_t envelope_bytes) const {
+  if (shared_->transport.rto > 0) return shared_->transport.rto;
+  const LinkModel& link = *shared_->link;
+  int hops = shared_->routing->HopDistance(id_, dest);
+  if (hops < 1) hops = 1;
+  // Worst-case forward hop (the envelope) plus worst-case return hop (a
+  // small ack), times the hop count plus slack for detours: on a loss-free
+  // run the ack always arrives before this fires.
+  SimTime round = link.MaxHopDelay(envelope_bytes) + link.MaxHopDelay(64);
+  return round * static_cast<SimTime>(hops + 2);
+}
+
+void NodeRuntime::SendReliable(NodeContext* ctx, NodeId dest,
+                               const Message& inner) {
+  ReliableWire rw;
+  rw.final_target = dest;
+  rw.origin = id_;
+  rw.seq = tx_seq_[dest]++;
+  rw.inner_type = inner.type;
+  rw.inner_payload = inner.payload;
+  PendingMsg pm;
+  pm.dest = dest;
+  pm.seq = rw.seq;
+  pm.envelope = rw.Encode();
+  pm.inner_type = inner.type;
+  pm.inner_payload = inner.payload;
+  pm.retries_left = shared_->transport.max_retries;
+  pm.rto = RtoFor(dest, pm.envelope.WireSize());
+  uint64_t key = PendingKey(dest, pm.seq);
+  pending_.emplace(key, std::move(pm));
+  TransmitPending(ctx, key);
+}
+
+void NodeRuntime::TransmitPending(NodeContext* ctx, uint64_t key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // acked in the meantime
+  PendingMsg& pm = it->second;
+  ForwardEngineMessage(ctx, pm.dest, pm.envelope);
+  SimTime rto = pm.rto;
+  pm.rto = static_cast<SimTime>(static_cast<double>(pm.rto) *
+                                shared_->transport.rto_backoff);
+  NewTimer(ctx, rto, [this, ctx, key]() {
+    auto it2 = pending_.find(key);
+    if (it2 == pending_.end()) return;  // acked
+    if (it2->second.retries_left <= 0) {
+      GiveUp(ctx, key);
+      return;
+    }
+    --it2->second.retries_left;
+    ++shared_->stats.retransmissions;
+    TransmitPending(ctx, key);
+  });
+}
+
+void NodeRuntime::HandleReliable(NodeContext* ctx, const ReliableWire& rw) {
+  // Always (re-)ack, even for duplicates — the previous ack may have been
+  // lost, and the origin keeps retransmitting until it hears one.
+  AckWire ack;
+  ack.final_target = rw.origin;
+  ack.acker = id_;
+  ack.seq = rw.seq;
+  ++shared_->stats.acks_sent;
+  ForwardEngineMessage(ctx, rw.origin, ack.Encode());
+  if (!rx_seen_.insert({rw.origin, rw.seq}).second) {
+    ++shared_->stats.duplicates_suppressed;
+    return;
+  }
+  if (rw.inner_type == kReliableMsg || rw.inner_type == kAckMsg) {
+    Fault("nested transport envelope");
+    return;
+  }
+  Message inner;
+  inner.src = rw.origin;
+  inner.dst = id_;
+  inner.type = rw.inner_type;
+  inner.payload = rw.inner_payload;
+  DispatchEngineMessage(ctx, inner);
+}
+
+void NodeRuntime::HandleAck(const AckWire& ack) {
+  ++shared_->stats.acks_received;
+  MarkUp(ack.acker);
+  pending_.erase(PendingKey(ack.acker, ack.seq));
+}
+
+void NodeRuntime::GiveUp(NodeContext* ctx, uint64_t key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  PendingMsg pm = std::move(it->second);
+  pending_.erase(it);
+  ++shared_->stats.gave_up_messages;
+  MarkDown(pm.dest);
+  TryRepair(ctx, pm);
+}
+
+void NodeRuntime::TryRepair(NodeContext* ctx, const PendingMsg& pm) {
+  Message inner;
+  inner.type = pm.inner_type;
+  inner.payload = pm.inner_payload;
+  switch (pm.inner_type) {
+    case kJoinPassMsg: {
+      StatusOr<JoinPassWire> jp = JoinPassWire::Decode(inner);
+      if (jp.ok()) RepairJoinPass(ctx, std::move(*jp));
+      return;
+    }
+    case kStoreMsg: {
+      // The dead node's replica is lost (the rest of its row still holds
+      // the tuple); the walk continues at the first alive node behind it.
+      StatusOr<StoreWire> store = StoreWire::Decode(inner);
+      if (!store.ok() || store->path_remaining.empty()) return;
+      std::vector<NodeId> visit = store->path_remaining;
+      if (SendStoreWalk(ctx, std::move(*store), std::move(visit))) {
+        ++shared_->stats.repaired_messages;
+      }
+      return;
+    }
+    default:
+      // Result / aggregate messages name a unique home node; nothing can
+      // stand in for it. The derivation is lost with the node.
+      return;
+  }
+}
+
+void NodeRuntime::RepairJoinPass(NodeContext* ctx, JoinPassWire jp) {
+  if (jp.delta_index >= shared_->plan.deltas.size()) return;
+  const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  if (delta.strategy != JoinStrategy::kColumnSweep &&
+      delta.strategy != JoinStrategy::kSerpentine) {
+    return;  // centroid / local-route targets are not substitutable
+  }
+  // The failed target plus the rest of the sweep, with down nodes skipped
+  // (serpentine) or replaced by same-band alternates (column sweep — row
+  // replication makes any band member equivalent).
+  std::vector<NodeId> visit;
+  visit.reserve(jp.path_remaining.size() + 1);
+  visit.push_back(jp.final_target);
+  visit.insert(visit.end(), jp.path_remaining.begin(),
+               jp.path_remaining.end());
+  visit = RepairVisitList(delta, visit);
+  ++shared_->stats.repaired_messages;
+  AdvancePass(ctx, std::move(jp), std::move(visit));
+}
+
+void NodeRuntime::MarkDown(NodeId node) {
+  if (node == id_) return;
+  shared_->liveness.Mark(node, true);
+}
+
+void NodeRuntime::MarkUp(NodeId node) {
+  shared_->liveness.Mark(node, false);
+}
+
+void NodeRuntime::OnRestart(NodeContext* ctx) {
+  (void)ctx;
+  // Volatile state is lost with the incarnation. tx_seq_ and seq_ survive:
+  // they key peers' dedup and tuple identities, so they must stay
+  // monotonic across reboots (a real mote would keep them in nonvolatile
+  // memory).
+  replicas_.clear();
+  home_.clear();
+  flood_seen_.clear();
+  agg_state_.clear();
+  timers_.clear();
+  pending_.clear();
+  rx_seen_.clear();
 }
 
 // --- injection & storage phase -------------------------------------------
@@ -214,20 +424,17 @@ void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
       DEDUCE_CHECK(mine < path.size());
       // Right half.
       if (mine + 1 < path.size()) {
-        StoreWire right = store;
-        right.final_target = path[mine + 1];
-        right.path_remaining.assign(path.begin() + static_cast<long>(mine) + 2,
-                                    path.end());
-        SendEngineMessage(ctx, right.final_target, right.Encode());
+        SendStoreWalk(ctx, store,
+                      std::vector<NodeId>(
+                          path.begin() + static_cast<long>(mine) + 1,
+                          path.end()));
       }
       // Left half (walk outward in reverse order).
       if (mine > 0) {
-        StoreWire left = store;
-        left.final_target = path[mine - 1];
-        for (size_t i = mine - 1; i-- > 0;) {
-          left.path_remaining.push_back(path[i]);
-        }
-        SendEngineMessage(ctx, left.final_target, left.Encode());
+        std::vector<NodeId> left;
+        left.reserve(mine);
+        for (size_t i = mine; i-- > 0;) left.push_back(path[i]);
+        SendStoreWalk(ctx, store, std::move(left));
       }
       return;
     }
@@ -304,11 +511,8 @@ void NodeRuntime::HandleStore(NodeContext* ctx, StoreWire store) {
   // Path walk / point-to-point.
   RecordReplica(ctx, store);
   if (!store.path_remaining.empty()) {
-    StoreWire next = store;
-    next.final_target = store.path_remaining[0];
-    next.path_remaining.assign(store.path_remaining.begin() + 1,
-                               store.path_remaining.end());
-    SendEngineMessage(ctx, next.final_target, next.Encode());
+    std::vector<NodeId> visit = store.path_remaining;
+    SendStoreWalk(ctx, std::move(store), std::move(visit));
   }
 }
 
@@ -576,6 +780,105 @@ std::vector<NodeId> NodeRuntime::SweepPath(const DeltaPlan& delta,
   return path;
 }
 
+NodeId NodeRuntime::BandAlternate(NodeId dead) const {
+  const std::vector<NodeId>& band = shared_->regions->HorizontalPath(dead);
+  const Location& at = shared_->topology->location(dead);
+  NodeId best = kNoNode;
+  double best_d = 0;
+  for (NodeId v : band) {
+    if (v == dead) continue;
+    if (v != id_ && shared_->liveness.IsDown(v)) continue;
+    double d = shared_->topology->location(v).DistanceTo(at);
+    if (best == kNoNode || d < best_d - 1e-12) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> NodeRuntime::RepairVisitList(
+    const DeltaPlan& delta, const std::vector<NodeId>& path) const {
+  std::vector<NodeId> out;
+  out.reserve(path.size());
+  for (NodeId v : path) {
+    // Never skip ourselves: a node cannot suspect itself, and a false
+    // suspicion by others must not make it drop out of its own sweep.
+    if (v == id_ || !shared_->liveness.IsDown(v)) {
+      out.push_back(v);
+      continue;
+    }
+    ++shared_->stats.skipped_sweep_nodes;
+    if (delta.strategy == JoinStrategy::kColumnSweep) {
+      NodeId alt = BandAlternate(v);
+      if (alt != kNoNode) out.push_back(alt);
+    }
+    // Serpentine visits every node anyway; a down node is simply skipped
+    // (its replicas are unreachable regardless of who we ask).
+  }
+  return out;
+}
+
+std::vector<NodeId> NodeRuntime::LiveSweepPath(const DeltaPlan& delta,
+                                               NodeId source,
+                                               uint32_t pass_index) const {
+  std::vector<NodeId> path = SweepPath(delta, source, pass_index);
+  if (!transport_on()) return path;
+  return RepairVisitList(delta, path);
+}
+
+void NodeRuntime::AdvancePass(NodeContext* ctx, JoinPassWire jp,
+                              std::vector<NodeId> visit) {
+  if (!visit.empty()) {
+    jp.final_target = visit[0];
+    jp.path_remaining.assign(visit.begin() + 1, visit.end());
+    if (jp.final_target == id_) {
+      HandleJoinPass(ctx, std::move(jp));
+    } else {
+      ++shared_->stats.pass_messages;
+      SendEngineMessage(ctx, jp.final_target, jp.Encode());
+    }
+    return;
+  }
+  // End of this pass.
+  const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  uint32_t total_passes = shared_->total_passes[jp.delta_index];
+  if (jp.pass_index + 1 < total_passes) {
+    // The next pass's path starts where the previous one ended; this node
+    // must process again under the new pass semantics, so it stays in.
+    jp.pass_index += 1;
+    std::vector<NodeId> path =
+        LiveSweepPath(delta, jp.update_id.source, jp.pass_index);
+    AdvancePass(ctx, std::move(jp), std::move(path));
+    return;
+  }
+  std::vector<Partial> partials;
+  partials.reserve(jp.partials.size());
+  for (const PartialWire& w : jp.partials) partials.push_back(FromWire(w));
+  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+}
+
+bool NodeRuntime::SendStoreWalk(NodeContext* ctx, StoreWire store,
+                                std::vector<NodeId> visit) {
+  if (transport_on()) {
+    std::vector<NodeId> live;
+    live.reserve(visit.size());
+    for (NodeId v : visit) {
+      if (v != id_ && shared_->liveness.IsDown(v)) {
+        ++shared_->stats.skipped_store_nodes;
+        continue;
+      }
+      live.push_back(v);
+    }
+    visit = std::move(live);
+  }
+  if (visit.empty()) return false;
+  store.final_target = visit[0];
+  store.path_remaining.assign(visit.begin() + 1, visit.end());
+  SendEngineMessage(ctx, store.final_target, store.Encode());
+  return true;
+}
+
 void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
                                    const Fact& fact, const TupleId& id,
                                    StreamOp op, Timestamp update_ts) {
@@ -643,15 +946,7 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
       }
       case JoinStrategy::kColumnSweep:
       case JoinStrategy::kSerpentine: {
-        std::vector<NodeId> path = SweepPath(delta, id.source, 0);
-        jp.final_target = path[0];
-        jp.path_remaining.assign(path.begin() + 1, path.end());
-        if (path[0] == id_) {
-          HandleJoinPass(ctx, std::move(jp));
-        } else {
-          ++shared_->stats.pass_messages;
-          SendEngineMessage(ctx, jp.final_target, jp.Encode());
-        }
+        AdvancePass(ctx, std::move(jp), LiveSweepPath(delta, id.source, 0));
         break;
       }
       case JoinStrategy::kLocalRoute: {
@@ -696,7 +991,6 @@ void NodeRuntime::RunPassHere(NodeContext* ctx, JoinPassWire jp) {
   }
 
   // Sweep node.
-  uint32_t total_passes = shared_->total_passes[jp.delta_index];
   int extend_literal = -1;
   if (delta.multipass) {
     extend_literal = jp.pass_index < delta.pass_literals.size()
@@ -710,41 +1004,16 @@ void NodeRuntime::RunPassHere(NodeContext* ctx, JoinPassWire jp) {
 
   if (partials.empty()) return;  // nothing left to carry
 
-  if (!jp.path_remaining.empty()) {
-    JoinPassWire next = jp;
-    next.partials.clear();
-    for (const Partial& p : partials) next.partials.push_back(ToWire(p));
-    next.final_target = jp.path_remaining[0];
-    next.path_remaining.assign(jp.path_remaining.begin() + 1,
-                               jp.path_remaining.end());
-    ++shared_->stats.pass_messages;
-    SendEngineMessage(ctx, next.final_target, next.Encode());
-    return;
+  JoinPassWire next = std::move(jp);
+  next.partials.clear();
+  for (const Partial& p : partials) next.partials.push_back(ToWire(p));
+  std::vector<NodeId> visit = std::move(next.path_remaining);
+  next.path_remaining.clear();
+  if (transport_on()) {
+    // Drop/replace sweep nodes that became suspect since the pass started.
+    visit = RepairVisitList(delta, visit);
   }
-
-  // End of this pass.
-  if (jp.pass_index + 1 < total_passes) {
-    JoinPassWire next = jp;
-    next.pass_index = jp.pass_index + 1;
-    std::vector<NodeId> path =
-        SweepPath(delta, jp.update_id.source, next.pass_index);
-    // The reversed path starts where we are; skip ourselves: this node has
-    // just processed under the *previous* pass semantics, but the new pass
-    // must also process here (different extension literal), so keep it.
-    next.partials.clear();
-    for (const Partial& p : partials) next.partials.push_back(ToWire(p));
-    next.final_target = path[0];
-    next.path_remaining.assign(path.begin() + 1, path.end());
-    if (path[0] == id_) {
-      HandleJoinPass(ctx, std::move(next));
-    } else {
-      ++shared_->stats.pass_messages;
-      SendEngineMessage(ctx, next.final_target, next.Encode());
-    }
-    return;
-  }
-
-  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+  AdvancePass(ctx, std::move(next), std::move(visit));
 }
 
 void NodeRuntime::RunRouteStep(NodeContext* ctx, JoinPassWire jp) {

@@ -32,9 +32,75 @@ struct EngineStats {
   uint64_t derived_deletions = 0;
   uint64_t replicas_stored = 0;
   uint64_t max_partials_in_message = 0;
+
+  // --- fault-tolerance counters (reliable transport + repair). All of
+  //     these except the ack counters are exactly zero in a loss-free,
+  //     failure-free run; the ack counters are zero unless the transport
+  //     is enabled. ---
+  /// Envelope retransmissions after an RTO expiry.
+  uint64_t retransmissions = 0;
+  uint64_t acks_sent = 0;
+  uint64_t acks_received = 0;
+  /// Envelopes received more than once (a retransmit raced a lost ack).
+  uint64_t duplicates_suppressed = 0;
+  /// Envelopes abandoned after the retry budget ran out; the destination
+  /// becomes suspected-down.
+  uint64_t gave_up_messages = 0;
+  /// Hops chosen differently from plain geo routing to detour around
+  /// suspected-down nodes.
+  uint64_t rerouted_hops = 0;
+  /// Sweep-path nodes skipped or replaced because they were suspected down.
+  uint64_t skipped_sweep_nodes = 0;
+  /// Storage-walk nodes skipped because they were suspected down.
+  uint64_t skipped_store_nodes = 0;
+  /// Given-up messages salvaged by path repair (sweep or storage walk).
+  uint64_t repaired_messages = 0;
+
   /// Runtime faults (decode failures, unroutable homes, ...). Non-empty
   /// means a bug or an injected fault; equivalence tests assert empty.
   std::vector<std::string> errors;
+};
+
+/// End-to-end transport knobs. Off by default: engine messages are
+/// best-effort unicasts exactly as before. When `reliable` is set, every
+/// unicast engine message travels in a ReliableWire envelope that the
+/// destination acknowledges; the origin retransmits on an RTO with
+/// exponential backoff and gives up (marking the destination
+/// suspected-down and attempting path repair) after `max_retries`
+/// retransmissions.
+struct TransportOptions {
+  bool reliable = false;
+  int max_retries = 4;
+  /// Initial retransmit timeout; -1 = auto, computed per message from the
+  /// link model's worst-case hop delay and the hop distance so that a
+  /// loss-free run never retransmits spuriously.
+  SimTime rto = -1;
+  double rto_backoff = 2.0;  ///< RTO multiplier per retransmission.
+};
+
+/// Suspected-failure view shared by all node runtimes of one engine.
+/// Sharing one view is the single-process simplification of a gossiped
+/// liveness protocol (every suspicion is "instantly gossiped"; see
+/// docs/FAULTS.md). Suspicions come from MAC-ack failures and transport
+/// give-ups; a node is cleared the moment anyone hears a message from it.
+struct LivenessView {
+  std::vector<char> down;
+  /// Bumped on every change; keys the routing layer's avoid-BFS cache.
+  uint64_t version = 1;
+
+  bool IsDown(NodeId n) const {
+    size_t i = static_cast<size_t>(n);
+    return i < down.size() && down[i] != 0;
+  }
+  /// Sets node `n`'s suspicion bit; returns true if the view changed.
+  bool Mark(NodeId n, bool is_down) {
+    size_t i = static_cast<size_t>(n);
+    if (i >= down.size()) return false;
+    if ((down[i] != 0) == is_down) return false;
+    down[i] = is_down ? 1 : 0;
+    ++version;
+    return true;
+  }
 };
 
 /// Timing discipline parameters (§IV-B / Theorem 3), computed from the
@@ -66,6 +132,10 @@ struct EngineShared {
   std::unique_ptr<GeoHash> geohash;
   EngineTiming timing;
   EngineStats stats;
+  TransportOptions transport;
+  LivenessView liveness;
+  /// The network's link model (RTO computation); owned by the Network.
+  const LinkModel* link = nullptr;
 
   /// Literals a join pass can resolve at its launch node (data replicated
   /// everywhere / within the rule's spatial scope), per delta plan.
@@ -86,6 +156,7 @@ class NodeRuntime : public NodeApp {
   void Start(NodeContext* ctx) override;
   void OnMessage(NodeContext* ctx, const Message& msg) override;
   void OnTimer(NodeContext* ctx, int timer_id) override;
+  void OnRestart(NodeContext* ctx) override;
 
   /// Injects a base-stream update at this node (the sensing API).
   /// Insertions assign a fresh TupleId; deletions must name a fact this
@@ -128,10 +199,70 @@ class NodeRuntime : public NodeApp {
     std::vector<std::pair<uint32_t, TupleId>> support;
   };
 
+  /// An origin-side transmission awaiting its end-to-end ack.
+  struct PendingMsg {
+    NodeId dest = kNoNode;
+    uint32_t seq = 0;
+    Message envelope;                    ///< Encoded ReliableWire.
+    uint16_t inner_type = 0;
+    std::vector<uint8_t> inner_payload;  ///< For path repair on give-up.
+    int retries_left = 0;
+    SimTime rto = 0;                     ///< Next timeout (backed off).
+  };
+
   // --- message handlers ---
   void HandleStore(NodeContext* ctx, StoreWire store);
   void HandleJoinPass(NodeContext* ctx, JoinPassWire jp);
   void HandleResult(NodeContext* ctx, ResultWire rw);
+
+  // --- reliable transport (TransportOptions::reliable) ---
+  bool transport_on() const { return shared_->transport.reliable; }
+  /// Dispatches a message addressed to this node to its handler.
+  void DispatchEngineMessage(NodeContext* ctx, const Message& msg);
+  /// Routes an encoded engine message one hop toward `final_target`,
+  /// detouring around suspected-down nodes when the transport is on.
+  /// Returns the hop's MAC ack (false also when unroutable).
+  bool ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
+                            Message msg);
+  /// Wraps `inner` in a ReliableWire envelope and transmits it, arming the
+  /// retransmission timer.
+  void SendReliable(NodeContext* ctx, NodeId dest, const Message& inner);
+  void TransmitPending(NodeContext* ctx, uint64_t key);
+  void HandleReliable(NodeContext* ctx, const ReliableWire& rw);
+  void HandleAck(const AckWire& ack);
+  /// Retry budget exhausted: suspect the destination and try path repair.
+  void GiveUp(NodeContext* ctx, uint64_t key);
+  void TryRepair(NodeContext* ctx, const PendingMsg& pm);
+  void RepairJoinPass(NodeContext* ctx, JoinPassWire jp);
+  /// Auto RTO for a message of `envelope_bytes` to `dest` (worst-case
+  /// round trip plus slack; never fires spuriously on a loss-free run).
+  SimTime RtoFor(NodeId dest, size_t envelope_bytes) const;
+  void MarkDown(NodeId node);
+  void MarkUp(NodeId node);
+  static uint64_t PendingKey(NodeId dest, uint32_t seq) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(dest)) << 32) | seq;
+  }
+
+  // --- failure-aware sweeps / walks ---
+  /// SweepPath with suspected-down nodes skipped (serpentine) or replaced
+  /// by an alive same-band node (column sweep); identity when the
+  /// transport is off.
+  std::vector<NodeId> LiveSweepPath(const DeltaPlan& delta, NodeId source,
+                                    uint32_t pass_index) const;
+  std::vector<NodeId> RepairVisitList(const DeltaPlan& delta,
+                                      const std::vector<NodeId>& path) const;
+  /// Alive node in `dead`'s horizontal band nearest to it (row replication
+  /// makes it hold the same sweep data); kNoNode if the band is dead.
+  NodeId BandAlternate(NodeId dead) const;
+  /// Sends the pass on to visit `visit` in order (empty: the pass ends —
+  /// next sweep pass or emission). `jp.partials` must already be set.
+  void AdvancePass(NodeContext* ctx, JoinPassWire jp,
+                   std::vector<NodeId> visit);
+  /// Sends a storage walk to visit `visit` in order, skipping
+  /// suspected-down nodes when the transport is on. Returns false when no
+  /// node was left to visit.
+  bool SendStoreWalk(NodeContext* ctx, StoreWire store,
+                     std::vector<NodeId> visit);
 
   // --- storage phase ---
   void StartStoragePhase(NodeContext* ctx, SymbolId pred, const Fact& fact,
@@ -221,6 +352,15 @@ class NodeRuntime : public NodeApp {
   std::unordered_map<int, std::function<void()>> timers_;
   int next_timer_ = 0;
   uint32_t seq_ = 0;
+
+  // --- reliable-transport state ---
+  /// Unacked envelopes by (dest, seq). std::map: deterministic iteration.
+  std::map<uint64_t, PendingMsg> pending_;
+  /// Per-destination next sequence number. Survives OnRestart: (origin,
+  /// seq) keys the receivers' dedup, so it must never repeat.
+  std::unordered_map<NodeId, uint32_t> tx_seq_;
+  /// Receiver-side dedup: (origin, seq) pairs already delivered.
+  std::set<std::pair<NodeId, uint32_t>> rx_seen_;
 };
 
 }  // namespace deduce

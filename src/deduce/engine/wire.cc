@@ -204,6 +204,60 @@ StatusOr<AggWire> AggWire::Decode(const Message& msg) {
   return out;
 }
 
+Message AckWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(acker);
+  w.WriteUint(seq);
+  Message m;
+  m.type = kAckMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<AckWire> AckWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  AckWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t acker, r.ReadInt());
+  out.acker = static_cast<NodeId>(acker);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t seq, r.ReadUint());
+  out.seq = static_cast<uint32_t>(seq);
+  return out;
+}
+
+Message ReliableWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(origin);
+  w.WriteUint(seq);
+  w.WriteUint(inner_type);
+  w.WriteBytes(std::string_view(
+      reinterpret_cast<const char*>(inner_payload.data()),
+      inner_payload.size()));
+  Message m;
+  m.type = kReliableMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<ReliableWire> ReliableWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  ReliableWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t origin, r.ReadInt());
+  out.origin = static_cast<NodeId>(origin);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t seq, r.ReadUint());
+  out.seq = static_cast<uint32_t>(seq);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t type, r.ReadUint());
+  out.inner_type = static_cast<uint16_t>(type);
+  DEDUCE_ASSIGN_OR_RETURN(std::string bytes, r.ReadBytes());
+  out.inner_payload.assign(bytes.begin(), bytes.end());
+  return out;
+}
+
 StatusOr<NodeId> PeekFinalTarget(const Message& msg) {
   PayloadReader r(msg.payload);
   DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());

@@ -15,6 +15,8 @@ enum EngineMsgType : uint16_t {
   kJoinPassMsg = 2,  ///< Join-computation pass carrying partial results.
   kResultMsg = 3,    ///< Complete result shipped to its home node.
   kAggMsg = 4,       ///< Aggregate contribution heading to its group home.
+  kAckMsg = 5,       ///< End-to-end transport acknowledgement.
+  kReliableMsg = 6,  ///< Transport envelope around any engine message.
 };
 
 /// Storage-phase message (§III-A storage phase; §IV-A deletion marking).
@@ -89,6 +91,32 @@ struct AggWire {
 
   Message Encode() const;
   static StatusOr<AggWire> Decode(const Message& msg);
+};
+
+/// End-to-end acknowledgement for the reliable transport: `acker` confirms
+/// receipt of the envelope (`origin`=final_target, seq). Acks themselves are
+/// unreliable; a lost ack is repaired by retransmission + receiver dedup.
+struct AckWire {
+  NodeId final_target = kNoNode;  ///< The envelope's origin.
+  NodeId acker = kNoNode;         ///< The envelope's destination.
+  uint32_t seq = 0;
+
+  Message Encode() const;
+  static StatusOr<AckWire> Decode(const Message& msg);
+};
+
+/// Reliable-transport envelope: any unicast engine message, tagged with the
+/// origin node and a per-destination sequence number so the destination can
+/// acknowledge and deduplicate. Intermediate nodes forward it untouched.
+struct ReliableWire {
+  NodeId final_target = kNoNode;
+  NodeId origin = kNoNode;
+  uint32_t seq = 0;
+  uint16_t inner_type = 0;            ///< EngineMsgType of the payload.
+  std::vector<uint8_t> inner_payload;
+
+  Message Encode() const;
+  static StatusOr<ReliableWire> Decode(const Message& msg);
 };
 
 /// Reads only the final_target field (first field of every engine message)

@@ -68,6 +68,70 @@ NodeId RoutingTable::GeoNextHop(NodeId from, NodeId dest) const {
   return best;
 }
 
+NodeId RoutingTable::NextHopAvoiding(NodeId from, NodeId dest,
+                                     const std::vector<char>& avoid,
+                                     uint64_t cache_version) const {
+  if (from == dest) return kNoNode;
+  auto avoided = [&](NodeId v) {
+    if (v == from || v == dest) return false;
+    size_t i = static_cast<size_t>(v);
+    return i < avoid.size() && avoid[i] != 0;
+  };
+  const DestInfo* info = nullptr;
+  AvoidInfo* slot = nullptr;
+  if (cache_version > 0) {
+    slot = &avoid_cache_[dest];
+    if (slot->version == cache_version) info = &slot->info;
+  }
+  DestInfo fresh;
+  if (info == nullptr) {
+    // BFS outward from dest over non-avoided nodes only. `dest` is always
+    // expanded (a message may legitimately target a node the sender merely
+    // suspects is down); `from` is handled by the neighbor scan below.
+    size_t n = static_cast<size_t>(topology_->node_count());
+    fresh.next_hop.assign(n, kNoNode);
+    fresh.dist.assign(n, -1);
+    std::queue<NodeId> q;
+    fresh.dist[static_cast<size_t>(dest)] = 0;
+    fresh.next_hop[static_cast<size_t>(dest)] = dest;
+    q.push(dest);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (NodeId v : topology_->neighbors(u)) {
+        size_t vi = static_cast<size_t>(v);
+        if (fresh.dist[vi] != -1) continue;
+        if (v != dest && vi < avoid.size() && avoid[vi] != 0) continue;
+        fresh.dist[vi] = fresh.dist[static_cast<size_t>(u)] + 1;
+        fresh.next_hop[vi] = u;
+        q.push(v);
+      }
+    }
+    if (slot != nullptr) {
+      slot->version = cache_version;
+      slot->info = std::move(fresh);
+      info = &slot->info;
+    } else {
+      info = &fresh;
+    }
+  }
+  int here = info->dist[static_cast<size_t>(from)];
+  if (here <= 0) return kNoNode;
+  const Location& target = topology_->location(dest);
+  NodeId best = kNoNode;
+  double best_d = 0;
+  for (NodeId v : topology_->neighbors(from)) {
+    if (avoided(v)) continue;
+    if (info->dist[static_cast<size_t>(v)] != here - 1) continue;
+    double d = topology_->location(v).DistanceTo(target);
+    if (best == kNoNode || d < best_d - 1e-12) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
 int RoutingTable::HopDistance(NodeId from, NodeId dest) const {
   if (from == dest) return 0;
   return InfoFor(dest).dist[static_cast<size_t>(from)];

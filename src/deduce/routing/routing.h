@@ -31,6 +31,18 @@ class RoutingTable {
   /// Greedy-geographic next hop with shortest-path fallback.
   NodeId GeoNextHop(NodeId from, NodeId dest) const;
 
+  /// Failure-aware next hop: like GeoNextHop, but routes only over nodes
+  /// not marked in `avoid`. `dest` is never treated as avoided (a sender
+  /// may legitimately target a node it merely suspects); callers whose
+  /// `from` is itself marked should expect kNoNode and fall back to
+  /// GeoNextHop. Returns kNoNode when every live path is cut. When
+  /// `cache_version` > 0, the BFS for `dest` is cached and reused as long
+  /// as callers pass the same version (bump it whenever `avoid` changes);
+  /// version 0 always recomputes.
+  NodeId NextHopAvoiding(NodeId from, NodeId dest,
+                         const std::vector<char>& avoid,
+                         uint64_t cache_version = 0) const;
+
   /// Hop distance (BFS); -1 if unreachable.
   int HopDistance(NodeId from, NodeId dest) const;
 
@@ -48,6 +60,13 @@ class RoutingTable {
 
   const Topology* topology_;
   mutable std::unordered_map<NodeId, std::unique_ptr<DestInfo>> cache_;
+  /// Avoid-aware BFS results, keyed by dest and tagged with the liveness
+  /// version they were computed under.
+  struct AvoidInfo {
+    uint64_t version = 0;
+    DestInfo info;
+  };
+  mutable std::unordered_map<NodeId, AvoidInfo> avoid_cache_;
 };
 
 /// BFS spanning tree rooted at a sink: parent pointers and depths. Used by

@@ -204,6 +204,59 @@ TEST(EngineProgramsTest, FailedNodeDoesNotPoisonOthers) {
   EXPECT_GE(post, 3) << "too many pairs lost to a single failed node";
 }
 
+TEST(EngineProgramsTest, FailedNodeReroutedWithReliableTransport) {
+  // Same scenario as FailedNodeDoesNotPoisonOthers, but with the reliable
+  // transport on: give-ups on the dead node trigger sweep repair (a live
+  // band member substitutes for it) and routing detours around it, so no
+  // post-failure pair is lost.
+  const char* program_text = R"(
+    .decl r/3 input.
+    .decl s/3 input.
+    t(K, N1, N2) :- r(K, N1, I1), s(K, N2, I2).
+  )";
+  auto program = ParseProgram(program_text);
+  ASSERT_TRUE(program.ok());
+  Topology topo = Topology::Grid(5);
+  Network net(topo, ExactLink(), 5);
+  EngineOptions options;
+  options.transport.reliable = true;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  ASSERT_TRUE(engine.ok());
+
+  net.FailNode(topo.GridNode(2, 2));
+  int seq = 10;
+  for (int k = 10; k < 15; ++k) {
+    net.sim().RunUntil(net.sim().now() + 300'000);
+    ASSERT_TRUE((*engine)
+                    ->Inject(0, StreamOp::kInsert,
+                             Fact(Intern("r"), {Term::Int(k), Term::Int(0),
+                                                Term::Int(seq++)}))
+                    .ok());
+    net.sim().RunUntil(net.sim().now() + 300'000);
+    ASSERT_TRUE((*engine)
+                    ->Inject(4, StreamOp::kInsert,
+                             Fact(Intern("s"), {Term::Int(k), Term::Int(4),
+                                                Term::Int(seq++)}))
+                    .ok());
+  }
+  net.sim().Run();
+  std::set<std::string> results;
+  for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
+    results.insert(f.ToString());
+  }
+  int post = 0;
+  for (int k = 10; k < 15; ++k) {
+    post += results.count("t(" + std::to_string(k) + ", 0, 4)") ? 1 : 0;
+  }
+  EXPECT_EQ(post, 5) << "transport failed to route around the dead node";
+  const EngineStats& stats = (*engine)->stats();
+  EXPECT_TRUE(stats.errors.empty());
+  // The fault machinery actually engaged.
+  EXPECT_GT(stats.gave_up_messages + stats.rerouted_hops +
+                stats.skipped_sweep_nodes,
+            0u);
+}
+
 TEST(EngineProgramsTest, ZeroArityPredicatesDistributed) {
   const char* program_text = R"(
     .decl tick/1 input.

@@ -10,7 +10,7 @@
 //
 //   dlog simulate <program.dlog> --events <events file> [--grid N]
 //       [--storage row|broadcast|local|centroid] [--loss P] [--seed S]
-//       [--trace trace.csv]
+//       [--reliable] [--trace trace.csv]
 //       Compile onto an N x N simulated sensor grid, inject the event
 //       trace, run to quiescence, print derived results and network cost.
 //
@@ -174,7 +174,7 @@ StatusOr<std::vector<Event>> ParseEvents(const std::string& text) {
 
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
-                uint64_t seed, const std::string& trace_path) {
+                bool reliable, uint64_t seed, const std::string& trace_path) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status());
   auto program = ParseProgram(*text);
@@ -185,6 +185,7 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   if (!events.ok()) return Fail(events.status());
 
   EngineOptions options;
+  options.transport.reliable = reliable;
   if (storage == "row" || storage.empty()) {
     options.planner.default_storage = StoragePolicy::kRow;
   } else if (storage == "broadcast") {
@@ -244,6 +245,18 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
       static_cast<unsigned long long>((*engine)->stats().join_passes),
       static_cast<unsigned long long>((*engine)->stats().derivations_added),
       (*engine)->stats().errors.size());
+  if (reliable) {
+    const EngineStats& es = (*engine)->stats();
+    std::fprintf(
+        stderr,
+        "%% transport: %llu acks, %llu retransmissions, %llu duplicates "
+        "suppressed, %llu gave up, %llu repaired\n",
+        static_cast<unsigned long long>(es.acks_received),
+        static_cast<unsigned long long>(es.retransmissions),
+        static_cast<unsigned long long>(es.duplicates_suppressed),
+        static_cast<unsigned long long>(es.gave_up_messages),
+        static_cast<unsigned long long>(es.repaired_messages));
+  }
   for (const std::string& e : (*engine)->stats().errors) {
     std::fprintf(stderr, "%% error: %s\n", e.c_str());
   }
@@ -257,7 +270,7 @@ int Usage() {
                "  dlog eval <program.dlog> [--query 'goal(...)'] [--magic]\n"
                "  dlog simulate <program.dlog> --events <file> [--grid N]\n"
                "       [--storage row|broadcast|local|centroid] [--loss P]\n"
-               "       [--seed S] [--trace trace.csv]\n");
+               "       [--seed S] [--reliable] [--trace trace.csv]\n");
   return 64;
 }
 
@@ -270,6 +283,7 @@ int main(int argc, char** argv) {
 
   std::string query, events, storage, trace;
   bool magic = false;
+  bool reliable = false;
   int grid = 8;
   double loss = 0;
   uint64_t seed = 1;
@@ -296,6 +310,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       storage = v;
+    } else if (arg == "--reliable") {
+      reliable = true;
     } else if (arg == "--loss") {
       const char* v = next();
       if (!v) return Usage();
@@ -317,7 +333,8 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return CmdEval(path, query, magic);
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
-    return CmdSimulate(path, events, grid, storage, loss, seed, trace);
+    return CmdSimulate(path, events, grid, storage, loss, reliable, seed,
+                       trace);
   }
   return Usage();
 }
