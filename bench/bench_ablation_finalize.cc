@@ -22,7 +22,9 @@ constexpr char kLogicJ[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Abl-3: finalization wait ablation — logicJ SPT, 6x6 grid\n");
   std::printf("# all edges injected simultaneously (worst-case burst)\n\n");
   TablePrinter table({"finalize", "messages", "bytes", "generations",
@@ -31,8 +33,10 @@ int main() {
   Topology topo = Topology::Grid(6);
   Program program = MustParse(kLogicJ);
   for (SimTime delay : std::vector<SimTime>{0, 20'000, 200'000, -1}) {
+    MetricsRegistry registry;
     EngineOptions options;
     options.finalize_delay = delay;
+    options.metrics = &registry;
     Network net(topo, LinkModel{}, 6);
     auto engine = DistributedEngine::Create(&net, program, options);
     if (!engine.ok()) return 1;
@@ -57,6 +61,7 @@ int main() {
                U64((*engine)->stats().derived_deletions),
                Dbl(static_cast<double>(net.sim().now()) / 1e6),
                correct ? "yes" : "NO"});
+    ReportCustomRun(net, engine->get(), &registry);
   }
   std::printf(
       "\n# every row converges to the same correct tree; the wait trades a\n"

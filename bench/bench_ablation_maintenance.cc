@@ -97,7 +97,9 @@ void RunStrategy(TablePrinter* table, const char* program_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Abl-1: maintenance strategies under deletions (§IV-A)\n");
   std::printf("# adds/removes ~ messages; probes ~ join work; peak_derivs ~\n"
               "# storage overhead of the set-of-derivations approach\n\n");

@@ -46,7 +46,9 @@ std::vector<WorkItem> SpatialWorkload(const Topology& topo, int per_node,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Abl-2: spatially-constrained join — row storage (full PA)\n"
               "# vs spatial:2 storage with local evaluation (§III-A)\n\n");
   TablePrinter table({"grid", "placement", "messages", "bytes", "results",

@@ -18,7 +18,9 @@
 using namespace deduce;
 using namespace deduce::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Fig-8: network-wide max temperature, 8x8 grid, 3 epochs\n\n");
   TablePrinter table({"method", "messages", "bytes", "msgs/reading",
                       "value_ok"});
@@ -62,7 +64,10 @@ int main() {
       maxt(E, max(C)) :- temp(E, C, N).
     )");
     Network net(topo, LinkModel{}, 1);
-    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    MetricsRegistry registry;
+    EngineOptions options;
+    options.metrics = &registry;
+    auto engine = DistributedEngine::Create(&net, program, options);
     if (!engine.ok()) return 1;
     SimTime t = 10'000;
     for (int e = 0; e < epochs; ++e) {
@@ -85,6 +90,7 @@ int main() {
                Dbl(static_cast<double>(net.stats().TotalMessages()) /
                    (epochs * n)),
                maxv == expected_max ? "yes" : "NO"});
+    ReportCustomRun(net, engine->get(), &registry);
   }
 
   // --- centralized ---
@@ -124,6 +130,8 @@ int main() {
                Dbl(static_cast<double>(net.stats().TotalMessages()) /
                    (epochs * n)),
                ok && maxv == expected_max ? "yes" : "NO"});
+    MetricsRegistry registry;
+    ReportCustomRun(net, nullptr, &registry);
   }
   return 0;
 }

@@ -23,7 +23,9 @@ constexpr char kProgram[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Fig-1: two-stream join, total messages vs network size\n");
   std::printf("# workload: 2 tuples per node, key range = nodes/2, no "
               "deletions\n\n");

@@ -29,7 +29,9 @@ std::string ProgramFor(int n_streams) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf(
       "# R-Fig-3: n-way join on an 8x8 grid, single-pass vs multiple-pass\n");
   std::printf("# workload: 2 tuples per node spread across the n streams\n\n");
@@ -49,8 +51,10 @@ int main() {
         streams);
     Program program = MustParse(ProgramFor(n));
     for (bool multipass : {false, true}) {
+      MetricsRegistry registry;
       EngineOptions options;
       options.planner.multipass = multipass;
+      options.metrics = &registry;
       Network net(topo, link, 1);
       auto engine = DistributedEngine::Create(&net, program, options);
       if (!engine.ok()) {
@@ -69,6 +73,7 @@ int main() {
                  U64((*engine)->stats().max_partials_in_message),
                  U64((*engine)->ResultFacts(Intern("t")).size()),
                  U64((*engine)->stats().errors.size())});
+      ReportCustomRun(net, engine->get(), &registry);
     }
   }
   return 0;

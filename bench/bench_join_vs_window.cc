@@ -11,7 +11,9 @@
 using namespace deduce;
 using namespace deduce::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Fig-2: two-stream join on a 10x10 grid vs window range\n");
   std::printf("# workload: 3 tuples per node at one tuple per 40 ms\n\n");
 

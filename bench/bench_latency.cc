@@ -22,7 +22,9 @@ constexpr char kProgram[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Fig-7: single-result latency vs grid size\n");
   std::printf("# one r tuple at one corner, one matching s at the other\n\n");
 
@@ -34,8 +36,10 @@ int main() {
   for (int m : {6, 8, 10, 12, 14}) {
     Topology topo = Topology::Grid(m);
     for (double margin : {1.5, 1.1}) {
+      MetricsRegistry registry;
       EngineOptions options;
       options.timing_margin = margin;
+      options.metrics = &registry;
       Network net(topo, link, 3);
       auto engine = DistributedEngine::Create(&net, program, options);
       if (!engine.ok()) return 1;
@@ -56,6 +60,7 @@ int main() {
                  Dbl(static_cast<double>((*engine)->timing().tau_j) / 1000.0),
                  Dbl(static_cast<double>(latency) / 1000.0),
                  U64((*engine)->ResultFacts(Intern("t")).size())});
+      ReportCustomRun(net, engine->get(), &registry);
     }
   }
   std::printf(

@@ -22,7 +22,9 @@ constexpr char kProgram[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Fig-4: per-node load distribution, 12x12 grid\n");
   std::printf("# workload: 3 tuples per node, uniform generation\n\n");
 

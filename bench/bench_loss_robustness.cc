@@ -63,8 +63,10 @@ Outcome Run(const Topology& topo, const Program& program,
             const std::vector<WorkItem>& work, const FaultPlan* faults) {
   Network net(topo, link, 11);
   if (faults != nullptr) net.ApplyFaultPlan(*faults);
+  MetricsRegistry registry;
   EngineOptions options;
   options.transport.reliable = reliable;
+  options.metrics = &registry;
   auto engine = DistributedEngine::Create(&net, program, options);
   if (!engine.ok()) std::abort();
   for (const WorkItem& item : work) {
@@ -80,6 +82,7 @@ Outcome Run(const Topology& topo, const Program& program,
   out.retransmissions = (*engine)->stats().retransmissions;
   out.gave_up = (*engine)->stats().gave_up_messages;
   out.repaired = (*engine)->stats().repaired_messages;
+  ReportCustomRun(net, engine->get(), &registry);
   return out;
 }
 
@@ -105,7 +108,9 @@ void PrintRow(TablePrinter& table, const std::string& scenario, bool reliable,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf(
       "# R-Fig-6: join completeness vs per-hop loss, node failure, and\n"
       "# churn, 10x10 grid, testbed profile (jittered delays, 2 ms skew,\n"

@@ -50,7 +50,10 @@ SptRun RunDeductive(const Topology& topo, const char* program_text,
                     const char* pred, size_t node_arg, size_t depth_arg) {
   Program program = MustParse(program_text);
   Network net(topo, LinkModel{}, 99);
-  auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+  MetricsRegistry registry;
+  EngineOptions options;
+  options.metrics = &registry;
+  auto engine = DistributedEngine::Create(&net, program, options);
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     std::abort();
@@ -83,12 +86,15 @@ SptRun RunDeductive(const Topology& topo, const char* program_text,
   for (int v = 0; out.correct && v < topo.node_count(); ++v) {
     if (depth[v] != rt.HopDistance(v, 0)) out.correct = false;
   }
+  ReportCustomRun(net, engine->get(), &registry);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf(
       "# R-Fig-5: shortest-path tree, compiled deductive vs procedural\n\n");
   TablePrinter table({"grid", "variant", "messages", "bytes", "msg/node",

@@ -46,7 +46,9 @@ void Report(TablePrinter* table, const char* name, const Topology& topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Tab-1: per-node storage at quiescence, 8x8 grid\n\n");
   TablePrinter table({"program", "replicas", "repl/node", "max_node",
                       "derivs", "derivs/node"});
@@ -56,7 +58,10 @@ int main() {
   {
     Program program = MustParse(kJoin);
     Network net(topo, link, 1);
-    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    MetricsRegistry registry;
+    EngineOptions options;
+    options.metrics = &registry;
+    auto engine = DistributedEngine::Create(&net, program, options);
     std::vector<WorkItem> work =
         UniformJoinWorkload(topo.node_count(), 2, 16, 61);
     for (const WorkItem& item : work) {
@@ -65,11 +70,15 @@ int main() {
     }
     net.sim().Run();
     Report(&table, "join(PA)", topo, engine->get());
+    ReportCustomRun(net, engine->get(), &registry);
   }
   {
     Program program = MustParse(kUncov);
     Network net(topo, link, 2);
-    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    MetricsRegistry registry;
+    EngineOptions options;
+    options.metrics = &registry;
+    auto engine = DistributedEngine::Create(&net, program, options);
     Rng rng(5);
     SimTime t = 10'000;
     for (int i = 0; i < 96; ++i, t += 50'000) {
@@ -85,11 +94,15 @@ int main() {
     }
     net.sim().Run();
     Report(&table, "uncovered", topo, engine->get());
+    ReportCustomRun(net, engine->get(), &registry);
   }
   {
     Program program = MustParse(kLogicJ);
     Network net(topo, link, 3);
-    auto engine = DistributedEngine::Create(&net, program, EngineOptions{});
+    MetricsRegistry registry;
+    EngineOptions options;
+    options.metrics = &registry;
+    auto engine = DistributedEngine::Create(&net, program, options);
     SimTime t = 50'000;
     for (int v = 0; v < topo.node_count(); ++v) {
       for (NodeId u : topo.neighbors(v)) {
@@ -102,6 +115,7 @@ int main() {
     }
     net.sim().Run();
     Report(&table, "logicJ(SPT)", topo, engine->get());
+    ReportCustomRun(net, engine->get(), &registry);
     std::printf(
         "\n# logicJ footprint check (§V): replicas/node ~= 2 x degree (the\n"
         "# g edges, both directions within 1 hop) + j/j1 home tuples.\n");

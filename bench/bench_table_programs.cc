@@ -28,7 +28,9 @@ int CountLines(const char* text) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
   std::printf("# R-Tab-2: deductive program compactness\n\n");
 
   const Entry entries[] = {

@@ -3,10 +3,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "deduce/common/metrics.h"
 #include "deduce/common/rng.h"
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
@@ -37,6 +39,72 @@ struct RunMetrics {
   size_t errors = 0;
 };
 
+/// Machine-readable bench report: OpenBenchReport(argv[0]) arms it, and
+/// every Run* call then appends one entry carrying its RunMetrics plus the
+/// full metrics-registry snapshot (per-phase/per-predicate traffic, engine
+/// and network counters). Written to BENCH_<basename>.json in the working
+/// directory when the process exits.
+class BenchReport {
+ public:
+  static BenchReport& Get() {
+    static BenchReport report;
+    return report;
+  }
+
+  void Open(const char* argv0) {
+    std::string name = argv0 == nullptr ? "bench" : argv0;
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    path_ = "BENCH_" + name + ".json";
+    bench_ = name;
+    enabled_ = true;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  void AddRun(const RunMetrics& m, const MetricsRegistry& registry) {
+    if (!enabled_) return;
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"run\":%zu,\"total_messages\":%llu,\"total_bytes\":%llu,"
+        "\"max_node_messages\":%llu,\"p95_node_messages\":%.1f,"
+        "\"avg_node_messages\":%.1f,\"energy_uj\":%.1f,"
+        "\"quiesce_time_us\":%lld,\"result_count\":%zu,"
+        "\"total_replicas\":%zu,\"max_node_replicas\":%zu,"
+        "\"total_derivations\":%zu,\"errors\":%zu,\"registry\":",
+        runs_.size(), static_cast<unsigned long long>(m.total_messages),
+        static_cast<unsigned long long>(m.total_bytes),
+        static_cast<unsigned long long>(m.max_node_messages),
+        m.p95_node_messages, m.avg_node_messages, m.energy_uj,
+        static_cast<long long>(m.quiesce_time), m.result_count,
+        m.total_replicas, m.max_node_replicas, m.total_derivations, m.errors);
+    runs_.push_back(std::string(buf) + registry.ToJson() + "}");
+  }
+
+  ~BenchReport() {
+    if (!enabled_ || runs_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) return;
+    out << "{\"bench\":\"" << bench_ << "\",\"runs\":[";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << runs_[i];
+    }
+    out << "]}\n";
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string path_;
+  std::string bench_;
+  std::vector<std::string> runs_;
+};
+
+/// Call first thing in main(): arms the per-binary BENCH_<name>.json report.
+inline void OpenBenchReport(const char* argv0) {
+  BenchReport::Get().Open(argv0);
+}
+
 inline Program MustParse(const std::string& text) {
   auto p = ParseProgram(text);
   if (!p.ok()) {
@@ -61,6 +129,31 @@ inline void FillNodeLoad(const Network& net, RunMetrics* m) {
   m->avg_node_messages = sum / static_cast<double>(loads.size());
 }
 
+/// For benches with hand-rolled run loops (not using RunDistributed /
+/// RunCentralized): attach `registry` via EngineOptions::metrics before
+/// DistributedEngine::Create, run, then call this once per run so the
+/// BENCH_<name>.json report still carries the registry snapshot.
+/// `engine` may be null (e.g. procedural baselines).
+inline void ReportCustomRun(Network& net, const DistributedEngine* engine,
+                            MetricsRegistry* registry) {
+  if (!BenchReport::Get().enabled() || registry == nullptr) return;
+  RunMetrics m;
+  m.total_messages = net.stats().TotalMessages();
+  m.total_bytes = net.stats().TotalBytes();
+  m.energy_uj = net.stats().TotalEnergyMicroJ();
+  m.quiesce_time = net.sim().now();
+  FillNodeLoad(net, &m);
+  if (engine != nullptr) {
+    m.total_replicas = engine->TotalReplicas();
+    m.max_node_replicas = engine->MaxNodeReplicas();
+    m.total_derivations = engine->TotalDerivations();
+    m.errors = engine->stats().errors.size();
+    engine->stats().ExportTo(registry);
+  }
+  net.stats().ExportTo(registry);
+  BenchReport::Get().AddRun(m, *registry);
+}
+
 /// Runs `work` through a DistributedEngine and collects metrics.
 /// `result_pred` counts final derived facts (empty = skip).
 inline RunMetrics RunDistributed(const Topology& topology,
@@ -71,7 +164,15 @@ inline RunMetrics RunDistributed(const Topology& topology,
                                  const std::string& result_pred,
                                  uint64_t seed = 1) {
   Network net(topology, link, seed);
-  auto engine = DistributedEngine::Create(&net, program, options);
+  // When the report is armed, attach a registry so the snapshot carries
+  // per-phase/per-predicate traffic. This only adds bookkeeping on the
+  // simulated hot path — message counts and sim timings are unchanged.
+  MetricsRegistry registry;
+  EngineOptions run_options = options;
+  if (run_options.metrics == nullptr && BenchReport::Get().enabled()) {
+    run_options.metrics = &registry;
+  }
+  auto engine = DistributedEngine::Create(&net, program, run_options);
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
     std::abort();
@@ -98,6 +199,11 @@ inline RunMetrics RunDistributed(const Topology& topology,
   m.max_node_replicas = (*engine)->MaxNodeReplicas();
   m.total_derivations = (*engine)->TotalDerivations();
   m.errors = (*engine)->stats().errors.size();
+  if (run_options.metrics != nullptr) {
+    net.stats().ExportTo(run_options.metrics);
+    (*engine)->stats().ExportTo(run_options.metrics);
+    BenchReport::Get().AddRun(m, *run_options.metrics);
+  }
   return m;
 }
 
@@ -131,6 +237,11 @@ inline RunMetrics RunCentralized(const Topology& topology,
     m.result_count = (*engine)->ResultFacts(Intern(result_pred)).size();
   }
   m.errors = (*engine)->errors().size();
+  if (BenchReport::Get().enabled()) {
+    MetricsRegistry registry;
+    net.stats().ExportTo(&registry);
+    BenchReport::Get().AddRun(m, registry);
+  }
   return m;
 }
 

@@ -1,0 +1,133 @@
+#ifndef DEDUCE_COMMON_METRICS_H_
+#define DEDUCE_COMMON_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+namespace deduce {
+
+/// A fixed-bucket histogram with power-of-two bucket boundaries: bucket 0
+/// counts values <= 0, bucket i (i >= 1) counts values in [2^(i-1), 2^i),
+/// and the last bucket absorbs everything larger. Fixed buckets keep
+/// observation O(1) with zero allocation — the discipline a mote-class
+/// runtime (and a deterministic simulator) needs.
+struct HistogramData {
+  static constexpr size_t kBuckets = 26;
+
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  void Observe(int64_t value);
+  /// Inclusive upper bound of bucket `i` (INT64_MAX for the overflow bucket).
+  static int64_t BucketUpperBound(size_t i);
+};
+
+/// Engine-wide observability registry: named counters, gauges, and
+/// fixed-bucket histograms keyed by (node, component, name). `node` is -1
+/// for process-global metrics. Deterministic by construction: entries live
+/// in an ordered map, so same-seed runs produce byte-identical snapshots
+/// (wall-clock span timers land under the reserved "timing" component,
+/// which comparisons should exclude — see ScopedSpan).
+///
+/// Zero-cost-when-off contract: a disabled registry (or, at call sites, a
+/// null registry pointer) records nothing and allocates nothing; every
+/// mutator early-outs on one branch.
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    Kind kind = Kind::kCounter;
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    HistogramData histogram;
+  };
+
+  /// (node, component, name); ordered so snapshots iterate deterministically.
+  using Key = std::tuple<int, std::string, std::string>;
+
+  MetricsRegistry() = default;
+
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+
+  /// Adds `delta` to the counter, creating it at zero on first touch.
+  void Add(int node, const std::string& component, const std::string& name,
+           uint64_t delta = 1);
+  /// Sets the gauge's current value.
+  void Set(int node, const std::string& component, const std::string& name,
+           int64_t value);
+  /// Records one observation into the histogram.
+  void Observe(int node, const std::string& component,
+               const std::string& name, int64_t value);
+
+  /// Drops every entry (the enabled flag is unchanged).
+  void Clear() { entries_.clear(); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::map<Key, Entry>& entries() const { return entries_; }
+
+  /// Counter value, or 0 if absent.
+  uint64_t CounterValue(int node, const std::string& component,
+                        const std::string& name) const;
+  /// Sum of a counter over all nodes (including the -1 global slot).
+  uint64_t CounterTotal(const std::string& component,
+                        const std::string& name) const;
+
+  /// One JSON object: {"metrics": [{node, component, name, kind, ...}]}.
+  /// Deterministic (ordered by key). Histograms carry count/sum/min/max and
+  /// the non-empty bucket list.
+  std::string ToJson() const;
+
+ private:
+  bool enabled_ = true;
+  std::map<Key, Entry> entries_;
+};
+
+/// Span-style phase timer: measures the wall-clock time between
+/// construction and destruction and records it (in microseconds) as a
+/// histogram observation under the reserved "timing" component. Wall time
+/// is inherently nondeterministic, which is why "timing" is segregated from
+/// the deterministic counters — tooling that diffs same-seed snapshots
+/// skips that component. Near-zero cost when the registry is null or
+/// disabled (a single branch; the clock is never read).
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry* registry, int node, const char* name)
+      : registry_(registry), node_(node), name_(name) {
+    if (registry_ != nullptr && registry_->enabled()) {
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (!armed_) return;
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    registry_->Observe(node_, "timing", name_, static_cast<int64_t>(us));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  int node_;
+  const char* name_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_METRICS_H_

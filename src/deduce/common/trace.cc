@@ -1,0 +1,362 @@
+#include "deduce/common/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <set>
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Minimal scanner for the flat one-line JSON objects ToJson emits:
+/// string, integer, and boolean values only — no nesting, no arrays.
+class FlatJsonScanner {
+ public:
+  explicit FlatJsonScanner(const std::string& s) : s_(s), i_(0) {}
+
+  /// Walks the object, invoking Visit(key, raw_value, is_string) per member.
+  /// `raw_value` has quotes stripped and escapes decoded for strings.
+  template <typename Visit>
+  Status Parse(const Visit& visit) {
+    SkipWs();
+    if (!Consume('{')) return Err("expected '{'");
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return Err("expected member key");
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      std::string value;
+      bool is_string = false;
+      if (Peek() == '"') {
+        if (!ParseString(&value)) return Err("bad string value");
+        is_string = true;
+      } else {
+        while (i_ < s_.size() && s_[i_] != ',' && s_[i_] != '}' &&
+               !IsWs(s_[i_])) {
+          value += s_[i_++];
+        }
+        if (value.empty()) return Err("empty value");
+      }
+      visit(key, value, is_string);
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}'");
+    }
+  }
+
+ private:
+  static bool IsWs(char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  }
+  void SkipWs() {
+    while (i_ < s_.size() && IsWs(s_[i_])) ++i_;
+  }
+  char Peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++i_;
+    return true;
+  }
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (i_ < s_.size()) {
+      char c = s_[i_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i_ >= s_.size()) return false;
+        char e = s_[i_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u': {
+            if (i_ + 4 > s_.size()) return false;
+            char* end = nullptr;
+            std::string hex = s_.substr(i_, 4);
+            long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return false;
+            i_ += 4;
+            // Trace strings are ASCII; anything else round-trips as '?'.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+  Status Err(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("trace json: %s at offset %zu", what, i_));
+  }
+
+  const std::string& s_;
+  size_t i_;
+};
+
+bool ParseI64(const std::string& raw, int64_t* out) {
+  if (raw.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(raw.c_str(), &end, 10);
+  if (errno != 0 || end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& raw, uint64_t* out) {
+  if (raw.empty() || raw[0] == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (errno != 0 || end != raw.c_str() + raw.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceRecord::ToJson() const {
+  std::string out = StrFormat("{\"time\":%lld,\"node\":%d,\"kind\":\"",
+                              static_cast<long long>(time), node);
+  AppendEscaped(kind, &out);
+  out += "\",\"phase\":\"";
+  AppendEscaped(phase, &out);
+  out += "\",\"pred\":\"";
+  AppendEscaped(pred, &out);
+  out += StrFormat(
+      "\",\"src\":%d,\"dst\":%d,\"bytes\":%llu,\"seq\":%llu,"
+      "\"attempts\":%d,\"delivered\":%s}",
+      src, dst, static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(seq), attempts,
+      delivered ? "true" : "false");
+  return out;
+}
+
+StatusOr<TraceRecord> TraceRecord::FromJson(const std::string& line) {
+  TraceRecord r;
+  r.attempts = 1;
+  std::string bad;
+  FlatJsonScanner scanner(line);
+  Status s = scanner.Parse([&](const std::string& key,
+                               const std::string& value, bool is_string) {
+    auto want_string = [&](std::string* field) {
+      if (!is_string) {
+        bad = key;
+        return;
+      }
+      *field = value;
+    };
+    if (key == "kind") {
+      want_string(&r.kind);
+    } else if (key == "phase") {
+      want_string(&r.phase);
+    } else if (key == "pred") {
+      want_string(&r.pred);
+    } else if (key == "delivered") {
+      if (value == "true") {
+        r.delivered = true;
+      } else if (value == "false") {
+        r.delivered = false;
+      } else {
+        bad = key;
+      }
+    } else if (key == "time") {
+      if (!ParseI64(value, &r.time)) bad = key;
+    } else if (key == "bytes") {
+      if (!ParseU64(value, &r.bytes)) bad = key;
+    } else if (key == "seq") {
+      if (!ParseU64(value, &r.seq)) bad = key;
+    } else if (key == "node" || key == "src" || key == "dst" ||
+               key == "attempts") {
+      int64_t v = 0;
+      if (!ParseI64(value, &v)) {
+        bad = key;
+        return;
+      }
+      if (key == "node") r.node = static_cast<int>(v);
+      if (key == "src") r.src = static_cast<int>(v);
+      if (key == "dst") r.dst = static_cast<int>(v);
+      if (key == "attempts") r.attempts = static_cast<int>(v);
+    }
+    // Unknown keys are ignored for forward compatibility.
+  });
+  if (!s.ok()) return s;
+  if (!bad.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("trace json: bad value for \"%s\"", bad.c_str()));
+  }
+  if (r.kind.empty()) {
+    return Status::InvalidArgument("trace json: missing \"kind\"");
+  }
+  return r;
+}
+
+bool TraceRecord::operator==(const TraceRecord& o) const {
+  return time == o.time && node == o.node && kind == o.kind &&
+         phase == o.phase && pred == o.pred && src == o.src && dst == o.dst &&
+         bytes == o.bytes && seq == o.seq && attempts == o.attempts &&
+         delivered == o.delivered;
+}
+
+Status TraceWriter::OpenFile(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot open trace output '%s'", path.c_str()));
+  }
+  file_ = std::move(file);
+  out_ = file_.get();
+  lines_ = 0;
+  return Status::OK();
+}
+
+void TraceWriter::OpenStream(std::ostream* out) {
+  file_.reset();
+  out_ = out;
+  lines_ = 0;
+}
+
+void TraceWriter::Close() {
+  if (file_ != nullptr) file_->flush();
+  file_.reset();
+  out_ = nullptr;
+}
+
+void TraceWriter::Emit(const TraceRecord& record) {
+  if (out_ == nullptr) return;
+  *out_ << record.ToJson() << '\n';
+  ++lines_;
+}
+
+void TraceStats::Add(const TraceRecord& r) {
+  ++records;
+  if (r.kind == "hop") {
+    // NetworkStats counts every link-layer attempt as a sent message and
+    // charges bytes per attempt; mirror that so totals line up exactly.
+    uint64_t attempts = r.attempts > 0 ? static_cast<uint64_t>(r.attempts) : 1;
+    Cell& cell = by_phase_pred[{r.phase.empty() ? "other" : r.phase, r.pred}];
+    cell.messages += attempts;
+    cell.bytes += attempts * r.bytes;
+    total_messages += attempts;
+    total_bytes += attempts * r.bytes;
+    if (!r.delivered) ++dropped_hops;
+  } else if (r.kind == "inject") {
+    ++injects;
+  } else if (r.kind == "retransmit") {
+    ++retransmits;
+  }
+}
+
+TraceStats TraceStats::Aggregate(std::istream& in,
+                                 std::vector<std::string>* errors) {
+  TraceStats stats;
+  constexpr size_t kMaxErrors = 10;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (StrTrim(line).empty()) continue;
+    StatusOr<TraceRecord> r = TraceRecord::FromJson(line);
+    if (!r.ok()) {
+      ++stats.bad_lines;
+      if (errors != nullptr && errors->size() < kMaxErrors) {
+        errors->push_back(StrFormat("line %zu: %s", lineno,
+                                    r.status().message().c_str()));
+      }
+      continue;
+    }
+    stats.Add(*r);
+  }
+  return stats;
+}
+
+std::string TraceStats::ToTable() const {
+  std::string out;
+  out += StrFormat("trace records:   %llu\n",
+                   static_cast<unsigned long long>(records));
+  out += StrFormat("total messages:  %llu\n",
+                   static_cast<unsigned long long>(total_messages));
+  out += StrFormat("total bytes:     %llu\n",
+                   static_cast<unsigned long long>(total_bytes));
+  out += StrFormat("injected tuples: %llu\n",
+                   static_cast<unsigned long long>(injects));
+  out += StrFormat("retransmissions: %llu\n",
+                   static_cast<unsigned long long>(retransmits));
+  out += StrFormat("dropped hops:    %llu\n",
+                   static_cast<unsigned long long>(dropped_hops));
+  if (bad_lines > 0) {
+    out += StrFormat("bad lines:       %llu\n",
+                     static_cast<unsigned long long>(bad_lines));
+  }
+  if (by_phase_pred.empty()) return out;
+
+  // Per-phase rollup, then the full (phase, pred) breakdown.
+  std::map<std::string, Cell> by_phase;
+  for (const auto& [key, cell] : by_phase_pred) {
+    Cell& p = by_phase[key.first];
+    p.messages += cell.messages;
+    p.bytes += cell.bytes;
+  }
+  out += "\nper-phase traffic:\n";
+  out += StrFormat("  %-12s %12s %14s\n", "phase", "messages", "bytes");
+  for (const auto& [phase, cell] : by_phase) {
+    out += StrFormat("  %-12s %12llu %14llu\n", phase.c_str(),
+                     static_cast<unsigned long long>(cell.messages),
+                     static_cast<unsigned long long>(cell.bytes));
+  }
+  out += "\nper-predicate traffic:\n";
+  out += StrFormat("  %-12s %-16s %12s %14s\n", "phase", "predicate",
+                   "messages", "bytes");
+  for (const auto& [key, cell] : by_phase_pred) {
+    const std::string& pred = key.second.empty() ? "-" : key.second;
+    out += StrFormat("  %-12s %-16s %12llu %14llu\n", key.first.c_str(),
+                     pred.c_str(),
+                     static_cast<unsigned long long>(cell.messages),
+                     static_cast<unsigned long long>(cell.bytes));
+  }
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,106 @@
+#ifndef DEDUCE_COMMON_TRACE_H_
+#define DEDUCE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "deduce/common/statusor.h"
+
+namespace deduce {
+
+/// One structured trace event, written as a single JSONL line. The schema
+/// (docs/OBSERVABILITY.md) is deliberately flat so `jq` and the built-in
+/// parser can both consume it:
+///
+///   kind  "hop"        one link-layer transmission batch (all ARQ attempts
+///                      of one unicast/broadcast hop)
+///         "inject"     a base-stream update entering the engine at a node
+///         "retransmit" an end-to-end transport retransmission decision
+///   phase "inject" | "store" | "sweep" | "result" | "agg" | "ack" |
+///         "retransmit" | "other"   — which engine phase paid for the event
+///   pred  head/stream predicate the bytes were spent on ("" when unknown)
+///   seq   transport sequence number or sweep pass index (0 when N/A)
+struct TraceRecord {
+  int64_t time = 0;       ///< Simulation time (us, global clock).
+  int node = -1;          ///< Reporting node (the sender / injecting node).
+  std::string kind;
+  std::string phase;
+  std::string pred;
+  int src = -1;           ///< Hop source (kind == "hop").
+  int dst = -1;           ///< Hop destination.
+  uint64_t bytes = 0;     ///< Wire bytes per attempt (0 for non-hop kinds).
+  uint64_t seq = 0;
+  int attempts = 1;       ///< Link-layer transmissions used.
+  bool delivered = true;
+
+  /// One JSONL line (no trailing newline), fixed key order.
+  std::string ToJson() const;
+  /// Parses a line produced by ToJson (tolerates unknown extra keys).
+  static StatusOr<TraceRecord> FromJson(const std::string& line);
+
+  bool operator==(const TraceRecord& o) const;
+};
+
+/// Appends trace records to a stream as JSONL. Inert until opened: an
+/// unopened writer's Emit is a single-branch no-op, so tracing costs
+/// nothing when off.
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+
+  /// Starts writing to `path` (truncates). Fails if unwritable.
+  Status OpenFile(const std::string& path);
+  /// Starts writing to a caller-owned stream (tests, in-memory capture).
+  void OpenStream(std::ostream* out);
+  void Close();
+
+  bool on() const { return out_ != nullptr; }
+  uint64_t lines_written() const { return lines_; }
+
+  void Emit(const TraceRecord& record);
+
+ private:
+  std::ostream* out_ = nullptr;      // borrowed or == file_.get()
+  std::unique_ptr<std::ofstream> file_;
+  uint64_t lines_ = 0;
+};
+
+/// Aggregation of a trace stream into the per-predicate / per-phase
+/// communication-cost tables `dlog stats` prints. Message counts follow
+/// NetworkStats conventions: every link-layer attempt is a message and is
+/// paid for in bytes.
+struct TraceStats {
+  struct Cell {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+  };
+
+  /// (phase, pred) -> traffic, from "hop" records.
+  std::map<std::pair<std::string, std::string>, Cell> by_phase_pred;
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t dropped_hops = 0;    ///< Hop records with delivered == false.
+  uint64_t injects = 0;         ///< kind == "inject" records.
+  uint64_t retransmits = 0;     ///< kind == "retransmit" records.
+  uint64_t records = 0;         ///< Total records aggregated.
+  uint64_t bad_lines = 0;       ///< Unparseable lines skipped.
+
+  void Add(const TraceRecord& r);
+
+  /// Aggregates a JSONL stream; malformed lines are counted in bad_lines
+  /// and (up to a cap) described in `errors` when non-null.
+  static TraceStats Aggregate(std::istream& in,
+                              std::vector<std::string>* errors);
+
+  /// Deterministic human-readable tables (the `dlog stats` output).
+  std::string ToTable() const;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "deduce/common/strings.h"
+#include "deduce/engine/observe.h"
 
 namespace deduce {
 
@@ -42,6 +43,8 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   shared.liveness.down.assign(
       static_cast<size_t>(network->node_count()), 0);
   shared.link = &network->link();
+  shared.metrics = options.metrics;
+  shared.trace = options.trace;
 
   // --- per-delta evaluability tables ---
   size_t n_deltas = shared.plan.deltas.size();
@@ -163,6 +166,10 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
     engine->runtimes_.push_back(runtime.get());
     network->SetApp(i, std::move(runtime));
   }
+  // `shared.plan` lives in the heap-allocated EngineShared, so the sink's
+  // pointer stays valid for the engine's lifetime.
+  InstallEngineObservability(network, &shared.plan, options.metrics,
+                             options.trace);
   network->Start();
   return engine;
 }

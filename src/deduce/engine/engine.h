@@ -24,6 +24,12 @@ struct EngineOptions {
   /// End-to-end reliable transport for engine messages (off by default:
   /// best-effort unicasts, exactly the pre-transport behavior).
   TransportOptions transport;
+  /// Observability sinks, both off (null) by default. `metrics` receives
+  /// live per-phase/per-predicate traffic counters and span timings;
+  /// `trace` receives one JSONL record per transmission, injection, and
+  /// retransmission. Caller-owned; must outlive the engine.
+  MetricsRegistry* metrics = nullptr;
+  TraceWriter* trace = nullptr;
 };
 
 /// The distributed deductive query engine (the paper's contribution):

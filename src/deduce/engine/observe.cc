@@ -1,0 +1,117 @@
+#include "deduce/engine/observe.h"
+
+#include "deduce/engine/wire.h"
+
+namespace deduce {
+
+namespace {
+
+std::string HeadPredName(const QueryPlan& plan, size_t rule_index) {
+  const auto& rules = plan.program.rules();
+  if (rule_index >= rules.size()) return "";
+  return SymbolName(rules[rule_index].head.predicate);
+}
+
+}  // namespace
+
+void AttributeEngineMessage(const QueryPlan& plan, const Message& msg,
+                            std::string* phase, std::string* pred,
+                            uint64_t* seq) {
+  switch (msg.type) {
+    case kStoreMsg: {
+      *phase = "store";
+      StatusOr<StoreWire> w = StoreWire::Decode(msg);
+      if (w.ok()) *pred = SymbolName(w->pred);
+      return;
+    }
+    case kJoinPassMsg: {
+      *phase = "sweep";
+      StatusOr<JoinPassWire> w = JoinPassWire::Decode(msg);
+      if (w.ok() && w->delta_index < plan.deltas.size()) {
+        *pred = HeadPredName(plan, plan.deltas[w->delta_index].rule_index);
+      }
+      return;
+    }
+    case kResultMsg: {
+      *phase = "result";
+      StatusOr<ResultWire> w = ResultWire::Decode(msg);
+      if (w.ok()) *pred = SymbolName(w->pred);
+      return;
+    }
+    case kAggMsg: {
+      *phase = "agg";
+      StatusOr<AggWire> w = AggWire::Decode(msg);
+      if (w.ok() && w->plan_index < plan.aggregates.size()) {
+        *pred = HeadPredName(plan, plan.aggregates[w->plan_index].rule_index);
+      }
+      return;
+    }
+    case kAckMsg:
+      *phase = "ack";
+      return;
+    case kReliableMsg: {
+      StatusOr<ReliableWire> w = ReliableWire::Decode(msg);
+      if (!w.ok()) {
+        *phase = "other";
+        return;
+      }
+      *seq = w->seq;
+      Message inner;
+      inner.src = w->origin;
+      inner.dst = w->final_target;
+      inner.type = w->inner_type;
+      inner.payload = std::move(w->inner_payload);
+      // Nested envelopes are a protocol fault; one level is all there is.
+      if (inner.type == kReliableMsg) {
+        *phase = "other";
+        return;
+      }
+      uint64_t inner_seq = 0;
+      AttributeEngineMessage(plan, inner, phase, pred, &inner_seq);
+      return;
+    }
+    default:
+      *phase = "other";
+      return;
+  }
+}
+
+void InstallEngineObservability(Network* network, const QueryPlan* plan,
+                                MetricsRegistry* metrics, TraceWriter* trace) {
+  if (metrics == nullptr && (trace == nullptr || !trace->on())) return;
+  network->AddTraceSink([plan, metrics, trace](const TraceEvent& ev) {
+    std::string phase = "other";
+    std::string pred;
+    uint64_t seq = 0;
+    if (ev.msg != nullptr) {
+      AttributeEngineMessage(*plan, *ev.msg, &phase, &pred, &seq);
+    }
+    uint64_t attempts = ev.attempts > 0 ? static_cast<uint64_t>(ev.attempts)
+                                        : 1;
+    if (metrics != nullptr && metrics->enabled()) {
+      metrics->Add(ev.src, "traffic", "msgs_" + phase, attempts);
+      metrics->Add(ev.src, "traffic", "bytes_" + phase, attempts * ev.bytes);
+      if (!pred.empty()) {
+        metrics->Add(-1, "pred", pred + ".messages", attempts);
+        metrics->Add(-1, "pred", pred + ".bytes", attempts * ev.bytes);
+      }
+    }
+    if (trace != nullptr && trace->on()) {
+      TraceRecord r;
+      r.time = ev.time;
+      r.node = ev.src;
+      r.kind = "hop";
+      r.phase = phase;
+      r.pred = pred;
+      r.src = ev.src;
+      r.dst = ev.dst;
+      r.bytes = ev.bytes;
+      r.seq = seq;
+      r.attempts = ev.attempts;
+      r.delivered = ev.delivered;
+      trace->Emit(r);
+    }
+  });
+}
+
+}  // namespace deduce

@@ -1,0 +1,34 @@
+#ifndef DEDUCE_ENGINE_OBSERVE_H_
+#define DEDUCE_ENGINE_OBSERVE_H_
+
+#include <string>
+
+#include "deduce/common/metrics.h"
+#include "deduce/common/trace.h"
+#include "deduce/engine/plan.h"
+#include "deduce/net/network.h"
+
+namespace deduce {
+
+/// Attributes an engine message to its phase and predicate for traffic
+/// accounting: kStoreMsg -> "store", kJoinPassMsg -> "sweep",
+/// kResultMsg -> "result", kAggMsg -> "agg", kAckMsg -> "ack". Reliable
+/// envelopes are attributed to their inner message (`seq` gets the
+/// transport sequence number). Unknown types land in "other". `pred` is
+/// the predicate the bytes were spent on (head predicate for passes and
+/// aggregates), or "" when the payload does not decode.
+void AttributeEngineMessage(const QueryPlan& plan, const Message& msg,
+                            std::string* phase, std::string* pred,
+                            uint64_t* seq);
+
+/// Installs a Network trace sink (via AddTraceSink) that turns every
+/// transmission into a JSONL TraceRecord (kind "hop") in `trace` and live
+/// per-phase / per-predicate counters in `metrics` (components "traffic"
+/// and "pred"). Either sink target may be null; when both are null nothing
+/// is installed, keeping the hot path free of the callback entirely.
+void InstallEngineObservability(Network* network, const QueryPlan* plan,
+                                MetricsRegistry* metrics, TraceWriter* trace);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_OBSERVE_H_

@@ -116,10 +116,17 @@ StatusOr<QueryPlan> CompilePlan(const Program& program,
   DEDUCE_RETURN_IF_ERROR(ResolveBuiltins(&plan.program, registry));
   DEDUCE_ASSIGN_OR_RETURN(plan.analysis, AnalyzeProgram(plan.program));
 
+  // Partial results track matched body literals in a 32-bit mask built with
+  // `1u << literal_index`, so index 31 is the last representable literal:
+  // a 32nd literal would shift by 32 (undefined behavior) and alias index 0.
+  constexpr size_t kMaxBodyLiterals = 31;
   for (const Rule& r : plan.program.rules()) {
-    if (r.body.size() > 32) {
-      return Status::Unimplemented("rule with more than 32 body literals: " +
-                                   r.ToString());
+    if (r.body.size() > kMaxBodyLiterals) {
+      return Status::Unimplemented(
+          StrFormat("rule has %zu body literals; the partial-result mask "
+                    "is 32 bits, limiting rules to %zu: ",
+                    r.body.size(), kMaxBodyLiterals) +
+          r.ToString());
     }
   }
   for (const SccInfo& scc : plan.analysis.sccs) {

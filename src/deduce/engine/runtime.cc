@@ -19,6 +19,32 @@ bool IsFilter(const Literal& lit) {
 
 }  // namespace
 
+void EngineStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr || !registry->enabled()) return;
+  registry->Add(-1, "engine", "tuples_injected", tuples_injected);
+  registry->Add(-1, "engine", "join_passes", join_passes);
+  registry->Add(-1, "engine", "pass_messages", pass_messages);
+  registry->Add(-1, "engine", "results_emitted", results_emitted);
+  registry->Add(-1, "engine", "derivations_added", derivations_added);
+  registry->Add(-1, "engine", "derivations_removed", derivations_removed);
+  registry->Add(-1, "engine", "derived_generations", derived_generations);
+  registry->Add(-1, "engine", "derived_deletions", derived_deletions);
+  registry->Add(-1, "engine", "replicas_stored", replicas_stored);
+  registry->Set(-1, "engine", "max_partials_in_message",
+                static_cast<int64_t>(max_partials_in_message));
+  registry->Add(-1, "engine", "retransmissions", retransmissions);
+  registry->Add(-1, "engine", "acks_sent", acks_sent);
+  registry->Add(-1, "engine", "acks_received", acks_received);
+  registry->Add(-1, "engine", "duplicates_suppressed", duplicates_suppressed);
+  registry->Add(-1, "engine", "gave_up_messages", gave_up_messages);
+  registry->Add(-1, "engine", "rerouted_hops", rerouted_hops);
+  registry->Add(-1, "engine", "skipped_sweep_nodes", skipped_sweep_nodes);
+  registry->Add(-1, "engine", "skipped_store_nodes", skipped_store_nodes);
+  registry->Add(-1, "engine", "repaired_messages", repaired_messages);
+  registry->Set(-1, "engine", "errors",
+                static_cast<int64_t>(errors.size()));
+}
+
 NodeRuntime::NodeRuntime(EngineShared* shared, NodeId id)
     : shared_(shared), id_(id) {}
 
@@ -236,6 +262,20 @@ void NodeRuntime::TransmitPending(NodeContext* ctx, uint64_t key) {
     }
     --it2->second.retries_left;
     ++shared_->stats.retransmissions;
+    if (shared_->metrics != nullptr) {
+      shared_->metrics->Add(id_, "transport", "retransmissions");
+    }
+    if (shared_->trace != nullptr && shared_->trace->on()) {
+      TraceRecord r;
+      r.time = ctx->LocalTime();
+      r.node = id_;
+      r.kind = "retransmit";
+      r.phase = "retransmit";
+      r.dst = it2->second.dest;
+      r.bytes = it2->second.envelope.WireSize();
+      r.seq = it2->second.seq;
+      shared_->trace->Emit(r);
+    }
     TransmitPending(ctx, key);
   });
 }
@@ -367,6 +407,19 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
   }
   ++shared_->stats.tuples_injected;
   Timestamp now = ctx->LocalTime();
+  if (shared_->metrics != nullptr) {
+    shared_->metrics->Add(id_, "engine", "tuples_injected");
+  }
+  if (shared_->trace != nullptr && shared_->trace->on()) {
+    TraceRecord r;
+    r.time = now;
+    r.node = id_;
+    r.kind = "inject";
+    r.phase = "inject";
+    r.pred = SymbolName(fact.predicate());
+    r.bytes = 0;
+    shared_->trace->Emit(r);
+  }
   if (op == StreamOp::kInsert) {
     TupleId id{id_, now, seq_++};
     StartStoragePhase(ctx, fact.predicate(), fact, id, now, /*deletion=*/false,
@@ -483,6 +536,7 @@ void NodeRuntime::RecordReplica(NodeContext* ctx, const StoreWire& store) {
         SymbolId pred = store.pred;
         TupleId id = store.id;
         NewTimer(ctx, delay, [this, pred, id]() {
+          ScopedSpan span(shared_->metrics, id_, "window_expiry");
           auto it = replicas_.find(pred);
           if (it != replicas_.end()) it->second.erase(id);
         });
@@ -670,6 +724,7 @@ void NodeRuntime::ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
                                       int extend_literal, bool at_launch,
                                       std::vector<Partial>* partials) {
   (void)ctx;
+  ScopedSpan span(shared_->metrics, id_, "rule_eval");
   const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
   const auto& launch_ok = shared_->launch_evaluable[static_cast<size_t>(
       &delta - shared_->plan.deltas.data())];
@@ -975,6 +1030,7 @@ void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
 }
 
 void NodeRuntime::RunPassHere(NodeContext* ctx, JoinPassWire jp) {
+  ScopedSpan span(shared_->metrics, id_, "sweep_pass");
   const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
   std::vector<Partial> partials;
   partials.reserve(jp.partials.size());

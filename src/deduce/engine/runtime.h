@@ -9,6 +9,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "deduce/common/metrics.h"
+#include "deduce/common/trace.h"
 #include "deduce/datalog/unify.h"
 #include "deduce/engine/plan.h"
 #include "deduce/engine/regions.h"
@@ -59,6 +61,12 @@ struct EngineStats {
   /// Runtime faults (decode failures, unroutable homes, ...). Non-empty
   /// means a bug or an injected fault; equivalence tests assert empty.
   std::vector<std::string> errors;
+
+  /// Mirrors every counter into `registry` under the "engine" component
+  /// (node -1: these are engine-global in the single-process simulation),
+  /// making the registry snapshot self-contained. No-op when `registry` is
+  /// null or disabled.
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 /// End-to-end transport knobs. Off by default: engine messages are
@@ -136,6 +144,12 @@ struct EngineShared {
   LivenessView liveness;
   /// The network's link model (RTO computation); owned by the Network.
   const LinkModel* link = nullptr;
+
+  /// Observability sinks (EngineOptions::metrics / ::trace). Both may be
+  /// null — the runtimes guard every use, so a run without observers pays
+  /// only a pointer test. Owned by the embedder.
+  MetricsRegistry* metrics = nullptr;
+  TraceWriter* trace = nullptr;
 
   /// Literals a join pass can resolve at its launch node (data replicated
   /// everywhere / within the rule's spatial scope), per delta plan.

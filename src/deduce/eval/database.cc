@@ -23,6 +23,7 @@ bool Database::Erase(const Fact& fact) {
   // Ordinals after the erased fact shift; rebuilding lazily is simpler and
   // erase is rare on the hot paths (semi-naive only inserts).
   rel.indexes.clear();
+  ++rel.index_epoch;
   --size_;
   return true;
 }
@@ -30,7 +31,11 @@ bool Database::Erase(const Fact& fact) {
 void Database::IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const {
   for (auto& [position, buckets] : rel->indexes) {
     if (position < fact.args().size()) {
+      size_t before = buckets.size();
       buckets[fact.args()[position].Hash()].push_back(ordinal);
+      // A fresh bucket key can rehash the map and invalidate iterators held
+      // by an in-flight ScanBound that re-entered us.
+      if (buckets.size() != before) ++rel->index_epoch;
     }
   }
 }
@@ -45,6 +50,7 @@ void Database::ScanBound(
   if (iit == rel.indexes.end()) {
     // Build the index for this position on first use.
     auto& buckets = rel.indexes[position];
+    ++rel.index_epoch;  // new position key: outer-map iterators are stale
     for (size_t i = 0; i < rel.ordered.size(); ++i) {
       const Fact& f = rel.ordered[i];
       if (position < f.args().size()) {
@@ -53,13 +59,30 @@ void Database::ScanBound(
     }
     iit = rel.indexes.find(position);
   }
-  auto bit = iit->second.find(value.Hash());
+  const size_t value_hash = value.Hash();
+  auto bit = iit->second.find(value_hash);
   if (bit == iit->second.end()) return;
   TupleId none;
   // Same re-entrancy discipline as Scan: `fn` may insert into this
-  // relation, growing both `ordered` and this very bucket.
+  // relation, growing both `ordered` and this very bucket — and a brand-new
+  // hash bucket (or an Erase's index rebuild) rehashes the bucket map,
+  // invalidating `iit`/`bit`. Watch the epoch and re-find instead of
+  // dereferencing a possibly-dangling iterator; only the first `n` ordinals
+  // (the facts visible at scan start) are ever visited.
   size_t n = bit->second.size();
+  uint64_t epoch = rel.index_epoch;
   for (size_t i = 0; i < n; ++i) {
+    if (rel.index_epoch != epoch) {
+      epoch = rel.index_epoch;
+      iit = rel.indexes.find(position);
+      if (iit == rel.indexes.end()) return;  // re-entrant Erase dropped it
+      bit = iit->second.find(value_hash);
+      if (bit == iit->second.end()) return;
+      // An Erase-triggered rebuild shifts ordinals; anything beyond the
+      // rebuilt bucket is gone for this scan.
+      n = std::min(n, bit->second.size());
+      if (i >= n) return;
+    }
     size_t ordinal = bit->second[i];
     Fact f = rel.ordered[ordinal];
     // Hash collisions: confirm equality.

@@ -92,6 +92,12 @@ class Database : public RelationReader {
     mutable std::unordered_map<size_t,
                                std::unordered_map<size_t, std::vector<size_t>>>
         indexes;
+    /// Bumped whenever the structure of `indexes` changes in a way that can
+    /// invalidate iterators into it (new bucket key, new position index, or
+    /// the erase-path rebuild). ScanBound watches it so a re-entrant
+    /// Insert/Erase from the callback cannot leave it holding a dangling
+    /// iterator.
+    mutable uint64_t index_epoch = 0;
   };
   void IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const;
   std::unordered_map<SymbolId, Rel> relations_;

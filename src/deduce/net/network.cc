@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "deduce/common/logging.h"
+#include "deduce/common/metrics.h"
 
 namespace deduce {
 
@@ -36,6 +37,22 @@ double NetworkStats::TotalEnergyMicroJ() const {
          kRxPerByte * static_cast<double>(p.received_bytes);
   }
   return e;
+}
+
+void NetworkStats::ExportTo(MetricsRegistry* registry) const {
+  if (registry == nullptr || !registry->enabled()) return;
+  for (size_t i = 0; i < per_node.size(); ++i) {
+    const PerNode& p = per_node[i];
+    int node = static_cast<int>(i);
+    registry->Add(node, "net", "sent_messages", p.sent_messages);
+    registry->Add(node, "net", "sent_bytes", p.sent_bytes);
+    registry->Add(node, "net", "received_messages", p.received_messages);
+    registry->Add(node, "net", "received_bytes", p.received_bytes);
+    registry->Add(node, "net", "dropped_messages", p.dropped_messages);
+  }
+  registry->Add(-1, "net", "mac_ack_failures", mac_ack_failures);
+  registry->Add(-1, "net", "nodes_failed", nodes_failed);
+  registry->Add(-1, "net", "nodes_recovered", nodes_recovered);
 }
 
 const Location& NodeContext::location() const {
@@ -175,7 +192,7 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
   }
   sender.sent_messages += static_cast<uint64_t>(attempts);
   sender.sent_bytes += bytes * static_cast<uint64_t>(attempts);
-  if (trace_) {
+  if (!traces_.empty()) {
     TraceEvent ev;
     ev.time = sim_.now();
     ev.src = from;
@@ -184,7 +201,8 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
     ev.bytes = bytes;
     ev.attempts = attempts;
     ev.delivered = delivered;
-    trace_(ev);
+    ev.msg = &msg;
+    for (const auto& sink : traces_) sink(ev);
   }
   if (!delivered) {
     ++sender.dropped_messages;

@@ -12,6 +12,8 @@
 
 namespace deduce {
 
+class MetricsRegistry;
+
 /// A single-hop radio message. `type` is application-defined; the payload
 /// is opaque bytes (see codec.h).
 struct Message {
@@ -85,6 +87,12 @@ struct NetworkStats {
   /// Simple radio energy proxy in microjoules: tx + rx cost per byte
   /// (CC2420-like constants).
   double TotalEnergyMicroJ() const;
+
+  /// Mirrors these counters into `registry` under the "net" component
+  /// (per-node sent/received/dropped, global totals and fault counters),
+  /// making the registry the single snapshot the tools serialize. No-op
+  /// when `registry` is null or disabled.
+  void ExportTo(MetricsRegistry* registry) const;
 };
 
 class Network;
@@ -99,6 +107,10 @@ struct TraceEvent {
   size_t bytes = 0;      ///< Wire size per attempt.
   int attempts = 1;      ///< Link-layer transmissions used.
   bool delivered = true;
+  /// The full message, for sinks that decode payloads (e.g. the engine's
+  /// phase/predicate attribution). Valid only for the duration of the sink
+  /// callback — never retain the pointer.
+  const Message* msg = nullptr;
 };
 
 /// The API surface a node application sees: identity, neighbors, local
@@ -211,11 +223,18 @@ class Network {
     return skews_[static_cast<size_t>(id)];
   }
 
-  /// Installs a trace sink invoked for every transmission (send time, hop
-  /// endpoints, type, size, ARQ attempts, delivery outcome). Pass nullptr
-  /// to disable.
+  /// Replaces all trace sinks with `sink` (nullptr clears). Sinks are
+  /// invoked for every transmission (send time, hop endpoints, type, size,
+  /// ARQ attempts, delivery outcome).
   void SetTraceSink(std::function<void(const TraceEvent&)> sink) {
-    trace_ = std::move(sink);
+    traces_.clear();
+    if (sink) traces_.push_back(std::move(sink));
+  }
+
+  /// Adds a sink alongside any already installed (the engine's JSONL trace
+  /// and a tool's CSV trace can observe the same run).
+  void AddTraceSink(std::function<void(const TraceEvent&)> sink) {
+    if (sink) traces_.push_back(std::move(sink));
   }
 
   /// Kills a node: it stops receiving and sending (fault injection).
@@ -250,7 +269,7 @@ class Network {
   std::vector<bool> failed_;
   std::vector<uint64_t> incarnations_;
   NetworkStats stats_;
-  std::function<void(const TraceEvent&)> trace_;
+  std::vector<std::function<void(const TraceEvent&)>> traces_;
 };
 
 }  // namespace deduce

@@ -151,5 +151,40 @@ INSTANTIATE_TEST_SUITE_P(AllApproaches, EquivalenceSweep,
                            return info.param.name;
                          });
 
+// Partial results track matched body literals in a 32-bit mask (1u << i),
+// so literal index 31 is the last representable one. The planner must
+// accept 31 body literals and reject 32 with a clear diagnostic instead of
+// shifting by 32 at runtime (undefined behavior).
+std::string WideRuleProgram(int literals) {
+  std::string text;
+  std::string body;
+  for (int i = 0; i < literals; ++i) {
+    std::string pred = "b" + std::to_string(i);
+    text += ".decl " + pred + "/1 input.\n";
+    body += (i == 0 ? "" : ", ") + pred + "(X)";
+  }
+  text += "wide(X) :- " + body + ".\n";
+  return text;
+}
+
+TEST(PlanMaskLimit, AcceptsThirtyOneBodyLiterals) {
+  auto program = ParseProgram(WideRuleProgram(31));
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto plan = CompilePlan(*program, BuiltinRegistry::Default(),
+                          PlannerOptions{});
+  EXPECT_TRUE(plan.ok()) << plan.status();
+}
+
+TEST(PlanMaskLimit, RejectsThirtyTwoBodyLiterals) {
+  auto program = ParseProgram(WideRuleProgram(32));
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto plan = CompilePlan(*program, BuiltinRegistry::Default(),
+                          PlannerOptions{});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(plan.status().message().find("32 bits"), std::string::npos)
+      << plan.status();
+}
+
 }  // namespace
 }  // namespace deduce

@@ -1,0 +1,294 @@
+// Observability subsystem tests: metrics-registry semantics, the
+// zero-cost-when-off contract, JSONL trace round-trips, same-seed
+// determinism, and agreement between `dlog stats`-style trace aggregation
+// and the NetworkStats/EngineStats counters it must reproduce.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "deduce/common/metrics.h"
+#include "deduce/common/trace.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+
+namespace deduce {
+namespace {
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.Add(0, "net", "sent", 3);
+  reg.Add(0, "net", "sent", 2);
+  reg.Add(1, "net", "sent", 10);
+  reg.Set(2, "engine", "queue_depth", 7);
+  reg.Set(2, "engine", "queue_depth", 4);
+  reg.Observe(0, "latency", "hop_us", 100);
+  reg.Observe(0, "latency", "hop_us", 900);
+
+  EXPECT_EQ(reg.CounterValue(0, "net", "sent"), 5u);
+  EXPECT_EQ(reg.CounterValue(1, "net", "sent"), 10u);
+  EXPECT_EQ(reg.CounterValue(9, "net", "sent"), 0u);
+  EXPECT_EQ(reg.CounterTotal("net", "sent"), 15u);
+
+  const auto& entries = reg.entries();
+  auto git = entries.find(MetricsRegistry::Key{2, "engine", "queue_depth"});
+  ASSERT_NE(git, entries.end());
+  EXPECT_EQ(git->second.kind, MetricsRegistry::Kind::kGauge);
+  EXPECT_EQ(git->second.gauge, 4);
+
+  auto hit = entries.find(MetricsRegistry::Key{0, "latency", "hop_us"});
+  ASSERT_NE(hit, entries.end());
+  EXPECT_EQ(hit->second.kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(hit->second.histogram.count, 2u);
+  EXPECT_EQ(hit->second.histogram.sum, 1000);
+  EXPECT_EQ(hit->second.histogram.min, 100);
+  EXPECT_EQ(hit->second.histogram.max, 900);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryStaysExactlyEmpty) {
+  MetricsRegistry reg;
+  reg.Disable();
+  reg.Add(0, "net", "sent", 3);
+  reg.Set(0, "engine", "gauge", 1);
+  reg.Observe(0, "latency", "us", 5);
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.CounterTotal("net", "sent"), 0u);
+  // Re-enabling starts recording again without residue.
+  reg.Enable();
+  reg.Add(0, "net", "sent", 1);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsArePowerOfTwo) {
+  HistogramData h;
+  h.Observe(0);     // bucket 0: <= 0
+  h.Observe(1);     // bucket 1: [1, 2)
+  h.Observe(1023);  // bucket 10: [512, 1024)
+  h.Observe(int64_t{1} << 60);  // overflow bucket
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[10], 1u);
+  EXPECT_EQ(h.buckets[HistogramData::kBuckets - 1], 1u);
+  EXPECT_EQ(HistogramData::BucketUpperBound(0), 0);
+  EXPECT_EQ(HistogramData::BucketUpperBound(1), 1);
+  EXPECT_EQ(HistogramData::BucketUpperBound(10), 1023);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry a;
+  a.Add(1, "net", "sent", 2);
+  a.Add(0, "net", "sent", 1);
+  a.Set(0, "engine", "g", 3);
+  MetricsRegistry b;
+  b.Set(0, "engine", "g", 3);
+  b.Add(0, "net", "sent", 1);
+  b.Add(1, "net", "sent", 2);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_NE(a.ToJson().find("\"component\":\"net\""), std::string::npos);
+}
+
+TEST(TraceRecordTest, JsonRoundTrip) {
+  TraceRecord r;
+  r.time = 123456;
+  r.node = 3;
+  r.kind = "hop";
+  r.phase = "sweep";
+  r.pred = "t\"x\\y";  // escaping must survive the round trip
+  r.src = 3;
+  r.dst = 7;
+  r.bytes = 99;
+  r.seq = 12;
+  r.attempts = 2;
+  r.delivered = false;
+  StatusOr<TraceRecord> back = TraceRecord::FromJson(r.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == r);
+}
+
+TEST(TraceRecordTest, FromJsonRejectsMalformedInput) {
+  EXPECT_FALSE(TraceRecord::FromJson("not json").ok());
+  EXPECT_FALSE(TraceRecord::FromJson("{\"time\":1}").ok());  // missing kind
+  EXPECT_FALSE(
+      TraceRecord::FromJson("{\"kind\":\"hop\",\"bytes\":\"many\"").ok());
+  EXPECT_FALSE(
+      TraceRecord::FromJson("{\"kind\":\"hop\",\"time\":12x}").ok());
+  // Unknown keys are tolerated (forward compatibility).
+  StatusOr<TraceRecord> ok =
+      TraceRecord::FromJson("{\"kind\":\"hop\",\"future_field\":1}");
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->kind, "hop");
+}
+
+TEST(TraceWriterTest, UnopenedWriterIsInert) {
+  TraceWriter w;
+  EXPECT_FALSE(w.on());
+  w.Emit(TraceRecord{});
+  EXPECT_EQ(w.lines_written(), 0u);
+  std::ostringstream out;
+  w.OpenStream(&out);
+  EXPECT_TRUE(w.on());
+  TraceRecord r;
+  r.kind = "inject";
+  w.Emit(r);
+  EXPECT_EQ(w.lines_written(), 1u);
+  EXPECT_NE(out.str().find("\"kind\":\"inject\""), std::string::npos);
+}
+
+// --- end-to-end: a traced simulation ---------------------------------------
+
+constexpr char kJoinProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+struct TracedRun {
+  std::string trace;
+  MetricsRegistry registry;
+  uint64_t net_messages = 0;
+  uint64_t net_bytes = 0;
+  uint64_t mac_ack_failures = 0;
+  EngineStats engine_stats;
+};
+
+TracedRun RunTraced(uint64_t seed, bool lossy, bool with_observers) {
+  auto program = ParseProgram(kJoinProgram);
+  EXPECT_TRUE(program.ok()) << program.status();
+  LinkModel link;
+  if (lossy) {
+    link.loss_rate = 0.2;
+    link.retries = 1;
+  }
+  Network net(Topology::Grid(4), link, seed);
+  TracedRun run;
+  std::ostringstream trace_out;
+  TraceWriter writer;
+  EngineOptions options;
+  if (lossy) options.transport.reliable = true;
+  if (with_observers) {
+    writer.OpenStream(&trace_out);
+    options.metrics = &run.registry;
+    options.trace = &writer;
+  }
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  SimTime t = 10'000;
+  for (int i = 0; i < 8; ++i, t += 120'000) {
+    net.sim().RunUntil(t);
+    NodeId node = static_cast<NodeId>((i * 5) % net.node_count());
+    Fact f(Intern(i % 2 == 0 ? "r" : "s"),
+           {Term::Int(i % 3), Term::Int(node), Term::Int(i)});
+    Status st = (*engine)->Inject(node, StreamOp::kInsert, f);
+    EXPECT_TRUE(st.ok()) << st;
+  }
+  net.sim().Run();
+  run.trace = trace_out.str();
+  run.net_messages = net.stats().TotalMessages();
+  run.net_bytes = net.stats().TotalBytes();
+  run.mac_ack_failures = net.stats().mac_ack_failures;
+  run.engine_stats = (*engine)->stats();
+  return run;
+}
+
+TEST(EngineObservabilityTest, TraceAggregationReproducesStatsTotals) {
+  TracedRun run = RunTraced(/*seed=*/11, /*lossy=*/true,
+                            /*with_observers=*/true);
+  std::istringstream in(run.trace);
+  std::vector<std::string> errors;
+  TraceStats stats = TraceStats::Aggregate(in, &errors);
+  EXPECT_EQ(stats.bad_lines, 0u) << (errors.empty() ? "" : errors[0]);
+
+  // `dlog stats` must reproduce the engine/network totals exactly: every
+  // link-layer attempt is one hop-record message, every Inject one inject
+  // record, every RTO retransmission one retransmit record.
+  EXPECT_EQ(stats.total_messages, run.net_messages);
+  EXPECT_EQ(stats.total_bytes, run.net_bytes);
+  EXPECT_EQ(stats.injects, run.engine_stats.tuples_injected);
+  EXPECT_EQ(stats.retransmits, run.engine_stats.retransmissions);
+  EXPECT_EQ(stats.dropped_hops, run.mac_ack_failures);
+  EXPECT_GT(run.engine_stats.retransmissions, 0u);  // lossy run really retried
+
+  // Phase attribution found real storage and sweep traffic.
+  uint64_t store_msgs = 0, sweep_msgs = 0;
+  for (const auto& [key, cell] : stats.by_phase_pred) {
+    if (key.first == "store") store_msgs += cell.messages;
+    if (key.first == "sweep") sweep_msgs += cell.messages;
+  }
+  EXPECT_GT(store_msgs, 0u);
+  EXPECT_GT(sweep_msgs, 0u);
+  EXPECT_NE(stats.ToTable().find("per-phase traffic"), std::string::npos);
+
+  // The registry's live per-phase counters agree with the trace totals.
+  uint64_t reg_msgs = 0;
+  for (const auto& [key, entry] : run.registry.entries()) {
+    if (std::get<1>(key) == "traffic" &&
+        std::get<2>(key).rfind("msgs_", 0) == 0) {
+      reg_msgs += entry.counter;
+    }
+  }
+  EXPECT_EQ(reg_msgs, run.net_messages);
+}
+
+TEST(EngineObservabilityTest, SameSeedRunsAreDeterministic) {
+  TracedRun a = RunTraced(/*seed=*/7, /*lossy=*/true, /*with_observers=*/true);
+  TracedRun b = RunTraced(/*seed=*/7, /*lossy=*/true, /*with_observers=*/true);
+  EXPECT_EQ(a.trace, b.trace);
+
+  // Registries must match entry-for-entry outside the reserved "timing"
+  // component (span timers measure wall clock and are exempt by design).
+  auto filtered = [](const MetricsRegistry& reg) {
+    std::vector<std::pair<MetricsRegistry::Key, uint64_t>> out;
+    for (const auto& [key, entry] : reg.entries()) {
+      if (std::get<1>(key) == "timing") continue;
+      out.emplace_back(key, entry.kind == MetricsRegistry::Kind::kGauge
+                                ? static_cast<uint64_t>(entry.gauge)
+                                : entry.counter);
+    }
+    return out;
+  };
+  EXPECT_EQ(filtered(a.registry), filtered(b.registry));
+}
+
+TEST(EngineObservabilityTest, ObserversOffRecordNothingAndChangeNothing) {
+  TracedRun off = RunTraced(/*seed=*/7, /*lossy=*/true,
+                            /*with_observers=*/false);
+  TracedRun on = RunTraced(/*seed=*/7, /*lossy=*/true,
+                           /*with_observers=*/true);
+  EXPECT_TRUE(off.registry.empty());
+  EXPECT_TRUE(off.trace.empty());
+  // Observability must be read-only: identical traffic either way.
+  EXPECT_EQ(off.net_messages, on.net_messages);
+  EXPECT_EQ(off.net_bytes, on.net_bytes);
+
+  // A disabled registry passed in explicitly also stays exactly empty.
+  MetricsRegistry disabled;
+  disabled.Disable();
+  disabled.Add(0, "x", "y");
+  EXPECT_TRUE(disabled.empty());
+}
+
+TEST(EngineObservabilityTest, StatsExportMirrorsCounters) {
+  TracedRun run = RunTraced(/*seed=*/3, /*lossy=*/false,
+                            /*with_observers=*/true);
+  MetricsRegistry reg;
+  run.engine_stats.ExportTo(&reg);
+  EXPECT_EQ(reg.CounterTotal("engine", "tuples_injected"),
+            run.engine_stats.tuples_injected);
+  EXPECT_EQ(reg.CounterTotal("engine", "join_passes"),
+            run.engine_stats.join_passes);
+  EXPECT_EQ(reg.CounterTotal("engine", "replicas_stored"),
+            run.engine_stats.replicas_stored);
+  // Null / disabled registries are no-ops.
+  run.engine_stats.ExportTo(nullptr);
+  MetricsRegistry off;
+  off.Disable();
+  run.engine_stats.ExportTo(&off);
+  EXPECT_TRUE(off.empty());
+}
+
+}  // namespace
+}  // namespace deduce

@@ -10,21 +10,33 @@
 //
 //   dlog simulate <program.dlog> --events <events file> [--grid N]
 //       [--storage row|broadcast|local|centroid] [--loss P] [--seed S]
-//       [--reliable] [--trace trace.csv]
+//       [--reliable] [--trace trace.csv] [--trace-out trace.jsonl]
+//       [--metrics-out metrics.json]
 //       Compile onto an N x N simulated sensor grid, inject the event
 //       trace, run to quiescence, print derived results and network cost.
+//       --trace-out writes the structured JSONL trace (one record per
+//       transmission/injection/retransmission, with phase and predicate
+//       attribution); --metrics-out writes the metrics-registry snapshot.
+//
+//   dlog stats <trace.jsonl>
+//       Aggregate a JSONL trace into per-phase / per-predicate message and
+//       byte tables.
 //
 // Events file: one event per line,
 //     <time_us> <node> + <fact>.
 //     <time_us> <node> - <fact>.
 // '#' starts a comment.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "deduce/common/metrics.h"
 #include "deduce/common/strings.h"
+#include "deduce/common/trace.h"
 #include "deduce/datalog/analysis.h"
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
@@ -174,7 +186,9 @@ StatusOr<std::vector<Event>> ParseEvents(const std::string& text) {
 
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
-                bool reliable, uint64_t seed, const std::string& trace_path) {
+                bool reliable, uint64_t seed, const std::string& trace_path,
+                const std::string& trace_out_path,
+                const std::string& metrics_out_path) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status());
   auto program = ParseProgram(*text);
@@ -215,6 +229,14 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
                 << (ev.delivered ? 1 : 0) << '\n';
     });
   }
+  MetricsRegistry metrics;
+  TraceWriter trace_writer;
+  if (!trace_out_path.empty()) {
+    Status st = trace_writer.OpenFile(trace_out_path);
+    if (!st.ok()) return Fail(st);
+    options.trace = &trace_writer;
+  }
+  if (!metrics_out_path.empty()) options.metrics = &metrics;
   auto engine = DistributedEngine::Create(&net, *program, options);
   if (!engine.ok()) return Fail(engine.status());
 
@@ -260,7 +282,30 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   for (const std::string& e : (*engine)->stats().errors) {
     std::fprintf(stderr, "%% error: %s\n", e.c_str());
   }
+  trace_writer.Close();
+  if (!metrics_out_path.empty()) {
+    net.stats().ExportTo(&metrics);
+    (*engine)->stats().ExportTo(&metrics);
+    std::ofstream mo(metrics_out_path);
+    if (!mo) {
+      return Fail(
+          Status::NotFound("cannot write metrics file " + metrics_out_path));
+    }
+    mo << metrics.ToJson() << "\n";
+  }
   return (*engine)->stats().errors.empty() ? 0 : 2;
+}
+
+int CmdStats(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail(Status::NotFound("cannot open trace file: " + path));
+  std::vector<std::string> errors;
+  TraceStats stats = TraceStats::Aggregate(in, &errors);
+  std::printf("%s", stats.ToTable().c_str());
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "dlog: %s\n", e.c_str());
+  }
+  return stats.bad_lines > 0 ? 2 : 0;
 }
 
 int Usage() {
@@ -270,8 +315,61 @@ int Usage() {
                "  dlog eval <program.dlog> [--query 'goal(...)'] [--magic]\n"
                "  dlog simulate <program.dlog> --events <file> [--grid N]\n"
                "       [--storage row|broadcast|local|centroid] [--loss P]\n"
-               "       [--seed S] [--reliable] [--trace trace.csv]\n");
+               "       [--seed S] [--reliable] [--trace trace.csv]\n"
+               "       [--trace-out trace.jsonl] [--metrics-out m.json]\n"
+               "  dlog stats <trace.jsonl>\n");
   return 64;
+}
+
+/// strtol/strtod-based flag parsing: the whole value must consume, and it
+/// must sit inside [min, max]. std::atoi silently turns "8x8" into 8 and
+/// "huge" into 0; these report the bad value and fail instead.
+bool ParseIntFlag(const char* flag, const char* v, long min, long max,
+                  long* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  long x = std::strtol(v, &end, 10);
+  if (errno != 0 || *end != '\0' || x < min || x > max) {
+    std::fprintf(stderr, "dlog: invalid value '%s' for %s (expected integer "
+                         "in [%ld, %ld])\n", v, flag, min, max);
+    return false;
+  }
+  *out = x;
+  return true;
+}
+
+bool ParseU64Flag(const char* flag, const char* v, uint64_t* out) {
+  if (v == nullptr || *v == '\0' || *v == '-') {
+    std::fprintf(stderr, "dlog: invalid value '%s' for %s (expected "
+                         "non-negative integer)\n", v ? v : "", flag);
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long x = std::strtoull(v, &end, 10);
+  if (errno != 0 || *end != '\0') {
+    std::fprintf(stderr, "dlog: invalid value '%s' for %s (expected "
+                         "non-negative integer)\n", v, flag);
+    return false;
+  }
+  *out = x;
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const char* v, double min, double max,
+                     double* out) {
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  double x = std::strtod(v, &end);
+  if (errno != 0 || *end != '\0' || !(x >= min && x <= max)) {
+    std::fprintf(stderr, "dlog: invalid value '%s' for %s (expected number "
+                         "in [%g, %g])\n", v, flag, min, max);
+    return false;
+  }
+  *out = x;
+  return true;
 }
 
 }  // namespace
@@ -281,10 +379,10 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   std::string path = argv[2];
 
-  std::string query, events, storage, trace;
+  std::string query, events, storage, trace, trace_out, metrics_out;
   bool magic = false;
   bool reliable = false;
-  int grid = 8;
+  long grid = 8;
   double loss = 0;
   uint64_t seed = 1;
   for (int i = 3; i < argc; ++i) {
@@ -303,9 +401,7 @@ int main(int argc, char** argv) {
       if (!v) return Usage();
       events = v;
     } else if (arg == "--grid") {
-      const char* v = next();
-      if (!v) return Usage();
-      grid = std::atoi(v);
+      if (!ParseIntFlag("--grid", next(), 1, 1024, &grid)) return Usage();
     } else if (arg == "--storage") {
       const char* v = next();
       if (!v) return Usage();
@@ -313,17 +409,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--reliable") {
       reliable = true;
     } else if (arg == "--loss") {
-      const char* v = next();
-      if (!v) return Usage();
-      loss = std::atof(v);
+      if (!ParseDoubleFlag("--loss", next(), 0.0, 1.0, &loss)) return Usage();
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return Usage();
-      seed = static_cast<uint64_t>(std::atoll(v));
+      if (!ParseU64Flag("--seed", next(), &seed)) return Usage();
     } else if (arg == "--trace") {
       const char* v = next();
       if (!v) return Usage();
       trace = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage();
+      metrics_out = v;
     } else {
       return Usage();
     }
@@ -331,10 +431,11 @@ int main(int argc, char** argv) {
 
   if (cmd == "check") return CmdCheck(path);
   if (cmd == "eval") return CmdEval(path, query, magic);
+  if (cmd == "stats") return CmdStats(path);
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
-    return CmdSimulate(path, events, grid, storage, loss, reliable, seed,
-                       trace);
+    return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
+                       reliable, seed, trace, trace_out, metrics_out);
   }
   return Usage();
 }
