@@ -1,0 +1,199 @@
+// R-Fig-6 extension: state recovery for PA storage bands (DESIGN.md §10).
+// bench_loss_robustness showed *delivery* robustness (the reliable
+// transport); this bench measures *state* robustness: crash-rebooted band
+// nodes lose their replica stores, and every later sweep that consults
+// them under-reports even though all messages arrive. We compare join
+// recall against the no-fault oracle with reboot resync off/on (under
+// crash-reboot churn) and with periodic anti-entropy off/on (under heavy
+// per-hop loss that truncates storage walks), plus the time a rebooted
+// node needs to regain full band coverage.
+//
+// Expected shape: churn with repair off loses every join that consults a
+// wiped node after its reboot; resync restores recall to ~1 for a few
+// repair messages per reboot, each completing in single-digit ms. Under
+// loss, anti-entropy heals diverged bands between injections, lifting
+// recall for later updates at a steady digest-exchange cost.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "deduce/eval/incremental.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+constexpr char kProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+/// The fault-free reference: run `work` through the centralized
+/// incremental engine.
+std::set<std::string> Reference(const Program& program,
+                                const std::vector<WorkItem>& work) {
+  auto reference = IncrementalEngine::Create(program, IncrementalOptions{});
+  if (!reference.ok()) std::abort();
+  for (const WorkItem& item : work) {
+    StreamEvent ev;
+    ev.op = item.op;
+    ev.fact = item.fact;
+    ev.id = TupleId{item.node, item.time, 0};
+    ev.time = item.time;
+    (void)(*reference)->Apply(ev, nullptr);
+  }
+  std::set<std::string> expected;
+  for (const Fact& f : (*reference)->AliveFacts(Intern("t"))) {
+    expected.insert(f.ToString());
+  }
+  return expected;
+}
+
+struct Outcome {
+  std::set<std::string> got;
+  uint64_t messages = 0;
+  EngineStats stats;
+};
+
+Outcome Run(const Topology& topo, const Program& program,
+            const LinkModel& link, const TransportOptions& transport,
+            const RepairOptions& repair, const std::vector<WorkItem>& work,
+            const FaultPlan* faults) {
+  Network net(topo, link, 11);
+  if (faults != nullptr) net.ApplyFaultPlan(*faults);
+  MetricsRegistry registry;
+  EngineOptions options;
+  options.transport = transport;
+  options.repair = repair;
+  options.metrics = &registry;
+  auto engine = DistributedEngine::Create(&net, program, options);
+  if (!engine.ok()) std::abort();
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    (void)(*engine)->Inject(item.node, item.op, item.fact);
+  }
+  net.sim().Run();
+  Outcome out;
+  for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
+    out.got.insert(f.ToString());
+  }
+  out.messages = net.stats().TotalMessages();
+  out.stats = (*engine)->stats();
+  ReportCustomRun(net, engine->get(), &registry);
+  return out;
+}
+
+void PrintRow(TablePrinter& table, const std::string& scenario,
+              const std::string& mode, const Outcome& out,
+              const std::set<std::string>& expected) {
+  size_t hit = 0;
+  for (const std::string& f : out.got) {
+    if (expected.count(f)) ++hit;
+  }
+  const EngineStats& st = out.stats;
+  double avg_resync_ms =
+      st.resyncs_completed == 0
+          ? 0.0
+          : static_cast<double>(st.resync_time_us) /
+                static_cast<double>(st.resyncs_completed) / 1000.0;
+  table.Row({scenario, mode, U64(out.got.size()), U64(expected.size()),
+             Dbl(expected.empty() ? 1.0
+                                  : static_cast<double>(hit) /
+                                        static_cast<double>(expected.size()),
+                 3),
+             U64(out.messages),
+             U64(st.resyncs_completed) + "/" + U64(st.resyncs_started),
+             Dbl(avg_resync_ms, 2), U64(st.repair_replicas_pulled),
+             U64(st.degraded_results)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  deduce::bench::OpenBenchReport(argv[0]);
+  std::printf(
+      "# R-Fig-6 extension: join recall vs the no-fault oracle when band\n"
+      "# nodes lose replica state, 10x10 grid, testbed profile.\n"
+      "# churn  = 5 interior nodes crash-reboot (1 s down, staggered),\n"
+      "#          links lossless: every miss is lost *state*, not delivery.\n"
+      "# loss   = per-hop loss 0.15 (1 MAC retry), no crashes: storage\n"
+      "#          walks truncate and bands diverge silently.\n"
+      "# resync = RepairOptions::enabled (pull at reboot);\n"
+      "# ae     = anti_entropy_period = 400 ms (periodic band exchange).\n\n");
+
+  Topology topo = Topology::Grid(10);
+  Program program = MustParse(kProgram);
+  std::vector<WorkItem> work =
+      UniformJoinWorkload(topo.node_count(), 2, 20, 31337);
+
+  TablePrinter table({"scenario", "mode", "derived", "expected", "recall",
+                      "messages", "resyncs", "avg_resync_ms", "pulled",
+                      "degraded"});
+
+  // --- crash-reboot churn, lossless links: pure state loss ---
+  std::vector<NodeId> victims = {
+      topo.GridNode(5, 3), topo.GridNode(5, 5), topo.GridNode(5, 7),
+      topo.GridNode(3, 4), topo.GridNode(7, 6)};
+  FaultPlan churn = FaultPlan::Churn(victims, /*first_fail=*/500'000,
+                                     /*downtime=*/1'000'000,
+                                     /*stagger=*/1'500'000);
+  // Dead sensors generate nothing: the oracle excludes items injected at a
+  // node while it is down.
+  auto down_at = [&](NodeId node, SimTime t) {
+    SimTime fail = 500'000;
+    for (NodeId v : victims) {
+      if (v == node && t >= fail && t < fail + 1'000'000) return true;
+      fail += 1'500'000;
+    }
+    return false;
+  };
+  std::vector<WorkItem> churn_work;
+  for (const WorkItem& item : work) {
+    if (!down_at(item.node, item.time)) churn_work.push_back(item);
+  }
+  std::set<std::string> oracle = Reference(program, churn_work);
+
+  LinkModel lossless = LinkModel::Testbed();
+  lossless.loss_rate = 0.0;
+  for (bool reliable : {false, true}) {
+    // none = no repair; resync = reboot resync; ae = anti-entropy only
+    // (reboot wipes heal too, but hop-by-hop on the next period instead of
+    // immediately at reboot).
+    for (const char* mode : {"none", "resync", "ae"}) {
+      TransportOptions transport;
+      transport.reliable = reliable;
+      RepairOptions repair;
+      repair.enabled = std::string(mode) == "resync";
+      repair.anti_entropy_period =
+          std::string(mode) == "ae" ? 400'000 : 0;
+      Outcome out = Run(topo, program, lossless, transport, repair,
+                        churn_work, &churn);
+      std::string label = std::string("tx=") + (reliable ? "on" : "off") +
+                          " repair=" + mode;
+      PrintRow(table, "churn", label, out, oracle);
+    }
+  }
+
+  // --- heavy loss, no crashes: silent band divergence ---
+  std::set<std::string> expected = Reference(program, work);
+  // MAC retries keep most hops alive (residual hop loss ~2%); the misses
+  // that remain are truncated storage walks — silent band divergence,
+  // which is exactly what anti-entropy repairs between injections.
+  LinkModel lossy = LinkModel::Testbed();
+  lossy.loss_rate = 0.15;
+  lossy.retries = 1;
+  for (bool ae : {false, true}) {
+    TransportOptions transport;  // best-effort: isolates the repair effect
+    RepairOptions repair;
+    repair.anti_entropy_period = ae ? 400'000 : 0;
+    Outcome out = Run(topo, program, lossy, transport, repair, work, nullptr);
+    PrintRow(table, "loss=0.15", std::string("ae=") + (ae ? "on" : "off"),
+             out, expected);
+  }
+  return 0;
+}

@@ -22,7 +22,8 @@ namespace deduce {
 ///         "inject"     a base-stream update entering the engine at a node
 ///         "retransmit" an end-to-end transport retransmission decision
 ///   phase "inject" | "store" | "sweep" | "result" | "agg" | "ack" |
-///         "retransmit" | "other"   — which engine phase paid for the event
+///         "repair" | "retransmit" | "other"
+///                                  — which engine phase paid for the event
 ///   pred  head/stream predicate the bytes were spent on ("" when unknown)
 ///   seq   transport sequence number or sweep pass index (0 when N/A)
 struct TraceRecord {

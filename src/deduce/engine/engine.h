@@ -24,6 +24,9 @@ struct EngineOptions {
   /// End-to-end reliable transport for engine messages (off by default:
   /// best-effort unicasts, exactly the pre-transport behavior).
   TransportOptions transport;
+  /// State repair for crash-rebooted / diverged replica stores (both modes
+  /// off by default; see repair.h and DESIGN.md §10).
+  RepairOptions repair;
   /// Observability sinks, both off (null) by default. `metrics` receives
   /// live per-phase/per-predicate traffic counters and span timings;
   /// `trace` receives one JSONL record per transmission, injection, and

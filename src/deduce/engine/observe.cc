@@ -49,6 +49,12 @@ void AttributeEngineMessage(const QueryPlan& plan, const Message& msg,
     case kAckMsg:
       *phase = "ack";
       return;
+    case kDigestRequestMsg:
+    case kDigestReplyMsg:
+    case kRepairPullMsg:
+    case kRepairPushMsg:
+      *phase = "repair";
+      return;
     case kReliableMsg: {
       StatusOr<ReliableWire> w = ReliableWire::Decode(msg);
       if (!w.ok()) {

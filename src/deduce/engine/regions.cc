@@ -90,4 +90,17 @@ std::vector<NodeId> RegionMapper::SerpentinePath() const {
 
 NodeId RegionMapper::CentroidNode() const { return centroid_; }
 
+std::vector<NodeId> RegionMapper::BandPeers(NodeId n) const {
+  std::vector<NodeId> out;
+  for (NodeId v : HorizontalPath(n)) {
+    if (v != n) out.push_back(v);
+  }
+  const Location& at = topology_->location(n);
+  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    return topology_->location(a).DistanceTo(at) <
+           topology_->location(b).DistanceTo(at);
+  });
+  return out;
+}
+
 }  // namespace deduce

@@ -40,6 +40,11 @@ class RegionMapper {
   /// The node nearest the network centroid (Centroid Approach rendezvous).
   NodeId CentroidNode() const;
 
+  /// Band members other than `n`, nearest first (Euclidean distance to `n`,
+  /// ties kept in band x-order). Candidate peers for sweep repair and for
+  /// the state-repair digest exchanges (repair.h).
+  std::vector<NodeId> BandPeers(NodeId n) const;
+
   /// Band index of a node.
   int BandOf(NodeId n) const { return band_of_[static_cast<size_t>(n)]; }
   int band_count() const { return static_cast<int>(bands_.size()); }

@@ -41,6 +41,19 @@ void EngineStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "engine", "skipped_sweep_nodes", skipped_sweep_nodes);
   registry->Add(-1, "engine", "skipped_store_nodes", skipped_store_nodes);
   registry->Add(-1, "engine", "repaired_messages", repaired_messages);
+  registry->Add(-1, "engine", "repair_digest_rounds", repair_digest_rounds);
+  registry->Add(-1, "engine", "repair_digest_replies", repair_digest_replies);
+  registry->Add(-1, "engine", "repair_replicas_pulled",
+                repair_replicas_pulled);
+  registry->Add(-1, "engine", "repair_replicas_pushed",
+                repair_replicas_pushed);
+  registry->Add(-1, "engine", "resyncs_started", resyncs_started);
+  registry->Add(-1, "engine", "resyncs_completed", resyncs_completed);
+  registry->Add(-1, "engine", "resyncs_abandoned", resyncs_abandoned);
+  registry->Add(-1, "engine", "resync_time_us", resync_time_us);
+  registry->Add(-1, "engine", "degraded_results", degraded_results);
+  registry->Set(-1, "engine", "liveness_epoch",
+                static_cast<int64_t>(liveness_epoch));
   registry->Set(-1, "engine", "errors",
                 static_cast<int64_t>(errors.size()));
 }
@@ -203,6 +216,42 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
         return;
       }
       HandleAgg(ctx, std::move(aw).value());
+      return;
+    }
+    case kDigestRequestMsg: {
+      StatusOr<DigestRequestWire> req = DigestRequestWire::Decode(msg);
+      if (!req.ok()) {
+        Fault("bad digest request: " + req.status().message());
+        return;
+      }
+      repair_.HandleDigestRequest(ctx, *req);
+      return;
+    }
+    case kDigestReplyMsg: {
+      StatusOr<DigestReplyWire> reply = DigestReplyWire::Decode(msg);
+      if (!reply.ok()) {
+        Fault("bad digest reply: " + reply.status().message());
+        return;
+      }
+      repair_.HandleDigestReply(ctx, *reply);
+      return;
+    }
+    case kRepairPullMsg: {
+      StatusOr<RepairPullWire> pull = RepairPullWire::Decode(msg);
+      if (!pull.ok()) {
+        Fault("bad repair pull: " + pull.status().message());
+        return;
+      }
+      repair_.HandleRepairPull(ctx, *pull);
+      return;
+    }
+    case kRepairPushMsg: {
+      StatusOr<RepairPushWire> push = RepairPushWire::Decode(msg);
+      if (!push.ok()) {
+        Fault("bad repair push: " + push.status().message());
+        return;
+      }
+      repair_.HandleRepairPush(ctx, *push);
       return;
     }
     default:
@@ -371,26 +420,31 @@ void NodeRuntime::RepairJoinPass(NodeContext* ctx, JoinPassWire jp) {
 
 void NodeRuntime::MarkDown(NodeId node) {
   if (node == id_) return;
-  shared_->liveness.Mark(node, true);
+  if (shared_->liveness.Mark(node, true)) {
+    shared_->stats.liveness_epoch = shared_->liveness.version;
+  }
 }
 
 void NodeRuntime::MarkUp(NodeId node) {
-  shared_->liveness.Mark(node, false);
+  if (shared_->liveness.Mark(node, false)) {
+    shared_->stats.liveness_epoch = shared_->liveness.version;
+  }
 }
 
 void NodeRuntime::OnRestart(NodeContext* ctx) {
-  (void)ctx;
-  // Volatile state is lost with the incarnation. tx_seq_ and seq_ survive:
-  // they key peers' dedup and tuple identities, so they must stay
-  // monotonic across reboots (a real mote would keep them in nonvolatile
-  // memory).
+  // Volatile state is lost with the incarnation. tx_seq_, seq_, and
+  // flood_seen_ survive: the first two key peers' dedup and tuple
+  // identities, and flood_seen_ keys the receivers' flood dedup — wiping it
+  // would let a late-arriving duplicate flood re-deliver (and rebroadcast)
+  // a tuple this incarnation already consumed. A real mote would keep all
+  // three in nonvolatile memory.
   replicas_.clear();
   home_.clear();
-  flood_seen_.clear();
   agg_state_.clear();
   timers_.clear();
   pending_.clear();
   rx_seen_.clear();
+  repair_.OnRestart(ctx);
 }
 
 // --- injection & storage phase -------------------------------------------
@@ -518,13 +572,16 @@ void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
 
 void NodeRuntime::RecordReplica(NodeContext* ctx, const StoreWire& store) {
   Replica& rep = replicas_[store.pred][store.id];
+  bool changed = false;
   if (store.deletion) {
+    changed = !rep.del_ts.has_value();
     rep.del_ts = store.del_ts;
     if (!rep.have_insert) rep.fact = store.fact;  // mark overtook insert
   } else {
     rep.fact = store.fact;
     rep.gen_ts = store.gen_ts;
     if (!rep.have_insert) {
+      changed = true;
       rep.have_insert = true;
       ++shared_->stats.replicas_stored;
       // Garbage-collect after (τs+τc)+τj+(w+τc) (§IV-B tuple expiry).
@@ -543,6 +600,9 @@ void NodeRuntime::RecordReplica(NodeContext* ctx, const StoreWire& store) {
       }
     }
   }
+  // Only genuine state changes count as anti-entropy dirt; re-deliveries
+  // must not keep the repair timer alive forever.
+  if (changed) repair_.OnReplicaActivity(ctx);
 }
 
 void NodeRuntime::HandleStore(NodeContext* ctx, StoreWire store) {
@@ -910,7 +970,8 @@ void NodeRuntime::AdvancePass(NodeContext* ctx, JoinPassWire jp,
   std::vector<Partial> partials;
   partials.reserve(jp.partials.size());
   for (const PartialWire& w : jp.partials) partials.push_back(FromWire(w));
-  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials),
+               jp.degraded);
 }
 
 bool NodeRuntime::SendStoreWalk(NodeContext* ctx, StoreWire store,
@@ -982,11 +1043,13 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
     jp.update_ts = update_ts;
     jp.update_id = id;
     jp.pass_index = 0;
+    jp.degraded = repair_.degraded();
     for (const Partial& p : partials) jp.partials.push_back(ToWire(p));
 
     switch (delta.strategy) {
       case JoinStrategy::kLocalOnly:
-        EmitComplete(ctx, delta, removal, update_ts, std::move(partials));
+        EmitComplete(ctx, delta, removal, update_ts, std::move(partials),
+                     jp.degraded);
         break;
       case JoinStrategy::kCentroid: {
         NodeId centroid = shared_->regions->CentroidNode();
@@ -1019,6 +1082,9 @@ void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
     return;
   }
   const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
+  // A rebooted, not-yet-resynced store may be missing band replicas: taint
+  // every pass that runs through it so its results are flagged.
+  if (repair_.degraded()) jp.degraded = true;
   shared_->stats.max_partials_in_message = std::max(
       shared_->stats.max_partials_in_message,
       static_cast<uint64_t>(jp.partials.size()));
@@ -1042,7 +1108,8 @@ void NodeRuntime::RunPassHere(NodeContext* ctx, JoinPassWire jp) {
     ProcessPartialsHere(ctx, delta, jp.removal, jp.update_ts, jp.update_id,
                         /*extend_literal=*/-2, /*at_launch=*/false,
                         &partials);
-    EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+    EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials),
+                 jp.degraded);
     return;
   }
 
@@ -1177,12 +1244,13 @@ void NodeRuntime::RunRouteStep(NodeContext* ctx, JoinPassWire jp) {
   // local-route (the duplicates live at the update's own home). jp may have
   // travelled, so re-checking here would be incomplete; the launch node did
   // it via LaunchJoinPasses -> ... -> RunRouteStep step 0 at the source.
-  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials));
+  EmitComplete(ctx, delta, jp.removal, jp.update_ts, std::move(partials),
+               jp.degraded);
 }
 
 void NodeRuntime::EmitComplete(NodeContext* ctx, const DeltaPlan& delta,
                                bool removal, Timestamp update_ts,
-                               std::vector<Partial> partials) {
+                               std::vector<Partial> partials, bool degraded) {
   const Rule& rule = shared_->plan.program.rules()[delta.rule_index];
   const auto& sweep_neg =
       shared_->sweep_checked_negation[&delta - shared_->plan.deltas.data()];
@@ -1232,6 +1300,7 @@ void NodeRuntime::EmitComplete(NodeContext* ctx, const DeltaPlan& delta,
     std::sort(p.support.begin(), p.support.end());
     for (const auto& [lit, tid] : p.support) rw.support.push_back(tid);
     rw.update_ts = update_ts;
+    rw.degraded = degraded;
     ShipResult(ctx, std::move(rw));
   }
 }
@@ -1424,6 +1493,14 @@ void NodeRuntime::HandleResult(NodeContext* ctx, ResultWire rw) {
 }
 
 void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
+  if (rw.degraded) {
+    // Observability only: the result is sound, but its producing pass ran
+    // through a not-yet-resynced store and siblings may be missing.
+    ++shared_->stats.degraded_results;
+    if (shared_->metrics != nullptr) {
+      shared_->metrics->Add(id_, "repair", "degraded_results");
+    }
+  }
   HomeRel& rel = home_[rw.pred];
   auto [it, inserted] = rel.map.emplace(rw.fact, HomeEntry{});
   if (inserted) rel.order.push_back(rw.fact);

@@ -9,11 +9,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "deduce/common/logging.h"
 #include "deduce/common/metrics.h"
 #include "deduce/common/trace.h"
 #include "deduce/datalog/unify.h"
 #include "deduce/engine/plan.h"
 #include "deduce/engine/regions.h"
+#include "deduce/engine/repair.h"
 #include "deduce/engine/wire.h"
 #include "deduce/eval/incremental.h"  // Derivation
 #include "deduce/routing/geo_hash.h"
@@ -58,6 +60,29 @@ struct EngineStats {
   /// Given-up messages salvaged by path repair (sweep or storage walk).
   uint64_t repaired_messages = 0;
 
+  // --- state-repair counters (EngineOptions::repair; repair.h). All zero
+  //     when both repair modes are off. ---
+  /// Digest exchanges started (reboot resyncs + anti-entropy rounds).
+  uint64_t repair_digest_rounds = 0;
+  /// Digest requests served.
+  uint64_t repair_digest_replies = 0;
+  /// Replica records merged into a store from repair pushes.
+  uint64_t repair_replicas_pulled = 0;
+  /// Replica records shipped while serving repair pulls.
+  uint64_t repair_replicas_pushed = 0;
+  /// Reboot resyncs begun (one per OnRestart with repair enabled).
+  uint64_t resyncs_started = 0;
+  uint64_t resyncs_completed = 0;
+  /// Resyncs given up (no alive band peer / attempt budget exhausted).
+  uint64_t resyncs_abandoned = 0;
+  /// Total local time spent degraded between reboot and resync completion.
+  uint64_t resync_time_us = 0;
+  /// Results whose producing pass ran through a degraded node.
+  uint64_t degraded_results = 0;
+  /// Mirror of LivenessView::version (gauge): bumps once per suspicion
+  /// change, making liveness churn visible in metrics snapshots.
+  uint64_t liveness_epoch = 1;
+
   /// Runtime faults (decode failures, unroutable homes, ...). Non-empty
   /// means a bug or an injected fault; equivalence tests assert empty.
   std::vector<std::string> errors;
@@ -101,9 +126,17 @@ struct LivenessView {
     return i < down.size() && down[i] != 0;
   }
   /// Sets node `n`'s suspicion bit; returns true if the view changed.
+  /// Out-of-range ids are rejected loudly: they mean a corrupted NodeId
+  /// escaped wire decoding, and silently dropping the suspicion would let
+  /// routing keep trusting a node the transport just proved unreachable.
   bool Mark(NodeId n, bool is_down) {
     size_t i = static_cast<size_t>(n);
-    if (i >= down.size()) return false;
+    if (i >= down.size()) {
+      DEDUCE_LOG(kWarning) << "LivenessView::Mark(" << n
+                           << "): node id out of range (view size "
+                           << down.size() << ")";
+      return false;
+    }
     if ((down[i] != 0) == is_down) return false;
     down[i] = is_down ? 1 : 0;
     ++version;
@@ -141,6 +174,7 @@ struct EngineShared {
   EngineTiming timing;
   EngineStats stats;
   TransportOptions transport;
+  RepairOptions repair;
   LivenessView liveness;
   /// The network's link model (RTO computation); owned by the Network.
   const LinkModel* link = nullptr;
@@ -186,6 +220,10 @@ class NodeRuntime : public NodeApp {
   size_t DerivationCount() const;
 
  private:
+  /// The repair protocol driver reaches into the replica store and the
+  /// send/timer plumbing (repair.h).
+  friend class RepairManager;
+
   /// One replica of a tuple, placed here by a storage phase.
   struct Replica {
     Fact fact;
@@ -311,7 +349,8 @@ class NodeRuntime : public NodeApp {
 
   bool IsPositiveComplete(const DeltaPlan& delta, const Partial& p) const;
   void EmitComplete(NodeContext* ctx, const DeltaPlan& delta, bool removal,
-                    Timestamp update_ts, std::vector<Partial> partials);
+                    Timestamp update_ts, std::vector<Partial> partials,
+                    bool degraded);
 
   // --- incremental aggregates (AggregatePlan) ---
   void LaunchAggregates(NodeContext* ctx, SymbolId pred, const Fact& fact,
@@ -344,6 +383,7 @@ class NodeRuntime : public NodeApp {
 
   EngineShared* shared_;
   NodeId id_;
+  RepairManager repair_{this};
 
   std::unordered_map<SymbolId, std::map<TupleId, Replica>> replicas_;
   struct HomeRel {

@@ -86,6 +86,7 @@ Message JoinPassWire::Encode() const {
       w.WriteTupleId(id);
     }
   }
+  w.WriteUint(degraded ? 1 : 0);
   Message m;
   m.type = kJoinPassMsg;
   m.payload = w.Take();
@@ -125,6 +126,8 @@ StatusOr<JoinPassWire> JoinPassWire::Decode(const Message& msg) {
     }
     out.partials.push_back(std::move(p));
   }
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t degraded, r.ReadUint());
+  out.degraded = degraded != 0;
   return out;
 }
 
@@ -138,6 +141,7 @@ Message ResultWire::Encode() const {
   w.WriteUint(support.size());
   for (const TupleId& id : support) w.WriteTupleId(id);
   w.WriteInt(update_ts);
+  w.WriteUint(degraded ? 1 : 0);
   Message m;
   m.type = kResultMsg;
   m.payload = w.Take();
@@ -161,6 +165,8 @@ StatusOr<ResultWire> ResultWire::Decode(const Message& msg) {
     out.support.push_back(id);
   }
   DEDUCE_ASSIGN_OR_RETURN(out.update_ts, r.ReadInt());
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t degraded, r.ReadUint());
+  out.degraded = degraded != 0;
   return out;
 }
 
@@ -255,6 +261,183 @@ StatusOr<ReliableWire> ReliableWire::Decode(const Message& msg) {
   out.inner_type = static_cast<uint16_t>(type);
   DEDUCE_ASSIGN_OR_RETURN(std::string bytes, r.ReadBytes());
   out.inner_payload.assign(bytes.begin(), bytes.end());
+  return out;
+}
+
+Message DigestRequestWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(requester);
+  w.WriteUint(round);
+  w.WriteUint(anti_entropy ? 1 : 0);
+  Message m;
+  m.type = kDigestRequestMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<DigestRequestWire> DigestRequestWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  DigestRequestWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t requester, r.ReadInt());
+  out.requester = static_cast<NodeId>(requester);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t round, r.ReadUint());
+  out.round = static_cast<uint32_t>(round);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t ae, r.ReadUint());
+  out.anti_entropy = ae != 0;
+  return out;
+}
+
+Message DigestReplyWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(replier);
+  w.WriteUint(round);
+  w.WriteUint(digests.size());
+  for (const PredDigest& d : digests) {
+    w.WriteSymbol(d.pred);
+    w.WriteUint(d.count);
+    w.WriteUint(d.fingerprint);
+  }
+  Message m;
+  m.type = kDigestReplyMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<DigestReplyWire> DigestReplyWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  DigestReplyWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t replier, r.ReadInt());
+  out.replier = static_cast<NodeId>(replier);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t round, r.ReadUint());
+  out.round = static_cast<uint32_t>(round);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r.ReadUint());
+  if (n > r.remaining() + 1) {
+    return StatusOr<DigestReplyWire>(
+        Status::InvalidArgument("digest list length exceeds payload"));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    PredDigest d;
+    DEDUCE_ASSIGN_OR_RETURN(d.pred, r.ReadSymbol());
+    DEDUCE_ASSIGN_OR_RETURN(d.count, r.ReadUint());
+    DEDUCE_ASSIGN_OR_RETURN(d.fingerprint, r.ReadUint());
+    out.digests.push_back(d);
+  }
+  return out;
+}
+
+Message RepairPullWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(requester);
+  w.WriteUint(round);
+  w.WriteUint(reverse ? 1 : 0);
+  w.WriteUint(preds.size());
+  for (SymbolId p : preds) w.WriteSymbol(p);
+  w.WriteUint(known.size());
+  for (const Known& k : known) {
+    w.WriteSymbol(k.pred);
+    w.WriteTupleId(k.id);
+    w.WriteUint(k.have_insert ? 1 : 0);
+    w.WriteUint(k.has_del ? 1 : 0);
+  }
+  Message m;
+  m.type = kRepairPullMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<RepairPullWire> RepairPullWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  RepairPullWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t requester, r.ReadInt());
+  out.requester = static_cast<NodeId>(requester);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t round, r.ReadUint());
+  out.round = static_cast<uint32_t>(round);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t reverse, r.ReadUint());
+  out.reverse = reverse != 0;
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t np, r.ReadUint());
+  if (np > r.remaining() + 1) {
+    return StatusOr<RepairPullWire>(
+        Status::InvalidArgument("pred list length exceeds payload"));
+  }
+  for (uint64_t i = 0; i < np; ++i) {
+    DEDUCE_ASSIGN_OR_RETURN(SymbolId p, r.ReadSymbol());
+    out.preds.push_back(p);
+  }
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t nk, r.ReadUint());
+  if (nk > r.remaining() + 1) {
+    return StatusOr<RepairPullWire>(
+        Status::InvalidArgument("known list length exceeds payload"));
+  }
+  for (uint64_t i = 0; i < nk; ++i) {
+    Known k;
+    DEDUCE_ASSIGN_OR_RETURN(k.pred, r.ReadSymbol());
+    DEDUCE_ASSIGN_OR_RETURN(k.id, r.ReadTupleId());
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t ins, r.ReadUint());
+    k.have_insert = ins != 0;
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t del, r.ReadUint());
+    k.has_del = del != 0;
+    out.known.push_back(k);
+  }
+  return out;
+}
+
+Message RepairPushWire::Encode() const {
+  PayloadWriter w;
+  w.WriteInt(final_target);
+  w.WriteInt(replier);
+  w.WriteUint(round);
+  w.WriteUint(entries.size());
+  for (const Entry& e : entries) {
+    w.WriteSymbol(e.pred);
+    w.WriteFact(e.fact);
+    w.WriteTupleId(e.id);
+    w.WriteInt(e.gen_ts);
+    w.WriteUint(e.have_insert ? 1 : 0);
+    w.WriteUint(e.has_del ? 1 : 0);
+    w.WriteInt(e.del_ts);
+  }
+  Message m;
+  m.type = kRepairPushMsg;
+  m.payload = w.Take();
+  return m;
+}
+
+StatusOr<RepairPushWire> RepairPushWire::Decode(const Message& msg) {
+  PayloadReader r(msg.payload);
+  RepairPushWire out;
+  DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
+  out.final_target = static_cast<NodeId>(target);
+  DEDUCE_ASSIGN_OR_RETURN(int64_t replier, r.ReadInt());
+  out.replier = static_cast<NodeId>(replier);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t round, r.ReadUint());
+  out.round = static_cast<uint32_t>(round);
+  DEDUCE_ASSIGN_OR_RETURN(uint64_t n, r.ReadUint());
+  if (n > r.remaining() + 1) {
+    return StatusOr<RepairPushWire>(
+        Status::InvalidArgument("entry list length exceeds payload"));
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    DEDUCE_ASSIGN_OR_RETURN(e.pred, r.ReadSymbol());
+    DEDUCE_ASSIGN_OR_RETURN(e.fact, r.ReadFact());
+    DEDUCE_ASSIGN_OR_RETURN(e.id, r.ReadTupleId());
+    DEDUCE_ASSIGN_OR_RETURN(e.gen_ts, r.ReadInt());
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t ins, r.ReadUint());
+    e.have_insert = ins != 0;
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t del, r.ReadUint());
+    e.has_del = del != 0;
+    DEDUCE_ASSIGN_OR_RETURN(e.del_ts, r.ReadInt());
+    out.entries.push_back(std::move(e));
+  }
   return out;
 }
 

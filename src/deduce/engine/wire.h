@@ -11,12 +11,16 @@ namespace deduce {
 
 /// Engine message types (Message::type values).
 enum EngineMsgType : uint16_t {
-  kStoreMsg = 1,     ///< Storage-phase replication / deletion marking.
-  kJoinPassMsg = 2,  ///< Join-computation pass carrying partial results.
-  kResultMsg = 3,    ///< Complete result shipped to its home node.
-  kAggMsg = 4,       ///< Aggregate contribution heading to its group home.
-  kAckMsg = 5,       ///< End-to-end transport acknowledgement.
-  kReliableMsg = 6,  ///< Transport envelope around any engine message.
+  kStoreMsg = 1,          ///< Storage-phase replication / deletion marking.
+  kJoinPassMsg = 2,       ///< Join-computation pass carrying partial results.
+  kResultMsg = 3,         ///< Complete result shipped to its home node.
+  kAggMsg = 4,            ///< Aggregate contribution heading to its group home.
+  kAckMsg = 5,            ///< End-to-end transport acknowledgement.
+  kReliableMsg = 6,       ///< Transport envelope around any engine message.
+  kDigestRequestMsg = 7,  ///< Repair: ask a band peer for store digests.
+  kDigestReplyMsg = 8,    ///< Repair: per-predicate digests of shared replicas.
+  kRepairPullMsg = 9,     ///< Repair: request replicas missing from a store.
+  kRepairPushMsg = 10,    ///< Repair: replica records answering a pull.
 };
 
 /// Storage-phase message (§III-A storage phase; §IV-A deletion marking).
@@ -57,6 +61,10 @@ struct JoinPassWire {
   uint32_t pass_index = 0;   ///< Multipass pass / local-route step index.
   std::vector<NodeId> path_remaining;
   std::vector<PartialWire> partials;
+  /// Some visited node was rebooted and not yet resynced (repair.h), so the
+  /// pass may have missed replicas the band still holds. Sticky: once set it
+  /// travels to the emitted results.
+  bool degraded = false;
 
   Message Encode() const;
   static StatusOr<JoinPassWire> Decode(const Message& msg);
@@ -72,6 +80,9 @@ struct ResultWire {
   int32_t rule_id = -1;
   std::vector<TupleId> support;
   Timestamp update_ts = 0;
+  /// The producing pass ran through a degraded (rebooted, not-yet-resynced)
+  /// node; the result is sound but its generation may be incomplete.
+  bool degraded = false;
 
   Message Encode() const;
   static StatusOr<ResultWire> Decode(const Message& msg);
@@ -117,6 +128,85 @@ struct ReliableWire {
 
   Message Encode() const;
   static StatusOr<ReliableWire> Decode(const Message& msg);
+};
+
+/// Compact per-predicate summary of the replicas two band peers should
+/// share: tuple count plus an order-independent XOR fingerprint over the
+/// TupleIds (perturbed by the deletion-mark bit). Equal digests mean the
+/// two stores agree with overwhelming probability; unequal digests trigger
+/// a RepairPull (repair.h).
+struct PredDigest {
+  SymbolId pred = 0;
+  uint64_t count = 0;
+  uint64_t fingerprint = 0;
+};
+
+/// Repair: opens a digest exchange — asks `final_target` to summarize the
+/// replicas the two nodes are both expected to hold.
+struct DigestRequestWire {
+  NodeId final_target = kNoNode;
+  NodeId requester = kNoNode;
+  uint32_t round = 0;         ///< Requester-local exchange id.
+  bool anti_entropy = false;  ///< Periodic exchange (vs reboot resync).
+
+  Message Encode() const;
+  static StatusOr<DigestRequestWire> Decode(const Message& msg);
+};
+
+/// Repair: per-predicate digests of the replier's shareable replicas.
+struct DigestReplyWire {
+  NodeId final_target = kNoNode;
+  NodeId replier = kNoNode;
+  uint32_t round = 0;  ///< Echoed from the request.
+  std::vector<PredDigest> digests;
+
+  Message Encode() const;
+  static StatusOr<DigestReplyWire> Decode(const Message& msg);
+};
+
+/// Repair: asks the peer to push the replicas of `preds` the requester is
+/// missing. `known` lists what the requester already holds so the peer
+/// ships only the difference; it doubles as the peer's chance to notice
+/// requester-side surplus and pull back (the `reverse` leg).
+struct RepairPullWire {
+  NodeId final_target = kNoNode;
+  NodeId requester = kNoNode;
+  uint32_t round = 0;
+  /// Pull issued while serving a pull; a reverse pull is never answered
+  /// with another reverse pull, so an exchange terminates in ≤ 3 legs.
+  bool reverse = false;
+  std::vector<SymbolId> preds;  ///< Predicates whose digests disagreed.
+  struct Known {
+    SymbolId pred = 0;
+    TupleId id;
+    bool have_insert = false;
+    bool has_del = false;
+  };
+  std::vector<Known> known;
+
+  Message Encode() const;
+  static StatusOr<RepairPullWire> Decode(const Message& msg);
+};
+
+/// Repair: replica records answering a pull. An empty push is still sent —
+/// it is the round-completion signal for the requester.
+struct RepairPushWire {
+  NodeId final_target = kNoNode;
+  NodeId replier = kNoNode;
+  uint32_t round = 0;  ///< Echoed from the pull.
+  struct Entry {
+    SymbolId pred = 0;
+    Fact fact;
+    TupleId id;
+    Timestamp gen_ts = 0;
+    bool have_insert = false;
+    bool has_del = false;
+    Timestamp del_ts = 0;
+  };
+  std::vector<Entry> entries;
+
+  Message Encode() const;
+  static StatusOr<RepairPushWire> Decode(const Message& msg);
 };
 
 /// Reads only the final_target field (first field of every engine message)

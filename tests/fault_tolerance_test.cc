@@ -11,6 +11,7 @@
 
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
+#include "test_util.h"
 
 namespace deduce {
 namespace {
@@ -93,7 +94,7 @@ TEST(FaultToleranceTest, CleanRunHasZeroFaultCounters) {
   transport.reliable = true;
   RunOutcome out = RunTwoStreamJoin(Topology::Grid(5), ExactLink(), transport,
                                     /*pairs=*/3, /*r_node=*/2, /*s_node=*/22,
-                                    /*seed=*/5);
+                                    /*seed=*/TestSeed(5));
   EXPECT_TRUE(out.stats.errors.empty());
   EXPECT_EQ(out.facts, ExpectedPairs(3, 2, 22));
   // The transport carried traffic...
@@ -119,14 +120,15 @@ TEST(FaultToleranceTest, LossyRunConvergesToLossFreeReference) {
   transport.max_retries = 6;
   RunOutcome lossy = RunTwoStreamJoin(Topology::Grid(5), link, transport,
                                       /*pairs=*/5, /*r_node=*/2,
-                                      /*s_node=*/22, /*seed=*/11);
+                                      /*s_node=*/22, /*seed=*/TestSeed(11));
   // Lost store/pass/result messages were retransmitted until acked: the
   // lossy run derives exactly what a loss-free run derives.
   EXPECT_TRUE(lossy.stats.errors.empty());
   EXPECT_EQ(lossy.facts, ExpectedPairs(5, 2, 22));
-  // Loss really happened and the transport really worked for it.
+  // Loss really happened and the transport really worked for it. (Only
+  // >=: on some seeds every lost hop is a data hop, so all acks arrive.)
   EXPECT_GT(lossy.stats.retransmissions, 0u);
-  EXPECT_GT(lossy.stats.acks_sent, lossy.stats.acks_received);
+  EXPECT_GE(lossy.stats.acks_sent, lossy.stats.acks_received);
 }
 
 TEST(FaultToleranceTest, LossyRunIsDeterministic) {
@@ -138,7 +140,7 @@ TEST(FaultToleranceTest, LossyRunIsDeterministic) {
   transport.max_retries = 8;
   auto run = [&] {
     return RunTwoStreamJoin(Topology::Grid(4), link, transport, /*pairs=*/3,
-                            /*r_node=*/1, /*s_node=*/14, /*seed=*/77);
+                            /*r_node=*/1, /*s_node=*/14, /*seed=*/TestSeed(77));
   };
   RunOutcome a = run();
   RunOutcome b = run();
@@ -198,7 +200,7 @@ TEST(FaultToleranceTest, FailedSweepColumnNodesAreReplacedByBandAlternates) {
   auto run_one = [&](const TransportOptions& transport, int k,
                      NodeId r_node, NodeId s_node) {
     return RunTwoStreamJoin(topo, link, transport, /*pairs=*/1, r_node,
-                            s_node, /*seed=*/static_cast<uint64_t>(40 + k),
+                            s_node, /*seed=*/TestSeed(static_cast<uint64_t>(40 + k)),
                             &faults);
   };
 
@@ -242,7 +244,7 @@ TEST(FaultToleranceTest, CrashRebootChurnDoesNotWedgeTheEngine) {
   RunOutcome out = RunTwoStreamJoin(topo, ExactLink(), transport,
                                     /*pairs=*/5, /*r_node=*/topo.GridNode(0, 0),
                                     /*s_node=*/topo.GridNode(4, 4),
-                                    /*seed=*/9, &churn);
+                                    /*seed=*/TestSeed(9), &churn);
   EXPECT_TRUE(out.stats.errors.empty());
   EXPECT_EQ(out.nodes_recovered, 3u);
   EXPECT_EQ(out.facts,

@@ -118,6 +118,24 @@ TEST(RegionMapperTest, GridCentroidIsCentral) {
   EXPECT_EQ(regions.CentroidNode(), topo.GridNode(2, 2));
 }
 
+TEST(RegionMapperTest, BandPeersAreNearestFirst) {
+  Topology topo = Topology::Grid(4);
+  RegionMapper regions(&topo);
+  // Band y=2 in x order is (0,2)..(3,2). Peers of (1,2): the two
+  // distance-1 neighbors tie and keep band x-order, then (3,2).
+  EXPECT_EQ(regions.BandPeers(topo.GridNode(1, 2)),
+            (std::vector<NodeId>{topo.GridNode(0, 2), topo.GridNode(2, 2),
+                                 topo.GridNode(3, 2)}));
+  // A band edge member has all peers on one side.
+  EXPECT_EQ(regions.BandPeers(topo.GridNode(0, 1)),
+            (std::vector<NodeId>{topo.GridNode(1, 1), topo.GridNode(2, 1),
+                                 topo.GridNode(3, 1)}));
+  // Single-node "band": no peers.
+  Topology single = Topology::Grid(1);
+  RegionMapper one(&single);
+  EXPECT_TRUE(one.BandPeers(0).empty());
+}
+
 TEST(RegionMapperTest, GridSerpentineAlternates) {
   Topology topo = Topology::Grid(3);
   RegionMapper regions(&topo);

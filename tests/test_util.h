@@ -1,0 +1,27 @@
+// Shared helpers for the test binaries.
+
+#ifndef DEDUCE_TESTS_TEST_UTIL_H_
+#define DEDUCE_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace deduce {
+
+/// Derives a deterministic per-test RNG seed from `base` and the
+/// DEDUCE_TEST_SEED environment variable, so CI can sweep the
+/// stochastic tests (loss, jitter, churn) across several seeds without
+/// touching the sources. Unset/empty/garbage => `base` unchanged, which
+/// keeps plain local runs byte-for-byte reproducible.
+inline uint64_t TestSeed(uint64_t base) {
+  const char* env = std::getenv("DEDUCE_TEST_SEED");
+  if (env == nullptr || *env == '\0') return base;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return base;
+  return base + 1'000'003 * static_cast<uint64_t>(v);
+}
+
+}  // namespace deduce
+
+#endif  // DEDUCE_TESTS_TEST_UTIL_H_

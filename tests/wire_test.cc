@@ -88,6 +88,7 @@ TEST(WireTest, JoinPassRoundTrip) {
     w.update_ts = rng.Uniform(0, 1 << 30);
     w.update_id = TupleId{3, 12345, 6};
     w.pass_index = static_cast<uint32_t>(rng.Uniform(0, 4));
+    w.degraded = rng.Bernoulli(0.5);
     for (int k = 0; k < rng.Uniform(0, 4); ++k) {
       w.path_remaining.push_back(static_cast<NodeId>(rng.Uniform(0, 99)));
     }
@@ -113,6 +114,7 @@ TEST(WireTest, JoinPassRoundTrip) {
     EXPECT_EQ(back->removal, w.removal);
     EXPECT_EQ(back->update_ts, w.update_ts);
     EXPECT_EQ(back->pass_index, w.pass_index);
+    EXPECT_EQ(back->degraded, w.degraded);
     ASSERT_EQ(back->partials.size(), w.partials.size());
     for (size_t p = 0; p < w.partials.size(); ++p) {
       EXPECT_EQ(back->partials[p].matched_mask, w.partials[p].matched_mask);
@@ -135,12 +137,14 @@ TEST(WireTest, ResultRoundTrip) {
       w.support.push_back(TupleId{static_cast<NodeId>(s), 77, 1});
     }
     w.update_ts = rng.Uniform(0, 1 << 30);
+    w.degraded = rng.Bernoulli(0.5);
     auto back = ResultWire::Decode(w.Encode());
     ASSERT_TRUE(back.ok()) << back.status();
     EXPECT_EQ(back->fact, w.fact);
     EXPECT_EQ(back->removal, w.removal);
     EXPECT_EQ(back->rule_id, w.rule_id);
     EXPECT_EQ(back->support, w.support);
+    EXPECT_EQ(back->degraded, w.degraded);
   }
 }
 
@@ -203,6 +207,111 @@ TEST(WireTest, ReliableRoundTrip) {
   }
 }
 
+TEST(WireTest, RepairWiresRoundTrip) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    DigestRequestWire req;
+    req.final_target = static_cast<NodeId>(rng.Uniform(0, 99));
+    req.requester = static_cast<NodeId>(rng.Uniform(0, 99));
+    req.round = static_cast<uint32_t>(rng.Uniform(0, 1 << 30));
+    req.anti_entropy = rng.Bernoulli(0.5);
+    Message req_msg = req.Encode();
+    auto req_back = DigestRequestWire::Decode(req_msg);
+    ASSERT_TRUE(req_back.ok()) << req_back.status();
+    EXPECT_EQ(req_back->requester, req.requester);
+    EXPECT_EQ(req_back->round, req.round);
+    EXPECT_EQ(req_back->anti_entropy, req.anti_entropy);
+    auto peek = PeekFinalTarget(req_msg);
+    ASSERT_TRUE(peek.ok());
+    EXPECT_EQ(*peek, req.final_target);
+
+    DigestReplyWire reply;
+    reply.final_target = req.requester;
+    reply.replier = req.final_target;
+    reply.round = req.round;
+    for (int d = 0; d < rng.Uniform(0, 4); ++d) {
+      PredDigest pd;
+      pd.pred = Intern("p" + std::to_string(d));
+      pd.count = rng.NextUint64();
+      pd.fingerprint = rng.NextUint64();
+      reply.digests.push_back(pd);
+    }
+    auto reply_back = DigestReplyWire::Decode(reply.Encode());
+    ASSERT_TRUE(reply_back.ok()) << reply_back.status();
+    EXPECT_EQ(reply_back->replier, reply.replier);
+    EXPECT_EQ(reply_back->round, reply.round);
+    ASSERT_EQ(reply_back->digests.size(), reply.digests.size());
+    for (size_t d = 0; d < reply.digests.size(); ++d) {
+      EXPECT_EQ(reply_back->digests[d].pred, reply.digests[d].pred);
+      EXPECT_EQ(reply_back->digests[d].count, reply.digests[d].count);
+      EXPECT_EQ(reply_back->digests[d].fingerprint,
+                reply.digests[d].fingerprint);
+    }
+
+    RepairPullWire pull;
+    pull.final_target = static_cast<NodeId>(rng.Uniform(0, 99));
+    pull.requester = static_cast<NodeId>(rng.Uniform(0, 99));
+    pull.round = req.round;
+    pull.reverse = rng.Bernoulli(0.5);
+    for (int p = 0; p < rng.Uniform(0, 3); ++p) {
+      pull.preds.push_back(Intern("p" + std::to_string(p)));
+    }
+    for (int k = 0; k < rng.Uniform(0, 4); ++k) {
+      RepairPullWire::Known known;
+      known.pred = Intern("p0");
+      known.id = TupleId{static_cast<NodeId>(rng.Uniform(0, 99)),
+                         rng.Uniform(0, 1000000), static_cast<uint32_t>(k)};
+      known.have_insert = rng.Bernoulli(0.5);
+      known.has_del = rng.Bernoulli(0.5);
+      pull.known.push_back(known);
+    }
+    auto pull_back = RepairPullWire::Decode(pull.Encode());
+    ASSERT_TRUE(pull_back.ok()) << pull_back.status();
+    EXPECT_EQ(pull_back->requester, pull.requester);
+    EXPECT_EQ(pull_back->reverse, pull.reverse);
+    EXPECT_EQ(pull_back->preds, pull.preds);
+    ASSERT_EQ(pull_back->known.size(), pull.known.size());
+    for (size_t k = 0; k < pull.known.size(); ++k) {
+      EXPECT_EQ(pull_back->known[k].pred, pull.known[k].pred);
+      EXPECT_EQ(pull_back->known[k].id, pull.known[k].id);
+      EXPECT_EQ(pull_back->known[k].have_insert, pull.known[k].have_insert);
+      EXPECT_EQ(pull_back->known[k].has_del, pull.known[k].has_del);
+    }
+
+    RepairPushWire push;
+    push.final_target = pull.requester;
+    push.replier = pull.final_target;
+    push.round = pull.round;
+    for (int e = 0; e < rng.Uniform(0, 4); ++e) {
+      RepairPushWire::Entry entry;
+      entry.pred = Intern("p" + std::to_string(e));
+      entry.fact = RandomFact(&rng);
+      entry.id = TupleId{static_cast<NodeId>(rng.Uniform(0, 99)),
+                         rng.Uniform(0, 1000000), static_cast<uint32_t>(e)};
+      entry.gen_ts = rng.Uniform(0, 1000000);
+      entry.have_insert = rng.Bernoulli(0.5);
+      entry.has_del = rng.Bernoulli(0.5);
+      entry.del_ts = rng.Uniform(0, 1000000);
+      push.entries.push_back(std::move(entry));
+    }
+    auto push_back = RepairPushWire::Decode(push.Encode());
+    ASSERT_TRUE(push_back.ok()) << push_back.status();
+    EXPECT_EQ(push_back->replier, push.replier);
+    EXPECT_EQ(push_back->round, push.round);
+    ASSERT_EQ(push_back->entries.size(), push.entries.size());
+    for (size_t e = 0; e < push.entries.size(); ++e) {
+      EXPECT_EQ(push_back->entries[e].pred, push.entries[e].pred);
+      EXPECT_EQ(push_back->entries[e].fact, push.entries[e].fact);
+      EXPECT_EQ(push_back->entries[e].id, push.entries[e].id);
+      EXPECT_EQ(push_back->entries[e].gen_ts, push.entries[e].gen_ts);
+      EXPECT_EQ(push_back->entries[e].have_insert,
+                push.entries[e].have_insert);
+      EXPECT_EQ(push_back->entries[e].has_del, push.entries[e].has_del);
+      EXPECT_EQ(push_back->entries[e].del_ts, push.entries[e].del_ts);
+    }
+  }
+}
+
 /// Fuzz: random bytes must never crash a decoder — only produce errors or
 /// (rarely) a valid message.
 TEST(WireTest, FuzzDecodersNeverCrash) {
@@ -219,6 +328,10 @@ TEST(WireTest, FuzzDecodersNeverCrash) {
     (void)ResultWire::Decode(m);
     (void)AckWire::Decode(m);
     (void)ReliableWire::Decode(m);
+    (void)DigestRequestWire::Decode(m);
+    (void)DigestReplyWire::Decode(m);
+    (void)RepairPullWire::Decode(m);
+    (void)RepairPushWire::Decode(m);
     (void)PeekFinalTarget(m);
   }
   SUCCEED();

@@ -10,7 +10,8 @@
 //
 //   dlog simulate <program.dlog> --events <events file> [--grid N]
 //       [--storage row|broadcast|local|centroid] [--loss P] [--seed S]
-//       [--reliable] [--trace trace.csv] [--trace-out trace.jsonl]
+//       [--reliable] [--repair] [--anti-entropy-period US]
+//       [--trace trace.csv] [--trace-out trace.jsonl]
 //       [--metrics-out metrics.json]
 //       Compile onto an N x N simulated sensor grid, inject the event
 //       trace, run to quiescence, print derived results and network cost.
@@ -186,7 +187,8 @@ StatusOr<std::vector<Event>> ParseEvents(const std::string& text) {
 
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
-                bool reliable, uint64_t seed, const std::string& trace_path,
+                bool reliable, const RepairOptions& repair, uint64_t seed,
+                const std::string& trace_path,
                 const std::string& trace_out_path,
                 const std::string& metrics_out_path) {
   auto text = ReadFile(path);
@@ -200,6 +202,7 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
 
   EngineOptions options;
   options.transport.reliable = reliable;
+  options.repair = repair;
   if (storage == "row" || storage.empty()) {
     options.planner.default_storage = StoragePolicy::kRow;
   } else if (storage == "broadcast") {
@@ -279,6 +282,20 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
         static_cast<unsigned long long>(es.gave_up_messages),
         static_cast<unsigned long long>(es.repaired_messages));
   }
+  if (repair.any()) {
+    const EngineStats& es = (*engine)->stats();
+    std::fprintf(
+        stderr,
+        "%% repair: %llu digest rounds, %llu replicas pulled, %llu pushed; "
+        "resyncs %llu/%llu (%llu abandoned); %llu degraded results\n",
+        static_cast<unsigned long long>(es.repair_digest_rounds),
+        static_cast<unsigned long long>(es.repair_replicas_pulled),
+        static_cast<unsigned long long>(es.repair_replicas_pushed),
+        static_cast<unsigned long long>(es.resyncs_completed),
+        static_cast<unsigned long long>(es.resyncs_started),
+        static_cast<unsigned long long>(es.resyncs_abandoned),
+        static_cast<unsigned long long>(es.degraded_results));
+  }
   for (const std::string& e : (*engine)->stats().errors) {
     std::fprintf(stderr, "%% error: %s\n", e.c_str());
   }
@@ -315,7 +332,8 @@ int Usage() {
                "  dlog eval <program.dlog> [--query 'goal(...)'] [--magic]\n"
                "  dlog simulate <program.dlog> --events <file> [--grid N]\n"
                "       [--storage row|broadcast|local|centroid] [--loss P]\n"
-               "       [--seed S] [--reliable] [--trace trace.csv]\n"
+               "       [--seed S] [--reliable] [--repair]\n"
+               "       [--anti-entropy-period US] [--trace trace.csv]\n"
                "       [--trace-out trace.jsonl] [--metrics-out m.json]\n"
                "  dlog stats <trace.jsonl>\n");
   return 64;
@@ -382,6 +400,7 @@ int main(int argc, char** argv) {
   std::string query, events, storage, trace, trace_out, metrics_out;
   bool magic = false;
   bool reliable = false;
+  RepairOptions repair;
   long grid = 8;
   double loss = 0;
   uint64_t seed = 1;
@@ -408,6 +427,15 @@ int main(int argc, char** argv) {
       storage = v;
     } else if (arg == "--reliable") {
       reliable = true;
+    } else if (arg == "--repair") {
+      repair.enabled = true;
+    } else if (arg == "--anti-entropy-period") {
+      long period = 0;
+      if (!ParseIntFlag("--anti-entropy-period", next(), 1,
+                        3'600'000'000L, &period)) {
+        return Usage();
+      }
+      repair.anti_entropy_period = period;
     } else if (arg == "--loss") {
       if (!ParseDoubleFlag("--loss", next(), 0.0, 1.0, &loss)) return Usage();
     } else if (arg == "--seed") {
@@ -435,7 +463,7 @@ int main(int argc, char** argv) {
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
     return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
-                       reliable, seed, trace, trace_out, metrics_out);
+                       reliable, repair, seed, trace, trace_out, metrics_out);
   }
   return Usage();
 }
