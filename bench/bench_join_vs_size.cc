@@ -8,7 +8,12 @@
 // ~n^2; Local Storage pays the full network per *update*; Centralized
 // concentrates cost near the sink and grows with distance-to-sink.
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "deduce/common/parallel.h"
 
 using namespace deduce;
 using namespace deduce::bench;
@@ -24,8 +29,8 @@ constexpr char kProgram[] = R"(
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
   deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
   std::printf("# R-Fig-1: two-stream join, total messages vs network size\n");
   std::printf("# workload: 2 tuples per node, key range = nodes/2, no "
               "deletions\n\n");
@@ -42,32 +47,59 @@ int main(int argc, char** argv) {
       {"Central", std::nullopt},
   };
 
-  TablePrinter table({"grid", "nodes", "approach", "messages", "bytes",
-                      "msg/tuple", "results", "errors"});
   Program program = MustParse(kProgram);
   LinkModel link;
 
+  // Trial specs (grid x approach) are laid out up front; workloads are
+  // shared per grid size. Trials run on workers, rows/report in order.
+  struct Trial {
+    int m = 0;
+    int nodes = 0;
+    const Approach* approach = nullptr;
+    const std::vector<WorkItem>* work = nullptr;
+    Topology topo;
+  };
+  std::vector<std::vector<WorkItem>> workloads;
+  std::vector<Topology> topos;
   for (int m : {6, 8, 10, 12, 14}) {
-    Topology topo = Topology::Grid(m);
-    int nodes = topo.node_count();
-    std::vector<WorkItem> work =
-        UniformJoinWorkload(nodes, 2, std::max(2, nodes / 2), 1000 + m);
+    topos.push_back(Topology::Grid(m));
+    workloads.push_back(UniformJoinWorkload(
+        topos.back().node_count(), 2,
+        std::max(2, topos.back().node_count() / 2), 1000 + m));
+  }
+  std::vector<Trial> trials;
+  const int grids[] = {6, 8, 10, 12, 14};
+  for (size_t g = 0; g < std::size(grids); ++g) {
     for (const Approach& a : approaches) {
-      RunMetrics metrics;
-      if (a.storage.has_value()) {
-        EngineOptions options;
-        options.planner.default_storage = *a.storage;
-        metrics = RunDistributed(topo, program, options, link, work, "t");
-      } else {
-        metrics = RunCentralized(topo, program, link, work, "t");
-      }
-      table.Row({std::to_string(m) + "x" + std::to_string(m),
-                 U64(static_cast<uint64_t>(nodes)), a.name,
-                 U64(metrics.total_messages), U64(metrics.total_bytes),
-                 Dbl(static_cast<double>(metrics.total_messages) /
-                     static_cast<double>(work.size())),
-                 U64(metrics.result_count), U64(metrics.errors)});
+      trials.push_back({grids[g], topos[g].node_count(), &a, &workloads[g],
+                        topos[g]});
     }
   }
+
+  TablePrinter table({"grid", "nodes", "approach", "messages", "bytes",
+                      "msg/tuple", "results", "errors"});
+  RunTrials(
+      trials.size(), threads,
+      [&](size_t i) {
+        const Trial& t = trials[i];
+        if (t.approach->storage.has_value()) {
+          EngineOptions options;
+          options.planner.default_storage = *t.approach->storage;
+          return CollectDistributed(t.topo, program, options, link, *t.work,
+                                    "t");
+        }
+        return CollectCentralized(t.topo, program, link, *t.work, "t");
+      },
+      [&](size_t i, CollectedRun run) {
+        const Trial& t = trials[i];
+        ReportCollected(run);
+        const RunMetrics& metrics = run.metrics;
+        table.Row({std::to_string(t.m) + "x" + std::to_string(t.m),
+                   U64(static_cast<uint64_t>(t.nodes)), t.approach->name,
+                   U64(metrics.total_messages), U64(metrics.total_bytes),
+                   Dbl(static_cast<double>(metrics.total_messages) /
+                       static_cast<double>(t.work->size())),
+                   U64(metrics.result_count), U64(metrics.errors)});
+      });
   return 0;
 }

@@ -11,11 +11,13 @@
 // sweep-column nodes die; the reliable transport holds completeness near
 // 1 in both regimes at the price of acks and retransmissions.
 
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "deduce/common/parallel.h"
 #include "deduce/eval/incremental.h"
 
 using namespace deduce;
@@ -56,6 +58,19 @@ struct Outcome {
   uint64_t retransmissions = 0;
   uint64_t gave_up = 0;
   uint64_t repaired = 0;
+  CollectedRun report;
+};
+
+/// One configured trial. Trials run on worker threads, so Run() must not
+/// touch the BenchReport or stdout — the reduce step does both in
+/// submission order, keeping output identical to a serial run.
+struct Trial {
+  std::string scenario;
+  bool reliable = false;
+  LinkModel link;
+  std::vector<WorkItem> work;
+  std::optional<FaultPlan> faults;
+  std::set<std::string> expected;
 };
 
 Outcome Run(const Topology& topo, const Program& program,
@@ -63,10 +78,10 @@ Outcome Run(const Topology& topo, const Program& program,
             const std::vector<WorkItem>& work, const FaultPlan* faults) {
   Network net(topo, link, 11);
   if (faults != nullptr) net.ApplyFaultPlan(*faults);
-  MetricsRegistry registry;
+  Outcome out;
   EngineOptions options;
   options.transport.reliable = reliable;
-  options.metrics = &registry;
+  options.metrics = &out.report.registry;
   auto engine = DistributedEngine::Create(&net, program, options);
   if (!engine.ok()) std::abort();
   for (const WorkItem& item : work) {
@@ -74,7 +89,6 @@ Outcome Run(const Topology& topo, const Program& program,
     (void)(*engine)->Inject(item.node, item.op, item.fact);
   }
   net.sim().Run();
-  Outcome out;
   for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
     out.got.insert(f.ToString());
   }
@@ -82,7 +96,9 @@ Outcome Run(const Topology& topo, const Program& program,
   out.retransmissions = (*engine)->stats().retransmissions;
   out.gave_up = (*engine)->stats().gave_up_messages;
   out.repaired = (*engine)->stats().repaired_messages;
-  ReportCustomRun(net, engine->get(), &registry);
+  out.report.metrics =
+      CollectRunMetrics(net, engine->get(), &out.report.registry);
+  out.report.reportable = true;
   return out;
 }
 
@@ -109,8 +125,8 @@ void PrintRow(TablePrinter& table, const std::string& scenario, bool reliable,
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
   deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
   std::printf(
       "# R-Fig-6: join completeness vs per-hop loss, node failure, and\n"
       "# churn, 10x10 grid, testbed profile (jittered delays, 2 ms skew,\n"
@@ -122,9 +138,10 @@ int main(int argc, char** argv) {
   std::vector<WorkItem> work =
       UniformJoinWorkload(topo.node_count(), 2, 20, 31337);
 
-  TablePrinter table({"scenario", "transport", "derived", "expected",
-                      "completeness", "soundness", "messages", "retx",
-                      "giveup+rep"});
+  // All trial specs (and their oracle result sets) are built up front on
+  // the main thread; the trials themselves are independent and run under
+  // RunTrials, which reduces (prints + reports) in submission order.
+  std::vector<Trial> trials;
 
   // --- per-hop loss sweep, no failures ---
   std::set<std::string> expected = Reference(program, work);
@@ -132,8 +149,8 @@ int main(int argc, char** argv) {
     LinkModel link = LinkModel::Testbed();
     link.loss_rate = loss;
     for (bool reliable : {false, true}) {
-      Outcome out = Run(topo, program, link, reliable, work, nullptr);
-      PrintRow(table, "loss=" + Dbl(loss, 2), reliable, out, expected);
+      trials.push_back({"loss=" + Dbl(loss, 2), reliable, link, work,
+                        std::nullopt, expected});
     }
   }
 
@@ -155,9 +172,8 @@ int main(int argc, char** argv) {
     }
     std::set<std::string> achievable = Reference(program, alive_work);
     for (bool reliable : {false, true}) {
-      Outcome out = Run(topo, program, LinkModel::Testbed(), reliable,
-                        alive_work, &faults);
-      PrintRow(table, "dead=" + U64(n), reliable, out, achievable);
+      trials.push_back({"dead=" + U64(n), reliable, LinkModel::Testbed(),
+                        alive_work, faults, achievable});
     }
   }
 
@@ -180,9 +196,24 @@ int main(int argc, char** argv) {
   }
   std::set<std::string> achievable = Reference(program, churn_work);
   for (bool reliable : {false, true}) {
-    Outcome out = Run(topo, program, LinkModel::Testbed(), reliable,
-                      churn_work, &churn);
-    PrintRow(table, "churn", reliable, out, achievable);
+    trials.push_back({"churn", reliable, LinkModel::Testbed(), churn_work,
+                      churn, achievable});
   }
+
+  TablePrinter table({"scenario", "transport", "derived", "expected",
+                      "completeness", "soundness", "messages", "retx",
+                      "giveup+rep"});
+  RunTrials(
+      trials.size(), threads,
+      [&](size_t i) {
+        const Trial& t = trials[i];
+        return Run(topo, program, t.link, t.reliable, t.work,
+                   t.faults ? &*t.faults : nullptr);
+      },
+      [&](size_t i, Outcome out) {
+        ReportCollected(out.report);
+        PrintRow(table, trials[i].scenario, trials[i].reliable, out,
+                 trials[i].expected);
+      });
   return 0;
 }

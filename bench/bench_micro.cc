@@ -1,13 +1,18 @@
 // R-Micro: engineering microbenchmarks (google-benchmark) for the hot
 // paths: parsing, term matching/unification, the wire codec, semi-naive
-// fixpoints and incremental maintenance throughput.
+// fixpoints, incremental maintenance throughput, and the simulator event
+// loop (calendar queue vs the pre-optimization binary-heap scheduler).
 
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <queue>
 
 #include "deduce/datalog/parser.h"
 #include "deduce/eval/incremental.h"
 #include "deduce/eval/seminaive.h"
 #include "deduce/net/codec.h"
+#include "deduce/net/simulator.h"
 
 namespace deduce {
 namespace {
@@ -127,6 +132,102 @@ void BM_XYStagedLogicH(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_XYStagedLogicH)->Arg(8)->Arg(16);
+
+// --- simulator event loop: calendar queue vs pre-optimization heap ---
+//
+// The heap baseline below is a verbatim copy of the scheduler Simulator
+// used before the calendar-queue rewrite (global std::priority_queue of
+// std::function events). Benchmarking both in one binary makes the
+// speedup ratio machine-independent: tools/bench_compare.py checks
+// calendar/heap items_per_second >= 1.5 in the bench-smoke CI job.
+class ReferenceHeapSimulator {
+ public:
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime t, std::function<void()> fn) {
+    if (t < now_) t = now_;
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+
+  uint64_t Run(uint64_t max_events = UINT64_MAX) {
+    uint64_t executed = 0;
+    while (!queue_.empty() && executed < max_events) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// `sessions` concurrent self-rescheduling event chains, each hopping
+/// `hops` times with pseudo-random 1..5000 us delays — the shape of a
+/// simulated network's MAC/transport timers: a large steady pending set
+/// with events clustered a few ms ahead of now.
+template <typename Sim>
+void DriveEventLoop(Sim* sim, int sessions, int hops) {
+  struct Chain {
+    static void Hop(Sim* sim, uint64_t rng_state, int left) {
+      if (left == 0) return;
+      uint64_t next = rng_state * 6364136223846793005ULL +
+                      1442695040888963407ULL;
+      SimTime delay = static_cast<SimTime>(1 + ((next >> 33) % 5000));
+      sim->ScheduleAt(sim->now() + delay, [sim, next, left] {
+        Hop(sim, next, left - 1);
+      });
+    }
+  };
+  for (int i = 0; i < sessions; ++i) {
+    Chain::Hop(sim, 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1),
+               hops);
+  }
+  sim->Run();
+}
+
+constexpr int kEventLoopHops = 32;
+
+// Session counts bracket the pending-set sizes real engine simulations
+// produce: a 14x14-grid distributed run keeps a few hundred timers and
+// in-flight deliveries pending, so 256 is typical and 1024 is a
+// generous upper bound.
+
+void BM_SimulatorEventLoopCalendar(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    DriveEventLoop(&sim, sessions, kEventLoopHops);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions * kEventLoopHops);
+}
+BENCHMARK(BM_SimulatorEventLoopCalendar)->Arg(256)->Arg(1024);
+
+void BM_SimulatorEventLoopHeap(benchmark::State& state) {
+  int sessions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ReferenceHeapSimulator sim;
+    DriveEventLoop(&sim, sessions, kEventLoopHops);
+  }
+  state.SetItemsProcessed(state.iterations() * sessions * kEventLoopHops);
+}
+BENCHMARK(BM_SimulatorEventLoopHeap)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace deduce

@@ -14,11 +14,13 @@
 // loss, anti-entropy heals diverged bands between injections, lifting
 // recall for later updates at a steady digest-exchange cost.
 
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "deduce/common/parallel.h"
 #include "deduce/eval/incremental.h"
 
 using namespace deduce;
@@ -57,6 +59,20 @@ struct Outcome {
   std::set<std::string> got;
   uint64_t messages = 0;
   EngineStats stats;
+  CollectedRun report;
+};
+
+/// One configured trial; see bench_loss_robustness for the pattern. Trials
+/// run on worker threads, so Run() collects instead of reporting.
+struct Trial {
+  std::string scenario;
+  std::string mode;
+  LinkModel link;
+  TransportOptions transport;
+  RepairOptions repair;
+  std::vector<WorkItem> work;
+  std::optional<FaultPlan> faults;
+  std::set<std::string> expected;
 };
 
 Outcome Run(const Topology& topo, const Program& program,
@@ -65,11 +81,11 @@ Outcome Run(const Topology& topo, const Program& program,
             const FaultPlan* faults) {
   Network net(topo, link, 11);
   if (faults != nullptr) net.ApplyFaultPlan(*faults);
-  MetricsRegistry registry;
+  Outcome out;
   EngineOptions options;
   options.transport = transport;
   options.repair = repair;
-  options.metrics = &registry;
+  options.metrics = &out.report.registry;
   auto engine = DistributedEngine::Create(&net, program, options);
   if (!engine.ok()) std::abort();
   for (const WorkItem& item : work) {
@@ -77,13 +93,14 @@ Outcome Run(const Topology& topo, const Program& program,
     (void)(*engine)->Inject(item.node, item.op, item.fact);
   }
   net.sim().Run();
-  Outcome out;
   for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
     out.got.insert(f.ToString());
   }
   out.messages = net.stats().TotalMessages();
   out.stats = (*engine)->stats();
-  ReportCustomRun(net, engine->get(), &registry);
+  out.report.metrics =
+      CollectRunMetrics(net, engine->get(), &out.report.registry);
+  out.report.reportable = true;
   return out;
 }
 
@@ -114,8 +131,8 @@ void PrintRow(TablePrinter& table, const std::string& scenario,
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
   deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
   std::printf(
       "# R-Fig-6 extension: join recall vs the no-fault oracle when band\n"
       "# nodes lose replica state, 10x10 grid, testbed profile.\n"
@@ -131,9 +148,9 @@ int main(int argc, char** argv) {
   std::vector<WorkItem> work =
       UniformJoinWorkload(topo.node_count(), 2, 20, 31337);
 
-  TablePrinter table({"scenario", "mode", "derived", "expected", "recall",
-                      "messages", "resyncs", "avg_resync_ms", "pulled",
-                      "degraded"});
+  // Trial specs and oracle sets are built on the main thread; trials run
+  // under RunTrials and are printed/reported in submission order.
+  std::vector<Trial> trials;
 
   // --- crash-reboot churn, lossless links: pure state loss ---
   std::vector<NodeId> victims = {
@@ -171,11 +188,10 @@ int main(int argc, char** argv) {
       repair.enabled = std::string(mode) == "resync";
       repair.anti_entropy_period =
           std::string(mode) == "ae" ? 400'000 : 0;
-      Outcome out = Run(topo, program, lossless, transport, repair,
-                        churn_work, &churn);
       std::string label = std::string("tx=") + (reliable ? "on" : "off") +
                           " repair=" + mode;
-      PrintRow(table, "churn", label, out, oracle);
+      trials.push_back({"churn", label, lossless, transport, repair,
+                        churn_work, churn, oracle});
     }
   }
 
@@ -191,9 +207,24 @@ int main(int argc, char** argv) {
     TransportOptions transport;  // best-effort: isolates the repair effect
     RepairOptions repair;
     repair.anti_entropy_period = ae ? 400'000 : 0;
-    Outcome out = Run(topo, program, lossy, transport, repair, work, nullptr);
-    PrintRow(table, "loss=0.15", std::string("ae=") + (ae ? "on" : "off"),
-             out, expected);
+    trials.push_back({"loss=0.15", std::string("ae=") + (ae ? "on" : "off"),
+                      lossy, transport, repair, work, std::nullopt, expected});
   }
+
+  TablePrinter table({"scenario", "mode", "derived", "expected", "recall",
+                      "messages", "resyncs", "avg_resync_ms", "pulled",
+                      "degraded"});
+  RunTrials(
+      trials.size(), threads,
+      [&](size_t i) {
+        const Trial& t = trials[i];
+        return Run(topo, program, t.link, t.transport, t.repair, t.work,
+                   t.faults ? &*t.faults : nullptr);
+      },
+      [&](size_t i, Outcome out) {
+        ReportCollected(out.report);
+        PrintRow(table, trials[i].scenario, trials[i].mode, out,
+                 trials[i].expected);
+      });
   return 0;
 }

@@ -3,12 +3,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "deduce/common/metrics.h"
+#include "deduce/common/parallel.h"
 #include "deduce/common/rng.h"
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
@@ -79,7 +81,11 @@ class BenchReport {
         m.p95_node_messages, m.avg_node_messages, m.energy_uj,
         static_cast<long long>(m.quiesce_time), m.result_count,
         m.total_replicas, m.max_node_replicas, m.total_derivations, m.errors);
-    runs_.push_back(std::string(buf) + registry.ToJson() + "}");
+    // Timing histograms are wall-clock and would make the report differ
+    // between otherwise-identical runs; the bench-smoke CI gate byte-compares
+    // parallel vs serial reports, so only deterministic entries are emitted.
+    runs_.push_back(std::string(buf) +
+                    registry.ToJson(/*include_timing=*/false) + "}");
   }
 
   ~BenchReport() {
@@ -129,14 +135,30 @@ inline void FillNodeLoad(const Network& net, RunMetrics* m) {
   m->avg_node_messages = sum / static_cast<double>(loads.size());
 }
 
-/// For benches with hand-rolled run loops (not using RunDistributed /
-/// RunCentralized): attach `registry` via EngineOptions::metrics before
-/// DistributedEngine::Create, run, then call this once per run so the
-/// BENCH_<name>.json report still carries the registry snapshot.
-/// `engine` may be null (e.g. procedural baselines).
-inline void ReportCustomRun(Network& net, const DistributedEngine* engine,
-                            MetricsRegistry* registry) {
-  if (!BenchReport::Get().enabled() || registry == nullptr) return;
+/// Everything one trial produces for the report: the summary metrics, the
+/// registry snapshot, and whether the trial attached a registry at all
+/// (reports are skipped otherwise, matching the legacy inline behaviour).
+/// Trials running on worker threads return one of these; the caller reports
+/// it from the reduce step so BENCH_<name>.json order matches serial runs.
+struct CollectedRun {
+  RunMetrics metrics;
+  MetricsRegistry registry;
+  bool reportable = false;
+};
+
+/// Appends a collected trial to the armed bench report. Call only from the
+/// reduce step of RunTrials (or any single-threaded context): BenchReport
+/// is not thread-safe and report order must match submission order.
+inline void ReportCollected(const CollectedRun& run) {
+  if (run.reportable) BenchReport::Get().AddRun(run.metrics, run.registry);
+}
+
+/// Fills RunMetrics from a finished network/engine and exports their stats
+/// into `registry`. Safe to call from worker threads: touches only `net`,
+/// `engine`, and `registry`. `engine` may be null (procedural baselines).
+inline RunMetrics CollectRunMetrics(Network& net,
+                                    const DistributedEngine* engine,
+                                    MetricsRegistry* registry) {
   RunMetrics m;
   m.total_messages = net.stats().TotalMessages();
   m.total_bytes = net.stats().TotalBytes();
@@ -148,29 +170,42 @@ inline void ReportCustomRun(Network& net, const DistributedEngine* engine,
     m.max_node_replicas = engine->MaxNodeReplicas();
     m.total_derivations = engine->TotalDerivations();
     m.errors = engine->stats().errors.size();
-    engine->stats().ExportTo(registry);
+    if (registry != nullptr) engine->stats().ExportTo(registry);
   }
-  net.stats().ExportTo(registry);
+  if (registry != nullptr) net.stats().ExportTo(registry);
+  return m;
+}
+
+/// For benches with hand-rolled run loops (not using RunDistributed /
+/// RunCentralized): attach `registry` via EngineOptions::metrics before
+/// DistributedEngine::Create, run, then call this once per run so the
+/// BENCH_<name>.json report still carries the registry snapshot.
+/// `engine` may be null (e.g. procedural baselines).
+inline void ReportCustomRun(Network& net, const DistributedEngine* engine,
+                            MetricsRegistry* registry) {
+  if (!BenchReport::Get().enabled() || registry == nullptr) return;
+  RunMetrics m = CollectRunMetrics(net, engine, registry);
   BenchReport::Get().AddRun(m, *registry);
 }
 
-/// Runs `work` through a DistributedEngine and collects metrics.
+/// Runs `work` through a DistributedEngine and collects metrics without
+/// touching the (single-threaded) BenchReport — safe on worker threads.
 /// `result_pred` counts final derived facts (empty = skip).
-inline RunMetrics RunDistributed(const Topology& topology,
-                                 const Program& program,
-                                 const EngineOptions& options,
-                                 const LinkModel& link,
-                                 const std::vector<WorkItem>& work,
-                                 const std::string& result_pred,
-                                 uint64_t seed = 1) {
+inline CollectedRun CollectDistributed(const Topology& topology,
+                                       const Program& program,
+                                       const EngineOptions& options,
+                                       const LinkModel& link,
+                                       const std::vector<WorkItem>& work,
+                                       const std::string& result_pred,
+                                       uint64_t seed = 1) {
+  CollectedRun out;
   Network net(topology, link, seed);
   // When the report is armed, attach a registry so the snapshot carries
   // per-phase/per-predicate traffic. This only adds bookkeeping on the
   // simulated hot path — message counts and sim timings are unchanged.
-  MetricsRegistry registry;
   EngineOptions run_options = options;
   if (run_options.metrics == nullptr && BenchReport::Get().enabled()) {
-    run_options.metrics = &registry;
+    run_options.metrics = &out.registry;
   }
   auto engine = DistributedEngine::Create(&net, program, run_options);
   if (!engine.ok()) {
@@ -186,34 +221,46 @@ inline RunMetrics RunDistributed(const Topology& topology,
   }
   net.sim().Run();
 
-  RunMetrics m;
-  m.total_messages = net.stats().TotalMessages();
-  m.total_bytes = net.stats().TotalBytes();
-  m.energy_uj = net.stats().TotalEnergyMicroJ();
-  m.quiesce_time = net.sim().now();
-  FillNodeLoad(net, &m);
+  out.metrics = CollectRunMetrics(net, (*engine).get(), run_options.metrics);
   if (!result_pred.empty()) {
-    m.result_count = (*engine)->ResultFacts(Intern(result_pred)).size();
+    out.metrics.result_count =
+        (*engine)->ResultFacts(Intern(result_pred)).size();
   }
-  m.total_replicas = (*engine)->TotalReplicas();
-  m.max_node_replicas = (*engine)->MaxNodeReplicas();
-  m.total_derivations = (*engine)->TotalDerivations();
-  m.errors = (*engine)->stats().errors.size();
   if (run_options.metrics != nullptr) {
-    net.stats().ExportTo(run_options.metrics);
-    (*engine)->stats().ExportTo(run_options.metrics);
-    BenchReport::Get().AddRun(m, *run_options.metrics);
+    // Caller-provided registries get the exports too; snapshot them so the
+    // report entry matches what the inline path always recorded.
+    if (run_options.metrics != &out.registry) {
+      out.registry = *run_options.metrics;
+    }
+    out.reportable = true;
   }
-  return m;
+  return out;
 }
 
-/// Runs `work` through the centralized (external server) baseline.
-inline RunMetrics RunCentralized(const Topology& topology,
+/// Runs `work` through a DistributedEngine, reports to the armed bench
+/// report inline, and returns the metrics. Single-threaded use only.
+inline RunMetrics RunDistributed(const Topology& topology,
                                  const Program& program,
+                                 const EngineOptions& options,
                                  const LinkModel& link,
                                  const std::vector<WorkItem>& work,
                                  const std::string& result_pred,
                                  uint64_t seed = 1) {
+  CollectedRun run = CollectDistributed(topology, program, options, link,
+                                        work, result_pred, seed);
+  ReportCollected(run);
+  return run.metrics;
+}
+
+/// Runs `work` through the centralized (external server) baseline without
+/// touching the BenchReport — safe on worker threads.
+inline CollectedRun CollectCentralized(const Topology& topology,
+                                       const Program& program,
+                                       const LinkModel& link,
+                                       const std::vector<WorkItem>& work,
+                                       const std::string& result_pred,
+                                       uint64_t seed = 1) {
+  CollectedRun out;
   Network net(topology, link, seed);
   auto engine =
       CentralizedEngine::Create(&net, program, /*sink=*/0, IncrementalOptions{});
@@ -227,22 +274,47 @@ inline RunMetrics RunCentralized(const Topology& topology,
   }
   net.sim().Run();
 
-  RunMetrics m;
-  m.total_messages = net.stats().TotalMessages();
-  m.total_bytes = net.stats().TotalBytes();
-  m.energy_uj = net.stats().TotalEnergyMicroJ();
-  m.quiesce_time = net.sim().now();
-  FillNodeLoad(net, &m);
+  out.metrics = CollectRunMetrics(net, /*engine=*/nullptr, /*registry=*/nullptr);
   if (!result_pred.empty()) {
-    m.result_count = (*engine)->ResultFacts(Intern(result_pred)).size();
+    out.metrics.result_count =
+        (*engine)->ResultFacts(Intern(result_pred)).size();
   }
-  m.errors = (*engine)->errors().size();
+  out.metrics.errors = (*engine)->errors().size();
   if (BenchReport::Get().enabled()) {
-    MetricsRegistry registry;
-    net.stats().ExportTo(&registry);
-    BenchReport::Get().AddRun(m, registry);
+    net.stats().ExportTo(&out.registry);
+    out.reportable = true;
   }
-  return m;
+  return out;
+}
+
+/// Runs `work` through the centralized baseline, reporting inline.
+inline RunMetrics RunCentralized(const Topology& topology,
+                                 const Program& program,
+                                 const LinkModel& link,
+                                 const std::vector<WorkItem>& work,
+                                 const std::string& result_pred,
+                                 uint64_t seed = 1) {
+  CollectedRun run =
+      CollectCentralized(topology, program, link, work, result_pred, seed);
+  ReportCollected(run);
+  return run.metrics;
+}
+
+/// Parses `--threads N` from a bench binary's argv. Defaults to
+/// DefaultThreadCount() (hardware concurrency, or $DEDUCE_THREADS).
+inline int ThreadsFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      char* end = nullptr;
+      long v = std::strtol(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || v < 1 || v > 1024) {
+        std::fprintf(stderr, "bad --threads value: %s\n", argv[i + 1]);
+        std::exit(64);
+      }
+      return static_cast<int>(v);
+    }
+  }
+  return DefaultThreadCount();
 }
 
 /// Uniform two-stream join workload: every node generates `per_node`

@@ -94,6 +94,45 @@ void MetricsRegistry::Observe(int node, const std::string& component,
   e.histogram.Observe(value);
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [key, theirs] : other.entries_) {
+    Entry& mine = entries_[key];
+    if (mine.kind != theirs.kind && mine.counter == 0 && mine.gauge == 0 &&
+        mine.histogram.count == 0) {
+      // Freshly created (or never written): adopt their kind wholesale.
+      mine = theirs;
+      continue;
+    }
+    mine.kind = theirs.kind;
+    switch (theirs.kind) {
+      case Kind::kCounter:
+        mine.counter += theirs.counter;
+        break;
+      case Kind::kGauge:
+        mine.gauge = theirs.gauge;
+        break;
+      case Kind::kHistogram: {
+        HistogramData& h = mine.histogram;
+        const HistogramData& o = theirs.histogram;
+        if (o.count == 0) break;
+        if (h.count == 0) {
+          h.min = o.min;
+          h.max = o.max;
+        } else {
+          h.min = std::min(h.min, o.min);
+          h.max = std::max(h.max, o.max);
+        }
+        h.count += o.count;
+        h.sum += o.sum;
+        for (size_t i = 0; i < HistogramData::kBuckets; ++i) {
+          h.buckets[i] += o.buckets[i];
+        }
+        break;
+      }
+    }
+  }
+}
+
 uint64_t MetricsRegistry::CounterValue(int node, const std::string& component,
                                        const std::string& name) const {
   auto it = entries_.find(Key{node, component, name});
@@ -113,10 +152,11 @@ uint64_t MetricsRegistry::CounterTotal(const std::string& component,
   return total;
 }
 
-std::string MetricsRegistry::ToJson() const {
+std::string MetricsRegistry::ToJson(bool include_timing) const {
   std::string out = "{\"metrics\":[";
   bool first = true;
   for (const auto& [key, e] : entries_) {
+    if (!include_timing && std::get<1>(key) == "timing") continue;
     if (!first) out += ",";
     first = false;
     out += StrFormat("{\"node\":%d,\"component\":\"", std::get<0>(key));

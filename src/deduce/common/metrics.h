@@ -39,6 +39,12 @@ struct HistogramData {
 /// Zero-cost-when-off contract: a disabled registry (or, at call sites, a
 /// null registry pointer) records nothing and allocates nothing; every
 /// mutator early-outs on one branch.
+///
+/// Concurrency contract (DESIGN.md §11): a registry instance is NOT
+/// internally locked — it is confined to the thread of the trial that owns
+/// it. Parallel trial runners give each trial its own registry and combine
+/// them afterwards with MergeFrom, which is deterministic when applied in
+/// submission order.
 class MetricsRegistry {
  public:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -72,6 +78,15 @@ class MetricsRegistry {
   /// Drops every entry (the enabled flag is unchanged).
   void Clear() { entries_.clear(); }
 
+  /// Folds `other` into this registry: counters add, histograms pool
+  /// (count/sum/min/max/buckets), and gauges take `other`'s value
+  /// (last-merged wins). Merging per-trial registries in trial submission
+  /// order therefore yields the same result on every run — the reduction
+  /// side of the parallel-trials contract. A kind clash (same key, two
+  /// kinds) keeps `other`'s kind, matching what re-recording would do.
+  /// Ignores the enabled flag on both sides.
+  void MergeFrom(const MetricsRegistry& other);
+
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
   const std::map<Key, Entry>& entries() const { return entries_; }
@@ -85,8 +100,11 @@ class MetricsRegistry {
 
   /// One JSON object: {"metrics": [{node, component, name, kind, ...}]}.
   /// Deterministic (ordered by key). Histograms carry count/sum/min/max and
-  /// the non-empty bucket list.
-  std::string ToJson() const;
+  /// the non-empty bucket list. With include_timing == false the reserved
+  /// wall-clock "timing" component is dropped, making the snapshot a pure
+  /// function of the seed — the form BENCH_*.json reports and the
+  /// bench-smoke CI gate compare byte-for-byte.
+  std::string ToJson(bool include_timing = true) const;
 
  private:
   bool enabled_ = true;

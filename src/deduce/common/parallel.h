@@ -1,0 +1,123 @@
+#ifndef DEDUCE_COMMON_PARALLEL_H_
+#define DEDUCE_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace deduce {
+
+/// Worker count used when the caller does not pass one: the
+/// DEDUCE_THREADS environment variable if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (minimum 1).
+int DefaultThreadCount();
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// This is the only place the library creates threads. Everything
+/// submitted must respect the concurrency contract of DESIGN.md §11:
+/// trials share nothing but the interner (thread-safe), logging
+/// (thread-safe), and immutable inputs; per-trial state (Network, engines,
+/// MetricsRegistry, Rng) is confined to the thread running the trial.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Wait() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;              // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n), using up to `threads` workers.
+/// Blocks until all iterations finish. threads <= 1 (or n <= 1) runs
+/// inline on the caller's thread with no pool.
+void ParallelFor(size_t n, int threads, const std::function<void(size_t)>& fn);
+
+/// Executes `n` independent trials concurrently but reduces their results
+/// **in submission order**: reduce(0, r0), reduce(1, r1), ... exactly as a
+/// serial loop would, regardless of completion order. `trial(i)` runs on a
+/// worker thread and must be self-contained (see ThreadPool's contract);
+/// `reduce(i, result)` always runs on the calling thread, so it may touch
+/// shared sinks (stdout, BenchReport) freely. With threads <= 1 the trials
+/// run inline, interleaved with their reductions — byte-identical output
+/// to the parallel path as long as trials themselves do not print.
+template <typename Trial, typename Reduce>
+void RunTrials(size_t n, int threads, Trial&& trial, Reduce&& reduce) {
+  using Result = std::invoke_result_t<Trial&, size_t>;
+  static_assert(!std::is_void_v<Result>,
+                "trial must return a value; use ParallelFor for void work");
+  if (threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) reduce(i, trial(i));
+    return;
+  }
+
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::optional<Result>> results;
+  };
+  Shared shared;
+  shared.results.resize(n);
+
+  {
+    ThreadPool pool(threads);
+    std::atomic<size_t> next{0};
+    int workers = pool.size();
+    for (int w = 0; w < workers; ++w) {
+      pool.Submit([&shared, &next, &trial, n] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          Result r = trial(i);
+          {
+            std::lock_guard<std::mutex> lock(shared.mu);
+            shared.results[i].emplace(std::move(r));
+          }
+          shared.cv.notify_one();
+        }
+      });
+    }
+    for (size_t i = 0; i < n; ++i) {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.cv.wait(lock, [&shared, i] {
+        return shared.results[i].has_value();
+      });
+      Result r = std::move(*shared.results[i]);
+      shared.results[i].reset();
+      lock.unlock();
+      reduce(i, std::move(r));
+    }
+    // pool destructor joins the workers before `shared` goes out of scope.
+  }
+}
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_PARALLEL_H_

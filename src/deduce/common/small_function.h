@@ -1,0 +1,133 @@
+#ifndef DEDUCE_COMMON_SMALL_FUNCTION_H_
+#define DEDUCE_COMMON_SMALL_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace deduce {
+
+/// A move-only type-erased callable with a small-buffer optimization sized
+/// for simulator events: callables up to kInlineBytes (with nothrow move)
+/// live inside the object — no heap allocation per event, the cost that
+/// dominated the old std::function-based event queue. Larger callables
+/// fall back to the heap. A single pointer to a per-type vtable keeps
+/// sizeof(SmallFunction) at kInlineBytes + 2 * sizeof(void*), so a
+/// simulator Event (time + seq + callback) fills one cache line.
+///
+/// Differences from std::function, on purpose:
+///   - move-only (accepts move-only captures, e.g. unique_ptr);
+///   - no target()/target_type() RTTI;
+///   - calling an empty SmallFunction is undefined (callers check bool).
+template <typename Signature>
+class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
+ public:
+  /// Inline capture budget. 32 bytes holds the library's event lambdas —
+  /// the widest hot one is the network delivery callback (this pointer,
+  /// node id, byte count, shared_ptr payload: exactly 32 bytes).
+  static constexpr size_t kInlineBytes = 32;
+
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      obj_ = new (buf_) D(std::forward<F>(f));
+      static constexpr VTable vt = {
+          [](void* obj, Args&&... args) -> R {
+            return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+          },
+          [](void* from, void* to) noexcept {
+            D* d = static_cast<D*>(from);
+            new (to) D(std::move(*d));
+            d->~D();
+          },
+          [](void* obj) noexcept { static_cast<D*>(obj)->~D(); },
+          /*inlined=*/true,
+      };
+      vt_ = &vt;
+    } else {
+      obj_ = new D(std::forward<F>(f));
+      static constexpr VTable vt = {
+          [](void* obj, Args&&... args) -> R {
+            return (*static_cast<D*>(obj))(std::forward<Args>(args)...);
+          },
+          /*relocate=*/nullptr,  // heap objects move by pointer steal
+          [](void* obj) noexcept { delete static_cast<D*>(obj); },
+          /*inlined=*/false,
+      };
+      vt_ = &vt;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { MoveFrom(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { Reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void* obj, Args&&... args);
+    /// Move-constructs the inline object at `from` into `to` and destroys
+    /// the source. Null for heap-allocated targets: their pointer is
+    /// stolen instead, so they never relocate.
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool inlined;
+  };
+
+  void Reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(obj_);
+      vt_ = nullptr;
+      obj_ = nullptr;
+    }
+  }
+
+  void MoveFrom(SmallFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ == nullptr) return;
+    if (vt_->inlined) {
+      vt_->relocate(other.obj_, buf_);
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;  // heap case: steal the pointer.
+    }
+    other.vt_ = nullptr;
+    other.obj_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* obj_ = nullptr;
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_COMMON_SMALL_FUNCTION_H_

@@ -266,7 +266,10 @@ void TraceWriter::Close() {
 
 void TraceWriter::Emit(const TraceRecord& record) {
   if (out_ == nullptr) return;
-  *out_ << record.ToJson() << '\n';
+  // Serialize formatting + write so concurrent emitters never tear lines.
+  std::string line = record.ToJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
   ++lines_;
 }
 

@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct TraceRecord {
 /// Appends trace records to a stream as JSONL. Inert until opened: an
 /// unopened writer's Emit is a single-branch no-op, so tracing costs
 /// nothing when off.
+///
+/// Emit is internally locked, so one open writer may be shared by
+/// concurrent trial threads (lines interleave whole, never torn) — though
+/// parallel trial runners normally give each trial its own writer to keep
+/// line order deterministic (DESIGN.md §11). Open/Close must not race
+/// with Emit.
 class TraceWriter {
  public:
   TraceWriter() = default;
@@ -66,6 +73,7 @@ class TraceWriter {
   void Emit(const TraceRecord& record);
 
  private:
+  std::mutex mu_;                    // serializes Emit across threads
   std::ostream* out_ = nullptr;      // borrowed or == file_.get()
   std::unique_ptr<std::ofstream> file_;
   uint64_t lines_ = 0;

@@ -1,5 +1,7 @@
 #include "deduce/datalog/symbol.h"
 
+#include <mutex>
+
 #include "deduce/common/logging.h"
 
 namespace deduce {
@@ -10,8 +12,14 @@ SymbolTable& SymbolTable::Global() {
 }
 
 SymbolId SymbolTable::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(std::string(name));
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Re-check: another thread may have interned it between the locks.
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.push_back(std::make_unique<std::string>(name));
@@ -20,14 +28,14 @@ SymbolId SymbolTable::Intern(std::string_view name) {
 }
 
 const std::string& SymbolTable::Name(SymbolId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   DEDUCE_CHECK(id >= 0 && static_cast<size_t>(id) < names_.size())
       << "invalid SymbolId " << id;
   return *names_[static_cast<size_t>(id)];
 }
 
 size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return names_.size();
 }
 

@@ -2,8 +2,9 @@
 #define DEDUCE_DATALOG_SYMBOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,9 +19,14 @@ using SymbolId = int32_t;
 
 /// Process-wide string interner.
 ///
-/// Thread-safe. Ids are assigned in interning order, which is deterministic
-/// for a deterministic program (the whole library is single-threaded in
-/// practice; the lock only guards against concurrent test runners).
+/// Fully thread-safe: concurrent trial threads (common/parallel.h) intern
+/// through the same global table. Lookups of already-interned names take a
+/// shared (reader) lock and perform no allocation; only a first-time intern
+/// takes the exclusive lock. Ids are assigned in interning order, which is
+/// deterministic for any single-threaded interning sequence; concurrent
+/// first-time interns of *distinct* names may be id-ordered either way, so
+/// parallel trial runners intern shared vocabulary up front (parsing the
+/// program on the main thread does this naturally).
 class SymbolTable {
  public:
   /// The single global table.
@@ -39,8 +45,17 @@ class SymbolTable {
  private:
   SymbolTable() = default;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, SymbolId> index_;
+  /// Transparent hashing so lookups take string_view without building a
+  /// temporary std::string.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, SymbolId, Hash, std::equal_to<>> index_;
   // Deque-like stable storage: pointers into strings held by unique_ptr.
   std::vector<std::unique_ptr<std::string>> names_;
 };

@@ -1,22 +1,124 @@
 #include "deduce/net/simulator.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "deduce/common/logging.h"
 
 namespace deduce {
 
-void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+namespace {
+constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+}  // namespace
+
+Simulator::Simulator() : slots_(kNumSlots) {}
+
+void Simulator::ScheduleAt(SimTime t, EventFn fn) {
   DEDUCE_CHECK(t >= now_) << "cannot schedule in the past: " << t << " < "
                           << now_;
-  queue_.push(Event{t, seq_++, std::move(fn)});
+  uint64_t slot = SlotOf(t);
+  if (slot <= cursor_slot_) {
+    // The slot being drained (or, after RunUntil advanced past empty
+    // slots, an earlier one). Everything in the ring and overflow is in a
+    // strictly later slot, so the active arrays alone order it correctly.
+    InsertActive(Event{t, seq_++, std::move(fn)});
+  } else if (slot < cursor_slot_ + kNumSlots) {
+    size_t index = slot & kSlotMask;
+    // Construct in place (C++20 parenthesized aggregate init): the event
+    // is built directly in the bucket instead of moved into it.
+    slots_[index].emplace_back(t, seq_++, std::move(fn));
+    MarkSlot(index);
+    ++ring_pending_;
+  } else {
+    overflow_.emplace_back(t, seq_++, std::move(fn));
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+void Simulator::InsertActive(Event ev) {
+  Key key{ev.time, ev.seq,
+          static_cast<uint32_t>(active_extra_.size()) | kExtraBit};
+  active_extra_.push_back(std::move(ev));
+  // New events always have the highest seq, so among equal times the
+  // insertion point lands after existing keys — preserving insertion
+  // order. Keys before active_pos_ have already fired and stay put.
+  auto it = std::lower_bound(active_keys_.begin() +
+                                 static_cast<ptrdiff_t>(active_pos_),
+                             active_keys_.end(), key, KeyBefore{});
+  active_keys_.insert(it, key);
+}
+
+void Simulator::Fire(Key key) {
+  now_ = key.time;
+  if (key.idx & kExtraBit) {
+    // Extras can reallocate while one of their own callbacks schedules
+    // more work, so move the callback out before invoking.
+    EventFn fn = std::move(active_extra_[key.idx & ~kExtraBit].fn);
+    fn();
+  } else {
+    // The engaged bucket is frozen during the drain: invoke in place.
+    active_events_[key.idx].fn();
+  }
+}
+
+uint64_t Simulator::NextRingSlot() const {
+  if (ring_pending_ == 0) return UINT64_MAX;
+  // Scan the ring in slot order starting after the cursor, skipping whole
+  // 64-slot words that are empty.
+  for (size_t i = 1; i <= kNumSlots; ++i) {
+    size_t index = (cursor_slot_ + i) & kSlotMask;
+    if ((index & 63) == 0 && bitmap_[index >> 6] == 0 &&
+        i + 63 <= kNumSlots) {
+      i += 63;
+      continue;
+    }
+    if (bitmap_[index >> 6] & (uint64_t{1} << (index & 63))) {
+      return cursor_slot_ + i;
+    }
+  }
+  return UINT64_MAX;  // unreachable while ring_pending_ > 0
+}
+
+bool Simulator::EngageNext(SimTime deadline) {
+  for (;;) {
+    if (active_pos_ < active_keys_.size()) {
+      return active_keys_[active_pos_].time <= deadline;
+    }
+    uint64_t ring_slot = NextRingSlot();
+    uint64_t overflow_slot =
+        overflow_.empty() ? UINT64_MAX : SlotOf(overflow_.front().time);
+    uint64_t target = std::min(ring_slot, overflow_slot);
+    if (target == UINT64_MAX) return false;            // queue empty
+    if (target > SlotOf(deadline)) return false;       // next event too late
+    cursor_slot_ = target;
+    size_t index = target & kSlotMask;
+    // Swap the drained active storage with the target bucket: the bucket's
+    // events become the engaged slot, and the old active vector (capacity
+    // intact) becomes the bucket's empty storage — no allocation churn.
+    active_events_.clear();
+    active_extra_.clear();
+    active_keys_.clear();
+    active_pos_ = 0;
+    std::swap(active_events_, slots_[index]);
+    ring_pending_ -= active_events_.size();
+    ClearSlot(index);
+    while (!overflow_.empty() && SlotOf(overflow_.front().time) <= target) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      active_events_.push_back(std::move(overflow_.back()));
+      overflow_.pop_back();
+    }
+    for (size_t i = 0; i < active_events_.size(); ++i) {
+      active_keys_.push_back({active_events_[i].time, active_events_[i].seq,
+                              static_cast<uint32_t>(i)});
+    }
+    std::sort(active_keys_.begin(), active_keys_.end(), KeyBefore{});
+  }
 }
 
 uint64_t Simulator::Run(uint64_t max_events) {
   uint64_t executed = 0;
-  while (!queue_.empty() && executed < max_events) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
+  while (executed < max_events && EngageNext(kNoDeadline)) {
+    Fire(active_keys_[active_pos_++]);
     ++executed;
   }
   return executed;
@@ -24,11 +126,8 @@ uint64_t Simulator::Run(uint64_t max_events) {
 
 uint64_t Simulator::RunUntil(SimTime deadline) {
   uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
+  while (EngageNext(deadline)) {
+    Fire(active_keys_[active_pos_++]);
     ++executed;
   }
   if (now_ < deadline) now_ = deadline;

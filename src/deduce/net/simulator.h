@@ -2,10 +2,9 @@
 #define DEDUCE_NET_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "deduce/common/small_function.h"
 #include "deduce/datalog/fact.h"  // Timestamp
 
 namespace deduce {
@@ -18,17 +17,35 @@ using SimTime = Timestamp;
 /// Events fire in (time, insertion order) order, so two events scheduled for
 /// the same instant run in the order they were scheduled — runs replay
 /// exactly given the same seed.
+///
+/// Implementation: a calendar queue. Simulated link delays put almost every
+/// event within a few milliseconds of `now`, so the pending set is kept in a
+/// ring of fixed-width time slots addressed by slot = time >> kSlotBits;
+/// only the slot currently being drained needs a real ordering. That slot's
+/// events stay put in a flat vector while a parallel array of small POD
+/// sort keys (time, seq, index) is sorted once — events are never moved by
+/// the ordering step, and draining is an index walk. Events beyond the ring
+/// horizon (rare: fault plans, long timers) wait in an overflow heap and
+/// migrate as the cursor reaches them. Callbacks are stored in a
+/// SmallFunction and slot/key storage is recycled between slots, so a
+/// typical event performs no heap allocation — together this replaces the
+/// old global std::priority_queue<std::function> whose per-event allocation
+/// and log(pending) comparisons dominated the event loop. Ordering is
+/// bit-for-bit identical to the old queue (see the
+/// CalendarMatchesReferenceHeap property test).
 class Simulator {
  public:
-  Simulator() = default;
+  using EventFn = SmallFunction<void()>;
+
+  Simulator();
 
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (>= now).
-  void ScheduleAt(SimTime t, std::function<void()> fn);
+  void ScheduleAt(SimTime t, EventFn fn);
 
   /// Schedules `fn` after a delay (>= 0).
-  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  void ScheduleAfter(SimTime delay, EventFn fn) {
     ScheduleAt(now_ + delay, std::move(fn));
   }
 
@@ -39,22 +56,108 @@ class Simulator {
   /// Runs events with firing time <= deadline.
   uint64_t RunUntil(SimTime deadline);
 
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const {
+    return (active_keys_.size() - active_pos_) + ring_pending_ +
+           overflow_.size();
+  }
 
  private:
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+    EventFn fn;
+  };
+
+  /// Sort key for the engaged slot: `idx` points into active_events_, or
+  /// into active_extra_ when the kExtraBit flag is set. Ordering the
+  /// 24-byte keys instead of the Events themselves keeps the per-slot sort
+  /// memcpy-cheap and never moves a SmallFunction.
+  struct Key {
+    SimTime time;
+    uint64_t seq;
+    uint32_t idx;
+  };
+  static constexpr uint32_t kExtraBit = uint32_t{1} << 31;
+  /// Functor (not a function pointer) so sort/lower_bound inline the
+  /// comparisons — the per-slot sort is the hottest ordering step.
+  struct KeyBefore {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
     }
   };
 
+  /// (time, seq) min-ordering for the overflow heap.
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Slot geometry. Link delays and MAC/transport timers land within a few
+  /// milliseconds of now, so a short ring suffices; a small slot count also
+  /// keeps the ring warm (bucket capacities are recycled every wrap, ~8 ms
+  /// of simulated time) and the occupancy bitmap in a single word. Longer
+  /// timers (sweep periods, fault plans) take the overflow heap and migrate
+  /// into the ring as the cursor approaches them.
+  static constexpr int kSlotBits = 7;           ///< 128 us per slot.
+  static constexpr size_t kNumSlots = 64;       ///< ~8.2 ms ring horizon.
+  static constexpr size_t kSlotMask = kNumSlots - 1;
+  static constexpr size_t kBitmapWords = kNumSlots / 64;
+
+  static uint64_t SlotOf(SimTime t) {
+    return static_cast<uint64_t>(t) >> kSlotBits;
+  }
+
+  /// True if the earliest pending event fires at or before `deadline`
+  /// (SimTime max = no bound), after engaging its slot into the active
+  /// arrays. Returns false when the queue is empty or the next event is
+  /// later.
+  bool EngageNext(SimTime deadline);
+
+  /// Adds an event to the engaged slot, keeping active_keys_ sorted.
+  void InsertActive(Event ev);
+  /// Advances now_ to `key` and invokes its callback. By value: firing can
+  /// reallocate active_keys_.
+  void Fire(Key key);
+  void MarkSlot(size_t index) {
+    bitmap_[index >> 6] |= uint64_t{1} << (index & 63);
+  }
+  void ClearSlot(size_t index) {
+    bitmap_[index >> 6] &= ~(uint64_t{1} << (index & 63));
+  }
+  /// Smallest slot > cursor_slot_ with a non-empty ring bucket, or
+  /// UINT64_MAX if the ring is empty.
+  uint64_t NextRingSlot() const;
+
   SimTime now_ = 0;
   uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  uint64_t cursor_slot_ = 0;   ///< Slot whose events are engaged.
+  size_t ring_pending_ = 0;    ///< Events stored in ring slots.
+
+  /// The engaged slot: events of slots <= cursor_slot_, unordered, fired
+  /// by walking active_keys_ from active_pos_. (Slots < cursor_slot_ only
+  /// occur transiently: RunUntil can leave the cursor ahead of now_, and
+  /// later insertions at t >= now_ still order correctly because
+  /// everything else is in strictly later slots.) Storage rotates with the
+  /// ring buckets, so steady-state slot churn does not allocate.
+  ///
+  /// active_events_ is frozen while the slot drains, so its callbacks are
+  /// invoked in place (no move per fire). Events scheduled into the
+  /// engaged slot *during* the drain land in active_extra_ instead, which
+  /// can reallocate while one of its own callbacks runs — those are moved
+  /// out before invocation.
+  std::vector<Event> active_events_;
+  std::vector<Event> active_extra_;
+  std::vector<Key> active_keys_;   ///< Sorted (time, seq); see KeyBefore.
+  size_t active_pos_ = 0;          ///< Next key to fire.
+  /// Ring of future slots: slots_[s & kSlotMask] holds the (unordered)
+  /// events of slot s for s in (cursor_slot_, cursor_slot_ + kNumSlots).
+  std::vector<std::vector<Event>> slots_;
+  uint64_t bitmap_[kBitmapWords] = {};  ///< Non-empty ring buckets.
+  /// Events at or beyond the ring horizon, as a (time, seq) min-heap.
+  std::vector<Event> overflow_;
 };
 
 }  // namespace deduce

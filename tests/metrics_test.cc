@@ -91,6 +91,67 @@ TEST(MetricsRegistryTest, ToJsonIsDeterministicAcrossInsertionOrder) {
   EXPECT_NE(a.ToJson().find("\"component\":\"net\""), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndPoolsHistograms) {
+  MetricsRegistry a;
+  a.Add(0, "net", "sent", 5);
+  a.Set(0, "engine", "g", 1);
+  a.Observe(0, "lat", "us", 100);
+  a.Observe(0, "lat", "us", 3'000);
+
+  MetricsRegistry b;
+  b.Add(0, "net", "sent", 7);
+  b.Add(1, "net", "sent", 2);       // key only in b
+  b.Set(0, "engine", "g", 9);       // gauge: last merged wins
+  b.Observe(0, "lat", "us", 40);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.CounterValue(0, "net", "sent"), 12u);
+  EXPECT_EQ(a.CounterValue(1, "net", "sent"), 2u);
+  const auto& entries = a.entries();
+  auto git = entries.find(MetricsRegistry::Key{0, "engine", "g"});
+  ASSERT_NE(git, entries.end());
+  EXPECT_EQ(git->second.gauge, 9);
+  auto hit = entries.find(MetricsRegistry::Key{0, "lat", "us"});
+  ASSERT_NE(hit, entries.end());
+  const HistogramData& h = hit->second.histogram;
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 3'140);
+  EXPECT_EQ(h.min, 40);
+  EXPECT_EQ(h.max, 3'000);
+}
+
+TEST(MetricsRegistryTest, MergeInOrderEqualsSerialRecording) {
+  // Recording trial 0 then trial 1 into one registry must equal merging
+  // per-trial registries in the same order — the RunTrials reduction rule.
+  auto record = [](MetricsRegistry* reg, int trial) {
+    reg->Add(trial, "net", "sent", static_cast<uint64_t>(10 + trial));
+    reg->Add(-1, "net", "total", 1);
+    reg->Set(-1, "engine", "last_trial", trial);
+    reg->Observe(-1, "lat", "us", 100 * (trial + 1));
+  };
+  MetricsRegistry serial;
+  record(&serial, 0);
+  record(&serial, 1);
+
+  MetricsRegistry t0, t1, merged;
+  record(&t0, 0);
+  record(&t1, 1);
+  merged.MergeFrom(t0);
+  merged.MergeFrom(t1);
+  EXPECT_EQ(merged.ToJson(), serial.ToJson());
+}
+
+TEST(MetricsRegistryTest, ToJsonCanExcludeWallClockTiming) {
+  MetricsRegistry reg;
+  reg.Add(0, "net", "sent", 1);
+  reg.Observe(-1, "timing", "rule_eval", 1234);  // wall clock: excluded form
+  std::string with = reg.ToJson();
+  std::string without = reg.ToJson(/*include_timing=*/false);
+  EXPECT_NE(with.find("\"timing\""), std::string::npos);
+  EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+  EXPECT_NE(without.find("\"component\":\"net\""), std::string::npos);
+}
+
 TEST(TraceRecordTest, JsonRoundTrip) {
   TraceRecord r;
   r.time = 123456;

@@ -50,6 +50,71 @@ TEST(SimulatorTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(sim.now(), 15);
 }
 
+// Tie-break regression guard: the documented (time, insertion-order)
+// ordering must hold for *many* events at one instant, including events
+// scheduled for the current instant while it is being drained — the exact
+// contract any replacement event queue has to preserve.
+TEST(SimulatorTest, ManySameInstantEventsFireInInsertionOrder) {
+  Simulator sim;
+  constexpr int kEvents = 500;
+  std::vector<int> order;
+  // Interleave two instants so same-instant runs are split across other
+  // pending work, not just one contiguous burst.
+  for (int i = 0; i < kEvents; ++i) {
+    sim.ScheduleAt(1'000, [&order, i] { order.push_back(i); });
+    sim.ScheduleAt(2'000, [&order, i] { order.push_back(kEvents + i); });
+  }
+  sim.Run();
+  ASSERT_EQ(order.size(), static_cast<size_t>(2 * kEvents));
+  for (int i = 0; i < 2 * kEvents; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.now(), 2'000);
+}
+
+TEST(SimulatorTest, EventsScheduledAtNowRunAfterPendingSameInstantOnes) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] {
+    order.push_back(0);
+    // Scheduled *during* t=100: must run after the already-queued
+    // same-instant events 1 and 2 (it has a larger insertion index).
+    sim.ScheduleAt(100, [&] { order.push_back(3); });
+  });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilBoundaryIncludesWholeInstant) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleAt(5'000, [&order, i] { order.push_back(i); });
+  }
+  sim.ScheduleAt(5'001, [&] { order.push_back(-1); });
+  sim.RunUntil(5'000);  // deadline exactly at the burst instant
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_EQ(order.back(), -1);
+}
+
+TEST(SimulatorTest, RunMaxEventsSplitsSameInstantBurstDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(7, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(sim.Run(4), 4u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.pending(), 6u);
+  sim.Run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(TopologyTest, GridStructure) {
   Topology t = Topology::Grid(4);
   EXPECT_EQ(t.node_count(), 16);

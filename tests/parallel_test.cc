@@ -1,0 +1,347 @@
+// Tests for the parallel trial-execution layer (common/parallel.h) and
+// the thread-safety/determinism contracts it relies on (DESIGN.md §11):
+//   - ThreadPool / ParallelFor basics;
+//   - RunTrials reduces in submission order and produces byte-identical
+//     output to a serial run;
+//   - concurrent SymbolTable interning yields exactly one id per name;
+//   - per-trial MetricsRegistry instances merged in submission order equal
+//     the registry a serial run would have produced;
+//   - the calendar-queue Simulator replays the exact (time, insertion
+//     order) event sequence of the old binary-heap scheduler on randomized
+//     schedules (property test).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "deduce/common/metrics.h"
+#include "deduce/common/parallel.h"
+#include "deduce/common/rng.h"
+#include "deduce/common/strings.h"
+#include "deduce/datalog/symbol.h"
+#include "deduce/net/simulator.h"
+
+namespace deduce {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelFor(kN, threads, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(RunTrialsTest, ReducesInSubmissionOrder) {
+  // Trials finish in scrambled order (later indices do less work), but the
+  // reduction must still see 0, 1, 2, ... n-1.
+  constexpr size_t kN = 64;
+  std::vector<size_t> reduced;
+  RunTrials(
+      kN, 4,
+      [](size_t i) {
+        // Busy-work inversely proportional to the index so high indices
+        // complete first.
+        volatile uint64_t x = 0;
+        for (size_t k = 0; k < (kN - i) * 20'000; ++k) x = x + k;
+        return i;
+      },
+      [&reduced](size_t i, size_t result) {
+        EXPECT_EQ(i, result);
+        reduced.push_back(result);
+      });
+  ASSERT_EQ(reduced.size(), kN);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(reduced[i], i);
+}
+
+/// A deterministic "trial": a seeded mini simulation whose reduced output
+/// is a string — the stand-in for a bench table row + JSON record.
+std::string SeededTrial(size_t i) {
+  Rng rng(1000 + i);
+  Simulator sim;
+  uint64_t checksum = 0;
+  int fired = 0;
+  for (int k = 0; k < 50; ++k) {
+    SimTime t = rng.Uniform(0, 2'000'000);
+    sim.ScheduleAt(t, [&checksum, &fired, t, k] {
+      checksum = checksum * 1099511628211ull + static_cast<uint64_t>(t) + k;
+      ++fired;
+    });
+  }
+  sim.Run();
+  return StrFormat("trial=%zu fired=%d checksum=%llu", i, fired,
+                   static_cast<unsigned long long>(checksum));
+}
+
+TEST(RunTrialsTest, ParallelOutputIsByteIdenticalToSerial) {
+  constexpr size_t kN = 32;
+  auto run = [](int threads) {
+    std::string out;
+    RunTrials(
+        kN, threads, [](size_t i) { return SeededTrial(i); },
+        [&out](size_t i, std::string&& result) {
+          (void)i;
+          out += result;
+          out += '\n';
+        });
+    return out;
+  };
+  std::string serial = run(1);
+  std::string parallel = run(4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, run(7));
+}
+
+TEST(SymbolTableTest, ConcurrentInterningYieldsOneIdPerName) {
+  constexpr int kThreads = 8;
+  constexpr int kShared = 64;
+  constexpr int kPrivate = 64;
+  // Per-thread view of name -> id, checked for global consistency after.
+  std::vector<std::map<std::string, SymbolId>> seen(kThreads);
+  ParallelFor(kThreads, kThreads, [&seen](size_t t) {
+    for (int round = 0; round < 20; ++round) {
+      for (int k = 0; k < kShared; ++k) {
+        std::string name = StrFormat("par_shared_%d", k);
+        seen[t][name] = Intern(name);
+      }
+      for (int k = 0; k < kPrivate; ++k) {
+        std::string name = StrFormat("par_t%zu_%d", t, k);
+        seen[t][name] = Intern(name);
+      }
+    }
+  });
+  // All threads agree on the id of every shared name, and every id
+  // round-trips through Name().
+  std::map<std::string, SymbolId> global;
+  std::set<SymbolId> ids;
+  for (const auto& per_thread : seen) {
+    for (const auto& [name, id] : per_thread) {
+      auto [it, inserted] = global.emplace(name, id);
+      if (!inserted) {
+        EXPECT_EQ(it->second, id) << name;
+      }
+      EXPECT_EQ(SymbolName(id), name);
+      ids.insert(id);
+    }
+  }
+  EXPECT_EQ(global.size(), ids.size());  // distinct names <-> distinct ids
+  EXPECT_EQ(global.size(),
+            static_cast<size_t>(kShared + kThreads * kPrivate));
+  // Re-interning on one thread reproduces every id.
+  for (const auto& [name, id] : global) EXPECT_EQ(Intern(name), id);
+}
+
+/// Deterministically fills a registry as trial `i` would.
+void FillRegistry(MetricsRegistry* reg, size_t i) {
+  Rng rng(77 + i);
+  for (int k = 0; k < 200; ++k) {
+    int node = static_cast<int>(rng.Uniform(-1, 5));
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        reg->Add(node, "net",
+                 StrFormat("ctr_%lld",
+                           static_cast<long long>(rng.Uniform(0, 9))),
+                 static_cast<uint64_t>(rng.Uniform(1, 100)));
+        break;
+      case 1:
+        reg->Set(node, "engine", "gauge", rng.Uniform(-50, 50));
+        break;
+      default:
+        reg->Observe(node, "lat", "us", rng.Uniform(0, 1 << 20));
+    }
+  }
+}
+
+TEST(RunTrialsTest, PerTrialRegistriesMergeToSerialResult) {
+  constexpr size_t kN = 16;
+  // Serial reference: one registry, trials applied in order.
+  MetricsRegistry serial;
+  for (size_t i = 0; i < kN; ++i) FillRegistry(&serial, i);
+
+  // Parallel: per-trial registries, merged in submission order.
+  MetricsRegistry merged;
+  RunTrials(
+      kN, 4,
+      [](size_t i) {
+        MetricsRegistry reg;
+        FillRegistry(&reg, i);
+        return reg;
+      },
+      [&merged](size_t i, MetricsRegistry&& reg) {
+        (void)i;
+        merged.MergeFrom(reg);
+      });
+  EXPECT_EQ(merged.ToJson(), serial.ToJson());
+}
+
+// ---------------------------------------------------------------------------
+// Calendar queue vs. the old global binary heap: identical replay.
+
+/// The pre-calendar-queue scheduler, kept verbatim as the ordering oracle:
+/// a single std::priority_queue over (time, insertion seq).
+class ReferenceHeapSimulator {
+ public:
+  SimTime now() const { return now_; }
+
+  void ScheduleAt(SimTime t, std::function<void()> fn) {
+    ASSERT_GE(t, now_);
+    queue_.push(Event{t, seq_++, std::move(fn)});
+  }
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  uint64_t Run(uint64_t max_events = UINT64_MAX) {
+    uint64_t executed = 0;
+    while (!queue_.empty() && executed < max_events) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed;
+    }
+    return executed;
+  }
+
+  uint64_t RunUntil(SimTime deadline) {
+    uint64_t executed = 0;
+    while (!queue_.empty() && queue_.top().time <= deadline) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      now_ = ev.time;
+      ev.fn();
+      ++executed;
+    }
+    if (now_ < deadline) now_ = deadline;
+    return executed;
+  }
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+  SimTime now_ = 0;
+  uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+};
+
+/// Drives `sim` through a randomized schedule: a burst of root events
+/// (with deliberate same-instant collisions), events that spawn children
+/// at zero/short/far-future delays (the far ones exercise the calendar
+/// queue's overflow path), interleaved RunUntil / bounded Run calls.
+/// Returns the exact firing sequence (label, fire time).
+template <typename Sim>
+std::vector<std::pair<int, SimTime>> RunScenario(uint64_t seed) {
+  Sim sim;
+  Rng rng(seed);
+  std::vector<std::pair<int, SimTime>> fired;
+  int next_label = 0;
+  int spawn_budget = 400;
+
+  std::function<void(int)> on_fire = [&](int label) {
+    fired.emplace_back(label, sim.now());
+    if (spawn_budget <= 0) return;
+    int children = static_cast<int>(rng.Uniform(0, 2));
+    for (int c = 0; c < children && spawn_budget > 0; ++c, --spawn_budget) {
+      SimTime delay;
+      switch (rng.Uniform(0, 4)) {
+        case 0: delay = 0; break;                                // same instant
+        case 1: delay = rng.Uniform(1, 900); break;              // same slot-ish
+        case 2: delay = rng.Uniform(1'000, 300'000); break;      // in the ring
+        case 3: delay = rng.Uniform(300'000, 500'000); break;
+        default: delay = rng.Uniform(600'000'000, 900'000'000);  // overflow
+      }
+      int label2 = next_label++;
+      sim.ScheduleAfter(delay, [&on_fire, label2] { on_fire(label2); });
+    }
+  };
+
+  // Root burst: coarse time grid to force many same-instant collisions.
+  for (int i = 0; i < 200; ++i) {
+    SimTime t = rng.Uniform(0, 40) * 10'000;
+    int label = next_label++;
+    sim.ScheduleAt(t, [&on_fire, label] { on_fire(label); });
+  }
+  // Interleave bounded runs and deadline runs before draining fully.
+  sim.Run(25);
+  sim.RunUntil(rng.Uniform(0, 200'000));
+  sim.Run(50);
+  sim.RunUntil(rng.Uniform(200'000, 400'000));
+  // Schedule a few more after the deadline advanced now_.
+  for (int i = 0; i < 20; ++i) {
+    SimTime t = sim.now() + rng.Uniform(0, 50'000);
+    int label = next_label++;
+    sim.ScheduleAt(t, [&on_fire, label] { on_fire(label); });
+  }
+  sim.Run();
+  EXPECT_EQ(sim.pending(), 0u);
+  return fired;
+}
+
+TEST(SimulatorPropertyTest, CalendarMatchesReferenceHeapExactly) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    auto expected = RunScenario<ReferenceHeapSimulator>(seed);
+    auto got = RunScenario<Simulator>(seed);
+    ASSERT_EQ(expected.size(), got.size()) << "seed " << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(expected[i], got[i])
+          << "seed " << seed << " divergence at event " << i;
+    }
+  }
+}
+
+TEST(SimulatorPropertyTest, PendingCountsAgreeAcrossStructures) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&] { ++fired; });                 // active slot
+  sim.ScheduleAt(5'000, [&] { ++fired; });               // ring
+  sim.ScheduleAt(900'000'000, [&] { ++fired; });         // overflow
+  EXPECT_EQ(sim.pending(), 3u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), 900'000'000);
+}
+
+}  // namespace
+}  // namespace deduce

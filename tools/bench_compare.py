@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench-smoke CI job.
+
+Subcommands:
+
+  identical A.json B.json
+      Byte-compare two BENCH_<name>.json reports (e.g. --threads 1 vs
+      --threads 4 runs of the same bench). The reports are deterministic
+      by construction, so any difference is a parallelism bug; on mismatch
+      the first differing run/counter is printed.
+
+  baseline check --bench NAME --report BENCH.json --wall SECONDS \
+                 [--baseline bench/baseline.json] [--tolerance 0.25]
+      Compare a run's counters against the committed baseline (exact
+      match: simulation counters are machine-independent) and its wall
+      time (fail when > baseline * (1 + tolerance)). Wall-time checking
+      is skipped when DEDUCE_BENCH_SKIP_WALLTIME is set or the baseline
+      has no wall time recorded.
+
+  baseline update --bench NAME --report BENCH.json --wall SECONDS \
+                  [--baseline bench/baseline.json]
+      Rewrite the baseline entry for NAME from this run. Use after an
+      intentional behaviour change, then commit the result.
+
+  speedup BENCH_bench_micro.json [--min-ratio 1.5]
+      Check the calendar-queue simulator's event-loop throughput against
+      the in-binary heap baseline (google-benchmark JSON output). The
+      ratio is within one binary on one machine, so it is
+      machine-independent.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Counters from each report run that are deterministic and cheap to diff.
+RUN_COUNTERS = [
+    "total_messages",
+    "total_bytes",
+    "max_node_messages",
+    "quiesce_time_us",
+    "result_count",
+    "total_replicas",
+    "total_derivations",
+    "errors",
+]
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+
+
+def cmd_identical(args):
+    with open(args.a, "rb") as f:
+        a_bytes = f.read()
+    with open(args.b, "rb") as f:
+        b_bytes = f.read()
+    if a_bytes == b_bytes:
+        print(f"OK: {args.a} and {args.b} are byte-identical")
+        return 0
+    # Not identical: parse both and point at the first difference.
+    a, b = load(args.a), load(args.b)
+    a_runs, b_runs = a.get("runs", []), b.get("runs", [])
+    if len(a_runs) != len(b_runs):
+        print(
+            f"FAIL: run count differs: {len(a_runs)} vs {len(b_runs)}",
+            file=sys.stderr,
+        )
+        return 1
+    for i, (ra, rb) in enumerate(zip(a_runs, b_runs)):
+        for key in sorted(set(ra) | set(rb)):
+            if ra.get(key) != rb.get(key):
+                print(
+                    f"FAIL: run {i} field {key!r} differs:\n"
+                    f"  {args.a}: {ra.get(key)!r}\n"
+                    f"  {args.b}: {rb.get(key)!r}",
+                    file=sys.stderr,
+                )
+                return 1
+    print(
+        "FAIL: reports differ outside the runs array "
+        "(bench name or formatting)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def report_counters(report):
+    return [
+        {k: run.get(k) for k in RUN_COUNTERS} for run in report.get("runs", [])
+    ]
+
+
+def cmd_baseline(args):
+    baseline = {}
+    if os.path.exists(args.baseline):
+        baseline = load(args.baseline)
+    benches = baseline.setdefault("benches", {})
+    report = load(args.report)
+    counters = report_counters(report)
+
+    if args.action == "update":
+        benches[args.bench] = {
+            "wall_time_s": round(args.wall, 3) if args.wall else None,
+            "runs": counters,
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"updated {args.baseline} entry for {args.bench}")
+        return 0
+
+    entry = benches.get(args.bench)
+    if entry is None:
+        sys.exit(
+            f"bench_compare: no baseline entry for {args.bench!r}; run "
+            f"'baseline update' and commit {args.baseline}"
+        )
+    failures = 0
+    expected = entry.get("runs", [])
+    if len(expected) != len(counters):
+        print(
+            f"FAIL: {args.bench}: baseline has {len(expected)} runs, "
+            f"report has {len(counters)}",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        for i, (want, got) in enumerate(zip(expected, counters)):
+            for key in RUN_COUNTERS:
+                if want.get(key) != got.get(key):
+                    print(
+                        f"FAIL: {args.bench}: run {i} counter {key!r}: "
+                        f"baseline {want.get(key)!r} != current "
+                        f"{got.get(key)!r}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+    wall_base = entry.get("wall_time_s")
+    if os.environ.get("DEDUCE_BENCH_SKIP_WALLTIME"):
+        print(f"{args.bench}: wall-time check skipped (env)")
+    elif wall_base is None or args.wall is None:
+        print(f"{args.bench}: wall-time check skipped (no baseline)")
+    else:
+        limit = wall_base * (1.0 + args.tolerance)
+        if args.wall > limit:
+            print(
+                f"FAIL: {args.bench}: wall time {args.wall:.2f}s exceeds "
+                f"baseline {wall_base:.2f}s by more than "
+                f"{args.tolerance:.0%} (limit {limit:.2f}s)",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"{args.bench}: wall time {args.wall:.2f}s within "
+                f"{args.tolerance:.0%} of baseline {wall_base:.2f}s"
+            )
+    if failures == 0:
+        print(f"OK: {args.bench}: {len(counters)} runs match the baseline")
+    return 1 if failures else 0
+
+
+def cmd_speedup(args):
+    report = load(args.report)
+    perf = {}
+    for bench in report.get("benchmarks", []):
+        perf[bench.get("name", "")] = bench.get("items_per_second")
+    pairs = []
+    for name, items in perf.items():
+        if "BM_SimulatorEventLoopCalendar/" not in name:
+            continue
+        arg = name.rsplit("/", 1)[1]
+        heap = perf.get(f"BM_SimulatorEventLoopHeap/{arg}")
+        if items and heap:
+            pairs.append((arg, items / heap))
+    if not pairs:
+        print(
+            "FAIL: no BM_SimulatorEventLoopCalendar/Heap pairs in report",
+            file=sys.stderr,
+        )
+        return 1
+    worst = min(r for _, r in pairs)
+    for arg, ratio in pairs:
+        print(f"event loop sessions={arg}: calendar/heap = {ratio:.2f}x")
+    if worst < args.min_ratio:
+        print(
+            f"FAIL: calendar-queue speedup {worst:.2f}x is below the "
+            f"required {args.min_ratio}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: calendar-queue event loop >= {args.min_ratio}x heap baseline")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("identical")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=cmd_identical)
+
+    p = sub.add_parser("baseline")
+    p.add_argument("action", choices=["check", "update"])
+    p.add_argument("--bench", required=True)
+    p.add_argument("--report", required=True)
+    p.add_argument("--wall", type=float, default=None)
+    p.add_argument("--baseline", default="bench/baseline.json")
+    p.add_argument("--tolerance", type=float, default=0.25)
+    p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser("speedup")
+    p.add_argument("report")
+    p.add_argument("--min-ratio", type=float, default=1.5)
+    p.set_defaults(fn=cmd_speedup)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

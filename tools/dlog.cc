@@ -10,6 +10,7 @@
 //
 //   dlog simulate <program.dlog> --events <events file> [--grid N]
 //       [--storage row|broadcast|local|centroid] [--loss P] [--seed S]
+//       [--seeds N] [--threads N]
 //       [--reliable] [--repair] [--anti-entropy-period US]
 //       [--trace trace.csv] [--trace-out trace.jsonl]
 //       [--metrics-out metrics.json]
@@ -18,6 +19,10 @@
 //       --trace-out writes the structured JSONL trace (one record per
 //       transmission/injection/retransmission, with phase and predicate
 //       attribution); --metrics-out writes the metrics-registry snapshot.
+//       --seeds N sweeps N consecutive seeds starting at --seed and prints
+//       one summary row per seed (trials run on --threads workers, rows
+//       always in seed order; incompatible with --trace/--trace-out/
+//       --metrics-out, which describe a single run).
 //
 //   dlog stats <trace.jsonl>
 //       Aggregate a JSONL trace into per-phase / per-predicate message and
@@ -36,6 +41,7 @@
 #include <sstream>
 
 #include "deduce/common/metrics.h"
+#include "deduce/common/parallel.h"
 #include "deduce/common/strings.h"
 #include "deduce/common/trace.h"
 #include "deduce/datalog/analysis.h"
@@ -185,6 +191,21 @@ StatusOr<std::vector<Event>> ParseEvents(const std::string& text) {
   return out;
 }
 
+bool StorageFromFlag(const std::string& storage, StoragePolicy* out) {
+  if (storage == "row" || storage.empty()) {
+    *out = StoragePolicy::kRow;
+  } else if (storage == "broadcast") {
+    *out = StoragePolicy::kBroadcast;
+  } else if (storage == "local") {
+    *out = StoragePolicy::kLocal;
+  } else if (storage == "centroid") {
+    *out = StoragePolicy::kCentroid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
                 bool reliable, const RepairOptions& repair, uint64_t seed,
@@ -203,15 +224,7 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   EngineOptions options;
   options.transport.reliable = reliable;
   options.repair = repair;
-  if (storage == "row" || storage.empty()) {
-    options.planner.default_storage = StoragePolicy::kRow;
-  } else if (storage == "broadcast") {
-    options.planner.default_storage = StoragePolicy::kBroadcast;
-  } else if (storage == "local") {
-    options.planner.default_storage = StoragePolicy::kLocal;
-  } else if (storage == "centroid") {
-    options.planner.default_storage = StoragePolicy::kCentroid;
-  } else {
+  if (!StorageFromFlag(storage, &options.planner.default_storage)) {
     return Fail(Status::InvalidArgument("unknown --storage " + storage));
   }
 
@@ -313,6 +326,93 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   return (*engine)->stats().errors.empty() ? 0 : 2;
 }
 
+/// `--seeds N`: run the same program/events on N consecutive RNG seeds,
+/// one summary row per seed. Trials are independent simulations and run
+/// on a worker pool; RunTrials reduces (prints) in seed order, so the
+/// output is identical for any --threads value.
+int CmdSimulateSweep(const std::string& path, const std::string& events_path,
+                     int grid, const std::string& storage, double loss,
+                     bool reliable, const RepairOptions& repair,
+                     uint64_t base_seed, uint64_t seeds, int threads) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return Fail(program.status());
+  auto events_text = ReadFile(events_path);
+  if (!events_text.ok()) return Fail(events_text.status());
+  auto events = ParseEvents(*events_text);
+  if (!events.ok()) return Fail(events.status());
+
+  EngineOptions options;
+  options.transport.reliable = reliable;
+  options.repair = repair;
+  if (!StorageFromFlag(storage, &options.planner.default_storage)) {
+    return Fail(Status::InvalidArgument("unknown --storage " + storage));
+  }
+  LinkModel link;
+  link.loss_rate = loss;
+  if (loss > 0) link.retries = 2;
+  Topology topo = Topology::Grid(grid);
+  for (const Event& ev : *events) {
+    if (ev.node < 0 || ev.node >= topo.node_count()) {
+      return Fail(Status::OutOfRange(
+          StrFormat("event names node %d; grid has %d nodes", ev.node,
+                    topo.node_count())));
+    }
+  }
+
+  struct SeedResult {
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    double energy_uj = 0;
+    SimTime quiesce = 0;
+    uint64_t derivations = 0;
+    size_t results = 0;
+    size_t errors = 0;
+  };
+
+  std::printf("%12s  %12s  %12s  %12s  %12s  %12s  %12s  %12s\n", "seed",
+              "messages", "bytes", "energy_uj", "quiesce_us", "derived",
+              "results", "errors");
+  size_t total_errors = 0;
+  RunTrials(
+      static_cast<size_t>(seeds), threads,
+      [&](size_t i) {
+        SeedResult r;
+        Network net(topo, link, base_seed + i);
+        auto engine = DistributedEngine::Create(&net, *program, options);
+        if (!engine.ok()) {
+          r.errors = 1;
+          return r;
+        }
+        for (const Event& ev : *events) {
+          net.sim().RunUntil(ev.time);
+          if (!(*engine)->Inject(ev.node, ev.op, ev.fact).ok()) ++r.errors;
+        }
+        net.sim().Run();
+        r.messages = net.stats().TotalMessages();
+        r.bytes = net.stats().TotalBytes();
+        r.energy_uj = net.stats().TotalEnergyMicroJ();
+        r.quiesce = net.sim().now();
+        r.derivations = (*engine)->stats().derivations_added;
+        r.results = (*engine)->ResultDatabase().size();
+        r.errors += (*engine)->stats().errors.size();
+        return r;
+      },
+      [&](size_t i, SeedResult r) {
+        total_errors += r.errors;
+        std::printf(
+            "%12llu  %12llu  %12llu  %12.1f  %12lld  %12llu  %12zu  %12zu\n",
+            static_cast<unsigned long long>(base_seed + i),
+            static_cast<unsigned long long>(r.messages),
+            static_cast<unsigned long long>(r.bytes), r.energy_uj,
+            static_cast<long long>(r.quiesce),
+            static_cast<unsigned long long>(r.derivations), r.results,
+            r.errors);
+      });
+  return total_errors == 0 ? 0 : 2;
+}
+
 int CmdStats(const std::string& path) {
   std::ifstream in(path);
   if (!in) return Fail(Status::NotFound("cannot open trace file: " + path));
@@ -332,7 +432,8 @@ int Usage() {
                "  dlog eval <program.dlog> [--query 'goal(...)'] [--magic]\n"
                "  dlog simulate <program.dlog> --events <file> [--grid N]\n"
                "       [--storage row|broadcast|local|centroid] [--loss P]\n"
-               "       [--seed S] [--reliable] [--repair]\n"
+               "       [--seed S] [--seeds N] [--threads N]\n"
+               "       [--reliable] [--repair]\n"
                "       [--anti-entropy-period US] [--trace trace.csv]\n"
                "       [--trace-out trace.jsonl] [--metrics-out m.json]\n"
                "  dlog stats <trace.jsonl>\n");
@@ -404,6 +505,8 @@ int main(int argc, char** argv) {
   long grid = 8;
   double loss = 0;
   uint64_t seed = 1;
+  long seeds = 1;
+  long threads = 0;  // 0 = DefaultThreadCount()
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -440,6 +543,14 @@ int main(int argc, char** argv) {
       if (!ParseDoubleFlag("--loss", next(), 0.0, 1.0, &loss)) return Usage();
     } else if (arg == "--seed") {
       if (!ParseU64Flag("--seed", next(), &seed)) return Usage();
+    } else if (arg == "--seeds") {
+      if (!ParseIntFlag("--seeds", next(), 1, 100'000, &seeds)) {
+        return Usage();
+      }
+    } else if (arg == "--threads") {
+      if (!ParseIntFlag("--threads", next(), 1, 1024, &threads)) {
+        return Usage();
+      }
     } else if (arg == "--trace") {
       const char* v = next();
       if (!v) return Usage();
@@ -462,6 +573,18 @@ int main(int argc, char** argv) {
   if (cmd == "stats") return CmdStats(path);
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
+    if (seeds > 1) {
+      if (!trace.empty() || !trace_out.empty() || !metrics_out.empty()) {
+        std::fprintf(stderr,
+                     "dlog: --seeds is incompatible with --trace, "
+                     "--trace-out and --metrics-out (per-run outputs)\n");
+        return 64;
+      }
+      int t = threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
+      return CmdSimulateSweep(path, events, static_cast<int>(grid), storage,
+                              loss, reliable, repair, seed,
+                              static_cast<uint64_t>(seeds), t);
+    }
     return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
                        reliable, repair, seed, trace, trace_out, metrics_out);
   }
