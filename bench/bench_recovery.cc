@@ -133,6 +133,10 @@ void PrintRow(TablePrinter& table, const std::string& scenario,
 int main(int argc, char** argv) {
   deduce::bench::OpenBenchReport(argv[0]);
   int threads = ThreadsFromArgs(argc, argv);
+  std::string series_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--series") series_path = argv[i + 1];
+  }
   std::printf(
       "# R-Fig-6 extension: join recall vs the no-fault oracle when band\n"
       "# nodes lose replica state, 10x10 grid, testbed profile.\n"
@@ -209,6 +213,36 @@ int main(int argc, char** argv) {
     repair.anti_entropy_period = ae ? 400'000 : 0;
     trials.push_back({"loss=0.15", std::string("ae=") + (ae ? "on" : "off"),
                       lossy, transport, repair, work, std::nullopt, expected});
+  }
+
+  // --series FILE: one extra serial churn+resync run whose registry is
+  // snapshotted every 250 ms of simulated time (MetricsSnapshotter), so the
+  // repair counters can be plotted as convergence curves instead of only
+  // end-of-run totals.
+  if (!series_path.empty()) {
+    std::ofstream series(series_path);
+    if (!series) {
+      std::fprintf(stderr, "cannot write --series file %s\n",
+                   series_path.c_str());
+      return 64;
+    }
+    Network net(topo, lossless, 11);
+    net.ApplyFaultPlan(churn);
+    EngineOptions options;
+    options.transport.reliable = true;
+    options.repair.enabled = true;
+    MetricsRegistry registry;
+    options.metrics = &registry;
+    auto engine = DistributedEngine::Create(&net, program, options);
+    if (!engine.ok()) std::abort();
+    MetricsSnapshotter snap(&net, &registry, &series, 250'000);
+    for (const WorkItem& item : churn_work) {
+      snap.RunUntil(item.time);
+      (void)(*engine)->Inject(item.node, item.op, item.fact);
+    }
+    snap.RunToQuiescence();
+    std::printf("# --series: churn+resync registry series -> %s\n\n",
+                series_path.c_str());
   }
 
   TablePrinter table({"scenario", "mode", "derived", "expected", "recall",

@@ -300,6 +300,61 @@ inline RunMetrics RunCentralized(const Topology& topology,
   return run.metrics;
 }
 
+/// Periodic registry snapshotter for hand-rolled bench loops: drives the
+/// simulator in interval-sized chunks and appends one time-resolved
+/// {"time":T,"metrics":[...]} row (MetricsRegistry::ToJsonRow) per elapsed
+/// interval of *simulated* time. No repeating simulator event is scheduled,
+/// so quiescence detection is untouched — the same scheme as
+/// `dlog simulate --metrics-interval`. Single-threaded use only.
+class MetricsSnapshotter {
+ public:
+  MetricsSnapshotter(Network* net, const MetricsRegistry* registry,
+                     std::ostream* out, SimTime interval_us)
+      : net_(net),
+        registry_(registry),
+        out_(out),
+        interval_(interval_us <= 0 ? 1 : interval_us),
+        next_(net->sim().now() + interval_) {}
+
+  /// Advances simulated time to `t`, emitting one row per interval crossed.
+  void RunUntil(SimTime t) {
+    while (next_ < t) {
+      net_->sim().RunUntil(next_);
+      *out_ << registry_->ToJsonRow(next_) << "\n";
+      next_ += interval_;
+    }
+    net_->sim().RunUntil(t);
+  }
+
+  /// Drains the simulator to quiescence (pending() == 0), then emits a
+  /// final row stamped with the quiescence time.
+  void RunToQuiescence() {
+    while (net_->sim().pending() > 0) {
+      net_->sim().RunUntil(next_);
+      if (net_->sim().pending() > 0) {
+        *out_ << registry_->ToJsonRow(next_) << "\n";
+      }
+      next_ += interval_;
+    }
+    *out_ << registry_->ToJsonRow(net_->sim().now()) << "\n";
+  }
+
+ private:
+  Network* net_;
+  const MetricsRegistry* registry_;
+  std::ostream* out_;
+  SimTime interval_;
+  SimTime next_;
+};
+
+/// Runs the simulation to quiescence, emitting one registry row every
+/// `interval_us` of simulated time plus a final quiescence-stamped row.
+inline void RunWithSnapshots(Network& net, const MetricsRegistry& registry,
+                             std::ostream& out, SimTime interval_us) {
+  MetricsSnapshotter snap(&net, &registry, &out, interval_us);
+  snap.RunToQuiescence();
+}
+
 /// Parses `--threads N` from a bench binary's argv. Defaults to
 /// DefaultThreadCount() (hardware concurrency, or $DEDUCE_THREADS).
 inline int ThreadsFromArgs(int argc, char** argv) {

@@ -201,4 +201,10 @@ std::string MetricsRegistry::ToJson(bool include_timing) const {
   return out;
 }
 
+std::string MetricsRegistry::ToJsonRow(int64_t time_us,
+                                       bool include_timing) const {
+  return StrFormat("{\"time\":%lld,", static_cast<long long>(time_us)) +
+         ToJson(include_timing).substr(1);
+}
+
 }  // namespace deduce

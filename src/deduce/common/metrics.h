@@ -106,6 +106,14 @@ class MetricsRegistry {
   /// bench-smoke CI gate compare byte-for-byte.
   std::string ToJson(bool include_timing = true) const;
 
+  /// One time-resolved JSONL snapshot row:
+  /// {"time": <time_us>, "metrics": [...]}. The row carries the registry's
+  /// live counters as of `time_us` (simulated time). Used by the periodic
+  /// snapshotter (`dlog simulate --metrics-interval`, bench_util's
+  /// RunWithSnapshots) so churn/recovery runs can plot convergence over
+  /// time instead of only end-of-run totals.
+  std::string ToJsonRow(int64_t time_us, bool include_timing = false) const;
+
  private:
   bool enabled_ = true;
   std::map<Key, Entry> entries_;

@@ -157,6 +157,30 @@ bool ParseU64(const std::string& raw, uint64_t* out) {
 
 }  // namespace
 
+std::string TraceIdToHex(uint64_t tid) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(tid));
+}
+
+bool TraceIdFromHex(const std::string& hex, uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
 std::string TraceRecord::ToJson() const {
   std::string out = StrFormat("{\"time\":%lld,\"node\":%d,\"kind\":\"",
                               static_cast<long long>(time), node);
@@ -167,10 +191,30 @@ std::string TraceRecord::ToJson() const {
   AppendEscaped(pred, &out);
   out += StrFormat(
       "\",\"src\":%d,\"dst\":%d,\"bytes\":%llu,\"seq\":%llu,"
-      "\"attempts\":%d,\"delivered\":%s}",
+      "\"attempts\":%d,\"delivered\":%s",
       src, dst, static_cast<unsigned long long>(bytes),
       static_cast<unsigned long long>(seq), attempts,
       delivered ? "true" : "false");
+  // Schema-v2 fields are appended only when set: a record with none of them
+  // serializes byte-identically to schema v1.
+  if (schema != 1) out += StrFormat(",\"schema\":%d", schema);
+  if (tid != 0) out += ",\"tid\":\"" + TraceIdToHex(tid) + "\"";
+  if (!tids.empty()) {
+    out += ",\"tids\":\"";
+    for (size_t i = 0; i < tids.size(); ++i) {
+      if (i > 0) out += ',';
+      out += TraceIdToHex(tids[i]);
+    }
+    out += "\"";
+  }
+  if (!fact.empty()) {
+    out += ",\"fact\":\"";
+    AppendEscaped(fact, &out);
+    out += "\"";
+  }
+  if (rule != kNoRule) out += StrFormat(",\"rule\":%d", rule);
+  if (lat != 0) out += StrFormat(",\"lat\":%lld", static_cast<long long>(lat));
+  out += "}";
   return out;
 }
 
@@ -219,6 +263,46 @@ StatusOr<TraceRecord> TraceRecord::FromJson(const std::string& line) {
       if (key == "src") r.src = static_cast<int>(v);
       if (key == "dst") r.dst = static_cast<int>(v);
       if (key == "attempts") r.attempts = static_cast<int>(v);
+    } else if (key == "schema") {
+      int64_t v = 0;
+      if (!ParseI64(value, &v)) {
+        bad = key;
+        return;
+      }
+      r.schema = static_cast<int>(v);
+    } else if (key == "tid") {
+      if (!is_string || !TraceIdFromHex(value, &r.tid)) bad = key;
+    } else if (key == "tids") {
+      if (!is_string) {
+        bad = key;
+        return;
+      }
+      size_t start = 0;
+      while (start <= value.size()) {
+        size_t comma = value.find(',', start);
+        std::string piece = value.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        uint64_t t = 0;
+        if (!TraceIdFromHex(piece, &t)) {
+          bad = key;
+          return;
+        }
+        r.tids.push_back(t);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (key == "fact") {
+      want_string(&r.fact);
+    } else if (key == "rule") {
+      int64_t v = 0;
+      if (!ParseI64(value, &v)) {
+        bad = key;
+        return;
+      }
+      r.rule = static_cast<int32_t>(v);
+    } else if (key == "lat") {
+      if (!ParseI64(value, &r.lat)) bad = key;
     }
     // Unknown keys are ignored for forward compatibility.
   });
@@ -237,7 +321,8 @@ bool TraceRecord::operator==(const TraceRecord& o) const {
   return time == o.time && node == o.node && kind == o.kind &&
          phase == o.phase && pred == o.pred && src == o.src && dst == o.dst &&
          bytes == o.bytes && seq == o.seq && attempts == o.attempts &&
-         delivered == o.delivered;
+         delivered == o.delivered && schema == o.schema && tid == o.tid &&
+         tids == o.tids && fact == o.fact && rule == o.rule && lat == o.lat;
 }
 
 Status TraceWriter::OpenFile(const std::string& path) {
@@ -275,6 +360,13 @@ void TraceWriter::Emit(const TraceRecord& record) {
 
 void TraceStats::Add(const TraceRecord& r) {
   ++records;
+  if (r.schema > TraceRecord::kSchemaVersion) {
+    // A newer producer may have changed field meanings; skip the record
+    // rather than misaggregate it. Older (v1) records have schema == 1 and
+    // always parse.
+    ++future_records;
+    return;
+  }
   if (r.kind == "hop") {
     // NetworkStats counts every link-layer attempt as a sent message and
     // charges bytes per attempt; mirror that so totals line up exactly.
@@ -289,6 +381,19 @@ void TraceStats::Add(const TraceRecord& r) {
     ++injects;
   } else if (r.kind == "retransmit") {
     ++retransmits;
+  } else if (r.kind == "deriv") {
+    ++derivs;
+    LatencyCell& cell = latency_by_pred[r.pred];
+    if (r.phase == "gen") {
+      ++cell.gens;
+    } else {
+      if (cell.results == 0 || r.lat < cell.lat_min) cell.lat_min = r.lat;
+      if (cell.results == 0 || r.lat > cell.lat_max) cell.lat_max = r.lat;
+      ++cell.results;
+      cell.lat_sum += r.lat;
+    }
+  } else {
+    ++unknown_kinds[r.kind];
   }
 }
 
@@ -312,6 +417,23 @@ TraceStats TraceStats::Aggregate(std::istream& in,
     }
     stats.Add(*r);
   }
+  if (errors != nullptr) {
+    // Warn once per unknown kind (not once per record) and once for
+    // newer-schema records; both are forward-compatibility signals, not
+    // parse failures, so they do not count as bad_lines.
+    for (const auto& [kind, count] : stats.unknown_kinds) {
+      errors->push_back(StrFormat(
+          "warning: %llu record(s) of unknown kind \"%s\" ignored",
+          static_cast<unsigned long long>(count), kind.c_str()));
+    }
+    if (stats.future_records > 0) {
+      errors->push_back(StrFormat(
+          "warning: %llu record(s) with schema > %d skipped "
+          "(produced by a newer writer)",
+          static_cast<unsigned long long>(stats.future_records),
+          TraceRecord::kSchemaVersion));
+    }
+  }
   return stats;
 }
 
@@ -329,6 +451,10 @@ std::string TraceStats::ToTable() const {
                    static_cast<unsigned long long>(retransmits));
   out += StrFormat("dropped hops:    %llu\n",
                    static_cast<unsigned long long>(dropped_hops));
+  if (derivs > 0) {
+    out += StrFormat("deriv records:   %llu\n",
+                     static_cast<unsigned long long>(derivs));
+  }
   if (bad_lines > 0) {
     out += StrFormat("bad lines:       %llu\n",
                      static_cast<unsigned long long>(bad_lines));
@@ -358,6 +484,45 @@ std::string TraceStats::ToTable() const {
                      pred.c_str(),
                      static_cast<unsigned long long>(cell.messages),
                      static_cast<unsigned long long>(cell.bytes));
+  }
+  return out;
+}
+
+std::string TraceStats::LatencyTable() const {
+  if (latency_by_pred.empty()) return "";
+
+  // Bytes-per-result denominators: all hop bytes attributed to a predicate,
+  // split over the tuples actually materialized for it (falling back to
+  // rule firings when the trace has no gen records for the predicate).
+  std::map<std::string, uint64_t> bytes_by_pred;
+  for (const auto& [key, cell] : by_phase_pred) {
+    bytes_by_pred[key.second] += cell.bytes;
+  }
+
+  std::string out = "per-predicate latency (deriv records):\n";
+  out += StrFormat("  %-16s %8s %8s %12s %12s %12s %14s\n", "predicate",
+                   "results", "tuples", "lat avg us", "lat min us",
+                   "lat max us", "bytes/result");
+  for (const auto& [pred, cell] : latency_by_pred) {
+    std::string avg = "-", lo = "-", hi = "-", bpr = "-";
+    if (cell.results > 0) {
+      avg = StrFormat("%lld", static_cast<long long>(
+                                  cell.lat_sum /
+                                  static_cast<int64_t>(cell.results)));
+      lo = StrFormat("%lld", static_cast<long long>(cell.lat_min));
+      hi = StrFormat("%lld", static_cast<long long>(cell.lat_max));
+    }
+    uint64_t denom = cell.gens > 0 ? cell.gens : cell.results;
+    auto bit = bytes_by_pred.find(pred);
+    if (denom > 0 && bit != bytes_by_pred.end()) {
+      bpr = StrFormat("%llu",
+                      static_cast<unsigned long long>(bit->second / denom));
+    }
+    out += StrFormat("  %-16s %8llu %8llu %12s %12s %12s %14s\n",
+                     pred.empty() ? "-" : pred.c_str(),
+                     static_cast<unsigned long long>(cell.results),
+                     static_cast<unsigned long long>(cell.gens), avg.c_str(),
+                     lo.c_str(), hi.c_str(), bpr.c_str());
   }
   return out;
 }

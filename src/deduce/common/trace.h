@@ -22,12 +22,35 @@ namespace deduce {
 ///                      of one unicast/broadcast hop)
 ///         "inject"     a base-stream update entering the engine at a node
 ///         "retransmit" an end-to-end transport retransmission decision
+///         "deriv"      a provenance event (schema v2): a rule firing, an
+///                      aggregate emission, or a tuple generation
 ///   phase "inject" | "store" | "sweep" | "result" | "agg" | "ack" |
 ///         "repair" | "retransmit" | "other"
-///                                  — which engine phase paid for the event
+///                                  — which engine phase paid for the event;
+///         for kind "deriv": "result" (rule firing applied at the fact's
+///         home), "agg" (aggregate emitted at the group home), "gen" (a
+///         tuple id was generated for the fact)
 ///   pred  head/stream predicate the bytes were spent on ("" when unknown)
 ///   seq   transport sequence number or sweep pass index (0 when N/A)
+///
+/// Schema v2 adds optional provenance fields, only serialized when set so a
+/// v1 trace (provenance off) stays byte-identical to PR 2 output:
+///
+///   schema  2 when any v2 field is present (absent lines are v1)
+///   tid     64-bit trace id of the fact's tuple, 16 hex digits as a JSON
+///           string (JSON numbers lose precision past 2^53)
+///   tids    contributing trace ids, comma-separated hex in one string
+///           (the flat scanner has no arrays)
+///   fact    canonical fact text, e.g. "uncov(loc(6, 6), 1)"
+///   rule    firing rule id (deriv result/agg records only)
+///   lat     stream-update-to-apply latency in us (deriv result/agg)
 struct TraceRecord {
+  /// Highest schema version this parser understands.
+  static constexpr int kSchemaVersion = 2;
+  /// Sentinel for "no rule recorded" (rule ids are small non-negatives,
+  /// with -1 reserved for axioms).
+  static constexpr int32_t kNoRule = INT32_MIN;
+
   int64_t time = 0;       ///< Simulation time (us, global clock).
   int node = -1;          ///< Reporting node (the sender / injecting node).
   std::string kind;
@@ -39,6 +62,12 @@ struct TraceRecord {
   uint64_t seq = 0;
   int attempts = 1;       ///< Link-layer transmissions used.
   bool delivered = true;
+  int schema = 1;               ///< Serialized only when != 1.
+  uint64_t tid = 0;             ///< Trace id of this record's tuple (0 = none).
+  std::vector<uint64_t> tids;   ///< Contributing trace ids.
+  std::string fact;             ///< Canonical fact text ("" = none).
+  int32_t rule = kNoRule;       ///< Rule id, kNoRule when absent.
+  int64_t lat = 0;              ///< End-to-end latency us (0 = none).
 
   /// One JSONL line (no trailing newline), fixed key order.
   std::string ToJson() const;
@@ -47,6 +76,12 @@ struct TraceRecord {
 
   bool operator==(const TraceRecord& o) const;
 };
+
+/// Formats a trace id the way the JSONL schema carries it: 16 lowercase hex
+/// digits, zero padded.
+std::string TraceIdToHex(uint64_t tid);
+/// Inverse of TraceIdToHex; false on malformed input.
+bool TraceIdFromHex(const std::string& hex, uint64_t* out);
 
 /// Appends trace records to a stream as JSONL. Inert until opened: an
 /// unopened writer's Emit is a single-branch no-op, so tracing costs
@@ -89,6 +124,15 @@ struct TraceStats {
     uint64_t bytes = 0;
   };
 
+  /// Per-predicate end-to-end numbers from "deriv" records (schema v2).
+  struct LatencyCell {
+    uint64_t results = 0;        ///< deriv result/agg records (rule firings).
+    uint64_t gens = 0;           ///< deriv gen records (tuples materialized).
+    int64_t lat_sum = 0;         ///< Sum of `lat` over results.
+    int64_t lat_min = 0;         ///< Valid when results > 0.
+    int64_t lat_max = 0;
+  };
+
   /// (phase, pred) -> traffic, from "hop" records.
   std::map<std::pair<std::string, std::string>, Cell> by_phase_pred;
   uint64_t total_messages = 0;
@@ -96,18 +140,32 @@ struct TraceStats {
   uint64_t dropped_hops = 0;    ///< Hop records with delivered == false.
   uint64_t injects = 0;         ///< kind == "inject" records.
   uint64_t retransmits = 0;     ///< kind == "retransmit" records.
+  uint64_t derivs = 0;          ///< kind == "deriv" records (schema v2).
   uint64_t records = 0;         ///< Total records aggregated.
   uint64_t bad_lines = 0;       ///< Unparseable lines skipped.
+  uint64_t future_records = 0;  ///< schema > kSchemaVersion, skipped.
+  /// Record kinds this parser does not understand, with counts. `dlog
+  /// stats` warns once per kind instead of dropping them silently.
+  std::map<std::string, uint64_t> unknown_kinds;
+  /// pred -> latency/generation rollup from deriv records.
+  std::map<std::string, LatencyCell> latency_by_pred;
 
   void Add(const TraceRecord& r);
 
   /// Aggregates a JSONL stream; malformed lines are counted in bad_lines
-  /// and (up to a cap) described in `errors` when non-null.
+  /// and (up to a cap) described in `errors` when non-null. One warning per
+  /// unknown record kind and one for newer-schema records are appended to
+  /// `errors` after the scan (warnings do not make a trace "bad").
   static TraceStats Aggregate(std::istream& in,
                               std::vector<std::string>* errors);
 
   /// Deterministic human-readable tables (the `dlog stats` output).
   std::string ToTable() const;
+
+  /// Per-predicate end-to-end latency and bytes-per-result table (the
+  /// `dlog stats --latency` output). Empty string when the trace has no
+  /// deriv records.
+  std::string LatencyTable() const;
 };
 
 }  // namespace deduce

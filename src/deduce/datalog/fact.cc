@@ -19,6 +19,21 @@ std::string TupleId::ToString() const {
                    seq);
 }
 
+uint64_t TraceIdFor(const TupleId& id) {
+  // splitmix64-style finalization over the three id components. Unlike
+  // Hash(), the result is pinned to 64 bits and to this exact mix so trace
+  // files compare across builds and platforms.
+  uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(id.source)) << 32) |
+               id.seq;
+  x ^= static_cast<uint64_t>(id.timestamp) * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
 Fact::Fact(SymbolId predicate, std::vector<Term> args)
     : predicate_(predicate), args_(std::move(args)) {
   for (const Term& t : args_) {

@@ -40,6 +40,15 @@ struct TupleId {
   std::string ToString() const;
 };
 
+/// The 64-bit provenance trace id of a tuple: a strong deterministic mix of
+/// its TupleId. Because every wire message already carries the TupleIds of
+/// the tuples it transports (store replicas, partial supports, result
+/// supports, aggregate contributors, repair entries), the trace-id sets the
+/// provenance layer needs are derivable from the existing wire formats —
+/// nothing extra is serialized, so enabling provenance changes no simulated
+/// counter. 0 is never returned (it is the "no trace id" sentinel).
+uint64_t TraceIdFor(const TupleId& id);
+
 /// A ground atom: predicate applied to ground terms. Value type with a
 /// cached hash; equality is structural on (predicate, args).
 class Fact {

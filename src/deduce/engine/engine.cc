@@ -46,6 +46,7 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   shared.link = &network->link();
   shared.metrics = options.metrics;
   shared.trace = options.trace;
+  shared.provenance = options.provenance;
 
   // --- per-delta evaluability tables ---
   size_t n_deltas = shared.plan.deltas.size();
@@ -170,7 +171,7 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   // `shared.plan` lives in the heap-allocated EngineShared, so the sink's
   // pointer stays valid for the engine's lifetime.
   InstallEngineObservability(network, &shared.plan, options.metrics,
-                             options.trace);
+                             options.trace, options.provenance.enabled);
   network->Start();
   return engine;
 }
@@ -217,6 +218,17 @@ size_t DistributedEngine::MaxNodeReplicas() const {
   size_t n = 0;
   for (NodeRuntime* rt : runtimes_) n = std::max(n, rt->ReplicaCount());
   return n;
+}
+
+std::vector<ProvenanceEdge> DistributedEngine::ProvenanceEdges() const {
+  std::vector<ProvenanceEdge> out;
+  for (NodeRuntime* rt : runtimes_) {
+    const ProvenanceStore* store = rt->provenance_store();
+    if (store == nullptr) continue;
+    std::vector<ProvenanceEdge> edges = store->Edges();
+    out.insert(out.end(), edges.begin(), edges.end());
+  }
+  return out;
 }
 
 // --- centralized baseline ---------------------------------------------------

@@ -33,6 +33,10 @@ struct EngineOptions {
   /// retransmission. Caller-owned; must outlive the engine.
   MetricsRegistry* metrics = nullptr;
   TraceWriter* trace = nullptr;
+  /// Causal tuple provenance: per-node lineage rings, "deriv" trace
+  /// records, trace-id'd hops/injects, per-predicate latency histograms
+  /// (off by default; see provenance.h and docs/OBSERVABILITY.md).
+  ProvenanceOptions provenance;
 };
 
 /// The distributed deductive query engine (the paper's contribution):
@@ -71,6 +75,12 @@ class DistributedEngine {
   size_t TotalReplicas() const;
   size_t TotalDerivations() const;
   size_t MaxNodeReplicas() const;
+
+  /// Lineage edges currently held in the per-node provenance rings, nodes
+  /// in id order, insertion order within a node. Empty when
+  /// EngineOptions::provenance is off (rebooted nodes restart empty; the
+  /// trace stream keeps the durable copy).
+  std::vector<ProvenanceEdge> ProvenanceEdges() const;
 
   const EngineStats& stats() const { return shared_->stats; }
   const QueryPlan& plan() const { return shared_->plan; }

@@ -83,9 +83,11 @@ void AttributeEngineMessage(const QueryPlan& plan, const Message& msg,
 }
 
 void InstallEngineObservability(Network* network, const QueryPlan* plan,
-                                MetricsRegistry* metrics, TraceWriter* trace) {
+                                MetricsRegistry* metrics, TraceWriter* trace,
+                                bool provenance) {
   if (metrics == nullptr && (trace == nullptr || !trace->on())) return;
-  network->AddTraceSink([plan, metrics, trace](const TraceEvent& ev) {
+  network->AddTraceSink([plan, metrics, trace,
+                         provenance](const TraceEvent& ev) {
     std::string phase = "other";
     std::string pred;
     uint64_t seq = 0;
@@ -100,6 +102,10 @@ void InstallEngineObservability(Network* network, const QueryPlan* plan,
       if (!pred.empty()) {
         metrics->Add(-1, "pred", pred + ".messages", attempts);
         metrics->Add(-1, "pred", pred + ".bytes", attempts * ev.bytes);
+        if (provenance) {
+          metrics->Observe(-1, "prov", pred + ".hop_bytes",
+                           static_cast<int64_t>(attempts * ev.bytes));
+        }
       }
     }
     if (trace != nullptr && trace->on()) {
@@ -115,6 +121,10 @@ void InstallEngineObservability(Network* network, const QueryPlan* plan,
       r.seq = seq;
       r.attempts = ev.attempts;
       r.delivered = ev.delivered;
+      if (provenance && ev.msg != nullptr) {
+        r.tids = CollectTraceIds(*ev.msg);
+        if (!r.tids.empty()) r.schema = 2;
+      }
       trace->Emit(r);
     }
   });

@@ -26,8 +26,15 @@ void AttributeEngineMessage(const QueryPlan& plan, const Message& msg,
 /// per-phase / per-predicate counters in `metrics` (components "traffic"
 /// and "pred"). Either sink target may be null; when both are null nothing
 /// is installed, keeping the hot path free of the callback entirely.
+///
+/// With `provenance` set (EngineOptions::provenance.enabled), hop records
+/// additionally carry the contributing trace-id set extracted from the
+/// in-flight payload (CollectTraceIds, schema v2) and `metrics` gains a
+/// per-predicate "prov" `<pred>.hop_bytes` histogram — the bytes-per-hop
+/// distribution of each predicate's attributed traffic.
 void InstallEngineObservability(Network* network, const QueryPlan* plan,
-                                MetricsRegistry* metrics, TraceWriter* trace);
+                                MetricsRegistry* metrics, TraceWriter* trace,
+                                bool provenance = false);
 
 }  // namespace deduce
 

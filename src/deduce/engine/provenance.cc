@@ -1,0 +1,298 @@
+#include "deduce/engine/provenance.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "deduce/common/strings.h"
+#include "deduce/datalog/symbol.h"
+
+namespace deduce {
+
+TraceRecord ProvenanceEdge::ToTraceRecord() const {
+  TraceRecord r;
+  r.time = time;
+  r.node = node;
+  r.kind = "deriv";
+  switch (kind) {
+    case Kind::kRule: r.phase = "result"; break;
+    case Kind::kAgg: r.phase = "agg"; break;
+    case Kind::kGen: r.phase = "gen"; break;
+  }
+  r.pred = SymbolName(pred);
+  r.schema = 2;
+  r.fact = fact.ToString();
+  r.tid = tid;
+  r.tids = inputs;
+  if (kind != Kind::kGen) {
+    r.rule = rule_id;
+    r.lat = latency_us;
+  }
+  return r;
+}
+
+void ProvenanceStore::Push(ProvenanceEdge edge) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(edge));
+    return;
+  }
+  ring_[next_] = std::move(edge);
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void ProvenanceStore::Clear() {
+  ring_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<ProvenanceEdge> ProvenanceStore::Edges() const {
+  std::vector<ProvenanceEdge> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+std::string FormatSimTime(int64_t us) {
+  return StrFormat("%lld.%06llds", static_cast<long long>(us / 1000000),
+                   static_cast<long long>(us % 1000000));
+}
+
+/// Everything the trace knows about one fact string.
+struct FactInfo {
+  std::vector<const TraceRecord*> gens;     // deriv/gen
+  std::vector<const TraceRecord*> edges;    // deriv/result, deriv/agg
+  std::vector<const TraceRecord*> injects;  // inject records (base tuples)
+};
+
+struct ExplainIndex {
+  std::unordered_map<std::string, FactInfo> facts;
+  std::unordered_map<uint64_t, std::string> fact_by_tid;
+};
+
+ExplainIndex BuildIndex(const std::vector<TraceRecord>& records) {
+  ExplainIndex ix;
+  for (const TraceRecord& r : records) {
+    if (r.kind == "deriv" && !r.fact.empty()) {
+      FactInfo& fi = ix.facts[r.fact];
+      if (r.phase == "gen") {
+        fi.gens.push_back(&r);
+        if (r.tid != 0) ix.fact_by_tid.emplace(r.tid, r.fact);
+      } else {
+        fi.edges.push_back(&r);
+      }
+    } else if (r.kind == "inject" && !r.fact.empty()) {
+      ix.facts[r.fact].injects.push_back(&r);
+      if (r.tid != 0) ix.fact_by_tid.emplace(r.tid, r.fact);
+    }
+  }
+  return ix;
+}
+
+class ExplainBuilder {
+ public:
+  ExplainBuilder(const ExplainIndex& ix, const Program& program)
+      : ix_(ix), program_(program) {}
+
+  void Visit(const std::string& fact_text, int depth) {
+    auto it = ix_.facts.find(fact_text);
+    Indent(depth);
+    tree_ += fact_text;
+    if (it == ix_.facts.end()) {
+      tree_ += "   [no trace records]\n";
+      return;
+    }
+    const FactInfo& fi = it->second;
+    if (!visited_.insert(fact_text).second) {
+      tree_ += "   [shown above]\n";
+      return;
+    }
+    ++report_.cone_facts;
+    tree_ += "\n";
+    for (const TraceRecord* g : fi.gens) {
+      if (g->tid != 0) cone_.insert(g->tid);
+      nodes_.insert(g->node);
+      Indent(depth);
+      tree_ += StrFormat("  generated at node %d @ %s   [tid %s]\n", g->node,
+                         FormatSimTime(g->time).c_str(),
+                         TraceIdToHex(g->tid).c_str());
+    }
+    for (const TraceRecord* j : fi.injects) {
+      if (j->tid != 0) cone_.insert(j->tid);
+      nodes_.insert(j->node);
+      Indent(depth);
+      tree_ += StrFormat("  injected at node %d @ %s   [tid %s]\n", j->node,
+                         FormatSimTime(j->time).c_str(),
+                         TraceIdToHex(j->tid).c_str());
+    }
+    if (fi.gens.empty() && fi.injects.empty() && fi.edges.empty()) {
+      Indent(depth);
+      tree_ += "  [referenced only; no generation recorded]\n";
+    }
+    for (const TraceRecord* e : fi.edges) {
+      ++report_.cone_firings;
+      nodes_.insert(e->node);
+      Indent(depth);
+      tree_ += StrFormat("  <- %s %s at node %d @ %s (+%lld us after update)\n",
+                         e->phase == "agg" ? "aggregate" : "rule",
+                         RuleLabel(e->rule).c_str(), e->node,
+                         FormatSimTime(e->time).c_str(),
+                         static_cast<long long>(e->lat));
+      for (uint64_t input : e->tids) {
+        cone_.insert(input);
+        auto fit = ix_.fact_by_tid.find(input);
+        if (fit != ix_.fact_by_tid.end()) {
+          Visit(fit->second, depth + 1);
+        } else {
+          Indent(depth + 1);
+          tree_ += StrFormat("[tid %s: fact outside the trace horizon]\n",
+                             TraceIdToHex(input).c_str());
+        }
+      }
+    }
+  }
+
+  ExplainReport Finish(const std::vector<TraceRecord>& records,
+                       const std::string& target) {
+    report_.target = target;
+    report_.tree = std::move(tree_);
+
+    // Cost attribution: one pass over the trace. A hop belongs to the
+    // causal cone when any trace id it carries is in the cone. Totals use
+    // the same per-attempt convention as TraceStats/NetworkStats so the
+    // grand totals reconcile exactly with `dlog stats`.
+    for (const TraceRecord& r : records) {
+      if (r.kind == "hop") {
+        uint64_t attempts =
+            r.attempts > 0 ? static_cast<uint64_t>(r.attempts) : 1;
+        report_.trace_total.messages += attempts;
+        report_.trace_total.bytes += attempts * r.bytes;
+        if (!Attributed(r)) continue;
+        std::string phase = r.phase.empty() ? "other" : r.phase;
+        TraceStats::Cell& cell = report_.attributed_by_phase[phase];
+        cell.messages += attempts;
+        cell.bytes += attempts * r.bytes;
+        report_.attributed_total.messages += attempts;
+        report_.attributed_total.bytes += attempts * r.bytes;
+        if (r.src >= 0) nodes_.insert(r.src);
+        if (r.dst >= 0) nodes_.insert(r.dst);
+      } else if (r.kind == "retransmit") {
+        ++report_.trace_retransmits;
+        if (Attributed(r)) ++report_.retransmits_attributed;
+      } else if (r.kind == "inject") {
+        if (r.tid != 0 && cone_.count(r.tid) > 0 &&
+            (report_.first_inject_us < 0 ||
+             r.time < report_.first_inject_us)) {
+          report_.first_inject_us = r.time;
+        }
+      }
+    }
+
+    auto it = ix_.facts.find(target);
+    if (it != ix_.facts.end()) {
+      for (const TraceRecord* g : it->second.gens) {
+        report_.generated_us = std::max(report_.generated_us, g->time);
+      }
+      if (report_.generated_us < 0) {
+        for (const TraceRecord* j : it->second.injects) {
+          report_.generated_us = std::max(report_.generated_us, j->time);
+        }
+      }
+    }
+    report_.nodes_visited = nodes_.size();
+    return std::move(report_);
+  }
+
+  bool found_anything() const { return report_.cone_facts > 0; }
+
+ private:
+  void Indent(int depth) { tree_.append(static_cast<size_t>(depth) * 4, ' '); }
+
+  bool Attributed(const TraceRecord& r) const {
+    for (uint64_t t : r.tids) {
+      if (cone_.count(t) > 0) return true;
+    }
+    return false;
+  }
+
+  std::string RuleLabel(int32_t rule_id) const {
+    if (rule_id < 0) return "(axiom)";
+    const auto& rules = program_.rules();
+    for (const Rule& rule : rules) {
+      if (rule.id == rule_id) {
+        return StrFormat("%d: %s", rule_id, rule.ToString().c_str());
+      }
+    }
+    return StrFormat("%d", rule_id);
+  }
+
+  const ExplainIndex& ix_;
+  const Program& program_;
+  std::string tree_;
+  std::set<uint64_t> cone_;
+  std::set<std::string> visited_;
+  std::set<NodeId> nodes_;
+  ExplainReport report_;
+};
+
+}  // namespace
+
+std::string ExplainReport::Format() const {
+  std::string out = "derivation of " + target + "\n\n";
+  out += tree;
+  out += StrFormat(
+      "\ncausal cone: %zu fact(s), %zu rule firing(s), %zu node(s) visited\n",
+      cone_facts, cone_firings, nodes_visited);
+  out += "\ntraffic attributed to this tuple:\n";
+  out += StrFormat("  %-12s %12s %14s\n", "phase", "messages", "bytes");
+  for (const auto& [phase, cell] : attributed_by_phase) {
+    out += StrFormat("  %-12s %12llu %14llu\n", phase.c_str(),
+                     static_cast<unsigned long long>(cell.messages),
+                     static_cast<unsigned long long>(cell.bytes));
+  }
+  out += StrFormat("  %-12s %12llu %14llu\n", "attributed",
+                   static_cast<unsigned long long>(attributed_total.messages),
+                   static_cast<unsigned long long>(attributed_total.bytes));
+  out += StrFormat("  %-12s %12llu %14llu\n", "trace total",
+                   static_cast<unsigned long long>(trace_total.messages),
+                   static_cast<unsigned long long>(trace_total.bytes));
+  if (trace_retransmits > 0 || retransmits_attributed > 0) {
+    out += StrFormat("retransmissions: %llu attributed / %llu in trace\n",
+                     static_cast<unsigned long long>(retransmits_attributed),
+                     static_cast<unsigned long long>(trace_retransmits));
+  }
+  if (first_inject_us >= 0 && generated_us >= first_inject_us) {
+    out += StrFormat("latency: injection %s -> generation %s = %lld us\n",
+                     FormatSimTime(first_inject_us).c_str(),
+                     FormatSimTime(generated_us).c_str(),
+                     static_cast<long long>(generated_us - first_inject_us));
+  }
+  return out;
+}
+
+StatusOr<ExplainReport> ExplainFact(const std::vector<TraceRecord>& records,
+                                    const Program& program,
+                                    const Fact& target) {
+  ExplainIndex ix = BuildIndex(records);
+  std::string key = target.ToString();
+  auto it = ix.facts.find(key);
+  if (it == ix.facts.end()) {
+    bool any_deriv = !ix.fact_by_tid.empty();
+    return Status::NotFound(StrFormat(
+        "no trace records for fact %s%s", key.c_str(),
+        any_deriv ? ""
+                  : " (was the trace produced with provenance enabled?)"));
+  }
+  ExplainBuilder builder(ix, program);
+  builder.Visit(key, 0);
+  return builder.Finish(records, key);
+}
+
+}  // namespace deduce

@@ -59,7 +59,22 @@ void EngineStats::ExportTo(MetricsRegistry* registry) const {
 }
 
 NodeRuntime::NodeRuntime(EngineShared* shared, NodeId id)
-    : shared_(shared), id_(id) {}
+    : shared_(shared), id_(id) {
+  if (shared_->provenance.enabled) {
+    prov_ = std::make_unique<ProvenanceStore>(shared_->provenance.ring_capacity);
+  }
+}
+
+void NodeRuntime::RecordProvenance(ProvenanceEdge edge) {
+  if (shared_->metrics != nullptr && edge.kind != ProvenanceEdge::Kind::kGen) {
+    shared_->metrics->Observe(-1, "prov", SymbolName(edge.pred) + ".e2e_us",
+                              edge.latency_us);
+  }
+  if (shared_->trace != nullptr && shared_->trace->on()) {
+    shared_->trace->Emit(edge.ToTraceRecord());
+  }
+  prov_->Push(std::move(edge));
+}
 
 void NodeRuntime::Start(NodeContext* ctx) {
   // Program facts are seeded at their home node. Derived-predicate facts
@@ -84,6 +99,16 @@ void NodeRuntime::Start(NodeContext* ctx) {
     e.gen_ts = now;
     e.derivs.insert(Derivation{-1, {}});  // permanent axiom
     ++shared_->stats.derived_generations;
+    if (provenance_on()) {
+      ProvenanceEdge pe;
+      pe.kind = ProvenanceEdge::Kind::kGen;
+      pe.time = now;
+      pe.node = id_;
+      pe.pred = f.predicate();
+      pe.fact = f;
+      pe.tid = TraceIdFor(e.id);
+      RecordProvenance(std::move(pe));
+    }
     GenerateDerivedUpdate(ctx, f.predicate(), f, e.id, StreamOp::kInsert, now);
   }
 }
@@ -444,6 +469,7 @@ void NodeRuntime::OnRestart(NodeContext* ctx) {
   timers_.clear();
   pending_.clear();
   rx_seen_.clear();
+  if (prov_ != nullptr) prov_->Clear();  // lineage ring is RAM too
   repair_.OnRestart(ctx);
 }
 
@@ -464,7 +490,8 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
   if (shared_->metrics != nullptr) {
     shared_->metrics->Add(id_, "engine", "tuples_injected");
   }
-  if (shared_->trace != nullptr && shared_->trace->on()) {
+  auto emit_inject = [&](uint64_t trace_id) {
+    if (shared_->trace == nullptr || !shared_->trace->on()) return;
     TraceRecord r;
     r.time = now;
     r.node = id_;
@@ -472,10 +499,20 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
     r.phase = "inject";
     r.pred = SymbolName(fact.predicate());
     r.bytes = 0;
+    if (trace_id != 0) {  // provenance on: id the injected tuple (schema v2)
+      r.schema = 2;
+      r.tid = trace_id;
+      r.fact = fact.ToString();
+    }
     shared_->trace->Emit(r);
-  }
+  };
+  // With provenance off, the record is emitted here — before the tuple id
+  // exists — keeping the v1 stream byte-identical. With provenance on it is
+  // emitted once the id (and thus the trace id) is known.
+  if (!provenance_on()) emit_inject(0);
   if (op == StreamOp::kInsert) {
     TupleId id{id_, now, seq_++};
+    if (provenance_on()) emit_inject(TraceIdFor(id));
     StartStoragePhase(ctx, fact.predicate(), fact, id, now, /*deletion=*/false,
                       0);
     NewTimer(ctx, shared_->timing.JoinDelay(),
@@ -494,6 +531,7 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
       }
       if (rep.fact != fact) continue;
       TupleId tid = id;
+      if (provenance_on()) emit_inject(TraceIdFor(tid));
       StartStoragePhase(ctx, fact.predicate(), fact, tid, rep.gen_ts,
                         /*deletion=*/true, now);
       Fact f = fact;
@@ -503,6 +541,7 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
       return Status::OK();
     }
   }
+  if (provenance_on()) emit_inject(0);  // failed deletion still traced (v1 did)
   return Status::NotFound("no live tuple " + fact.ToString() +
                           " generated at this node");
 }
@@ -1465,6 +1504,24 @@ void NodeRuntime::HandleAgg(NodeContext* ctx, AggWire aw) {
     ShipResult(ctx, std::move(rw));
   }
   if (next.has_value()) {
+    if (provenance_on()) {
+      // The aggregate's lineage lives here at the group home: result wires
+      // ship with empty support (the contributor set can be large), so this
+      // edge is what ties the emitted fact to its contributors.
+      ProvenanceEdge pe;
+      pe.kind = ProvenanceEdge::Kind::kAgg;
+      pe.time = now;
+      pe.node = id_;
+      pe.pred = next->predicate();
+      pe.fact = *next;
+      pe.rule_id = rule.id;
+      pe.inputs.reserve(group.contributions.size());
+      for (const auto& [cid, value] : group.contributions) {
+        pe.inputs.push_back(TraceIdFor(cid));
+      }
+      pe.latency_us = now - aw.update_ts;
+      RecordProvenance(std::move(pe));
+    }
     ResultWire rw;
     rw.pred = next->predicate();
     rw.fact = *next;
@@ -1513,6 +1570,21 @@ void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
   if (!rw.removal) {
     if (!e.derivs.insert(d).second) return;  // duplicate derivation
     ++shared_->stats.derivations_added;
+    if (provenance_on()) {
+      ProvenanceEdge pe;
+      pe.kind = ProvenanceEdge::Kind::kRule;
+      pe.time = ctx->LocalTime();
+      pe.node = id_;
+      pe.pred = rw.pred;
+      pe.fact = rw.fact;
+      pe.rule_id = rw.rule_id;
+      pe.inputs.reserve(rw.support.size());
+      for (const TupleId& sid : rw.support) {
+        pe.inputs.push_back(TraceIdFor(sid));
+      }
+      pe.latency_us = pe.time - rw.update_ts;
+      RecordProvenance(std::move(pe));
+    }
     if (e.alive || e.pending) return;
     // First derivation: the derived tuple will be generated here (§III-B),
     // after the finalization wait of §IV-C — a retraction arriving within
@@ -1558,6 +1630,16 @@ void NodeRuntime::FinalizeGeneration(NodeContext* ctx, SymbolId pred,
   e.id = TupleId{id_, now, seq_++};
   e.gen_ts = now;
   ++shared_->stats.derived_generations;
+  if (provenance_on()) {
+    ProvenanceEdge pe;
+    pe.kind = ProvenanceEdge::Kind::kGen;
+    pe.time = now;
+    pe.node = id_;
+    pe.pred = pred;
+    pe.fact = fact;
+    pe.tid = TraceIdFor(e.id);
+    RecordProvenance(std::move(pe));
+  }
   GenerateDerivedUpdate(ctx, pred, fact, e.id, StreamOp::kInsert, now);
   // Windowed derived streams expire (generating a deletion update).
   Timestamp window = shared_->plan.pred_plan(pred).window;

@@ -14,6 +14,7 @@
 #include "deduce/common/trace.h"
 #include "deduce/datalog/unify.h"
 #include "deduce/engine/plan.h"
+#include "deduce/engine/provenance.h"
 #include "deduce/engine/regions.h"
 #include "deduce/engine/repair.h"
 #include "deduce/engine/wire.h"
@@ -184,6 +185,9 @@ struct EngineShared {
   /// only a pointer test. Owned by the embedder.
   MetricsRegistry* metrics = nullptr;
   TraceWriter* trace = nullptr;
+  /// Causal provenance (EngineOptions::provenance): when enabled, runtimes
+  /// keep per-node lineage rings and spill "deriv" records to `trace`.
+  ProvenanceOptions provenance;
 
   /// Literals a join pass can resolve at its launch node (data replicated
   /// everywhere / within the rule's spatial scope), per delta plan.
@@ -218,6 +222,9 @@ class NodeRuntime : public NodeApp {
   /// Number of replica entries currently held (memory accounting, §V).
   size_t ReplicaCount() const;
   size_t DerivationCount() const;
+
+  /// This node's lineage ring; null when provenance is off.
+  const ProvenanceStore* provenance_store() const { return prov_.get(); }
 
  private:
   /// The repair protocol driver reaches into the replica store and the
@@ -406,6 +413,15 @@ class NodeRuntime : public NodeApp {
   std::unordered_map<int, std::function<void()>> timers_;
   int next_timer_ = 0;
   uint32_t seq_ = 0;
+
+  // --- provenance (EngineOptions::provenance) ---
+  bool provenance_on() const { return prov_ != nullptr; }
+  /// Pushes a lineage edge into the ring, observes the per-predicate
+  /// end-to-end latency histogram, and spills a "deriv" trace record.
+  void RecordProvenance(ProvenanceEdge edge);
+  /// Lineage ring; null unless provenance is enabled. Cleared on reboot
+  /// (node RAM is volatile; the trace stream is the durable copy).
+  std::unique_ptr<ProvenanceStore> prov_;
 
   // --- reliable-transport state ---
   /// Unacked envelopes by (dest, seq). std::map: deterministic iteration.

@@ -1,5 +1,7 @@
 #include "deduce/engine/wire.h"
 
+#include <algorithm>
+
 #include "deduce/net/codec.h"
 
 namespace deduce {
@@ -445,6 +447,79 @@ StatusOr<NodeId> PeekFinalTarget(const Message& msg) {
   PayloadReader r(msg.payload);
   DEDUCE_ASSIGN_OR_RETURN(int64_t target, r.ReadInt());
   return static_cast<NodeId>(target);
+}
+
+namespace {
+
+void CollectTraceIdsInto(const Message& msg, int depth,
+                         std::vector<uint64_t>* out) {
+  switch (msg.type) {
+    case kStoreMsg: {
+      StatusOr<StoreWire> w = StoreWire::Decode(msg);
+      if (w.ok()) out->push_back(TraceIdFor(w->id));
+      break;
+    }
+    case kJoinPassMsg: {
+      StatusOr<JoinPassWire> w = JoinPassWire::Decode(msg);
+      if (!w.ok()) break;
+      out->push_back(TraceIdFor(w->update_id));
+      for (const PartialWire& p : w->partials) {
+        for (const auto& [literal, id] : p.support) {
+          out->push_back(TraceIdFor(id));
+        }
+      }
+      break;
+    }
+    case kResultMsg: {
+      StatusOr<ResultWire> w = ResultWire::Decode(msg);
+      if (!w.ok()) break;
+      for (const TupleId& id : w->support) out->push_back(TraceIdFor(id));
+      break;
+    }
+    case kAggMsg: {
+      StatusOr<AggWire> w = AggWire::Decode(msg);
+      if (w.ok()) out->push_back(TraceIdFor(w->contributor));
+      break;
+    }
+    case kRepairPullMsg: {
+      StatusOr<RepairPullWire> w = RepairPullWire::Decode(msg);
+      if (!w.ok()) break;
+      for (const RepairPullWire::Known& k : w->known) {
+        out->push_back(TraceIdFor(k.id));
+      }
+      break;
+    }
+    case kRepairPushMsg: {
+      StatusOr<RepairPushWire> w = RepairPushWire::Decode(msg);
+      if (!w.ok()) break;
+      for (const RepairPushWire::Entry& e : w->entries) {
+        out->push_back(TraceIdFor(e.id));
+      }
+      break;
+    }
+    case kReliableMsg: {
+      if (depth > 0) break;  // envelopes never nest; guard anyway
+      StatusOr<ReliableWire> w = ReliableWire::Decode(msg);
+      if (!w.ok()) break;
+      Message inner;
+      inner.type = w->inner_type;
+      inner.payload = w->inner_payload;
+      CollectTraceIdsInto(inner, depth + 1, out);
+      break;
+    }
+    default:
+      break;  // acks, digests: no tuples on board
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> CollectTraceIds(const Message& msg) {
+  std::vector<uint64_t> out;
+  CollectTraceIdsInto(msg, 0, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace deduce

@@ -213,6 +213,17 @@ struct RepairPushWire {
 /// so intermediate nodes can forward without full decoding.
 StatusOr<NodeId> PeekFinalTarget(const Message& msg);
 
+/// The set of provenance trace ids (TraceIdFor over TupleIds) a wire
+/// message carries, sorted and deduplicated: the stored/deleted tuple for
+/// kStoreMsg, the update tuple plus all partial supports for kJoinPassMsg,
+/// the result supports for kResultMsg, the contributor for kAggMsg, the
+/// known/pushed replica ids for repair pull/push, and the inner message's
+/// ids for kReliableMsg. Acks and digest messages (which carry only
+/// fingerprints, not tuples) yield an empty set, as do undecodable
+/// payloads. This is how hop records get their contributing-trace-id sets
+/// without widening any wire format.
+std::vector<uint64_t> CollectTraceIds(const Message& msg);
+
 }  // namespace deduce
 
 #endif  // DEDUCE_ENGINE_WIRE_H_

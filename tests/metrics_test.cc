@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -197,6 +199,108 @@ TEST(TraceWriterTest, UnopenedWriterIsInert) {
   w.Emit(r);
   EXPECT_EQ(w.lines_written(), 1u);
   EXPECT_NE(out.str().find("\"kind\":\"inject\""), std::string::npos);
+}
+
+TEST(ScopedSpanTest, NestedSpansRecordSeparateTimingHistograms) {
+  MetricsRegistry reg;
+  {
+    ScopedSpan outer(&reg, 0, "outer");
+    {
+      ScopedSpan inner(&reg, 0, "inner");
+    }
+    {
+      ScopedSpan inner(&reg, 0, "inner");  // same name: pools into one cell
+    }
+  }
+  const auto& entries = reg.entries();
+  auto oit = entries.find(MetricsRegistry::Key{0, "timing", "outer"});
+  auto iit = entries.find(MetricsRegistry::Key{0, "timing", "inner"});
+  ASSERT_NE(oit, entries.end());
+  ASSERT_NE(iit, entries.end());
+  EXPECT_EQ(oit->second.kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(oit->second.histogram.count, 1u);
+  EXPECT_EQ(iit->second.histogram.count, 2u);
+  // The inner spans ran strictly inside the outer one.
+  EXPECT_LE(iit->second.histogram.sum, oit->second.histogram.sum);
+
+  // A null registry and a disabled registry never read the clock.
+  { ScopedSpan none(nullptr, 0, "never"); }
+  MetricsRegistry off;
+  off.Disable();
+  { ScopedSpan dis(&off, 0, "never"); }
+  EXPECT_TRUE(off.empty());
+  EXPECT_EQ(entries.find(MetricsRegistry::Key{0, "timing", "never"}),
+            entries.end());
+}
+
+TEST(TraceWriterTest, DestructionFlushesBufferedRecordsToDisk) {
+  const char* path = "trace_writer_flush_test.jsonl";
+  {
+    TraceWriter w;
+    ASSERT_TRUE(w.OpenFile(path).ok());
+    TraceRecord r;
+    r.kind = "inject";
+    r.pred = "flushed";
+    w.Emit(r);
+    EXPECT_EQ(w.lines_written(), 1u);
+    // No Close(): the writer goes out of scope with the record buffered.
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"pred\":\"flushed\""), std::string::npos);
+  std::remove(path);
+}
+
+TEST(TraceStatsTest, MixedSchemaTraceParsesWithWarnOncePerUnknownKind) {
+  // A v1 trace concatenated with v2 records, two records of an unknown
+  // kind, and one record from a future schema: everything must aggregate
+  // without a single bad line, unknown kinds are counted and warned about
+  // exactly once, and future-schema records are skipped (not guessed at).
+  std::string trace =
+      "{\"time\":1,\"node\":0,\"kind\":\"inject\",\"phase\":\"inject\","
+      "\"pred\":\"r\",\"src\":-1,\"dst\":-1,\"bytes\":0,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true}\n"
+      "{\"time\":2,\"node\":0,\"kind\":\"hop\",\"phase\":\"store\","
+      "\"pred\":\"r\",\"src\":0,\"dst\":1,\"bytes\":40,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true}\n"
+      "{\"time\":3,\"node\":1,\"kind\":\"deriv\",\"phase\":\"result\","
+      "\"pred\":\"t\",\"src\":-1,\"dst\":-1,\"bytes\":0,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true,\"schema\":2,"
+      "\"tids\":\"00000000000000aa\",\"fact\":\"t(1)\",\"rule\":0,"
+      "\"lat\":77}\n"
+      "{\"time\":4,\"node\":1,\"kind\":\"wibble\",\"phase\":\"x\","
+      "\"pred\":\"\",\"src\":-1,\"dst\":-1,\"bytes\":0,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true}\n"
+      "{\"time\":5,\"node\":1,\"kind\":\"wibble\",\"phase\":\"x\","
+      "\"pred\":\"\",\"src\":-1,\"dst\":-1,\"bytes\":0,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true}\n"
+      "{\"time\":6,\"node\":1,\"kind\":\"hop\",\"phase\":\"store\","
+      "\"pred\":\"r\",\"src\":0,\"dst\":1,\"bytes\":40,\"seq\":0,"
+      "\"attempts\":1,\"delivered\":true,\"schema\":3}\n";
+  std::istringstream in(trace);
+  std::vector<std::string> errors;
+  TraceStats stats = TraceStats::Aggregate(in, &errors);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_EQ(stats.records, 6u);
+  EXPECT_EQ(stats.total_messages, 1u);  // the schema-3 hop was skipped
+  EXPECT_EQ(stats.injects, 1u);
+  EXPECT_EQ(stats.derivs, 1u);
+  EXPECT_EQ(stats.future_records, 1u);
+  ASSERT_EQ(stats.unknown_kinds.count("wibble"), 1u);
+  EXPECT_EQ(stats.unknown_kinds.at("wibble"), 2u);
+  size_t unknown_warns = 0, future_warns = 0;
+  for (const std::string& e : errors) {
+    if (e.find("wibble") != std::string::npos) ++unknown_warns;
+    if (e.find("schema") != std::string::npos) ++future_warns;
+  }
+  EXPECT_EQ(unknown_warns, 1u);  // warn once per kind, not per record
+  EXPECT_EQ(future_warns, 1u);
+  // The latency table reflects the one deriv record.
+  ASSERT_EQ(stats.latency_by_pred.count("t"), 1u);
+  EXPECT_EQ(stats.latency_by_pred.at("t").results, 1u);
+  EXPECT_EQ(stats.latency_by_pred.at("t").lat_sum, 77);
 }
 
 // --- end-to-end: a traced simulation ---------------------------------------

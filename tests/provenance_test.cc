@@ -1,0 +1,416 @@
+// Causal tuple provenance tests: derived trace ids (TraceIdFor), wire
+// trace-id extraction (CollectTraceIds), lineage ring semantics, schema-v2
+// deriv emission, `dlog explain` reconstruction, and the central contract
+// that enabling provenance changes no simulated counter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "deduce/common/metrics.h"
+#include "deduce/common/trace.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+#include "deduce/engine/provenance.h"
+#include "deduce/engine/wire.h"
+
+namespace deduce {
+namespace {
+
+TupleId MakeId(NodeId source, Timestamp ts, uint32_t seq) {
+  TupleId id;
+  id.source = source;
+  id.timestamp = ts;
+  id.seq = seq;
+  return id;
+}
+
+TEST(TraceIdTest, DeterministicNonzeroAndDistinct) {
+  TupleId a = MakeId(3, 100, 1);
+  EXPECT_EQ(TraceIdFor(a), TraceIdFor(a));
+  EXPECT_NE(TraceIdFor(a), 0u);  // 0 is the "no trace id" sentinel
+
+  // Nearby ids (the common case: same node, consecutive seq/timestamps)
+  // must not collide.
+  std::set<uint64_t> seen;
+  for (NodeId n = 0; n < 8; ++n) {
+    for (Timestamp t = 0; t < 8; ++t) {
+      for (uint32_t s = 0; s < 8; ++s) {
+        seen.insert(TraceIdFor(MakeId(n, t * 1000, s)));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 8u * 8u);
+}
+
+TEST(TraceIdTest, HexRoundTrip) {
+  uint64_t tid = TraceIdFor(MakeId(5, 12345, 7));
+  std::string hex = TraceIdToHex(tid);
+  EXPECT_EQ(hex.size(), 16u);
+  uint64_t back = 0;
+  ASSERT_TRUE(TraceIdFromHex(hex, &back));
+  EXPECT_EQ(back, tid);
+  EXPECT_FALSE(TraceIdFromHex("not-hex", &back));
+  EXPECT_FALSE(TraceIdFromHex("", &back));
+}
+
+TEST(CollectTraceIdsTest, ExtractsIdsFromEveryTupleBearingMessage) {
+  TupleId ida = MakeId(1, 10, 1);
+  TupleId idb = MakeId(2, 20, 2);
+  TupleId idc = MakeId(3, 30, 3);
+  Fact f(Intern("p"), {Term::Int(1)});
+
+  StoreWire sw;
+  sw.final_target = 4;
+  sw.pred = f.predicate();
+  sw.fact = f;
+  sw.id = ida;
+  std::vector<uint64_t> got = CollectTraceIds(sw.Encode());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], TraceIdFor(ida));
+
+  JoinPassWire jw;
+  jw.final_target = 4;
+  jw.update_id = ida;
+  PartialWire partial;
+  partial.support.emplace_back(0u, idb);
+  partial.support.emplace_back(1u, idc);
+  jw.partials.push_back(partial);
+  got = CollectTraceIds(jw.Encode());
+  std::set<uint64_t> want = {TraceIdFor(ida), TraceIdFor(idb),
+                             TraceIdFor(idc)};
+  EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()), want);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+
+  ResultWire rw;
+  rw.final_target = 4;
+  rw.pred = f.predicate();
+  rw.fact = f;
+  rw.support = {ida, idb};
+  got = CollectTraceIds(rw.Encode());
+  EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()),
+            (std::set<uint64_t>{TraceIdFor(ida), TraceIdFor(idb)}));
+
+  AggWire aw;
+  aw.final_target = 4;
+  aw.value = Term::Int(9);
+  aw.contributor = idc;
+  got = CollectTraceIds(aw.Encode());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], TraceIdFor(idc));
+
+  // Acks carry no tuples.
+  AckWire ack;
+  ack.final_target = 1;
+  ack.acker = 2;
+  ack.seq = 3;
+  EXPECT_TRUE(CollectTraceIds(ack.Encode()).empty());
+
+  // A reliable envelope is attributed to its inner message.
+  Message inner = rw.Encode();
+  ReliableWire rel;
+  rel.final_target = 4;
+  rel.origin = 1;
+  rel.seq = 7;
+  rel.inner_type = inner.type;
+  rel.inner_payload = inner.payload;
+  got = CollectTraceIds(rel.Encode());
+  EXPECT_EQ(std::set<uint64_t>(got.begin(), got.end()),
+            (std::set<uint64_t>{TraceIdFor(ida), TraceIdFor(idb)}));
+}
+
+TEST(ProvenanceStoreTest, RingEvictsOldestAndClears) {
+  ProvenanceStore store(4);
+  for (int i = 0; i < 6; ++i) {
+    ProvenanceEdge e;
+    e.kind = ProvenanceEdge::Kind::kGen;
+    e.time = i;
+    e.tid = static_cast<uint64_t>(i + 1);
+    store.Push(e);
+  }
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.dropped(), 2u);
+  std::vector<ProvenanceEdge> edges = store.Edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(edges[i].time, static_cast<Timestamp>(i + 2));  // oldest-first
+  }
+  store.Clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(TraceRecordTest, SchemaV2RoundTrip) {
+  TraceRecord r;
+  r.time = 5000;
+  r.node = 2;
+  r.kind = "deriv";
+  r.phase = "result";
+  r.pred = "t";
+  r.schema = 2;
+  r.tid = 0x1234abcd5678ef00ULL;
+  r.tids = {1, 0xffffffffffffffffULL};
+  r.fact = "t(1, \"x\")";
+  r.rule = 3;
+  r.lat = 4321;
+  StatusOr<TraceRecord> back = TraceRecord::FromJson(r.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(*back == r);
+  // v1 records never mention the v2 keys, keeping old traces byte-stable.
+  TraceRecord v1;
+  v1.kind = "hop";
+  std::string json = v1.ToJson();
+  EXPECT_EQ(json.find("\"schema\""), std::string::npos);
+  EXPECT_EQ(json.find("\"tid\""), std::string::npos);
+  EXPECT_EQ(json.find("\"fact\""), std::string::npos);
+}
+
+// --- end-to-end: provenance through a simulated run ------------------------
+
+constexpr char kJoinProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+struct ProvRun {
+  std::string trace;
+  MetricsRegistry registry;
+  uint64_t net_messages = 0;
+  uint64_t net_bytes = 0;
+  SimTime quiesce = 0;
+  EngineStats engine_stats;
+  std::vector<ProvenanceEdge> edges;
+  std::vector<Fact> results;
+};
+
+ProvRun RunProv(uint64_t seed, bool lossy, bool provenance) {
+  auto program = ParseProgram(kJoinProgram);
+  EXPECT_TRUE(program.ok()) << program.status();
+  LinkModel link;
+  if (lossy) {
+    link.loss_rate = 0.2;
+    link.retries = 1;
+  }
+  Network net(Topology::Grid(4), link, seed);
+  ProvRun run;
+  std::ostringstream trace_out;
+  TraceWriter writer;
+  writer.OpenStream(&trace_out);
+  EngineOptions options;
+  if (lossy) options.transport.reliable = true;
+  options.metrics = &run.registry;
+  options.trace = &writer;
+  options.provenance.enabled = provenance;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  SimTime t = 10'000;
+  for (int i = 0; i < 8; ++i, t += 120'000) {
+    net.sim().RunUntil(t);
+    NodeId node = static_cast<NodeId>((i * 5) % net.node_count());
+    Fact f(Intern(i % 2 == 0 ? "r" : "s"),
+           {Term::Int(i % 3), Term::Int(node), Term::Int(i)});
+    Status st = (*engine)->Inject(node, StreamOp::kInsert, f);
+    EXPECT_TRUE(st.ok()) << st;
+  }
+  net.sim().Run();
+  run.trace = trace_out.str();
+  run.net_messages = net.stats().TotalMessages();
+  run.net_bytes = net.stats().TotalBytes();
+  run.quiesce = net.sim().now();
+  run.engine_stats = (*engine)->stats();
+  run.edges = (*engine)->ProvenanceEdges();
+  Database db = (*engine)->ResultDatabase();
+  for (const Fact& f : db.Relation(Intern("t"))) run.results.push_back(f);
+  return run;
+}
+
+std::vector<TraceRecord> ParseTrace(const std::string& trace) {
+  std::vector<TraceRecord> records;
+  std::istringstream in(trace);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    StatusOr<TraceRecord> r = TraceRecord::FromJson(line);
+    EXPECT_TRUE(r.ok()) << r.status() << " <- " << line;
+    if (r.ok()) records.push_back(std::move(*r));
+  }
+  return records;
+}
+
+TEST(ProvenanceTest, DerivRecordsAndLineageEdgesAreEmitted) {
+  ProvRun run = RunProv(/*seed=*/5, /*lossy=*/false, /*provenance=*/true);
+  ASSERT_FALSE(run.results.empty());
+  EXPECT_FALSE(run.edges.empty());
+
+  std::vector<TraceRecord> records = ParseTrace(run.trace);
+  size_t gens = 0, results = 0, tid_injects = 0, tid_hops = 0;
+  for (const TraceRecord& r : records) {
+    if (r.kind == "deriv") {
+      EXPECT_EQ(r.schema, 2);
+      EXPECT_FALSE(r.fact.empty());
+      if (r.phase == "gen") {
+        EXPECT_NE(r.tid, 0u);
+        ++gens;
+      } else if (r.phase == "result") {
+        EXPECT_FALSE(r.tids.empty());  // join results name their supports
+        EXPECT_GE(r.lat, 0);
+        ++results;
+      }
+    } else if (r.kind == "inject" && r.tid != 0) {
+      ++tid_injects;
+    } else if (r.kind == "hop" && !r.tids.empty()) {
+      ++tid_hops;
+    }
+  }
+  EXPECT_GT(gens, 0u);
+  EXPECT_GT(results, 0u);
+  EXPECT_EQ(tid_injects, run.engine_stats.tuples_injected);
+  EXPECT_GT(tid_hops, 0u);
+
+  // The in-RAM ring mirrors what was spilled to the trace.
+  size_t edge_gens = 0;
+  for (const ProvenanceEdge& e : run.edges) {
+    if (e.kind == ProvenanceEdge::Kind::kGen) {
+      EXPECT_NE(e.tid, 0u);
+      ++edge_gens;
+    }
+  }
+  EXPECT_EQ(edge_gens, gens);
+
+  // The registry carries the per-predicate e2e latency histogram.
+  const auto& entries = run.registry.entries();
+  auto it = entries.find(MetricsRegistry::Key{-1, "prov", "t.e2e_us"});
+  ASSERT_NE(it, entries.end());
+  EXPECT_EQ(it->second.kind, MetricsRegistry::Kind::kHistogram);
+  EXPECT_EQ(it->second.histogram.count, results);
+}
+
+TEST(ProvenanceTest, EnablingProvenanceChangesNoSimulatedCounter) {
+  for (bool lossy : {false, true}) {
+    ProvRun off = RunProv(/*seed=*/7, lossy, /*provenance=*/false);
+    ProvRun on = RunProv(/*seed=*/7, lossy, /*provenance=*/true);
+    EXPECT_EQ(off.net_messages, on.net_messages);
+    EXPECT_EQ(off.net_bytes, on.net_bytes);
+    EXPECT_EQ(off.quiesce, on.quiesce);
+    EXPECT_EQ(off.engine_stats.derivations_added,
+              on.engine_stats.derivations_added);
+    EXPECT_EQ(off.engine_stats.join_passes, on.engine_stats.join_passes);
+    EXPECT_EQ(off.engine_stats.retransmissions,
+              on.engine_stats.retransmissions);
+    EXPECT_EQ(off.results.size(), on.results.size());
+    // Registries agree outside the provenance-only "prov" component and
+    // the wall-clock "timing" component.
+    auto filtered = [](const MetricsRegistry& reg) {
+      std::vector<std::pair<MetricsRegistry::Key, uint64_t>> out;
+      for (const auto& [key, entry] : reg.entries()) {
+        if (std::get<1>(key) == "timing" || std::get<1>(key) == "prov") {
+          continue;
+        }
+        out.emplace_back(key, entry.kind == MetricsRegistry::Kind::kGauge
+                                  ? static_cast<uint64_t>(entry.gauge)
+                                  : entry.counter);
+      }
+      return out;
+    };
+    EXPECT_EQ(filtered(off.registry), filtered(on.registry));
+    // Provenance off leaves the trace exactly at schema v1.
+    EXPECT_EQ(off.trace.find("\"schema\""), std::string::npos);
+    EXPECT_EQ(off.trace.find("\"deriv\""), std::string::npos);
+  }
+}
+
+TEST(ProvenanceTest, SameSeedProvenanceRunsAreDeterministic) {
+  ProvRun a = RunProv(/*seed=*/9, /*lossy=*/true, /*provenance=*/true);
+  ProvRun b = RunProv(/*seed=*/9, /*lossy=*/true, /*provenance=*/true);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+}
+
+TEST(ProvenanceTest, ExplainReconcilesWithTraceStats) {
+  ProvRun run = RunProv(/*seed=*/5, /*lossy=*/true, /*provenance=*/true);
+  ASSERT_FALSE(run.results.empty());
+  std::vector<TraceRecord> records = ParseTrace(run.trace);
+  auto program = ParseProgram(kJoinProgram);
+  ASSERT_TRUE(program.ok());
+
+  std::istringstream in(run.trace);
+  std::vector<std::string> errors;
+  TraceStats stats = TraceStats::Aggregate(in, &errors);
+  EXPECT_EQ(stats.bad_lines, 0u);
+  EXPECT_GT(stats.derivs, 0u);
+
+  for (const Fact& target : run.results) {
+    StatusOr<ExplainReport> report = ExplainFact(records, *program, target);
+    ASSERT_TRUE(report.ok()) << report.status();
+    // The acceptance criterion: explain's whole-trace totals equal
+    // `dlog stats` on the same records, and the attributed slice is a
+    // real, nonempty subset.
+    EXPECT_EQ(report->trace_total.messages, stats.total_messages);
+    EXPECT_EQ(report->trace_total.bytes, stats.total_bytes);
+    EXPECT_EQ(report->trace_retransmits, stats.retransmits);
+    EXPECT_GT(report->attributed_total.messages, 0u);
+    EXPECT_LE(report->attributed_total.messages, stats.total_messages);
+    EXPECT_LE(report->attributed_total.bytes, stats.total_bytes);
+    EXPECT_GT(report->cone_facts, 1u);   // target + at least one input
+    EXPECT_GE(report->cone_firings, 1u);
+    EXPECT_GE(report->generated_us, report->first_inject_us);
+    EXPECT_NE(report->Format().find("derivation of"), std::string::npos);
+    EXPECT_NE(report->Format().find(target.ToString()), std::string::npos);
+  }
+
+  // A fact the run never derived is a NotFound, not a crash.
+  Fact missing(Intern("t"),
+               {Term::Int(99), Term::Int(99), Term::Int(99)});
+  EXPECT_FALSE(ExplainFact(records, *program, missing).ok());
+}
+
+TEST(ProvenanceTest, LatencyTableSummarizesDerivRecords) {
+  ProvRun run = RunProv(/*seed=*/5, /*lossy=*/false, /*provenance=*/true);
+  std::istringstream in(run.trace);
+  TraceStats stats = TraceStats::Aggregate(in, nullptr);
+  std::string table = stats.LatencyTable();
+  EXPECT_NE(table.find("per-predicate latency"), std::string::npos);
+  EXPECT_NE(table.find("t"), std::string::npos);
+  ASSERT_EQ(stats.latency_by_pred.count("t"), 1u);
+  const TraceStats::LatencyCell& cell = stats.latency_by_pred.at("t");
+  EXPECT_GT(cell.results, 0u);
+  EXPECT_GT(cell.gens, 0u);
+  EXPECT_GE(cell.lat_max, cell.lat_min);
+  // A provenance-off trace has no deriv records and no table.
+  ProvRun off = RunProv(/*seed=*/5, /*lossy=*/false, /*provenance=*/false);
+  std::istringstream in2(off.trace);
+  TraceStats stats2 = TraceStats::Aggregate(in2, nullptr);
+  EXPECT_TRUE(stats2.LatencyTable().empty());
+}
+
+TEST(ProvenanceTest, RingCapacityBoundsEngineMemory) {
+  auto program = ParseProgram(kJoinProgram);
+  ASSERT_TRUE(program.ok());
+  Network net(Topology::Grid(4), LinkModel{}, /*seed=*/1);
+  EngineOptions options;
+  options.provenance.enabled = true;
+  options.provenance.ring_capacity = 2;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  ASSERT_TRUE(engine.ok());
+  SimTime t = 10'000;
+  for (int i = 0; i < 8; ++i, t += 120'000) {
+    net.sim().RunUntil(t);
+    NodeId node = static_cast<NodeId>((i * 5) % net.node_count());
+    Fact f(Intern(i % 2 == 0 ? "r" : "s"),
+           {Term::Int(i % 3), Term::Int(node), Term::Int(i)});
+    ASSERT_TRUE((*engine)->Inject(node, StreamOp::kInsert, f).ok());
+  }
+  net.sim().Run();
+  // Every node's surviving ring holds at most ring_capacity edges, so the
+  // engine-wide total is bounded by capacity * nodes.
+  std::vector<ProvenanceEdge> edges = (*engine)->ProvenanceEdges();
+  EXPECT_LE(edges.size(), 2u * static_cast<size_t>(net.node_count()));
+  EXPECT_FALSE(edges.empty());
+}
+
+}  // namespace
+}  // namespace deduce

@@ -12,10 +12,14 @@ Subcommands:
   baseline check --bench NAME --report BENCH.json --wall SECONDS \
                  [--baseline bench/baseline.json] [--tolerance 0.25]
       Compare a run's counters against the committed baseline (exact
-      match: simulation counters are machine-independent) and its wall
+      match: simulation counters are machine-independent), its per-run
+      simulated energy (fail when outside baseline * (1 +/-
+      energy-tolerance); energy is a float, so it gets the relative-
+      tolerance machinery rather than the exact diff), and its wall
       time (fail when > baseline * (1 + tolerance)). Wall-time checking
       is skipped when DEDUCE_BENCH_SKIP_WALLTIME is set or the baseline
-      has no wall time recorded.
+      has no wall time recorded; energy checking is skipped for baseline
+      entries recorded before energy_uj was captured.
 
   baseline update --bench NAME --report BENCH.json --wall SECONDS \
                   [--baseline bench/baseline.json]
@@ -45,6 +49,11 @@ RUN_COUNTERS = [
     "total_derivations",
     "errors",
 ]
+
+# Float run metrics gated with a relative tolerance instead of an exact
+# diff (the report prints them rounded, and a radio-model tweak shifts them
+# slightly without being a regression).
+RUN_FLOAT_METRICS = ["energy_uj"]
 
 
 def load(path):
@@ -92,7 +101,8 @@ def cmd_identical(args):
 
 def report_counters(report):
     return [
-        {k: run.get(k) for k in RUN_COUNTERS} for run in report.get("runs", [])
+        {k: run.get(k) for k in RUN_COUNTERS + RUN_FLOAT_METRICS}
+        for run in report.get("runs", [])
     ]
 
 
@@ -138,6 +148,27 @@ def cmd_baseline(args):
                         f"FAIL: {args.bench}: run {i} counter {key!r}: "
                         f"baseline {want.get(key)!r} != current "
                         f"{got.get(key)!r}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+            for key in RUN_FLOAT_METRICS:
+                base_v, cur_v = want.get(key), got.get(key)
+                if base_v is None:
+                    continue  # pre-energy baseline entry: nothing to gate
+                if cur_v is None:
+                    print(
+                        f"FAIL: {args.bench}: run {i} metric {key!r} missing "
+                        f"from the report (baseline {base_v!r})",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+                    continue
+                limit = abs(base_v) * args.energy_tolerance
+                if abs(cur_v - base_v) > limit:
+                    print(
+                        f"FAIL: {args.bench}: run {i} metric {key!r}: "
+                        f"current {cur_v} deviates from baseline {base_v} "
+                        f"by more than {args.energy_tolerance:.0%}",
                         file=sys.stderr,
                     )
                     failures += 1
@@ -215,6 +246,7 @@ def main():
     p.add_argument("--wall", type=float, default=None)
     p.add_argument("--baseline", default="bench/baseline.json")
     p.add_argument("--tolerance", type=float, default=0.25)
+    p.add_argument("--energy-tolerance", type=float, default=0.01)
     p.set_defaults(fn=cmd_baseline)
 
     p = sub.add_parser("speedup")

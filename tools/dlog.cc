@@ -13,20 +13,35 @@
 //       [--seeds N] [--threads N]
 //       [--reliable] [--repair] [--anti-entropy-period US]
 //       [--trace trace.csv] [--trace-out trace.jsonl]
-//       [--metrics-out metrics.json]
+//       [--metrics-out metrics.json] [--metrics-interval US]
+//       [--provenance]
 //       Compile onto an N x N simulated sensor grid, inject the event
 //       trace, run to quiescence, print derived results and network cost.
 //       --trace-out writes the structured JSONL trace (one record per
 //       transmission/injection/retransmission, with phase and predicate
 //       attribution); --metrics-out writes the metrics-registry snapshot.
+//       --provenance threads causal trace ids through the run: the trace
+//       gains schema-v2 "deriv" lineage records and tid'd hops/injects
+//       (dlog explain's input). --metrics-interval US turns --metrics-out
+//       into a JSONL series: one time-resolved registry row every US of
+//       simulated time plus a final end-of-run snapshot row.
 //       --seeds N sweeps N consecutive seeds starting at --seed and prints
 //       one summary row per seed (trials run on --threads workers, rows
 //       always in seed order; incompatible with --trace/--trace-out/
 //       --metrics-out, which describe a single run).
 //
-//   dlog stats <trace.jsonl>
+//   dlog stats <trace.jsonl> [--latency]
 //       Aggregate a JSONL trace into per-phase / per-predicate message and
-//       byte tables.
+//       byte tables. --latency adds the per-predicate end-to-end latency /
+//       bytes-per-result table (needs a --provenance trace).
+//
+//   dlog explain <program.dlog> --fact 'pred(args)'
+//       (--trace-in trace.jsonl | --events <file> [sim flags])
+//       Reconstruct and pretty-print the causal tree of a result tuple:
+//       rules fired, nodes visited, attributed hops/bytes/retransmissions,
+//       and injection-to-generation latency. Reads a --provenance trace
+//       (--trace-in), or runs the simulation in-process with provenance
+//       forced on (--events plus the usual simulate flags).
 //
 // Events file: one event per line,
 //     <time_us> <node> + <fact>.
@@ -47,6 +62,7 @@
 #include "deduce/datalog/analysis.h"
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
+#include "deduce/engine/provenance.h"
 #include "deduce/eval/magic.h"
 #include "deduce/eval/seminaive.h"
 
@@ -209,6 +225,7 @@ bool StorageFromFlag(const std::string& storage, StoragePolicy* out) {
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
                 bool reliable, const RepairOptions& repair, uint64_t seed,
+                bool provenance, long metrics_interval,
                 const std::string& trace_path,
                 const std::string& trace_out_path,
                 const std::string& metrics_out_path) {
@@ -220,10 +237,15 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   if (!events_text.ok()) return Fail(events_text.status());
   auto events = ParseEvents(*events_text);
   if (!events.ok()) return Fail(events.status());
+  if (metrics_interval > 0 && metrics_out_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--metrics-interval requires --metrics-out"));
+  }
 
   EngineOptions options;
   options.transport.reliable = reliable;
   options.repair = repair;
+  options.provenance.enabled = provenance;
   if (!StorageFromFlag(storage, &options.planner.default_storage)) {
     return Fail(Status::InvalidArgument("unknown --storage " + storage));
   }
@@ -256,20 +278,54 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   auto engine = DistributedEngine::Create(&net, *program, options);
   if (!engine.ok()) return Fail(engine.status());
 
+  // Periodic registry snapshotter: with --metrics-interval the metrics file
+  // becomes a JSONL series of {"time":T,"metrics":[...]} rows. Intermediate
+  // rows carry the live counters (traffic/pred/transport/repair/prov); the
+  // final row (after the stats exports below) is the full end-of-run
+  // snapshot. The simulator is driven in interval-sized chunks — no
+  // repeating simulator event, so quiescence detection is untouched.
+  std::ofstream metrics_series;
+  if (metrics_interval > 0) {
+    metrics_series.open(metrics_out_path);
+    if (!metrics_series) {
+      return Fail(
+          Status::NotFound("cannot write metrics file " + metrics_out_path));
+    }
+  }
+  SimTime next_snap = metrics_interval;
+  auto run_until = [&](SimTime t) {
+    while (metrics_interval > 0 && next_snap < t) {
+      net.sim().RunUntil(next_snap);
+      metrics_series << metrics.ToJsonRow(next_snap) << "\n";
+      next_snap += metrics_interval;
+    }
+    net.sim().RunUntil(t);
+  };
+
   for (const Event& ev : *events) {
     if (ev.node < 0 || ev.node >= net.node_count()) {
       return Fail(Status::OutOfRange(
           StrFormat("event names node %d; grid has %d nodes", ev.node,
                     net.node_count())));
     }
-    net.sim().RunUntil(ev.time);
+    run_until(ev.time);
     Status st = (*engine)->Inject(ev.node, ev.op, ev.fact);
     if (!st.ok()) {
       std::fprintf(stderr, "dlog: inject %s: %s\n", ev.fact.ToString().c_str(),
                    st.ToString().c_str());
     }
   }
-  net.sim().Run();
+  if (metrics_interval > 0) {
+    while (net.sim().pending() > 0) {
+      net.sim().RunUntil(next_snap);
+      if (net.sim().pending() > 0) {
+        metrics_series << metrics.ToJsonRow(next_snap) << "\n";
+      }
+      next_snap += metrics_interval;
+    }
+  } else {
+    net.sim().Run();
+  }
 
   Database results = (*engine)->ResultDatabase();
   PrintRelations(results);
@@ -316,12 +372,16 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   if (!metrics_out_path.empty()) {
     net.stats().ExportTo(&metrics);
     (*engine)->stats().ExportTo(&metrics);
-    std::ofstream mo(metrics_out_path);
-    if (!mo) {
-      return Fail(
-          Status::NotFound("cannot write metrics file " + metrics_out_path));
+    if (metrics_interval > 0) {
+      metrics_series << metrics.ToJsonRow(net.sim().now()) << "\n";
+    } else {
+      std::ofstream mo(metrics_out_path);
+      if (!mo) {
+        return Fail(
+            Status::NotFound("cannot write metrics file " + metrics_out_path));
+      }
+      mo << metrics.ToJson() << "\n";
     }
-    mo << metrics.ToJson() << "\n";
   }
   return (*engine)->stats().errors.empty() ? 0 : 2;
 }
@@ -332,7 +392,7 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
 /// output is identical for any --threads value.
 int CmdSimulateSweep(const std::string& path, const std::string& events_path,
                      int grid, const std::string& storage, double loss,
-                     bool reliable, const RepairOptions& repair,
+                     bool reliable, const RepairOptions& repair, bool provenance,
                      uint64_t base_seed, uint64_t seeds, int threads) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status());
@@ -346,6 +406,7 @@ int CmdSimulateSweep(const std::string& path, const std::string& events_path,
   EngineOptions options;
   options.transport.reliable = reliable;
   options.repair = repair;
+  options.provenance.enabled = provenance;
   if (!StorageFromFlag(storage, &options.planner.default_storage)) {
     return Fail(Status::InvalidArgument("unknown --storage " + storage));
   }
@@ -413,16 +474,137 @@ int CmdSimulateSweep(const std::string& path, const std::string& events_path,
   return total_errors == 0 ? 0 : 2;
 }
 
-int CmdStats(const std::string& path) {
+int CmdStats(const std::string& path, bool latency) {
   std::ifstream in(path);
   if (!in) return Fail(Status::NotFound("cannot open trace file: " + path));
   std::vector<std::string> errors;
   TraceStats stats = TraceStats::Aggregate(in, &errors);
   std::printf("%s", stats.ToTable().c_str());
+  if (latency) {
+    std::string table = stats.LatencyTable();
+    if (table.empty()) {
+      std::printf(
+          "\nno deriv records in trace (was it produced with "
+          "--provenance?)\n");
+    } else {
+      std::printf("\n%s", table.c_str());
+    }
+  }
   for (const std::string& e : errors) {
     std::fprintf(stderr, "dlog: %s\n", e.c_str());
   }
   return stats.bad_lines > 0 ? 2 : 0;
+}
+
+/// Parses '--fact' text ("pred(args)" with an optional trailing '.') into a
+/// ground Fact.
+StatusOr<Fact> ParseTargetFact(const std::string& fact_text) {
+  std::string ft(StrTrim(fact_text));
+  if (ft.empty()) {
+    return StatusOr<Fact>(
+        Status::InvalidArgument("explain requires --fact 'pred(args)'"));
+  }
+  if (ft.back() != '.') ft += '.';
+  auto rule = ParseRule(ft);
+  if (!rule.ok()) return rule.status();
+  if (!rule->body.empty()) {
+    return StatusOr<Fact>(
+        Status::InvalidArgument("--fact must be a fact, not a rule"));
+  }
+  for (const Term& t : rule->head.args) {
+    if (!t.is_ground()) {
+      return StatusOr<Fact>(Status::InvalidArgument(
+          "--fact must be ground (no variables): " + fact_text));
+    }
+  }
+  return Fact(rule->head.predicate, rule->head.args);
+}
+
+int CmdExplain(const std::string& path, const std::string& fact_text,
+               const std::string& trace_in, const std::string& events_path,
+               int grid, const std::string& storage, double loss,
+               bool reliable, const RepairOptions& repair, uint64_t seed) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  auto program = ParseProgram(*text);
+  if (!program.ok()) return Fail(program.status());
+  auto target = ParseTargetFact(fact_text);
+  if (!target.ok()) return Fail(target.status());
+
+  std::vector<TraceRecord> records;
+  size_t bad = 0;
+  auto parse_lines = [&](std::istream& in) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (StrTrim(line).empty()) continue;
+      StatusOr<TraceRecord> r = TraceRecord::FromJson(line);
+      if (r.ok()) {
+        records.push_back(std::move(*r));
+      } else {
+        ++bad;
+      }
+    }
+  };
+
+  if (!trace_in.empty()) {
+    std::ifstream in(trace_in);
+    if (!in) {
+      return Fail(Status::NotFound("cannot open trace file: " + trace_in));
+    }
+    parse_lines(in);
+  } else {
+    if (events_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "explain needs --trace-in <trace.jsonl> or --events <file>"));
+    }
+    auto events_text = ReadFile(events_path);
+    if (!events_text.ok()) return Fail(events_text.status());
+    auto events = ParseEvents(*events_text);
+    if (!events.ok()) return Fail(events.status());
+
+    EngineOptions options;
+    options.transport.reliable = reliable;
+    options.repair = repair;
+    options.provenance.enabled = true;  // explain is the provenance consumer
+    if (!StorageFromFlag(storage, &options.planner.default_storage)) {
+      return Fail(Status::InvalidArgument("unknown --storage " + storage));
+    }
+    LinkModel link;
+    link.loss_rate = loss;
+    if (loss > 0) link.retries = 2;
+    Network net(Topology::Grid(grid), link, seed);
+    std::ostringstream trace_stream;
+    TraceWriter writer;
+    writer.OpenStream(&trace_stream);
+    options.trace = &writer;
+    auto engine = DistributedEngine::Create(&net, *program, options);
+    if (!engine.ok()) return Fail(engine.status());
+    for (const Event& ev : *events) {
+      if (ev.node < 0 || ev.node >= net.node_count()) {
+        return Fail(Status::OutOfRange(
+            StrFormat("event names node %d; grid has %d nodes", ev.node,
+                      net.node_count())));
+      }
+      net.sim().RunUntil(ev.time);
+      Status st = (*engine)->Inject(ev.node, ev.op, ev.fact);
+      if (!st.ok()) {
+        std::fprintf(stderr, "dlog: inject %s: %s\n",
+                     ev.fact.ToString().c_str(), st.ToString().c_str());
+      }
+    }
+    net.sim().Run();
+    writer.Close();
+    std::istringstream in(trace_stream.str());
+    parse_lines(in);
+  }
+  if (bad > 0) {
+    std::fprintf(stderr, "dlog: %zu unparseable trace line(s) skipped\n", bad);
+  }
+
+  auto report = ExplainFact(records, *program, *target);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("%s", report->Format().c_str());
+  return 0;
 }
 
 int Usage() {
@@ -436,7 +618,11 @@ int Usage() {
                "       [--reliable] [--repair]\n"
                "       [--anti-entropy-period US] [--trace trace.csv]\n"
                "       [--trace-out trace.jsonl] [--metrics-out m.json]\n"
-               "  dlog stats <trace.jsonl>\n");
+               "       [--metrics-interval US] [--provenance]\n"
+               "  dlog stats <trace.jsonl> [--latency]\n"
+               "  dlog explain <program.dlog> --fact 'pred(args)'\n"
+               "       (--trace-in trace.jsonl | --events <file> [sim "
+               "flags])\n");
   return 64;
 }
 
@@ -499,11 +685,15 @@ int main(int argc, char** argv) {
   std::string path = argv[2];
 
   std::string query, events, storage, trace, trace_out, metrics_out;
+  std::string fact_text, trace_in;
   bool magic = false;
   bool reliable = false;
+  bool provenance = false;
+  bool latency = false;
   RepairOptions repair;
   long grid = 8;
   double loss = 0;
+  long metrics_interval = 0;
   uint64_t seed = 1;
   long seeds = 1;
   long threads = 0;  // 0 = DefaultThreadCount()
@@ -563,6 +753,23 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       metrics_out = v;
+    } else if (arg == "--metrics-interval") {
+      if (!ParseIntFlag("--metrics-interval", next(), 1, 3'600'000'000L,
+                        &metrics_interval)) {
+        return Usage();
+      }
+    } else if (arg == "--provenance") {
+      provenance = true;
+    } else if (arg == "--latency") {
+      latency = true;
+    } else if (arg == "--fact") {
+      const char* v = next();
+      if (!v) return Usage();
+      fact_text = v;
+    } else if (arg == "--trace-in") {
+      const char* v = next();
+      if (!v) return Usage();
+      trace_in = v;
     } else {
       return Usage();
     }
@@ -570,7 +777,12 @@ int main(int argc, char** argv) {
 
   if (cmd == "check") return CmdCheck(path);
   if (cmd == "eval") return CmdEval(path, query, magic);
-  if (cmd == "stats") return CmdStats(path);
+  if (cmd == "stats") return CmdStats(path, latency);
+  if (cmd == "explain") {
+    return CmdExplain(path, fact_text, trace_in, events,
+                      static_cast<int>(grid), storage, loss, reliable, repair,
+                      seed);
+  }
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
     if (seeds > 1) {
@@ -582,11 +794,12 @@ int main(int argc, char** argv) {
       }
       int t = threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
       return CmdSimulateSweep(path, events, static_cast<int>(grid), storage,
-                              loss, reliable, repair, seed,
+                              loss, reliable, repair, provenance, seed,
                               static_cast<uint64_t>(seeds), t);
     }
     return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
-                       reliable, repair, seed, trace, trace_out, metrics_out);
+                       reliable, repair, seed, provenance, metrics_interval,
+                       trace, trace_out, metrics_out);
   }
   return Usage();
 }
