@@ -28,8 +28,13 @@ void AppendEscaped(const std::string& s, std::string* out) {
         *out += "\\t";
         break;
       default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          *out += StrFormat("\\u%04x", c);
+        // Escape control bytes and anything non-ASCII: predicate and fact
+        // strings can carry arbitrary bytes (e.g. a corrupted symbol
+        // decoded off the wire), and raw high bytes would make the JSONL
+        // invalid UTF-8. Each byte escapes as its Latin-1 codepoint.
+        if (static_cast<unsigned char>(c) < 0x20 ||
+            static_cast<unsigned char>(c) > 0x7e) {
+          *out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
         } else {
           *out += c;
         }

@@ -41,6 +41,7 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   shared.geohash = std::make_unique<GeoHash>(shared.topology);
   shared.transport = options.transport;
   shared.repair = options.repair;
+  shared.checksum = options.checksum;
   shared.liveness.down.assign(
       static_cast<size_t>(network->node_count()), 0);
   shared.link = &network->link();

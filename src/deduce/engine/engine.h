@@ -27,6 +27,13 @@ struct EngineOptions {
   /// State repair for crash-rebooted / diverged replica stores (both modes
   /// off by default; see repair.h and DESIGN.md §10).
   RepairOptions repair;
+  /// Per-hop frame integrity: senders append a 4-byte FNV-1a checksum of
+  /// the payload and receivers verify + strip it before decoding, dropping
+  /// (and counting, EngineStats::decode_errors) damaged frames — the
+  /// engine-level stand-in for an 802.15.4 MAC CRC. Off by default so wire
+  /// bytes (and every committed baseline) stay identical; turn it on when
+  /// the network injects corruption (docs/FAULTS.md).
+  bool checksum = false;
   /// Observability sinks, both off (null) by default. `metrics` receives
   /// live per-phase/per-predicate traffic counters and span timings;
   /// `trace` receives one JSONL record per transmission, injection, and
@@ -86,6 +93,13 @@ class DistributedEngine {
   const QueryPlan& plan() const { return shared_->plan; }
   const EngineTiming& timing() const { return shared_->timing; }
   Network* network() { return network_; }
+  const Network* network() const { return network_; }
+
+  /// The per-node runtime (home stores, shareable digests, degraded
+  /// flags) — read-only access for the invariant suite (invariants.h).
+  const NodeRuntime& runtime(NodeId id) const {
+    return *runtimes_[static_cast<size_t>(id)];
+  }
 
  private:
   DistributedEngine() = default;

@@ -1,0 +1,166 @@
+#include "deduce/engine/invariants.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "deduce/common/strings.h"
+#include "deduce/datalog/symbol.h"
+
+namespace deduce {
+
+namespace {
+
+/// Appends `lines` to the report sorted, keeping the overall listing
+/// deterministic regardless of home-store iteration order.
+void AppendSorted(std::vector<std::string> lines, InvariantReport* report) {
+  std::sort(lines.begin(), lines.end());
+  report->violations.insert(report->violations.end(), lines.begin(),
+                            lines.end());
+}
+
+void CheckSoundness(const DistributedEngine& engine, const Database& oracle,
+                    InvariantReport* report) {
+  std::vector<std::string> bad;
+  Database got = engine.ResultDatabase();
+  for (SymbolId pred : got.Predicates()) {
+    for (const Fact& f : got.Relation(pred)) {
+      if (!oracle.Contains(f)) {
+        bad.push_back("soundness: phantom result " + f.ToString() +
+                      " (not derivable by the fault-free oracle)");
+      }
+    }
+  }
+  AppendSorted(std::move(bad), report);
+  report->soundness_checked = true;
+}
+
+void CheckConvergence(const DistributedEngine& engine,
+                      InvariantReport* report) {
+  const Network* net = engine.network();
+  Timestamp now = net->now();
+  int n = net->topology().node_count();
+  std::vector<std::string> bad;
+  for (NodeId a = 0; a < n; ++a) {
+    if (net->IsFailed(a) || engine.runtime(a).degraded()) continue;
+    for (NodeId b = a + 1; b < n; ++b) {
+      if (net->IsFailed(b) || engine.runtime(b).degraded()) continue;
+      std::vector<PredDigest> da = engine.runtime(a).ShareableDigests(b, now);
+      std::vector<PredDigest> db = engine.runtime(b).ShareableDigests(a, now);
+      size_t i = 0, j = 0;
+      while (i < da.size() || j < db.size()) {
+        if (i < da.size() && j < db.size() && da[i].pred == db[j].pred) {
+          if (da[i].count != db[j].count ||
+              da[i].fingerprint != db[j].fingerprint) {
+            bad.push_back(StrFormat(
+                "convergence: nodes %d/%d disagree on %s (count %llu vs "
+                "%llu, fingerprint %llx vs %llx)",
+                a, b, SymbolName(da[i].pred).c_str(),
+                static_cast<unsigned long long>(da[i].count),
+                static_cast<unsigned long long>(db[j].count),
+                static_cast<unsigned long long>(da[i].fingerprint),
+                static_cast<unsigned long long>(db[j].fingerprint)));
+          }
+          ++i;
+          ++j;
+          continue;
+        }
+        // Digest lists are in sorted predicate order; a predicate present
+        // on one side only is a disagreement too (one side holds
+        // shareable replicas the other lacks entirely).
+        bool a_first =
+            j >= db.size() || (i < da.size() && da[i].pred < db[j].pred);
+        const PredDigest& d = a_first ? da[i] : db[j];
+        bad.push_back(StrFormat(
+            "convergence: nodes %d/%d disagree on %s (only node %d holds "
+            "shareable replicas)",
+            a, b, SymbolName(d.pred).c_str(), a_first ? a : b));
+        if (a_first) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+  AppendSorted(std::move(bad), report);
+  report->convergence_checked = true;
+}
+
+void CheckDedup(const DistributedEngine& engine, InvariantReport* report) {
+  const EngineStats& stats = engine.stats();
+  if (engine.network()->stats().nodes_failed > 0) {
+    // A reboot erases home entries without a deletion generation, so the
+    // counting identity cannot hold; crash scenarios are covered by the
+    // soundness and convergence checks instead.
+    return;
+  }
+  std::vector<std::string> bad;
+  int n = engine.network()->topology().node_count();
+  uint64_t alive = 0;
+  for (NodeId node = 0; node < n; ++node) {
+    const NodeRuntime& rt = engine.runtime(node);
+    for (SymbolId pred : engine.plan().analysis.predicates) {
+      if (!engine.plan().analysis.idb.count(pred)) continue;
+      for (const Fact& f : rt.HomeFacts(pred)) {
+        ++alive;
+        if (!rt.OwnsHome(f)) {
+          bad.push_back(StrFormat(
+              "dedup: result %s stored at node %d, which is not its home",
+              f.ToString().c_str(), node));
+        }
+      }
+    }
+  }
+  uint64_t expected = stats.derived_generations - stats.derived_deletions;
+  if (alive != expected) {
+    bad.push_back(StrFormat(
+        "dedup: %llu alive home facts but %llu generations - %llu "
+        "deletions (a result was generated twice or lost untracked)",
+        static_cast<unsigned long long>(alive),
+        static_cast<unsigned long long>(stats.derived_generations),
+        static_cast<unsigned long long>(stats.derived_deletions)));
+  }
+  AppendSorted(std::move(bad), report);
+  report->dedup_checked = true;
+}
+
+}  // namespace
+
+InvariantReport CheckInvariants(const DistributedEngine& engine,
+                                const InvariantOptions& options) {
+  InvariantReport report;
+  if (options.oracle != nullptr) {
+    CheckSoundness(engine, *options.oracle, &report);
+  }
+  if (options.check_convergence) CheckConvergence(engine, &report);
+  if (options.check_dedup) CheckDedup(engine, &report);
+  if (options.check_engine_errors) {
+    std::vector<std::string> bad;
+    for (const std::string& e : engine.stats().errors) {
+      bad.push_back("engine-error: " + e);
+    }
+    AppendSorted(std::move(bad), &report);
+  }
+  return report;
+}
+
+std::string InvariantReport::ToString() const {
+  if (ok()) {
+    std::string which;
+    if (soundness_checked) which += " soundness";
+    if (convergence_checked) which += " convergence";
+    if (dedup_checked) which += " dedup";
+    if (which.empty()) which = " (none)";
+    return "invariants: OK —" + which;
+  }
+  std::string out =
+      StrFormat("invariants: %zu violation(s)", violations.size());
+  for (const std::string& v : violations) {
+    out += "\n  ";
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace deduce

@@ -1,0 +1,65 @@
+#ifndef DEDUCE_ENGINE_INVARIANTS_H_
+#define DEDUCE_ENGINE_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "deduce/engine/engine.h"
+#include "deduce/eval/database.h"
+
+namespace deduce {
+
+/// Which checks CheckInvariants runs (docs/FAULTS.md). Soundness needs an
+/// oracle; the other checks read only the engine under test.
+struct InvariantOptions {
+  /// Fault-free expectation: the result set a centralized incremental run
+  /// over the same program + injections produces. When set, *soundness*
+  /// is checked — every alive result of the chaos run must appear here
+  /// (faults may lose answers, they must never invent them).
+  const Database* oracle = nullptr;
+
+  /// Post-repair *convergence*: for every pair of alive, non-degraded
+  /// nodes, the shareable-replica digests each side would present to the
+  /// other must agree (count + fingerprint per predicate, §IV-B
+  /// lifetime-filtered). Only meaningful when anti-entropy repair ran and
+  /// link faults were healed before quiescence, so it is opt-in.
+  bool check_convergence = false;
+
+  /// *Dedup monotonicity* + placement: the number of alive home facts
+  /// equals derived generations minus derived deletions (a duplicated or
+  /// replayed result frame must not double-generate), and every alive
+  /// home fact resides at the node its predicate hashes it to (a damaged
+  /// frame must not park a result at the wrong home). Skipped
+  /// automatically when nodes crashed: a reboot legitimately erases home
+  /// entries without a deletion generation.
+  bool check_dedup = true;
+
+  /// EngineStats::errors must stay empty: under chaos, malformed traffic
+  /// is dropped and counted (decode_errors), so any Fault() entry is an
+  /// engine bug the schedule exposed.
+  bool check_engine_errors = true;
+};
+
+/// Verdict of one invariant sweep. `violations` is deterministic (sorted
+/// within each check, checks in a fixed order), so two runs of the same
+/// seed produce byte-identical reports.
+struct InvariantReport {
+  std::vector<std::string> violations;
+  bool soundness_checked = false;
+  bool convergence_checked = false;
+  bool dedup_checked = false;
+
+  bool ok() const { return violations.empty(); }
+  /// "invariants: OK (...)" or one line per violation.
+  std::string ToString() const;
+};
+
+/// Runs the invariant suite against a quiesced engine. Read-only: safe to
+/// call repeatedly (the shrinking loop re-checks every candidate
+/// schedule).
+InvariantReport CheckInvariants(const DistributedEngine& engine,
+                                const InvariantOptions& options);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_INVARIANTS_H_

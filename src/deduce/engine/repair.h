@@ -73,6 +73,12 @@ class RepairManager {
   void HandleRepairPull(NodeContext* ctx, const RepairPullWire& pull);
   void HandleRepairPush(NodeContext* ctx, const RepairPushWire& push);
 
+  /// Per-predicate digests of the replicas this node shares with `other`,
+  /// in sorted predicate order (deterministic wire bytes). Public because
+  /// the invariant suite reuses these fingerprints for its convergence
+  /// check (invariants.h).
+  std::vector<PredDigest> ComputeDigests(NodeId other, Timestamp now) const;
+
  private:
   /// A digest exchange this node initiated, keyed by round id.
   struct Exchange {
@@ -90,9 +96,6 @@ class RepairManager {
   /// §IV-B visibility-lifetime filter: false once the replica would have
   /// been garbage-collected (never for unwindowed predicates).
   bool WithinLifetime(SymbolId pred, Timestamp gen_ts, Timestamp now) const;
-  /// Per-predicate digests of the replicas this node shares with `other`,
-  /// in sorted predicate order (deterministic wire bytes).
-  std::vector<PredDigest> ComputeDigests(NodeId other, Timestamp now) const;
   /// The requester's still-visible shared state for `preds`, shipped with
   /// a pull so the replier can diff (and notice requester-side surplus).
   std::vector<RepairPullWire::Known> BuildKnown(

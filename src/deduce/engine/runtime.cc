@@ -54,6 +54,7 @@ void EngineStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "engine", "degraded_results", degraded_results);
   registry->Set(-1, "engine", "liveness_epoch",
                 static_cast<int64_t>(liveness_epoch));
+  registry->Add(-1, "engine", "decode_errors", decode_errors);
   registry->Set(-1, "engine", "errors",
                 static_cast<int64_t>(errors.size()));
 }
@@ -135,10 +136,24 @@ void NodeRuntime::Fault(const std::string& what) {
       StrFormat("node %d: %s", id_, what.c_str()));
 }
 
+void NodeRuntime::DropFrame() {
+  ++shared_->stats.decode_errors;
+  if (shared_->metrics != nullptr) {
+    shared_->metrics->Add(id_, "engine", "decode_errors");
+  }
+}
+
 void NodeRuntime::SendEngineMessage(NodeContext* ctx, NodeId final_target,
                                     Message msg) {
   if (final_target == id_) {
     Fault("SendEngineMessage to self");
+    return;
+  }
+  // A target outside the topology can only come from a damaged frame that
+  // decoded anyway (checksum off): drop it before it reaches the routing
+  // tables, which index by node id.
+  if (final_target < 0 || final_target >= shared_->topology->node_count()) {
+    DropFrame();
     return;
   }
   if (transport_on() && msg.type != kAckMsg && msg.type != kReliableMsg) {
@@ -150,6 +165,10 @@ void NodeRuntime::SendEngineMessage(NodeContext* ctx, NodeId final_target,
 
 bool NodeRuntime::ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
                                        Message msg) {
+  if (final_target < 0 || final_target >= shared_->topology->node_count()) {
+    DropFrame();
+    return false;
+  }
   NodeId plain = shared_->routing->GeoNextHop(id_, final_target);
   NodeId next = plain;
   if (transport_on()) {
@@ -162,6 +181,7 @@ bool NodeRuntime::ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
     return false;
   }
   if (next != plain) ++shared_->stats.rerouted_hops;
+  if (checksum_on()) SealFrame(&msg);
   bool acked = ctx->Send(next, std::move(msg));
   // No MAC ack: every link-layer attempt toward `next` was lost, or `next`
   // is dead. Suspect it; a pure-loss false suspicion is cleared as soon as
@@ -171,12 +191,27 @@ bool NodeRuntime::ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
 }
 
 void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
-  // Hearing anything from a node proves it is up.
+  // Hearing anything from a node proves it is up (the link header is
+  // never corrupted in the fault model, so src is trustworthy even for a
+  // frame that fails its checksum).
   if (transport_on()) MarkUp(msg.src);
+  if (checksum_on()) {
+    Message frame = msg;
+    if (!CheckAndStripFrame(&frame)) {
+      DropFrame();
+      return;
+    }
+    RouteOrDispatch(ctx, frame);
+    return;
+  }
+  RouteOrDispatch(ctx, msg);
+}
+
+void NodeRuntime::RouteOrDispatch(NodeContext* ctx, const Message& msg) {
   // Forward unicast engine messages not addressed to us (routing layer).
   StatusOr<NodeId> target = PeekFinalTarget(msg);
   if (!target.ok()) {
-    Fault("undecodable message: " + target.status().message());
+    DropFrame();
     return;
   }
   if (*target != kNoNode && *target != id_) {
@@ -188,11 +223,19 @@ void NodeRuntime::OnMessage(NodeContext* ctx, const Message& msg) {
 
 void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
                                         const Message& msg) {
+  // A frame that fails to decode — or decodes to a predicate the plan
+  // never compiled — is damaged (or stale garbage), not an engine bug: it
+  // is dropped and counted, never Fault()ed. The pred checks matter when
+  // the checksum is off: a bit-flipped SymbolId that slipped through
+  // decoding must not reach pred_plan(), which indexes by predicate.
+  auto known_pred = [this](SymbolId pred) {
+    return shared_->plan.preds.count(pred) != 0;
+  };
   switch (msg.type) {
     case kAckMsg: {
       StatusOr<AckWire> ack = AckWire::Decode(msg);
       if (!ack.ok()) {
-        Fault("bad ack: " + ack.status().message());
+        DropFrame();
         return;
       }
       HandleAck(*ack);
@@ -201,7 +244,7 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kReliableMsg: {
       StatusOr<ReliableWire> rw = ReliableWire::Decode(msg);
       if (!rw.ok()) {
-        Fault("bad reliable envelope: " + rw.status().message());
+        DropFrame();
         return;
       }
       HandleReliable(ctx, *rw);
@@ -209,8 +252,8 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     }
     case kStoreMsg: {
       StatusOr<StoreWire> store = StoreWire::Decode(msg);
-      if (!store.ok()) {
-        Fault("bad store message: " + store.status().message());
+      if (!store.ok() || !known_pred(store->pred)) {
+        DropFrame();
         return;
       }
       HandleStore(ctx, std::move(store).value());
@@ -219,7 +262,7 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kJoinPassMsg: {
       StatusOr<JoinPassWire> jp = JoinPassWire::Decode(msg);
       if (!jp.ok()) {
-        Fault("bad join pass: " + jp.status().message());
+        DropFrame();
         return;
       }
       HandleJoinPass(ctx, std::move(jp).value());
@@ -227,8 +270,8 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     }
     case kResultMsg: {
       StatusOr<ResultWire> rw = ResultWire::Decode(msg);
-      if (!rw.ok()) {
-        Fault("bad result: " + rw.status().message());
+      if (!rw.ok() || !known_pred(rw->pred)) {
+        DropFrame();
         return;
       }
       HandleResult(ctx, std::move(rw).value());
@@ -237,7 +280,7 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kAggMsg: {
       StatusOr<AggWire> aw = AggWire::Decode(msg);
       if (!aw.ok()) {
-        Fault("bad aggregate message: " + aw.status().message());
+        DropFrame();
         return;
       }
       HandleAgg(ctx, std::move(aw).value());
@@ -246,7 +289,7 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kDigestRequestMsg: {
       StatusOr<DigestRequestWire> req = DigestRequestWire::Decode(msg);
       if (!req.ok()) {
-        Fault("bad digest request: " + req.status().message());
+        DropFrame();
         return;
       }
       repair_.HandleDigestRequest(ctx, *req);
@@ -255,8 +298,14 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kDigestReplyMsg: {
       StatusOr<DigestReplyWire> reply = DigestReplyWire::Decode(msg);
       if (!reply.ok()) {
-        Fault("bad digest reply: " + reply.status().message());
+        DropFrame();
         return;
+      }
+      for (const PredDigest& d : reply->digests) {
+        if (!known_pred(d.pred)) {
+          DropFrame();
+          return;
+        }
       }
       repair_.HandleDigestReply(ctx, *reply);
       return;
@@ -264,8 +313,20 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kRepairPullMsg: {
       StatusOr<RepairPullWire> pull = RepairPullWire::Decode(msg);
       if (!pull.ok()) {
-        Fault("bad repair pull: " + pull.status().message());
+        DropFrame();
         return;
+      }
+      for (SymbolId p : pull->preds) {
+        if (!known_pred(p)) {
+          DropFrame();
+          return;
+        }
+      }
+      for (const RepairPullWire::Known& k : pull->known) {
+        if (!known_pred(k.pred)) {
+          DropFrame();
+          return;
+        }
       }
       repair_.HandleRepairPull(ctx, *pull);
       return;
@@ -273,14 +334,20 @@ void NodeRuntime::DispatchEngineMessage(NodeContext* ctx,
     case kRepairPushMsg: {
       StatusOr<RepairPushWire> push = RepairPushWire::Decode(msg);
       if (!push.ok()) {
-        Fault("bad repair push: " + push.status().message());
+        DropFrame();
         return;
+      }
+      for (const RepairPushWire::Entry& e : push->entries) {
+        if (!known_pred(e.pred)) {
+          DropFrame();
+          return;
+        }
       }
       repair_.HandleRepairPush(ctx, *push);
       return;
     }
     default:
-      Fault(StrFormat("unknown message type %u", msg.type));
+      DropFrame();
   }
 }
 
@@ -325,6 +392,15 @@ void NodeRuntime::TransmitPending(NodeContext* ctx, uint64_t key) {
   PendingMsg& pm = it->second;
   ForwardEngineMessage(ctx, pm.dest, pm.envelope);
   SimTime rto = pm.rto;
+  // Randomized slack (TransportOptions::rto_jitter) desynchronizes the
+  // retransmit bursts of origins that lost frames to the same event; the
+  // draw comes from the node's deterministic RNG, so runs stay
+  // reproducible per seed.
+  if (shared_->transport.rto_jitter > 0) {
+    rto += static_cast<SimTime>(
+        static_cast<double>(rto) *
+        ctx->rng().UniformDouble(0.0, shared_->transport.rto_jitter));
+  }
   pm.rto = static_cast<SimTime>(static_cast<double>(pm.rto) *
                                 shared_->transport.rto_backoff);
   NewTimer(ctx, rto, [this, ctx, key]() {
@@ -368,7 +444,7 @@ void NodeRuntime::HandleReliable(NodeContext* ctx, const ReliableWire& rw) {
     return;
   }
   if (rw.inner_type == kReliableMsg || rw.inner_type == kAckMsg) {
-    Fault("nested transport envelope");
+    DropFrame();  // nested envelope: only a damaged frame produces one
     return;
   }
   Message inner;
@@ -595,6 +671,7 @@ void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
       flood.flood_ttl = ttl - 1;
       if (ttl <= 0) return;
       Message m = flood.Encode();
+      if (checksum_on()) SealFrame(&m);
       for (NodeId v : ctx->neighbors()) ctx->Send(v, m);
       return;
     }
@@ -655,6 +732,7 @@ void NodeRuntime::HandleStore(NodeContext* ctx, StoreWire store) {
       StoreWire next = store;
       next.flood_ttl = store.flood_ttl - 1;
       Message m = next.Encode();
+      if (checksum_on()) SealFrame(&m);
       NodeId from = kNoNode;  // rebroadcast to all but nobody in particular
       (void)from;
       for (NodeId v : ctx->neighbors()) ctx->Send(v, m);
@@ -1117,7 +1195,7 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
 
 void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
   if (jp.delta_index >= shared_->plan.deltas.size()) {
-    Fault("bad delta index");
+    DropFrame();  // wire-derived index: damaged frame, not a bug
     return;
   }
   const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
@@ -1413,7 +1491,7 @@ void NodeRuntime::LaunchAggregates(NodeContext* ctx, SymbolId pred,
 
 void NodeRuntime::HandleAgg(NodeContext* ctx, AggWire aw) {
   if (aw.plan_index >= shared_->plan.aggregates.size()) {
-    Fault("bad aggregate plan index");
+    DropFrame();  // wire-derived index: damaged frame, not a bug
     return;
   }
   const AggregatePlan& plan = shared_->plan.aggregates[aw.plan_index];
@@ -1682,6 +1760,15 @@ std::vector<Fact> NodeRuntime::HomeFacts(SymbolId pred) const {
     if (it->second.map.at(f).alive) out.push_back(f);
   }
   return out;
+}
+
+std::vector<PredDigest> NodeRuntime::ShareableDigests(NodeId other,
+                                                      Timestamp now) const {
+  return repair_.ComputeDigests(other, now);
+}
+
+bool NodeRuntime::OwnsHome(const Fact& fact) const {
+  return HomeOf(shared_->plan.pred_plan(fact.predicate()), fact) == id_;
 }
 
 size_t NodeRuntime::ReplicaCount() const {

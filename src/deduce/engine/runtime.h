@@ -60,6 +60,11 @@ struct EngineStats {
   uint64_t skipped_store_nodes = 0;
   /// Given-up messages salvaged by path repair (sweep or storage walk).
   uint64_t repaired_messages = 0;
+  /// Frames dropped because they failed to decode (or failed the optional
+  /// end-to-end checksum): truncated, bit-flipped or unknown-type payloads.
+  /// Zero unless the network corrupts traffic; a malformed frame is
+  /// counted and discarded, never a fault (see EngineOptions::checksum).
+  uint64_t decode_errors = 0;
 
   // --- state-repair counters (EngineOptions::repair; repair.h). All zero
   //     when both repair modes are off. ---
@@ -110,6 +115,12 @@ struct TransportOptions {
   /// loss-free run never retransmits spuriously.
   SimTime rto = -1;
   double rto_backoff = 2.0;  ///< RTO multiplier per retransmission.
+  /// Randomized slack added to each armed RTO: the timer fires after
+  /// rto * (1 + U[0, rto_jitter]), desynchronizing retransmit bursts from
+  /// origins that gave up on the same dead hop simultaneously. 0 keeps
+  /// the historical fixed schedule (and existing baselines) bit-exact;
+  /// the chaos harness runs with 0.1.
+  double rto_jitter = 0.0;
 };
 
 /// Suspected-failure view shared by all node runtimes of one engine.
@@ -176,6 +187,10 @@ struct EngineShared {
   EngineStats stats;
   TransportOptions transport;
   RepairOptions repair;
+  /// Per-hop frame checksum (EngineOptions::checksum): senders append a
+  /// 4-byte FNV-1a of the payload, receivers verify and strip it before
+  /// decoding; a mismatch is dropped and counted as a decode error.
+  bool checksum = false;
   LivenessView liveness;
   /// The network's link model (RTO computation); owned by the Network.
   const LinkModel* link = nullptr;
@@ -225,6 +240,19 @@ class NodeRuntime : public NodeApp {
 
   /// This node's lineage ring; null when provenance is off.
   const ProvenanceStore* provenance_store() const { return prov_.get(); }
+
+  /// Per-predicate digests of the shareable replicas this node would
+  /// exchange with `other` (the repair protocol's fingerprints, §IV-B
+  /// lifetime-filtered). The convergence invariant compares them pairwise
+  /// across band peers (invariants.h).
+  std::vector<PredDigest> ShareableDigests(NodeId other, Timestamp now) const;
+  /// True iff `fact` hashes to this node's home store — the placement half
+  /// of the dedup invariant (a corrupted frame must not park a result at
+  /// the wrong home).
+  bool OwnsHome(const Fact& fact) const;
+  /// True between a reboot and resync completion/abandonment; invariant
+  /// checks skip degraded nodes.
+  bool degraded() const { return repair_.degraded(); }
 
  private:
   /// The repair protocol driver reaches into the replica store and the
@@ -276,6 +304,8 @@ class NodeRuntime : public NodeApp {
 
   // --- reliable transport (TransportOptions::reliable) ---
   bool transport_on() const { return shared_->transport.reliable; }
+  /// Forwards a frame not addressed to this node, or dispatches it.
+  void RouteOrDispatch(NodeContext* ctx, const Message& msg);
   /// Dispatches a message addressed to this node to its handler.
   void DispatchEngineMessage(NodeContext* ctx, const Message& msg);
   /// Routes an encoded engine message one hop toward `final_target`,
@@ -377,6 +407,10 @@ class NodeRuntime : public NodeApp {
   NodeId HomeOf(const PredicatePlan& plan, const Fact& fact) const;
   void SendEngineMessage(NodeContext* ctx, NodeId final_target, Message msg);
   void Fault(const std::string& what);
+  bool checksum_on() const { return shared_->checksum; }
+  /// Malformed frame: count it and drop it. Corruption is an environment
+  /// fault, not an engine bug, so it never lands in EngineStats::errors.
+  void DropFrame();
   std::vector<NodeId> SweepPath(const DeltaPlan& delta, NodeId source,
                                 uint32_t pass_index) const;
   int NewTimer(NodeContext* ctx, SimTime delay, std::function<void()> fn);

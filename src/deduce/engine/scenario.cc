@@ -1,0 +1,681 @@
+#include "deduce/engine/scenario.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "deduce/common/rng.h"
+#include "deduce/common/strings.h"
+#include "deduce/datalog/parser.h"
+#include "deduce/datalog/symbol.h"
+#include "deduce/engine/engine.h"
+#include "deduce/eval/incremental.h"
+#include "deduce/eval/seminaive.h"
+
+namespace deduce {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------
+
+std::string NodeList(const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return "*";
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrFormat("%d", nodes[i]);
+  }
+  return out;
+}
+
+bool ParseNodeList(const std::string& text, std::vector<NodeId>* out) {
+  out->clear();
+  if (text == "*") return true;
+  for (const std::string& part : StrSplit(text, ',')) {
+    char* end = nullptr;
+    long v = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0') return false;
+    out->push_back(static_cast<NodeId>(v));
+  }
+  return !out->empty();
+}
+
+const char* FaultKindName(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kFail:
+      return "fail";
+    case FaultEvent::Kind::kRecover:
+      return "recover";
+    case FaultEvent::Kind::kHealLinks:
+      return "heal";
+    case FaultEvent::Kind::kAddLinkFault:
+      switch (ev.rule.kind) {
+        case LinkFaultRule::Kind::kCut:
+          return "cut";
+        case LinkFaultRule::Kind::kCorrupt:
+          return "corrupt";
+        case LinkFaultRule::Kind::kDuplicate:
+          return "dup";
+        case LinkFaultRule::Kind::kDelay:
+          return "delay";
+      }
+  }
+  return "?";
+}
+
+std::string FormatFault(const FaultEvent& ev) {
+  std::string out = StrFormat("%s %lld", FaultKindName(ev),
+                              static_cast<long long>(ev.time));
+  if (ev.kind == FaultEvent::Kind::kFail ||
+      ev.kind == FaultEvent::Kind::kRecover) {
+    out += StrFormat(" %d", ev.node);
+    return out;
+  }
+  out += " " + NodeList(ev.rule.src) + " -> " + NodeList(ev.rule.dst);
+  if (ev.kind == FaultEvent::Kind::kAddLinkFault &&
+      ev.rule.kind != LinkFaultRule::Kind::kCut) {
+    out += StrFormat(" rate=%g", ev.rule.rate);
+    if (ev.rule.kind == LinkFaultRule::Kind::kDelay) {
+      out += StrFormat(" extra=%lld",
+                       static_cast<long long>(ev.rule.extra_delay));
+    }
+  }
+  return out;
+}
+
+Status ParseFault(const std::string& line, int lineno, FaultPlan* plan) {
+  std::istringstream ls(line);
+  std::string kind;
+  long long time;
+  if (!(ls >> kind >> time)) {
+    return Status::InvalidArgument(
+        StrFormat("faults line %d: expected '<kind> <time> ...'", lineno));
+  }
+  auto bad = [&](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("faults line %d: %s", lineno, what));
+  };
+  if (kind == "fail" || kind == "recover") {
+    int node;
+    if (!(ls >> node)) return bad("expected node id");
+    if (kind == "fail") {
+      plan->Fail(time, node);
+    } else {
+      plan->Recover(time, node);
+    }
+    return Status::OK();
+  }
+  std::string src_text, arrow, dst_text;
+  if (!(ls >> src_text >> arrow >> dst_text) || arrow != "->") {
+    return bad("expected '<src-list> -> <dst-list>'");
+  }
+  std::vector<NodeId> src, dst;
+  if (!ParseNodeList(src_text, &src)) return bad("bad src node list");
+  if (!ParseNodeList(dst_text, &dst)) return bad("bad dst node list");
+  double rate = 1.0;
+  long long extra = 0;
+  std::string opt;
+  while (ls >> opt) {
+    if (opt.rfind("rate=", 0) == 0) {
+      rate = std::strtod(opt.c_str() + 5, nullptr);
+    } else if (opt.rfind("extra=", 0) == 0) {
+      extra = std::strtoll(opt.c_str() + 6, nullptr, 10);
+    } else {
+      return bad("unknown fault option");
+    }
+  }
+  if (kind == "cut") {
+    plan->CutLinks(time, std::move(src), std::move(dst));
+  } else if (kind == "heal") {
+    plan->HealLinks(time, std::move(src), std::move(dst));
+  } else if (kind == "corrupt") {
+    plan->CorruptLinks(time, std::move(src), std::move(dst), rate);
+  } else if (kind == "dup") {
+    plan->DuplicateLinks(time, std::move(src), std::move(dst), rate);
+  } else if (kind == "delay") {
+    plan->DelayLinks(time, std::move(src), std::move(dst), rate, extra);
+  } else {
+    return bad("unknown fault kind");
+  }
+  return Status::OK();
+}
+
+StatusOr<ScenarioEvent> ParseEventLine(const std::string& line, int lineno) {
+  std::istringstream ls(line);
+  long long time;
+  int node;
+  std::string op;
+  if (!(ls >> time >> node >> op) || (op != "+" && op != "-")) {
+    return StatusOr<ScenarioEvent>(Status::InvalidArgument(
+        StrFormat("events line %d: expected '<time> <node> +|- <fact>.'",
+                  lineno)));
+  }
+  std::string fact_text;
+  std::getline(ls, fact_text);
+  auto rule = ParseRule(std::string(StrTrim(fact_text)));
+  if (!rule.ok() || !rule->body.empty()) {
+    return StatusOr<ScenarioEvent>(Status::InvalidArgument(
+        StrFormat("events line %d: bad fact: %s", lineno,
+                  rule.ok() ? "rules not allowed"
+                            : rule.status().message().c_str())));
+  }
+  ScenarioEvent ev;
+  ev.time = time;
+  ev.node = node;
+  ev.op = op == "+" ? StreamOp::kInsert : StreamOp::kDelete;
+  ev.fact = Fact(rule->head.predicate, rule->head.args);
+  return ev;
+}
+
+bool StorageFromName(const std::string& name, StoragePolicy* out) {
+  if (name == "row" || name.empty()) {
+    *out = StoragePolicy::kRow;
+  } else if (name == "broadcast") {
+    *out = StoragePolicy::kBroadcast;
+  } else if (name == "local") {
+    *out = StoragePolicy::kLocal;
+  } else if (name == "centroid") {
+    *out = StoragePolicy::kCentroid;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Scenario text form
+// ---------------------------------------------------------------------
+
+std::string Scenario::ToText() const {
+  std::string out = "# deduce chaos scenario v1\n";
+  out += StrFormat("seed %llu\n", static_cast<unsigned long long>(seed));
+  out += StrFormat("grid %d\n", grid);
+  out += StrFormat("loss %g\n", loss);
+  out += StrFormat("retries %d\n", retries);
+  out += StrFormat("reliable %d\n", reliable ? 1 : 0);
+  out += StrFormat("repair %d\n", repair ? 1 : 0);
+  out += StrFormat("anti_entropy_period %lld\n",
+                   static_cast<long long>(anti_entropy_period));
+  out += StrFormat("checksum %d\n", checksum ? 1 : 0);
+  out += StrFormat("rto_jitter %g\n", rto_jitter);
+  out += "storage " + storage + "\n";
+  out += "[program]\n";
+  out += program;
+  if (!program.empty() && program.back() != '\n') out += '\n';
+  out += "[events]\n";
+  for (const ScenarioEvent& ev : events) {
+    out += StrFormat("%lld %d %s ", static_cast<long long>(ev.time),
+                     ev.node, ev.op == StreamOp::kInsert ? "+" : "-");
+    out += ev.fact.ToString();
+    out += ".\n";
+  }
+  out += "[faults]\n";
+  for (const FaultEvent& ev : faults.events) {
+    out += FormatFault(ev);
+    out += '\n';
+  }
+  out += "[end]\n";
+  return out;
+}
+
+StatusOr<Scenario> Scenario::FromText(const std::string& text) {
+  Scenario s;
+  s.program.clear();
+  s.storage = "row";
+  enum class Section { kHeader, kProgram, kEvents, kFaults, kDone };
+  Section section = Section::kHeader;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) {
+    return StatusOr<Scenario>(Status::InvalidArgument(
+        StrFormat("scenario line %d: %s", lineno, what.c_str())));
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string trimmed(StrTrim(line));
+    if (section != Section::kProgram &&
+        (trimmed.empty() || trimmed[0] == '#')) {
+      continue;
+    }
+    if (trimmed == "[program]") {
+      section = Section::kProgram;
+      continue;
+    }
+    if (trimmed == "[events]") {
+      section = Section::kEvents;
+      continue;
+    }
+    if (trimmed == "[faults]") {
+      section = Section::kFaults;
+      continue;
+    }
+    if (trimmed == "[end]") {
+      section = Section::kDone;
+      continue;
+    }
+    switch (section) {
+      case Section::kHeader: {
+        std::istringstream ls(trimmed);
+        std::string key, value;
+        if (!(ls >> key >> value)) return fail("expected '<key> <value>'");
+        if (key == "seed") {
+          s.seed = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "grid") {
+          s.grid = std::atoi(value.c_str());
+        } else if (key == "loss") {
+          s.loss = std::strtod(value.c_str(), nullptr);
+        } else if (key == "retries") {
+          s.retries = std::atoi(value.c_str());
+        } else if (key == "reliable") {
+          s.reliable = value != "0";
+        } else if (key == "repair") {
+          s.repair = value != "0";
+        } else if (key == "anti_entropy_period") {
+          s.anti_entropy_period = std::strtoll(value.c_str(), nullptr, 10);
+        } else if (key == "checksum") {
+          s.checksum = value != "0";
+        } else if (key == "rto_jitter") {
+          s.rto_jitter = std::strtod(value.c_str(), nullptr);
+        } else if (key == "storage") {
+          s.storage = value;
+        } else {
+          return fail("unknown header key '" + key + "'");
+        }
+        break;
+      }
+      case Section::kProgram:
+        s.program += line;
+        s.program += '\n';
+        break;
+      case Section::kEvents: {
+        auto ev = ParseEventLine(trimmed, lineno);
+        if (!ev.ok()) return StatusOr<Scenario>(ev.status());
+        s.events.push_back(std::move(*ev));
+        break;
+      }
+      case Section::kFaults: {
+        Status st = ParseFault(trimmed, lineno, &s.faults);
+        if (!st.ok()) return StatusOr<Scenario>(st);
+        break;
+      }
+      case Section::kDone:
+        return fail("content after [end]");
+    }
+  }
+  StoragePolicy ignored;
+  if (!StorageFromName(s.storage, &ignored)) {
+    return StatusOr<Scenario>(Status::InvalidArgument(
+        "scenario: unknown storage '" + s.storage + "'"));
+  }
+  if (s.grid < 1) {
+    return StatusOr<Scenario>(Status::InvalidArgument("scenario: bad grid"));
+  }
+  return s;
+}
+
+Status Scenario::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot write scenario file " + path);
+  out << ToText();
+  out.close();
+  if (!out) return Status::Internal("error writing scenario file " + path);
+  return Status::OK();
+}
+
+StatusOr<Scenario> Scenario::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return StatusOr<Scenario>(
+        Status::NotFound("cannot open scenario file " + path));
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return FromText(ss.str());
+}
+
+// ---------------------------------------------------------------------
+// Running
+// ---------------------------------------------------------------------
+
+StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
+  auto program = ParseProgram(scenario.program);
+  if (!program.ok()) return StatusOr<ScenarioOutcome>(program.status());
+
+  std::vector<ScenarioEvent> events = scenario.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.time < b.time;
+                   });
+
+  ScenarioOutcome out;
+
+  // The fault-free oracle: the same injections through the centralized
+  // incremental engine.
+  {
+    auto reference =
+        IncrementalEngine::Create(*program, IncrementalOptions{});
+    if (reference.ok()) {
+      for (size_t i = 0; i < events.size(); ++i) {
+        StreamEvent ev;
+        ev.op = events[i].op;
+        ev.fact = events[i].fact;
+        ev.id = TupleId{events[i].node, events[i].time,
+                        static_cast<uint32_t>(i)};
+        ev.time = events[i].time;
+        Status st = (*reference)->Apply(ev, nullptr);
+        if (!st.ok()) return StatusOr<ScenarioOutcome>(st);
+      }
+      const ProgramAnalysis& analysis = (*reference)->analysis();
+      for (SymbolId pred : analysis.predicates) {
+        if (!analysis.idb.count(pred)) continue;
+        for (const Fact& f : (*reference)->AliveFacts(pred)) {
+          out.oracle.Insert(f);
+        }
+      }
+    } else {
+      // Fallback for program classes the incremental engine rejects (head
+      // aggregates): whole-program seminaive evaluation of the final fact
+      // set. Only equivalent to a replayed stream when nothing is deleted.
+      for (const ScenarioEvent& ev : events) {
+        if (ev.op != StreamOp::kInsert) {
+          return StatusOr<ScenarioOutcome>(reference.status());
+        }
+      }
+      std::vector<Fact> inputs;
+      inputs.reserve(events.size());
+      for (const ScenarioEvent& ev : events) inputs.push_back(ev.fact);
+      auto db = EvaluateProgram(*program, inputs);
+      if (!db.ok()) return StatusOr<ScenarioOutcome>(db.status());
+      for (const Rule& rule : program->rules()) {
+        for (const Fact& f : db->Relation(rule.head.predicate)) {
+          out.oracle.Insert(f);
+        }
+      }
+    }
+  }
+
+  // The distributed run under faults.
+  EngineOptions options;
+  options.transport.reliable = scenario.reliable;
+  options.transport.rto_jitter = scenario.rto_jitter;
+  options.repair.enabled = scenario.repair;
+  options.repair.anti_entropy_period = scenario.anti_entropy_period;
+  options.checksum = scenario.checksum;
+  if (!StorageFromName(scenario.storage, &options.planner.default_storage)) {
+    return StatusOr<ScenarioOutcome>(
+        Status::InvalidArgument("unknown storage " + scenario.storage));
+  }
+  LinkModel link;
+  link.loss_rate = scenario.loss;
+  link.retries = scenario.retries;
+  Network net(Topology::Grid(scenario.grid), link, scenario.seed);
+  net.ApplyFaultPlan(scenario.faults);
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  if (!engine.ok()) return StatusOr<ScenarioOutcome>(engine.status());
+  for (const ScenarioEvent& ev : events) {
+    net.sim().RunUntil(ev.time);
+    (void)(*engine)->Inject(ev.node, ev.op, ev.fact);
+  }
+  net.sim().Run();
+
+  out.results = (*engine)->ResultDatabase();
+  out.net = net.stats();
+  const EngineStats& stats = (*engine)->stats();
+  out.decode_errors = stats.decode_errors;
+  out.retransmissions = stats.retransmissions;
+  out.gave_up = stats.gave_up_messages;
+  out.repaired = stats.repaired_messages;
+  out.quiesce_time = net.now();
+
+  InvariantOptions inv;
+  inv.oracle = &out.oracle;
+  inv.check_convergence =
+      scenario.anti_entropy_period > 0 && net.link_faults().empty();
+  out.report = CheckInvariants(**engine, inv);
+  return out;
+}
+
+std::string ScenarioOutcome::Summary() const {
+  std::vector<std::string> got;
+  for (SymbolId pred : results.Predicates()) {
+    for (const Fact& f : results.Relation(pred)) {
+      got.push_back(f.ToString());
+    }
+  }
+  std::sort(got.begin(), got.end());
+  size_t oracle_count = 0;
+  for (SymbolId pred : oracle.Predicates()) {
+    oracle_count += oracle.Relation(pred).size();
+  }
+  std::string out = StrFormat("results (%zu):\n", got.size());
+  for (const std::string& f : got) {
+    out += "  ";
+    out += f;
+    out += '\n';
+  }
+  out += StrFormat("oracle results: %zu\n", oracle_count);
+  out += StrFormat(
+      "network: messages=%llu bytes=%llu links_cut=%llu corrupted=%llu "
+      "duplicated=%llu reordered=%llu nodes_failed=%llu\n",
+      static_cast<unsigned long long>(net.TotalMessages()),
+      static_cast<unsigned long long>(net.TotalBytes()),
+      static_cast<unsigned long long>(net.links_cut),
+      static_cast<unsigned long long>(net.corrupted_delivered),
+      static_cast<unsigned long long>(net.duplicated),
+      static_cast<unsigned long long>(net.reordered),
+      static_cast<unsigned long long>(net.nodes_failed));
+  out += StrFormat(
+      "engine: decode_errors=%llu retransmissions=%llu gave_up=%llu "
+      "repaired=%llu\n",
+      static_cast<unsigned long long>(decode_errors),
+      static_cast<unsigned long long>(retransmissions),
+      static_cast<unsigned long long>(gave_up),
+      static_cast<unsigned long long>(repaired));
+  out += StrFormat("quiesced_at_us %lld\n",
+                   static_cast<long long>(quiesce_time));
+  out += report.ToString();
+  out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr char kChaosProgram[] =
+    ".decl r/3 input.\n"
+    ".decl s/3 input.\n"
+    "t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).\n";
+
+std::vector<NodeId> GridColumns(int grid, int lo, int hi) {
+  std::vector<NodeId> out;
+  for (int node = 0; node < grid * grid; ++node) {
+    int col = node % grid;
+    if (col >= lo && col < hi) out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario SampleScenario(uint64_t seed, const ChaosProfile& profile) {
+  Scenario s;
+  s.seed = seed;
+  s.grid = profile.grid;
+  s.loss = profile.loss;
+  s.retries = profile.loss > 0 ? 2 : 0;
+  s.reliable = profile.reliable;
+  s.repair = profile.repair;
+  s.anti_entropy_period = profile.anti_entropy_period;
+  s.checksum = profile.checksum;
+  s.rto_jitter = profile.rto_jitter;
+  s.program = kChaosProgram;
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  int n = profile.grid * profile.grid;
+  SimTime horizon = profile.horizon;
+
+  // Workload: a stream of r/s inserts (with occasional deletes of an
+  // earlier insert) whose keys collide often enough to produce joins.
+  std::vector<SimTime> times;
+  times.reserve(static_cast<size_t>(profile.events));
+  for (int i = 0; i < profile.events; ++i) {
+    times.push_back(rng.Uniform(0, horizon - 1));
+  }
+  std::sort(times.begin(), times.end());
+  SymbolId r = Intern("r"), sym_s = Intern("s");
+  std::vector<ScenarioEvent> alive;
+  int seq = 0;
+  for (SimTime t : times) {
+    ScenarioEvent ev;
+    ev.time = t;
+    if (!alive.empty() && rng.Bernoulli(0.15)) {
+      size_t pick =
+          static_cast<size_t>(rng.Uniform(0, alive.size() - 1));
+      ev.node = alive[pick].node;
+      ev.op = StreamOp::kDelete;
+      ev.fact = alive[pick].fact;
+      alive.erase(alive.begin() + pick);
+    } else {
+      ev.node = static_cast<NodeId>(rng.Uniform(0, n - 1));
+      ev.op = StreamOp::kInsert;
+      SymbolId pred = rng.Bernoulli(0.5) ? r : sym_s;
+      int64_t key = rng.Uniform(1, 4);
+      ev.fact = Fact(pred, {Term::Int(key), Term::Int(ev.node),
+                            Term::Int(++seq)});
+      alive.push_back(ev);
+    }
+    s.events.push_back(std::move(ev));
+  }
+
+  // Fault schedule: 1-3 independent clauses. Every windowed clause heals
+  // before 0.9 * horizon so the run can quiesce and converge.
+  int clauses = static_cast<int>(rng.Uniform(1, 3));
+  for (int c = 0; c < clauses; ++c) {
+    SimTime start = rng.Uniform(horizon / 10, horizon / 2);
+    SimTime stop =
+        start + rng.Uniform(horizon / 10, (horizon * 2) / 5);
+    switch (rng.Uniform(0, 5)) {
+      case 0: {  // crash-reboot churn
+        NodeId node = static_cast<NodeId>(rng.Uniform(0, n - 1));
+        s.faults.Fail(start, node).Recover(stop, node);
+        break;
+      }
+      case 1: {  // (possibly asymmetric) partition, later healed
+        int cut_col = static_cast<int>(rng.Uniform(1, profile.grid - 1));
+        std::vector<NodeId> left = GridColumns(profile.grid, 0, cut_col);
+        std::vector<NodeId> right =
+            GridColumns(profile.grid, cut_col, profile.grid);
+        bool both = rng.Bernoulli(0.5);
+        s.faults.CutLinks(start, left, right);
+        if (both) s.faults.CutLinks(start, right, left);
+        s.faults.HealLinks(stop, left, right);
+        if (both) s.faults.HealLinks(stop, right, left);
+        break;
+      }
+      case 2: {  // payload corruption window
+        double rate = static_cast<double>(rng.Uniform(1, 6)) / 20.0;
+        s.faults.CorruptLinks(start, {}, {}, rate);
+        s.faults.HealLinks(stop, {}, {});
+        break;
+      }
+      case 3: {  // duplication window
+        double rate = static_cast<double>(rng.Uniform(1, 6)) / 20.0;
+        s.faults.DuplicateLinks(start, {}, {}, rate);
+        s.faults.HealLinks(stop, {}, {});
+        break;
+      }
+      case 4: {  // delay jitter (bounded reordering) window
+        double rate = static_cast<double>(rng.Uniform(2, 10)) / 20.0;
+        SimTime extra = rng.Uniform(2, 10) * 1000;
+        s.faults.DelayLinks(start, {}, {}, rate, extra);
+        s.faults.HealLinks(stop, {}, {});
+        break;
+      }
+      default: {  // reboot storm
+        int victims = static_cast<int>(rng.Uniform(2, 4));
+        std::vector<NodeId> nodes;
+        for (int i = 0; i < victims; ++i) {
+          NodeId node = static_cast<NodeId>(rng.Uniform(0, n - 1));
+          if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+            nodes.push_back(node);
+          }
+        }
+        FaultPlan storm = FaultPlan::RebootStorm(
+            nodes, start, /*downtime=*/horizon / 20,
+            /*stagger=*/horizon / 40, /*waves=*/2,
+            /*wave_gap=*/horizon / 8);
+        s.faults.events.insert(s.faults.events.end(),
+                               storm.events.begin(), storm.events.end());
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// Shrinking
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// True when the candidate still violates some invariant.
+StatusOr<bool> StillViolates(const Scenario& candidate) {
+  auto run = RunScenario(candidate);
+  if (!run.ok()) return StatusOr<bool>(run.status());
+  return !run->report.ok();
+}
+
+}  // namespace
+
+StatusOr<ShrinkResult> ShrinkScenario(const Scenario& scenario) {
+  ShrinkResult out;
+  out.scenario = scenario;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < out.scenario.faults.events.size();) {
+      Scenario candidate = out.scenario;
+      candidate.faults.events.erase(candidate.faults.events.begin() +
+                                    static_cast<long>(i));
+      auto still = StillViolates(candidate);
+      if (!still.ok()) return StatusOr<ShrinkResult>(still.status());
+      ++out.runs;
+      if (*still) {
+        out.scenario = std::move(candidate);
+        ++out.removed;
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+    for (size_t i = 0; i < out.scenario.events.size();) {
+      Scenario candidate = out.scenario;
+      candidate.events.erase(candidate.events.begin() +
+                             static_cast<long>(i));
+      auto still = StillViolates(candidate);
+      if (!still.ok()) return StatusOr<ShrinkResult>(still.status());
+      ++out.runs;
+      if (*still) {
+        out.scenario = std::move(candidate);
+        ++out.removed;
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace deduce

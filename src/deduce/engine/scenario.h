@@ -1,0 +1,123 @@
+#ifndef DEDUCE_ENGINE_SCENARIO_H_
+#define DEDUCE_ENGINE_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deduce/common/status.h"
+#include "deduce/datalog/fact.h"
+#include "deduce/engine/invariants.h"
+#include "deduce/eval/database.h"
+#include "deduce/net/network.h"
+
+namespace deduce {
+
+/// One base-stream injection of a chaos scenario.
+struct ScenarioEvent {
+  SimTime time = 0;
+  NodeId node = 0;
+  StreamOp op = StreamOp::kInsert;
+  Fact fact;
+};
+
+/// A self-contained, replayable chaos run: engine configuration, program
+/// text, the injection trace and the fault schedule. Everything a run
+/// depends on is in here (plus the code version), so `dlog replay` of a
+/// saved scenario is bit-exact. Serialized as a small text format
+/// (docs/FAULTS.md):
+///
+///     # deduce chaos scenario v1
+///     seed 42
+///     grid 4
+///     ...
+///     [program]
+///     t(K, A, B) :- r(K, A), s(K, B).
+///     [events]
+///     1000 3 + r(1, 3, 7).
+///     [faults]
+///     cut 200000 0,1 -> 2,3
+///     heal 500000 0,1 -> 2,3
+///     corrupt 100000 * -> * rate=0.2
+///     [end]
+struct Scenario {
+  uint64_t seed = 1;        ///< Network RNG seed.
+  int grid = 4;             ///< Grid side; topology is grid x grid.
+  double loss = 0.0;        ///< LinkModel Bernoulli per-hop loss.
+  int retries = 0;          ///< LinkModel MAC retries.
+  bool reliable = false;    ///< End-to-end reliable transport.
+  bool repair = false;      ///< Reboot-resync repair.
+  SimTime anti_entropy_period = 0;
+  bool checksum = false;    ///< Per-hop frame checksums.
+  double rto_jitter = 0.0;  ///< TransportOptions::rto_jitter.
+  std::string storage = "row";  ///< row|broadcast|local|centroid.
+  std::string program;          ///< Datalog source text.
+  std::vector<ScenarioEvent> events;
+  FaultPlan faults;
+
+  /// Deterministic text form: same scenario -> byte-identical text.
+  std::string ToText() const;
+  static StatusOr<Scenario> FromText(const std::string& text);
+  Status Save(const std::string& path) const;
+  static StatusOr<Scenario> Load(const std::string& path);
+};
+
+/// Everything a finished scenario run yields: the invariant verdict, the
+/// distributed result set, the fault-free oracle, and the counters the
+/// replay report prints.
+struct ScenarioOutcome {
+  InvariantReport report;
+  Database results;  ///< Alive derived facts of the chaos run.
+  Database oracle;   ///< Centralized fault-free results (soundness bound).
+  NetworkStats net;
+  uint64_t decode_errors = 0;
+  uint64_t retransmissions = 0;
+  uint64_t gave_up = 0;
+  uint64_t repaired = 0;
+  SimTime quiesce_time = 0;
+
+  /// Deterministic multi-line report (sorted results + counters +
+  /// invariant verdict). `dlog replay` prints exactly this, so two runs
+  /// of one scenario file diff byte-clean.
+  std::string Summary() const;
+};
+
+/// Runs a scenario to quiescence and checks the invariant suite against
+/// the centralized oracle. Convergence is checked when anti-entropy ran
+/// and no link faults are left installed at quiescence.
+StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario);
+
+/// Knobs for SampleScenario (the `dlog chaos` flags).
+struct ChaosProfile {
+  int grid = 4;
+  int events = 40;          ///< Injections to sample.
+  SimTime horizon = 2000000;  ///< Injections spread over [0, horizon).
+  double loss = 0.0;
+  bool reliable = true;
+  bool repair = false;
+  SimTime anti_entropy_period = 0;
+  bool checksum = true;
+  double rto_jitter = 0.1;
+};
+
+/// Samples a random two-stream-join workload plus an adversarial fault
+/// schedule (partitions, corruption, duplication, delay jitter, churn,
+/// reboot storms), all drawn deterministically from `seed`.
+Scenario SampleScenario(uint64_t seed, const ChaosProfile& profile);
+
+/// Result of greedy schedule shrinking.
+struct ShrinkResult {
+  Scenario scenario;  ///< Minimal scenario still violating an invariant.
+  int runs = 0;       ///< Candidate re-executions performed.
+  int removed = 0;    ///< Events removed from the original schedule.
+};
+
+/// Delta-debugs a violating scenario: repeatedly tries removing each
+/// fault event and each injection, keeping any removal that preserves a
+/// violation, until a fixpoint (1-minimal under single-event removal).
+/// The input must already violate (RunScenario(...).report.ok() false).
+StatusOr<ShrinkResult> ShrinkScenario(const Scenario& scenario);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_SCENARIO_H_

@@ -522,4 +522,39 @@ std::vector<uint64_t> CollectTraceIds(const Message& msg) {
   return out;
 }
 
+// --- frame integrity --------------------------------------------------------
+
+namespace {
+
+uint32_t Fnv1a(const uint8_t* data, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
+void SealFrame(Message* msg) {
+  uint32_t h = Fnv1a(msg->payload.data(), msg->payload.size());
+  for (int i = 0; i < 4; ++i) {
+    msg->payload.push_back(static_cast<uint8_t>((h >> (8 * i)) & 0xff));
+  }
+}
+
+bool CheckAndStripFrame(Message* msg) {
+  if (msg->payload.size() < 4) return false;
+  size_t n = msg->payload.size() - 4;
+  uint32_t want = 0;
+  for (int i = 0; i < 4; ++i) {
+    want |= static_cast<uint32_t>(msg->payload[n + static_cast<size_t>(i)])
+            << (8 * i);
+  }
+  if (Fnv1a(msg->payload.data(), n) != want) return false;
+  msg->payload.resize(n);
+  return true;
+}
+
 }  // namespace deduce

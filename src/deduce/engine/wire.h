@@ -213,6 +213,16 @@ struct RepairPushWire {
 /// so intermediate nodes can forward without full decoding.
 StatusOr<NodeId> PeekFinalTarget(const Message& msg);
 
+// --- frame integrity (EngineOptions::checksum) ---
+
+/// Appends a 4-byte FNV-1a checksum of the payload. Each hop seals the
+/// frame it transmits; PeekFinalTarget still works on a sealed frame
+/// because the leading bytes are untouched.
+void SealFrame(Message* msg);
+/// Verifies and strips a sealed frame's trailing checksum. False means
+/// the frame is too short or was damaged in flight — drop it.
+bool CheckAndStripFrame(Message* msg);
+
 /// The set of provenance trace ids (TraceIdFor over TupleIds) a wire
 /// message carries, sorted and deduplicated: the stored/deleted tuple for
 /// kStoreMsg, the update tuple plus all partial supports for kJoinPassMsg,

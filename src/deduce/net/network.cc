@@ -53,6 +53,10 @@ void NetworkStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "net", "mac_ack_failures", mac_ack_failures);
   registry->Add(-1, "net", "nodes_failed", nodes_failed);
   registry->Add(-1, "net", "nodes_recovered", nodes_recovered);
+  registry->Add(-1, "chaos", "links_cut", links_cut);
+  registry->Add(-1, "chaos", "corrupted_delivered", corrupted_delivered);
+  registry->Add(-1, "chaos", "duplicated", duplicated);
+  registry->Add(-1, "chaos", "reordered", reordered);
 }
 
 const Location& NodeContext::location() const {
@@ -143,13 +147,121 @@ void Network::RecoverNode(NodeId id) {
 void Network::ApplyFaultPlan(const FaultPlan& plan) {
   for (const FaultEvent& ev : plan.events) {
     sim_.ScheduleAt(ev.time, [this, ev]() {
-      if (ev.kind == FaultEvent::Kind::kFail) {
-        FailNode(ev.node);
-      } else {
-        RecoverNode(ev.node);
+      switch (ev.kind) {
+        case FaultEvent::Kind::kFail:
+          FailNode(ev.node);
+          break;
+        case FaultEvent::Kind::kRecover:
+          RecoverNode(ev.node);
+          break;
+        case FaultEvent::Kind::kAddLinkFault:
+          AddLinkFault(ev.rule);
+          break;
+        case FaultEvent::Kind::kHealLinks:
+          HealLinks(ev.rule.src, ev.rule.dst);
+          break;
       }
     });
   }
+}
+
+void Network::AddLinkFault(LinkFaultRule rule) {
+  link_faults_.push_back(std::move(rule));
+}
+
+void Network::HealLinks(const std::vector<NodeId>& src,
+                        const std::vector<NodeId>& dst) {
+  link_faults_.erase(
+      std::remove_if(link_faults_.begin(), link_faults_.end(),
+                     [&](const LinkFaultRule& r) {
+                       return r.src == src && r.dst == dst;
+                     }),
+      link_faults_.end());
+}
+
+namespace {
+
+bool InSet(const std::vector<NodeId>& set, NodeId n) {
+  return set.empty() || std::find(set.begin(), set.end(), n) != set.end();
+}
+
+FaultEvent LinkFaultEvent(SimTime time, FaultEvent::Kind kind,
+                          LinkFaultRule rule) {
+  FaultEvent ev;
+  ev.time = time;
+  ev.kind = kind;
+  ev.rule = std::move(rule);
+  return ev;
+}
+
+}  // namespace
+
+const LinkFaultRule* Network::MatchLinkFault(LinkFaultRule::Kind kind,
+                                             NodeId from, NodeId to) {
+  for (const LinkFaultRule& r : link_faults_) {
+    if (r.kind != kind || !InSet(r.src, from) || !InSet(r.dst, to)) continue;
+    if (r.rate >= 1.0 || rng_.Bernoulli(r.rate)) return &r;
+  }
+  return nullptr;
+}
+
+FaultPlan& FaultPlan::CutLinks(SimTime time, std::vector<NodeId> src,
+                               std::vector<NodeId> dst) {
+  LinkFaultRule r;
+  r.kind = LinkFaultRule::Kind::kCut;
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  events.push_back(
+      LinkFaultEvent(time, FaultEvent::Kind::kAddLinkFault, std::move(r)));
+  return *this;
+}
+
+FaultPlan& FaultPlan::HealLinks(SimTime time, std::vector<NodeId> src,
+                                std::vector<NodeId> dst) {
+  LinkFaultRule r;
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  events.push_back(
+      LinkFaultEvent(time, FaultEvent::Kind::kHealLinks, std::move(r)));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptLinks(SimTime time, std::vector<NodeId> src,
+                                   std::vector<NodeId> dst, double rate) {
+  LinkFaultRule r;
+  r.kind = LinkFaultRule::Kind::kCorrupt;
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  r.rate = rate;
+  events.push_back(
+      LinkFaultEvent(time, FaultEvent::Kind::kAddLinkFault, std::move(r)));
+  return *this;
+}
+
+FaultPlan& FaultPlan::DuplicateLinks(SimTime time, std::vector<NodeId> src,
+                                     std::vector<NodeId> dst, double rate) {
+  LinkFaultRule r;
+  r.kind = LinkFaultRule::Kind::kDuplicate;
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  r.rate = rate;
+  events.push_back(
+      LinkFaultEvent(time, FaultEvent::Kind::kAddLinkFault, std::move(r)));
+  return *this;
+}
+
+FaultPlan& FaultPlan::DelayLinks(SimTime time, std::vector<NodeId> src,
+                                 std::vector<NodeId> dst, double rate,
+                                 SimTime extra_delay) {
+  LinkFaultRule r;
+  r.kind = LinkFaultRule::Kind::kDelay;
+  r.src = std::move(src);
+  r.dst = std::move(dst);
+  r.rate = rate;
+  r.extra_delay = extra_delay;
+  events.push_back(
+      LinkFaultEvent(time, FaultEvent::Kind::kAddLinkFault, std::move(r)));
+  return *this;
 }
 
 FaultPlan FaultPlan::Churn(const std::vector<NodeId>& nodes,
@@ -161,6 +273,20 @@ FaultPlan FaultPlan::Churn(const std::vector<NodeId>& nodes,
     plan.Fail(t, n);
     if (downtime >= 0) plan.Recover(t + downtime, n);
     t += stagger;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::RebootStorm(const std::vector<NodeId>& nodes,
+                                 SimTime first_fail, SimTime downtime,
+                                 SimTime stagger, int waves,
+                                 SimTime wave_gap) {
+  FaultPlan plan;
+  for (int w = 0; w < waves; ++w) {
+    FaultPlan wave = Churn(nodes, first_fail + wave_gap * w, downtime,
+                           stagger);
+    plan.events.insert(plan.events.end(), wave.events.begin(),
+                       wave.events.end());
   }
   return plan;
 }
@@ -178,8 +304,14 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
 
   // Simplified link-layer ARQ: up to 1 + retries attempts, each an
   // independent loss trial and a real transmission (counted and paid for).
-  // A dead receiver never acks, so the sender burns every attempt.
+  // A dead receiver never acks, so the sender burns every attempt. A cut
+  // link looks exactly like a dead receiver to the sender.
   bool receiver_up = !failed_[static_cast<size_t>(to)];
+  if (!link_faults_.empty() &&
+      MatchLinkFault(LinkFaultRule::Kind::kCut, from, to) != nullptr) {
+    receiver_up = false;
+    ++stats_.links_cut;
+  }
   int attempts = 0;
   bool delivered = false;
   for (int a = 0; a <= link_.retries; ++a) {
@@ -214,15 +346,46 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
       (link_.jitter > 0 ? rng_.Uniform(0, link_.jitter) : 0) +
       link_.per_byte_delay * static_cast<SimTime>(bytes);
   SimTime delay = per_attempt * static_cast<SimTime>(attempts);
+  bool duplicate = false;
+  if (!link_faults_.empty()) {
+    // In-flight corruption: flip 1-3 payload bytes. The receiver still
+    // pays for the reception; whether it detects the damage is up to the
+    // engine's decoders (see EngineStats::decode_errors).
+    if (!msg.payload.empty() &&
+        MatchLinkFault(LinkFaultRule::Kind::kCorrupt, from, to) != nullptr) {
+      int flips = static_cast<int>(rng_.Uniform(1, 3));
+      for (int i = 0; i < flips; ++i) {
+        size_t pos = static_cast<size_t>(rng_.Uniform(
+            0, static_cast<int64_t>(msg.payload.size()) - 1));
+        msg.payload[pos] ^= static_cast<uint8_t>(rng_.Uniform(1, 255));
+      }
+      ++stats_.corrupted_delivered;
+    }
+    if (MatchLinkFault(LinkFaultRule::Kind::kDuplicate, from, to) !=
+        nullptr) {
+      duplicate = true;
+      ++stats_.duplicated;
+    }
+    const LinkFaultRule* slow =
+        MatchLinkFault(LinkFaultRule::Kind::kDelay, from, to);
+    if (slow != nullptr && slow->extra_delay > 0) {
+      delay += rng_.Uniform(0, slow->extra_delay);
+      ++stats_.reordered;
+    }
+  }
   auto shared = std::make_shared<Message>(std::move(msg));
-  sim_.ScheduleAfter(delay, [this, to, bytes, shared]() {
+  auto deliver = [this, to, bytes, shared]() {
     if (failed_[static_cast<size_t>(to)]) return;
     auto& receiver = stats_.per_node[static_cast<size_t>(to)];
     ++receiver.received_messages;
     receiver.received_bytes += bytes;
     apps_[static_cast<size_t>(to)]->OnMessage(
         contexts_[static_cast<size_t>(to)].get(), *shared);
-  });
+  };
+  sim_.ScheduleAfter(delay, deliver);
+  // A duplicated frame arrives a further hop-delay later: enough to land
+  // behind other traffic and exercise receiver-side dedup.
+  if (duplicate) sim_.ScheduleAfter(delay + per_attempt, deliver);
   return true;
 }
 

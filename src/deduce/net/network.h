@@ -80,6 +80,11 @@ struct NetworkStats {
   /// Fault-injection events applied (FailNode / RecoverNode).
   uint64_t nodes_failed = 0;
   uint64_t nodes_recovered = 0;
+  /// Chaos (link-fault) counters. Zero unless a LinkFaultRule is active.
+  uint64_t links_cut = 0;            ///< Unicasts suppressed by a cut rule.
+  uint64_t corrupted_delivered = 0;  ///< Payloads byte-flipped in flight.
+  uint64_t duplicated = 0;           ///< Extra deliveries of one unicast.
+  uint64_t reordered = 0;            ///< Deliveries given extra delay jitter.
 
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
@@ -164,33 +169,88 @@ class NodeApp {
   virtual void OnRestart(NodeContext* ctx) { (void)ctx; }
 };
 
-/// One scheduled fault-injection event.
+/// A directed link-level fault rule: applies to unicasts whose sender is in
+/// `src` and receiver is in `dst` (an empty set matches every node). Rules
+/// are intentionally asymmetric — cutting A→B leaves B→A intact — matching
+/// the formal sensor-network models where radio links are directed.
+struct LinkFaultRule {
+  enum class Kind {
+    kCut,        ///< Suppress delivery (no MAC ack ever reaches the sender).
+    kCorrupt,    ///< Flip 1-3 payload bytes before delivery.
+    kDuplicate,  ///< Deliver a second copy after an extra hop delay.
+    kDelay,      ///< Add uniform extra delay in [0, extra_delay] (reorders).
+  };
+  Kind kind = Kind::kCut;
+  std::vector<NodeId> src;   ///< Senders the rule matches; empty = any.
+  std::vector<NodeId> dst;   ///< Receivers the rule matches; empty = any.
+  double rate = 1.0;         ///< Probability the rule fires per message.
+  SimTime extra_delay = 0;   ///< kDelay only: max extra latency (us).
+};
+
+/// One scheduled fault-injection event. `kFail`/`kRecover` use `node`;
+/// the link-fault kinds carry a LinkFaultRule installed (or, for
+/// kHealLinks, removed) at `time`.
 struct FaultEvent {
-  enum class Kind { kFail, kRecover };
+  enum class Kind { kFail, kRecover, kAddLinkFault, kHealLinks };
   SimTime time = 0;
   NodeId node = kNoNode;
   Kind kind = Kind::kFail;
+  LinkFaultRule rule;  ///< kAddLinkFault: rule to install; kHealLinks:
+                       ///< src/dst sets whose rules (all kinds) to remove.
 };
 
-/// A deterministic schedule of fail/recover events driven by the
-/// simulator (crash-reboot churn). Apply with Network::ApplyFaultPlan
-/// before (or while) running.
+/// A deterministic schedule of fault events driven by the simulator
+/// (crash-reboot churn, partitions, corruption, duplication, delay
+/// jitter). Apply with Network::ApplyFaultPlan before (or while) running.
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
   FaultPlan& Fail(SimTime time, NodeId node) {
-    events.push_back({time, node, FaultEvent::Kind::kFail});
+    FaultEvent ev;
+    ev.time = time;
+    ev.node = node;
+    ev.kind = FaultEvent::Kind::kFail;
+    events.push_back(std::move(ev));
     return *this;
   }
   FaultPlan& Recover(SimTime time, NodeId node) {
-    events.push_back({time, node, FaultEvent::Kind::kRecover});
+    FaultEvent ev;
+    ev.time = time;
+    ev.node = node;
+    ev.kind = FaultEvent::Kind::kRecover;
+    events.push_back(std::move(ev));
     return *this;
   }
+  /// Cuts every link from a node in `src` to a node in `dst` (directed;
+  /// empty set = all nodes). Cut both directions with two calls.
+  FaultPlan& CutLinks(SimTime time, std::vector<NodeId> src,
+                      std::vector<NodeId> dst);
+  /// Removes every link-fault rule (any kind) whose src/dst sets equal
+  /// these, restoring normal delivery.
+  FaultPlan& HealLinks(SimTime time, std::vector<NodeId> src,
+                       std::vector<NodeId> dst);
+  /// Byte-flips payloads on matching links with probability `rate`.
+  FaultPlan& CorruptLinks(SimTime time, std::vector<NodeId> src,
+                          std::vector<NodeId> dst, double rate);
+  /// Duplicates delivered unicasts on matching links with probability
+  /// `rate`.
+  FaultPlan& DuplicateLinks(SimTime time, std::vector<NodeId> src,
+                            std::vector<NodeId> dst, double rate);
+  /// Adds uniform extra delay in [0, extra_delay] to matching deliveries
+  /// with probability `rate` (bounded reordering).
+  FaultPlan& DelayLinks(SimTime time, std::vector<NodeId> src,
+                        std::vector<NodeId> dst, double rate,
+                        SimTime extra_delay);
   /// Crash-reboot churn: node i of `nodes` fails at
   /// `first_fail + i * stagger` and reboots `downtime` later
   /// (downtime < 0: never).
   static FaultPlan Churn(const std::vector<NodeId>& nodes, SimTime first_fail,
                          SimTime downtime, SimTime stagger);
+  /// Reboot storm: `waves` successive churn rounds over the same nodes,
+  /// each wave starting `wave_gap` after the previous one began.
+  static FaultPlan RebootStorm(const std::vector<NodeId>& nodes,
+                               SimTime first_fail, SimTime downtime,
+                               SimTime stagger, int waves, SimTime wave_gap);
 };
 
 /// The simulated sensor network: topology + link model + per-node apps,
@@ -209,6 +269,7 @@ class Network {
   void Start();
 
   Simulator& sim() { return sim_; }
+  SimTime now() const { return sim_.now(); }
   const Topology& topology() const { return topology_; }
   const LinkModel& link() const { return link_; }
   int node_count() const { return topology_.node_count(); }
@@ -253,10 +314,26 @@ class Network {
   /// Schedules every event of `plan` on the simulator.
   void ApplyFaultPlan(const FaultPlan& plan);
 
+  /// Installs a link-fault rule, effective immediately. Rules are
+  /// consulted in insertion order on every unicast; with no rules active
+  /// the delivery path draws no extra randomness, so fault-free runs are
+  /// bit-identical to pre-chaos builds.
+  void AddLinkFault(LinkFaultRule rule);
+  /// Removes every rule (any kind) whose src/dst sets equal these.
+  void HealLinks(const std::vector<NodeId>& src,
+                 const std::vector<NodeId>& dst);
+  const std::vector<LinkFaultRule>& link_faults() const {
+    return link_faults_;
+  }
+
  private:
   friend class NodeContext;
 
   bool Deliver(NodeId from, NodeId to, Message msg);
+  /// First active rule of `kind` matching from→to that passes its rate
+  /// trial (a Bernoulli draw only for rules with rate < 1).
+  const LinkFaultRule* MatchLinkFault(LinkFaultRule::Kind kind, NodeId from,
+                                      NodeId to);
 
   Topology topology_;
   LinkModel link_;
@@ -269,6 +346,7 @@ class Network {
   std::vector<bool> failed_;
   std::vector<uint64_t> incarnations_;
   NetworkStats stats_;
+  std::vector<LinkFaultRule> link_faults_;
   std::vector<std::function<void(const TraceEvent&)>> traces_;
 };
 

@@ -1,0 +1,344 @@
+// Chaos-harness tests: link-fault semantics (asymmetric cuts, healing,
+// corruption, duplication), scenario serialization round trips, run
+// determinism, invariant checking, and greedy schedule shrinking.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "deduce/datalog/parser.h"
+#include "deduce/engine/engine.h"
+#include "deduce/engine/invariants.h"
+#include "deduce/engine/scenario.h"
+#include "deduce/net/network.h"
+
+namespace deduce {
+namespace {
+
+/// Records every delivered payload per receiving node; each node sends one
+/// message to each neighbor when its `send` timer fires.
+class ProbeApp : public NodeApp {
+ public:
+  ProbeApp(std::vector<std::pair<NodeId, std::vector<uint8_t>>>* log,
+           std::vector<SimTime> send_times)
+      : log_(log), send_times_(std::move(send_times)) {}
+
+  void Start(NodeContext* ctx) override {
+    for (size_t i = 0; i < send_times_.size(); ++i) {
+      ctx->SetTimer(send_times_[i], static_cast<int>(i));
+    }
+  }
+  void OnTimer(NodeContext* ctx, int) override {
+    for (NodeId peer : ctx->neighbors()) {
+      Message m;
+      m.type = 42;
+      m.payload = {0x11, 0x22, 0x33, 0x44};
+      ctx->Send(peer, m);
+    }
+  }
+  void OnMessage(NodeContext* ctx, const Message& msg) override {
+    log_->push_back({ctx->id(), msg.payload});
+  }
+
+ private:
+  std::vector<std::pair<NodeId, std::vector<uint8_t>>>* log_;
+  std::vector<SimTime> send_times_;
+};
+
+size_t CountReceived(
+    const std::vector<std::pair<NodeId, std::vector<uint8_t>>>& log,
+    NodeId node) {
+  size_t n = 0;
+  for (const auto& entry : log) {
+    if (entry.first == node) ++n;
+  }
+  return n;
+}
+
+TEST(LinkFaultTest, CutLinksIsAsymmetric) {
+  std::vector<std::pair<NodeId, std::vector<uint8_t>>> log;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{10}));
+  net.SetApp(1, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{10}));
+  LinkFaultRule rule;
+  rule.kind = LinkFaultRule::Kind::kCut;
+  rule.src = {0};
+  rule.dst = {1};
+  net.AddLinkFault(rule);
+  net.Start();
+  net.sim().Run();
+  // 0 -> 1 suppressed, 1 -> 0 unaffected.
+  EXPECT_EQ(CountReceived(log, 1), 0u);
+  EXPECT_EQ(CountReceived(log, 0), 1u);
+  EXPECT_GE(net.stats().links_cut, 1u);
+}
+
+TEST(LinkFaultTest, HealLinksRestoresDelivery) {
+  std::vector<std::pair<NodeId, std::vector<uint8_t>>> log;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  // Node 0 sends at t=10 (while cut) and t=200000 (after heal).
+  net.SetApp(0, std::make_unique<ProbeApp>(
+                    &log, std::vector<SimTime>{10, 200000}));
+  net.SetApp(1, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{}));
+  FaultPlan plan;
+  plan.CutLinks(0, {0}, {1}).HealLinks(100000, {0}, {1});
+  net.ApplyFaultPlan(plan);
+  net.Start();
+  net.sim().Run();
+  // The first send is suppressed, the post-heal send arrives.
+  EXPECT_EQ(CountReceived(log, 1), 1u);
+  EXPECT_EQ(net.stats().links_cut, 1u);
+}
+
+TEST(LinkFaultTest, CorruptionFlipsPayloadBytes) {
+  std::vector<std::pair<NodeId, std::vector<uint8_t>>> log;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{10}));
+  net.SetApp(1, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{}));
+  LinkFaultRule rule;
+  rule.kind = LinkFaultRule::Kind::kCorrupt;
+  rule.rate = 1.0;
+  net.AddLinkFault(rule);
+  net.Start();
+  net.sim().Run();
+  ASSERT_EQ(CountReceived(log, 1), 1u);
+  const std::vector<uint8_t> sent = {0x11, 0x22, 0x33, 0x44};
+  EXPECT_NE(log[0].second, sent);  // Delivered, but damaged.
+  EXPECT_EQ(log[0].second.size(), sent.size());
+  EXPECT_EQ(net.stats().corrupted_delivered, 1u);
+}
+
+TEST(LinkFaultTest, DuplicationDeliversTwice) {
+  std::vector<std::pair<NodeId, std::vector<uint8_t>>> log;
+  Network net(Topology::Line(2), LinkModel{}, 1);
+  net.SetApp(0, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{10}));
+  net.SetApp(1, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{}));
+  LinkFaultRule rule;
+  rule.kind = LinkFaultRule::Kind::kDuplicate;
+  rule.rate = 1.0;
+  net.AddLinkFault(rule);
+  net.Start();
+  net.sim().Run();
+  EXPECT_EQ(CountReceived(log, 1), 2u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(LinkFaultTest, NoFaultRulesMeansNoExtraRngDraws) {
+  // Two identical runs, one with a never-matching rule installed and then
+  // healed before Start: the delivery schedule must stay bit-identical
+  // (fault checks draw no RNG when the rule list is empty).
+  auto run = [](bool install_and_heal) {
+    std::vector<std::pair<NodeId, std::vector<uint8_t>>> log;
+    LinkModel link;
+    link.loss_rate = 0.2;
+    link.retries = 2;
+    Network net(Topology::Line(2), link, 99);
+    net.SetApp(0, std::make_unique<ProbeApp>(
+                      &log, std::vector<SimTime>{10, 20, 30, 40}));
+    net.SetApp(1, std::make_unique<ProbeApp>(&log, std::vector<SimTime>{}));
+    if (install_and_heal) {
+      LinkFaultRule rule;
+      rule.kind = LinkFaultRule::Kind::kCut;
+      rule.src = {1};
+      rule.dst = {0};
+      net.AddLinkFault(rule);
+      net.HealLinks({1}, {0});
+    }
+    net.Start();
+    net.sim().Run();
+    return log;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+constexpr char kJoinScenario[] = R"(# deduce chaos scenario v1
+seed 11
+grid 4
+loss 0
+retries 0
+reliable 1
+repair 0
+anti_entropy_period 0
+checksum 0
+rto_jitter 0.1
+storage row
+[program]
+.decl r/3 input.
+.decl s/3 input.
+t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+[events]
+50000 0 + r(1, 0, 1).
+60000 5 + s(1, 5, 2).
+300000 2 + r(2, 2, 3).
+320000 10 + s(2, 10, 4).
+350000 6 + r(1, 6, 5).
+380000 15 + s(1, 15, 6).
+[faults]
+[end]
+)";
+
+std::vector<std::string> SortedResults(const Database& db) {
+  std::vector<std::string> out;
+  for (SymbolId pred : db.Predicates()) {
+    for (const Fact& f : db.Relation(pred)) out.push_back(f.ToString());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ScenarioTest, PartitionThenHealConvergesToFaultFreeResults) {
+  auto fault_free = Scenario::FromText(kJoinScenario);
+  ASSERT_TRUE(fault_free.ok()) << fault_free.status().ToString();
+
+  Scenario partitioned = *fault_free;
+  // Split the 4x4 grid down the middle in both directions mid-run, heal
+  // before the end; the reliable transport must finish the job.
+  std::vector<NodeId> left = {0, 1, 4, 5, 8, 9, 12, 13};
+  std::vector<NodeId> right = {2, 3, 6, 7, 10, 11, 14, 15};
+  partitioned.faults.CutLinks(250000, left, right)
+      .CutLinks(250000, right, left)
+      .HealLinks(600000, left, right)
+      .HealLinks(600000, right, left);
+
+  auto base = RunScenario(*fault_free);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  auto chaos = RunScenario(partitioned);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+
+  EXPECT_TRUE(base->report.ok()) << base->report.ToString();
+  EXPECT_TRUE(chaos->report.ok()) << chaos->report.ToString();
+  EXPECT_GE(chaos->net.links_cut, 1u);
+  // Same final result set as the fault-free run: nothing lost, nothing
+  // invented.
+  EXPECT_EQ(SortedResults(chaos->results), SortedResults(base->results));
+}
+
+TEST(ScenarioTest, TextRoundTripIsIdentity) {
+  ChaosProfile profile;
+  Scenario sampled = SampleScenario(5, profile);
+  std::string text = sampled.ToText();
+  auto parsed = Scenario::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToText(), text);
+}
+
+TEST(ScenarioTest, SamplingIsDeterministicPerSeed) {
+  ChaosProfile profile;
+  EXPECT_EQ(SampleScenario(9, profile).ToText(),
+            SampleScenario(9, profile).ToText());
+  EXPECT_NE(SampleScenario(9, profile).ToText(),
+            SampleScenario(10, profile).ToText());
+}
+
+TEST(ScenarioTest, RunIsDeterministic) {
+  auto scenario = Scenario::FromText(kJoinScenario);
+  ASSERT_TRUE(scenario.ok());
+  auto a = RunScenario(*scenario);
+  auto b = RunScenario(*scenario);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Summary(), b->Summary());
+}
+
+TEST(InvariantTest, CleanRunPassesAllChecks) {
+  auto scenario = Scenario::FromText(kJoinScenario);
+  ASSERT_TRUE(scenario.ok());
+  auto run = RunScenario(*scenario);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->report.ok()) << run->report.ToString();
+  EXPECT_TRUE(run->report.soundness_checked);
+  EXPECT_TRUE(run->report.dedup_checked);
+}
+
+TEST(InvariantTest, PhantomResultIsFlagged) {
+  // An empty oracle makes every derived result a phantom: the soundness
+  // check must flag each one.
+  auto program = ParseProgram(R"(
+    .decl r/3 input.
+    .decl s/3 input.
+    t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+  )");
+  ASSERT_TRUE(program.ok());
+  Network net(Topology::Grid(3), LinkModel{}, 1);
+  EngineOptions options;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  ASSERT_TRUE(engine.ok());
+  (void)(*engine)->Inject(0, StreamOp::kInsert,
+                          Fact(Intern("r"), {Term::Int(1), Term::Int(0),
+                                             Term::Int(1)}));
+  (void)(*engine)->Inject(4, StreamOp::kInsert,
+                          Fact(Intern("s"), {Term::Int(1), Term::Int(4),
+                                             Term::Int(2)}));
+  net.sim().Run();
+  ASSERT_FALSE((*engine)->ResultDatabase().Predicates().empty());
+
+  Database empty_oracle;
+  InvariantOptions inv;
+  inv.oracle = &empty_oracle;
+  InvariantReport report = CheckInvariants(**engine, inv);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.soundness_checked);
+  for (const std::string& v : report.violations) {
+    EXPECT_NE(v.find("phantom"), std::string::npos) << v;
+  }
+}
+
+TEST(ShrinkTest, RemovesIrrelevantEventsAndKeepsViolation) {
+  // The committed phantom reproducer, padded with injections and a fault
+  // clause that are irrelevant to the violation: shrinking must strip the
+  // padding and keep violating.
+  constexpr char kPadded[] = R"(# deduce chaos scenario v1
+seed 7
+grid 4
+loss 0
+retries 0
+reliable 1
+repair 0
+anti_entropy_period 0
+checksum 1
+rto_jitter 0.1
+storage row
+[program]
+.decl r/3 input.
+.decl s/3 input.
+t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+[events]
+100000 1 + r(9, 1, 90).
+200000 2 + s(8, 2, 91).
+1163587 5 + r(3, 5, 24).
+1239371 6 + s(3, 6, 25).
+1338172 0 + s(3, 0, 26).
+1538231 0 - s(3, 0, 26).
+2000000 3 + r(7, 3, 92).
+[faults]
+corrupt 669372 * -> * rate=0.3
+delay 100000 * -> * rate=0.1 extra=2000
+[end]
+)";
+  auto padded = Scenario::FromText(kPadded);
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  auto before = RunScenario(*padded);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->report.ok()) << "padded scenario must violate";
+
+  auto shrunk = ShrinkScenario(*padded);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_GT(shrunk->removed, 0);
+  EXPECT_GT(shrunk->runs, 0);
+  EXPECT_LT(shrunk->scenario.events.size(), padded->events.size());
+
+  // The minimal scenario still violates, and re-runs deterministically.
+  auto after = RunScenario(shrunk->scenario);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->report.ok());
+  auto again = RunScenario(shrunk->scenario);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(after->Summary(), again->Summary());
+}
+
+}  // namespace
+}  // namespace deduce

@@ -43,6 +43,22 @@
 //       (--trace-in), or runs the simulation in-process with provenance
 //       forced on (--events plus the usual simulate flags).
 //
+//   dlog chaos [--seed S] [--grid N] [--injections N] [--horizon US]
+//       [--loss P] [--no-reliable] [--repair] [--anti-entropy-period US]
+//       [--no-checksum] [--rto-jitter X] [--out scenario.txt] [--no-shrink]
+//       Adversarial fault injection: sample a random fault schedule
+//       (partitions, corruption, duplication, delay jitter, churn, reboot
+//       storms) and workload from --seed, run to quiescence and check the
+//       invariant suite against the fault-free oracle (docs/FAULTS.md).
+//       On a violation the schedule is delta-debugged down to a minimal
+//       reproducer (greedy event removal, re-running each candidate) and,
+//       with --out, saved as a replayable scenario file; exit code 3.
+//       Output is deterministic: two runs of one seed are byte-identical.
+//
+//   dlog replay <scenario.txt>
+//       Re-execute a saved chaos scenario bit-exactly and re-check the
+//       invariant suite; prints the same deterministic report every run.
+//
 // Events file: one event per line,
 //     <time_us> <node> + <fact>.
 //     <time_us> <node> - <fact>.
@@ -63,6 +79,7 @@
 #include "deduce/datalog/parser.h"
 #include "deduce/engine/engine.h"
 #include "deduce/engine/provenance.h"
+#include "deduce/engine/scenario.h"
 #include "deduce/eval/magic.h"
 #include "deduce/eval/seminaive.h"
 
@@ -607,6 +624,50 @@ int CmdExplain(const std::string& path, const std::string& fact_text,
   return 0;
 }
 
+int CmdChaos(uint64_t seed, const ChaosProfile& profile, bool shrink,
+             const std::string& out_path) {
+  Scenario scenario = SampleScenario(seed, profile);
+  auto run = RunScenario(scenario);
+  if (!run.ok()) return Fail(run.status());
+  std::printf("chaos seed=%llu grid=%d injections=%zu fault_events=%zu\n",
+              static_cast<unsigned long long>(seed), scenario.grid,
+              scenario.events.size(), scenario.faults.events.size());
+  std::printf("%s", run->Summary().c_str());
+  if (run->report.ok()) {
+    if (!out_path.empty()) {
+      Status st = scenario.Save(out_path);
+      if (!st.ok()) return Fail(st);
+      std::fprintf(stderr, "%% scenario saved to %s\n", out_path.c_str());
+    }
+    return 0;
+  }
+  Scenario minimal = scenario;
+  if (shrink) {
+    auto shrunk = ShrinkScenario(scenario);
+    if (!shrunk.ok()) return Fail(shrunk.status());
+    minimal = std::move(shrunk->scenario);
+    std::printf("shrink: runs=%d removed=%d injections=%zu fault_events=%zu\n",
+                shrunk->runs, shrunk->removed, minimal.events.size(),
+                minimal.faults.events.size());
+  }
+  if (!out_path.empty()) {
+    Status st = minimal.Save(out_path);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "%% minimal reproducer saved to %s\n",
+                 out_path.c_str());
+  }
+  return 3;
+}
+
+int CmdReplay(const std::string& path) {
+  auto scenario = Scenario::Load(path);
+  if (!scenario.ok()) return Fail(scenario.status());
+  auto run = RunScenario(*scenario);
+  if (!run.ok()) return Fail(run.status());
+  std::printf("%s", run->Summary().c_str());
+  return run->report.ok() ? 0 : 3;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -622,7 +683,12 @@ int Usage() {
                "  dlog stats <trace.jsonl> [--latency]\n"
                "  dlog explain <program.dlog> --fact 'pred(args)'\n"
                "       (--trace-in trace.jsonl | --events <file> [sim "
-               "flags])\n");
+               "flags])\n"
+               "  dlog chaos [--seed S] [--grid N] [--injections N]\n"
+               "       [--horizon US] [--loss P] [--no-reliable] [--repair]\n"
+               "       [--anti-entropy-period US] [--no-checksum]\n"
+               "       [--rto-jitter X] [--out scenario.txt] [--no-shrink]\n"
+               "  dlog replay <scenario.txt>\n");
   return 64;
 }
 
@@ -680,9 +746,77 @@ bool ParseDoubleFlag(const char* flag, const char* v, double min, double max,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 2) return Usage();
   std::string cmd = argv[1];
+
+  if (cmd == "chaos") {
+    ChaosProfile profile;
+    uint64_t seed = 1;
+    bool shrink = true;
+    std::string out_path;
+    long grid = profile.grid;
+    long injections = profile.events;
+    long horizon = profile.horizon;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (arg == "--seed") {
+        if (!ParseU64Flag("--seed", next(), &seed)) return Usage();
+      } else if (arg == "--grid") {
+        if (!ParseIntFlag("--grid", next(), 2, 64, &grid)) return Usage();
+      } else if (arg == "--injections") {
+        if (!ParseIntFlag("--injections", next(), 1, 100'000, &injections)) {
+          return Usage();
+        }
+      } else if (arg == "--horizon") {
+        if (!ParseIntFlag("--horizon", next(), 1000, 3'600'000'000L,
+                          &horizon)) {
+          return Usage();
+        }
+      } else if (arg == "--loss") {
+        if (!ParseDoubleFlag("--loss", next(), 0.0, 1.0, &profile.loss)) {
+          return Usage();
+        }
+      } else if (arg == "--no-reliable") {
+        profile.reliable = false;
+      } else if (arg == "--repair") {
+        profile.repair = true;
+      } else if (arg == "--anti-entropy-period") {
+        long period = 0;
+        if (!ParseIntFlag("--anti-entropy-period", next(), 1,
+                          3'600'000'000L, &period)) {
+          return Usage();
+        }
+        profile.anti_entropy_period = period;
+      } else if (arg == "--no-checksum") {
+        profile.checksum = false;
+      } else if (arg == "--rto-jitter") {
+        if (!ParseDoubleFlag("--rto-jitter", next(), 0.0, 1.0,
+                             &profile.rto_jitter)) {
+          return Usage();
+        }
+      } else if (arg == "--out") {
+        const char* v = next();
+        if (!v) return Usage();
+        out_path = v;
+      } else if (arg == "--no-shrink") {
+        shrink = false;
+      } else {
+        return Usage();
+      }
+    }
+    profile.grid = static_cast<int>(grid);
+    profile.events = static_cast<int>(injections);
+    profile.horizon = horizon;
+    return CmdChaos(seed, profile, shrink, out_path);
+  }
+
+  if (argc < 3) return Usage();
   std::string path = argv[2];
+
+  if (cmd == "replay") return CmdReplay(path);
 
   std::string query, events, storage, trace, trace_out, metrics_out;
   std::string fact_text, trace_in;
