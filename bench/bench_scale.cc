@@ -1,0 +1,241 @@
+// Scale wall: the two-stream join swept from 10k to ~100k nodes while the
+// row-replicated live window holds on the order of a million stored
+// replicas. This is the bench that motivated the arena/interning fact
+// storage, the struct-of-arrays tuple buckets, batched frame delivery and
+// the grid-bucketed spatial index: before those, the 100k point either
+// thrashed (a heap allocation per replica) or never finished (O(n) scans
+// per spatial lookup).
+//
+// Two outputs per run:
+//   BENCH_bench_scale.json       deterministic counters + registry snapshot
+//                                (byte-identical across --threads; gated by
+//                                `bench_compare.py baseline check`)
+//   BENCH_bench_scale.perf.json  wall time per point and process peak RSS
+//                                (machine-dependent; gated with tolerances
+//                                by `bench_compare.py perf check`)
+//
+// Flags: --threads N   parallel sweep points (report order is fixed)
+//        --grids a,b   grid sides to sweep (default 100,178,316)
+//        --window N    target live-window replicas per point (default 1M)
+//        --smoke       CI profile: one 10k-node point, 200k-replica window
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "deduce/common/parallel.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+constexpr char kProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024ull;
+}
+
+/// Like UniformJoinWorkload but sized by total tuple count, not per-node
+/// count: at 100k nodes the live window (tuples x sqrt(n) row replicas)
+/// is the budgeted quantity, so the sweep injects window/m tuples per
+/// point rather than a per-node constant.
+std::vector<WorkItem> ScaleWorkload(int nodes, int total, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkItem> out;
+  std::vector<std::pair<NodeId, Fact>> alive;
+  SimTime t = 10'000;
+  int key_range = std::max(2, total / 2);
+  for (int i = 0; i < total; ++i, t += 40'000) {
+    if (!alive.empty() && rng.Bernoulli(0.2)) {
+      size_t k = static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(alive.size()) - 1));
+      out.push_back({t, alive[k].first, StreamOp::kDelete, alive[k].second});
+      alive.erase(alive.begin() + static_cast<long>(k));
+      continue;
+    }
+    NodeId node = static_cast<NodeId>(rng.Uniform(0, nodes - 1));
+    Fact f(Intern(rng.Bernoulli(0.5) ? "r" : "s"),
+           {Term::Int(rng.Uniform(0, key_range - 1)), Term::Int(node),
+            Term::Int(i)});
+    out.push_back({t, node, StreamOp::kInsert, f});
+    alive.emplace_back(node, f);
+  }
+  return out;
+}
+
+struct PointResult {
+  CollectedRun run;
+  uint64_t frames_coalesced = 0;
+  double wall_s = 0;
+};
+
+/// One sweep point: hand-rolled (vs CollectDistributed) so batched frame
+/// delivery is switched on and the point's wall time is captured. Safe on
+/// worker threads; only the reduce step touches the BenchReport.
+PointResult RunPoint(int m, const std::vector<WorkItem>& work) {
+  PointResult out;
+  auto start = std::chrono::steady_clock::now();
+  Network net(Topology::Grid(m), LinkModel{}, /*seed=*/1);
+  net.EnableBatchedDelivery(true);
+  EngineOptions options;
+  options.planner.default_storage = StoragePolicy::kRow;
+  if (BenchReport::Get().enabled()) options.metrics = &out.run.registry;
+  Program program = MustParse(kProgram);
+  auto engine = DistributedEngine::Create(&net, program, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::abort();
+  }
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    Status st = (*engine)->Inject(item.node, item.op, item.fact);
+    if (!st.ok()) std::fprintf(stderr, "inject: %s\n", st.ToString().c_str());
+  }
+  net.sim().Run();
+  out.run.metrics = CollectRunMetrics(net, (*engine).get(), options.metrics);
+  out.run.metrics.result_count = (*engine)->ResultFacts(Intern("t")).size();
+  out.run.reportable = options.metrics != nullptr;
+  out.frames_coalesced = net.stats().frames_coalesced;
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+/// Per-phase traffic rollup from the registry ("traffic" component,
+/// msgs_<phase>/bytes_<phase> per node), printed after each point so the
+/// sweep shows where the bytes go as n grows.
+void PrintPhaseTraffic(const MetricsRegistry& registry) {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> phases;
+  for (const auto& [key, entry] : registry.entries()) {
+    const std::string& component = std::get<1>(key);
+    const std::string& name = std::get<2>(key);
+    if (component != "traffic") continue;
+    if (name.rfind("msgs_", 0) == 0) {
+      phases[name.substr(5)].first += entry.counter;
+    } else if (name.rfind("bytes_", 0) == 0) {
+      phases[name.substr(6)].second += entry.counter;
+    }
+  }
+  for (const auto& [phase, traffic] : phases) {
+    std::printf("    phase %-8s %12llu msgs %14llu bytes\n", phase.c_str(),
+                static_cast<unsigned long long>(traffic.first),
+                static_cast<unsigned long long>(traffic.second));
+  }
+}
+
+std::vector<int> ParseGrids(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    int m = std::atoi(csv.substr(pos, comma - pos).c_str());
+    if (m < 2 || m > 1000) {
+      std::fprintf(stderr, "bad --grids entry: %s\n", csv.c_str());
+      std::exit(64);
+    }
+    out.push_back(m);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
+  std::vector<int> grids = {100, 178, 316};
+  int window = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      grids = {100};
+      window = 200'000;
+    } else if (arg == "--grids" && i + 1 < argc) {
+      grids = ParseGrids(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      window = std::atoi(argv[++i]);
+      if (window < 100) {
+        std::fprintf(stderr, "bad --window value\n");
+        return 64;
+      }
+    }
+  }
+
+  std::printf("# scale sweep: two-stream join (PA row storage), batched "
+              "delivery on\n");
+  std::printf("# live window target: %d replicas per point\n\n", window);
+
+  struct Point {
+    int m;
+    int tuples;
+    std::vector<WorkItem> work;
+  };
+  std::vector<Point> points;
+  for (int m : grids) {
+    int nodes = m * m;
+    int tuples = std::max(64, window / m);
+    points.push_back({m, tuples, ScaleWorkload(nodes, tuples, 9000 + m)});
+  }
+
+  TablePrinter table({"grid", "nodes", "tuples", "messages", "bytes",
+                      "coalesced", "replicas", "results", "wall_s"});
+  std::vector<double> walls(points.size(), 0);
+  RunTrials(
+      points.size(), threads,
+      [&](size_t i) { return RunPoint(points[i].m, points[i].work); },
+      [&](size_t i, PointResult r) {
+        const Point& p = points[i];
+        ReportCollected(r.run);
+        walls[i] = r.wall_s;
+        const RunMetrics& m = r.run.metrics;
+        table.Row({std::to_string(p.m) + "x" + std::to_string(p.m),
+                   U64(static_cast<uint64_t>(p.m) * p.m),
+                   U64(static_cast<uint64_t>(p.tuples)),
+                   U64(m.total_messages), U64(m.total_bytes),
+                   U64(r.frames_coalesced), U64(m.total_replicas),
+                   U64(m.result_count), Dbl(r.wall_s, 2)});
+        PrintPhaseTraffic(r.run.registry);
+      });
+
+  uint64_t peak = PeakRssBytes();
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(peak) / (1024.0 * 1024.0));
+
+  // Machine-dependent sidecar: wall time per point + process peak RSS.
+  // Separate file so BENCH_bench_scale.json stays byte-identical across
+  // --threads (the parallelism gate byte-compares it).
+  std::ofstream perf("BENCH_bench_scale.perf.json");
+  if (perf) {
+    perf << "{\"bench\":\"bench_scale\",\"peak_rss_bytes\":" << peak
+         << ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"label\":\"%d\",\"nodes\":%d,\"tuples\":%d,"
+                    "\"wall_time_s\":%.3f}",
+                    i == 0 ? "" : ",", points[i].m,
+                    points[i].m * points[i].m, points[i].tuples, walls[i]);
+      perf << buf;
+    }
+    perf << "]}\n";
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 // edges — 2-3 tuples per degree, a single j tuple per node in steady state.
 
 #include "bench_util.h"
+#include "deduce/datalog/arena.h"
 
 using namespace deduce;
 using namespace deduce::bench;
@@ -119,6 +120,37 @@ int main(int argc, char** argv) {
     std::printf(
         "\n# logicJ footprint check (§V): replicas/node ~= 2 x degree (the\n"
         "# g edges, both directions within 1 hop) + j/j1 home tuples.\n");
+  }
+
+  // Fact-storage footprint: the same tuple population built through each
+  // FactArena mode. kHeap is the pre-arena behaviour (one allocation per
+  // rep); kArena packs reps into bump chunks; kIntern additionally dedups,
+  // so replicated row storage (sqrt(n) copies per tuple) pays one rep per
+  // distinct fact. The workload replays each fact 4x to model replication.
+  std::printf("\n# fact storage: 50k distinct facts, stored 4x each\n\n");
+  TablePrinter arena_table(
+      {"mode", "reps", "bytes", "bytes/fact", "intern_hits"});
+  constexpr int kFacts = 50'000;
+  constexpr int kCopies = 4;
+  const char* names[] = {"heap", "arena", "intern"};
+  const FactArena::Mode modes[] = {FactArena::Mode::kHeap,
+                                   FactArena::Mode::kArena,
+                                   FactArena::Mode::kIntern};
+  for (int mode = 0; mode < 3; ++mode) {
+    FactArena arena(modes[mode]);
+    std::vector<Fact> live;
+    live.reserve(static_cast<size_t>(kFacts) * kCopies);
+    for (int copy = 0; copy < kCopies; ++copy) {
+      for (int i = 0; i < kFacts; ++i) {
+        live.push_back(arena.MakeFact(
+            Intern("r"), {Term::Int(i % 997), Term::Int(i % 64),
+                          Term::Int(i)}));
+      }
+    }
+    FactArena::Stats st = arena.stats();
+    arena_table.Row(
+        {names[mode], U64(st.facts), U64(st.bytes),
+         Dbl(static_cast<double>(st.bytes) / kFacts), U64(st.hits)});
   }
   return 0;
 }

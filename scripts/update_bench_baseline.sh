@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Regenerates the committed bench/baseline.json entries after an
+# intentional behaviour change (counters are exact-diffed in CI, so any
+# legitimate change to message counts, replica totals or the scale bench's
+# footprint must come with a refreshed baseline in the same commit).
+#
+# Usage: scripts/update_bench_baseline.sh [build-dir]
+#
+# Runs the bench-smoke set from the given build directory (default:
+# build/) and rewrites baseline entries in place. Review the diff before
+# committing: an unexplained counter change is a bug, not a baseline
+# update.
+set -euo pipefail
+
+BUILD="${1:-build}"
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+COMPARE="$REPO/tools/bench_compare.py"
+BASELINE="$REPO/bench/baseline.json"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found; build the repo first" >&2
+  exit 1
+fi
+
+run_bench() {
+  local name="$1"
+  shift
+  local start end wall
+  echo "== $name $*"
+  start=$(date +%s.%N)
+  (cd "$BUILD/bench" && "./$name" "$@" > /dev/null)
+  end=$(date +%s.%N)
+  wall=$(python3 -c "print(f'{$end - $start:.3f}')")
+  echo "   wall: ${wall}s"
+  LAST_WALL="$wall"
+}
+
+# Deterministic-counter baselines (exact diff in CI). --threads 1 matches
+# the CI serial run the baseline is checked against.
+run_bench bench_loss_robustness --threads 1
+python3 "$COMPARE" baseline update --bench bench_loss_robustness \
+  --report "$BUILD/bench/BENCH_bench_loss_robustness.json" \
+  --wall "$LAST_WALL" --baseline "$BASELINE"
+
+# Scale smoke point: counters + the machine-dependent perf sidecar
+# (peak RSS, per-point wall time; gated with tolerances).
+run_bench bench_scale --smoke --threads 1
+python3 "$COMPARE" baseline update --bench bench_scale_smoke \
+  --report "$BUILD/bench/BENCH_bench_scale.json" \
+  --wall "$LAST_WALL" --baseline "$BASELINE"
+python3 "$COMPARE" perf update --bench bench_scale_smoke \
+  --perf "$BUILD/bench/BENCH_bench_scale.perf.json" \
+  --baseline "$BASELINE"
+
+echo "baseline rewritten: $BASELINE"
+echo "review 'git diff bench/baseline.json' before committing."

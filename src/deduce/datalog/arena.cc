@@ -1,0 +1,157 @@
+#include "deduce/datalog/arena.h"
+
+#include <new>
+
+#include "deduce/common/hash.h"
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+/// Bump storage for FactReps. The chunk is the shared_ptr control-block
+/// owner; facts alias into it, so a chunk stays alive (and its reps stay
+/// constructed) until the last fact referencing it is gone.
+struct FactArena::Chunk {
+  static constexpr size_t kCapacity = 256;
+
+  alignas(detail::FactRep) unsigned char
+      storage[kCapacity * sizeof(detail::FactRep)];
+  size_t used = 0;
+
+  detail::FactRep* At(size_t i) {
+    return reinterpret_cast<detail::FactRep*>(storage) + i;
+  }
+
+  ~Chunk() {
+    for (size_t i = 0; i < used; ++i) At(i)->~FactRep();
+  }
+};
+
+struct FactArena::Shard {
+  mutable std::mutex mu;
+  /// hash -> reps with that hash (almost always one entry).
+  std::unordered_map<size_t,
+                     std::vector<std::shared_ptr<const detail::FactRep>>>
+      table;
+  std::shared_ptr<Chunk> chunk;
+  uint64_t facts = 0;
+  uint64_t hits = 0;
+  uint64_t bytes = 0;
+  uint64_t chunks = 0;
+};
+
+FactArena::FactArena(Mode mode)
+    : mode_(mode), shards_(new Shard[kShards]) {}
+
+FactArena::~FactArena() = default;
+
+FactArena& FactArena::Global() {
+  static FactArena* arena = new FactArena(Mode::kIntern);
+  return *arena;
+}
+
+std::shared_ptr<const detail::FactRep> FactArena::Allocate(
+    Shard* shard, SymbolId predicate, std::vector<Term> args, size_t hash) {
+  ++shard->facts;
+  shard->bytes += sizeof(detail::FactRep) + args.capacity() * sizeof(Term);
+  if (mode_ == Mode::kHeap) {
+    auto rep = std::make_shared<detail::FactRep>();
+    rep->predicate = predicate;
+    rep->hash = hash;
+    rep->args = std::move(args);
+    // make_shared: control block rides along with the rep.
+    shard->bytes += 2 * sizeof(void*);
+    return rep;
+  }
+  if (shard->chunk == nullptr || shard->chunk->used == Chunk::kCapacity) {
+    shard->chunk = std::make_shared<Chunk>();
+    ++shard->chunks;
+    shard->bytes += sizeof(Chunk) + 2 * sizeof(void*) -
+                    Chunk::kCapacity * sizeof(detail::FactRep);
+  }
+  detail::FactRep* rep = new (shard->chunk->At(shard->chunk->used))
+      detail::FactRep{predicate, hash, std::move(args)};
+  ++shard->chunk->used;
+  return std::shared_ptr<const detail::FactRep>(shard->chunk, rep);
+}
+
+Fact FactArena::MakeFact(SymbolId predicate, std::vector<Term> args) {
+  for (const Term& t : args) {
+    DEDUCE_CHECK(t.is_ground())
+        << "Fact argument must be ground: " << t.ToString();
+  }
+  size_t hash = HashCombine(Mix64(static_cast<uint64_t>(predicate)),
+                            HashTerms(args));
+  Shard& shard = shards_[hash % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (mode_ == Mode::kIntern) {
+    auto& candidates = shard.table[hash];
+    for (const auto& rep : candidates) {
+      if (rep->predicate != predicate || rep->args.size() != args.size()) {
+        continue;
+      }
+      bool equal = true;
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (!(rep->args[i] == args[i])) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        ++shard.hits;
+        return Fact(rep);
+      }
+    }
+    auto rep = Allocate(&shard, predicate, std::move(args), hash);
+    candidates.push_back(rep);
+    return Fact(std::move(rep));
+  }
+  return Fact(Allocate(&shard, predicate, std::move(args), hash));
+}
+
+Fact FactArena::Canonical(const Fact& fact) {
+  if (mode_ != Mode::kIntern) return fact;
+  size_t hash = fact.Hash();
+  Shard& shard = shards_[hash % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& candidates = shard.table[hash];
+  for (const auto& rep : candidates) {
+    if (rep == fact.rep_) {
+      ++shard.hits;
+      return fact;  // Already canonical here.
+    }
+    Fact candidate(rep);
+    if (candidate == fact) {
+      ++shard.hits;
+      return candidate;
+    }
+  }
+  // Adopt the existing rep as this arena's canonical one: no copy, and the
+  // foreign rep's chunk stays alive exactly as long as it is referenced.
+  candidates.push_back(fact.rep_);
+  ++shard.facts;
+  shard.bytes +=
+      sizeof(detail::FactRep) + fact.args().capacity() * sizeof(Term);
+  return fact;
+}
+
+void FactArena::Reset() {
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].table.clear();
+    shards_[i].chunk.reset();
+  }
+}
+
+FactArena::Stats FactArena::stats() const {
+  Stats out;
+  for (size_t i = 0; i < kShards; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    out.facts += shards_[i].facts;
+    out.hits += shards_[i].hits;
+    out.bytes += shards_[i].bytes;
+    out.chunks += shards_[i].chunks;
+  }
+  return out;
+}
+
+}  // namespace deduce

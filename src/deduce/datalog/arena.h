@@ -1,0 +1,83 @@
+#ifndef DEDUCE_DATALOG_ARENA_H_
+#define DEDUCE_DATALOG_ARENA_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "deduce/datalog/fact.h"
+
+namespace deduce {
+
+/// Arena allocator + interner for fact representations.
+///
+/// Facts are the dominant per-object allocation at scale: every stored
+/// replica, wire decode and derived result used to carry its own
+/// (predicate, args-vector, hash) copy. The arena packs FactReps into bump
+/// chunks and dedups by content, so constructing an already-seen fact costs
+/// one hash lookup and copying a fact costs one refcount.
+///
+/// Lifetime: a Fact holds a shared_ptr aliased onto its chunk, so Reset()
+/// only drops the arena's own references — chunks with live facts outlive
+/// the reset (ASan-verified in tests/term_test.cc), chunks without are
+/// freed. Reset() forgets the intern table, so it is the right call between
+/// independent workloads (bench sweep points, trial boundaries).
+///
+/// Thread safety: fully thread-safe; the table is sharded by fact hash so
+/// parallel trial threads rarely contend. Interning affects only object
+/// identity, never observable values, so parallel runs stay deterministic.
+class FactArena {
+ public:
+  enum class Mode {
+    kIntern,  ///< Chunked storage, content-deduplicated (the default).
+    kArena,   ///< Chunked storage, no dedup.
+    kHeap,    ///< One heap allocation per rep (the pre-arena behaviour).
+  };
+
+  explicit FactArena(Mode mode = Mode::kIntern);
+  ~FactArena();
+
+  FactArena(const FactArena&) = delete;
+  FactArena& operator=(const FactArena&) = delete;
+
+  /// The process-global arena Fact's constructor interns through.
+  static FactArena& Global();
+
+  /// Builds (or finds) the fact (predicate, args). Arguments must be ground.
+  Fact MakeFact(SymbolId predicate, std::vector<Term> args);
+
+  /// Re-interns a fact constructed elsewhere (another arena, a kHeap arena)
+  /// so that store-resident copies share one rep. O(1) identity-return when
+  /// `fact` is already this arena's canonical rep.
+  Fact Canonical(const Fact& fact);
+
+  /// Drops the intern table and the arena's chunk references. Live facts
+  /// keep their chunks alive; everything unreferenced is freed.
+  void Reset();
+
+  struct Stats {
+    uint64_t facts = 0;      ///< Reps allocated (post-dedup).
+    uint64_t hits = 0;       ///< Constructions answered by the intern table.
+    uint64_t bytes = 0;      ///< Approx. resident bytes (reps + args + chunks).
+    uint64_t chunks = 0;     ///< Chunks allocated.
+  };
+  Stats stats() const;
+
+ private:
+  struct Chunk;
+  struct Shard;
+  static constexpr size_t kShards = 16;
+
+  std::shared_ptr<const detail::FactRep> Allocate(Shard* shard,
+                                                  SymbolId predicate,
+                                                  std::vector<Term> args,
+                                                  size_t hash);
+
+  Mode mode_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_DATALOG_ARENA_H_

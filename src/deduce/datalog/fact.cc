@@ -5,6 +5,7 @@
 #include "deduce/common/hash.h"
 #include "deduce/common/logging.h"
 #include "deduce/common/strings.h"
+#include "deduce/datalog/arena.h"
 
 namespace deduce {
 
@@ -34,25 +35,42 @@ uint64_t TraceIdFor(const TupleId& id) {
   return x == 0 ? 1 : x;
 }
 
-Fact::Fact(SymbolId predicate, std::vector<Term> args)
-    : predicate_(predicate), args_(std::move(args)) {
-  for (const Term& t : args_) {
-    DEDUCE_CHECK(t.is_ground()) << "Fact argument must be ground: "
-                                << t.ToString();
-  }
-  hash_ = HashCombine(Mix64(static_cast<uint64_t>(predicate_)),
-                      HashTerms(args_));
+namespace {
+
+/// Backing rep of default-constructed facts: predicate 0, no args, hash 0
+/// (matching the pre-arena default exactly).
+const std::shared_ptr<const detail::FactRep>& EmptyFactRep() {
+  static const std::shared_ptr<const detail::FactRep>* rep =
+      new std::shared_ptr<const detail::FactRep>(
+          std::make_shared<detail::FactRep>());
+  return *rep;
 }
 
+}  // namespace
+
+Fact::Fact() : rep_(EmptyFactRep()) {}
+
+Fact::Fact(SymbolId predicate, std::vector<Term> args)
+    : rep_(FactArena::Global().MakeFact(predicate, std::move(args)).rep_) {}
+
 std::string Fact::ToString() const {
-  std::string out = SymbolName(predicate_);
+  std::string out = SymbolName(rep_->predicate);
   out += "(";
-  for (size_t i = 0; i < args_.size(); ++i) {
+  for (size_t i = 0; i < rep_->args.size(); ++i) {
     if (i > 0) out += ", ";
-    out += args_[i].ToString();
+    out += rep_->args[i].ToString();
   }
   out += ")";
   return out;
+}
+
+uint64_t Fact::StableHash() const {
+  uint64_t cached = rep_->stable_hash.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
+  uint64_t h = Fnv1a(ToString());
+  if (h == 0) h = 1;
+  rep_->stable_hash.store(h, std::memory_order_relaxed);
+  return h;
 }
 
 std::string StreamEvent::ToString() const {

@@ -1,13 +1,17 @@
 #ifndef DEDUCE_DATALOG_FACT_H_
 #define DEDUCE_DATALOG_FACT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "deduce/datalog/term.h"
 
 namespace deduce {
+
+class FactArena;
 
 /// Logical time in microseconds. The simulator's SimTime and node-local
 /// clocks use the same unit.
@@ -49,25 +53,46 @@ struct TupleId {
 /// counter. 0 is never returned (it is the "no trace id" sentinel).
 uint64_t TraceIdFor(const TupleId& id);
 
-/// A ground atom: predicate applied to ground terms. Value type with a
-/// cached hash; equality is structural on (predicate, args).
+namespace detail {
+
+/// Shared immutable representation of a ground atom. Reps live either in a
+/// FactArena chunk (arena-allocated, interned) or on the heap (loose facts);
+/// a Fact is one shared_ptr to a rep either way.
+struct FactRep {
+  SymbolId predicate = 0;
+  size_t hash = 0;
+  std::vector<Term> args;
+  /// Memoized GeoHash::StableFactHash (0 = not yet computed). Interning
+  /// makes this pay: the per-tuple home lookup used to re-stringify the
+  /// fact on every hop; now each distinct fact is stringified once.
+  mutable std::atomic<uint64_t> stable_hash{0};
+};
+
+}  // namespace detail
+
+/// A ground atom: predicate applied to ground terms. Cheap to copy (one
+/// shared pointer; no per-copy allocation): facts constructed through the
+/// global FactArena are interned, so equal facts usually share one
+/// representation and equality is a pointer compare. Equality is structural
+/// on (predicate, args) either way.
 class Fact {
  public:
-  Fact() : predicate_(0), hash_(0) {}
+  Fact();
   Fact(SymbolId predicate, std::vector<Term> args);
 
-  SymbolId predicate() const { return predicate_; }
-  const std::vector<Term>& args() const { return args_; }
-  size_t arity() const { return args_.size(); }
-  size_t Hash() const { return hash_; }
+  SymbolId predicate() const { return rep_->predicate; }
+  const std::vector<Term>& args() const { return rep_->args; }
+  size_t arity() const { return rep_->args.size(); }
+  size_t Hash() const { return rep_->hash; }
 
   bool operator==(const Fact& o) const {
-    if (hash_ != o.hash_ || predicate_ != o.predicate_ ||
-        args_.size() != o.args_.size()) {
+    if (rep_ == o.rep_) return true;
+    if (rep_->hash != o.rep_->hash || rep_->predicate != o.rep_->predicate ||
+        rep_->args.size() != o.rep_->args.size()) {
       return false;
     }
-    for (size_t i = 0; i < args_.size(); ++i) {
-      if (!(args_[i] == o.args_[i])) return false;
+    for (size_t i = 0; i < rep_->args.size(); ++i) {
+      if (!(rep_->args[i] == o.rep_->args[i])) return false;
     }
     return true;
   }
@@ -76,10 +101,21 @@ class Fact {
   /// "pred(a, b, c)".
   std::string ToString() const;
 
+  /// Deterministic content hash, stable across processes (derived from the
+  /// printed form, not interning order); memoized on the shared rep. Never
+  /// returns 0.
+  uint64_t StableHash() const;
+
+  /// Observer of the shared representation's lifetime (tests): expires when
+  /// the arena chunk (or heap rep) backing this fact is destroyed.
+  std::weak_ptr<const void> weak_rep() const { return rep_; }
+
  private:
-  SymbolId predicate_;
-  std::vector<Term> args_;
-  size_t hash_;
+  friend class FactArena;
+  explicit Fact(std::shared_ptr<const detail::FactRep> rep)
+      : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const detail::FactRep> rep_;
 };
 
 struct FactHash {

@@ -1,6 +1,8 @@
 #include "deduce/datalog/term.h"
 
+#include <mutex>
 #include <ostream>
+#include <unordered_map>
 
 #include "deduce/common/hash.h"
 #include "deduce/common/logging.h"
@@ -11,6 +13,35 @@ namespace {
 
 constexpr const char kConsName[] = "[|]";
 constexpr const char kNilName[] = "[]";
+
+// ---------------------------------------------------------------------
+// Constant / variable interning
+//
+// Every wire decode and workload generator used to allocate a fresh Rep per
+// constant; at 100k nodes that is millions of identical small objects.
+// Ground constants and variables intern through a sharded global table
+// instead: repeated construction returns the shared rep. Interning affects
+// only object identity (equality is structural regardless), so it is
+// transparent to evaluation and to transcript determinism. The table is
+// capacity-capped per shard — once full, constants fall back to fresh
+// allocation rather than growing without bound.
+// ---------------------------------------------------------------------
+
+constexpr int64_t kSmallIntMin = -256;
+constexpr int64_t kSmallIntMax = 4096;
+constexpr size_t kTermShards = 16;
+constexpr size_t kTermShardCap = 1 << 16;
+
+struct TermShard {
+  std::mutex mu;
+  std::unordered_map<size_t, std::vector<Term>> constants;
+  std::unordered_map<SymbolId, Term> variables;
+};
+
+TermShard& ShardFor(size_t hash) {
+  static TermShard* shards = new TermShard[kTermShards];
+  return shards[hash % kTermShards];
+}
 
 }  // namespace
 
@@ -25,23 +56,58 @@ SymbolId Term::NilSymbol() {
 }
 
 Term Term::FromValue(Value v) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kConstant;
-  rep->value = v;
-  rep->ground = true;
-  rep->hash = HashCombine(1, v.Hash());
-  return Term(std::move(rep));
+  auto fresh = [](const Value& val) {
+    auto rep = std::make_shared<Rep>();
+    rep->kind = Kind::kConstant;
+    rep->value = val;
+    rep->ground = true;
+    rep->hash = HashCombine(1, val.Hash());
+    return Term(std::move(rep));
+  };
+  // Lock-free fast path for the small integers that dominate workloads
+  // (keys, node ids, sequence numbers).
+  if (v.is_int() && v.as_int() >= kSmallIntMin && v.as_int() <= kSmallIntMax) {
+    static const std::vector<Term>* small = [&fresh] {
+      auto* out = new std::vector<Term>;
+      out->reserve(static_cast<size_t>(kSmallIntMax - kSmallIntMin + 1));
+      for (int64_t i = kSmallIntMin; i <= kSmallIntMax; ++i) {
+        out->push_back(fresh(Value::Int(i)));
+      }
+      return out;
+    }();
+    return (*small)[static_cast<size_t>(v.as_int() - kSmallIntMin)];
+  }
+  size_t vh = v.Hash();
+  TermShard& shard = ShardFor(vh);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.constants.find(vh);
+  if (it != shard.constants.end()) {
+    for (const Term& t : it->second) {
+      if (t.value() == v) return t;
+    }
+  } else if (shard.constants.size() < kTermShardCap) {
+    it = shard.constants.emplace(vh, std::vector<Term>()).first;
+  }
+  Term out = fresh(v);
+  if (it != shard.constants.end()) it->second.push_back(out);
+  return out;
 }
 
 Term Term::Var(std::string_view name) { return VarFromId(Intern(name)); }
 
 Term Term::VarFromId(SymbolId id) {
+  TermShard& shard = ShardFor(Mix64(static_cast<uint64_t>(id)));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.variables.find(id);
+  if (it != shard.variables.end()) return it->second;
   auto rep = std::make_shared<Rep>();
   rep->kind = Kind::kVariable;
   rep->sym = id;
   rep->ground = false;
   rep->hash = HashCombine(2, Mix64(static_cast<uint64_t>(id)));
-  return Term(std::move(rep));
+  Term out(std::move(rep));
+  shard.variables.emplace(id, out);
+  return out;
 }
 
 Term Term::Function(SymbolId functor, std::vector<Term> args) {

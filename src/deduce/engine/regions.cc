@@ -42,6 +42,13 @@ RegionMapper::RegionMapper(const Topology* topology) : topology_(topology) {
     });
     for (NodeId node : band) band_of_[static_cast<size_t>(node)] = static_cast<int>(b);
   }
+  band_xs_.resize(bands_.size());
+  for (size_t b = 0; b < bands_.size(); ++b) {
+    band_xs_[b].reserve(bands_[b].size());
+    for (NodeId node : bands_[b]) {
+      band_xs_[b].push_back(topology_->location(node).x);
+    }
+  }
 
   // Centroid.
   double cx = 0, cy = 0;
@@ -60,15 +67,31 @@ std::vector<NodeId> RegionMapper::VerticalPath(NodeId n) const {
   double x = topology_->location(n).x;
   std::vector<NodeId> out;
   out.reserve(bands_.size());
-  for (const auto& band : bands_) {
+  for (size_t b = 0; b < bands_.size(); ++b) {
+    const auto& band = bands_[b];
     if (band.empty()) continue;
-    NodeId best = band[0];
-    double best_d = std::fabs(topology_->location(best).x - x);
-    for (NodeId v : band) {
-      double d = std::fabs(topology_->location(v).x - x);
-      if (d < best_d - 1e-12) {
-        best_d = d;
-        best = v;
+    const auto& xs = band_xs_[b];
+    // Bands are sorted by (x, id), so the nearest-x member sits next to the
+    // insertion point. Equal-x runs keep the run's first (lowest-id) member,
+    // and near-ties keep the left one unless the right is closer by more
+    // than the tolerance — exactly the band scan this replaces.
+    size_t p = static_cast<size_t>(
+        std::lower_bound(xs.begin(), xs.end(), x) - xs.begin());
+    NodeId best;
+    if (p == 0) {
+      best = band[0];
+    } else {
+      // First index of the run containing p-1 (its lowest id).
+      size_t l = static_cast<size_t>(
+          std::lower_bound(xs.begin(), xs.begin() + static_cast<long>(p),
+                           xs[p - 1]) -
+          xs.begin());
+      if (p == xs.size()) {
+        best = band[l];
+      } else {
+        double dl = std::fabs(xs[l] - x);
+        double dr = std::fabs(xs[p] - x);
+        best = (dr < dl - 1e-12) ? band[p] : band[l];
       }
     }
     out.push_back(best);

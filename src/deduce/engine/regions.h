@@ -52,6 +52,9 @@ class RegionMapper {
  private:
   const Topology* topology_;
   std::vector<std::vector<NodeId>> bands_;  ///< Each sorted by x, then id.
+  /// band_xs_[b][i] == location(bands_[b][i]).x: contiguous per-band x
+  /// arrays so VerticalPath binary-searches instead of scanning each band.
+  std::vector<std::vector<double>> band_xs_;
   std::vector<int> band_of_;
   NodeId centroid_;
 };

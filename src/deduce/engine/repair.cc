@@ -21,13 +21,25 @@ uint64_t Mix64(uint64_t x) {
 
 /// Order-independent replica fingerprint: mixed so that XOR over a set is
 /// sensitive to every TupleId field and to the insert/deletion-mark state.
+/// Under the retraction protocol tombstones are additionally numbered by
+/// their deletion timestamp (`del_ts`, 0 when absent or when
+/// `number_tombstones` is off): two replicas that both carry a mark but
+/// disagree on its generation then hash apart, so anti-entropy converges
+/// the marks instead of treating the stores as already equal. Gated on the
+/// engine-level flag — both ends of an exchange share it, so digests stay
+/// comparable without a wire-format change.
 uint64_t ReplicaFingerprint(const TupleId& id, bool have_insert,
-                            bool has_del) {
+                            bool has_del, Timestamp del_ts,
+                            bool number_tombstones) {
   uint64_t h = Mix64(static_cast<uint64_t>(static_cast<uint32_t>(id.source)));
   h = Mix64(h ^ static_cast<uint64_t>(id.timestamp));
   h = Mix64(h ^ id.seq);
   uint64_t flags = (have_insert ? 1u : 0u) | (has_del ? 2u : 0u);
-  return Mix64(h ^ flags);
+  uint64_t out = Mix64(h ^ flags);
+  if (number_tombstones && has_del) {
+    out = Mix64(out ^ static_cast<uint64_t>(del_ts));
+  }
+  return out;
 }
 
 }  // namespace
@@ -86,8 +98,9 @@ std::vector<PredDigest> RepairManager::ComputeDigests(NodeId other,
       if (!SharedReplica(pred, id.source, rt_->id_, other)) continue;
       if (rep.have_insert && !WithinLifetime(pred, rep.gen_ts, now)) continue;
       ++d.count;
-      d.fingerprint ^=
-          ReplicaFingerprint(id, rep.have_insert, rep.del_ts.has_value());
+      d.fingerprint ^= ReplicaFingerprint(
+          id, rep.have_insert, rep.del_ts.has_value(),
+          rep.del_ts.value_or(0), rt_->retraction_on());
     }
     if (d.count > 0) out.push_back(d);
   }

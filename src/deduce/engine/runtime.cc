@@ -41,6 +41,9 @@ void EngineStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "engine", "skipped_sweep_nodes", skipped_sweep_nodes);
   registry->Add(-1, "engine", "skipped_store_nodes", skipped_store_nodes);
   registry->Add(-1, "engine", "repaired_messages", repaired_messages);
+  registry->Add(-1, "engine", "retraction_requeues", retraction_requeues);
+  registry->Add(-1, "engine", "retraction_obligations",
+                retraction_obligations);
   registry->Add(-1, "engine", "repair_digest_rounds", repair_digest_rounds);
   registry->Add(-1, "engine", "repair_digest_replies", repair_digest_replies);
   registry->Add(-1, "engine", "repair_replicas_pulled",
@@ -366,7 +369,7 @@ SimTime NodeRuntime::RtoFor(NodeId dest, size_t envelope_bytes) const {
 }
 
 void NodeRuntime::SendReliable(NodeContext* ctx, NodeId dest,
-                               const Message& inner) {
+                               const Message& inner, int retraction_rounds) {
   ReliableWire rw;
   rw.final_target = dest;
   rw.origin = id_;
@@ -381,6 +384,10 @@ void NodeRuntime::SendReliable(NodeContext* ctx, NodeId dest,
   pm.inner_payload = inner.payload;
   pm.retries_left = shared_->transport.max_retries;
   pm.rto = RtoFor(dest, pm.envelope.WireSize());
+  pm.retraction_rounds =
+      retraction_rounds >= 0
+          ? retraction_rounds
+          : (retraction_on() ? shared_->transport.retraction_rounds : 0);
   uint64_t key = PendingKey(dest, pm.seq);
   pending_.emplace(key, std::move(pm));
   TransmitPending(ctx, key);
@@ -469,6 +476,83 @@ void NodeRuntime::GiveUp(NodeContext* ctx, uint64_t key) {
   ++shared_->stats.gave_up_messages;
   MarkDown(pm.dest);
   TryRepair(ctx, pm);
+  // Path repair salvages the *rest* of a walk or sweep, never the failed
+  // destination itself. For a deletion that destination matters: a replica
+  // that keeps an unmarked tuple (or a home that keeps an unremoved
+  // derivation) serves phantom results forever. Keep retrying those
+  // point-to-point on a slow bounded-rounds backoff — if the node is merely
+  // lossy or briefly partitioned the mark eventually lands; if it is truly
+  // dead its state died with it and the budget caps the traffic.
+  if (retraction_on() && pm.retraction_rounds > 0) {
+    std::optional<Message> inner = RetractionPayload(pm);
+    if (inner.has_value()) {
+      ++shared_->stats.retraction_requeues;
+      QueueRetractionRetry(ctx, pm.dest, std::move(*inner),
+                           pm.retraction_rounds - 1);
+    }
+  }
+}
+
+std::optional<Message> NodeRuntime::RetractionPayload(
+    const PendingMsg& pm) const {
+  Message inner;
+  inner.type = pm.inner_type;
+  inner.payload = pm.inner_payload;
+  switch (pm.inner_type) {
+    case kStoreMsg: {
+      StatusOr<StoreWire> store = StoreWire::Decode(inner);
+      if (!store.ok() || !store->deletion) return std::nullopt;
+      // TryRepair already continued the walk behind the failed node; only
+      // its own copy of the deletion mark is still owed.
+      StoreWire direct = std::move(*store);
+      direct.final_target = pm.dest;
+      direct.path_remaining.clear();
+      return direct.Encode();
+    }
+    case kJoinPassMsg: {
+      StatusOr<JoinPassWire> jp = JoinPassWire::Decode(inner);
+      if (!jp.ok() || !jp->removal) return std::nullopt;
+      if (jp->delta_index >= shared_->plan.deltas.size()) return std::nullopt;
+      // A lost removal pass strands every derivation its join step at the
+      // failed node would have retracted. RepairJoinPass re-routes sweeps
+      // *around* that node (and cannot re-route centroid/local routes at
+      // all), so the failed node's own step is what is still owed.
+      JoinPassWire direct = std::move(*jp);
+      direct.final_target = pm.dest;
+      const DeltaPlan& delta = shared_->plan.deltas[direct.delta_index];
+      if (delta.strategy == JoinStrategy::kColumnSweep ||
+          delta.strategy == JoinStrategy::kSerpentine) {
+        direct.path_remaining.clear();  // tail already salvaged by repair
+      }
+      return direct.Encode();
+    }
+    case kResultMsg: {
+      StatusOr<ResultWire> rw = ResultWire::Decode(inner);
+      if (!rw.ok() || !rw->removal) return std::nullopt;
+      return inner;
+    }
+    case kAggMsg: {
+      StatusOr<AggWire> aw = AggWire::Decode(inner);
+      if (!aw.ok() || !aw->removal) return std::nullopt;
+      return inner;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+void NodeRuntime::QueueRetractionRetry(NodeContext* ctx, NodeId dest,
+                                       Message inner, int rounds_left) {
+  // Linear backoff on rounds consumed: round k waits 2k worst-case round
+  // trips before the fresh send, spacing the retries out far enough for a
+  // transient partition or interference burst to clear.
+  int used = shared_->transport.retraction_rounds - rounds_left;
+  if (used < 1) used = 1;
+  SimTime delay = RtoFor(dest, inner.WireSize() + 32) *
+                  static_cast<SimTime>(2 * used);
+  NewTimer(ctx, delay, [this, ctx, dest, inner, rounds_left]() {
+    SendReliable(ctx, dest, inner, rounds_left);
+  });
 }
 
 void NodeRuntime::TryRepair(NodeContext* ctx, const PendingMsg& pm) {
@@ -1002,12 +1086,19 @@ void NodeRuntime::ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
 }
 
 std::vector<NodeId> NodeRuntime::SweepPath(const DeltaPlan& delta,
-                                           NodeId source,
-                                           uint32_t pass_index) const {
-  std::vector<NodeId> path =
-      delta.strategy == JoinStrategy::kSerpentine
-          ? shared_->regions->SerpentinePath()
-          : shared_->regions->VerticalPath(source);
+                                           NodeId source, uint32_t pass_index,
+                                           bool removal) const {
+  // Retraction protocol: removal passes sweep the whole serpentine even for
+  // column-sweep deltas. A column sweep touches one node per band, and if
+  // that node rebooted away its replicas the deletion's removal join comes
+  // up empty and the derived result is stranded; the full sweep finds any
+  // surviving band replica. Removals are idempotent, so the duplicate
+  // emissions from multi-replica bands are absorbed at the homes.
+  bool serpentine = delta.strategy == JoinStrategy::kSerpentine ||
+                    (removal && retraction_on());
+  std::vector<NodeId> path = serpentine
+                                 ? shared_->regions->SerpentinePath()
+                                 : shared_->regions->VerticalPath(source);
   if (pass_index % 2 == 1) std::reverse(path.begin(), path.end());
   return path;
 }
@@ -1053,8 +1144,9 @@ std::vector<NodeId> NodeRuntime::RepairVisitList(
 
 std::vector<NodeId> NodeRuntime::LiveSweepPath(const DeltaPlan& delta,
                                                NodeId source,
-                                               uint32_t pass_index) const {
-  std::vector<NodeId> path = SweepPath(delta, source, pass_index);
+                                               uint32_t pass_index,
+                                               bool removal) const {
+  std::vector<NodeId> path = SweepPath(delta, source, pass_index, removal);
   if (!transport_on()) return path;
   return RepairVisitList(delta, path);
 }
@@ -1080,7 +1172,7 @@ void NodeRuntime::AdvancePass(NodeContext* ctx, JoinPassWire jp,
     // must process again under the new pass semantics, so it stays in.
     jp.pass_index += 1;
     std::vector<NodeId> path =
-        LiveSweepPath(delta, jp.update_id.source, jp.pass_index);
+        LiveSweepPath(delta, jp.update_id.source, jp.pass_index, jp.removal);
     AdvancePass(ctx, std::move(jp), std::move(path));
     return;
   }
@@ -1099,6 +1191,19 @@ bool NodeRuntime::SendStoreWalk(NodeContext* ctx, StoreWire store,
     for (NodeId v : visit) {
       if (v != id_ && shared_->liveness.IsDown(v)) {
         ++shared_->stats.skipped_store_nodes;
+        // A skipped *insert* is recoverable — the rest of the band holds
+        // the tuple and anti-entropy can refill the gap. A skipped
+        // *deletion mark* is not: if the suspicion was false (pure loss),
+        // the node keeps serving the tuple as alive. Owe it the mark
+        // directly on the retraction-retry schedule.
+        if (retraction_on() && store.deletion) {
+          ++shared_->stats.retraction_obligations;
+          StoreWire direct = store;
+          direct.final_target = v;
+          direct.path_remaining.clear();
+          QueueRetractionRetry(ctx, v, direct.Encode(),
+                               shared_->transport.retraction_rounds - 1);
+        }
         continue;
       }
       live.push_back(v);
@@ -1181,7 +1286,8 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
       }
       case JoinStrategy::kColumnSweep:
       case JoinStrategy::kSerpentine: {
-        AdvancePass(ctx, std::move(jp), LiveSweepPath(delta, id.source, 0));
+        AdvancePass(ctx, std::move(jp),
+                    LiveSweepPath(delta, id.source, 0, removal));
         break;
       }
       case JoinStrategy::kLocalRoute: {
@@ -1646,6 +1752,13 @@ void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
   d.support = rw.support;
 
   if (!rw.removal) {
+    if (retraction_on() && !d.support.empty() && e.anti.count(d) != 0) {
+      // A removal for this exact support set already landed. Support tuple
+      // ids are never reused, so the derivation can never legitimately come
+      // back — this insert is a retransmission-delayed straggler that would
+      // otherwise revive a retracted result.
+      return;
+    }
     if (!e.derivs.insert(d).second) return;  // duplicate derivation
     ++shared_->stats.derivations_added;
     if (provenance_on()) {
@@ -1676,6 +1789,7 @@ void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
                FinalizeGeneration(ctx, pred, fact, epoch);
              });
   } else {
+    if (retraction_on() && !d.support.empty()) e.anti.insert(d);
     if (e.derivs.erase(d) == 0) return;
     ++shared_->stats.derivations_removed;
     if (!e.derivs.empty()) return;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -65,6 +66,14 @@ struct EngineStats {
   /// Zero unless the network corrupts traffic; a malformed frame is
   /// counted and discarded, never a fault (see EngineOptions::checksum).
   uint64_t decode_errors = 0;
+  /// Deletion-critical give-ups (deletion-mark stores, removal results /
+  /// aggregates) requeued as point-to-point retries by the retraction
+  /// protocol (TransportOptions::retraction).
+  uint64_t retraction_requeues = 0;
+  /// Direct tombstone sends queued for storage-walk nodes that were
+  /// skipped while suspected down (a skipped insert is re-derivable from
+  /// the rest of the band; a skipped deletion mark is not).
+  uint64_t retraction_obligations = 0;
 
   // --- state-repair counters (EngineOptions::repair; repair.h). All zero
   //     when both repair modes are off. ---
@@ -121,6 +130,19 @@ struct TransportOptions {
   /// the historical fixed schedule (and existing baselines) bit-exact;
   /// the chaos harness runs with 0.1.
   double rto_jitter = 0.0;
+  /// Retraction protocol (docs/FAULTS.md): deletion-critical messages
+  /// (deletion-mark stores, removal results/aggregates) that exhaust the
+  /// retry budget are requeued point-to-point on a backoff timer instead
+  /// of being dropped — a lost deletion otherwise leaves a phantom result
+  /// standing forever (tests/scenarios/phantom-after-lost-delete). Also
+  /// queues direct tombstone sends for storage-walk nodes skipped while
+  /// suspected down, and numbers tombstones by deletion timestamp in the
+  /// anti-entropy digests. Off by default: requires `reliable`.
+  bool retraction = false;
+  /// Requeue rounds per deletion-critical message; each round is a full
+  /// fresh reliable send (1 + max_retries attempts), so quiescence stays
+  /// guaranteed even toward a permanently dead destination.
+  int retraction_rounds = 8;
 };
 
 /// Suspected-failure view shared by all node runtimes of one engine.
@@ -277,6 +299,15 @@ class NodeRuntime : public NodeApp {
     /// Invalidates stale finalization timers.
     uint64_t epoch = 0;
     std::set<Derivation> derivs;
+    /// Retraction protocol only (TransportOptions::retraction): permanent
+    /// tombstones for retracted derivations. A removal result can beat its
+    /// matching insert result to the home (the insert spent longer in
+    /// retransmission), and serpentine removal sweeps emit per surviving
+    /// band replica, so insert/removal counts for one derivation need not
+    /// balance. Support tuple ids are never reused, which makes "once
+    /// removed, dead forever" sound for join derivations; aggregate results
+    /// (empty support) legitimately oscillate and are exempt.
+    std::set<Derivation> anti;
   };
 
   /// In-memory partial result (wire form: PartialWire).
@@ -295,6 +326,9 @@ class NodeRuntime : public NodeApp {
     std::vector<uint8_t> inner_payload;  ///< For path repair on give-up.
     int retries_left = 0;
     SimTime rto = 0;                     ///< Next timeout (backed off).
+    /// Retraction-protocol requeue rounds left on give-up (0 when the
+    /// protocol is off or the message is not deletion-critical).
+    int retraction_rounds = 0;
   };
 
   // --- message handlers ---
@@ -314,14 +348,31 @@ class NodeRuntime : public NodeApp {
   bool ForwardEngineMessage(NodeContext* ctx, NodeId final_target,
                             Message msg);
   /// Wraps `inner` in a ReliableWire envelope and transmits it, arming the
-  /// retransmission timer.
-  void SendReliable(NodeContext* ctx, NodeId dest, const Message& inner);
+  /// retransmission timer. `retraction_rounds` carries the requeue budget
+  /// of a retraction-protocol retry; -1 = fresh send (budget from options).
+  void SendReliable(NodeContext* ctx, NodeId dest, const Message& inner,
+                    int retraction_rounds = -1);
   void TransmitPending(NodeContext* ctx, uint64_t key);
   void HandleReliable(NodeContext* ctx, const ReliableWire& rw);
   void HandleAck(const AckWire& ack);
   /// Retry budget exhausted: suspect the destination and try path repair.
   void GiveUp(NodeContext* ctx, uint64_t key);
   void TryRepair(NodeContext* ctx, const PendingMsg& pm);
+
+  // --- retraction protocol (TransportOptions::retraction) ---
+  bool retraction_on() const {
+    return shared_->transport.reliable && shared_->transport.retraction;
+  }
+  /// The point-to-point message to requeue for a deletion-critical
+  /// give-up: the deletion-mark store (walk remainder stripped — path
+  /// repair already salvaged it) or the removal result/aggregate, aimed
+  /// at `pm.dest`. nullopt when `pm` is not deletion-critical.
+  std::optional<Message> RetractionPayload(const PendingMsg& pm) const;
+  /// Re-sends `inner` reliably to `dest` after a backoff proportional to
+  /// the rounds already consumed; `rounds_left` rides in the new
+  /// PendingMsg so the budget decreases monotonically.
+  void QueueRetractionRetry(NodeContext* ctx, NodeId dest, Message inner,
+                            int rounds_left);
   void RepairJoinPass(NodeContext* ctx, JoinPassWire jp);
   /// Auto RTO for a message of `envelope_bytes` to `dest` (worst-case
   /// round trip plus slack; never fires spuriously on a loss-free run).
@@ -337,7 +388,7 @@ class NodeRuntime : public NodeApp {
   /// by an alive same-band node (column sweep); identity when the
   /// transport is off.
   std::vector<NodeId> LiveSweepPath(const DeltaPlan& delta, NodeId source,
-                                    uint32_t pass_index) const;
+                                    uint32_t pass_index, bool removal) const;
   std::vector<NodeId> RepairVisitList(const DeltaPlan& delta,
                                       const std::vector<NodeId>& path) const;
   /// Alive node in `dead`'s horizontal band nearest to it (row replication
@@ -412,7 +463,7 @@ class NodeRuntime : public NodeApp {
   /// fault, not an engine bug, so it never lands in EngineStats::errors.
   void DropFrame();
   std::vector<NodeId> SweepPath(const DeltaPlan& delta, NodeId source,
-                                uint32_t pass_index) const;
+                                uint32_t pass_index, bool removal) const;
   int NewTimer(NodeContext* ctx, SimTime delay, std::function<void()> fn);
   /// Visibility of a replica for a join at update time τ (§IV-B window
   /// predicate): generated in (τ - w, τ], not deleted before τ.

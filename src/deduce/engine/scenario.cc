@@ -204,6 +204,7 @@ std::string Scenario::ToText() const {
                    static_cast<long long>(anti_entropy_period));
   out += StrFormat("checksum %d\n", checksum ? 1 : 0);
   out += StrFormat("rto_jitter %g\n", rto_jitter);
+  out += StrFormat("retraction %d\n", retraction ? 1 : 0);
   out += "storage " + storage + "\n";
   out += "[program]\n";
   out += program;
@@ -283,6 +284,8 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
           s.checksum = value != "0";
         } else if (key == "rto_jitter") {
           s.rto_jitter = std::strtod(value.c_str(), nullptr);
+        } else if (key == "retraction") {
+          s.retraction = value != "0";
         } else if (key == "storage") {
           s.storage = value;
         } else {
@@ -356,13 +359,49 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
 
   ScenarioOutcome out;
 
-  // The fault-free oracle: the same injections through the centralized
-  // incremental engine.
+  // The distributed run under faults. It runs before the oracle so the
+  // oracle can be restricted to the injections that actually entered the
+  // system: an event aimed at a node that is down at injection time (a
+  // dead sensor observes nothing and retracts nothing), or a deletion
+  // whose tuple the node no longer knows (a reboot wiped it), never
+  // happened, and no delivery protocol can be charged with its effects.
+  EngineOptions options;
+  options.transport.reliable = scenario.reliable;
+  options.transport.rto_jitter = scenario.rto_jitter;
+  options.transport.retraction = scenario.retraction;
+  options.repair.enabled = scenario.repair;
+  options.repair.anti_entropy_period = scenario.anti_entropy_period;
+  options.checksum = scenario.checksum;
+  if (!StorageFromName(scenario.storage, &options.planner.default_storage)) {
+    return StatusOr<ScenarioOutcome>(
+        Status::InvalidArgument("unknown storage " + scenario.storage));
+  }
+  LinkModel link;
+  link.loss_rate = scenario.loss;
+  link.retries = scenario.retries;
+  Network net(Topology::Grid(scenario.grid), link, scenario.seed);
+  net.ApplyFaultPlan(scenario.faults);
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  if (!engine.ok()) return StatusOr<ScenarioOutcome>(engine.status());
+  std::vector<bool> happened(events.size(), false);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const ScenarioEvent& ev = events[i];
+    net.sim().RunUntil(ev.time);
+    if (ev.node >= 0 && ev.node < net.node_count() && net.IsFailed(ev.node)) {
+      continue;
+    }
+    happened[i] = (*engine)->Inject(ev.node, ev.op, ev.fact).ok();
+  }
+  net.sim().Run();
+
+  // The fault-free oracle: the surviving injections through the
+  // centralized incremental engine.
   {
     auto reference =
         IncrementalEngine::Create(*program, IncrementalOptions{});
     if (reference.ok()) {
       for (size_t i = 0; i < events.size(); ++i) {
+        if (!happened[i]) continue;
         StreamEvent ev;
         ev.op = events[i].op;
         ev.fact = events[i].fact;
@@ -390,7 +429,9 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
       }
       std::vector<Fact> inputs;
       inputs.reserve(events.size());
-      for (const ScenarioEvent& ev : events) inputs.push_back(ev.fact);
+      for (size_t i = 0; i < events.size(); ++i) {
+        if (happened[i]) inputs.push_back(events[i].fact);
+      }
       auto db = EvaluateProgram(*program, inputs);
       if (!db.ok()) return StatusOr<ScenarioOutcome>(db.status());
       for (const Rule& rule : program->rules()) {
@@ -400,30 +441,6 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
       }
     }
   }
-
-  // The distributed run under faults.
-  EngineOptions options;
-  options.transport.reliable = scenario.reliable;
-  options.transport.rto_jitter = scenario.rto_jitter;
-  options.repair.enabled = scenario.repair;
-  options.repair.anti_entropy_period = scenario.anti_entropy_period;
-  options.checksum = scenario.checksum;
-  if (!StorageFromName(scenario.storage, &options.planner.default_storage)) {
-    return StatusOr<ScenarioOutcome>(
-        Status::InvalidArgument("unknown storage " + scenario.storage));
-  }
-  LinkModel link;
-  link.loss_rate = scenario.loss;
-  link.retries = scenario.retries;
-  Network net(Topology::Grid(scenario.grid), link, scenario.seed);
-  net.ApplyFaultPlan(scenario.faults);
-  auto engine = DistributedEngine::Create(&net, *program, options);
-  if (!engine.ok()) return StatusOr<ScenarioOutcome>(engine.status());
-  for (const ScenarioEvent& ev : events) {
-    net.sim().RunUntil(ev.time);
-    (void)(*engine)->Inject(ev.node, ev.op, ev.fact);
-  }
-  net.sim().Run();
 
   out.results = (*engine)->ResultDatabase();
   out.net = net.stats();
@@ -518,6 +535,7 @@ Scenario SampleScenario(uint64_t seed, const ChaosProfile& profile) {
   s.anti_entropy_period = profile.anti_entropy_period;
   s.checksum = profile.checksum;
   s.rto_jitter = profile.rto_jitter;
+  s.retraction = profile.retraction;
   s.program = kChaosProgram;
 
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
@@ -636,11 +654,45 @@ StatusOr<bool> StillViolates(const Scenario& candidate) {
   return !run->report.ok();
 }
 
+/// True when `heal` could remove an installed rule: some kAddLinkFault
+/// event with identical src/dst sets fires no later than it (HealLinks
+/// matches rules by exact set equality).
+bool HealHasPartner(const std::vector<FaultEvent>& events,
+                    const FaultEvent& heal) {
+  for (const FaultEvent& ev : events) {
+    if (ev.kind != FaultEvent::Kind::kAddLinkFault) continue;
+    if (ev.time > heal.time) continue;
+    if (ev.rule.src == heal.rule.src && ev.rule.dst == heal.rule.dst) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Drops kHealLinks events with no earlier matching fault installation.
+/// Such a heal erases no rule and draws no randomness — a provable no-op,
+/// so no re-execution is needed to remove it. Without this sweep, greedy
+/// single-event removal can strand a heal after accepting the removal of
+/// its CutLinks partner, leaving a "minimal" reproducer with a fault line
+/// that does nothing.
+int DropOrphanedHeals(Scenario* s) {
+  std::vector<FaultEvent>& evs = s->faults.events;
+  int removed = 0;
+  for (size_t i = evs.size(); i-- > 0;) {
+    if (evs[i].kind != FaultEvent::Kind::kHealLinks) continue;
+    if (HealHasPartner(evs, evs[i])) continue;
+    evs.erase(evs.begin() + static_cast<long>(i));
+    ++removed;
+  }
+  return removed;
+}
+
 }  // namespace
 
 StatusOr<ShrinkResult> ShrinkScenario(const Scenario& scenario) {
   ShrinkResult out;
   out.scenario = scenario;
+  out.removed += DropOrphanedHeals(&out.scenario);
   bool progress = true;
   while (progress) {
     progress = false;
@@ -648,12 +700,15 @@ StatusOr<ShrinkResult> ShrinkScenario(const Scenario& scenario) {
       Scenario candidate = out.scenario;
       candidate.faults.events.erase(candidate.faults.events.begin() +
                                     static_cast<long>(i));
+      // Removing a fault installation can orphan its heal; fold the heal
+      // into the same candidate so the pair leaves together.
+      int orphaned = DropOrphanedHeals(&candidate);
       auto still = StillViolates(candidate);
       if (!still.ok()) return StatusOr<ShrinkResult>(still.status());
       ++out.runs;
       if (*still) {
         out.scenario = std::move(candidate);
-        ++out.removed;
+        out.removed += 1 + orphaned;
         progress = true;
       } else {
         ++i;

@@ -50,6 +50,10 @@ struct Scenario {
   SimTime anti_entropy_period = 0;
   bool checksum = false;    ///< Per-hop frame checksums.
   double rto_jitter = 0.0;  ///< TransportOptions::rto_jitter.
+  /// TransportOptions::retraction (deletion-critical requeue protocol).
+  /// Absent from pre-protocol scenario files; FromText defaults it off,
+  /// so committed reproducers keep replaying bit-exactly.
+  bool retraction = false;
   std::string storage = "row";  ///< row|broadcast|local|centroid.
   std::string program;          ///< Datalog source text.
   std::vector<ScenarioEvent> events;
@@ -98,6 +102,8 @@ struct ChaosProfile {
   SimTime anti_entropy_period = 0;
   bool checksum = true;
   double rto_jitter = 0.1;
+  /// Deletion-critical requeue protocol (`dlog chaos --retraction`).
+  bool retraction = false;
 };
 
 /// Samples a random two-stream-join workload plus an adversarial fault

@@ -4,11 +4,61 @@
 
 namespace deduce {
 
+namespace {
+constexpr uint32_t kNone = 0xffffffffu;
+}  // namespace
+
+uint32_t Database::Lookup(const Rel& rel, size_t hash,
+                          const Fact& fact) const {
+  if (rel.slots.empty()) return kNone;
+  size_t mask = rel.slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    uint32_t ordinal = rel.slots[i];
+    if (ordinal == kNone) return kNone;
+    if (rel.hashes[ordinal] == hash && rel.ordered[ordinal] == fact) {
+      return ordinal;
+    }
+  }
+}
+
+void Database::SlotInsert(Rel* rel, uint32_t ordinal) {
+  // Keep load factor under 3/4.
+  if ((rel->ordered.size() + 1) * 4 > rel->slots.size() * 3) {
+    size_t cap = std::max<size_t>(16, rel->slots.size() * 2);
+    rel->slots.assign(cap, kNone);
+    size_t mask = cap - 1;
+    for (uint32_t o = 0; o < rel->ordered.size(); ++o) {
+      size_t i = rel->hashes[o] & mask;
+      while (rel->slots[i] != kNone) i = (i + 1) & mask;
+      rel->slots[i] = o;
+    }
+  }
+  size_t mask = rel->slots.size() - 1;
+  size_t i = rel->hashes[ordinal] & mask;
+  while (rel->slots[i] != kNone) i = (i + 1) & mask;
+  rel->slots[i] = ordinal;
+}
+
+void Database::RebuildSlots(Rel* rel) {
+  if (rel->slots.empty()) return;
+  std::fill(rel->slots.begin(), rel->slots.end(), kNone);
+  size_t mask = rel->slots.size() - 1;
+  for (uint32_t o = 0; o < rel->ordered.size(); ++o) {
+    size_t i = rel->hashes[o] & mask;
+    while (rel->slots[i] != kNone) i = (i + 1) & mask;
+    rel->slots[i] = o;
+  }
+}
+
 bool Database::Insert(const Fact& fact) {
   Rel& rel = relations_[fact.predicate()];
-  if (!rel.set.insert(fact).second) return false;
+  size_t hash = fact.Hash();
+  if (Lookup(rel, hash, fact) != kNone) return false;
+  uint32_t ordinal = static_cast<uint32_t>(rel.ordered.size());
   rel.ordered.push_back(fact);
-  IndexInsert(&rel, fact, rel.ordered.size() - 1);
+  rel.hashes.push_back(hash);
+  SlotInsert(&rel, ordinal);
+  IndexInsert(&rel, fact, ordinal);
   ++size_;
   return true;
 }
@@ -17,25 +67,52 @@ bool Database::Erase(const Fact& fact) {
   auto it = relations_.find(fact.predicate());
   if (it == relations_.end()) return false;
   Rel& rel = it->second;
-  if (rel.set.erase(fact) == 0) return false;
-  auto pos = std::find(rel.ordered.begin(), rel.ordered.end(), fact);
-  rel.ordered.erase(pos);
+  uint32_t ordinal = Lookup(rel, fact.Hash(), fact);
+  if (ordinal == kNone) return false;
+  rel.ordered.erase(rel.ordered.begin() + ordinal);
+  rel.hashes.erase(rel.hashes.begin() + ordinal);
   // Ordinals after the erased fact shift; rebuilding lazily is simpler and
   // erase is rare on the hot paths (semi-naive only inserts).
+  RebuildSlots(&rel);
   rel.indexes.clear();
   ++rel.index_epoch;
   --size_;
   return true;
 }
 
-void Database::IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const {
-  for (auto& [position, buckets] : rel->indexes) {
-    if (position < fact.args().size()) {
-      size_t before = buckets.size();
-      buckets[fact.args()[position].Hash()].push_back(ordinal);
-      // A fresh bucket key can rehash the map and invalidate iterators held
-      // by an in-flight ScanBound that re-entered us.
-      if (buckets.size() != before) ++rel->index_epoch;
+void Database::BuildPosIndex(const Rel& rel, size_t position,
+                             Rel::PosIndex* pidx) const {
+  pidx->next.assign(rel.ordered.size(), kNone);
+  for (uint32_t o = 0; o < rel.ordered.size(); ++o) {
+    const Fact& f = rel.ordered[o];
+    if (position >= f.args().size()) continue;
+    Rel::Bucket& bucket = pidx->buckets[f.args()[position].Hash()];
+    if (bucket.first == kNone) {
+      bucket.first = o;
+    } else {
+      pidx->next[bucket.last] = o;
+    }
+    bucket.last = o;
+    ++bucket.len;
+  }
+}
+
+void Database::IndexInsert(Rel* rel, const Fact& fact,
+                           uint32_t ordinal) const {
+  for (auto& [position, pidx] : rel->indexes) {
+    pidx.next.resize(ordinal + 1, kNone);
+    if (position >= fact.args().size()) continue;
+    size_t value_hash = fact.args()[position].Hash();
+    auto [bit, fresh] =
+        pidx.buckets.try_emplace(value_hash, Rel::Bucket{ordinal, ordinal, 1});
+    if (!fresh) {
+      pidx.next[bit->second.last] = ordinal;
+      bit->second.last = ordinal;
+      ++bit->second.len;
+    } else {
+      // A fresh bucket key can rehash the bucket map under an in-flight
+      // ScanBound that re-entered us.
+      ++rel->index_epoch;
     }
   }
 }
@@ -49,42 +126,44 @@ void Database::ScanBound(
   auto iit = rel.indexes.find(position);
   if (iit == rel.indexes.end()) {
     // Build the index for this position on first use.
-    auto& buckets = rel.indexes[position];
+    Rel::PosIndex& pidx = rel.indexes[position];
     ++rel.index_epoch;  // new position key: outer-map iterators are stale
-    for (size_t i = 0; i < rel.ordered.size(); ++i) {
-      const Fact& f = rel.ordered[i];
-      if (position < f.args().size()) {
-        buckets[f.args()[position].Hash()].push_back(i);
-      }
-    }
+    BuildPosIndex(rel, position, &pidx);
     iit = rel.indexes.find(position);
   }
   const size_t value_hash = value.Hash();
-  auto bit = iit->second.find(value_hash);
-  if (bit == iit->second.end()) return;
+  auto bit = iit->second.buckets.find(value_hash);
+  if (bit == iit->second.buckets.end()) return;
   TupleId none;
-  // Same re-entrancy discipline as Scan: `fn` may insert into this
-  // relation, growing both `ordered` and this very bucket — and a brand-new
-  // hash bucket (or an Erase's index rebuild) rehashes the bucket map,
-  // invalidating `iit`/`bit`. Watch the epoch and re-find instead of
-  // dereferencing a possibly-dangling iterator; only the first `n` ordinals
-  // (the facts visible at scan start) are ever visited.
-  size_t n = bit->second.size();
+  // Same re-entrancy discipline as Scan: `fn` may insert into this relation,
+  // appending to this very chain — and a brand-new hash bucket (or an
+  // Erase's index rebuild) restructures the index maps. Watch the epoch and
+  // re-resolve the chain instead of walking stale links; only the first `n`
+  // entries (the facts visible at scan start) are ever visited.
+  size_t n = bit->second.len;
   uint64_t epoch = rel.index_epoch;
+  const Rel::PosIndex* pidx = &iit->second;
+  uint32_t first = bit->second.first;
+  uint32_t cur = kNone;
   for (size_t i = 0; i < n; ++i) {
     if (rel.index_epoch != epoch) {
       epoch = rel.index_epoch;
-      iit = rel.indexes.find(position);
-      if (iit == rel.indexes.end()) return;  // re-entrant Erase dropped it
-      bit = iit->second.find(value_hash);
-      if (bit == iit->second.end()) return;
+      auto rit = rel.indexes.find(position);
+      if (rit == rel.indexes.end()) return;  // re-entrant Erase dropped it
+      pidx = &rit->second;
+      auto rbit = pidx->buckets.find(value_hash);
+      if (rbit == pidx->buckets.end()) return;
       // An Erase-triggered rebuild shifts ordinals; anything beyond the
-      // rebuilt bucket is gone for this scan.
-      n = std::min(n, bit->second.size());
+      // rebuilt chain is gone for this scan. Resume at the i-th entry of
+      // the rebuilt chain.
+      n = std::min(n, static_cast<size_t>(rbit->second.len));
       if (i >= n) return;
+      cur = rbit->second.first;
+      for (size_t k = 0; k < i; ++k) cur = pidx->next[cur];
+    } else {
+      cur = (i == 0) ? first : pidx->next[cur];
     }
-    size_t ordinal = bit->second[i];
-    Fact f = rel.ordered[ordinal];
+    Fact f = rel.ordered[cur];
     // Hash collisions: confirm equality.
     if (position < f.args().size() && f.args()[position] == value) {
       fn(f, none);
@@ -94,7 +173,8 @@ void Database::ScanBound(
 
 bool Database::Contains(const Fact& fact) const {
   auto it = relations_.find(fact.predicate());
-  return it != relations_.end() && it->second.set.count(fact) > 0;
+  return it != relations_.end() &&
+         Lookup(it->second, fact.Hash(), fact) != kNone;
 }
 
 void Database::Scan(

@@ -84,22 +84,53 @@ class Database : public RelationReader {
   std::string ToString() const;
 
  private:
+  /// Struct-of-arrays relation storage. A fact appears once in `ordered`
+  /// (one shared-rep pointer); membership is an open-addressed table of
+  /// ordinals probed through the parallel `hashes` array (no second Fact
+  /// copy, no per-node allocation), and the lazy per-position indexes are
+  /// intrusive chains threaded through one `next` array per position
+  /// (no per-bucket vectors).
   struct Rel {
-    std::vector<Fact> ordered;             // insertion order, no tombstones
-    std::unordered_set<Fact, FactHash> set;
-    /// Lazy hash indexes: argument position -> value hash -> fact indexes
-    /// into `ordered` (maintained through erase by rebuild).
-    mutable std::unordered_map<size_t,
-                               std::unordered_map<size_t, std::vector<size_t>>>
-        indexes;
+    static constexpr uint32_t kNone = 0xffffffffu;
+
+    std::vector<Fact> ordered;    // insertion order, no tombstones
+    std::vector<size_t> hashes;   // hashes[i] == ordered[i].Hash()
+    /// Open-addressed membership table: power-of-two sized, linear probing,
+    /// values are ordinals into `ordered`, kNone = empty.
+    std::vector<uint32_t> slots;
+
+    /// One lazy hash index per bound argument position: value-hash ->
+    /// chain head/tail/length, chains threaded through `next` in ascending
+    /// ordinal (= insertion) order.
+    struct Bucket {
+      uint32_t first = kNone;
+      uint32_t last = kNone;
+      uint32_t len = 0;
+    };
+    struct PosIndex {
+      std::unordered_map<size_t, Bucket> buckets;
+      std::vector<uint32_t> next;  // per-ordinal chain successor
+    };
+    mutable std::unordered_map<size_t, PosIndex> indexes;
     /// Bumped whenever the structure of `indexes` changes in a way that can
-    /// invalidate iterators into it (new bucket key, new position index, or
-    /// the erase-path rebuild). ScanBound watches it so a re-entrant
-    /// Insert/Erase from the callback cannot leave it holding a dangling
-    /// iterator.
+    /// invalidate an in-flight ScanBound (new bucket key, new position
+    /// index, or the erase-path rebuild). ScanBound watches it so a
+    /// re-entrant Insert/Erase from the callback cannot leave it walking a
+    /// stale chain.
     mutable uint64_t index_epoch = 0;
   };
-  void IndexInsert(Rel* rel, const Fact& fact, size_t ordinal) const;
+  /// Ordinal of `fact` in `rel.ordered`, or Rel::kNone.
+  uint32_t Lookup(const Rel& rel, size_t hash, const Fact& fact) const;
+  /// Adds `ordinal` to the membership table, growing/rehashing as needed.
+  void SlotInsert(Rel* rel, uint32_t ordinal);
+  /// Rebuilds the membership table from scratch (after an erase shifted
+  /// ordinals).
+  void RebuildSlots(Rel* rel);
+  /// Fills a fresh per-position index over all current ordinals.
+  void BuildPosIndex(const Rel& rel, size_t position,
+                     Rel::PosIndex* pidx) const;
+  void IndexInsert(Rel* rel, const Fact& fact, uint32_t ordinal) const;
+
   std::unordered_map<SymbolId, Rel> relations_;
   size_t size_ = 0;
 };

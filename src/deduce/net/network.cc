@@ -53,6 +53,7 @@ void NetworkStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "net", "mac_ack_failures", mac_ack_failures);
   registry->Add(-1, "net", "nodes_failed", nodes_failed);
   registry->Add(-1, "net", "nodes_recovered", nodes_recovered);
+  registry->Add(-1, "net", "frames_coalesced", frames_coalesced);
   registry->Add(-1, "chaos", "links_cut", links_cut);
   registry->Add(-1, "chaos", "corrupted_delivered", corrupted_delivered);
   registry->Add(-1, "chaos", "duplicated", duplicated);
@@ -374,6 +375,14 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
     }
   }
   auto shared = std::make_shared<Message>(std::move(msg));
+  if (batched_delivery_) {
+    SimTime at = sim_.now() + delay;
+    ScheduleBatched(from, to, at, bytes, shared);
+    // A duplicated frame arrives a further hop-delay later — a different
+    // tick, so it lands in its own batch.
+    if (duplicate) ScheduleBatched(from, to, at + per_attempt, bytes, shared);
+    return true;
+  }
   auto deliver = [this, to, bytes, shared]() {
     if (failed_[static_cast<size_t>(to)]) return;
     auto& receiver = stats_.per_node[static_cast<size_t>(to)];
@@ -387,6 +396,32 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
   // behind other traffic and exercise receiver-side dedup.
   if (duplicate) sim_.ScheduleAfter(delay + per_attempt, deliver);
   return true;
+}
+
+void Network::ScheduleBatched(NodeId from, NodeId to, SimTime at,
+                              size_t bytes, std::shared_ptr<Message> msg) {
+  BatchKey key{at, from, to};
+  auto it = pending_batches_.find(key);
+  if (it != pending_batches_.end()) {
+    // An event for this edge+tick is already in the calendar queue; ride it.
+    it->second.push_back(PendingFrame{bytes, std::move(msg)});
+    ++stats_.frames_coalesced;
+    return;
+  }
+  pending_batches_.emplace(key,
+                           std::vector<PendingFrame>{{bytes, std::move(msg)}});
+  sim_.ScheduleAt(at, [this, key]() {
+    auto node = pending_batches_.extract(key);
+    if (node.empty()) return;
+    size_t dst = static_cast<size_t>(key.to);
+    for (const PendingFrame& f : node.mapped()) {
+      if (failed_[dst]) return;
+      auto& receiver = stats_.per_node[dst];
+      ++receiver.received_messages;
+      receiver.received_bytes += f.bytes;
+      apps_[dst]->OnMessage(contexts_[dst].get(), *f.msg);
+    }
+  });
 }
 
 }  // namespace deduce

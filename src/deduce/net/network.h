@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "deduce/common/hash.h"
 #include "deduce/common/rng.h"
 #include "deduce/net/simulator.h"
 #include "deduce/net/topology.h"
@@ -85,6 +86,9 @@ struct NetworkStats {
   uint64_t corrupted_delivered = 0;  ///< Payloads byte-flipped in flight.
   uint64_t duplicated = 0;           ///< Extra deliveries of one unicast.
   uint64_t reordered = 0;            ///< Deliveries given extra delay jitter.
+  /// Frames appended to an already-scheduled same-edge same-tick batch
+  /// (i.e. event-queue entries saved). Zero unless batched delivery is on.
+  uint64_t frames_coalesced = 0;
 
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
@@ -326,6 +330,18 @@ class Network {
     return link_faults_;
   }
 
+  /// Opt-in delivery batching for large-scale runs: frames crossing the same
+  /// directed edge that land on the same simulator tick are coalesced into
+  /// ONE scheduled event that hands them to the receiver back to back. Every
+  /// RNG draw (loss trials, chaos faults), every counter, and every trace
+  /// record stays per-frame at send time — only the number of calendar-queue
+  /// entries shrinks. Coalescing runs a batch at the queue position of its
+  /// FIRST frame, which can reorder deliveries relative to other events on
+  /// the same tick, so this is off by default: corpus scenario replays and
+  /// committed baselines stay byte-identical. bench_scale turns it on.
+  void EnableBatchedDelivery(bool on) { batched_delivery_ = on; }
+  bool batched_delivery() const { return batched_delivery_; }
+
  private:
   friend class NodeContext;
 
@@ -334,6 +350,31 @@ class Network {
   /// trial (a Bernoulli draw only for rules with rate < 1).
   const LinkFaultRule* MatchLinkFault(LinkFaultRule::Kind kind, NodeId from,
                                       NodeId to);
+
+  /// One directed edge at one delivery instant — the coalescing unit.
+  struct BatchKey {
+    SimTime time = 0;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    bool operator==(const BatchKey& o) const {
+      return time == o.time && from == o.from && to == o.to;
+    }
+  };
+  struct BatchKeyHash {
+    size_t operator()(const BatchKey& k) const {
+      size_t h = Mix64(static_cast<uint64_t>(k.time));
+      return HashCombine(
+          h, Mix64((static_cast<uint64_t>(static_cast<uint32_t>(k.from))
+                    << 32) |
+                   static_cast<uint32_t>(k.to)));
+    }
+  };
+  struct PendingFrame {
+    size_t bytes = 0;
+    std::shared_ptr<Message> msg;
+  };
+  void ScheduleBatched(NodeId from, NodeId to, SimTime at, size_t bytes,
+                       std::shared_ptr<Message> msg);
 
   Topology topology_;
   LinkModel link_;
@@ -348,6 +389,9 @@ class Network {
   NetworkStats stats_;
   std::vector<LinkFaultRule> link_faults_;
   std::vector<std::function<void(const TraceEvent&)>> traces_;
+  bool batched_delivery_ = false;
+  std::unordered_map<BatchKey, std::vector<PendingFrame>, BatchKeyHash>
+      pending_batches_;
 };
 
 }  // namespace deduce

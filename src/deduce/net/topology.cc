@@ -47,15 +47,61 @@ Topology Topology::RandomGeometric(int n, double width, double height,
   return t;
 }
 
+void Topology::BuildCells() {
+  size_t n = locations_.size();
+  cells_.clear();
+  cells_x_ = cells_y_ = 0;
+  if (n == 0) return;
+  double min_x = locations_[0].x, max_x = locations_[0].x;
+  double min_y = locations_[0].y, max_y = locations_[0].y;
+  for (const Location& l : locations_) {
+    min_x = std::min(min_x, l.x);
+    max_x = std::max(max_x, l.x);
+    min_y = std::min(min_y, l.y);
+    max_y = std::max(max_y, l.y);
+  }
+  cell_size_ = std::max(range_, 1e-9);
+  cells_min_x_ = min_x;
+  cells_min_y_ = min_y;
+  cells_x_ = static_cast<int>((max_x - min_x) / cell_size_) + 1;
+  cells_y_ = static_cast<int>((max_y - min_y) / cell_size_) + 1;
+  cells_.assign(static_cast<size_t>(cells_x_) * static_cast<size_t>(cells_y_),
+                {});
+  for (size_t i = 0; i < n; ++i) {
+    int cx = std::min(cells_x_ - 1,
+                      static_cast<int>((locations_[i].x - min_x) / cell_size_));
+    int cy = std::min(cells_y_ - 1,
+                      static_cast<int>((locations_[i].y - min_y) / cell_size_));
+    cells_[CellIndex(cx, cy)].push_back(static_cast<NodeId>(i));
+  }
+}
+
 void Topology::BuildAdjacency() {
   const double eps = 1e-9;
   size_t n = locations_.size();
+  BuildCells();
   adjacency_.assign(n, {});
+  // Cell size >= range, so every neighbor of a node lives in its 3x3 cell
+  // neighborhood: O(n * density) instead of all pairs.
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      if (locations_[i].DistanceTo(locations_[j]) <= range_ + eps) {
-        adjacency_[i].push_back(static_cast<NodeId>(j));
-        adjacency_[j].push_back(static_cast<NodeId>(i));
+    const Location& li = locations_[i];
+    int cx = std::min(cells_x_ - 1,
+                      static_cast<int>((li.x - cells_min_x_) / cell_size_));
+    int cy = std::min(cells_y_ - 1,
+                      static_cast<int>((li.y - cells_min_y_) / cell_size_));
+    for (int dy = -1; dy <= 1; ++dy) {
+      int yy = cy + dy;
+      if (yy < 0 || yy >= cells_y_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        int xx = cx + dx;
+        if (xx < 0 || xx >= cells_x_) continue;
+        for (NodeId j : cells_[CellIndex(xx, yy)]) {
+          if (static_cast<size_t>(j) == i) continue;
+          if (li.DistanceTo(locations_[static_cast<size_t>(j)]) <=
+              range_ + eps) {
+            adjacency_[i].push_back(j);
+          }
+        }
       }
     }
   }
@@ -102,13 +148,61 @@ std::pair<int, int> Topology::GridCoord(NodeId id) const {
 
 NodeId Topology::ClosestNode(double x, double y) const {
   Location target{x, y};
-  NodeId best = 0;
-  double best_d = locations_[0].DistanceTo(target);
-  for (size_t i = 1; i < locations_.size(); ++i) {
-    double d = locations_[i].DistanceTo(target);
-    if (d < best_d) {
-      best_d = d;
-      best = static_cast<NodeId>(i);
+  if (cells_.empty()) {
+    NodeId best = 0;
+    double best_d = locations_[0].DistanceTo(target);
+    for (size_t i = 1; i < locations_.size(); ++i) {
+      double d = locations_[i].DistanceTo(target);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<NodeId>(i);
+      }
+    }
+    return best;
+  }
+  // Expanding ring search over the bucket grid. Equivalent to the linear
+  // scan: the running best is kept by (distance, id), matching the linear
+  // scan's lowest-id tie-break, and the search only stops once no unscanned
+  // cell can hold a strictly closer node.
+  int ccx = std::clamp(
+      static_cast<int>(std::floor((x - cells_min_x_) / cell_size_)), 0,
+      cells_x_ - 1);
+  int ccy = std::clamp(
+      static_cast<int>(std::floor((y - cells_min_y_) / cell_size_)), 0,
+      cells_y_ - 1);
+  int k_max = std::max(std::max(ccx, cells_x_ - 1 - ccx),
+                       std::max(ccy, cells_y_ - 1 - ccy));
+  NodeId best = kNoNode;
+  double best_d = 0;
+  for (int k = 0; k <= k_max; ++k) {
+    for (int yy = ccy - k; yy <= ccy + k; ++yy) {
+      if (yy < 0 || yy >= cells_y_) continue;
+      bool edge_row = (yy == ccy - k || yy == ccy + k);
+      int step = edge_row ? 1 : 2 * k;
+      for (int xx = ccx - k; xx <= ccx + k; xx += (step == 0 ? 1 : step)) {
+        if (xx < 0 || xx >= cells_x_) continue;
+        for (NodeId id : cells_[CellIndex(xx, yy)]) {
+          double d = locations_[static_cast<size_t>(id)].DistanceTo(target);
+          if (best == kNoNode || d < best_d || (d == best_d && id < best)) {
+            best_d = d;
+            best = id;
+          }
+        }
+        if (k == 0) break;  // center ring is a single cell
+      }
+    }
+    if (best != kNoNode) {
+      // Everything not yet scanned lies outside the box covered by rings
+      // 0..k; stop once the best candidate beats the closest possible
+      // unscanned point.
+      double left = cells_min_x_ + static_cast<double>(ccx - k) * cell_size_;
+      double right =
+          cells_min_x_ + static_cast<double>(ccx + k + 1) * cell_size_;
+      double bottom = cells_min_y_ + static_cast<double>(ccy - k) * cell_size_;
+      double top = cells_min_y_ + static_cast<double>(ccy + k + 1) * cell_size_;
+      double margin = std::min(std::min(x - left, right - x),
+                               std::min(y - bottom, top - y));
+      if (best_d < margin) break;
     }
   }
   return best;

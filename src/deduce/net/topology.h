@@ -69,11 +69,25 @@ class Topology {
 
  private:
   void BuildAdjacency();
+  void BuildCells();
+  size_t CellIndex(int cx, int cy) const {
+    return static_cast<size_t>(cy) * static_cast<size_t>(cells_x_) +
+           static_cast<size_t>(cx);
+  }
 
   std::vector<Location> locations_;
   std::vector<std::vector<NodeId>> adjacency_;
   double range_ = 1.0;
   std::optional<int> grid_side_;
+
+  /// Spatial bucket grid over the bounding box, cell size = radio range:
+  /// adjacency construction scans 3x3 neighborhoods instead of all pairs,
+  /// and ClosestNode (the geo-hash home lookup, called per tuple) does an
+  /// expanding ring search instead of a linear scan.
+  double cell_size_ = 1.0;
+  double cells_min_x_ = 0, cells_min_y_ = 0;
+  int cells_x_ = 0, cells_y_ = 0;
+  std::vector<std::vector<NodeId>> cells_;
 };
 
 }  // namespace deduce

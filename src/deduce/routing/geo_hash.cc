@@ -27,7 +27,8 @@ GeoHash::GeoHash(const Topology* topology) : topology_(topology) {
 }
 
 uint64_t GeoHash::StableFactHash(const Fact& fact) {
-  return Fnv1a(fact.ToString());
+  // Memoized on the fact's shared rep: interned facts stringify once.
+  return fact.StableHash();
 }
 
 NodeId GeoHash::HomeForKey(uint64_t key) const {

@@ -340,5 +340,77 @@ delay 100000 * -> * rate=0.1 extra=2000
   EXPECT_EQ(after->Summary(), again->Summary());
 }
 
+TEST(ShrinkTest, DropsHealsOrphanedByRemovingTheirCut) {
+  // A heal only undoes a cut with the exact same src/dst lists; once the
+  // cut is gone the heal is a provable no-op. Shrinking must never emit a
+  // scenario where a heal survives its partner: pad the reproducer with an
+  // orphaned heal (no cut at all) and a cut+heal pair irrelevant to the
+  // violation, then check the 1-minimal output has no orphaned heals left.
+  constexpr char kPadded[] = R"(# deduce chaos scenario v1
+seed 7
+grid 4
+loss 0
+retries 0
+reliable 1
+repair 0
+anti_entropy_period 0
+checksum 1
+rto_jitter 0.1
+storage row
+[program]
+.decl r/3 input.
+.decl s/3 input.
+t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+[events]
+1163587 5 + r(3, 5, 24).
+1239371 6 + s(3, 6, 25).
+1338172 0 + s(3, 0, 26).
+1538231 0 - s(3, 0, 26).
+[faults]
+heal 300000 14,15 -> 14,15
+cut 400000 14 -> 15
+heal 500000 14 -> 15
+corrupt 669372 * -> * rate=0.3
+[end]
+)";
+  auto padded = Scenario::FromText(kPadded);
+  ASSERT_TRUE(padded.ok()) << padded.status().ToString();
+  auto before = RunScenario(*padded);
+  ASSERT_TRUE(before.ok());
+  ASSERT_FALSE(before->report.ok()) << "padded scenario must violate";
+
+  auto shrunk = ShrinkScenario(*padded);
+  ASSERT_TRUE(shrunk.ok()) << shrunk.status().ToString();
+  EXPECT_GT(shrunk->removed, 0);
+
+  // Minimality property: every surviving heal has a cut with identical
+  // src/dst lists firing no later than it.
+  const auto& events = shrunk->scenario.faults.events;
+  for (const FaultEvent& ev : events) {
+    if (ev.kind != FaultEvent::Kind::kHealLinks) continue;
+    bool partnered = false;
+    for (const FaultEvent& cut : events) {
+      if (cut.kind == FaultEvent::Kind::kAddLinkFault &&
+          cut.time <= ev.time && cut.rule.src == ev.rule.src &&
+          cut.rule.dst == ev.rule.dst) {
+        partnered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(partnered) << "orphaned heal at t=" << ev.time
+                           << " survived shrinking";
+  }
+  // The heal that never had a cut is gone without costing a re-execution.
+  for (const FaultEvent& ev : events) {
+    EXPECT_FALSE(ev.kind == FaultEvent::Kind::kHealLinks &&
+                 ev.time == 300000)
+        << "initially-orphaned heal survived";
+  }
+
+  auto after = RunScenario(shrunk->scenario);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->report.ok());
+}
+
 }  // namespace
 }  // namespace deduce

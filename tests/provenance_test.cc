@@ -387,6 +387,52 @@ TEST(ProvenanceTest, LatencyTableSummarizesDerivRecords) {
   EXPECT_TRUE(stats2.LatencyTable().empty());
 }
 
+TEST(ProvenanceTest, LatencyTablePrintsDashWithoutCompletedSamples) {
+  // A predicate can accumulate derivations (gen-phase deriv records) while
+  // never completing an end-to-end sample — e.g. every result shipment is
+  // still in flight when the trace is cut. The table must print `-` for the
+  // latency columns of such a row instead of dividing by a zero sample
+  // count.
+  TraceRecord gen;
+  gen.time = 1000;
+  gen.node = 2;
+  gen.kind = "deriv";
+  gen.phase = "gen";
+  gen.pred = "t";
+  gen.fact = "t(1, 2, 3).";
+  TraceRecord hop;
+  hop.time = 1200;
+  hop.kind = "hop";
+  hop.phase = "result";
+  hop.pred = "t";
+  hop.bytes = 40;
+  hop.delivered = true;
+  std::istringstream in(gen.ToJson() + "\n" + hop.ToJson() + "\n");
+  TraceStats stats = TraceStats::Aggregate(in, nullptr);
+  ASSERT_EQ(stats.latency_by_pred.count("t"), 1u);
+  const TraceStats::LatencyCell& cell = stats.latency_by_pred.at("t");
+  EXPECT_EQ(cell.results, 0u);
+  EXPECT_GT(cell.gens, 0u);
+
+  std::string table = stats.LatencyTable();
+  EXPECT_NE(table.find("per-predicate latency"), std::string::npos);
+  EXPECT_EQ(table.find("nan"), std::string::npos);
+  EXPECT_EQ(table.find("-nan"), std::string::npos);
+  // The `t` row: zero results, one tuple, dashes for every latency column,
+  // and bytes/result still computed from the gen count.
+  EXPECT_NE(table.find("t"), std::string::npos);
+  std::istringstream lines(table);
+  std::string line;
+  bool saw_row = false;
+  while (std::getline(lines, line)) {
+    if (line.find("  t ") != 0 && line.rfind("  t", 0) != 0) continue;
+    if (line.find("predicate") != std::string::npos) continue;
+    saw_row = true;
+    EXPECT_NE(line.find("-"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(saw_row) << table;
+}
+
 TEST(ProvenanceTest, RingCapacityBoundsEngineMemory) {
   auto program = ParseProgram(kJoinProgram);
   ASSERT_TRUE(program.ok());

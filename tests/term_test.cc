@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
+#include "deduce/datalog/arena.h"
+#include "deduce/datalog/fact.h"
 #include "deduce/datalog/value.h"
 
 namespace deduce {
@@ -165,6 +170,80 @@ TEST(TermTest, UsableInHashSet) {
   set.insert(Term::Int(1));
   set.insert(Term::Sym("a"));
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(FactArenaTest, InterningDedupsByContent) {
+  FactArena arena(FactArena::Mode::kIntern);
+  Fact a = arena.MakeFact(Intern("r"), {Term::Int(1), Term::Int(2)});
+  Fact b = arena.MakeFact(Intern("r"), {Term::Int(1), Term::Int(2)});
+  Fact c = arena.MakeFact(Intern("r"), {Term::Int(1), Term::Int(3)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Dedup is identity, not just equality: both facts share one rep.
+  EXPECT_EQ(a.weak_rep().lock().get(), b.weak_rep().lock().get());
+  FactArena::Stats st = arena.stats();
+  EXPECT_EQ(st.facts, 2u);
+  EXPECT_EQ(st.hits, 1u);
+}
+
+TEST(FactArenaTest, ResetKeepsLiveFactsAndFreesOrphanedChunks) {
+  // Live facts alias their chunk, so Reset frees only chunks with no
+  // survivors. Reading the kept fact after Reset is the use-after-free
+  // probe this test exists for (run under ASan in the sanitizer job).
+  FactArena arena(FactArena::Mode::kIntern);
+  Fact kept = arena.MakeFact(Intern("keep"), {Term::Int(7)});
+  std::weak_ptr<const void> kept_rep = kept.weak_rep();
+  std::weak_ptr<const void> dropped_rep;
+  {
+    Fact dropped = arena.MakeFact(Intern("drop"), {Term::Int(8)});
+    dropped_rep = dropped.weak_rep();
+  }
+  arena.Reset();
+  EXPECT_FALSE(kept_rep.expired());
+  EXPECT_EQ(kept.ToString(), "keep(7)");
+  EXPECT_EQ(kept.StableHash(),
+            FactArena::Global()
+                .MakeFact(Intern("keep"), {Term::Int(7)})
+                .StableHash());
+  // The dropped fact shared the kept fact's chunk, so its control block
+  // survives until the last survivor goes; dropping the survivor frees it.
+  kept = Fact();
+  EXPECT_TRUE(kept_rep.expired());
+  EXPECT_TRUE(dropped_rep.expired());
+}
+
+TEST(FactArenaTest, ConcurrentInterningIsValueDeterministic) {
+  // Parallel trials intern through the shared arena concurrently.
+  // Interning affects only object identity, so whatever thread wins the
+  // race, every returned fact must carry the serially-computed value and
+  // stable hash, and the rep count must equal the distinct-fact count.
+  FactArena arena(FactArena::Mode::kIntern);
+  constexpr int kThreads = 4;
+  constexpr int kFacts = 500;
+  SymbolId pred = Intern("cc");
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < kFacts; ++i) {
+    expected.push_back(
+        Fact(pred, {Term::Int(i % 97), Term::Int(i)}).StableHash());
+  }
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kFacts; ++i) {
+        got[static_cast<size_t>(w)].push_back(
+            arena.MakeFact(pred, {Term::Int(i % 97), Term::Int(i)})
+                .StableHash());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(got[static_cast<size_t>(w)], expected);
+  }
+  FactArena::Stats st = arena.stats();
+  EXPECT_EQ(st.facts, static_cast<uint64_t>(kFacts));
+  EXPECT_EQ(st.hits, static_cast<uint64_t>((kThreads - 1) * kFacts));
 }
 
 }  // namespace

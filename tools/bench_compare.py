@@ -26,6 +26,21 @@ Subcommands:
       Rewrite the baseline entry for NAME from this run. Use after an
       intentional behaviour change, then commit the result.
 
+  perf check --bench NAME --perf BENCH.perf.json \
+             [--baseline bench/baseline.json] [--rss-tolerance 0.35] \
+             [--wall-tolerance 0.5]
+      Gate a bench's machine-dependent sidecar (peak_rss_bytes and
+      per-point wall_time_s, e.g. BENCH_bench_scale.perf.json) against
+      the committed baseline with relative tolerances. Peak RSS fails
+      when above baseline * (1 + rss-tolerance); each point's wall time
+      fails when above its baseline * (1 + wall-tolerance). Wall-time
+      points are skipped under DEDUCE_BENCH_SKIP_WALLTIME; RSS under
+      DEDUCE_BENCH_SKIP_RSS.
+
+  perf update --bench NAME --perf BENCH.perf.json \
+              [--baseline bench/baseline.json]
+      Rewrite the baseline "perf" entry for NAME from this sidecar.
+
   speedup BENCH_bench_micro.json [--min-ratio 1.5]
       Check the calendar-queue simulator's event-loop throughput against
       the in-binary heap baseline (google-benchmark JSON output). The
@@ -197,6 +212,90 @@ def cmd_baseline(args):
     return 1 if failures else 0
 
 
+def cmd_perf(args):
+    baseline = {}
+    if os.path.exists(args.baseline):
+        baseline = load(args.baseline)
+    benches = baseline.setdefault("benches", {})
+    sidecar = load(args.perf)
+    peak = sidecar.get("peak_rss_bytes")
+    points = sidecar.get("points", [])
+
+    if args.action == "update":
+        entry = benches.setdefault(args.bench, {})
+        entry["perf"] = {
+            "peak_rss_bytes": peak,
+            "points": [
+                {
+                    "label": p.get("label"),
+                    "wall_time_s": p.get("wall_time_s"),
+                }
+                for p in points
+            ],
+        }
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"updated {args.baseline} perf entry for {args.bench}")
+        return 0
+
+    entry = benches.get(args.bench, {}).get("perf")
+    if entry is None:
+        sys.exit(
+            f"bench_compare: no perf baseline for {args.bench!r}; run "
+            f"'perf update' and commit {args.baseline}"
+        )
+    failures = 0
+    base_peak = entry.get("peak_rss_bytes")
+    if os.environ.get("DEDUCE_BENCH_SKIP_RSS"):
+        print(f"{args.bench}: peak-RSS check skipped (env)")
+    elif base_peak is None or peak is None:
+        print(f"{args.bench}: peak-RSS check skipped (no baseline)")
+    else:
+        limit = base_peak * (1.0 + args.rss_tolerance)
+        if peak > limit:
+            print(
+                f"FAIL: {args.bench}: peak RSS {peak / 2**20:.1f} MiB "
+                f"exceeds baseline {base_peak / 2**20:.1f} MiB by more "
+                f"than {args.rss_tolerance:.0%}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"{args.bench}: peak RSS {peak / 2**20:.1f} MiB within "
+                f"{args.rss_tolerance:.0%} of baseline "
+                f"{base_peak / 2**20:.1f} MiB"
+            )
+    base_points = {p.get("label"): p for p in entry.get("points", [])}
+    if os.environ.get("DEDUCE_BENCH_SKIP_WALLTIME"):
+        print(f"{args.bench}: wall-time points skipped (env)")
+    else:
+        for p in points:
+            base = base_points.get(p.get("label"))
+            if base is None or base.get("wall_time_s") is None:
+                continue
+            wall, base_wall = p.get("wall_time_s"), base["wall_time_s"]
+            limit = base_wall * (1.0 + args.wall_tolerance)
+            if wall is None or wall > limit:
+                print(
+                    f"FAIL: {args.bench}: point {p.get('label')!r} wall "
+                    f"time {wall}s exceeds baseline {base_wall}s by more "
+                    f"than {args.wall_tolerance:.0%}",
+                    file=sys.stderr,
+                )
+                failures += 1
+            else:
+                print(
+                    f"{args.bench}: point {p.get('label')} wall "
+                    f"{wall:.2f}s within {args.wall_tolerance:.0%} of "
+                    f"baseline {base_wall:.2f}s"
+                )
+    if failures == 0:
+        print(f"OK: {args.bench}: perf sidecar within tolerances")
+    return 1 if failures else 0
+
+
 def cmd_speedup(args):
     report = load(args.report)
     perf = {}
@@ -248,6 +347,15 @@ def main():
     p.add_argument("--tolerance", type=float, default=0.25)
     p.add_argument("--energy-tolerance", type=float, default=0.01)
     p.set_defaults(fn=cmd_baseline)
+
+    p = sub.add_parser("perf")
+    p.add_argument("action", choices=["check", "update"])
+    p.add_argument("--bench", required=True)
+    p.add_argument("--perf", required=True)
+    p.add_argument("--baseline", default="bench/baseline.json")
+    p.add_argument("--rss-tolerance", type=float, default=0.35)
+    p.add_argument("--wall-tolerance", type=float, default=0.5)
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("speedup")
     p.add_argument("report")

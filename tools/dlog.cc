@@ -45,7 +45,8 @@
 //
 //   dlog chaos [--seed S] [--grid N] [--injections N] [--horizon US]
 //       [--loss P] [--no-reliable] [--repair] [--anti-entropy-period US]
-//       [--no-checksum] [--rto-jitter X] [--out scenario.txt] [--no-shrink]
+//       [--no-checksum] [--retraction] [--rto-jitter X]
+//       [--out scenario.txt] [--no-shrink]
 //       Adversarial fault injection: sample a random fault schedule
 //       (partitions, corruption, duplication, delay jitter, churn, reboot
 //       storms) and workload from --seed, run to quiescence and check the
@@ -687,7 +688,8 @@ int Usage() {
                "  dlog chaos [--seed S] [--grid N] [--injections N]\n"
                "       [--horizon US] [--loss P] [--no-reliable] [--repair]\n"
                "       [--anti-entropy-period US] [--no-checksum]\n"
-               "       [--rto-jitter X] [--out scenario.txt] [--no-shrink]\n"
+               "       [--retraction] [--rto-jitter X] [--out scenario.txt]\n"
+               "       [--no-shrink]\n"
                "  dlog replay <scenario.txt>\n");
   return 64;
 }
@@ -792,6 +794,8 @@ int main(int argc, char** argv) {
         profile.anti_entropy_period = period;
       } else if (arg == "--no-checksum") {
         profile.checksum = false;
+      } else if (arg == "--retraction") {
+        profile.retraction = true;
       } else if (arg == "--rto-jitter") {
         if (!ParseDoubleFlag("--rto-jitter", next(), 0.0, 1.0,
                              &profile.rto_jitter)) {
