@@ -1,0 +1,230 @@
+// Overload wall: the two-stream join driven 1x / 2x / 4x past the
+// capacity the per-node budgets were provisioned for. With budgets off
+// the replica stores grow with offered load; with budgets on (this
+// bench) the stores clamp at the cap, shedding the excess and tainting
+// downstream results with the degraded bit instead of inventing or
+// silently dropping them. The sweep shows what overload robustness
+// buys: live replicas and peak RSS plateau while offered load keeps
+// growing, and the shed/degraded counters account for every tuple the
+// engine refused to carry.
+//
+// Two outputs per run:
+//   BENCH_bench_overload.json       deterministic counters + registry
+//                                   snapshot (byte-identical across
+//                                   --threads; gated by
+//                                   `bench_compare.py baseline check`)
+//   BENCH_bench_overload.perf.json  wall time per point and process peak
+//                                   RSS (machine-dependent; gated with
+//                                   tolerances by `bench_compare.py perf
+//                                   check`)
+//
+// Flags: --threads N     parallel sweep points (report order is fixed)
+//        --base N        offered tuples at 1x (default 2000)
+//        --factors a,b   overcommit factors to sweep (default 1,2,4)
+//        --smoke         CI profile: 8x8 grid, 600 tuples at 1x
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+constexpr char kProgram[] = R"(
+  .decl r/3 input.
+  .decl s/3 input.
+  t(K, N1, N2, I1, I2) :- r(K, N1, I1), s(K, N2, I2).
+)";
+
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024ull;
+}
+
+/// Pure-insert load: `total` tuples uniform over the grid, key range
+/// scaled with the load so join fan-out stays linear in `total` (about
+/// eight tuples share a key at any factor).
+std::vector<WorkItem> OfferedLoad(int nodes, int total, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WorkItem> out;
+  SimTime t = 10'000;
+  int key_range = std::max(2, total / 8);
+  for (int i = 0; i < total; ++i, t += 40'000) {
+    NodeId node = static_cast<NodeId>(rng.Uniform(0, nodes - 1));
+    Fact f(Intern(rng.Bernoulli(0.5) ? "r" : "s"),
+           {Term::Int(rng.Uniform(0, key_range - 1)), Term::Int(node),
+            Term::Int(i)});
+    out.push_back({t, node, StreamOp::kInsert, f});
+  }
+  return out;
+}
+
+struct PointResult {
+  CollectedRun run;
+  EngineStats stats;
+  double wall_s = 0;
+};
+
+/// One sweep point. The budget is identical at every factor: it is the
+/// provisioned capacity, and the sweep varies only the offered load.
+PointResult RunPoint(int m, uint64_t replica_cap,
+                     const std::vector<WorkItem>& work) {
+  PointResult out;
+  auto start = std::chrono::steady_clock::now();
+  Network net(Topology::Grid(m), LinkModel{}, /*seed=*/1);
+  net.EnableBatchedDelivery(true);
+  EngineOptions options;
+  options.planner.default_storage = StoragePolicy::kRow;
+  options.budget.enabled = true;
+  options.budget.max_replicas_per_pred = replica_cap;
+  options.budget.policy = ShedPolicy::kShedNewest;
+  if (BenchReport::Get().enabled()) options.metrics = &out.run.registry;
+  Program program = MustParse(kProgram);
+  auto engine = DistributedEngine::Create(&net, program, options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    std::abort();
+  }
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    Status st = (*engine)->Inject(item.node, item.op, item.fact);
+    if (!st.ok()) std::fprintf(stderr, "inject: %s\n", st.ToString().c_str());
+  }
+  net.sim().Run();
+  out.run.metrics = CollectRunMetrics(net, (*engine).get(), options.metrics);
+  out.run.metrics.result_count = (*engine)->ResultFacts(Intern("t")).size();
+  out.run.reportable = options.metrics != nullptr;
+  out.stats = (*engine)->stats();
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+std::vector<int> ParseFactors(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    int x = std::atoi(csv.substr(pos, comma - pos).c_str());
+    if (x < 1 || x > 64) {
+      std::fprintf(stderr, "bad --factors entry: %s\n", csv.c_str());
+      std::exit(64);
+    }
+    out.push_back(x);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
+  int m = 12;
+  int base = 2000;
+  std::vector<int> factors = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      m = 8;
+      base = 600;
+    } else if (arg == "--base" && i + 1 < argc) {
+      base = std::atoi(argv[++i]);
+      if (base < 16) {
+        std::fprintf(stderr, "bad --base value\n");
+        return 64;
+      }
+    } else if (arg == "--factors" && i + 1 < argc) {
+      factors = ParseFactors(argv[++i]);
+    }
+  }
+  // Provision the replica budget for the 1x point with ~50% headroom:
+  // uniform injections put about base/(2*m) live replicas of each stream
+  // on the average row node, and the slack absorbs placement skew, so 1x
+  // runs (nearly) shed-free and every factor beyond it overcommits the
+  // same fixed budget.
+  uint64_t replica_cap =
+      static_cast<uint64_t>(base) * 150 / (2 * static_cast<uint64_t>(m)) / 100;
+
+  std::printf("# overload sweep: two-stream join (PA row storage), "
+              "budgets on, shed-newest\n");
+  std::printf("# grid %dx%d, replica cap %llu per pred per node, offered "
+              "load %d tuples at 1x\n\n",
+              m, m, static_cast<unsigned long long>(replica_cap), base);
+
+  struct Point {
+    int factor;
+    int tuples;
+    std::vector<WorkItem> work;
+  };
+  std::vector<Point> points;
+  for (int x : factors) {
+    int tuples = base * x;
+    points.push_back(
+        {x, tuples, OfferedLoad(m * m, tuples, 7100 + static_cast<uint64_t>(x))});
+  }
+
+  TablePrinter table({"load", "offered", "results", "degraded_pct", "sheds",
+                      "evictions", "replicas", "messages", "wall_s"});
+  std::vector<double> walls(points.size(), 0);
+  RunTrials(
+      points.size(), threads,
+      [&](size_t i) {
+        return RunPoint(m, replica_cap, points[i].work);
+      },
+      [&](size_t i, PointResult r) {
+        const Point& p = points[i];
+        ReportCollected(r.run);
+        walls[i] = r.wall_s;
+        const RunMetrics& rm = r.run.metrics;
+        double degraded_pct =
+            rm.result_count == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(r.stats.degraded_results) /
+                      static_cast<double>(rm.result_count);
+        table.Row({std::to_string(p.factor) + "x",
+                   U64(static_cast<uint64_t>(p.tuples)),
+                   U64(rm.result_count), Dbl(degraded_pct, 1),
+                   U64(r.stats.sheds), U64(r.stats.budget_evictions),
+                   U64(rm.total_replicas), U64(rm.total_messages),
+                   Dbl(r.wall_s, 2)});
+      });
+
+  uint64_t peak = PeakRssBytes();
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(peak) / (1024.0 * 1024.0));
+
+  // Machine-dependent sidecar: wall time per point + process peak RSS.
+  // Separate file so BENCH_bench_overload.json stays byte-identical
+  // across --threads (the parallelism gate byte-compares it).
+  std::ofstream perf("BENCH_bench_overload.perf.json");
+  if (perf) {
+    perf << "{\"bench\":\"bench_overload\",\"peak_rss_bytes\":" << peak
+         << ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"label\":\"%dx\",\"nodes\":%d,\"tuples\":%d,"
+                    "\"wall_time_s\":%.3f}",
+                    i == 0 ? "" : ",", points[i].factor, m * m,
+                    points[i].tuples, walls[i]);
+      perf << buf;
+    }
+    perf << "]}\n";
+  }
+  return 0;
+}

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition,///< Operation invalid in the current state.
   kUnimplemented,     ///< Feature outside the supported program classes.
   kOutOfRange,        ///< Index/coordinate outside its domain.
+  kResourceExhausted, ///< A resource budget refused the operation; retryable.
   kInternal,          ///< Invariant violation; indicates a library bug.
 };
 
@@ -55,6 +56,9 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

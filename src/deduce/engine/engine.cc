@@ -48,6 +48,22 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
   shared.metrics = options.metrics;
   shared.trace = options.trace;
   shared.provenance = options.provenance;
+  shared.budget = options.budget;
+  if (shared.budget.enabled) {
+    // MemSqueeze (chaos axis): the fault plan can shrink every live budget
+    // cap mid-run. EngineShared is heap-owned by the engine and the hook
+    // is cleared with the apps on the next SetApp cycle, so the capture
+    // stays valid for the network's app generation.
+    EngineShared* sp = engine->shared_.get();
+    network->AddFaultHook([sp](const FaultEvent& ev) {
+      if (ev.kind != FaultEvent::Kind::kMemSqueeze) return;
+      sp->budget.Squeeze(static_cast<double>(ev.magnitude) / 100.0);
+      ++sp->stats.budget_squeezes;
+      if (sp->metrics != nullptr) {
+        sp->metrics->Add(0, "budget", "budget_squeezes");
+      }
+    });
+  }
 
   // --- per-delta evaluability tables ---
   size_t n_deltas = shared.plan.deltas.size();
@@ -199,6 +215,17 @@ Database DistributedEngine::ResultDatabase() const {
   for (SymbolId pred : shared_->plan.analysis.predicates) {
     if (!shared_->plan.analysis.idb.count(pred)) continue;
     for (const Fact& f : ResultFacts(pred)) db.Insert(f);
+  }
+  return db;
+}
+
+Database DistributedEngine::UndegradedResultDatabase() const {
+  Database db;
+  for (SymbolId pred : shared_->plan.analysis.predicates) {
+    if (!shared_->plan.analysis.idb.count(pred)) continue;
+    for (NodeRuntime* rt : runtimes_) {
+      for (const Fact& f : rt->UndegradedHomeFacts(pred)) db.Insert(f);
+    }
   }
   return db;
 }

@@ -44,6 +44,11 @@ struct EngineOptions {
   /// records, trace-id'd hops/injects, per-predicate latency histograms
   /// (off by default; see provenance.h and docs/OBSERVABILITY.md).
   ProvenanceOptions provenance;
+  /// Per-node resource budgets + load-shedding policy (off by default; see
+  /// runtime.h BudgetOptions and docs/FAULTS.md "Overload and shedding").
+  /// With budgets off every path below is byte-identical to the
+  /// pre-budget engine.
+  BudgetOptions budget;
 };
 
 /// The distributed deductive query engine (the paper's contribution):
@@ -77,6 +82,13 @@ class DistributedEngine {
 
   /// All alive derived facts.
   Database ResultDatabase() const;
+
+  /// Alive derived facts whose reporting result-home entry was never
+  /// touched by a degraded (repair-resync or shedding) pass. The
+  /// shed-soundness invariant checks this set — and only this set —
+  /// against the fault-free oracle: a shed may lose results or degrade
+  /// them, but must never let a wrong result through undegraded.
+  Database UndegradedResultDatabase() const;
 
   /// Per-node memory accounting (§V): replicas and derivation records.
   size_t TotalReplicas() const;

@@ -35,6 +35,28 @@ void CheckSoundness(const DistributedEngine& engine, const Database& oracle,
   report->soundness_checked = true;
 }
 
+void CheckShedSoundness(const DistributedEngine& engine,
+                        const Database& oracle, InvariantReport* report) {
+  // Shedding's contract: dropped work may lose results or leave them
+  // flagged degraded — but any result still *reported complete* must be
+  // one the fault-free oracle derives. Degraded phantoms are the honest
+  // outcome of partial evaluation; undegraded ones mean a shed path
+  // forgot to taint its descendants.
+  std::vector<std::string> bad;
+  Database got = engine.UndegradedResultDatabase();
+  for (SymbolId pred : got.Predicates()) {
+    for (const Fact& f : got.Relation(pred)) {
+      if (!oracle.Contains(f)) {
+        bad.push_back("shed-soundness: undegraded result " + f.ToString() +
+                      " not derivable by the fault-free oracle (derived "
+                      "from shed state but reported complete)");
+      }
+    }
+  }
+  AppendSorted(std::move(bad), report);
+  report->shed_soundness_checked = true;
+}
+
 void CheckConvergence(const DistributedEngine& engine,
                       InvariantReport* report) {
   const Network* net = engine.network();
@@ -131,7 +153,11 @@ InvariantReport CheckInvariants(const DistributedEngine& engine,
                                 const InvariantOptions& options) {
   InvariantReport report;
   if (options.oracle != nullptr) {
-    CheckSoundness(engine, *options.oracle, &report);
+    if (options.shed_tolerant) {
+      CheckShedSoundness(engine, *options.oracle, &report);
+    } else {
+      CheckSoundness(engine, *options.oracle, &report);
+    }
   }
   if (options.check_convergence) CheckConvergence(engine, &report);
   if (options.check_dedup) CheckDedup(engine, &report);
@@ -149,6 +175,7 @@ std::string InvariantReport::ToString() const {
   if (ok()) {
     std::string which;
     if (soundness_checked) which += " soundness";
+    if (shed_soundness_checked) which += " shed-soundness";
     if (convergence_checked) which += " convergence";
     if (dedup_checked) which += " dedup";
     if (which.empty()) which = " (none)";

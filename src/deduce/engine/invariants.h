@@ -38,6 +38,15 @@ struct InvariantOptions {
   /// is dropped and counted (decode_errors), so any Fault() entry is an
   /// engine bug the schedule exposed.
   bool check_engine_errors = true;
+
+  /// Shed-tolerant soundness (overload runs with EngineOptions::budget
+  /// on): load shedding may legitimately lose answers AND leave surviving
+  /// answers flagged degraded, but must never let a result derived from
+  /// shed state through *undegraded*. With this set, the oracle check
+  /// compares only DistributedEngine::UndegradedResultDatabase() against
+  /// the oracle — a phantom that is honestly degraded is tolerated, an
+  /// undegraded one is a violation.
+  bool shed_tolerant = false;
 };
 
 /// Verdict of one invariant sweep. `violations` is deterministic (sorted
@@ -46,6 +55,7 @@ struct InvariantOptions {
 struct InvariantReport {
   std::vector<std::string> violations;
   bool soundness_checked = false;
+  bool shed_soundness_checked = false;
   bool convergence_checked = false;
   bool dedup_checked = false;
 

@@ -58,6 +58,10 @@ void EngineStats::ExportTo(MetricsRegistry* registry) const {
   registry->Set(-1, "engine", "liveness_epoch",
                 static_cast<int64_t>(liveness_epoch));
   registry->Add(-1, "engine", "decode_errors", decode_errors);
+  registry->Add(-1, "engine", "sheds", sheds);
+  registry->Add(-1, "engine", "ingress_rejects", ingress_rejects);
+  registry->Add(-1, "engine", "budget_evictions", budget_evictions);
+  registry->Add(-1, "engine", "budget_squeezes", budget_squeezes);
   registry->Set(-1, "engine", "errors",
                 static_cast<int64_t>(errors.size()));
 }
@@ -368,8 +372,59 @@ SimTime NodeRuntime::RtoFor(NodeId dest, size_t envelope_bytes) const {
   return round * static_cast<SimTime>(hops + 2);
 }
 
+bool NodeRuntime::SheddableEnvelope(uint16_t inner_type,
+                                    const std::vector<uint8_t>& payload) {
+  Message m;
+  m.type = inner_type;
+  m.payload = payload;
+  switch (inner_type) {
+    case kStoreMsg: {
+      StatusOr<StoreWire> s = StoreWire::Decode(m);
+      return s.ok() && !s->deletion;
+    }
+    case kJoinPassMsg: {
+      StatusOr<JoinPassWire> jp = JoinPassWire::Decode(m);
+      return jp.ok() && !jp->removal;
+    }
+    case kResultMsg: {
+      StatusOr<ResultWire> r = ResultWire::Decode(m);
+      return r.ok() && !r->removal;
+    }
+    default:
+      // Aggregate, repair and control traffic is never shed: losing a
+      // contribution would skew an undegradable aggregate value, and
+      // losing a deletion leaves a phantom standing.
+      return false;
+  }
+}
+
 void NodeRuntime::SendReliable(NodeContext* ctx, NodeId dest,
                                const Message& inner, int retraction_rounds) {
+  if (budget_on() && shared_->budget.max_inflight > 0 &&
+      pending_.size() >= shared_->budget.max_inflight) {
+    bool new_sheddable = SheddableEnvelope(inner.type, inner.payload);
+    bool evicted = false;
+    if (shared_->budget.policy == ShedPolicy::kShedFarthestWindow) {
+      // Drop the oldest sheddable unacked envelope to admit the new one
+      // (map order: lowest dest, then lowest seq = oldest toward it).
+      for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (SheddableEnvelope(it->second.inner_type,
+                              it->second.inner_payload)) {
+          pending_.erase(it);
+          RecordShed(ctx, "inflight");
+          evicted = true;
+          break;
+        }
+      }
+    }
+    if (!evicted && new_sheddable) {
+      RecordShed(ctx, "inflight");
+      return;
+    }
+    // Nothing sheddable (all pending and the newcomer are
+    // deletion-critical or aggregate traffic): admit over the cap —
+    // correctness outranks the budget.
+  }
   ReliableWire rw;
   rw.final_target = dest;
   rw.origin = id_;
@@ -384,6 +439,9 @@ void NodeRuntime::SendReliable(NodeContext* ctx, NodeId dest,
   pm.inner_payload = inner.payload;
   pm.retries_left = shared_->transport.max_retries;
   pm.rto = RtoFor(dest, pm.envelope.WireSize());
+  pm.rto_cap = shared_->transport.rto_max > 0 ? shared_->transport.rto_max
+               : shared_->transport.rto_max < 0 ? pm.rto * 64
+                                                : 0;
   pm.retraction_rounds =
       retraction_rounds >= 0
           ? retraction_rounds
@@ -408,8 +466,10 @@ void NodeRuntime::TransmitPending(NodeContext* ctx, uint64_t key) {
         static_cast<double>(rto) *
         ctx->rng().UniformDouble(0.0, shared_->transport.rto_jitter));
   }
-  pm.rto = static_cast<SimTime>(static_cast<double>(pm.rto) *
-                                shared_->transport.rto_backoff);
+  SimTime backed_off = static_cast<SimTime>(
+      static_cast<double>(pm.rto) * shared_->transport.rto_backoff);
+  if (pm.rto_cap > 0 && backed_off > pm.rto_cap) backed_off = pm.rto_cap;
+  pm.rto = backed_off;
   NewTimer(ctx, rto, [this, ctx, key]() {
     auto it2 = pending_.find(key);
     if (it2 == pending_.end()) return;  // acked
@@ -629,6 +689,8 @@ void NodeRuntime::OnRestart(NodeContext* ctx) {
   timers_.clear();
   pending_.clear();
   rx_seen_.clear();
+  shed_degraded_ = false;  // shed taint is per-incarnation, like the stores
+  ingress_open_ = 0;
   if (prov_ != nullptr) prov_->Clear();  // lineage ring is RAM too
   repair_.OnRestart(ctx);
 }
@@ -644,6 +706,39 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
   if (it->second.derived) {
     return Status::InvalidArgument("cannot inject derived stream " +
                                    SymbolName(fact.predicate()));
+  }
+  // Admission control (EngineOptions::budget): refuse work at the front
+  // door while the ingress queue is full, or — under the reject-injection
+  // policy — while this node's replica store for the predicate is at
+  // capacity. A refused injection never entered: the sender sees the
+  // error, nothing is stored, launched or tainted.
+  if (budget_on()) {
+    const char* refusal = nullptr;
+    if (shared_->budget.max_ingress > 0 &&
+        ingress_open_ >= shared_->budget.max_ingress) {
+      refusal = "ingress budget exhausted";
+    } else if (op == StreamOp::kInsert &&
+               shared_->budget.policy == ShedPolicy::kRejectInjection &&
+               ReplicaStoreFull(fact.predicate())) {
+      refusal = "replica budget exhausted";
+    }
+    if (refusal != nullptr) {
+      ++shared_->stats.ingress_rejects;
+      if (shared_->metrics != nullptr) {
+        shared_->metrics->Add(id_, "budget", "ingress_rejects");
+      }
+      if (shared_->trace != nullptr && shared_->trace->on()) {
+        TraceRecord r;
+        r.time = ctx->LocalTime();
+        r.node = id_;
+        r.kind = "shed";
+        r.phase = "shed";
+        r.pred = SymbolName(fact.predicate());
+        shared_->trace->Emit(r);
+      }
+      return Status::ResourceExhausted(
+          StrFormat("%s at node %d", refusal, id_));
+    }
   }
   ++shared_->stats.tuples_injected;
   Timestamp now = ctx->LocalTime();
@@ -675,8 +770,12 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
     if (provenance_on()) emit_inject(TraceIdFor(id));
     StartStoragePhase(ctx, fact.predicate(), fact, id, now, /*deletion=*/false,
                       0);
+    // The injection occupies an ingress slot until its join launch fires
+    // (the bounded ingress queue's drain point).
+    if (budget_on()) ++ingress_open_;
     NewTimer(ctx, shared_->timing.JoinDelay(),
              [this, ctx, fact, id, now]() {
+               if (ingress_open_ > 0) --ingress_open_;
                LaunchJoinPasses(ctx, fact.predicate(), fact, id,
                                 StreamOp::kInsert, now);
              });
@@ -695,7 +794,9 @@ Status NodeRuntime::Inject(NodeContext* ctx, StreamOp op, const Fact& fact) {
       StartStoragePhase(ctx, fact.predicate(), fact, tid, rep.gen_ts,
                         /*deletion=*/true, now);
       Fact f = fact;
+      if (budget_on()) ++ingress_open_;
       NewTimer(ctx, shared_->timing.JoinDelay(), [this, ctx, f, tid, now]() {
+        if (ingress_open_ > 0) --ingress_open_;
         LaunchJoinPasses(ctx, f.predicate(), f, tid, StreamOp::kDelete, now);
       });
       return Status::OK();
@@ -770,7 +871,85 @@ void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
   }
 }
 
+void NodeRuntime::RecordShed(NodeContext* ctx, const char* what) {
+  ++shared_->stats.sheds;
+  // Sticky taint: this node's stores/work are now possibly incomplete, so
+  // every join pass it touches must carry the degraded bit (§IV-B
+  // degraded visibility, same channel the repair protocol uses). Cleared
+  // only by reboot, which wipes the shed state along with everything else.
+  shed_degraded_ = true;
+  if (shared_->metrics != nullptr) {
+    shared_->metrics->Add(id_, "budget", "sheds");
+    shared_->metrics->Add(id_, "budget", std::string("sheds_") + what);
+  }
+  if (shared_->trace != nullptr && shared_->trace->on()) {
+    TraceRecord r;
+    r.time = ctx->LocalTime();
+    r.node = id_;
+    r.kind = "shed";
+    r.phase = "shed";
+    r.pred = what;
+    shared_->trace->Emit(r);
+  }
+}
+
+bool NodeRuntime::ReplicaStoreFull(SymbolId pred) const {
+  size_t cap = shared_->budget.max_replicas_per_pred;
+  if (cap == 0) return false;
+  auto it = replicas_.find(pred);
+  if (it == replicas_.end() || it->second.size() < cap) return false;
+  size_t live = 0;
+  for (const auto& [id, rep] : it->second) {
+    if (rep.have_insert && !rep.del_ts.has_value()) ++live;
+  }
+  return live >= cap;
+}
+
+bool NodeRuntime::AdmitReplica(NodeContext* ctx, SymbolId pred,
+                               Timestamp now) {
+  size_t cap = shared_->budget.max_replicas_per_pred;
+  if (!budget_on() || cap == 0) return true;
+  auto it = replicas_.find(pred);
+  // Cheap early-out: live replicas never exceed total entries.
+  if (it == replicas_.end() || it->second.size() < cap) return true;
+  size_t live = 0;
+  auto oldest = it->second.end();
+  for (auto rit = it->second.begin(); rit != it->second.end(); ++rit) {
+    const Replica& rep = rit->second;
+    if (!rep.have_insert || rep.del_ts.has_value()) continue;
+    ++live;
+    if (oldest == it->second.end() ||
+        rep.gen_ts < oldest->second.gen_ts) {
+      oldest = rit;
+    }
+  }
+  if (live < cap) return true;
+  if (shared_->budget.policy == ShedPolicy::kShedFarthestWindow &&
+      oldest != it->second.end()) {
+    // Early-expire the replica farthest into its window. A deletion mark —
+    // not an erase — so removal sweeps still find the tuple and shedding
+    // can never strand a retraction (§IV-A: marks are never removed); the
+    // entry itself is garbage-collected by its normal expiry timer.
+    oldest->second.del_ts = now;
+    ++shared_->stats.budget_evictions;
+    if (shared_->metrics != nullptr) {
+      shared_->metrics->Add(id_, "budget", "budget_evictions");
+    }
+    RecordShed(ctx, "replica_evict");
+    return true;
+  }
+  // Shed-newest (and reject-injection at non-source nodes, where there is
+  // no injector to refuse): the arriving replica is never recorded.
+  RecordShed(ctx, "replica");
+  return false;
+}
+
 void NodeRuntime::RecordReplica(NodeContext* ctx, const StoreWire& store) {
+  if (budget_on() && !store.deletion) {
+    auto pit = replicas_.find(store.pred);
+    bool known = pit != replicas_.end() && pit->second.count(store.id) > 0;
+    if (!known && !AdmitReplica(ctx, store.pred, ctx->LocalTime())) return;
+  }
   Replica& rep = replicas_[store.pred][store.id];
   bool changed = false;
   if (store.deletion) {
@@ -1012,7 +1191,19 @@ void NodeRuntime::ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
   std::vector<Partial> out;
   std::vector<Partial> work = std::move(*partials);
   partials->clear();
+  // Per-step rule-eval budget (EngineOptions::budget): bound how many
+  // partials one evaluation step may expand. Removal passes are exempt —
+  // shedding a removal partial would strand the retraction it carries.
+  size_t eval_cap =
+      budget_on() && !removal ? shared_->budget.max_eval_work : 0;
+  size_t evaluated = 0;
   while (!work.empty()) {
+    if (eval_cap > 0 && evaluated >= eval_cap) {
+      for (size_t i = 0; i < work.size(); ++i) RecordShed(ctx, "eval");
+      work.clear();
+      break;
+    }
+    ++evaluated;
     Partial p = std::move(work.back());
     work.pop_back();
     if (!EvalFilters(delta, &p)) continue;
@@ -1265,7 +1456,7 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
     jp.update_ts = update_ts;
     jp.update_id = id;
     jp.pass_index = 0;
-    jp.degraded = repair_.degraded();
+    jp.degraded = repair_.degraded() || shed_degraded_;
     for (const Partial& p : partials) jp.partials.push_back(ToWire(p));
 
     switch (delta.strategy) {
@@ -1305,9 +1496,10 @@ void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
     return;
   }
   const DeltaPlan& delta = shared_->plan.deltas[jp.delta_index];
-  // A rebooted, not-yet-resynced store may be missing band replicas: taint
-  // every pass that runs through it so its results are flagged.
-  if (repair_.degraded()) jp.degraded = true;
+  // A rebooted, not-yet-resynced store may be missing band replicas — and
+  // so may a store that shed replicas or work under a budget: taint every
+  // pass that runs through either so its results are flagged.
+  if (repair_.degraded() || shed_degraded_) jp.degraded = true;
   shared_->stats.max_partials_in_message = std::max(
       shared_->stats.max_partials_in_message,
       static_cast<uint64_t>(jp.partials.size()));
@@ -1529,6 +1721,10 @@ void NodeRuntime::EmitComplete(NodeContext* ctx, const DeltaPlan& delta,
 }
 
 void NodeRuntime::ShipResult(NodeContext* ctx, ResultWire rw) {
+  // Shed taint rides the existing degraded bit: results shipped by a node
+  // that discarded state or work (including aggregate emissions from a
+  // group home that shed) are flagged "sound but possibly partial".
+  if (shed_degraded_) rw.degraded = true;
   NodeId home = HomeOf(shared_->plan.pred_plan(rw.pred), rw.fact);
   rw.final_target = home;
   ++shared_->stats.results_emitted;
@@ -1746,6 +1942,9 @@ void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
   auto [it, inserted] = rel.map.emplace(rw.fact, HomeEntry{});
   if (inserted) rel.order.push_back(rw.fact);
   HomeEntry& e = it->second;
+  // Sticky: once any contributing pass ran degraded (repair or shedding),
+  // the reported result stays flagged for the shed-soundness invariant.
+  if (rw.degraded) e.degraded = true;
 
   Derivation d;
   d.rule_id = rw.rule_id;
@@ -1872,6 +2071,17 @@ std::vector<Fact> NodeRuntime::HomeFacts(SymbolId pred) const {
   if (it == home_.end()) return out;
   for (const Fact& f : it->second.order) {
     if (it->second.map.at(f).alive) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Fact> NodeRuntime::UndegradedHomeFacts(SymbolId pred) const {
+  std::vector<Fact> out;
+  auto it = home_.find(pred);
+  if (it == home_.end()) return out;
+  for (const Fact& f : it->second.order) {
+    const HomeEntry& e = it->second.map.at(f);
+    if (e.alive && !e.degraded) out.push_back(f);
   }
   return out;
 }

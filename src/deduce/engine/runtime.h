@@ -75,6 +75,24 @@ struct EngineStats {
   /// the rest of the band; a skipped deletion mark is not).
   uint64_t retraction_obligations = 0;
 
+  // --- overload counters (EngineOptions::budget). All zero when budgets
+  //     are off. ---
+  /// Load-shedding actions of any kind: replica-store refusals/evictions,
+  /// dropped transport envelopes, dropped join partials. Every shed also
+  /// taints the shedding node so downstream results carry the degraded
+  /// bit (docs/FAULTS.md "Overload and shedding").
+  uint64_t sheds = 0;
+  /// Injections refused at the front door (bounded ingress queue full, or
+  /// the reject-injection policy refusing a full replica store). The
+  /// sender sees a non-OK Status; nothing entered, nothing is tainted.
+  uint64_t ingress_rejects = 0;
+  /// Replica-store evictions under the shed-farthest-window policy (the
+  /// oldest live replica is early-expired via a deletion mark, keeping
+  /// retraction sound).
+  uint64_t budget_evictions = 0;
+  /// MemSqueeze chaos events applied (budget caps shrunk mid-run).
+  uint64_t budget_squeezes = 0;
+
   // --- state-repair counters (EngineOptions::repair; repair.h). All zero
   //     when both repair modes are off. ---
   /// Digest exchanges started (reboot resyncs + anti-entropy rounds).
@@ -124,6 +142,12 @@ struct TransportOptions {
   /// loss-free run never retransmits spuriously.
   SimTime rto = -1;
   double rto_backoff = 2.0;  ///< RTO multiplier per retransmission.
+  /// Ceiling on the backed-off RTO. -1 = auto: 64x the message's initial
+  /// RTO — beyond the reach of the default retry budget (2^4 < 64), so
+  /// the auto cap never changes historical schedules, but a raised
+  /// `max_retries` no longer grows the timeout unboundedly (a healed peer
+  /// would otherwise wait hours for the next probe). 0 = uncapped.
+  SimTime rto_max = -1;
   /// Randomized slack added to each armed RTO: the timer fires after
   /// rto * (1 + U[0, rto_jitter]), desynchronizing retransmit bursts from
   /// origins that gave up on the same dead hop simultaneously. 0 keeps
@@ -143,6 +167,65 @@ struct TransportOptions {
   /// fresh reliable send (1 + max_retries attempts), so quiescence stays
   /// guaranteed even toward a permanently dead destination.
   int retraction_rounds = 8;
+};
+
+/// What a node does when a resource budget is exceeded (BudgetOptions).
+enum class ShedPolicy {
+  /// Drop the arriving item: the replica store keeps what it has, the
+  /// newest tuple is never recorded here.
+  kShedNewest,
+  /// Early-expire the oldest live replica (the one farthest into its
+  /// window) to admit the new one. The victim keeps a deletion mark so
+  /// removal sweeps still find it — shedding must never lose a
+  /// retraction (docs/FAULTS.md).
+  kShedFarthestWindow,
+  /// Refuse new injections at the full node with a sender-visible error;
+  /// stored state and in-flight work are never shed.
+  kRejectInjection,
+};
+
+/// Per-node resource budgets (EngineOptions::budget). Off by default:
+/// every cap unlimited, zero overhead, bit-identical schedules. When
+/// enabled, a node that runs out of a budget sheds load under `policy`
+/// instead of growing without bound; every shed is counted
+/// (EngineStats::sheds), traced (phase "shed") and taints the node so
+/// results produced through it carry the degraded bit — consumers can
+/// distinguish "sound but possibly partial" from "complete". Shedding
+/// never drops deletion-critical or aggregate traffic: a lost retraction
+/// would leave an undegradable phantom standing, which would break the
+/// shedding-soundness invariant (invariants.h).
+struct BudgetOptions {
+  bool enabled = false;
+  /// Cap on live (undeleted, insert-seen) replicas a node stores per
+  /// predicate; 0 = unlimited.
+  size_t max_replicas_per_pred = 0;
+  /// Cap on unacked reliable-transport envelopes a node keeps in flight;
+  /// 0 = unlimited. Only sheddable (additive) envelopes are dropped.
+  size_t max_inflight = 0;
+  /// Cap on join partials one rule-evaluation step may expand; 0 =
+  /// unlimited. Work beyond the cap is shed, not deferred.
+  size_t max_eval_work = 0;
+  /// Bounded ingress queue: cap on injections admitted at a node whose
+  /// storage/join launch has not fired yet; 0 = unlimited. An injection
+  /// over the cap is rejected with a sender-visible Status — the
+  /// backpressure signal a resident `dlogd` front door needs.
+  size_t max_ingress = 0;
+  ShedPolicy policy = ShedPolicy::kShedNewest;
+
+  /// MemSqueeze chaos axis: shrinks every active cap by `factor`
+  /// (floored at 1) — the mid-run budget cut a co-tenant or a dying
+  /// battery would impose.
+  void Squeeze(double factor) {
+    auto shrink = [factor](size_t cap) -> size_t {
+      if (cap == 0) return 0;
+      double scaled = static_cast<double>(cap) * factor;
+      return scaled < 1.0 ? 1 : static_cast<size_t>(scaled);
+    };
+    max_replicas_per_pred = shrink(max_replicas_per_pred);
+    max_inflight = shrink(max_inflight);
+    max_eval_work = shrink(max_eval_work);
+    max_ingress = shrink(max_ingress);
+  }
 };
 
 /// Suspected-failure view shared by all node runtimes of one engine.
@@ -208,6 +291,8 @@ struct EngineShared {
   EngineTiming timing;
   EngineStats stats;
   TransportOptions transport;
+  /// Mutable at runtime: the MemSqueeze chaos axis shrinks caps mid-run.
+  BudgetOptions budget;
   RepairOptions repair;
   /// Per-hop frame checksum (EngineOptions::checksum): senders append a
   /// 4-byte FNV-1a of the payload, receivers verify and strip it before
@@ -255,6 +340,10 @@ class NodeRuntime : public NodeApp {
   /// Alive facts of this node's home store for `pred` (derived stream
   /// tuples whose home is this node).
   std::vector<Fact> HomeFacts(SymbolId pred) const;
+  /// Alive home facts for `pred` that no applied derivation ever tagged
+  /// degraded — the "complete" subset the shedding-soundness invariant
+  /// compares against the fault-free oracle (invariants.h).
+  std::vector<Fact> UndegradedHomeFacts(SymbolId pred) const;
 
   /// Number of replica entries currently held (memory accounting, §V).
   size_t ReplicaCount() const;
@@ -298,6 +387,10 @@ class NodeRuntime : public NodeApp {
     bool pending = false;
     /// Invalidates stale finalization timers.
     uint64_t epoch = 0;
+    /// Sticky: some applied insert derivation carried the degraded bit
+    /// (produced through a repairing or shedding node). Undegraded entries
+    /// are what the shedding-soundness invariant holds to the oracle.
+    bool degraded = false;
     std::set<Derivation> derivs;
     /// Retraction protocol only (TransportOptions::retraction): permanent
     /// tombstones for retracted derivations. A removal result can beat its
@@ -326,6 +419,7 @@ class NodeRuntime : public NodeApp {
     std::vector<uint8_t> inner_payload;  ///< For path repair on give-up.
     int retries_left = 0;
     SimTime rto = 0;                     ///< Next timeout (backed off).
+    SimTime rto_cap = 0;                 ///< Backoff ceiling (0 = none).
     /// Retraction-protocol requeue rounds left on give-up (0 when the
     /// protocol is off or the message is not deletion-critical).
     int retraction_rounds = 0;
@@ -454,6 +548,29 @@ class NodeRuntime : public NodeApp {
   void GenerateDerivedUpdate(NodeContext* ctx, SymbolId pred, const Fact& fact,
                              const TupleId& id, StreamOp op, Timestamp ts);
 
+  // --- resource budgets (EngineOptions::budget) ---
+  bool budget_on() const { return shared_->budget.enabled; }
+  /// Counts one shed of kind `what` (metrics component "budget", trace
+  /// phase "shed") and taints this node: every join pass it processes
+  /// from now on carries the degraded bit, because results computed
+  /// against a store that shed state are sound but possibly incomplete —
+  /// and, under negation, only trustworthy when flagged.
+  void RecordShed(NodeContext* ctx, const char* what);
+  /// True when the envelope for `inner_type`/payload may be shed: only
+  /// additive traffic (insert stores, insert join passes, insert
+  /// results). Deletion-critical, aggregate, repair and transport-control
+  /// messages must never be dropped by the budget.
+  static bool SheddableEnvelope(uint16_t inner_type,
+                                const std::vector<uint8_t>& payload);
+  /// True when this node already stores `max_replicas_per_pred` live
+  /// (insert-seen, unmarked) replicas of `pred`.
+  bool ReplicaStoreFull(SymbolId pred) const;
+  /// Enforces max_replicas_per_pred before recording an insert replica.
+  /// Returns false when the arriving replica must not be recorded
+  /// (shed-newest / reject-injection at capacity); may instead
+  /// early-expire the oldest live replica (shed-farthest-window).
+  bool AdmitReplica(NodeContext* ctx, SymbolId pred, Timestamp now);
+
   // --- helpers ---
   NodeId HomeOf(const PredicatePlan& plan, const Fact& fact) const;
   void SendEngineMessage(NodeContext* ctx, NodeId final_target, Message msg);
@@ -498,6 +615,16 @@ class NodeRuntime : public NodeApp {
   std::unordered_map<int, std::function<void()>> timers_;
   int next_timer_ = 0;
   uint32_t seq_ = 0;
+
+  // --- budget state (EngineOptions::budget; all idle when budgets off) ---
+  /// Sticky shed taint: this node discarded state or work, so its passes
+  /// must carry the degraded bit. Cleared on reboot — volatile RAM loses
+  /// shed and unshed state alike, and the repair path owns post-reboot
+  /// degradation.
+  bool shed_degraded_ = false;
+  /// Injections admitted whose storage/join launch timer has not fired
+  /// yet (the bounded ingress queue's occupancy).
+  size_t ingress_open_ = 0;
 
   // --- provenance (EngineOptions::provenance) ---
   bool provenance_on() const { return prov_ != nullptr; }

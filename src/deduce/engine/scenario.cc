@@ -52,6 +52,12 @@ const char* FaultKindName(const FaultEvent& ev) {
       return "recover";
     case FaultEvent::Kind::kHealLinks:
       return "heal";
+    case FaultEvent::Kind::kSlowNode:
+      return "slow";
+    case FaultEvent::Kind::kMemSqueeze:
+      return "squeeze";
+    case FaultEvent::Kind::kInjectStorm:
+      return "storm";
     case FaultEvent::Kind::kAddLinkFault:
       switch (ev.rule.kind) {
         case LinkFaultRule::Kind::kCut:
@@ -73,6 +79,22 @@ std::string FormatFault(const FaultEvent& ev) {
   if (ev.kind == FaultEvent::Kind::kFail ||
       ev.kind == FaultEvent::Kind::kRecover) {
     out += StrFormat(" %d", ev.node);
+    return out;
+  }
+  if (ev.kind == FaultEvent::Kind::kSlowNode) {
+    out += StrFormat(" %d stall=%lld", ev.node,
+                     static_cast<long long>(ev.magnitude));
+    return out;
+  }
+  if (ev.kind == FaultEvent::Kind::kMemSqueeze) {
+    // magnitude is an integer percentage; serialize the factor it encodes.
+    out += StrFormat(" factor=%g",
+                     static_cast<double>(ev.magnitude) / 100.0);
+    return out;
+  }
+  if (ev.kind == FaultEvent::Kind::kInjectStorm) {
+    out += StrFormat(" %d count=%lld pred=%s", ev.node,
+                     static_cast<long long>(ev.magnitude), ev.arg.c_str());
     return out;
   }
   out += " " + NodeList(ev.rule.src) + " -> " + NodeList(ev.rule.dst);
@@ -108,6 +130,42 @@ Status ParseFault(const std::string& line, int lineno, FaultPlan* plan) {
       plan->Recover(time, node);
     }
     return Status::OK();
+  }
+  if (kind == "slow") {
+    int node;
+    std::string opt;
+    if (!(ls >> node >> opt) || opt.rfind("stall=", 0) != 0) {
+      return bad("expected '<node> stall=<us>'");
+    }
+    plan->SlowNode(time, node, std::strtoll(opt.c_str() + 6, nullptr, 10));
+    return Status::OK();
+  }
+  if (kind == "squeeze") {
+    std::string opt;
+    if (!(ls >> opt) || opt.rfind("factor=", 0) != 0) {
+      return bad("expected 'factor=<f>'");
+    }
+    plan->MemSqueeze(time, std::strtod(opt.c_str() + 7, nullptr));
+    return Status::OK();
+  }
+  if (kind == "storm") {
+    int node;
+    std::string count_opt, pred_opt;
+    if (!(ls >> node >> count_opt >> pred_opt) ||
+        count_opt.rfind("count=", 0) != 0 ||
+        pred_opt.rfind("pred=", 0) != 0) {
+      return bad("expected '<node> count=<n> pred=<name>'");
+    }
+    plan->InjectStorm(time, node, pred_opt.substr(5),
+                      std::strtoll(count_opt.c_str() + 6, nullptr, 10));
+    return Status::OK();
+  }
+  if (kind != "cut" && kind != "heal" && kind != "corrupt" &&
+      kind != "dup" && kind != "delay") {
+    // Explicitly reject rather than best-effort: a replayed reproducer
+    // with a fault this build does not know cannot be trusted to
+    // reproduce anything.
+    return bad(("unknown fault kind '" + kind + "'").c_str());
   }
   std::string src_text, arrow, dst_text;
   if (!(ls >> src_text >> arrow >> dst_text) || arrow != "->") {
@@ -193,7 +251,7 @@ bool StorageFromName(const std::string& name, StoragePolicy* out) {
 // ---------------------------------------------------------------------
 
 std::string Scenario::ToText() const {
-  std::string out = "# deduce chaos scenario v1\n";
+  std::string out = "# deduce chaos scenario v2\n";
   out += StrFormat("seed %llu\n", static_cast<unsigned long long>(seed));
   out += StrFormat("grid %d\n", grid);
   out += StrFormat("loss %g\n", loss);
@@ -206,6 +264,16 @@ std::string Scenario::ToText() const {
   out += StrFormat("rto_jitter %g\n", rto_jitter);
   out += StrFormat("retraction %d\n", retraction ? 1 : 0);
   out += "storage " + storage + "\n";
+  out += StrFormat("budget %d\n", budget ? 1 : 0);
+  out += StrFormat("budget_replicas %llu\n",
+                   static_cast<unsigned long long>(budget_replicas));
+  out += StrFormat("budget_inflight %llu\n",
+                   static_cast<unsigned long long>(budget_inflight));
+  out += StrFormat("budget_eval %llu\n",
+                   static_cast<unsigned long long>(budget_eval));
+  out += StrFormat("budget_ingress %llu\n",
+                   static_cast<unsigned long long>(budget_ingress));
+  out += "shed_policy " + shed_policy + "\n";
   out += "[program]\n";
   out += program;
   if (!program.empty() && program.back() != '\n') out += '\n';
@@ -243,6 +311,20 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
     std::string trimmed(StrTrim(line));
     if (section != Section::kProgram &&
         (trimmed.empty() || trimmed[0] == '#')) {
+      // Version pragma: "# deduce chaos scenario vN". Files without one
+      // predate versioning and parse as v1; an unknown future version is
+      // rejected outright (this build cannot replay it faithfully).
+      constexpr char kVersionPrefix[] = "# deduce chaos scenario v";
+      if (trimmed.rfind(kVersionPrefix, 0) == 0) {
+        const char* digits = trimmed.c_str() + sizeof(kVersionPrefix) - 1;
+        char* end = nullptr;
+        long version = std::strtol(digits, &end, 10);
+        if (end == digits || *end != '\0' || version < 1 || version > 2) {
+          return fail(StrFormat(
+              "unsupported scenario version '%s' (this build reads v1-v2)",
+              digits));
+        }
+      }
       continue;
     }
     if (trimmed == "[program]") {
@@ -288,6 +370,18 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
           s.retraction = value != "0";
         } else if (key == "storage") {
           s.storage = value;
+        } else if (key == "budget") {
+          s.budget = value != "0";
+        } else if (key == "budget_replicas") {
+          s.budget_replicas = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "budget_inflight") {
+          s.budget_inflight = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "budget_eval") {
+          s.budget_eval = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "budget_ingress") {
+          s.budget_ingress = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "shed_policy") {
+          s.shed_policy = value;
         } else {
           return fail("unknown header key '" + key + "'");
         }
@@ -316,6 +410,11 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
   if (!StorageFromName(s.storage, &ignored)) {
     return StatusOr<Scenario>(Status::InvalidArgument(
         "scenario: unknown storage '" + s.storage + "'"));
+  }
+  if (s.shed_policy != "newest" && s.shed_policy != "farthest" &&
+      s.shed_policy != "reject") {
+    return StatusOr<Scenario>(Status::InvalidArgument(
+        "scenario: unknown shed_policy '" + s.shed_policy + "'"));
   }
   if (s.grid < 1) {
     return StatusOr<Scenario>(Status::InvalidArgument("scenario: bad grid"));
@@ -352,6 +451,34 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
   if (!program.ok()) return StatusOr<ScenarioOutcome>(program.status());
 
   std::vector<ScenarioEvent> events = scenario.events;
+
+  // InjectStorm expansion: each storm fault becomes a deterministic burst
+  // of insertions merged into the ordinary event list. Expanding here (not
+  // in the network) means the oracle sees exactly the storm facts that
+  // were admitted — Inject's return value per fact feeds the same
+  // `happened` bookkeeping as hand-written events. Tuple payloads start at
+  // 1'000'000 + storm_index * 100'000 so they can never collide with a
+  // sampled workload's sequence numbers.
+  {
+    int storm_idx = 0;
+    for (const FaultEvent& fe : scenario.faults.events) {
+      if (fe.kind != FaultEvent::Kind::kInjectStorm) continue;
+      SymbolId pred = Intern(fe.arg);
+      Rng srng(scenario.seed ^
+               (0x5bd1e995ULL * static_cast<uint64_t>(storm_idx + 1)));
+      for (int64_t i = 0; i < fe.magnitude; ++i) {
+        ScenarioEvent ev;
+        ev.time = fe.time + i * 1000;  // 1 ms apart: a flood, not a tie.
+        ev.node = fe.node;
+        ev.op = StreamOp::kInsert;
+        ev.fact = Fact(pred, {Term::Int(srng.Uniform(1, 4)),
+                              Term::Int(fe.node),
+                              Term::Int(1'000'000 + storm_idx * 100'000 + i)});
+        events.push_back(std::move(ev));
+      }
+      ++storm_idx;
+    }
+  }
   std::stable_sort(events.begin(), events.end(),
                    [](const ScenarioEvent& a, const ScenarioEvent& b) {
                      return a.time < b.time;
@@ -372,6 +499,17 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
   options.repair.enabled = scenario.repair;
   options.repair.anti_entropy_period = scenario.anti_entropy_period;
   options.checksum = scenario.checksum;
+  options.budget.enabled = scenario.budget;
+  options.budget.max_replicas_per_pred =
+      static_cast<size_t>(scenario.budget_replicas);
+  options.budget.max_inflight = static_cast<size_t>(scenario.budget_inflight);
+  options.budget.max_eval_work = static_cast<size_t>(scenario.budget_eval);
+  options.budget.max_ingress = static_cast<size_t>(scenario.budget_ingress);
+  options.budget.policy = scenario.shed_policy == "farthest"
+                              ? ShedPolicy::kShedFarthestWindow
+                          : scenario.shed_policy == "reject"
+                              ? ShedPolicy::kRejectInjection
+                              : ShedPolicy::kShedNewest;
   if (!StorageFromName(scenario.storage, &options.planner.default_storage)) {
     return StatusOr<ScenarioOutcome>(
         Status::InvalidArgument("unknown storage " + scenario.storage));
@@ -450,11 +588,22 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
   out.gave_up = stats.gave_up_messages;
   out.repaired = stats.repaired_messages;
   out.quiesce_time = net.now();
+  out.overload = scenario.budget;
+  out.sheds = stats.sheds;
+  out.ingress_rejects = stats.ingress_rejects;
+  out.budget_evictions = stats.budget_evictions;
+  out.budget_squeezes = stats.budget_squeezes;
+  out.deliveries_stalled = net.stats().deliveries_stalled;
+  out.degraded_results = stats.degraded_results;
 
   InvariantOptions inv;
   inv.oracle = &out.oracle;
-  inv.check_convergence =
-      scenario.anti_entropy_period > 0 && net.link_faults().empty();
+  // Shedding can legitimately leave peers' replica stores divergent (an
+  // evicted replica is gone on one band member, live on another), so
+  // convergence is only meaningful with budgets off.
+  inv.check_convergence = scenario.anti_entropy_period > 0 &&
+                          net.link_faults().empty() && !scenario.budget;
+  inv.shed_tolerant = scenario.budget;
   out.report = CheckInvariants(**engine, inv);
   return out;
 }
@@ -495,6 +644,19 @@ std::string ScenarioOutcome::Summary() const {
       static_cast<unsigned long long>(retransmissions),
       static_cast<unsigned long long>(gave_up),
       static_cast<unsigned long long>(repaired));
+  if (overload) {
+    // Only overload runs print this line, keeping every pre-v2 committed
+    // transcript byte-identical.
+    out += StrFormat(
+        "overload: sheds=%llu ingress_rejects=%llu evictions=%llu "
+        "squeezes=%llu stalled=%llu degraded=%llu\n",
+        static_cast<unsigned long long>(sheds),
+        static_cast<unsigned long long>(ingress_rejects),
+        static_cast<unsigned long long>(budget_evictions),
+        static_cast<unsigned long long>(budget_squeezes),
+        static_cast<unsigned long long>(deliveries_stalled),
+        static_cast<unsigned long long>(degraded_results));
+  }
   out += StrFormat("quiesced_at_us %lld\n",
                    static_cast<long long>(quiesce_time));
   out += report.ToString();
@@ -535,12 +697,33 @@ Scenario SampleScenario(uint64_t seed, const ChaosProfile& profile) {
   s.anti_entropy_period = profile.anti_entropy_period;
   s.checksum = profile.checksum;
   s.rto_jitter = profile.rto_jitter;
-  s.retraction = profile.retraction;
+  s.retraction = profile.retraction || profile.overload;
   s.program = kChaosProgram;
 
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
   int n = profile.grid * profile.grid;
   SimTime horizon = profile.horizon;
+
+  if (profile.overload) {
+    // Tight budgets so the storm axis actually sheds, the policy drawn
+    // from the seed so the sweep covers all three.
+    s.budget = true;
+    s.budget_replicas = static_cast<uint64_t>(rng.Uniform(6, 12));
+    s.budget_inflight = static_cast<uint64_t>(rng.Uniform(12, 24));
+    s.budget_eval = static_cast<uint64_t>(rng.Uniform(6, 12));
+    s.budget_ingress = static_cast<uint64_t>(rng.Uniform(8, 16));
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        s.shed_policy = "newest";
+        break;
+      case 1:
+        s.shed_policy = "farthest";
+        break;
+      default:
+        s.shed_policy = "reject";
+        break;
+    }
+  }
 
   // Workload: a stream of r/s inserts (with occasional deletes of an
   // earlier insert) whose keys collide often enough to produce joins.
@@ -573,6 +756,28 @@ Scenario SampleScenario(uint64_t seed, const ChaosProfile& profile) {
       alive.push_back(ev);
     }
     s.events.push_back(std::move(ev));
+  }
+
+  if (profile.overload) {
+    // Overload axes only — storms, stragglers, squeezes. The link axes
+    // (loss, corruption, cuts) have their own sweep; mixing them here
+    // would blur which robustness layer a violation indicts.
+    NodeId hot = static_cast<NodeId>(rng.Uniform(0, n - 1));
+    SimTime start = rng.Uniform(horizon / 10, horizon / 3);
+    s.faults.InjectStorm(start, hot, rng.Bernoulli(0.5) ? "r" : "s",
+                         rng.Uniform(30, 60));
+    if (rng.Bernoulli(0.6)) {  // straggler window, later cleared
+      NodeId slow = static_cast<NodeId>(rng.Uniform(0, n - 1));
+      SimTime at = rng.Uniform(horizon / 10, horizon / 2);
+      s.faults.SlowNode(at, slow, rng.Uniform(10, 40) * 1000);
+      s.faults.SlowNode(at + rng.Uniform(horizon / 10, horizon / 3), slow,
+                        0);
+    }
+    if (rng.Bernoulli(0.5)) {  // budget squeeze mid-run
+      s.faults.MemSqueeze(rng.Uniform(horizon / 4, (horizon * 3) / 4),
+                          static_cast<double>(rng.Uniform(4, 8)) / 10.0);
+    }
+    return s;
   }
 
   // Fault schedule: 1-3 independent clauses. Every windowed clause heals

@@ -27,7 +27,7 @@ struct ScenarioEvent {
 /// saved scenario is bit-exact. Serialized as a small text format
 /// (docs/FAULTS.md):
 ///
-///     # deduce chaos scenario v1
+///     # deduce chaos scenario v2
 ///     seed 42
 ///     grid 4
 ///     ...
@@ -39,7 +39,14 @@ struct ScenarioEvent {
 ///     cut 200000 0,1 -> 2,3
 ///     heal 500000 0,1 -> 2,3
 ///     corrupt 100000 * -> * rate=0.2
+///     slow 100000 5 stall=20000
+///     squeeze 300000 factor=0.5
+///     storm 150000 7 count=40 pred=r
 ///     [end]
+///
+/// FromText accepts v1 (pre-overload, no budget header keys) and v2
+/// files; an unknown future version or unknown fault kind is a parse
+/// error, never best-effort (`dlog replay` exits 2).
 struct Scenario {
   uint64_t seed = 1;        ///< Network RNG seed.
   int grid = 4;             ///< Grid side; topology is grid x grid.
@@ -55,6 +62,14 @@ struct Scenario {
   /// so committed reproducers keep replaying bit-exactly.
   bool retraction = false;
   std::string storage = "row";  ///< row|broadcast|local|centroid.
+  /// Overload budgets (format v2; see EngineOptions::budget). All off /
+  /// zero in v1 files, keeping committed reproducers bit-exact.
+  bool budget = false;
+  uint64_t budget_replicas = 0;   ///< Live replicas per predicate per node.
+  uint64_t budget_inflight = 0;   ///< In-flight reliable envelopes per node.
+  uint64_t budget_eval = 0;       ///< Join-pass launches per storage event.
+  uint64_t budget_ingress = 0;    ///< Open injection admissions per node.
+  std::string shed_policy = "newest";  ///< newest|farthest|reject.
   std::string program;          ///< Datalog source text.
   std::vector<ScenarioEvent> events;
   FaultPlan faults;
@@ -79,6 +94,15 @@ struct ScenarioOutcome {
   uint64_t gave_up = 0;
   uint64_t repaired = 0;
   SimTime quiesce_time = 0;
+  /// Overload counters; reported (and nonzero) only when the scenario ran
+  /// with budgets on, so v1 transcripts stay byte-identical.
+  bool overload = false;
+  uint64_t sheds = 0;
+  uint64_t ingress_rejects = 0;
+  uint64_t budget_evictions = 0;
+  uint64_t budget_squeezes = 0;
+  uint64_t deliveries_stalled = 0;
+  uint64_t degraded_results = 0;
 
   /// Deterministic multi-line report (sorted results + counters +
   /// invariant verdict). `dlog replay` prints exactly this, so two runs
@@ -104,6 +128,12 @@ struct ChaosProfile {
   double rto_jitter = 0.1;
   /// Deletion-critical requeue protocol (`dlog chaos --retraction`).
   bool retraction = false;
+  /// Overload sampling (`dlog chaos --overload`): budgets on with tight
+  /// caps, shed policy drawn from the seed, and the fault schedule drawn
+  /// from the storm/straggler/squeeze axes instead of the link axes.
+  /// Implies retraction (the deletion-critical requeue keeps shed runs
+  /// phantom-free).
+  bool overload = false;
 };
 
 /// Samples a random two-stream-join workload plus an adversarial fault

@@ -61,9 +61,12 @@ struct JoinPassWire {
   uint32_t pass_index = 0;   ///< Multipass pass / local-route step index.
   std::vector<NodeId> path_remaining;
   std::vector<PartialWire> partials;
-  /// Some visited node was rebooted and not yet resynced (repair.h), so the
-  /// pass may have missed replicas the band still holds. Sticky: once set it
-  /// travels to the emitted results.
+  /// Some visited node was rebooted and not yet resynced (repair.h), OR had
+  /// shed load under a resource budget (runtime.h BudgetOptions) — either
+  /// way the pass may have missed replicas and its answer is partial.
+  /// Sticky: once set it travels to the emitted results. Shed taint rides
+  /// this same bit so the wire format (and every committed baseline) is
+  /// unchanged by the budget layer.
   bool degraded = false;
 
   Message Encode() const;
@@ -80,8 +83,11 @@ struct ResultWire {
   int32_t rule_id = -1;
   std::vector<TupleId> support;
   Timestamp update_ts = 0;
-  /// The producing pass ran through a degraded (rebooted, not-yet-resynced)
-  /// node; the result is sound but its generation may be incomplete.
+  /// The producing pass ran through a degraded node — rebooted and
+  /// not-yet-resynced (repair.h) or load-shedding under a budget
+  /// (runtime.h) — so the result is sound but its generation may be
+  /// incomplete. Consumers distinguishing "complete" from "partial" read
+  /// this bit (see DistributedEngine::UndegradedResultDatabase).
   bool degraded = false;
 
   Message Encode() const;

@@ -58,6 +58,7 @@ void NetworkStats::ExportTo(MetricsRegistry* registry) const {
   registry->Add(-1, "chaos", "corrupted_delivered", corrupted_delivered);
   registry->Add(-1, "chaos", "duplicated", duplicated);
   registry->Add(-1, "chaos", "reordered", reordered);
+  registry->Add(-1, "chaos", "deliveries_stalled", deliveries_stalled);
 }
 
 const Location& NodeContext::location() const {
@@ -103,6 +104,7 @@ Network::Network(Topology topology, LinkModel link, uint64_t seed)
   skews_.reserve(static_cast<size_t>(n));
   failed_.assign(static_cast<size_t>(n), false);
   incarnations_.assign(static_cast<size_t>(n), 0);
+  stall_.assign(static_cast<size_t>(n), 0);
   stats_.per_node.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     contexts_.push_back(std::make_unique<NodeContext>(this, i));
@@ -161,9 +163,23 @@ void Network::ApplyFaultPlan(const FaultPlan& plan) {
         case FaultEvent::Kind::kHealLinks:
           HealLinks(ev.rule.src, ev.rule.dst);
           break;
+        case FaultEvent::Kind::kSlowNode:
+          SetNodeStall(ev.node, ev.magnitude);
+          break;
+        case FaultEvent::Kind::kMemSqueeze:
+        case FaultEvent::Kind::kInjectStorm:
+          // Not network-level faults: the engine (budget squeeze) and the
+          // scenario harness (storm expansion) own these. Hooks let them
+          // observe the firing without the network knowing their types.
+          for (const auto& hook : fault_hooks_) hook(ev);
+          break;
       }
     });
   }
+}
+
+void Network::SetNodeStall(NodeId id, SimTime stall) {
+  stall_[static_cast<size_t>(id)] = stall < 0 ? 0 : stall;
 }
 
 void Network::AddLinkFault(LinkFaultRule rule) {
@@ -278,6 +294,39 @@ FaultPlan FaultPlan::Churn(const std::vector<NodeId>& nodes,
   return plan;
 }
 
+FaultPlan& FaultPlan::SlowNode(SimTime time, NodeId node, SimTime stall) {
+  FaultEvent ev;
+  ev.time = time;
+  ev.node = node;
+  ev.kind = FaultEvent::Kind::kSlowNode;
+  ev.magnitude = stall;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::MemSqueeze(SimTime time, double factor) {
+  FaultEvent ev;
+  ev.time = time;
+  ev.kind = FaultEvent::Kind::kMemSqueeze;
+  // Stored as an integer percentage so fault plans stay exactly
+  // serializable in the scenario text format.
+  ev.magnitude = static_cast<int64_t>(factor * 100.0 + 0.5);
+  events.push_back(std::move(ev));
+  return *this;
+}
+
+FaultPlan& FaultPlan::InjectStorm(SimTime time, NodeId node,
+                                  const std::string& pred, int64_t count) {
+  FaultEvent ev;
+  ev.time = time;
+  ev.node = node;
+  ev.kind = FaultEvent::Kind::kInjectStorm;
+  ev.magnitude = count;
+  ev.arg = pred;
+  events.push_back(std::move(ev));
+  return *this;
+}
+
 FaultPlan FaultPlan::RebootStorm(const std::vector<NodeId>& nodes,
                                  SimTime first_fail, SimTime downtime,
                                  SimTime stagger, int waves,
@@ -373,6 +422,12 @@ bool Network::Deliver(NodeId from, NodeId to, Message msg) {
       delay += rng_.Uniform(0, slow->extra_delay);
       ++stats_.reordered;
     }
+  }
+  // Straggler receiver (SlowNode): its radio queue drains late. A fixed
+  // stall, no RNG draw — runs without stalls stay bit-identical.
+  if (stall_[static_cast<size_t>(to)] > 0) {
+    delay += stall_[static_cast<size_t>(to)];
+    ++stats_.deliveries_stalled;
   }
   auto shared = std::make_shared<Message>(std::move(msg));
   if (batched_delivery_) {

@@ -89,6 +89,9 @@ struct NetworkStats {
   /// Frames appended to an already-scheduled same-edge same-tick batch
   /// (i.e. event-queue entries saved). Zero unless batched delivery is on.
   uint64_t frames_coalesced = 0;
+  /// Deliveries given extra latency because the receiver is a SlowNode
+  /// straggler (overload chaos axis). Zero unless a stall is active.
+  uint64_t deliveries_stalled = 0;
 
   uint64_t TotalMessages() const;
   uint64_t TotalBytes() const;
@@ -193,14 +196,29 @@ struct LinkFaultRule {
 
 /// One scheduled fault-injection event. `kFail`/`kRecover` use `node`;
 /// the link-fault kinds carry a LinkFaultRule installed (or, for
-/// kHealLinks, removed) at `time`.
+/// kHealLinks, removed) at `time`. The overload axes use `magnitude`
+/// (kSlowNode: stall in us, 0 clears; kMemSqueeze: percent of each budget
+/// cap kept, e.g. 50 halves; kInjectStorm: burst tuple count) and `arg`
+/// (kInjectStorm: target predicate name) — kMemSqueeze and kInjectStorm
+/// are not handled by the network itself but dispatched to fault hooks /
+/// expanded by the scenario harness.
 struct FaultEvent {
-  enum class Kind { kFail, kRecover, kAddLinkFault, kHealLinks };
+  enum class Kind {
+    kFail,
+    kRecover,
+    kAddLinkFault,
+    kHealLinks,
+    kSlowNode,
+    kMemSqueeze,
+    kInjectStorm,
+  };
   SimTime time = 0;
   NodeId node = kNoNode;
   Kind kind = Kind::kFail;
   LinkFaultRule rule;  ///< kAddLinkFault: rule to install; kHealLinks:
                        ///< src/dst sets whose rules (all kinds) to remove.
+  int64_t magnitude = 0;  ///< Overload axes; see kind docs above.
+  std::string arg;        ///< kInjectStorm: predicate name.
 };
 
 /// A deterministic schedule of fault events driven by the simulator
@@ -255,6 +273,20 @@ struct FaultPlan {
   static FaultPlan RebootStorm(const std::vector<NodeId>& nodes,
                                SimTime first_fail, SimTime downtime,
                                SimTime stagger, int waves, SimTime wave_gap);
+  /// Straggler: every delivery INTO `node` gets `stall` extra latency from
+  /// `time` on (stall = 0 restores normal speed). Models a node whose CPU
+  /// is saturated — packets queue at its radio.
+  FaultPlan& SlowNode(SimTime time, NodeId node, SimTime stall);
+  /// Shrinks every enabled budget cap to `factor` (0 < factor <= 1) of its
+  /// current value at `time`, via the engine's fault hook. No-op when
+  /// budgets are off.
+  FaultPlan& MemSqueeze(SimTime time, double factor);
+  /// Burst injection flood: the scenario harness expands this into `count`
+  /// deterministic insertions of predicate `pred` at `node` starting at
+  /// `time` (see engine/scenario.h). The network dispatches it to fault
+  /// hooks only; outside the harness it is inert.
+  FaultPlan& InjectStorm(SimTime time, NodeId node, const std::string& pred,
+                         int64_t count);
 };
 
 /// The simulated sensor network: topology + link model + per-node apps,
@@ -300,6 +332,21 @@ class Network {
   /// and a tool's CSV trace can observe the same run).
   void AddTraceSink(std::function<void(const TraceEvent&)> sink) {
     if (sink) traces_.push_back(std::move(sink));
+  }
+
+  /// Registers a callback invoked when a fault event the network does not
+  /// handle natively fires (currently kMemSqueeze and kInjectStorm). Lets
+  /// the engine react to fault-plan events without the network knowing
+  /// engine types. Hooks run at the event's scheduled time, in
+  /// registration order.
+  void AddFaultHook(std::function<void(const FaultEvent&)> hook) {
+    if (hook) fault_hooks_.push_back(std::move(hook));
+  }
+
+  /// Sets the per-delivery stall for `node` (kSlowNode; 0 clears).
+  void SetNodeStall(NodeId id, SimTime stall);
+  SimTime node_stall(NodeId id) const {
+    return stall_[static_cast<size_t>(id)];
   }
 
   /// Kills a node: it stops receiving and sending (fault injection).
@@ -388,7 +435,9 @@ class Network {
   std::vector<uint64_t> incarnations_;
   NetworkStats stats_;
   std::vector<LinkFaultRule> link_faults_;
+  std::vector<SimTime> stall_;  ///< Per-node delivery stall (kSlowNode).
   std::vector<std::function<void(const TraceEvent&)>> traces_;
+  std::vector<std::function<void(const FaultEvent&)>> fault_hooks_;
   bool batched_delivery_ = false;
   std::unordered_map<BatchKey, std::vector<PendingFrame>, BatchKeyHash>
       pending_batches_;

@@ -234,6 +234,59 @@ TEST(ScenarioTest, SamplingIsDeterministicPerSeed) {
             SampleScenario(10, profile).ToText());
 }
 
+TEST(ScenarioTest, UnknownFutureVersionIsRejected) {
+  std::string text = kJoinScenario;
+  size_t at = text.find("scenario v1");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "scenario v3");
+  auto parsed = Scenario::FromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("unsupported scenario version"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ScenarioTest, UnknownFaultKindIsRejected) {
+  std::string text = kJoinScenario;
+  size_t at = text.find("[faults]\n");
+  ASSERT_NE(at, std::string::npos);
+  text.insert(at + 9, "flood 100000 2\n");
+  auto parsed = Scenario::FromText(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().ToString().find("unknown fault kind 'flood'"),
+            std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(ScenarioTest, OverloadScenarioRoundTripsThroughV2Text) {
+  ChaosProfile profile;
+  profile.overload = true;
+  Scenario sampled = SampleScenario(5, profile);
+  std::string text = sampled.ToText();
+  EXPECT_NE(text.find("# deduce chaos scenario v2"), std::string::npos);
+  EXPECT_NE(text.find("budget 1"), std::string::npos);
+  EXPECT_NE(text.find("storm "), std::string::npos);
+  auto parsed = Scenario::FromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->ToText(), text);
+}
+
+TEST(ScenarioTest, SampledOverloadScenariosRunCleanAndShed) {
+  // Invariant-checked overload runs: storms past tight budgets must shed
+  // without ever reporting a shed-derived result as complete.
+  ChaosProfile profile;
+  profile.overload = true;
+  for (uint64_t seed : {3u, 7u, 19u}) {
+    Scenario scenario = SampleScenario(seed, profile);
+    auto run = RunScenario(scenario);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->report.ok())
+        << "seed " << seed << ": " << run->report.ToString();
+    EXPECT_TRUE(run->report.shed_soundness_checked);
+    EXPECT_TRUE(run->overload);
+  }
+}
+
 TEST(ScenarioTest, RunIsDeterministic) {
   auto scenario = Scenario::FromText(kJoinScenario);
   ASSERT_TRUE(scenario.ok());

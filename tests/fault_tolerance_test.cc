@@ -251,5 +251,106 @@ TEST(FaultToleranceTest, CrashRebootChurnDoesNotWedgeTheEngine) {
             ExpectedPairs(5, topo.GridNode(0, 0), topo.GridNode(4, 4)));
 }
 
+/// Retransmissions observed within a fixed window while one storage-band
+/// node is permanently blackholed (links cut both ways, never healed).
+uint64_t RetransmitsTowardDeadPeer(double rto_backoff, SimTime rto_max,
+                                   uint64_t seed) {
+  auto program = ParseProgram(kTwoStreamJoin);
+  EXPECT_TRUE(program.ok()) << program.status();
+  Network net(Topology::Grid(4), ExactLink(), seed);
+  std::vector<NodeId> dead = {3};
+  std::vector<NodeId> rest;
+  for (NodeId n = 0; n < 16; ++n) {
+    if (n != 3) rest.push_back(n);
+  }
+  FaultPlan plan;
+  plan.CutLinks(0, rest, dead).CutLinks(0, dead, rest);
+  net.ApplyFaultPlan(plan);
+  EngineOptions options;
+  options.transport.reliable = true;
+  options.transport.max_retries = 30;  // deep budget: the schedule decides
+  options.transport.rto_backoff = rto_backoff;
+  options.transport.rto_max = rto_max;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  if (!engine.ok()) return 0;
+  for (int k = 0; k < 2; ++k) {
+    (void)(*engine)->Inject(
+        1, StreamOp::kInsert,
+        Fact(Intern("r"), {Term::Int(k), Term::Int(1), Term::Int(k)}));
+  }
+  net.sim().RunUntil(2'000'000);  // fixed 2 s observation window
+  return (*engine)->stats().retransmissions;
+}
+
+TEST(FaultToleranceTest, BackoffPreventsRetransmitStormsTowardDeadPeer) {
+  // Old policy: fixed RTO (backoff 1.0, no cap) hammers a partitioned
+  // peer — the whole retry budget burns in the first fraction of the
+  // window. Exponential backoff with the auto cap spends the same budget
+  // over a much longer horizon, so the storm seen on the air in any fixed
+  // window is strictly smaller.
+  uint64_t fixed = RetransmitsTowardDeadPeer(/*rto_backoff=*/1.0,
+                                             /*rto_max=*/0, TestSeed(17));
+  uint64_t backoff = RetransmitsTowardDeadPeer(/*rto_backoff=*/2.0,
+                                               /*rto_max=*/-1, TestSeed(17));
+  EXPECT_GT(fixed, 0u);
+  EXPECT_GT(backoff, 0u);  // the peer is still being probed...
+  EXPECT_LT(backoff, fixed / 2);  // ...but no longer flooded
+}
+
+/// Runs the lossy reliable workload and returns (results, stats) with
+/// batched delivery switched on or off.
+std::pair<std::set<std::string>, EngineStats> LossyReliableRun(bool batched,
+                                                               uint64_t seed) {
+  auto program = ParseProgram(kTwoStreamJoin);
+  EXPECT_TRUE(program.ok()) << program.status();
+  LinkModel link = ExactLink();
+  link.loss_rate = 0.15;
+  link.retries = 1;
+  Network net(Topology::Grid(5), link, seed);
+  net.EnableBatchedDelivery(batched);
+  EngineOptions options;
+  options.transport.reliable = true;
+  options.transport.max_retries = 8;
+  auto engine = DistributedEngine::Create(&net, *program, options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  std::pair<std::set<std::string>, EngineStats> out;
+  if (!engine.ok()) return out;
+  int seq = 0;
+  for (int k = 0; k < 4; ++k) {
+    net.sim().RunUntil(net.sim().now() + 300'000);
+    (void)(*engine)->Inject(
+        2, StreamOp::kInsert,
+        Fact(Intern("r"), {Term::Int(k), Term::Int(2), Term::Int(seq++)}));
+    net.sim().RunUntil(net.sim().now() + 300'000);
+    (void)(*engine)->Inject(
+        22, StreamOp::kInsert,
+        Fact(Intern("s"), {Term::Int(k), Term::Int(22), Term::Int(seq++)}));
+  }
+  net.sim().Run();
+  for (const Fact& f : (*engine)->ResultFacts(Intern("t"))) {
+    out.first.insert(f.ToString());
+  }
+  out.second = (*engine)->stats();
+  return out;
+}
+
+TEST(FaultToleranceTest, BatchedDeliveryIsTransparentToReliableTransport) {
+  // Coalescing same-tick frames per (src, dst) edge must not perturb the
+  // ARQ machinery: identical delivery instants and in-batch order mean an
+  // identical ack/retransmit/dedup transcript, not merely the same final
+  // result set.
+  auto plain = LossyReliableRun(/*batched=*/false, TestSeed(23));
+  auto coalesced = LossyReliableRun(/*batched=*/true, TestSeed(23));
+  EXPECT_EQ(plain.first, coalesced.first);
+  EXPECT_GT(plain.second.retransmissions, 0u);  // loss really happened
+  EXPECT_EQ(plain.second.retransmissions, coalesced.second.retransmissions);
+  EXPECT_EQ(plain.second.acks_sent, coalesced.second.acks_sent);
+  EXPECT_EQ(plain.second.acks_received, coalesced.second.acks_received);
+  EXPECT_EQ(plain.second.duplicates_suppressed,
+            coalesced.second.duplicates_suppressed);
+  EXPECT_EQ(plain.second.gave_up_messages, coalesced.second.gave_up_messages);
+}
+
 }  // namespace
 }  // namespace deduce

@@ -662,7 +662,14 @@ int CmdChaos(uint64_t seed, const ChaosProfile& profile, bool shrink,
 
 int CmdReplay(const std::string& path) {
   auto scenario = Scenario::Load(path);
-  if (!scenario.ok()) return Fail(scenario.status());
+  if (!scenario.ok()) {
+    // Parse failures (unknown version, unknown fault kind, malformed
+    // lines) exit 2: distinct from a run that violated invariants (3) and
+    // from engine errors (1), so CI can tell "file this build cannot
+    // replay" apart from "replay found a bug".
+    Fail(scenario.status());
+    return 2;
+  }
   auto run = RunScenario(*scenario);
   if (!run.ok()) return Fail(run.status());
   std::printf("%s", run->Summary().c_str());
@@ -688,8 +695,8 @@ int Usage() {
                "  dlog chaos [--seed S] [--grid N] [--injections N]\n"
                "       [--horizon US] [--loss P] [--no-reliable] [--repair]\n"
                "       [--anti-entropy-period US] [--no-checksum]\n"
-               "       [--retraction] [--rto-jitter X] [--out scenario.txt]\n"
-               "       [--no-shrink]\n"
+               "       [--retraction] [--overload] [--rto-jitter X]\n"
+               "       [--out scenario.txt] [--no-shrink]\n"
                "  dlog replay <scenario.txt>\n");
   return 64;
 }
@@ -796,6 +803,8 @@ int main(int argc, char** argv) {
         profile.checksum = false;
       } else if (arg == "--retraction") {
         profile.retraction = true;
+      } else if (arg == "--overload") {
+        profile.overload = true;
       } else if (arg == "--rto-jitter") {
         if (!ParseDoubleFlag("--rto-jitter", next(), 0.0, 1.0,
                              &profile.rto_jitter)) {
