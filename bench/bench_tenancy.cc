@@ -1,0 +1,361 @@
+// Tenancy: the marginal cost of the k-th tenant on one shared engine.
+// Thousands of concurrent programs only pay for what they do NOT share:
+// CompileMultiPlan canonicalizes every SCC sub-plan and evaluates each
+// distinct one once, so k tenants running the same two-stream join cost
+// the network exactly what one tenant costs (plus per-tenant result
+// fan-out when a tenant renamed its heads). The sweep measures that
+// directly and compares against the "k independent engines" deployment
+// it replaces.
+//
+// Configs:
+//   overlap k      k tenants, byte-identical programs (same predicate
+//                  names): full dedup, zero fan-out — the floor.
+//   renamed k      tenant 0 plus k-1 tenants with renamed heads: the
+//                  sub-plans dedup (alias), results fan out per tenant —
+//                  the honest marginal cost of an overlapping tenant.
+//   disjoint k     k tenants on disjoint input streams sharing one
+//                  engine: nothing dedups; the control.
+//   indep k        the same k disjoint tenants on k separate engines /
+//                  networks (summed): what disjoint tenancy costs today.
+//
+// `marginal_pct` is the per-added-tenant message cost relative to a
+// single tenant: 100 * (msg(k) - msg(1)) / ((k-1) * msg(1)). The win
+// condition (ISSUE 9) is renamed-tenant marginal < 30% at the largest k;
+// the bench exits 1 when it does not hold, so CI can gate on it.
+//
+// Two outputs per run:
+//   BENCH_bench_tenancy.json       deterministic counters + registry
+//                                  snapshots (byte-identical across
+//                                  --threads; gated by `bench_compare.py
+//                                  baseline check`)
+//   BENCH_bench_tenancy.perf.json  wall time and injection throughput per
+//                                  point, process peak RSS (machine-
+//                                  dependent; gated with tolerances)
+//
+// Flags: --threads N   parallel sweep points (report order is fixed)
+//        --smoke       CI profile: 8x8 grid, smaller k sweep
+//        --per-node N  injected tuples per node per tenant workload
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024ull;
+}
+
+/// The shared workload: a two-stream join over streams `r<suffix>` /
+/// `s<suffix>`, result head `t<suffix>`.
+std::string JoinProgram(const std::string& stream_suffix,
+                        const std::string& head_suffix) {
+  return "  .decl r" + stream_suffix + "/3 input.\n" +
+         "  .decl s" + stream_suffix + "/3 input.\n" +
+         "  t" + head_suffix + "(K, N1, N2, I1, I2) :- r" + stream_suffix +
+         "(K, N1, I1), s" + stream_suffix + "(K, N2, I2).\n";
+}
+
+struct Point {
+  std::string config;           // overlap | renamed | disjoint | indep
+  int k = 1;                    // tenant count
+  std::vector<std::string> programs;
+  std::vector<std::vector<WorkItem>> works;  // one stream per tenant
+};
+
+struct PointResult {
+  CollectedRun run;
+  uint64_t subplans_requested = 0;
+  uint64_t subplans_total = 0;
+  uint64_t subplans_shared = 0;
+  size_t tuples = 0;
+  double wall_s = 0;
+};
+
+/// Time-ordered merge of the per-tenant workloads (stable: tenant order
+/// breaks ties, so the injection sequence is deterministic).
+std::vector<WorkItem> MergeWorks(const std::vector<std::vector<WorkItem>>& works) {
+  std::vector<WorkItem> all;
+  for (const auto& w : works) all.insert(all.end(), w.begin(), w.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const WorkItem& a, const WorkItem& b) {
+                     return a.time < b.time;
+                   });
+  return all;
+}
+
+/// One shared-engine point: all of the point's programs multiplexed onto
+/// one MultiTenantEngine on one network.
+PointResult RunShared(int m, const Point& p) {
+  PointResult out;
+  auto start = std::chrono::steady_clock::now();
+  Network net(Topology::Grid(m), LinkModel{}, /*seed=*/1);
+  net.EnableBatchedDelivery(true);
+  EngineOptions options;
+  options.planner.default_storage = StoragePolicy::kRow;
+  if (BenchReport::Get().enabled()) options.metrics = &out.run.registry;
+  MultiTenantEngine mte(options);
+  for (size_t i = 0; i < p.programs.size(); ++i) {
+    Status st = mte.AddProgram("t" + std::to_string(i),
+                               MustParse(p.programs[i]));
+    if (!st.ok()) {
+      std::fprintf(stderr, "add program: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+  }
+  Status st = mte.Start(&net);
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  std::vector<WorkItem> work = MergeWorks(p.works);
+  for (const WorkItem& item : work) {
+    net.sim().RunUntil(item.time);
+    Status ist = mte.Inject(item.node, item.op, item.fact);
+    if (!ist.ok()) {
+      std::fprintf(stderr, "inject: %s\n", ist.ToString().c_str());
+    }
+  }
+  net.sim().Run();
+  out.run.metrics = CollectRunMetrics(net, mte.engine(), options.metrics);
+  size_t results = 0;
+  for (size_t i = 0; i < p.programs.size(); ++i) {
+    auto db = mte.ResultDatabase("t" + std::to_string(i));
+    if (db.ok()) results += db->size();
+  }
+  out.run.metrics.result_count = results;
+  out.run.reportable = options.metrics != nullptr;
+  out.subplans_requested = mte.multi_plan().subplans_requested;
+  out.subplans_total = mte.multi_plan().subplans_total;
+  out.subplans_shared = mte.multi_plan().subplans_shared;
+  out.tuples = work.size();
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+/// The independent-deployment baseline: one engine and one network per
+/// tenant, metrics summed. This is what the shared engine replaces.
+PointResult RunIndependent(int m, const Point& p,
+                           const std::vector<std::string>& result_preds) {
+  PointResult out;
+  auto start = std::chrono::steady_clock::now();
+  bool report = BenchReport::Get().enabled();
+  for (size_t i = 0; i < p.programs.size(); ++i) {
+    Network net(Topology::Grid(m), LinkModel{}, /*seed=*/1);
+    net.EnableBatchedDelivery(true);
+    EngineOptions options;
+    options.planner.default_storage = StoragePolicy::kRow;
+    if (report) options.metrics = &out.run.registry;
+    auto engine =
+        DistributedEngine::Create(&net, MustParse(p.programs[i]), options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+      std::abort();
+    }
+    for (const WorkItem& item : p.works[i]) {
+      net.sim().RunUntil(item.time);
+      Status st = (*engine)->Inject(item.node, item.op, item.fact);
+      if (!st.ok()) {
+        std::fprintf(stderr, "inject: %s\n", st.ToString().c_str());
+      }
+    }
+    net.sim().Run();
+    RunMetrics rm = CollectRunMetrics(net, (*engine).get(), options.metrics);
+    out.run.metrics.total_messages += rm.total_messages;
+    out.run.metrics.total_bytes += rm.total_bytes;
+    out.run.metrics.energy_uj += rm.energy_uj;
+    out.run.metrics.quiesce_time =
+        std::max(out.run.metrics.quiesce_time, rm.quiesce_time);
+    out.run.metrics.total_replicas += rm.total_replicas;
+    out.run.metrics.total_derivations += rm.total_derivations;
+    out.run.metrics.errors += rm.errors;
+    out.run.metrics.result_count +=
+        (*engine)->ResultFacts(Intern(result_preds[i])).size();
+    out.tuples += p.works[i].size();
+  }
+  out.run.reportable = report;
+  out.subplans_requested = static_cast<uint64_t>(p.programs.size());
+  out.subplans_total = static_cast<uint64_t>(p.programs.size());
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deduce::bench::OpenBenchReport(argv[0]);
+  int threads = ThreadsFromArgs(argc, argv);
+  int m = 12;
+  int per_node = 6;
+  std::vector<int> overlap_ks = {1, 8, 64};
+  std::vector<int> renamed_ks = {8, 64};
+  int disjoint_k = 8;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--smoke") {
+      m = 8;
+      per_node = 4;
+      overlap_ks = {1, 8};
+      renamed_ks = {8};
+      disjoint_k = 4;
+    } else if (arg == "--per-node" && i + 1 < argc) {
+      per_node = std::atoi(argv[++i]);
+      if (per_node < 1 || per_node > 1000) {
+        std::fprintf(stderr, "bad --per-node value\n");
+        return 64;
+      }
+    }
+  }
+  int nodes = m * m;
+  int total = nodes * per_node;
+  int key_range = std::max(2, total / 8);
+
+  std::printf("# tenancy sweep: two-stream join (PA row storage), shared "
+              "engine vs independent engines\n");
+  std::printf("# grid %dx%d, %d tuples per tenant workload\n\n", m, m, total);
+
+  // Overlapping tenants share one workload (input streams are shared by
+  // name); disjoint tenants each get their own.
+  std::vector<WorkItem> shared_work =
+      UniformJoinWorkload(nodes, per_node, key_range, /*seed=*/9200);
+
+  std::vector<Point> points;
+  for (int k : overlap_ks) {
+    Point p;
+    p.config = "overlap";
+    p.k = k;
+    p.programs.assign(static_cast<size_t>(k), JoinProgram("", ""));
+    p.works.push_back(shared_work);
+    points.push_back(std::move(p));
+  }
+  for (int k : renamed_ks) {
+    Point p;
+    p.config = "renamed";
+    p.k = k;
+    p.programs.push_back(JoinProgram("", ""));
+    for (int i = 1; i < k; ++i) {
+      p.programs.push_back(JoinProgram("", "_v" + std::to_string(i)));
+    }
+    p.works.push_back(shared_work);
+    points.push_back(std::move(p));
+  }
+  {
+    Point pd;
+    pd.config = "disjoint";
+    pd.k = disjoint_k;
+    std::vector<std::string> result_preds;
+    for (int i = 0; i < disjoint_k; ++i) {
+      std::string sfx = "_d" + std::to_string(i);
+      pd.programs.push_back(JoinProgram(sfx, sfx));
+      pd.works.push_back(UniformJoinWorkload(
+          nodes, per_node, key_range, 9300 + static_cast<uint64_t>(i),
+          /*delete_fraction=*/0.0, /*gap=*/40'000,
+          {"r" + sfx, "s" + sfx}));
+      result_preds.push_back("t" + sfx);
+    }
+    Point pi = pd;
+    pi.config = "indep";
+    points.push_back(std::move(pd));
+    points.push_back(std::move(pi));
+  }
+
+  TablePrinter table({"config", "k", "messages", "bytes", "results",
+                      "derivations", "shared", "marginal_pct", "wall_s"});
+  uint64_t base_messages = 0;       // overlap k=1 (reduced first)
+  double renamed_max_marginal = -1;
+  int renamed_max_k = 0;
+  std::vector<PointResult> results(points.size());
+  RunTrials(
+      points.size(), threads,
+      [&](size_t i) {
+        const Point& p = points[i];
+        if (p.config == "indep") {
+          std::vector<std::string> preds;
+          for (int t = 0; t < p.k; ++t) {
+            preds.push_back("t_d" + std::to_string(t));
+          }
+          return RunIndependent(m, p, preds);
+        }
+        return RunShared(m, p);
+      },
+      [&](size_t i, PointResult r) {
+        const Point& p = points[i];
+        ReportCollected(r.run);
+        const RunMetrics& rm = r.run.metrics;
+        if (p.config == "overlap" && p.k == 1) base_messages = rm.total_messages;
+        std::string marginal = "-";
+        if ((p.config == "overlap" || p.config == "renamed") && p.k > 1 &&
+            base_messages > 0) {
+          double pct = 100.0 *
+                       (static_cast<double>(rm.total_messages) -
+                        static_cast<double>(base_messages)) /
+                       (static_cast<double>(p.k - 1) *
+                        static_cast<double>(base_messages));
+          marginal = Dbl(pct, 1);
+          if (p.config == "renamed" && p.k >= renamed_max_k) {
+            renamed_max_k = p.k;
+            renamed_max_marginal = pct;
+          }
+        }
+        table.Row({p.config, std::to_string(p.k), U64(rm.total_messages),
+                   U64(rm.total_bytes), U64(rm.result_count),
+                   U64(rm.total_derivations), U64(r.subplans_shared),
+                   marginal, Dbl(r.wall_s, 2)});
+        results[i] = std::move(r);
+      });
+
+  uint64_t peak = PeakRssBytes();
+  std::printf("\npeak RSS: %.1f MiB\n",
+              static_cast<double>(peak) / (1024.0 * 1024.0));
+
+  // Machine-dependent sidecar: wall time + injection throughput per point.
+  // Separate file so BENCH_bench_tenancy.json stays byte-identical across
+  // --threads (the parallelism gate byte-compares it).
+  std::ofstream perf("BENCH_bench_tenancy.perf.json");
+  if (perf) {
+    perf << "{\"bench\":\"bench_tenancy\",\"peak_rss_bytes\":" << peak
+         << ",\"points\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      char buf[200];
+      double qps = results[i].wall_s > 0
+                       ? static_cast<double>(results[i].tuples) /
+                             results[i].wall_s
+                       : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"label\":\"%s_k%d\",\"nodes\":%d,\"tuples\":%zu,"
+                    "\"wall_time_s\":%.3f,\"inject_qps\":%.0f}",
+                    i == 0 ? "" : ",", points[i].config.c_str(), points[i].k,
+                    nodes, results[i].tuples, results[i].wall_s, qps);
+      perf << buf;
+    }
+    perf << "]}\n";
+  }
+
+  // The ISSUE 9 win condition: an overlapping (renamed) tenant's marginal
+  // message cost stays under 30% of a full tenant even at the largest k.
+  if (renamed_max_marginal >= 0) {
+    bool pass = renamed_max_marginal < 30.0;
+    std::printf("\n# marginal cost of renamed tenant at k=%d: %.1f%% of "
+                "tenant 1 (%s, budget 30%%)\n",
+                renamed_max_k, renamed_max_marginal,
+                pass ? "PASS" : "FAIL");
+    if (!pass) return 1;
+  }
+  return 0;
+}

@@ -52,5 +52,25 @@ python3 "$COMPARE" perf update --bench bench_scale_smoke \
   --perf "$BUILD/bench/BENCH_bench_scale.perf.json" \
   --baseline "$BASELINE"
 
+# Overload smoke point (1x/2x/4x overcommit): counters + perf sidecar.
+run_bench bench_overload --smoke --threads 1
+python3 "$COMPARE" baseline update --bench bench_overload_smoke \
+  --report "$BUILD/bench/BENCH_bench_overload.json" \
+  --wall "$LAST_WALL" --baseline "$BASELINE"
+python3 "$COMPARE" perf update --bench bench_overload_smoke \
+  --perf "$BUILD/bench/BENCH_bench_overload.perf.json" \
+  --baseline "$BASELINE"
+
+# Multi-tenant smoke point (overlap/renamed/disjoint/independent):
+# counters + perf sidecar. The binary itself enforces the marginal-cost
+# acceptance; the baseline pins the absolute counters.
+run_bench bench_tenancy --smoke --threads 1
+python3 "$COMPARE" baseline update --bench bench_tenancy_smoke \
+  --report "$BUILD/bench/BENCH_bench_tenancy.json" \
+  --wall "$LAST_WALL" --baseline "$BASELINE"
+python3 "$COMPARE" perf update --bench bench_tenancy_smoke \
+  --perf "$BUILD/bench/BENCH_bench_tenancy.perf.json" \
+  --baseline "$BASELINE"
+
 echo "baseline rewritten: $BASELINE"
 echo "review 'git diff bench/baseline.json' before committing."

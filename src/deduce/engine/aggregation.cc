@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "deduce/eval/monoid.h"
 #include "deduce/net/codec.h"
 
 namespace deduce {
@@ -42,20 +43,17 @@ struct PartialState {
     min = std::min(min, o.min);
     max = std::max(max, o.max);
   }
+  /// Extraction delegates to the shared aggregate monoid (eval/monoid.h);
+  /// the TAG record is its double-specialized instance, carrying both
+  /// extrema so one wire format serves every kind.
   double Final(AggKind kind) const {
-    switch (kind) {
-      case AggKind::kCount:
-        return static_cast<double>(count);
-      case AggKind::kSum:
-        return sum;
-      case AggKind::kMin:
-        return min;
-      case AggKind::kMax:
-        return max;
-      case AggKind::kAvg:
-        return count == 0 ? 0 : sum / static_cast<double>(count);
-    }
-    return 0;
+    if (!has_value) return 0;
+    AggState s;
+    s.count = count;
+    s.sum = sum;
+    s.sum_is_int = false;
+    s.best = Term::Real(kind == AggKind::kMin ? min : max);
+    return AggExtract(kind, s).value().AsNumber();
   }
 };
 

@@ -26,6 +26,17 @@ int WalkHops(const RoutingTable& routing, const std::vector<NodeId>& path) {
 
 StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
     Network* network, const Program& program, const EngineOptions& options) {
+  BuiltinRegistry registry = options.registry != nullptr
+                                 ? *options.registry
+                                 : BuiltinRegistry::Default();
+  DEDUCE_ASSIGN_OR_RETURN(QueryPlan plan,
+                          CompilePlan(program, registry, options.planner));
+  return CreateFromPlan(network, std::move(plan), ResultFanout(), options);
+}
+
+StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::CreateFromPlan(
+    Network* network, QueryPlan plan, ResultFanout fanout,
+    const EngineOptions& options) {
   auto engine = std::unique_ptr<DistributedEngine>(new DistributedEngine());
   engine->network_ = network;
   engine->shared_ = std::make_unique<EngineShared>();
@@ -33,8 +44,8 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
 
   shared.registry = options.registry != nullptr ? *options.registry
                                                 : BuiltinRegistry::Default();
-  DEDUCE_ASSIGN_OR_RETURN(
-      shared.plan, CompilePlan(program, shared.registry, options.planner));
+  shared.plan = std::move(plan);
+  shared.result_fanout = std::move(fanout);
   shared.topology = &network->topology();
   shared.regions = std::make_unique<RegionMapper>(shared.topology);
   shared.routing = std::make_unique<RoutingTable>(shared.topology);
@@ -63,6 +74,38 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::Create(
         sp->metrics->Add(0, "budget", "budget_squeezes");
       }
     });
+  }
+
+  // --- shed-taint dependency closure ---
+  // deps(head) = head plus every predicate reachable through rule bodies.
+  // NodeRuntime::ShedTaints scopes the sticky shed taint through it, so a
+  // shed degrades only results it could actually have made incomplete —
+  // which is what keeps one tenant's overload from tainting a disjoint
+  // tenant's result homes on a shared engine.
+  for (const Rule& rule : shared.plan.program.rules()) {
+    auto& deps = shared.taint_deps[rule.head.predicate];
+    deps.insert(rule.head.predicate);
+    for (const Literal& lit : rule.body) {
+      if (lit.is_relational()) deps.insert(lit.atom.predicate);
+    }
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (auto& [head, deps] : shared.taint_deps) {
+      std::vector<SymbolId> add;
+      for (SymbolId p : deps) {
+        if (p == head) continue;
+        auto it = shared.taint_deps.find(p);
+        if (it == shared.taint_deps.end()) continue;
+        for (SymbolId q : it->second) {
+          if (deps.count(q) == 0) add.push_back(q);
+        }
+      }
+      if (!add.empty()) {
+        changed = true;
+        deps.insert(add.begin(), add.end());
+      }
+    }
   }
 
   // --- per-delta evaluability tables ---
@@ -257,6 +300,135 @@ std::vector<ProvenanceEdge> DistributedEngine::ProvenanceEdges() const {
     out.insert(out.end(), edges.begin(), edges.end());
   }
   return out;
+}
+
+// --- multi-tenant engine ----------------------------------------------------
+
+Status MultiTenantEngine::AddProgram(const std::string& tenant,
+                                     const Program& program) {
+  if (engine_ != nullptr) {
+    return Status::FailedPrecondition(
+        "MultiTenantEngine: AddProgram after Start");
+  }
+  if (tenant.empty()) {
+    return Status::InvalidArgument("MultiTenantEngine: empty tenant name");
+  }
+  for (const TenantProgram& tp : programs_) {
+    if (tp.tenant == tenant) {
+      return Status::InvalidArgument(
+          StrFormat("MultiTenantEngine: duplicate tenant '%s'",
+                    tenant.c_str()));
+    }
+  }
+  TenantProgram tp;
+  tp.tenant = tenant;
+  tp.program = program;
+  programs_.push_back(std::move(tp));
+  return Status::OK();
+}
+
+Status MultiTenantEngine::Start(Network* network) {
+  if (engine_ != nullptr) {
+    return Status::FailedPrecondition("MultiTenantEngine: already started");
+  }
+  BuiltinRegistry registry = options_.registry != nullptr
+                                 ? *options_.registry
+                                 : BuiltinRegistry::Default();
+  DEDUCE_ASSIGN_OR_RETURN(
+      multi_, CompileMultiPlan(programs_, registry, options_.planner));
+  DEDUCE_ASSIGN_OR_RETURN(
+      engine_, DistributedEngine::CreateFromPlan(network, multi_.plan,
+                                                 multi_.fanout, options_));
+  if (options_.metrics != nullptr) {
+    options_.metrics->Add(-1, "tenant", "tenants", programs_.size());
+    options_.metrics->Add(-1, "tenant", "subplans_requested",
+                          multi_.subplans_requested);
+    options_.metrics->Add(-1, "tenant", "subplans_total",
+                          multi_.subplans_total);
+    options_.metrics->Add(-1, "tenant", "subplans_shared",
+                          multi_.subplans_shared);
+    uint64_t fanout_edges = 0;
+    for (const auto& [canon, fans] : multi_.fanout) {
+      (void)canon;
+      fanout_edges += fans.size();
+    }
+    options_.metrics->Add(-1, "tenant", "fanout_edges", fanout_edges);
+  }
+  return Status::OK();
+}
+
+Status MultiTenantEngine::Inject(NodeId node, StreamOp op, const Fact& fact) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("MultiTenantEngine: not started");
+  }
+  return engine_->Inject(node, op, fact);
+}
+
+void MultiTenantEngine::Run() { engine_->Run(); }
+
+const TenantView* MultiTenantEngine::FindView(
+    const std::string& tenant) const {
+  for (const TenantView& v : multi_.views) {
+    if (v.tenant == tenant) return &v;
+  }
+  return nullptr;
+}
+
+StatusOr<std::vector<Fact>> MultiTenantEngine::ResultFacts(
+    const std::string& tenant, SymbolId pred) const {
+  const TenantView* view = FindView(tenant);
+  if (view == nullptr) {
+    return StatusOr<std::vector<Fact>>(Status::NotFound(
+        StrFormat("MultiTenantEngine: unknown tenant '%s'", tenant.c_str())));
+  }
+  auto it = view->read.find(pred);
+  if (it == view->read.end()) {
+    return StatusOr<std::vector<Fact>>(Status::NotFound(StrFormat(
+        "MultiTenantEngine: tenant '%s' has no predicate '%s'",
+        tenant.c_str(), SymbolName(pred).c_str())));
+  }
+  std::vector<Fact> facts = engine_->ResultFacts(it->second);
+  if (it->second != pred) {
+    // Non-strict collision rename: relabel back to the tenant's own name.
+    for (Fact& f : facts) f = Fact(pred, f.args());
+  }
+  return facts;
+}
+
+StatusOr<Database> MultiTenantEngine::ResultDatabase(
+    const std::string& tenant) const {
+  const TenantView* view = FindView(tenant);
+  if (view == nullptr) {
+    return StatusOr<Database>(Status::NotFound(
+        StrFormat("MultiTenantEngine: unknown tenant '%s'", tenant.c_str())));
+  }
+  Database db;
+  for (SymbolId pred : view->derived) {
+    DEDUCE_ASSIGN_OR_RETURN(std::vector<Fact> facts,
+                            ResultFacts(tenant, pred));
+    for (const Fact& f : facts) db.Insert(f);
+  }
+  return db;
+}
+
+StatusOr<Database> MultiTenantEngine::UndegradedResultDatabase(
+    const std::string& tenant) const {
+  const TenantView* view = FindView(tenant);
+  if (view == nullptr) {
+    return StatusOr<Database>(Status::NotFound(
+        StrFormat("MultiTenantEngine: unknown tenant '%s'", tenant.c_str())));
+  }
+  Database db;
+  const Network* net = engine_->network();
+  for (SymbolId pred : view->derived) {
+    SymbolId eval = view->read.at(pred);
+    for (int i = 0; i < net->node_count(); ++i) {
+      for (const Fact& f : engine_->runtime(i).UndegradedHomeFacts(eval)) {
+        db.InsertAs(f, pred);
+      }
+    }
+  }
+  return db;
 }
 
 // --- centralized baseline ---------------------------------------------------

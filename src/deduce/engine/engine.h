@@ -2,6 +2,7 @@
 #define DEDUCE_ENGINE_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "deduce/engine/runtime.h"
@@ -70,6 +71,15 @@ class DistributedEngine {
   static StatusOr<std::unique_ptr<DistributedEngine>> Create(
       Network* network, const Program& program, const EngineOptions& options);
 
+  /// Installs a runtime for an already-compiled plan (the multi-tenant
+  /// path: MultiTenantEngine compiles N programs into one shared plan with
+  /// CompileMultiPlan and hands the merged plan plus the per-tenant result
+  /// fan-out table here). With an empty fanout this is exactly the tail of
+  /// Create() — single-program behavior is byte-identical.
+  static StatusOr<std::unique_ptr<DistributedEngine>> CreateFromPlan(
+      Network* network, QueryPlan plan, ResultFanout fanout,
+      const EngineOptions& options);
+
   /// Injects a base-stream update at `node`, at the current simulation
   /// time (the sensing API). Run the simulator to propagate.
   Status Inject(NodeId node, StreamOp op, const Fact& fact);
@@ -119,6 +129,68 @@ class DistributedEngine {
   Network* network_ = nullptr;
   std::unique_ptr<EngineShared> shared_;
   std::vector<NodeRuntime*> runtimes_;  // owned by the network
+};
+
+/// N tenant programs multiplexed onto one shared engine (DESIGN.md §13).
+/// Register every tenant's program with AddProgram, then Start: the
+/// programs are compiled together (CompileMultiPlan), identical sub-plans
+/// are evaluated once, and each tenant reads its own results — per-tenant
+/// result homes, dedup-aware — through the tenant-scoped accessors.
+///
+/// Usage:
+/// \code
+///   MultiTenantEngine mte(options);
+///   mte.AddProgram("alice", program_a);
+///   mte.AddProgram("bob", program_b);
+///   auto st = mte.Start(&net);          // compiles + installs + starts
+///   mte.Inject(node, StreamOp::kInsert, fact);
+///   mte.Run();
+///   auto db = mte.ResultDatabase("bob");
+/// \endcode
+class MultiTenantEngine {
+ public:
+  explicit MultiTenantEngine(const EngineOptions& options)
+      : options_(options) {}
+
+  /// Registers `program` under `tenant` (a stable, unique tenant name).
+  /// Must be called before Start.
+  Status AddProgram(const std::string& tenant, const Program& program);
+
+  /// Compiles all registered programs into one shared evaluation DAG and
+  /// installs it on `network`. Exports tenancy counters ("tenant"
+  /// component) to EngineOptions::metrics when configured.
+  Status Start(Network* network);
+
+  /// Injects a base-stream update (input streams are shared by name
+  /// across tenants; see CompileMultiPlan).
+  Status Inject(NodeId node, StreamOp op, const Fact& fact);
+
+  /// Runs the simulation to quiescence.
+  void Run();
+
+  /// Alive derived facts of `pred` as `tenant` sees them (relabeled back
+  /// to the tenant's own predicate names where the plan renamed them).
+  StatusOr<std::vector<Fact>> ResultFacts(const std::string& tenant,
+                                          SymbolId pred) const;
+  /// All alive derived facts of `tenant`, under the tenant's names.
+  StatusOr<Database> ResultDatabase(const std::string& tenant) const;
+  /// The undegraded subset (see DistributedEngine), per tenant.
+  StatusOr<Database> UndegradedResultDatabase(const std::string& tenant) const;
+
+  size_t tenant_count() const { return programs_.size(); }
+  /// Valid after Start.
+  const MultiPlan& multi_plan() const { return multi_; }
+  DistributedEngine* engine() { return engine_.get(); }
+  const DistributedEngine* engine() const { return engine_.get(); }
+  const EngineStats& stats() const { return engine_->stats(); }
+
+ private:
+  const TenantView* FindView(const std::string& tenant) const;
+
+  EngineOptions options_;
+  std::vector<TenantProgram> programs_;
+  MultiPlan multi_;
+  std::unique_ptr<DistributedEngine> engine_;
 };
 
 /// The naive external/centralized baseline (§III-A: "send each generated

@@ -1,9 +1,12 @@
 #include "deduce/engine/plan.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_set>
 
 #include "deduce/common/strings.h"
+#include "deduce/datalog/analysis.h"
+#include "deduce/datalog/unify.h"
 
 namespace deduce {
 
@@ -357,6 +360,337 @@ StatusOr<QueryPlan> CompilePlan(const Program& program,
     }
   }
   return plan;
+}
+
+// --- multi-tenant compilation ------------------------------------------------
+
+namespace {
+
+/// Canonical text of one body literal under the variable renaming `rename`
+/// and the predicate naming `pname` (SCC members and resolved dependencies
+/// get tenant-independent names).
+std::string CanonLiteral(const Literal& lit, const Subst& rename,
+                         const std::function<std::string(SymbolId)>& pname) {
+  auto args = [&](const std::vector<Term>& ts) {
+    std::string s = "(";
+    for (size_t i = 0; i < ts.size(); ++i) {
+      if (i > 0) s += ",";
+      s += rename.Apply(ts[i]).ToString();
+    }
+    return s + ")";
+  };
+  switch (lit.kind) {
+    case Literal::Kind::kPositive:
+      return pname(lit.atom.predicate) + args(lit.atom.args);
+    case Literal::Kind::kNegated:
+      return "!" + pname(lit.atom.predicate) + args(lit.atom.args);
+    case Literal::Kind::kBuiltin:
+      return std::string(lit.builtin_negated ? "!#" : "#") +
+             SymbolName(lit.atom.predicate) + args(lit.atom.args);
+    case Literal::Kind::kComparison:
+      return rename.Apply(lit.lhs).ToString() + CmpOpToString(lit.cmp) +
+             rename.Apply(lit.rhs).ToString();
+  }
+  return "?";
+}
+
+/// Canonical text of a rule: variables normalized to _v0.._vN in
+/// first-occurrence order, predicates named by `pname`. Body literal order
+/// is preserved — it drives delta-plan generation, so two rules that
+/// differ only in body order are (conservatively) distinct sub-plans.
+std::string CanonRule(const Rule& rule,
+                      const std::function<std::string(SymbolId)>& pname) {
+  Subst rename;
+  std::vector<SymbolId> vars = rule.Variables();
+  for (size_t i = 0; i < vars.size(); ++i) {
+    rename.Bind(vars[i], Term::Var(StrFormat("_v%zu", i)));
+  }
+  std::string s = pname(rule.head.predicate) + "(";
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (i > 0) s += ",";
+    s += rename.Apply(rule.head.args[i]).ToString();
+  }
+  s += ")";
+  for (const AggregateSpec& spec : rule.aggregates) {
+    s += StrFormat("{%s@%zu}", AggKindToString(spec.kind),
+                   spec.head_position);
+  }
+  s += ":-";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) s += ",";
+    s += CanonLiteral(rule.body[i], rename, pname);
+  }
+  return s;
+}
+
+/// Plan-relevant `.decl` properties of `pred`, as signature text.
+std::string DeclSignature(const Program& program, SymbolId pred) {
+  const PredicateDecl* d = program.FindDecl(pred);
+  if (d == nullptr) return ";nodecl";
+  std::string s = ";w=";
+  s += d->window ? StrFormat("%lld", static_cast<long long>(*d->window)) : "-";
+  s += ";h=";
+  s += d->home_arg ? StrFormat("%zu", *d->home_arg) : "-";
+  s += ";g=";
+  s += d->stage_arg ? StrFormat("%zu", *d->stage_arg) : "-";
+  s += ";s=" + d->storage_policy + ";j=" + d->join_policy;
+  return s;
+}
+
+/// Input streams are shared across tenants by name, so their declarations
+/// must agree on everything the planner consumes.
+bool SameDeclProps(const PredicateDecl* a, const PredicateDecl* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  if (a == nullptr) return true;
+  return a->arity == b->arity && a->window == b->window &&
+         a->home_arg == b->home_arg && a->stage_arg == b->stage_arg &&
+         a->storage_policy == b->storage_policy &&
+         a->join_policy == b->join_policy;
+}
+
+SymbolId Resolve(const std::unordered_map<SymbolId, SymbolId>& final_name,
+                 SymbolId pred) {
+  auto it = final_name.find(pred);
+  return it == final_name.end() ? pred : it->second;
+}
+
+}  // namespace
+
+StatusOr<MultiPlan> CompileMultiPlan(const std::vector<TenantProgram>& tenants,
+                                     const BuiltinRegistry& registry,
+                                     const PlannerOptions& options) {
+  if (tenants.empty()) {
+    return StatusOr<MultiPlan>(
+        Status::InvalidArgument("CompileMultiPlan: no tenant programs"));
+  }
+  MultiPlan out;
+  Program merged;
+
+  /// What a predicate name is already bound to across tenants.
+  struct NameClaim {
+    bool edb = false;
+    std::string sig;     ///< Derived: the owning SCC signature.
+    std::string tenant;  ///< First claimant (for error messages).
+  };
+  std::unordered_map<SymbolId, NameClaim> claims;
+  // SCC signature -> final symbol of each member (positional).
+  std::unordered_map<std::string, std::vector<SymbolId>> canon_by_sig;
+  std::unordered_set<Fact, FactHash> fact_seen;
+
+  for (size_t ti = 0; ti < tenants.size(); ++ti) {
+    const TenantProgram& tp = tenants[ti];
+    TenantView view;
+    view.tenant = tp.tenant;
+    view.index = static_cast<uint32_t>(ti + 1);
+
+    Program prog = tp.program;
+    DEDUCE_RETURN_IF_ERROR(ResolveBuiltins(&prog, registry));
+    DEDUCE_ASSIGN_OR_RETURN(ProgramAnalysis analysis, AnalyzeProgram(prog));
+
+    // Input streams: shared by name, declarations must agree.
+    for (SymbolId pred : analysis.predicates) {
+      if (!analysis.edb.count(pred)) continue;
+      view.edb.push_back(pred);
+      view.read.emplace(pred, pred);
+      const PredicateDecl* decl = prog.FindDecl(pred);
+      auto it = claims.find(pred);
+      if (it == claims.end()) {
+        claims.emplace(pred, NameClaim{true, "", tp.tenant});
+        if (decl != nullptr) DEDUCE_RETURN_IF_ERROR(merged.AddDecl(*decl));
+      } else if (!it->second.edb) {
+        return StatusOr<MultiPlan>(Status::InvalidArgument(StrFormat(
+            "tenant '%s': input stream '%s' collides with a derived "
+            "predicate of the same name registered by tenant '%s'",
+            tp.tenant.c_str(), SymbolName(pred).c_str(),
+            it->second.tenant.c_str())));
+      } else if (!SameDeclProps(merged.FindDecl(pred), decl)) {
+        return StatusOr<MultiPlan>(Status::InvalidArgument(StrFormat(
+            "tenant '%s': input stream '%s' is declared differently than "
+            "by tenant '%s'; shared input streams must have identical "
+            "declarations",
+            tp.tenant.c_str(), SymbolName(pred).c_str(),
+            it->second.tenant.c_str())));
+      }
+    }
+
+    // Tenant predicate -> merged-program predicate, for rule bodies of
+    // later SCCs (topological order makes every dependency resolved).
+    std::unordered_map<SymbolId, SymbolId> final_name;
+    for (SymbolId pred : view.edb) final_name.emplace(pred, pred);
+
+    for (const SccInfo& scc : analysis.sccs) {
+      std::vector<SymbolId> members;
+      for (SymbolId m : scc.members) {
+        if (analysis.idb.count(m)) members.push_back(m);
+      }
+      if (members.empty()) continue;
+      out.subplans_requested += members.size();
+      view.derived.insert(view.derived.end(), members.begin(), members.end());
+
+      // Canonicalization is SCC-granular: a recursive component is shared
+      // all-or-nothing, so no tenant can alias half of a mutual recursion
+      // whose other half differs.
+      std::unordered_map<SymbolId, size_t> member_pos;
+      for (size_t i = 0; i < members.size(); ++i) {
+        member_pos.emplace(members[i], i);
+      }
+      auto pname = [&](SymbolId p) -> std::string {
+        auto mit = member_pos.find(p);
+        if (mit != member_pos.end()) return StrFormat("$m%zu", mit->second);
+        auto fit = final_name.find(p);
+        if (fit != final_name.end() && analysis.idb.count(p)) {
+          return "@" + SymbolName(fit->second);
+        }
+        return SymbolName(p);  // input stream (shared by name)
+      };
+      std::string sig;
+      for (size_t i = 0; i < members.size(); ++i) {
+        std::vector<std::string> rule_strs;
+        for (const Rule& r : prog.rules()) {
+          if (r.head.predicate != members[i]) continue;
+          rule_strs.push_back(CanonRule(r, pname));
+        }
+        std::sort(rule_strs.begin(), rule_strs.end());
+        sig += StrFormat("$m%zu", i) + DeclSignature(prog, members[i]) + "|";
+        for (const std::string& rs : rule_strs) sig += rs + ";";
+      }
+
+      auto cit = canon_by_sig.find(sig);
+      if (cit != canon_by_sig.end()) {
+        // Shared sub-plan: evaluated once by the canonical owner; this
+        // tenant reads the canonical store directly (same name) or gets a
+        // per-tenant alias store fed by result fan-out (different name).
+        for (size_t i = 0; i < members.size(); ++i) {
+          SymbolId mine = members[i];
+          SymbolId canon = cit->second[i];
+          final_name[mine] = canon;
+          if (mine == canon) {
+            view.read.emplace(mine, mine);
+            continue;
+          }
+          SymbolId alias = mine;
+          auto nit = claims.find(mine);
+          if (nit != claims.end() &&
+              (nit->second.edb || nit->second.sig != sig)) {
+            if (options.strict_tenant_collisions || nit->second.edb) {
+              return StatusOr<MultiPlan>(Status::InvalidArgument(StrFormat(
+                  "cross-tenant symbol collision: predicate '%s' of tenant "
+                  "'%s' does not match the %s already registered under that "
+                  "name by tenant '%s' (a shared head predicate must have "
+                  "an identical sub-plan; rename the predicate or clear "
+                  "PlannerOptions::strict_tenant_collisions)",
+                  SymbolName(mine).c_str(), tp.tenant.c_str(),
+                  nit->second.edb ? "input stream" : "sub-plan",
+                  nit->second.tenant.c_str())));
+            }
+            alias = Intern(SymbolName(mine) + "@" + tp.tenant);
+          }
+          if (!claims.count(alias)) {
+            claims.emplace(alias, NameClaim{false, sig, tp.tenant});
+          }
+          auto& fans = out.fanout[canon];
+          bool present = false;
+          for (const auto& [t, a] : fans) present = present || a == alias;
+          // Two tenants may share one alias store (same name, same
+          // sub-plan); the recorded wire tenant id is the first taker's —
+          // it only marks "fan-out copy", attribution is by predicate.
+          if (!present) fans.emplace_back(view.index, alias);
+          view.read.emplace(mine, alias);
+        }
+        continue;
+      }
+
+      // New sub-plan: claim names (renaming on non-strict collision),
+      // then emit the rewritten rules into the merged program.
+      std::vector<SymbolId> finals;
+      for (size_t i = 0; i < members.size(); ++i) {
+        SymbolId mine = members[i];
+        SymbolId fin = mine;
+        auto nit = claims.find(mine);
+        if (nit != claims.end()) {
+          if (options.strict_tenant_collisions || nit->second.edb) {
+            return StatusOr<MultiPlan>(Status::InvalidArgument(StrFormat(
+                "cross-tenant symbol collision: predicate '%s' of tenant "
+                "'%s' does not match the %s already registered under that "
+                "name by tenant '%s' (a shared head predicate must have an "
+                "identical sub-plan; rename the predicate or clear "
+                "PlannerOptions::strict_tenant_collisions)",
+                SymbolName(mine).c_str(), tp.tenant.c_str(),
+                nit->second.edb ? "input stream" : "sub-plan",
+                nit->second.tenant.c_str())));
+          }
+          fin = Intern(SymbolName(mine) + "@" + tp.tenant);
+          if (claims.count(fin)) {
+            return StatusOr<MultiPlan>(Status::InvalidArgument(StrFormat(
+                "cross-tenant symbol collision: rename target '%s' for "
+                "tenant '%s' is itself already registered",
+                SymbolName(fin).c_str(), tp.tenant.c_str())));
+          }
+        }
+        claims.emplace(fin, NameClaim{false, sig, tp.tenant});
+        finals.push_back(fin);
+        final_name[mine] = fin;
+        view.read.emplace(mine, fin);
+      }
+      canon_by_sig.emplace(sig, finals);
+      out.subplans_total += members.size();
+      for (size_t i = 0; i < members.size(); ++i) {
+        const PredicateDecl* decl = prog.FindDecl(members[i]);
+        if (decl != nullptr) {
+          PredicateDecl d = *decl;
+          d.name = finals[i];
+          DEDUCE_RETURN_IF_ERROR(merged.AddDecl(std::move(d)));
+        }
+      }
+      for (const Rule& r : prog.rules()) {
+        if (!member_pos.count(r.head.predicate)) continue;
+        // mutable_rules, not AddRule: the rule already went through
+        // aggregate extraction and the safety check in the tenant program,
+        // and re-extraction would drop the extracted aggregate specs.
+        Rule nr = r;
+        nr.head.predicate = Resolve(final_name, nr.head.predicate);
+        for (Literal& l : nr.body) {
+          if (l.is_relational()) {
+            l.atom.predicate = Resolve(final_name, l.atom.predicate);
+          }
+        }
+        nr.id = static_cast<int>(merged.rules().size());
+        merged.mutable_rules().push_back(std::move(nr));
+      }
+    }
+
+    // Ground facts, relabeled and deduplicated across tenants.
+    for (const Fact& f : prog.facts()) {
+      SymbolId p = Resolve(final_name, f.predicate());
+      Fact nf = p == f.predicate() ? f : Fact(p, f.args());
+      if (!fact_seen.insert(nf).second) continue;
+      Rule fr;
+      fr.head = Atom(p, nf.args());
+      DEDUCE_RETURN_IF_ERROR(merged.AddRule(std::move(fr)));
+    }
+
+    out.views.push_back(std::move(view));
+  }
+
+  DEDUCE_ASSIGN_OR_RETURN(out.plan,
+                          CompilePlan(merged, registry, options));
+
+  // Alias stores live outside the merged rule graph (nothing reads them, no
+  // rule derives them — results arrive by fan-out). Each gets a sink
+  // placement mirroring its canonical source so window expiry and home
+  // hashing behave identically.
+  for (const auto& [canon, fans] : out.fanout) {
+    const PredicatePlan& cp = out.plan.pred_plan(canon);
+    for (const auto& [tenant, alias] : fans) {
+      (void)tenant;
+      PredicatePlan ap = cp;
+      ap.pred = alias;
+      ap.storage = StoragePolicy::kLocal;
+      out.plan.preds.emplace(alias, ap);
+    }
+  }
+  out.subplans_shared = out.subplans_requested - out.subplans_total;
+  return out;
 }
 
 }  // namespace deduce

@@ -87,6 +87,13 @@ struct PlannerOptions {
   bool multipass = false;
   /// Default sliding window for undeclared stream predicates.
   Timestamp default_window = INT64_MAX;
+  /// Multi-tenant compilation (CompileMultiPlan): two tenants may use the
+  /// same derived predicate name only when their sub-plans are identical
+  /// (then the name dedups onto one shared evaluation). When a name
+  /// collides across tenants with *different* sub-plans, strict mode
+  /// rejects the registration with a clear error; non-strict mode renames
+  /// the later tenant's predicate to "name@tenant" and keeps going.
+  bool strict_tenant_collisions = true;
 };
 
 /// Compiled plan for an aggregate rule, e.g. avgt(R, avg(C)) :- temp(R, C).
@@ -132,6 +139,64 @@ struct QueryPlan {
 StatusOr<QueryPlan> CompilePlan(const Program& program,
                                 const BuiltinRegistry& registry,
                                 const PlannerOptions& options);
+
+// --- multi-tenant compilation ------------------------------------------------
+
+/// One tenant's program, registered under a stable tenant name.
+struct TenantProgram {
+  std::string tenant;
+  Program program;
+};
+
+/// Per-tenant read map over the merged evaluation DAG: where the facts the
+/// tenant asked for actually live. Identity for predicates the tenant owns
+/// (it registered the canonical sub-plan, or got a same-named alias store);
+/// "name@tenant" for non-strict collision renames.
+struct TenantView {
+  std::string tenant;
+  /// 1-based wire tenant id; 0 on the wire means "shared traffic" so that
+  /// single-tenant frames stay byte-identical.
+  uint32_t index = 0;
+  /// Tenant predicate -> predicate the merged engine materializes for it.
+  std::unordered_map<SymbolId, SymbolId> read;
+  /// The tenant's derived / input predicates, deterministic order.
+  std::vector<SymbolId> derived;
+  std::vector<SymbolId> edb;
+};
+
+/// Result fan-out table: results of a canonical (deduped) sub-plan must
+/// also be applied under each listed alias predicate, relabeled, so every
+/// tenant keeps its own result homes and trace attribution. Keyed by the
+/// canonical predicate; entries carry (wire tenant id, alias predicate).
+using ResultFanout =
+    std::unordered_map<SymbolId,
+                       std::vector<std::pair<uint32_t, SymbolId>>>;
+
+/// N tenant programs compiled onto one shared evaluation DAG.
+struct MultiPlan {
+  QueryPlan plan;               ///< The merged, deduplicated plan.
+  std::vector<TenantView> views;
+  ResultFanout fanout;
+  /// Distinct derived sub-plans the merged DAG evaluates.
+  uint64_t subplans_total = 0;
+  /// Derived sub-plans requested across all tenants (pre-dedup).
+  uint64_t subplans_requested = 0;
+  /// requested - total: evaluations saved by cross-tenant sharing.
+  uint64_t subplans_shared = 0;
+};
+
+/// Compiles N tenant programs into one shared evaluation DAG. Sub-plans are
+/// canonicalized per dependency SCC (decl properties + rules with variables
+/// and member names normalized, body predicates resolved through earlier
+/// tenants) and deduplicated: two tenants whose predicates have identical
+/// sub-plans share one evaluation; when the shared sub-plan lives under a
+/// different name, its results are fanned out to a per-tenant alias store
+/// (ResultFanout). Input streams are shared by name and must be declared
+/// consistently across tenants. Name collisions between *different*
+/// sub-plans follow PlannerOptions::strict_tenant_collisions.
+StatusOr<MultiPlan> CompileMultiPlan(const std::vector<TenantProgram>& tenants,
+                                     const BuiltinRegistry& registry,
+                                     const PlannerOptions& options);
 
 }  // namespace deduce
 

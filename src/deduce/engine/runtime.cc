@@ -4,6 +4,7 @@
 
 #include "deduce/common/logging.h"
 #include "deduce/common/strings.h"
+#include "deduce/eval/monoid.h"
 #include "deduce/eval/rule_eval.h"
 
 namespace deduce {
@@ -107,6 +108,27 @@ void NodeRuntime::Start(NodeContext* ctx) {
     e.gen_ts = now;
     e.derivs.insert(Derivation{-1, {}});  // permanent axiom
     ++shared_->stats.derived_generations;
+    // Multi-tenant fan-out for seeded axioms: alias home relations are
+    // co-located with the canonical one (see ApplyResult), so the
+    // relabeled copy is a local insert here too.
+    if (!shared_->result_fanout.empty()) {
+      auto fit = shared_->result_fanout.find(f.predicate());
+      if (fit != shared_->result_fanout.end()) {
+        for (const auto& [tenant, alias] : fit->second) {
+          (void)tenant;
+          Fact af(alias, f.args());
+          HomeRel& arel = home_[alias];
+          auto [ait, ains] = arel.map.emplace(af, HomeEntry{});
+          if (ains) arel.order.push_back(af);
+          HomeEntry& ae = ait->second;
+          if (ae.alive) continue;
+          ae.alive = true;
+          ae.id = TupleId{id_, now, seq_++};
+          ae.gen_ts = now;
+          ae.derivs.insert(Derivation{-1, {}});
+        }
+      }
+    }
     if (provenance_on()) {
       ProvenanceEdge pe;
       pe.kind = ProvenanceEdge::Kind::kGen;
@@ -689,7 +711,8 @@ void NodeRuntime::OnRestart(NodeContext* ctx) {
   timers_.clear();
   pending_.clear();
   rx_seen_.clear();
-  shed_degraded_ = false;  // shed taint is per-incarnation, like the stores
+  shed_preds_.clear();  // shed taint is per-incarnation, like the stores
+  shed_all_ = false;
   ingress_open_ = 0;
   if (prov_ != nullptr) prov_->Clear();  // lineage ring is RAM too
   repair_.OnRestart(ctx);
@@ -871,13 +894,19 @@ void NodeRuntime::StartStoragePhase(NodeContext* ctx, SymbolId pred,
   }
 }
 
-void NodeRuntime::RecordShed(NodeContext* ctx, const char* what) {
+void NodeRuntime::RecordShed(NodeContext* ctx, const char* what,
+                             SymbolId pred) {
   ++shared_->stats.sheds;
-  // Sticky taint: this node's stores/work are now possibly incomplete, so
-  // every join pass it touches must carry the degraded bit (§IV-B
-  // degraded visibility, same channel the repair protocol uses). Cleared
-  // only by reboot, which wipes the shed state along with everything else.
-  shed_degraded_ = true;
+  // Sticky taint: this node's stores/work touching `pred` are now possibly
+  // incomplete, so every join pass through here whose head depends on it
+  // must carry the degraded bit (§IV-B degraded visibility, same channel
+  // the repair protocol uses). Cleared only by reboot, which wipes the
+  // shed state along with everything else.
+  if (pred < 0) {
+    shed_all_ = true;
+  } else {
+    shed_preds_.insert(pred);
+  }
   if (shared_->metrics != nullptr) {
     shared_->metrics->Add(id_, "budget", "sheds");
     shared_->metrics->Add(id_, "budget", std::string("sheds_") + what);
@@ -891,6 +920,23 @@ void NodeRuntime::RecordShed(NodeContext* ctx, const char* what) {
     r.pred = what;
     shared_->trace->Emit(r);
   }
+}
+
+bool NodeRuntime::ShedTaints(SymbolId pred) const {
+  if (shed_all_) return true;
+  if (shed_preds_.empty()) return false;
+  auto it = shared_->taint_deps.find(pred);
+  // A head with no dependency entry cannot be argued clean — stay as
+  // conservative as the old node-global bit.
+  if (it == shared_->taint_deps.end()) return true;
+  for (SymbolId shed : shed_preds_) {
+    if (it->second.count(shed) != 0) return true;
+  }
+  return false;
+}
+
+SymbolId NodeRuntime::DeltaHead(const DeltaPlan& delta) const {
+  return shared_->plan.program.rules()[delta.rule_index].head.predicate;
 }
 
 bool NodeRuntime::ReplicaStoreFull(SymbolId pred) const {
@@ -935,12 +981,12 @@ bool NodeRuntime::AdmitReplica(NodeContext* ctx, SymbolId pred,
     if (shared_->metrics != nullptr) {
       shared_->metrics->Add(id_, "budget", "budget_evictions");
     }
-    RecordShed(ctx, "replica_evict");
+    RecordShed(ctx, "replica_evict", pred);
     return true;
   }
   // Shed-newest (and reject-injection at non-source nodes, where there is
   // no injector to refuse): the arriving replica is never recorded.
-  RecordShed(ctx, "replica");
+  RecordShed(ctx, "replica", pred);
   return false;
 }
 
@@ -1199,7 +1245,9 @@ void NodeRuntime::ProcessPartialsHere(NodeContext* ctx, const DeltaPlan& delta,
   size_t evaluated = 0;
   while (!work.empty()) {
     if (eval_cap > 0 && evaluated >= eval_cap) {
-      for (size_t i = 0; i < work.size(); ++i) RecordShed(ctx, "eval");
+      for (size_t i = 0; i < work.size(); ++i) {
+        RecordShed(ctx, "eval", DeltaHead(delta));
+      }
       work.clear();
       break;
     }
@@ -1456,7 +1504,7 @@ void NodeRuntime::LaunchJoinPasses(NodeContext* ctx, SymbolId pred,
     jp.update_ts = update_ts;
     jp.update_id = id;
     jp.pass_index = 0;
-    jp.degraded = repair_.degraded() || shed_degraded_;
+    jp.degraded = repair_.degraded() || ShedTaints(DeltaHead(delta));
     for (const Partial& p : partials) jp.partials.push_back(ToWire(p));
 
     switch (delta.strategy) {
@@ -1499,7 +1547,7 @@ void NodeRuntime::HandleJoinPass(NodeContext* ctx, JoinPassWire jp) {
   // A rebooted, not-yet-resynced store may be missing band replicas — and
   // so may a store that shed replicas or work under a budget: taint every
   // pass that runs through either so its results are flagged.
-  if (repair_.degraded() || shed_degraded_) jp.degraded = true;
+  if (repair_.degraded() || ShedTaints(DeltaHead(delta))) jp.degraded = true;
   shared_->stats.max_partials_in_message = std::max(
       shared_->stats.max_partials_in_message,
       static_cast<uint64_t>(jp.partials.size()));
@@ -1722,9 +1770,10 @@ void NodeRuntime::EmitComplete(NodeContext* ctx, const DeltaPlan& delta,
 
 void NodeRuntime::ShipResult(NodeContext* ctx, ResultWire rw) {
   // Shed taint rides the existing degraded bit: results shipped by a node
-  // that discarded state or work (including aggregate emissions from a
-  // group home that shed) are flagged "sound but possibly partial".
-  if (shed_degraded_) rw.degraded = true;
+  // that discarded state or work their head depends on (including
+  // aggregate emissions from a group home that shed) are flagged "sound
+  // but possibly partial".
+  if (ShedTaints(rw.pred)) rw.degraded = true;
   NodeId home = HomeOf(shared_->plan.pred_plan(rw.pred), rw.fact);
   rw.final_target = home;
   ++shared_->stats.results_emitted;
@@ -1822,46 +1871,16 @@ void NodeRuntime::HandleAgg(NodeContext* ctx, AggWire aw) {
     }
   }
 
-  // Recompute the aggregate for this group.
+  // Recompute the aggregate for this group: a left-to-right monoid fold
+  // over the live contributions (window/operator state is an explicit
+  // mergeable AggState, eval/monoid.h).
   std::optional<Fact> next;
   if (!group.contributions.empty()) {
-    int64_t count = 0;
-    double sum = 0;
-    bool sum_int = true;
-    int64_t isum = 0;
-    std::optional<Term> best;
+    AggState acc = AggIdentity();
     for (const auto& [cid, v] : group.contributions) {
-      ++count;
-      if (v.is_constant() && v.value().is_number()) {
-        sum += v.value().AsNumber();
-        if (v.value().is_int()) {
-          isum += v.value().as_int();
-        } else {
-          sum_int = false;
-        }
-      }
-      if (!best.has_value() ||
-          (plan.kind == AggKind::kMin && v.Compare(*best) < 0) ||
-          (plan.kind == AggKind::kMax && v.Compare(*best) > 0)) {
-        best = v;
-      }
+      AggAccumulate(plan.kind, v, &acc);
     }
-    Term result;
-    switch (plan.kind) {
-      case AggKind::kCount:
-        result = Term::Int(count);
-        break;
-      case AggKind::kSum:
-        result = sum_int ? Term::Int(isum) : Term::Real(sum);
-        break;
-      case AggKind::kAvg:
-        result = Term::Real(sum / static_cast<double>(count));
-        break;
-      case AggKind::kMin:
-      case AggKind::kMax:
-        result = *best;
-        break;
-    }
+    Term result = AggExtract(plan.kind, acc);
     std::vector<Term> args;
     size_t gi = 0;
     for (size_t i = 0; i < rule.head.args.size(); ++i) {
@@ -1930,6 +1949,29 @@ void NodeRuntime::HandleResult(NodeContext* ctx, ResultWire rw) {
 }
 
 void NodeRuntime::ApplyResult(NodeContext* ctx, const ResultWire& rw) {
+  // Multi-tenant fan-out, home side: a result of a deduped canonical
+  // sub-plan is also applied, relabeled, into each subscribed tenant's
+  // alias home relation — same support, degraded bit, and removal
+  // semantics, with the tenant id recorded on the copy. Fanning out here
+  // (at the canonical result home) instead of at the deriving node keeps
+  // the marginal network cost of an overlapping tenant at zero: the alias
+  // relation is co-located with the canonical one and no extra messages
+  // are shipped. Copies carry a nonzero tenant id so they never fan out
+  // again; single-tenant engines have an empty table and never reach the
+  // lookup.
+  if (rw.tenant == 0 && !shared_->result_fanout.empty()) {
+    auto fit = shared_->result_fanout.find(rw.pred);
+    if (fit != shared_->result_fanout.end()) {
+      for (const auto& [tenant, alias] : fit->second) {
+        ResultWire copy = rw;
+        copy.tenant = tenant;
+        copy.pred = alias;
+        copy.fact = Fact(alias, rw.fact.args());
+        copy.final_target = id_;
+        ApplyResult(ctx, copy);
+      }
+    }
+  }
   if (rw.degraded) {
     // Observability only: the result is sound, but its producing pass ran
     // through a not-yet-resynced store and siblings may be missing.

@@ -283,6 +283,19 @@ struct EngineTiming {
 /// State shared (read-mostly) by all node runtimes of one engine.
 struct EngineShared {
   QueryPlan plan;
+  /// Multi-tenant result fan-out (CompileMultiPlan): results of a deduped
+  /// canonical sub-plan are re-shipped, relabeled, to each tenant's alias
+  /// store. Empty for single-tenant engines — the fan-out path is then
+  /// never taken and behavior is byte-identical to the pre-tenancy engine.
+  ResultFanout result_fanout;
+  /// Transitive body-predicate closure per derived head (computed at
+  /// engine creation from the plan's rules, each head included in its own
+  /// set). Shed taint is scoped through it: a node that shed state of
+  /// pred p degrades only results whose head depends on p — so one
+  /// tenant's overload never taints a disjoint tenant's results
+  /// (tests/tenancy_test.cc) while staying exactly as conservative as the
+  /// old node-global bit for everything the shed could actually reach.
+  std::unordered_map<SymbolId, std::unordered_set<SymbolId>> taint_deps;
   BuiltinRegistry registry;
   const Topology* topology = nullptr;
   std::unique_ptr<RegionMapper> regions;
@@ -551,11 +564,18 @@ class NodeRuntime : public NodeApp {
   // --- resource budgets (EngineOptions::budget) ---
   bool budget_on() const { return shared_->budget.enabled; }
   /// Counts one shed of kind `what` (metrics component "budget", trace
-  /// phase "shed") and taints this node: every join pass it processes
-  /// from now on carries the degraded bit, because results computed
-  /// against a store that shed state are sound but possibly incomplete —
-  /// and, under negation, only trustworthy when flagged.
-  void RecordShed(NodeContext* ctx, const char* what);
+  /// phase "shed") and taints this node: join passes and results whose
+  /// head depends on `pred` (EngineShared::taint_deps) carry the degraded
+  /// bit from now on, because results computed against a store that shed
+  /// state are sound but possibly incomplete — and, under negation, only
+  /// trustworthy when flagged. `pred < 0` (shed not attributable to one
+  /// predicate, e.g. an in-flight envelope) taints every head.
+  void RecordShed(NodeContext* ctx, const char* what, SymbolId pred = -1);
+  /// True when results for head `pred` shipped by this node must carry
+  /// the degraded bit because of an earlier shed.
+  bool ShedTaints(SymbolId pred) const;
+  /// Head predicate of the rule a delta plan evaluates.
+  SymbolId DeltaHead(const DeltaPlan& delta) const;
   /// True when the envelope for `inner_type`/payload may be shed: only
   /// additive traffic (insert stores, insert join passes, insert
   /// results). Deletion-critical, aggregate, repair and transport-control
@@ -617,11 +637,14 @@ class NodeRuntime : public NodeApp {
   uint32_t seq_ = 0;
 
   // --- budget state (EngineOptions::budget; all idle when budgets off) ---
-  /// Sticky shed taint: this node discarded state or work, so its passes
-  /// must carry the degraded bit. Cleared on reboot — volatile RAM loses
-  /// shed and unshed state alike, and the repair path owns post-reboot
-  /// degradation.
-  bool shed_degraded_ = false;
+  /// Sticky shed taint, scoped by predicate: this node discarded state or
+  /// work touching these predicates, so passes whose head depends on any
+  /// of them (taint_deps) must carry the degraded bit. `shed_all_` covers
+  /// sheds not attributable to a predicate (in-flight envelopes). Cleared
+  /// on reboot — volatile RAM loses shed and unshed state alike, and the
+  /// repair path owns post-reboot degradation.
+  std::unordered_set<SymbolId> shed_preds_;
+  bool shed_all_ = false;
   /// Injections admitted whose storage/join launch timer has not fired
   /// yet (the bounded ingress queue's occupancy).
   size_t ingress_open_ = 0;

@@ -144,6 +144,7 @@ Message ResultWire::Encode() const {
   for (const TupleId& id : support) w.WriteTupleId(id);
   w.WriteInt(update_ts);
   w.WriteUint(degraded ? 1 : 0);
+  if (tenant != 0) w.WriteUint(tenant);
   Message m;
   m.type = kResultMsg;
   m.payload = w.Take();
@@ -169,6 +170,10 @@ StatusOr<ResultWire> ResultWire::Decode(const Message& msg) {
   DEDUCE_ASSIGN_OR_RETURN(out.update_ts, r.ReadInt());
   DEDUCE_ASSIGN_OR_RETURN(uint64_t degraded, r.ReadUint());
   out.degraded = degraded != 0;
+  if (r.remaining() > 0) {
+    DEDUCE_ASSIGN_OR_RETURN(uint64_t tenant, r.ReadUint());
+    out.tenant = static_cast<uint32_t>(tenant);
+  }
   return out;
 }
 

@@ -89,6 +89,12 @@ struct ResultWire {
   /// incomplete. Consumers distinguishing "complete" from "partial" read
   /// this bit (see DistributedEngine::UndegradedResultDatabase).
   bool degraded = false;
+  /// Multi-tenant fan-out copy: nonzero marks a result relabeled for a
+  /// tenant's alias store (TenantView::index), which must not fan out
+  /// again. Encoded as an optional trailing field only when nonzero, so
+  /// single-tenant frames — and every committed baseline — stay
+  /// byte-identical; old frames decode with tenant == 0.
+  uint32_t tenant = 0;
 
   Message Encode() const;
   static StatusOr<ResultWire> Decode(const Message& msg);

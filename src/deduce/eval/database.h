@@ -54,6 +54,13 @@ class Database : public RelationReader {
   /// Removes a fact; returns true if it was present.
   bool Erase(const Fact& fact);
 
+  /// Inserts `fact` under predicate `as`, relabeling when they differ —
+  /// the read-time view the multi-tenant accessors use to present shared
+  /// (deduped or renamed) results under each tenant's own predicate names.
+  bool InsertAs(const Fact& fact, SymbolId as) {
+    return Insert(fact.predicate() == as ? fact : Fact(as, fact.args()));
+  }
+
   bool Contains(const Fact& fact) const override;
 
   void Scan(SymbolId pred,

@@ -1,0 +1,54 @@
+#include "deduce/eval/monoid.h"
+
+#include "deduce/common/logging.h"
+
+namespace deduce {
+
+void AggAccumulate(AggKind kind, const Term& value, AggState* acc) {
+  ++acc->count;
+  if (value.is_constant() && value.value().is_number()) {
+    acc->sum += value.value().AsNumber();
+    if (value.value().is_int()) {
+      acc->isum += value.value().as_int();
+    } else {
+      acc->sum_is_int = false;
+    }
+  }
+  if (!acc->best.has_value() ||
+      (kind == AggKind::kMin && value.Compare(*acc->best) < 0) ||
+      (kind == AggKind::kMax && value.Compare(*acc->best) > 0)) {
+    acc->best = value;
+  }
+}
+
+void AggCombine(AggKind kind, const AggState& right, AggState* left) {
+  left->count += right.count;
+  left->sum += right.sum;
+  left->isum += right.isum;
+  left->sum_is_int = left->sum_is_int && right.sum_is_int;
+  if (right.best.has_value() &&
+      (!left->best.has_value() ||
+       (kind == AggKind::kMin && right.best->Compare(*left->best) < 0) ||
+       (kind == AggKind::kMax && right.best->Compare(*left->best) > 0))) {
+    left->best = right.best;
+  }
+}
+
+Term AggExtract(AggKind kind, const AggState& acc) {
+  switch (kind) {
+    case AggKind::kCount:
+      return Term::Int(acc.count);
+    case AggKind::kSum:
+      return acc.sum_is_int ? Term::Int(acc.isum) : Term::Real(acc.sum);
+    case AggKind::kAvg:
+      DEDUCE_CHECK(acc.count > 0);
+      return Term::Real(acc.sum / static_cast<double>(acc.count));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      DEDUCE_CHECK(acc.best.has_value());
+      return *acc.best;
+  }
+  return Term();
+}
+
+}  // namespace deduce

@@ -1,0 +1,62 @@
+#ifndef DEDUCE_EVAL_MONOID_H_
+#define DEDUCE_EVAL_MONOID_H_
+
+#include <optional>
+
+#include "deduce/datalog/rule.h"  // AggKind
+#include "deduce/datalog/term.h"
+
+namespace deduce {
+
+/// Mergeable-monoid state for the engine's aggregate kinds (count, sum,
+/// min, max, avg). One state representation serves every kind, so a
+/// partial state computed anywhere — a centralized fold (seminaive.cc), a
+/// per-group home node (runtime.cc HandleAgg), a TAG tree interior node
+/// (aggregation.cc), or one tenant's shard of a shared sub-plan — can be
+/// merged with any other partial state of the same group.
+///
+/// The monoid laws the engine relies on (property-tested per kind in
+/// tests/tenancy_test.cc):
+///   - AggIdentity() is a two-sided identity for AggCombine.
+///   - AggCombine is associative. For kSum/kAvg over non-integer reals
+///     this holds up to floating-point reassociation; over integers (the
+///     common sensor case) it is exact, tracked separately in `isum`.
+///   - A left-to-right AggCombine fold over singleton states (one
+///     AggAccumulate each) equals the sequential AggAccumulate fold —
+///     ties between equal min/max candidates keep the earlier (left)
+///     operand, exactly the first-wins semantics of the original inline
+///     folds, so refactored call sites stay byte-identical.
+struct AggState {
+  int64_t count = 0;
+  /// Sum of the numeric contributions (non-numeric terms contribute only
+  /// to `count`/`best`; whether that is an error is the caller's policy).
+  double sum = 0;
+  /// True while every numeric contribution was an integer: integer sums
+  /// are emitted from `isum`, exactly and associativity-safe.
+  bool sum_is_int = true;
+  int64_t isum = 0;
+  /// Extremum candidate under the total term order: the minimum for kMin,
+  /// the maximum for kMax (first contribution wins ties). Also seeded by
+  /// the other kinds (harmlessly) so one Accumulate serves every kind.
+  std::optional<Term> best;
+
+  bool empty() const { return count == 0; }
+};
+
+/// The monoid identity: the state of an empty group.
+inline AggState AggIdentity() { return AggState{}; }
+
+/// Folds one contributed value into `acc`: acc <- acc (+) lift(value).
+void AggAccumulate(AggKind kind, const Term& value, AggState* acc);
+
+/// Merges `right` into `left`: left <- left (+) right.
+void AggCombine(AggKind kind, const AggState& right, AggState* left);
+
+/// Finalizes the emitted aggregate term. kMin/kMax/kAvg require a
+/// non-empty state (groups are only extracted once they have a live
+/// contribution); kCount/kSum of the identity are 0.
+Term AggExtract(AggKind kind, const AggState& acc);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_EVAL_MONOID_H_

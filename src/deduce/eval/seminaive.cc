@@ -6,6 +6,7 @@
 
 #include "deduce/common/logging.h"
 #include "deduce/common/strings.h"
+#include "deduce/eval/monoid.h"
 #include "deduce/eval/rule_eval.h"
 
 namespace deduce {
@@ -27,15 +28,8 @@ Status EvaluateAggregateRule(const Rule& rule, const BuiltinRegistry& registry,
   const AggregateSpec& agg = rule.aggregates[0];
   RuleBodyEvaluator evaluator(&rule, &registry);
 
-  struct Accum {
-    int64_t count = 0;
-    double sum = 0;
-    bool sum_is_int = true;
-    int64_t isum = 0;
-    std::optional<Term> best;  // min/max
-  };
   // Key: head args with the aggregate position blanked.
-  std::map<std::string, std::pair<std::vector<Term>, Accum>> groups;
+  std::map<std::string, std::pair<std::vector<Term>, AggState>> groups;
 
   RuleEvalStats rstats;
   Status st = evaluator.Evaluate(
@@ -59,23 +53,12 @@ Status EvaluateAggregateRule(const Rule& rule, const BuiltinRegistry& registry,
         }
         auto& [args, acc] = groups[key];
         args = head_args;
-        ++acc.count;
-        if (input.is_constant() && input.value().is_number()) {
-          acc.sum += input.value().AsNumber();
-          if (input.value().is_int()) {
-            acc.isum += input.value().as_int();
-          } else {
-            acc.sum_is_int = false;
-          }
-        } else if (agg.kind == AggKind::kSum || agg.kind == AggKind::kAvg) {
+        if (!(input.is_constant() && input.value().is_number()) &&
+            (agg.kind == AggKind::kSum || agg.kind == AggKind::kAvg)) {
           return Status::InvalidArgument(
               "sum/avg aggregate over non-numeric term " + input.ToString());
         }
-        if (!acc.best.has_value() ||
-            (agg.kind == AggKind::kMin && input.Compare(*acc.best) < 0) ||
-            (agg.kind == AggKind::kMax && input.Compare(*acc.best) > 0)) {
-          acc.best = input;
-        }
+        AggAccumulate(agg.kind, input, &acc);
         return Status::OK();
       },
       &rstats);
@@ -87,22 +70,7 @@ Status EvaluateAggregateRule(const Rule& rule, const BuiltinRegistry& registry,
 
   for (auto& [key, entry] : groups) {
     auto& [args, acc] = entry;
-    Term result;
-    switch (agg.kind) {
-      case AggKind::kCount:
-        result = Term::Int(acc.count);
-        break;
-      case AggKind::kSum:
-        result = acc.sum_is_int ? Term::Int(acc.isum) : Term::Real(acc.sum);
-        break;
-      case AggKind::kAvg:
-        result = Term::Real(acc.sum / static_cast<double>(acc.count));
-        break;
-      case AggKind::kMin:
-      case AggKind::kMax:
-        result = *acc.best;
-        break;
-    }
+    Term result = AggExtract(agg.kind, acc);
     std::vector<Term> final_args = args;
     final_args[agg.head_position] = result;
     out->emplace_back(rule.head.predicate, std::move(final_args));

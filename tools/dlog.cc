@@ -29,11 +29,22 @@
 //       one summary row per seed (trials run on --threads workers, rows
 //       always in seed order; incompatible with --trace/--trace-out/
 //       --metrics-out, which describe a single run).
+//       --program extra.dlog (repeatable) and/or --tenants K multiplex
+//       several tenant programs onto one shared engine (MultiTenantEngine,
+//       DESIGN.md §13): output becomes one "== tenant tN ==" relation
+//       section per tenant plus a "% tenancy:" summary line with the
+//       shared-sub-plan counters. With one program --tenants K replicates
+//       it to K overlapping tenants; with several programs K must match.
 //
 //   dlog stats <trace.jsonl> [--latency]
 //       Aggregate a JSONL trace into per-phase / per-predicate message and
 //       byte tables. --latency adds the per-predicate end-to-end latency /
 //       bytes-per-result table (needs a --provenance trace).
+//
+//   dlog stats <metrics.json> --metrics
+//       Aggregate a --metrics-out snapshot into a component/name/total
+//       table (counters and gauges summed across nodes, sorted) — the
+//       greppable form CI counter assertions use.
 //
 //   dlog explain <program.dlog> --fact 'pred(args)'
 //       (--trace-in trace.jsonl | --events <file> [sim flags])
@@ -70,6 +81,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "deduce/common/metrics.h"
@@ -240,6 +252,39 @@ bool StorageFromFlag(const std::string& storage, StoragePolicy* out) {
   return true;
 }
 
+/// Resolves the simulate tenancy flags into the per-tenant program list.
+/// `paths` is the positional program plus every repeated --program, in
+/// order; tenants are named t0..t(k-1). With --tenants k and a single
+/// program the one program is replicated to k tenants (the fully
+/// overlapping workload); with multiple programs k must match.
+StatusOr<std::vector<TenantProgram>> LoadTenantPrograms(
+    const std::vector<std::string>& paths, long tenants) {
+  size_t k = tenants > 0 ? static_cast<size_t>(tenants) : paths.size();
+  if (paths.size() > 1 && k != paths.size()) {
+    return StatusOr<std::vector<TenantProgram>>(Status::InvalidArgument(
+        StrFormat("--tenants %zu does not match the %zu programs given",
+                  k, paths.size())));
+  }
+  std::vector<TenantProgram> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const std::string& p = paths.size() == 1 ? paths[0] : paths[i];
+    auto text = ReadFile(p);
+    if (!text.ok()) {
+      return StatusOr<std::vector<TenantProgram>>(text.status());
+    }
+    auto program = ParseProgram(*text);
+    if (!program.ok()) {
+      return StatusOr<std::vector<TenantProgram>>(program.status());
+    }
+    TenantProgram tp;
+    tp.tenant = StrFormat("t%zu", i);
+    tp.program = std::move(*program);
+    out.push_back(std::move(tp));
+  }
+  return out;
+}
+
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
                 bool reliable, const RepairOptions& repair, uint64_t seed,
@@ -404,18 +449,112 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   return (*engine)->stats().errors.empty() ? 0 : 2;
 }
 
+/// Multi-tenant simulate (--program repeated and/or --tenants k): all
+/// tenant programs share one engine (MultiTenantEngine); output is one
+/// "== tenant tN ==" relation section per tenant, in tenant order, plus a
+/// "%% tenancy:" summary line with the shared-sub-plan counters. The
+/// single-tenant path does not go through here — its output stays
+/// byte-identical to pre-tenancy dlog.
+int CmdSimulateTenants(const std::vector<TenantProgram>& tenants,
+                       const std::string& events_path, int grid,
+                       const std::string& storage, double loss, bool reliable,
+                       const RepairOptions& repair, uint64_t seed,
+                       bool provenance,
+                       const std::string& metrics_out_path) {
+  auto events_text = ReadFile(events_path);
+  if (!events_text.ok()) return Fail(events_text.status());
+  auto events = ParseEvents(*events_text);
+  if (!events.ok()) return Fail(events.status());
+
+  EngineOptions options;
+  options.transport.reliable = reliable;
+  options.repair = repair;
+  options.provenance.enabled = provenance;
+  if (!StorageFromFlag(storage, &options.planner.default_storage)) {
+    return Fail(Status::InvalidArgument("unknown --storage " + storage));
+  }
+  LinkModel link;
+  link.loss_rate = loss;
+  if (loss > 0) link.retries = 2;
+  Network net(Topology::Grid(grid), link, seed);
+  MetricsRegistry metrics;
+  if (!metrics_out_path.empty()) options.metrics = &metrics;
+
+  MultiTenantEngine mte(options);
+  for (const TenantProgram& tp : tenants) {
+    Status st = mte.AddProgram(tp.tenant, tp.program);
+    if (!st.ok()) return Fail(st);
+  }
+  Status st = mte.Start(&net);
+  if (!st.ok()) return Fail(st);
+
+  for (const Event& ev : *events) {
+    if (ev.node < 0 || ev.node >= net.node_count()) {
+      return Fail(Status::OutOfRange(
+          StrFormat("event names node %d; grid has %d nodes", ev.node,
+                    net.node_count())));
+    }
+    net.sim().RunUntil(ev.time);
+    Status ist = mte.Inject(ev.node, ev.op, ev.fact);
+    if (!ist.ok()) {
+      std::fprintf(stderr, "dlog: inject %s: %s\n", ev.fact.ToString().c_str(),
+                   ist.ToString().c_str());
+    }
+  }
+  net.sim().Run();
+
+  for (const TenantProgram& tp : tenants) {
+    std::printf("== tenant %s ==\n", tp.tenant.c_str());
+    auto db = mte.ResultDatabase(tp.tenant);
+    if (!db.ok()) return Fail(db.status());
+    PrintRelations(*db);
+  }
+  const MultiPlan& mp = mte.multi_plan();
+  std::fprintf(
+      stderr,
+      "%% tenancy: %zu tenants, %llu sub-plans requested, %llu evaluated, "
+      "%llu shared\n",
+      tenants.size(),
+      static_cast<unsigned long long>(mp.subplans_requested),
+      static_cast<unsigned long long>(mp.subplans_total),
+      static_cast<unsigned long long>(mp.subplans_shared));
+  std::fprintf(
+      stderr,
+      "%% network: %llu messages, %llu bytes, %.1f uJ; engine: %llu join "
+      "passes, %llu derivations; errors: %zu\n",
+      static_cast<unsigned long long>(net.stats().TotalMessages()),
+      static_cast<unsigned long long>(net.stats().TotalBytes()),
+      net.stats().TotalEnergyMicroJ(),
+      static_cast<unsigned long long>(mte.stats().join_passes),
+      static_cast<unsigned long long>(mte.stats().derivations_added),
+      mte.stats().errors.size());
+  for (const std::string& e : mte.stats().errors) {
+    std::fprintf(stderr, "%% error: %s\n", e.c_str());
+  }
+  if (!metrics_out_path.empty()) {
+    net.stats().ExportTo(&metrics);
+    mte.stats().ExportTo(&metrics);
+    std::ofstream mo(metrics_out_path);
+    if (!mo) {
+      return Fail(
+          Status::NotFound("cannot write metrics file " + metrics_out_path));
+    }
+    mo << metrics.ToJson() << "\n";
+  }
+  return mte.stats().errors.empty() ? 0 : 2;
+}
+
 /// `--seeds N`: run the same program/events on N consecutive RNG seeds,
 /// one summary row per seed. Trials are independent simulations and run
 /// on a worker pool; RunTrials reduces (prints) in seed order, so the
-/// output is identical for any --threads value.
-int CmdSimulateSweep(const std::string& path, const std::string& events_path,
+/// output is identical for any --threads value. With more than one tenant
+/// each trial runs the shared MultiTenantEngine and `results` counts the
+/// union of the per-tenant result views.
+int CmdSimulateSweep(const std::vector<TenantProgram>& tenants,
+                     const std::string& events_path,
                      int grid, const std::string& storage, double loss,
                      bool reliable, const RepairOptions& repair, bool provenance,
                      uint64_t base_seed, uint64_t seeds, int threads) {
-  auto text = ReadFile(path);
-  if (!text.ok()) return Fail(text.status());
-  auto program = ParseProgram(*text);
-  if (!program.ok()) return Fail(program.status());
   auto events_text = ReadFile(events_path);
   if (!events_text.ok()) return Fail(events_text.status());
   auto events = ParseEvents(*events_text);
@@ -459,23 +598,53 @@ int CmdSimulateSweep(const std::string& path, const std::string& events_path,
       [&](size_t i) {
         SeedResult r;
         Network net(topo, link, base_seed + i);
-        auto engine = DistributedEngine::Create(&net, *program, options);
-        if (!engine.ok()) {
-          r.errors = 1;
-          return r;
+        if (tenants.size() == 1) {
+          auto engine =
+              DistributedEngine::Create(&net, tenants[0].program, options);
+          if (!engine.ok()) {
+            r.errors = 1;
+            return r;
+          }
+          for (const Event& ev : *events) {
+            net.sim().RunUntil(ev.time);
+            if (!(*engine)->Inject(ev.node, ev.op, ev.fact).ok()) ++r.errors;
+          }
+          net.sim().Run();
+          r.derivations = (*engine)->stats().derivations_added;
+          r.results = (*engine)->ResultDatabase().size();
+          r.errors += (*engine)->stats().errors.size();
+        } else {
+          MultiTenantEngine mte(options);
+          for (const TenantProgram& tp : tenants) {
+            if (!mte.AddProgram(tp.tenant, tp.program).ok()) {
+              r.errors = 1;
+              return r;
+            }
+          }
+          if (!mte.Start(&net).ok()) {
+            r.errors = 1;
+            return r;
+          }
+          for (const Event& ev : *events) {
+            net.sim().RunUntil(ev.time);
+            if (!mte.Inject(ev.node, ev.op, ev.fact).ok()) ++r.errors;
+          }
+          net.sim().Run();
+          r.derivations = mte.stats().derivations_added;
+          for (const TenantProgram& tp : tenants) {
+            auto db = mte.ResultDatabase(tp.tenant);
+            if (db.ok()) {
+              r.results += db->size();
+            } else {
+              ++r.errors;
+            }
+          }
+          r.errors += mte.stats().errors.size();
         }
-        for (const Event& ev : *events) {
-          net.sim().RunUntil(ev.time);
-          if (!(*engine)->Inject(ev.node, ev.op, ev.fact).ok()) ++r.errors;
-        }
-        net.sim().Run();
         r.messages = net.stats().TotalMessages();
         r.bytes = net.stats().TotalBytes();
         r.energy_uj = net.stats().TotalEnergyMicroJ();
         r.quiesce = net.sim().now();
-        r.derivations = (*engine)->stats().derivations_added;
-        r.results = (*engine)->ResultDatabase().size();
-        r.errors += (*engine)->stats().errors.size();
         return r;
       },
       [&](size_t i, SeedResult r) {
@@ -512,6 +681,91 @@ int CmdStats(const std::string& path, bool latency) {
     std::fprintf(stderr, "dlog: %s\n", e.c_str());
   }
   return stats.bad_lines > 0 ? 2 : 0;
+}
+
+/// `dlog stats <metrics.json> --metrics`: aggregate a metrics-registry
+/// snapshot (the --metrics-out file) into a deterministic
+/// component/name/total table, counters and gauges summed across nodes and
+/// printed in sorted order. This is what CI greps for its counter
+/// assertions (e.g. the tenancy job asserting `tenant subplans_shared`).
+/// Reads the single-snapshot form; on a --metrics-interval JSONL series it
+/// sums every row.
+int CmdStatsMetrics(const std::string& path) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status());
+  // Entries look like
+  //   {"node":N,"component":"c","name":"n","kind":"counter","value":V}
+  // (metrics.cc ToJson). A targeted scan keeps the CLI free of a JSON
+  // dependency: walk "component" keys, read the quoted component/name and
+  // the kind, and take "value" for counters and gauges (histograms carry
+  // count/sum/buckets instead and are skipped here).
+  std::map<std::pair<std::string, std::string>, long long> totals;
+  const std::string& s = *text;
+  auto quoted = [&](size_t* pos) -> StatusOr<std::string> {
+    size_t start = *pos;
+    size_t end = s.find('"', start);
+    if (end == std::string::npos) {
+      return StatusOr<std::string>(
+          Status::InvalidArgument("unterminated string in metrics file"));
+    }
+    *pos = end + 1;
+    return s.substr(start, end - start);
+  };
+  size_t pos = 0;
+  size_t bad = 0;
+  while ((pos = s.find("\"component\":\"", pos)) != std::string::npos) {
+    pos += std::strlen("\"component\":\"");
+    auto component = quoted(&pos);
+    if (!component.ok()) return Fail(component.status());
+    size_t name_at = s.find("\"name\":\"", pos);
+    size_t kind_at = s.find("\"kind\":\"", pos);
+    if (name_at == std::string::npos || kind_at == std::string::npos) {
+      ++bad;
+      break;
+    }
+    size_t npos_ = name_at + std::strlen("\"name\":\"");
+    auto name = quoted(&npos_);
+    if (!name.ok()) return Fail(name.status());
+    size_t kpos = kind_at + std::strlen("\"kind\":\"");
+    auto kind = quoted(&kpos);
+    if (!kind.ok()) return Fail(kind.status());
+    pos = kpos;
+    if (*kind != "counter" && *kind != "gauge") continue;
+    size_t value_at = s.find("\"value\":", pos);
+    if (value_at == std::string::npos) {
+      ++bad;
+      break;
+    }
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(s.c_str() + value_at +
+                                   std::strlen("\"value\":"),
+                               &end, 10);
+    if (errno != 0) {
+      ++bad;
+      break;
+    }
+    pos = static_cast<size_t>(end - s.c_str());
+    totals[{*component, *name}] += v;
+  }
+  if (totals.empty() && bad == 0) {
+    std::fprintf(stderr,
+                 "dlog: no counters in %s (was it produced with "
+                 "--metrics-out?)\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("%-16s %-32s %14s\n", "component", "name", "total");
+  for (const auto& [key, total] : totals) {
+    std::printf("%-16s %-32s %14lld\n", key.first.c_str(),
+                key.second.c_str(), total);
+  }
+  if (bad > 0) {
+    std::fprintf(stderr, "dlog: malformed metrics entry in %s\n",
+                 path.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 /// Parses '--fact' text ("pred(args)" with an optional trailing '.') into a
@@ -688,7 +942,9 @@ int Usage() {
                "       [--anti-entropy-period US] [--trace trace.csv]\n"
                "       [--trace-out trace.jsonl] [--metrics-out m.json]\n"
                "       [--metrics-interval US] [--provenance]\n"
+               "       [--program extra.dlog]... [--tenants K]\n"
                "  dlog stats <trace.jsonl> [--latency]\n"
+               "  dlog stats <metrics.json> --metrics\n"
                "  dlog explain <program.dlog> --fact 'pred(args)'\n"
                "       (--trace-in trace.jsonl | --events <file> [sim "
                "flags])\n"
@@ -833,16 +1089,19 @@ int main(int argc, char** argv) {
 
   std::string query, events, storage, trace, trace_out, metrics_out;
   std::string fact_text, trace_in;
+  std::vector<std::string> extra_programs;
   bool magic = false;
   bool reliable = false;
   bool provenance = false;
   bool latency = false;
+  bool metrics_table = false;
   RepairOptions repair;
   long grid = 8;
   double loss = 0;
   long metrics_interval = 0;
   uint64_t seed = 1;
   long seeds = 1;
+  long tenants = 0;  // 0 = not set (single-tenant unless --program given)
   long threads = 0;  // 0 = DefaultThreadCount()
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
@@ -909,6 +1168,16 @@ int main(int argc, char** argv) {
       provenance = true;
     } else if (arg == "--latency") {
       latency = true;
+    } else if (arg == "--metrics") {
+      metrics_table = true;
+    } else if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Usage();
+      extra_programs.push_back(v);
+    } else if (arg == "--tenants") {
+      if (!ParseIntFlag("--tenants", next(), 1, 4096, &tenants)) {
+        return Usage();
+      }
     } else if (arg == "--fact") {
       const char* v = next();
       if (!v) return Usage();
@@ -924,7 +1193,9 @@ int main(int argc, char** argv) {
 
   if (cmd == "check") return CmdCheck(path);
   if (cmd == "eval") return CmdEval(path, query, magic);
-  if (cmd == "stats") return CmdStats(path, latency);
+  if (cmd == "stats") {
+    return metrics_table ? CmdStatsMetrics(path) : CmdStats(path, latency);
+  }
   if (cmd == "explain") {
     return CmdExplain(path, fact_text, trace_in, events,
                       static_cast<int>(grid), storage, loss, reliable, repair,
@@ -932,6 +1203,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
+    bool multi = !extra_programs.empty() || tenants > 1;
     if (seeds > 1) {
       if (!trace.empty() || !trace_out.empty() || !metrics_out.empty()) {
         std::fprintf(stderr,
@@ -940,9 +1212,30 @@ int main(int argc, char** argv) {
         return 64;
       }
       int t = threads > 0 ? static_cast<int>(threads) : DefaultThreadCount();
-      return CmdSimulateSweep(path, events, static_cast<int>(grid), storage,
+      std::vector<std::string> paths;
+      paths.push_back(path);
+      paths.insert(paths.end(), extra_programs.begin(), extra_programs.end());
+      auto tp = LoadTenantPrograms(paths, tenants);
+      if (!tp.ok()) return Fail(tp.status());
+      return CmdSimulateSweep(*tp, events, static_cast<int>(grid), storage,
                               loss, reliable, repair, provenance, seed,
                               static_cast<uint64_t>(seeds), t);
+    }
+    if (multi) {
+      if (!trace.empty() || !trace_out.empty() || metrics_interval > 0) {
+        std::fprintf(stderr,
+                     "dlog: --program/--tenants is incompatible with "
+                     "--trace, --trace-out and --metrics-interval\n");
+        return 64;
+      }
+      std::vector<std::string> paths;
+      paths.push_back(path);
+      paths.insert(paths.end(), extra_programs.begin(), extra_programs.end());
+      auto tp = LoadTenantPrograms(paths, tenants);
+      if (!tp.ok()) return Fail(tp.status());
+      return CmdSimulateTenants(*tp, events, static_cast<int>(grid), storage,
+                                loss, reliable, repair, seed, provenance,
+                                metrics_out);
     }
     return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
                        reliable, repair, seed, provenance, metrics_interval,
