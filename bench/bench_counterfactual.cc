@@ -1,0 +1,116 @@
+// Counterfactual replay overhead (DESIGN.md §14): `dlog explain
+// --counterfactual` re-executes the scenario twice with provenance forced
+// on, then walks each differing tuple's causal cone to the first
+// divergent edge. This sweep measures that machinery against the plain
+// replay it explains: wall time of one base replay vs the full two-world
+// explanation, the provenance-trace volume the diff walks, and the diff
+// sizes, as the sampled workload grows.
+//
+// Perturbation under test is node=<hot>,down where <hot> is the node
+// carrying the most injections — the worst case for cone walking, since
+// every dependent tuple must be attributed.
+//
+// No baseline gate: the bench documents the observability tax; it is not
+// a win condition.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "deduce/common/strings.h"
+#include "deduce/engine/counterfactual/counterfactual.h"
+#include "deduce/engine/counterfactual/perturb.h"
+#include "deduce/engine/scenario.h"
+
+using namespace deduce;
+using namespace deduce::bench;
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The injection-heaviest node of a scenario: downing it maximizes the
+/// number of tuples the counterfactual must attribute.
+NodeId HottestNode(const Scenario& s) {
+  std::vector<int> count(static_cast<size_t>(s.grid) * s.grid, 0);
+  for (const ScenarioEvent& ev : s.events) {
+    if (ev.node >= 0 && ev.node < static_cast<NodeId>(count.size())) {
+      ++count[ev.node];
+    }
+  }
+  NodeId hot = 0;
+  for (size_t i = 1; i < count.size(); ++i) {
+    if (count[i] > count[hot]) hot = static_cast<NodeId>(i);
+  }
+  return hot;
+}
+
+size_t TraceLines(const std::string& jsonl) {
+  size_t n = 0;
+  for (char c : jsonl) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  OpenBenchReport(argv[0]);
+  std::printf("# counterfactual replay overhead — sampled join workloads,\n");
+  std::printf("# perturbation node=<hottest>,down, fault-free base\n\n");
+  TablePrinter table({"injections", "replay_s", "explain_s", "overhead_x",
+                      "trace_lines", "vanished", "appeared", "sound"});
+
+  for (int events : {10, 20, 40, 80}) {
+    ChaosProfile profile;
+    profile.events = events;
+    profile.loss = 0;       // clean base: every difference is the node down
+    profile.rto_jitter = 0;
+    Scenario scenario = SampleScenario(17, profile);
+    scenario.faults = FaultPlan{};  // fault axes off; perturbation only
+
+    auto replay_start = std::chrono::steady_clock::now();
+    auto base = RunScenario(scenario);
+    if (!base.ok()) {
+      std::fprintf(stderr, "replay: %s\n", base.status().ToString().c_str());
+      return 1;
+    }
+    double replay_s = Seconds(replay_start);
+
+    auto perturbs = ParsePerturbationSpec(
+        StrFormat("node=%d,down", HottestNode(scenario)));
+    if (!perturbs.ok()) return 1;
+    auto explain_start = std::chrono::steady_clock::now();
+    auto result = RunCounterfactual(scenario, *perturbs, {});
+    if (!result.ok()) {
+      std::fprintf(stderr, "explain: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    double explain_s = Seconds(explain_start);
+
+    const ChangeExplanation& diff = result->explanation;
+    table.Row({StrFormat("%d", events), StrFormat("%.3f", replay_s),
+               StrFormat("%.3f", explain_s),
+               StrFormat("%.1f", replay_s > 0 ? explain_s / replay_s : 0.0),
+               StrFormat("%zu", TraceLines(result->base_trace) +
+                                    TraceLines(result->perturbed_trace)),
+               StrFormat("%zu", diff.vanished.size()),
+               StrFormat("%zu", diff.appeared.size()),
+               diff.soundness.empty() ? "yes" : "NO"});
+    if (!diff.soundness.empty()) {
+      std::fprintf(stderr, "diff soundness violated at %d injections\n",
+                   events);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -219,6 +219,22 @@ std::string TraceRecord::ToJson() const {
   }
   if (rule != kNoRule) out += StrFormat(",\"rule\":%d", rule);
   if (lat != 0) out += StrFormat(",\"lat\":%lld", static_cast<long long>(lat));
+  // Schema-v3 counterfactual fields. The five deltas ride only on "cost"
+  // rows and are always written there (a zero delta is a finding, not an
+  // absent field), keeping cost rows self-describing for jq.
+  if (!cf.empty()) {
+    out += ",\"cf\":\"";
+    AppendEscaped(cf, &out);
+    out += "\"";
+    if (cf == "cost") {
+      out += StrFormat(
+          ",\"dmsgs\":%lld,\"dbytes\":%lld,\"dretr\":%lld,"
+          "\"dsheds\":%lld,\"dlat\":%lld",
+          static_cast<long long>(dmsgs), static_cast<long long>(dbytes),
+          static_cast<long long>(dretr), static_cast<long long>(dsheds),
+          static_cast<long long>(dlat));
+    }
+  }
   out += "}";
   return out;
 }
@@ -308,6 +324,18 @@ StatusOr<TraceRecord> TraceRecord::FromJson(const std::string& line) {
       r.rule = static_cast<int32_t>(v);
     } else if (key == "lat") {
       if (!ParseI64(value, &r.lat)) bad = key;
+    } else if (key == "cf") {
+      want_string(&r.cf);
+    } else if (key == "dmsgs") {
+      if (!ParseI64(value, &r.dmsgs)) bad = key;
+    } else if (key == "dbytes") {
+      if (!ParseI64(value, &r.dbytes)) bad = key;
+    } else if (key == "dretr") {
+      if (!ParseI64(value, &r.dretr)) bad = key;
+    } else if (key == "dsheds") {
+      if (!ParseI64(value, &r.dsheds)) bad = key;
+    } else if (key == "dlat") {
+      if (!ParseI64(value, &r.dlat)) bad = key;
     }
     // Unknown keys are ignored for forward compatibility.
   });
@@ -327,7 +355,9 @@ bool TraceRecord::operator==(const TraceRecord& o) const {
          phase == o.phase && pred == o.pred && src == o.src && dst == o.dst &&
          bytes == o.bytes && seq == o.seq && attempts == o.attempts &&
          delivered == o.delivered && schema == o.schema && tid == o.tid &&
-         tids == o.tids && fact == o.fact && rule == o.rule && lat == o.lat;
+         tids == o.tids && fact == o.fact && rule == o.rule && lat == o.lat &&
+         cf == o.cf && dmsgs == o.dmsgs && dbytes == o.dbytes &&
+         dretr == o.dretr && dsheds == o.dsheds && dlat == o.dlat;
 }
 
 Status TraceWriter::OpenFile(const std::string& path) {
@@ -386,6 +416,8 @@ void TraceStats::Add(const TraceRecord& r) {
     ++injects;
   } else if (r.kind == "retransmit") {
     ++retransmits;
+  } else if (r.kind == "shed") {
+    ++sheds;
   } else if (r.kind == "deriv") {
     ++derivs;
     LatencyCell& cell = latency_by_pred[r.pred];
@@ -397,6 +429,10 @@ void TraceStats::Add(const TraceRecord& r) {
       ++cell.results;
       cell.lat_sum += r.lat;
     }
+  } else if (r.kind == "cfdiff") {
+    // Counterfactual diff entries (schema v3) describe *two* runs; they
+    // carry no traffic of their own, so they only count as records here.
+    ++cfdiffs;
   } else {
     ++unknown_kinds[r.kind];
   }
@@ -456,9 +492,17 @@ std::string TraceStats::ToTable() const {
                    static_cast<unsigned long long>(retransmits));
   out += StrFormat("dropped hops:    %llu\n",
                    static_cast<unsigned long long>(dropped_hops));
+  if (sheds > 0) {
+    out += StrFormat("sheds:           %llu\n",
+                     static_cast<unsigned long long>(sheds));
+  }
   if (derivs > 0) {
     out += StrFormat("deriv records:   %llu\n",
                      static_cast<unsigned long long>(derivs));
+  }
+  if (cfdiffs > 0) {
+    out += StrFormat("cfdiff records:  %llu\n",
+                     static_cast<unsigned long long>(cfdiffs));
   }
   if (bad_lines > 0) {
     out += StrFormat("bad lines:       %llu\n",

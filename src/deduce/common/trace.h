@@ -24,12 +24,18 @@ namespace deduce {
 ///         "retransmit" an end-to-end transport retransmission decision
 ///         "deriv"      a provenance event (schema v2): a rule firing, an
 ///                      aggregate emission, or a tuple generation
+///         "cfdiff"     a counterfactual diff entry (schema v3): one
+///                      appeared/vanished/flipped tuple with its divergence
+///                      attribution, or one per-predicate cost-delta row
+///                      (docs/OBSERVABILITY.md)
 ///   phase "inject" | "store" | "sweep" | "result" | "agg" | "ack" |
 ///         "repair" | "retransmit" | "other"
 ///                                  — which engine phase paid for the event;
 ///         for kind "deriv": "result" (rule firing applied at the fact's
 ///         home), "agg" (aggregate emitted at the group home), "gen" (a
-///         tuple id was generated for the fact)
+///         tuple id was generated for the fact);
+///         for kind "cfdiff": the divergence class — "inject" | "rule" |
+///         "agg" | "lost" | "shed" | "unknown" — or "cost" for delta rows
 ///   pred  head/stream predicate the bytes were spent on ("" when unknown)
 ///   seq   transport sequence number or sweep pass index (0 when N/A)
 ///
@@ -44,9 +50,17 @@ namespace deduce {
 ///   fact    canonical fact text, e.g. "uncov(loc(6, 6), 1)"
 ///   rule    firing rule id (deriv result/agg records only)
 ///   lat     stream-update-to-apply latency in us (deriv result/agg)
+///
+/// Schema v3 adds counterfactual-diff fields, again only serialized when
+/// set (v1/v2 streams are byte-identical to what older writers emit):
+///
+///   cf      cfdiff change class: "appeared" | "vanished" | "flipped" for
+///           tuple entries, "cost" for per-predicate delta rows
+///   dmsgs/dbytes/dretr/dsheds/dlat
+///           signed perturbed-minus-base deltas, present on "cost" rows
 struct TraceRecord {
   /// Highest schema version this parser understands.
-  static constexpr int kSchemaVersion = 2;
+  static constexpr int kSchemaVersion = 3;
   /// Sentinel for "no rule recorded" (rule ids are small non-negatives,
   /// with -1 reserved for axioms).
   static constexpr int32_t kNoRule = INT32_MIN;
@@ -68,6 +82,12 @@ struct TraceRecord {
   std::string fact;             ///< Canonical fact text ("" = none).
   int32_t rule = kNoRule;       ///< Rule id, kNoRule when absent.
   int64_t lat = 0;              ///< End-to-end latency us (0 = none).
+  std::string cf;               ///< cfdiff change class ("" = not a cfdiff).
+  int64_t dmsgs = 0;            ///< cfdiff cost rows: message delta.
+  int64_t dbytes = 0;           ///< cfdiff cost rows: byte delta.
+  int64_t dretr = 0;            ///< cfdiff cost rows: retransmission delta.
+  int64_t dsheds = 0;           ///< cfdiff cost rows: shed delta.
+  int64_t dlat = 0;             ///< cfdiff cost rows: mean-latency delta us.
 
   /// One JSONL line (no trailing newline), fixed key order.
   std::string ToJson() const;
@@ -140,7 +160,9 @@ struct TraceStats {
   uint64_t dropped_hops = 0;    ///< Hop records with delivered == false.
   uint64_t injects = 0;         ///< kind == "inject" records.
   uint64_t retransmits = 0;     ///< kind == "retransmit" records.
+  uint64_t sheds = 0;           ///< kind == "shed" records (overload).
   uint64_t derivs = 0;          ///< kind == "deriv" records (schema v2).
+  uint64_t cfdiffs = 0;         ///< kind == "cfdiff" records (schema v3).
   uint64_t records = 0;         ///< Total records aggregated.
   uint64_t bad_lines = 0;       ///< Unparseable lines skipped.
   uint64_t future_records = 0;  ///< schema > kSchemaVersion, skipped.

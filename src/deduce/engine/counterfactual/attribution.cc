@@ -1,0 +1,253 @@
+#include "deduce/engine/counterfactual/attribution.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "deduce/common/strings.h"
+#include "deduce/engine/provenance.h"
+
+namespace deduce {
+
+namespace {
+
+std::string FormatSimTime(int64_t us) {
+  return StrFormat("%lld.%06llds", static_cast<long long>(us / 1000000),
+                   static_cast<long long>(us % 1000000));
+}
+
+/// Per-fact record buckets of one world's provenance trace.
+struct FactRecords {
+  std::vector<const TraceRecord*> gens;     // deriv/gen
+  std::vector<const TraceRecord*> edges;    // deriv/result, deriv/agg
+  std::vector<const TraceRecord*> injects;  // tid'd inject records
+};
+
+struct WorldIndex {
+  std::unordered_map<std::string, FactRecords> facts;
+  std::unordered_map<uint64_t, std::string> fact_by_tid;
+};
+
+WorldIndex IndexWorld(const std::vector<TraceRecord>& records) {
+  WorldIndex ix;
+  for (const TraceRecord& r : records) {
+    if (r.kind == "deriv" && !r.fact.empty()) {
+      FactRecords& fr = ix.facts[r.fact];
+      if (r.phase == "gen") {
+        fr.gens.push_back(&r);
+        if (r.tid != 0) ix.fact_by_tid.emplace(r.tid, r.fact);
+      } else {
+        fr.edges.push_back(&r);
+      }
+    } else if (r.kind == "inject" && !r.fact.empty()) {
+      ix.facts[r.fact].injects.push_back(&r);
+      if (r.tid != 0) ix.fact_by_tid.emplace(r.tid, r.fact);
+    }
+  }
+  return ix;
+}
+
+/// World-invariant identity of one cone record. Trace ids of derived
+/// tuples differ across worlds (they encode node/time/seq), so matching
+/// goes through canonical fact text instead.
+std::string EdgeKey(const TraceRecord& r) {
+  if (r.kind == "inject") return "i|" + r.fact + "|" + StrFormat("%d", r.node);
+  return "d|" + r.phase + "|" + r.fact + "|" +
+         StrFormat("%d|%d", r.node,
+                   r.rule == TraceRecord::kNoRule ? -2 : r.rule);
+}
+
+/// The causal cone of one fact: every deriv/inject record reachable from
+/// it through input trace ids, plus the cone's fact-text set.
+struct Cone {
+  std::vector<const TraceRecord*> records;
+  std::set<std::string> facts;
+  /// Input tids the trace could not resolve (lineage truncation).
+  size_t unresolved = 0;
+};
+
+void WalkCone(const WorldIndex& ix, const std::string& fact_text, Cone* cone,
+              std::set<std::string>* visited) {
+  if (!visited->insert(fact_text).second) return;
+  auto it = ix.facts.find(fact_text);
+  if (it == ix.facts.end()) return;
+  cone->facts.insert(fact_text);
+  const FactRecords& fr = it->second;
+  for (const TraceRecord* r : fr.gens) cone->records.push_back(r);
+  for (const TraceRecord* r : fr.injects) cone->records.push_back(r);
+  for (const TraceRecord* e : fr.edges) {
+    cone->records.push_back(e);
+    for (uint64_t input : e->tids) {
+      auto fit = ix.fact_by_tid.find(input);
+      if (fit == ix.fact_by_tid.end()) {
+        ++cone->unresolved;
+        continue;
+      }
+      WalkCone(ix, fit->second, cone, visited);
+    }
+  }
+}
+
+bool RecordBefore(const TraceRecord* a, const TraceRecord* b) {
+  if (a->time != b->time) return a->time < b->time;
+  if (a->node != b->node) return a->node < b->node;
+  if (a->fact != b->fact) return a->fact < b->fact;
+  return a->phase < b->phase;
+}
+
+}  // namespace
+
+void AttributeDivergence(const std::vector<TraceRecord>& have,
+                         const std::vector<TraceRecord>& other,
+                         DiffEntry* entry) {
+  WorldIndex have_ix = IndexWorld(have);
+  WorldIndex other_ix = IndexWorld(other);
+
+  Cone cone;
+  std::set<std::string> visited;
+  WalkCone(have_ix, entry->fact_text, &cone, &visited);
+  if (cone.records.empty()) {
+    entry->divergence = "unknown";
+    entry->detail = "no provenance records for this fact";
+    return;
+  }
+  std::sort(cone.records.begin(), cone.records.end(), RecordBefore);
+
+  // Multiset of other-world edge keys: a retraction re-injects the same
+  // fact at the same node, so occurrence *counts* matter (a dropped second
+  // injection is a real fork).
+  std::map<std::string, int> other_keys;
+  for (const TraceRecord& r : other) {
+    if ((r.kind == "deriv" || r.kind == "inject") && !r.fact.empty()) {
+      ++other_keys[EdgeKey(r)];
+    }
+  }
+
+  const TraceRecord* fork = nullptr;
+  for (const TraceRecord* r : cone.records) {
+    auto it = other_keys.find(EdgeKey(*r));
+    if (it != other_keys.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fork = r;
+    break;
+  }
+  if (fork == nullptr) {
+    entry->divergence = "unknown";
+    entry->detail =
+        "every derivation edge exists in both worlds (degraded-state "
+        "difference only)";
+    return;
+  }
+
+  entry->time = fork->time;
+  entry->node = fork->node;
+  entry->tid = fork->tid;
+  if (fork->kind == "inject") {
+    entry->divergence = "inject";
+    entry->detail = "injection of " + fork->fact +
+                    " happened only in this world";
+    return;
+  }
+  if (fork->phase == "agg") {
+    entry->divergence = "agg";
+    entry->rule = fork->rule;
+    entry->detail = StrFormat("aggregate emission of %s (rule %d)",
+                              fork->fact.c_str(), fork->rule);
+  } else {
+    entry->divergence = "rule";
+    entry->rule = fork->rule == TraceRecord::kNoRule ? -1 : fork->rule;
+    entry->detail = fork->phase == "gen"
+                        ? "tuple generation of " + fork->fact
+                        : StrFormat("firing of rule %d for %s", entry->rule,
+                                    fork->fact.c_str());
+  }
+
+  // A derivation edge that fired in only one world usually forked earlier:
+  // if the other world *dropped* a message carrying one of this cone's
+  // facts, the loss — not the silent non-firing — is the explanation.
+  const TraceRecord* lost = nullptr;
+  for (const TraceRecord& r : other) {
+    if (r.kind != "hop" || r.delivered) continue;
+    for (uint64_t t : r.tids) {
+      auto fit = other_ix.fact_by_tid.find(t);
+      if (fit == other_ix.fact_by_tid.end()) continue;
+      if (cone.facts.count(fit->second) == 0) continue;
+      if (lost == nullptr || RecordBefore(&r, lost)) lost = &r;
+      break;
+    }
+  }
+  if (lost != nullptr && lost->time <= fork->time) {
+    entry->divergence = "lost";
+    entry->time = lost->time;
+    entry->node = lost->src >= 0 ? lost->src : lost->node;
+    entry->tid = lost->tids.empty() ? 0 : lost->tids[0];
+    entry->detail = StrFormat(
+        "message on hop %d->%d carrying cone state was lost in the other "
+        "world (%s phase)",
+        lost->src, lost->dst,
+        lost->phase.empty() ? "other" : lost->phase.c_str());
+  }
+}
+
+std::string AttributeViolation(const std::vector<TraceRecord>& records,
+                               const Program& program, const Fact& fact) {
+  auto report = ExplainFact(records, program, fact);
+  std::string out;
+  if (!report.ok()) {
+    out = "  causal chain for " + fact.ToString() + ": " +
+          report.status().message() + "\n";
+    return out;
+  }
+  out = "  causal chain for " + fact.ToString() + ":\n";
+  // Indent the derivation tree under the header.
+  std::istringstream tree(report->tree);
+  std::string line;
+  while (std::getline(tree, line)) {
+    out += "    " + line + "\n";
+  }
+  if (report->unresolved_tids > 0) {
+    out += StrFormat("    [lineage truncated: %zu unresolved tid(s)]\n",
+                     report->unresolved_tids);
+  }
+
+  // Retraction detection: a second inject record with the same trace id is
+  // a deletion of that tuple entering the system. If the dependent fact is
+  // still alive (it is — we are explaining it as a violation), that
+  // retraction never took effect: name it.
+  WorldIndex ix = IndexWorld(records);
+  Cone cone;
+  std::set<std::string> visited;
+  WalkCone(ix, fact.ToString(), &cone, &visited);
+  std::vector<std::string> notes;
+  for (const std::string& cone_fact : cone.facts) {
+    auto it = ix.facts.find(cone_fact);
+    if (it == ix.facts.end()) continue;
+    std::map<uint64_t, std::vector<const TraceRecord*>> by_tid;
+    for (const TraceRecord* j : it->second.injects) {
+      if (j->tid != 0) by_tid[j->tid].push_back(j);
+    }
+    for (auto& [tid, injs] : by_tid) {
+      if (injs.size() < 2) continue;
+      std::sort(injs.begin(), injs.end(), RecordBefore);
+      const TraceRecord* retraction = injs.back();
+      notes.push_back(StrFormat(
+          "  retraction of %s entered at node %d @ %s but never took "
+          "effect here   [tid %s]",
+          cone_fact.c_str(), retraction->node,
+          FormatSimTime(retraction->time).c_str(),
+          TraceIdToHex(tid).c_str()));
+    }
+  }
+  std::sort(notes.begin(), notes.end());
+  for (const std::string& n : notes) {
+    out += n;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deduce

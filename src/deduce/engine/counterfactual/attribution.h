@@ -1,0 +1,41 @@
+#ifndef DEDUCE_ENGINE_COUNTERFACTUAL_ATTRIBUTION_H_
+#define DEDUCE_ENGINE_COUNTERFACTUAL_ATTRIBUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "deduce/common/trace.h"
+#include "deduce/datalog/program.h"
+#include "deduce/engine/counterfactual/diff.h"
+
+namespace deduce {
+
+/// Divergence-point extraction (DESIGN.md §14): given the provenance trace
+/// of the world that *contains* `entry->fact` (`have`) and the trace of
+/// the world that lacks it (`other`), walks the fact's causal cone in
+/// `have` chronologically and finds the earliest cone record with no
+/// counterpart in `other` — the first derivation edge where the two
+/// worlds fork. Matching is by world-invariant edge key (fact text + node
+/// + phase + rule), never by raw trace id, since derived tuple ids differ
+/// across worlds. When the forking edge is a derivation whose inputs all
+/// exist in `other`, the other world is scanned for an undelivered hop
+/// carrying a cone fact, reclassifying the divergence as a lost message.
+/// Fills entry->divergence/time/node/rule/tid/detail; "unknown" when the
+/// cone matches completely (e.g. a pure degraded-flag flip).
+void AttributeDivergence(const std::vector<TraceRecord>& have,
+                         const std::vector<TraceRecord>& other,
+                         DiffEntry* entry);
+
+/// Replay attribution (`dlog replay`): the causal chain of one violating
+/// fact from a provenance-on trace — its derivation tree plus detection of
+/// retractions that entered the system but never took effect (the
+/// signature of a lost/corrupted deletion, e.g. the committed
+/// phantom-after-lost-delete reproducer). Deterministic; returns a
+/// multi-line block indented two spaces, or a one-line note when the trace
+/// has no records for the fact.
+std::string AttributeViolation(const std::vector<TraceRecord>& records,
+                               const Program& program, const Fact& fact);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_COUNTERFACTUAL_ATTRIBUTION_H_

@@ -1,0 +1,58 @@
+#ifndef DEDUCE_ENGINE_COUNTERFACTUAL_COUNTERFACTUAL_H_
+#define DEDUCE_ENGINE_COUNTERFACTUAL_COUNTERFACTUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "deduce/common/statusor.h"
+#include "deduce/engine/counterfactual/diff.h"
+#include "deduce/engine/counterfactual/perturb.h"
+#include "deduce/engine/scenario.h"
+
+namespace deduce {
+
+/// Knobs for a counterfactual run.
+struct CounterfactualOptions {
+  /// Trial-runner threads for the two worlds (RunTrials ordered reduction:
+  /// the ChangeExplanation is byte-identical at any thread count).
+  int threads = 1;
+  /// Per-node lineage ring capacity override for both runs (0 = default).
+  size_t provenance_capacity = 0;
+};
+
+/// Everything a counterfactual run yields: both worlds' outcomes + traces
+/// and the diff between them.
+struct CounterfactualResult {
+  Scenario base;                 ///< The base scenario, as run.
+  Scenario perturbed;            ///< Base + the perturbation block (v3).
+  ScenarioOutcome base_outcome;
+  ScenarioOutcome perturbed_outcome;
+  std::string base_trace;        ///< Raw provenance-on JSONL of each world
+  std::string perturbed_trace;   ///< (reconciles with `dlog stats`).
+  ChangeExplanation explanation;
+};
+
+/// The tentpole: deterministically re-executes `base` and base+`perturbs`
+/// through RunScenario with provenance forced on, and explains the
+/// difference — the symmetric diff of undegraded result sets (appeared /
+/// vanished / degraded-flipped), each entry attributed to the first
+/// divergent derivation edge (attribution.h), plus per-predicate cost
+/// deltas that reconcile exactly with `dlog stats` on both traces, and a
+/// diff-soundness verdict (CheckDiffSoundness). The two worlds run as two
+/// trials of the parallel trial runner, so the result is byte-identical
+/// at any `--threads`.
+StatusOr<CounterfactualResult> RunCounterfactual(
+    const Scenario& base, const std::vector<Perturbation>& perturbs,
+    const CounterfactualOptions& options);
+
+/// `dlog replay --diff`: the same machinery over two already-saved
+/// scenarios (the perturbed one is typically a v3 file a counterfactual
+/// run saved). The spec line of the explanation names the perturbed
+/// scenario's perturbation block, or "(scenario diff)" when it has none.
+StatusOr<CounterfactualResult> DiffScenarios(
+    const Scenario& base, const Scenario& perturbed,
+    const CounterfactualOptions& options);
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_COUNTERFACTUAL_COUNTERFACTUAL_H_

@@ -1,0 +1,139 @@
+#include "deduce/engine/counterfactual/diff.h"
+
+#include "deduce/common/strings.h"
+
+namespace deduce {
+
+namespace {
+
+std::string FormatSimTime(int64_t us) {
+  return StrFormat("%lld.%06llds", static_cast<long long>(us / 1000000),
+                   static_cast<long long>(us % 1000000));
+}
+
+void AppendEntries(const std::string& title,
+                   const std::vector<DiffEntry>& entries, std::string* out) {
+  *out += StrFormat("%s (%zu):\n", title.c_str(), entries.size());
+  for (const DiffEntry& e : entries) {
+    *out += "  " + e.fact_text;
+    if (e.change == DiffEntry::Change::kFlippedDegraded) {
+      *out += "   [now degraded]";
+    } else if (e.change == DiffEntry::Change::kFlippedUndegraded) {
+      *out += "   [now undegraded]";
+    }
+    *out += '\n';
+    *out += "    fork: " + e.divergence;
+    if (e.node >= 0) *out += StrFormat(" at node %d", e.node);
+    if (e.time >= 0) *out += " @ " + FormatSimTime(e.time);
+    if (e.tid != 0) *out += "   [tid " + TraceIdToHex(e.tid) + "]";
+    *out += '\n';
+    if (!e.detail.empty()) *out += "      " + e.detail + "\n";
+  }
+}
+
+}  // namespace
+
+const char* DiffEntry::ChangeName() const {
+  switch (change) {
+    case Change::kAppeared:
+      return "appeared";
+    case Change::kVanished:
+      return "vanished";
+    case Change::kFlippedDegraded:
+    case Change::kFlippedUndegraded:
+      return "flipped";
+  }
+  return "?";
+}
+
+TraceRecord DiffEntry::ToTraceRecord() const {
+  TraceRecord r;
+  r.kind = "cfdiff";
+  r.schema = 3;
+  r.cf = ChangeName();
+  r.phase = divergence;
+  r.pred = pred;
+  r.fact = fact_text;
+  r.time = time >= 0 ? time : 0;
+  r.node = node;
+  r.tid = tid;
+  if (divergence == "rule" || divergence == "agg") r.rule = rule;
+  return r;
+}
+
+std::string ChangeExplanation::Format() const {
+  std::string out = "counterfactual: " + spec + "\n\n";
+  if (unchanged()) {
+    out += "no result-set difference between the two worlds\n";
+  } else {
+    AppendEntries("vanished", vanished, &out);
+    AppendEntries("appeared", appeared, &out);
+    AppendEntries("flipped", flipped, &out);
+  }
+  out += "\ncost deltas (perturbed - base):\n";
+  out += StrFormat("  %-14s %10s %12s %8s %8s %12s\n", "pred", "msgs",
+                   "bytes", "retr", "sheds", "mean-lat-us");
+  int64_t tmsgs = 0, tbytes = 0, tretr = 0, tsheds = 0;
+  for (const auto& [pred, d] : cost_by_pred) {
+    out += StrFormat("  %-14s %10lld %12lld %8lld %8lld %12lld\n",
+                     pred.empty() ? "(other)" : pred.c_str(),
+                     static_cast<long long>(d.messages),
+                     static_cast<long long>(d.bytes),
+                     static_cast<long long>(d.retransmits),
+                     static_cast<long long>(d.sheds),
+                     static_cast<long long>(d.mean_latency_us));
+    tmsgs += d.messages;
+    tbytes += d.bytes;
+    tretr += d.retransmits;
+    tsheds += d.sheds;
+  }
+  out += StrFormat("  %-14s %10lld %12lld %8lld %8lld\n", "total",
+                   static_cast<long long>(tmsgs),
+                   static_cast<long long>(tbytes),
+                   static_cast<long long>(tretr),
+                   static_cast<long long>(tsheds));
+  out += StrFormat(
+      "reconciliation: base %llu msgs / %llu bytes, "
+      "perturbed %llu msgs / %llu bytes\n",
+      static_cast<unsigned long long>(base_messages),
+      static_cast<unsigned long long>(base_bytes),
+      static_cast<unsigned long long>(perturbed_messages),
+      static_cast<unsigned long long>(perturbed_bytes));
+  if (soundness.empty()) {
+    out += "diff soundness: OK (vanished within base oracle, appeared "
+           "within perturbed oracle)\n";
+  } else {
+    for (const std::string& v : soundness) {
+      out += "diff soundness: VIOLATION " + v + "\n";
+    }
+  }
+  return out;
+}
+
+std::string ChangeExplanation::ToJsonl() const {
+  std::string out;
+  for (const std::vector<DiffEntry>* group : {&vanished, &appeared, &flipped}) {
+    for (const DiffEntry& e : *group) {
+      out += e.ToTraceRecord().ToJson();
+      out += '\n';
+    }
+  }
+  for (const auto& [pred, d] : cost_by_pred) {
+    TraceRecord r;
+    r.kind = "cfdiff";
+    r.schema = 3;
+    r.cf = "cost";
+    r.phase = "cost";
+    r.pred = pred;
+    r.dmsgs = d.messages;
+    r.dbytes = d.bytes;
+    r.dretr = d.retransmits;
+    r.dsheds = d.sheds;
+    r.dlat = d.mean_latency_us;
+    out += r.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deduce

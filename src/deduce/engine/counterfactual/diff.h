@@ -1,0 +1,102 @@
+#ifndef DEDUCE_ENGINE_COUNTERFACTUAL_DIFF_H_
+#define DEDUCE_ENGINE_COUNTERFACTUAL_DIFF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "deduce/common/trace.h"
+#include "deduce/datalog/fact.h"
+
+namespace deduce {
+
+/// One tuple that differs between the base world and the perturbed world,
+/// attributed to the first divergent derivation edge — the rule firing,
+/// injection, or lost/shed message where the two worlds fork
+/// (attribution.h). The entry serializes as a schema-v3 "cfdiff" trace
+/// record (`cf` = change class, `phase` = divergence class).
+struct DiffEntry {
+  enum class Change : uint8_t {
+    kAppeared = 0,          ///< Undegraded in perturbed, absent from base.
+    kVanished = 1,          ///< Undegraded in base, absent from perturbed.
+    kFlippedDegraded = 2,   ///< Alive in both; undegraded only in base.
+    kFlippedUndegraded = 3, ///< Alive in both; undegraded only in perturbed.
+  };
+
+  Change change = Change::kVanished;
+  Fact fact;                    ///< The differing tuple.
+  std::string fact_text;        ///< fact.ToString(), the sort key.
+  std::string pred;             ///< Predicate name.
+
+  /// Divergence attribution: where the worlds fork.
+  /// "inject" — a base-stream injection present in one world only;
+  /// "rule"/"agg" — a derivation edge that fired in one world only;
+  /// "lost"/"shed" — a cone message the other world dropped or shed;
+  /// "unknown" — no divergent edge recorded (e.g. a pure degraded flip).
+  std::string divergence = "unknown";
+  int64_t time = -1;            ///< Divergence sim time (us), -1 unknown.
+  int node = -1;                ///< Divergence node, -1 unknown.
+  int32_t rule = TraceRecord::kNoRule;  ///< Divergent rule id when "rule".
+  uint64_t tid = 0;             ///< Trace id at the divergence, 0 unknown.
+  std::string detail;           ///< Human-readable one-liner.
+
+  const char* ChangeName() const;
+  /// The schema-v3 "cfdiff" JSONL record for this entry.
+  TraceRecord ToTraceRecord() const;
+};
+
+/// Per-predicate cost deltas (perturbed minus base), reconciling exactly
+/// with `dlog stats` over the two runs' traces: messages/bytes sum the
+/// TraceStats (phase, pred) cells per predicate with the same per-attempt
+/// convention, so the per-pred deltas total to the difference of the two
+/// `dlog stats` grand totals by construction.
+struct CostDelta {
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t retransmits = 0;
+  int64_t sheds = 0;
+  /// Mean end-to-end latency delta (us) over deriv result records; 0 when
+  /// either side recorded none.
+  int64_t mean_latency_us = 0;
+};
+
+/// The full counterfactual verdict `dlog explain --counterfactual` emits:
+/// what changed, why, and what it cost.
+struct ChangeExplanation {
+  std::string spec;             ///< Canonical perturbation spec.
+  std::vector<DiffEntry> appeared;   ///< Sorted by fact text.
+  std::vector<DiffEntry> vanished;
+  std::vector<DiffEntry> flipped;
+
+  /// pred -> cost delta ("" aggregates traffic not attributed to any
+  /// predicate, so columns sum exactly to the totals below).
+  std::map<std::string, CostDelta> cost_by_pred;
+
+  /// Reconciliation anchors: the TraceStats grand totals of each world's
+  /// trace — byte-identical to what `dlog stats` prints for those files.
+  uint64_t base_messages = 0, base_bytes = 0;
+  uint64_t perturbed_messages = 0, perturbed_bytes = 0;
+  uint64_t base_retransmits = 0, perturbed_retransmits = 0;
+  uint64_t base_sheds = 0, perturbed_sheds = 0;
+
+  /// Diff-soundness verdict (invariants.h CheckDiffSoundness): empty = OK.
+  std::vector<std::string> soundness;
+
+  bool unchanged() const {
+    return appeared.empty() && vanished.empty() && flipped.empty();
+  }
+
+  /// Deterministic human-readable report (the `dlog explain
+  /// --counterfactual` stdout).
+  std::string Format() const;
+
+  /// Machine-readable form: one schema-v3 "cfdiff" JSONL record per diff
+  /// entry plus one "cost" row per predicate (trailing newline included;
+  /// empty diffs still emit the cost rows).
+  std::string ToJsonl() const;
+};
+
+}  // namespace deduce
+
+#endif  // DEDUCE_ENGINE_COUNTERFACTUAL_DIFF_H_

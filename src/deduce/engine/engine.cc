@@ -59,6 +59,9 @@ StatusOr<std::unique_ptr<DistributedEngine>> DistributedEngine::CreateFromPlan(
   shared.metrics = options.metrics;
   shared.trace = options.trace;
   shared.provenance = options.provenance;
+  if (options.provenance_capacity != 0) {
+    shared.provenance.ring_capacity = options.provenance_capacity;
+  }
   shared.budget = options.budget;
   if (shared.budget.enabled) {
     // MemSqueeze (chaos axis): the fault plan can shrink every live budget

@@ -45,6 +45,12 @@ struct EngineOptions {
   /// records, trace-id'd hops/injects, per-predicate latency histograms
   /// (off by default; see provenance.h and docs/OBSERVABILITY.md).
   ProvenanceOptions provenance;
+  /// When nonzero, overrides ProvenanceOptions::ring_capacity — the
+  /// per-node lineage ring size (`dlog --provenance-capacity`). Evictions
+  /// from a too-small ring are counted (metrics "prov.evictions") and
+  /// warned about once per node; `dlog explain` over ring-resident lineage
+  /// then reports "lineage truncated" instead of a silently wrong tree.
+  size_t provenance_capacity = 0;
   /// Per-node resource budgets + load-shedding policy (off by default; see
   /// runtime.h BudgetOptions and docs/FAULTS.md "Overload and shedding").
   /// With budgets off every path below is byte-identical to the

@@ -171,6 +171,26 @@ InvariantReport CheckInvariants(const DistributedEngine& engine,
   return report;
 }
 
+std::vector<std::string> CheckDiffSoundness(const ChangeExplanation& diff,
+                                            const Database& base_oracle,
+                                            const Database& perturbed_oracle) {
+  std::vector<std::string> bad;
+  for (const DiffEntry& e : diff.vanished) {
+    if (!base_oracle.Contains(e.fact)) {
+      bad.push_back("diff-soundness: vanished tuple " + e.fact_text +
+                    " not derivable by the base oracle");
+    }
+  }
+  for (const DiffEntry& e : diff.appeared) {
+    if (!perturbed_oracle.Contains(e.fact)) {
+      bad.push_back("diff-soundness: appeared tuple " + e.fact_text +
+                    " not derivable by the perturbed oracle");
+    }
+  }
+  std::sort(bad.begin(), bad.end());
+  return bad;
+}
+
 std::string InvariantReport::ToString() const {
   if (ok()) {
     std::string which;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "deduce/engine/counterfactual/diff.h"
 #include "deduce/engine/engine.h"
 #include "deduce/eval/database.h"
 
@@ -69,6 +70,17 @@ struct InvariantReport {
 /// schedule).
 InvariantReport CheckInvariants(const DistributedEngine& engine,
                                 const InvariantOptions& options);
+
+/// Diff-soundness for a counterfactual explanation: every *vanished* tuple
+/// must be derivable by the base world's fault-free oracle, and every
+/// *appeared* tuple by the perturbed world's — a diff entry neither oracle
+/// supports means the explainer compared phantoms, not real answers.
+/// (Flips are membership moves between the two checked sets, so the two
+/// rules above already cover them.) Returns deterministic sorted violation
+/// strings; empty = sound.
+std::vector<std::string> CheckDiffSoundness(const ChangeExplanation& diff,
+                                            const Database& base_oracle,
+                                            const Database& perturbed_oracle);
 
 }  // namespace deduce
 

@@ -151,6 +151,7 @@ class ExplainBuilder {
         if (fit != ix_.fact_by_tid.end()) {
           Visit(fit->second, depth + 1);
         } else {
+          ++report_.unresolved_tids;
           Indent(depth + 1);
           tree_ += StrFormat("[tid %s: fact outside the trace horizon]\n",
                              TraceIdToHex(input).c_str());
@@ -250,6 +251,13 @@ std::string ExplainReport::Format() const {
   out += StrFormat(
       "\ncausal cone: %zu fact(s), %zu rule firing(s), %zu node(s) visited\n",
       cone_facts, cone_firings, nodes_visited);
+  if (unresolved_tids > 0) {
+    out += StrFormat(
+        "lineage truncated: %zu input tid(s) unresolved (ring eviction, "
+        "reboot, or trace horizon); the tree and cone above are lower "
+        "bounds\n",
+        unresolved_tids);
+  }
   out += "\ntraffic attributed to this tuple:\n";
   out += StrFormat("  %-12s %12s %14s\n", "phase", "messages", "bytes");
   for (const auto& [phase, cell] : attributed_by_phase) {

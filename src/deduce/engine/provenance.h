@@ -61,6 +61,7 @@ class ProvenanceStore {
   void Clear();
 
   size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
   uint64_t dropped() const { return dropped_; }
 
   /// Edges in insertion order (oldest surviving first).
@@ -84,6 +85,11 @@ struct ExplainReport {
   int64_t first_inject_us = -1;   ///< Earliest contributing injection.
   int64_t generated_us = -1;      ///< When the target tuple materialized.
   uint64_t retransmits_attributed = 0;
+  /// Input trace ids the record set could not resolve to a fact — nonzero
+  /// when lineage was truncated (ring eviction, node reboot, or a trace
+  /// horizon). Format() then flags the tree as a lower bound instead of
+  /// presenting a silently wrong one.
+  size_t unresolved_tids = 0;
 
   /// Traffic whose contributing-trace-id set intersects the causal cone,
   /// per phase, plus the whole-trace totals computed with the same

@@ -82,7 +82,23 @@ void NodeRuntime::RecordProvenance(ProvenanceEdge edge) {
   if (shared_->trace != nullptr && shared_->trace->on()) {
     shared_->trace->Emit(edge.ToTraceRecord());
   }
+  uint64_t dropped_before = prov_->dropped();
   prov_->Push(std::move(edge));
+  if (prov_->dropped() != dropped_before) {
+    // The ring models bounded mote RAM: an eviction means ring-resident
+    // lineage (ProvenanceEdges / in-engine explain) is now incomplete.
+    // Count every eviction, warn once per node.
+    if (shared_->metrics != nullptr) {
+      shared_->metrics->Add(-1, "prov", "evictions");
+    }
+    if (!prov_evict_warned_) {
+      prov_evict_warned_ = true;
+      DEDUCE_LOG(kWarning)
+          << "node " << id_ << ": provenance ring full (capacity "
+          << prov_->capacity() << "), evicting lineage; explain trees over "
+          << "ring-resident edges will report truncation";
+    }
+  }
 }
 
 void NodeRuntime::Start(NodeContext* ctx) {

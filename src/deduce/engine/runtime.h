@@ -654,6 +654,9 @@ class NodeRuntime : public NodeApp {
   /// Pushes a lineage edge into the ring, observes the per-predicate
   /// end-to-end latency histogram, and spills a "deriv" trace record.
   void RecordProvenance(ProvenanceEdge edge);
+  /// Whether this node already warned about lineage-ring eviction
+  /// (RecordProvenance warns once per node, counts every eviction).
+  bool prov_evict_warned_ = false;
   /// Lineage ring; null unless provenance is enabled. Cleared on reboot
   /// (node RAM is volatile; the trace stream is the durable copy).
   std::unique_ptr<ProvenanceStore> prov_;

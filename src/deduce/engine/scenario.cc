@@ -251,7 +251,11 @@ bool StorageFromName(const std::string& name, StoragePolicy* out) {
 // ---------------------------------------------------------------------
 
 std::string Scenario::ToText() const {
-  std::string out = "# deduce chaos scenario v2\n";
+  // The v3 header (and the [perturb] section) appear only when there is a
+  // perturbation to record: every pre-counterfactual scenario keeps
+  // serializing byte-identically to the v2 writer.
+  std::string out = perturbations.empty() ? "# deduce chaos scenario v2\n"
+                                          : "# deduce chaos scenario v3\n";
   out += StrFormat("seed %llu\n", static_cast<unsigned long long>(seed));
   out += StrFormat("grid %d\n", grid);
   out += StrFormat("loss %g\n", loss);
@@ -289,6 +293,13 @@ std::string Scenario::ToText() const {
     out += FormatFault(ev);
     out += '\n';
   }
+  if (!perturbations.empty()) {
+    out += "[perturb]\n";
+    for (const Perturbation& p : perturbations) {
+      out += p.ToSpec();
+      out += '\n';
+    }
+  }
   out += "[end]\n";
   return out;
 }
@@ -297,7 +308,7 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
   Scenario s;
   s.program.clear();
   s.storage = "row";
-  enum class Section { kHeader, kProgram, kEvents, kFaults, kDone };
+  enum class Section { kHeader, kProgram, kEvents, kFaults, kPerturb, kDone };
   Section section = Section::kHeader;
   std::istringstream in(text);
   std::string line;
@@ -319,9 +330,9 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
         const char* digits = trimmed.c_str() + sizeof(kVersionPrefix) - 1;
         char* end = nullptr;
         long version = std::strtol(digits, &end, 10);
-        if (end == digits || *end != '\0' || version < 1 || version > 2) {
+        if (end == digits || *end != '\0' || version < 1 || version > 3) {
           return fail(StrFormat(
-              "unsupported scenario version '%s' (this build reads v1-v2)",
+              "unsupported scenario version '%s' (this build reads v1-v3)",
               digits));
         }
       }
@@ -337,6 +348,10 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
     }
     if (trimmed == "[faults]") {
       section = Section::kFaults;
+      continue;
+    }
+    if (trimmed == "[perturb]") {
+      section = Section::kPerturb;
       continue;
     }
     if (trimmed == "[end]") {
@@ -402,6 +417,15 @@ StatusOr<Scenario> Scenario::FromText(const std::string& text) {
         if (!st.ok()) return StatusOr<Scenario>(st);
         break;
       }
+      case Section::kPerturb: {
+        auto p = ParsePerturbation(trimmed);
+        if (!p.ok()) {
+          return StatusOr<Scenario>(Status::InvalidArgument(StrFormat(
+              "scenario line %d: %s", lineno, p.status().message().c_str())));
+        }
+        s.perturbations.push_back(std::move(*p));
+        break;
+      }
       case Section::kDone:
         return fail("content after [end]");
     }
@@ -443,10 +467,91 @@ StatusOr<Scenario> Scenario::Load(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------
+// Perturbation
+// ---------------------------------------------------------------------
+
+StatusOr<Scenario> ApplyPerturbations(const Scenario& scenario) {
+  Scenario out = scenario;
+  out.perturbations.clear();
+  for (const Perturbation& p : scenario.perturbations) {
+    auto bad = [&](const std::string& what) {
+      return StatusOr<Scenario>(Status::InvalidArgument(
+          StrFormat("perturbation '%s': %s", p.ToSpec().c_str(),
+                    what.c_str())));
+    };
+    switch (p.kind) {
+      case Perturbation::Kind::kNodeDown: {
+        if (p.node < 0 || p.node >= scenario.grid * scenario.grid) {
+          return bad(StrFormat("node out of range (grid %d)", scenario.grid));
+        }
+        out.faults.Fail(0, p.node);
+        break;
+      }
+      case Perturbation::Kind::kLinkCut: {
+        NodeId n = scenario.grid * scenario.grid;
+        if (p.link_a < 0 || p.link_a >= n || p.link_b < 0 || p.link_b >= n) {
+          return bad(StrFormat("link endpoint out of range (grid %d)",
+                               scenario.grid));
+        }
+        out.faults.CutLinks(0, {p.link_a}, {p.link_b});
+        out.faults.CutLinks(0, {p.link_b}, {p.link_a});
+        break;
+      }
+      case Perturbation::Kind::kInjectDrop: {
+        size_t before = out.events.size();
+        out.events.erase(
+            std::remove_if(out.events.begin(), out.events.end(),
+                           [&](const ScenarioEvent& ev) {
+                             return ev.fact.ToString() == p.fact;
+                           }),
+            out.events.end());
+        if (out.events.size() == before) {
+          return bad("no scenario event carries this fact");
+        }
+        break;
+      }
+      case Perturbation::Kind::kBudget: {
+        out.budget = true;
+        if (p.budget_kind == "replicas") {
+          out.budget_replicas = p.budget_value;
+        } else if (p.budget_kind == "inflight") {
+          out.budget_inflight = p.budget_value;
+        } else if (p.budget_kind == "eval") {
+          out.budget_eval = p.budget_value;
+        } else if (p.budget_kind == "ingress") {
+          out.budget_ingress = p.budget_value;
+        } else {
+          return bad("unknown budget kind");
+        }
+        break;
+      }
+      case Perturbation::Kind::kTenantRemove:
+        // Scenario files carry one anonymous program; there is no tenant
+        // to remove. The clause parses (a multi-tenant capture format can
+        // adopt it without a grammar change) but cannot apply here.
+        return bad("scenario defines no tenants");
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
 // Running
 // ---------------------------------------------------------------------
 
 StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
+  return RunScenario(scenario, ScenarioRunOptions{});
+}
+
+StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario,
+                                      const ScenarioRunOptions& run) {
+  if (!scenario.perturbations.empty()) {
+    auto materialized = ApplyPerturbations(scenario);
+    if (!materialized.ok()) {
+      return StatusOr<ScenarioOutcome>(materialized.status());
+    }
+    return RunScenario(*materialized, run);
+  }
   auto program = ParseProgram(scenario.program);
   if (!program.ok()) return StatusOr<ScenarioOutcome>(program.status());
 
@@ -514,6 +619,13 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
     return StatusOr<ScenarioOutcome>(
         Status::InvalidArgument("unknown storage " + scenario.storage));
   }
+  // Observability plumbing (ScenarioRunOptions): provenance changes no
+  // simulated counter (provenance.h), and metrics/trace are pure sinks, so
+  // a replay with these on stays bit-exact with the plain replay.
+  options.provenance.enabled = run.provenance;
+  options.provenance_capacity = run.provenance_capacity;
+  options.metrics = run.metrics;
+  options.trace = run.trace;
   LinkModel link;
   link.loss_rate = scenario.loss;
   link.retries = scenario.retries;
@@ -581,6 +693,7 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
   }
 
   out.results = (*engine)->ResultDatabase();
+  out.undegraded = (*engine)->UndegradedResultDatabase();
   out.net = net.stats();
   const EngineStats& stats = (*engine)->stats();
   out.decode_errors = stats.decode_errors;
@@ -595,6 +708,10 @@ StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario) {
   out.budget_squeezes = stats.budget_squeezes;
   out.deliveries_stalled = net.stats().deliveries_stalled;
   out.degraded_results = stats.degraded_results;
+  if (run.metrics != nullptr) {
+    net.stats().ExportTo(run.metrics);
+    stats.ExportTo(run.metrics);
+  }
 
   InvariantOptions inv;
   inv.oracle = &out.oracle;

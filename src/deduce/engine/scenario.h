@@ -5,8 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "deduce/common/metrics.h"
 #include "deduce/common/status.h"
+#include "deduce/common/trace.h"
 #include "deduce/datalog/fact.h"
+#include "deduce/engine/counterfactual/perturb.h"
 #include "deduce/engine/invariants.h"
 #include "deduce/eval/database.h"
 #include "deduce/net/network.h"
@@ -44,9 +47,18 @@ struct ScenarioEvent {
 ///     storm 150000 7 count=40 pred=r
 ///     [end]
 ///
-/// FromText accepts v1 (pre-overload, no budget header keys) and v2
-/// files; an unknown future version or unknown fault kind is a parse
-/// error, never best-effort (`dlog replay` exits 2).
+/// Format v3 adds an optional `[perturb]` section of counterfactual
+/// perturbation clauses (counterfactual/perturb.h). Perturbations are
+/// *declarative*: RunScenario materializes them (ApplyPerturbations)
+/// before running, so a saved perturbed world replays standalone and the
+/// text form never double-applies. ToText emits the v3 header only when
+/// perturbations are present, keeping every committed v1/v2 reproducer
+/// byte-identical.
+///
+/// FromText accepts v1 (pre-overload, no budget header keys), v2, and v3
+/// files; an unknown future version, unknown fault kind, or unknown
+/// perturbation kind is a parse error, never best-effort (`dlog replay`
+/// exits 2).
 struct Scenario {
   uint64_t seed = 1;        ///< Network RNG seed.
   int grid = 4;             ///< Grid side; topology is grid x grid.
@@ -73,6 +85,9 @@ struct Scenario {
   std::string program;          ///< Datalog source text.
   std::vector<ScenarioEvent> events;
   FaultPlan faults;
+  /// Counterfactual perturbations (format v3 `[perturb]` section), applied
+  /// by RunScenario via ApplyPerturbations. Empty for v1/v2 files.
+  std::vector<Perturbation> perturbations;
 
   /// Deterministic text form: same scenario -> byte-identical text.
   std::string ToText() const;
@@ -88,6 +103,9 @@ struct ScenarioOutcome {
   InvariantReport report;
   Database results;  ///< Alive derived facts of the chaos run.
   Database oracle;   ///< Centralized fault-free results (soundness bound).
+  /// The undegraded subset of `results` (never touched by a repair-resync
+  /// or shedding pass) — the set counterfactual diffs compare.
+  Database undegraded;
   NetworkStats net;
   uint64_t decode_errors = 0;
   uint64_t retransmissions = 0;
@@ -110,10 +128,35 @@ struct ScenarioOutcome {
   std::string Summary() const;
 };
 
+/// Observability knobs for RunScenario. All off by default — the
+/// no-options overload is byte-identical to the pre-v3 behavior.
+struct ScenarioRunOptions {
+  /// Force causal provenance on (counterfactual runs need lineage).
+  bool provenance = false;
+  /// Per-node lineage ring capacity override (0 = default).
+  size_t provenance_capacity = 0;
+  /// JSONL trace sink (`dlog replay --trace-out`); null = no tracing.
+  TraceWriter* trace = nullptr;
+  /// Metrics sink (`dlog replay --metrics-out`); null = no metrics.
+  MetricsRegistry* metrics = nullptr;
+};
+
 /// Runs a scenario to quiescence and checks the invariant suite against
 /// the centralized oracle. Convergence is checked when anti-entropy ran
-/// and no link faults are left installed at quiescence.
+/// and no link faults are left installed at quiescence. Scenarios with a
+/// `[perturb]` block are materialized through ApplyPerturbations first.
 StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario);
+StatusOr<ScenarioOutcome> RunScenario(const Scenario& scenario,
+                                      const ScenarioRunOptions& run);
+
+/// Materializes a scenario's perturbations into concrete faults / event
+/// edits: node=N,down fails N at t=0; link=A-B,cut cuts both directions at
+/// t=0; inject=F,drop removes every event carrying F (an error when none
+/// matches — a counterfactual that changes nothing explains nothing);
+/// budget=kind,K enables budgets with that cap. tenant=T,remove is
+/// rejected (scenario files define a single anonymous program). The result
+/// has an empty perturbation list.
+StatusOr<Scenario> ApplyPerturbations(const Scenario& scenario);
 
 /// Knobs for SampleScenario (the `dlog chaos` flags).
 struct ChaosProfile {

@@ -238,7 +238,7 @@ TEST(ScenarioTest, UnknownFutureVersionIsRejected) {
   std::string text = kJoinScenario;
   size_t at = text.find("scenario v1");
   ASSERT_NE(at, std::string::npos);
-  text.replace(at, 11, "scenario v3");
+  text.replace(at, 11, "scenario v4");
   auto parsed = Scenario::FromText(text);
   ASSERT_FALSE(parsed.ok());
   EXPECT_NE(parsed.status().ToString().find("unsupported scenario version"),

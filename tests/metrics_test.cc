@@ -278,13 +278,13 @@ TEST(TraceStatsTest, MixedSchemaTraceParsesWithWarnOncePerUnknownKind) {
       "\"attempts\":1,\"delivered\":true}\n"
       "{\"time\":6,\"node\":1,\"kind\":\"hop\",\"phase\":\"store\","
       "\"pred\":\"r\",\"src\":0,\"dst\":1,\"bytes\":40,\"seq\":0,"
-      "\"attempts\":1,\"delivered\":true,\"schema\":3}\n";
+      "\"attempts\":1,\"delivered\":true,\"schema\":4}\n";
   std::istringstream in(trace);
   std::vector<std::string> errors;
   TraceStats stats = TraceStats::Aggregate(in, &errors);
   EXPECT_EQ(stats.bad_lines, 0u);
   EXPECT_EQ(stats.records, 6u);
-  EXPECT_EQ(stats.total_messages, 1u);  // the schema-3 hop was skipped
+  EXPECT_EQ(stats.total_messages, 1u);  // the schema-4 hop was skipped
   EXPECT_EQ(stats.injects, 1u);
   EXPECT_EQ(stats.derivs, 1u);
   EXPECT_EQ(stats.future_records, 1u);

@@ -67,9 +67,39 @@
 //       with --out, saved as a replayable scenario file; exit code 3.
 //       Output is deterministic: two runs of one seed are byte-identical.
 //
-//   dlog replay <scenario.txt>
+//   dlog replay <scenario.txt> [--trace-out trace.jsonl]
+//       [--metrics-out m.json] [--provenance]
+//       [--provenance-capacity K]
 //       Re-execute a saved chaos scenario bit-exactly and re-check the
 //       invariant suite; prints the same deterministic report every run.
+//       --trace-out / --metrics-out capture the run's JSONL trace and
+//       metrics-registry snapshot (same formats as simulate). When the
+//       replay violates an invariant, the scenario is re-run with
+//       provenance forced on and every violating tuple's causal chain is
+//       printed (rules fired, nodes visited, retractions that entered the
+//       system but never took effect); exit stays 3.
+//
+//   dlog replay --diff <base.scn> <perturbed.scn> [--threads N]
+//       [--json out.jsonl]
+//       Counterfactual diff of two saved scenarios: run both worlds with
+//       provenance on and print the ChangeExplanation (appeared / vanished
+//       / flipped tuples with divergence attribution, per-predicate cost
+//       deltas reconciling with `dlog stats`). --json writes the
+//       schema-v3 "cfdiff" JSONL records.
+//
+//   dlog explain --counterfactual '<spec>' <scenario.scn> [--threads N]
+//       [--json out.jsonl] [--out perturbed.scn]
+//       [--provenance-capacity K]
+//       The counterfactual tentpole (DESIGN.md §14): parse a perturbation
+//       spec — ';'-separated clauses 'node=N,down', 'link=A-B,cut',
+//       'inject=<fact>,drop', 'budget=<kind>,K', 'tenant=T,remove' —
+//       replay the scenario twice (base and perturbed worlds,
+//       deterministically, byte-identical at any --threads) and print
+//       what changed, why (first divergent derivation edge per tuple),
+//       and what it cost. --out saves the perturbed world as a
+//       standalone v3 scenario file; --json writes the cfdiff JSONL.
+//       Exit 2 on an unparseable spec or scenario, 3 when the diff fails
+//       its own soundness check.
 //
 // Events file: one event per line,
 //     <time_us> <node> + <fact>.
@@ -82,6 +112,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "deduce/common/metrics.h"
@@ -90,6 +121,9 @@
 #include "deduce/common/trace.h"
 #include "deduce/datalog/analysis.h"
 #include "deduce/datalog/parser.h"
+#include "deduce/engine/counterfactual/attribution.h"
+#include "deduce/engine/counterfactual/counterfactual.h"
+#include "deduce/engine/counterfactual/perturb.h"
 #include "deduce/engine/engine.h"
 #include "deduce/engine/provenance.h"
 #include "deduce/engine/scenario.h"
@@ -288,7 +322,7 @@ StatusOr<std::vector<TenantProgram>> LoadTenantPrograms(
 int CmdSimulate(const std::string& path, const std::string& events_path,
                 int grid, const std::string& storage, double loss,
                 bool reliable, const RepairOptions& repair, uint64_t seed,
-                bool provenance, long metrics_interval,
+                bool provenance, size_t prov_capacity, long metrics_interval,
                 const std::string& trace_path,
                 const std::string& trace_out_path,
                 const std::string& metrics_out_path) {
@@ -309,6 +343,7 @@ int CmdSimulate(const std::string& path, const std::string& events_path,
   options.transport.reliable = reliable;
   options.repair = repair;
   options.provenance.enabled = provenance;
+  options.provenance_capacity = prov_capacity;
   if (!StorageFromFlag(storage, &options.planner.default_storage)) {
     return Fail(Status::InvalidArgument("unknown --storage " + storage));
   }
@@ -795,7 +830,8 @@ StatusOr<Fact> ParseTargetFact(const std::string& fact_text) {
 int CmdExplain(const std::string& path, const std::string& fact_text,
                const std::string& trace_in, const std::string& events_path,
                int grid, const std::string& storage, double loss,
-               bool reliable, const RepairOptions& repair, uint64_t seed) {
+               bool reliable, const RepairOptions& repair, uint64_t seed,
+               size_t prov_capacity) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status());
   auto program = ParseProgram(*text);
@@ -838,6 +874,7 @@ int CmdExplain(const std::string& path, const std::string& fact_text,
     options.transport.reliable = reliable;
     options.repair = repair;
     options.provenance.enabled = true;  // explain is the provenance consumer
+    options.provenance_capacity = prov_capacity;
     if (!StorageFromFlag(storage, &options.planner.default_storage)) {
       return Fail(Status::InvalidArgument("unknown --storage " + storage));
     }
@@ -914,20 +951,181 @@ int CmdChaos(uint64_t seed, const ChaosProfile& profile, bool shrink,
   return 3;
 }
 
-int CmdReplay(const std::string& path) {
+std::vector<TraceRecord> ParseTraceLines(const std::string& jsonl) {
+  std::vector<TraceRecord> records;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (StrTrim(line).empty()) continue;
+    auto r = TraceRecord::FromJson(line);
+    if (r.ok()) records.push_back(std::move(*r));
+  }
+  return records;
+}
+
+/// Pulls the fact text out of an invariant-violation line ("" when the
+/// violation names no tuple — convergence and engine-error lines don't).
+std::string ViolationFact(const std::string& violation) {
+  struct Marker {
+    const char* start;
+    const char* stop;
+  };
+  static const Marker kMarkers[] = {
+      {"phantom result ", " (not derivable"},
+      {"undegraded result ", " not derivable"},
+      {"dedup: result ", " stored at node"},
+  };
+  for (const Marker& m : kMarkers) {
+    size_t at = violation.find(m.start);
+    if (at == std::string::npos) continue;
+    size_t start = at + std::strlen(m.start);
+    size_t end = violation.find(m.stop, start);
+    if (end == std::string::npos) return "";
+    return violation.substr(start, end - start);
+  }
+  return "";
+}
+
+/// On a replay violation: re-run the scenario with provenance forced on
+/// (lineage changes no simulated counter, so the violation reproduces
+/// bit-exactly) and print each violating tuple's causal chain —
+/// AttributeViolation names the rules fired, the nodes visited, and any
+/// retraction that entered the system but never took effect.
+void PrintViolationAttribution(const Scenario& scenario,
+                               const InvariantReport& report) {
+  auto program = ParseProgram(scenario.program);
+  if (!program.ok()) return;
+  std::ostringstream sink;
+  TraceWriter writer;
+  writer.OpenStream(&sink);
+  ScenarioRunOptions run;
+  run.provenance = true;
+  run.trace = &writer;
+  auto outcome = RunScenario(scenario, run);
+  writer.Close();
+  if (!outcome.ok()) return;
+  std::vector<TraceRecord> records = ParseTraceLines(sink.str());
+  bool header = false;
+  std::set<std::string> seen;
+  for (const std::string& v : report.violations) {
+    std::string fact_text = ViolationFact(v);
+    if (fact_text.empty() || !seen.insert(fact_text).second) continue;
+    auto fact = ParseTargetFact(fact_text);
+    if (!fact.ok()) continue;
+    if (!header) {
+      std::printf("violation attribution (provenance replay):\n");
+      header = true;
+    }
+    std::printf("%s", AttributeViolation(records, *program, *fact).c_str());
+  }
+}
+
+int CmdReplay(const std::string& path, const std::string& trace_out_path,
+              const std::string& metrics_out_path, bool provenance,
+              size_t prov_capacity) {
   auto scenario = Scenario::Load(path);
   if (!scenario.ok()) {
-    // Parse failures (unknown version, unknown fault kind, malformed
-    // lines) exit 2: distinct from a run that violated invariants (3) and
-    // from engine errors (1), so CI can tell "file this build cannot
-    // replay" apart from "replay found a bug".
+    // Parse failures (unknown version, unknown fault kind, unknown
+    // perturbation kind, malformed lines) exit 2: distinct from a run that
+    // violated invariants (3) and from engine errors (1), so CI can tell
+    // "file this build cannot replay" apart from "replay found a bug".
     Fail(scenario.status());
     return 2;
   }
-  auto run = RunScenario(*scenario);
-  if (!run.ok()) return Fail(run.status());
-  std::printf("%s", run->Summary().c_str());
-  return run->report.ok() ? 0 : 3;
+  ScenarioRunOptions run;
+  run.provenance = provenance;
+  run.provenance_capacity = prov_capacity;
+  TraceWriter writer;
+  if (!trace_out_path.empty()) {
+    Status st = writer.OpenFile(trace_out_path);
+    if (!st.ok()) return Fail(st);
+    run.trace = &writer;
+  }
+  MetricsRegistry metrics;
+  if (!metrics_out_path.empty()) run.metrics = &metrics;
+  auto outcome = RunScenario(*scenario, run);
+  writer.Close();
+  if (!outcome.ok()) return Fail(outcome.status());
+  std::printf("%s", outcome->Summary().c_str());
+  if (!metrics_out_path.empty()) {
+    std::ofstream mo(metrics_out_path);
+    if (!mo) {
+      return Fail(
+          Status::NotFound("cannot write metrics file " + metrics_out_path));
+    }
+    mo << metrics.ToJson() << "\n";
+  }
+  if (outcome->report.ok()) return 0;
+  PrintViolationAttribution(*scenario, outcome->report);
+  return 3;
+}
+
+int CmdCounterfactual(const std::string& spec, const std::string& scn_path,
+                      int threads, const std::string& json_out,
+                      const std::string& save_path, size_t prov_capacity) {
+  auto perturbs = ParsePerturbationSpec(spec);
+  if (!perturbs.ok()) {
+    // An unparseable spec (unknown perturbation kind, malformed clause) is
+    // the same failure class as an unreadable scenario file: exit 2.
+    Fail(perturbs.status());
+    return 2;
+  }
+  auto scenario = Scenario::Load(scn_path);
+  if (!scenario.ok()) {
+    Fail(scenario.status());
+    return 2;
+  }
+  CounterfactualOptions options;
+  options.threads = threads;
+  options.provenance_capacity = prov_capacity;
+  auto result = RunCounterfactual(*scenario, *perturbs, options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result->explanation.Format().c_str());
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      return Fail(Status::NotFound("cannot write json file " + json_out));
+    }
+    out << result->explanation.ToJsonl();
+  }
+  if (!save_path.empty()) {
+    // Saves the *declarative* perturbed world: the base scenario plus the
+    // v3 [perturb] block, which RunScenario materializes on replay.
+    Status st = result->perturbed.Save(save_path);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "%% perturbed scenario saved to %s\n",
+                 save_path.c_str());
+  }
+  return result->explanation.soundness.empty() ? 0 : 3;
+}
+
+int CmdReplayDiff(const std::string& base_path, const std::string& pert_path,
+                  int threads, const std::string& json_out,
+                  size_t prov_capacity) {
+  auto base = Scenario::Load(base_path);
+  if (!base.ok()) {
+    Fail(base.status());
+    return 2;
+  }
+  auto perturbed = Scenario::Load(pert_path);
+  if (!perturbed.ok()) {
+    Fail(perturbed.status());
+    return 2;
+  }
+  CounterfactualOptions options;
+  options.threads = threads;
+  options.provenance_capacity = prov_capacity;
+  auto result = DiffScenarios(*base, *perturbed, options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s", result->explanation.Format().c_str());
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      return Fail(Status::NotFound("cannot write json file " + json_out));
+    }
+    out << result->explanation.ToJsonl();
+  }
+  return result->explanation.soundness.empty() ? 0 : 3;
 }
 
 int Usage() {
@@ -948,12 +1146,22 @@ int Usage() {
                "  dlog explain <program.dlog> --fact 'pred(args)'\n"
                "       (--trace-in trace.jsonl | --events <file> [sim "
                "flags])\n"
+               "  dlog explain --counterfactual '<spec>' <scenario.scn>\n"
+               "       [--threads N] [--json out.jsonl] [--out saved.scn]\n"
+               "       [--provenance-capacity K]\n"
+               "       spec: 'node=N,down' | 'link=A-B,cut' |\n"
+               "       'inject=<fact>,drop' | 'budget=<kind>,K' |\n"
+               "       'tenant=T,remove', ';'-separated\n"
                "  dlog chaos [--seed S] [--grid N] [--injections N]\n"
                "       [--horizon US] [--loss P] [--no-reliable] [--repair]\n"
                "       [--anti-entropy-period US] [--no-checksum]\n"
                "       [--retraction] [--overload] [--rto-jitter X]\n"
                "       [--out scenario.txt] [--no-shrink]\n"
-               "  dlog replay <scenario.txt>\n");
+               "  dlog replay <scenario.txt> [--trace-out trace.jsonl]\n"
+               "       [--metrics-out m.json] [--provenance]\n"
+               "       [--provenance-capacity K]\n"
+               "  dlog replay --diff <base.scn> <perturbed.scn>\n"
+               "       [--threads N] [--json out.jsonl]\n");
   return 64;
 }
 
@@ -1085,7 +1293,97 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string path = argv[2];
 
-  if (cmd == "replay") return CmdReplay(path);
+  if (cmd == "replay") {
+    bool diff = false;
+    bool provenance = false;
+    std::vector<std::string> paths;
+    std::string trace_out, metrics_out, json_out;
+    long threads = 1;
+    long prov_capacity = 0;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (arg == "--diff") {
+        diff = true;
+      } else if (arg == "--provenance") {
+        provenance = true;
+      } else if (arg == "--trace-out") {
+        const char* v = next();
+        if (!v) return Usage();
+        trace_out = v;
+      } else if (arg == "--metrics-out") {
+        const char* v = next();
+        if (!v) return Usage();
+        metrics_out = v;
+      } else if (arg == "--json") {
+        const char* v = next();
+        if (!v) return Usage();
+        json_out = v;
+      } else if (arg == "--threads") {
+        if (!ParseIntFlag("--threads", next(), 1, 1024, &threads)) {
+          return Usage();
+        }
+      } else if (arg == "--provenance-capacity") {
+        if (!ParseIntFlag("--provenance-capacity", next(), 1,
+                          1'000'000'000L, &prov_capacity)) {
+          return Usage();
+        }
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Usage();
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (diff) {
+      if (paths.size() != 2 || !trace_out.empty() || !metrics_out.empty()) {
+        return Usage();
+      }
+      return CmdReplayDiff(paths[0], paths[1], static_cast<int>(threads),
+                           json_out, static_cast<size_t>(prov_capacity));
+    }
+    if (paths.size() != 1 || !json_out.empty()) return Usage();
+    return CmdReplay(paths[0], trace_out, metrics_out, provenance,
+                     static_cast<size_t>(prov_capacity));
+  }
+
+  if (cmd == "explain" && path == "--counterfactual") {
+    if (argc < 5) return Usage();
+    std::string spec = argv[3];
+    std::string scn = argv[4];
+    std::string json_out, save_path;
+    long threads = 1;
+    long prov_capacity = 0;
+    for (int i = 5; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto next = [&]() -> const char* {
+        return i + 1 < argc ? argv[++i] : nullptr;
+      };
+      if (arg == "--threads") {
+        if (!ParseIntFlag("--threads", next(), 1, 1024, &threads)) {
+          return Usage();
+        }
+      } else if (arg == "--json") {
+        const char* v = next();
+        if (!v) return Usage();
+        json_out = v;
+      } else if (arg == "--out") {
+        const char* v = next();
+        if (!v) return Usage();
+        save_path = v;
+      } else if (arg == "--provenance-capacity") {
+        if (!ParseIntFlag("--provenance-capacity", next(), 1,
+                          1'000'000'000L, &prov_capacity)) {
+          return Usage();
+        }
+      } else {
+        return Usage();
+      }
+    }
+    return CmdCounterfactual(spec, scn, static_cast<int>(threads), json_out,
+                             save_path, static_cast<size_t>(prov_capacity));
+  }
 
   std::string query, events, storage, trace, trace_out, metrics_out;
   std::string fact_text, trace_in;
@@ -1103,6 +1401,7 @@ int main(int argc, char** argv) {
   long seeds = 1;
   long tenants = 0;  // 0 = not set (single-tenant unless --program given)
   long threads = 0;  // 0 = DefaultThreadCount()
+  long prov_capacity = 0;  // 0 = ProvenanceOptions default ring size
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -1166,6 +1465,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--provenance") {
       provenance = true;
+    } else if (arg == "--provenance-capacity") {
+      if (!ParseIntFlag("--provenance-capacity", next(), 1, 1'000'000'000L,
+                        &prov_capacity)) {
+        return Usage();
+      }
     } else if (arg == "--latency") {
       latency = true;
     } else if (arg == "--metrics") {
@@ -1199,7 +1503,7 @@ int main(int argc, char** argv) {
   if (cmd == "explain") {
     return CmdExplain(path, fact_text, trace_in, events,
                       static_cast<int>(grid), storage, loss, reliable, repair,
-                      seed);
+                      seed, static_cast<size_t>(prov_capacity));
   }
   if (cmd == "simulate") {
     if (events.empty()) return Usage();
@@ -1238,7 +1542,8 @@ int main(int argc, char** argv) {
                                 metrics_out);
     }
     return CmdSimulate(path, events, static_cast<int>(grid), storage, loss,
-                       reliable, repair, seed, provenance, metrics_interval,
+                       reliable, repair, seed, provenance,
+                       static_cast<size_t>(prov_capacity), metrics_interval,
                        trace, trace_out, metrics_out);
   }
   return Usage();
